@@ -1,0 +1,396 @@
+//! Efficient affinity analysis (the paper's stack method), exact up to the
+//! window bound.
+//!
+//! For every pair of blocks we compute its *affinity threshold*: the
+//! smallest `w ≤ w_max` at which the pair has w-window affinity
+//! (Definition 3), i.e. the max over occurrences of either block of the
+//! minimum footprint to the partner, where the minimum considers both the
+//! nearest partner occurrence *before* (backward witness) and the first one
+//! *after* (forward witness).
+//!
+//! The analysis is two LRU-stack passes over the trace, following the
+//! paper's §II-B recipe ("we run a stack simulation of the trace; at each
+//! step we see all basic blocks that occur in a w-window with the accessed
+//! block") plus the §II-F stack machinery (hash map + linked list):
+//!
+//! 1. **Discovery** — any pair that is ever co-resident in a window of
+//!    footprint ≤ `w_max` shows up as a (accessed block, stack-depth < w_max)
+//!    encounter; pairs that never do cannot have affinity within the bound.
+//! 2. **Resolution** — with the candidate set known from the start, each
+//!    block access pushes a *pending occurrence* onto all its candidate
+//!    pairs, recording the backward-witness footprint (partner's stack depth
+//!    + 1, when within the window). A later access of the partner resolves
+//!    every pending at once: the forward footprint of a pending at position
+//!    `p` is the number of distinct blocks accessed in `[p, now]`, read off
+//!    the recency stack (entries with last access ≥ `p`). Resolutions beyond
+//!    `w_max` are exact kills: a window only grows, so a pending that misses
+//!    the bound at its first partner access can never be covered later.
+//!
+//! Cost is O(N·w_max) stack work plus pair maintenance proportional to the
+//! co-occurrence structure — the paper's O(W·N·B) bound with the dense `B`
+//! factor replaced by actual partner counts.
+
+use clop_trace::{BlockId, LruStack, TrimmedTrace};
+use std::collections::{HashMap, HashSet};
+
+const INF: u32 = u32::MAX;
+
+/// One uncovered occurrence: trace position + best backward witness.
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    pos: i64,
+    backward_fp: u32,
+}
+
+#[derive(Clone, Debug, Default)]
+struct PairData {
+    /// Pending occurrences of the pair's lower block, oldest first.
+    pend_lo: Vec<Pending>,
+    /// Running threshold (max over resolved occurrences) for the lower
+    /// block's direction.
+    thr_lo: u32,
+    pend_hi: Vec<Pending>,
+    thr_hi: u32,
+}
+
+/// Pairwise affinity thresholds up to a window bound.
+#[derive(Clone, Debug)]
+pub struct PairThresholds {
+    map: HashMap<(u32, u32), u32>,
+    w_max: u32,
+}
+
+impl PairThresholds {
+    /// Run the two-pass analysis over a trimmed trace.
+    pub fn measure(trace: &TrimmedTrace, w_max: u32) -> Self {
+        let w_max = w_max.max(2);
+        let cap = trace
+            .events()
+            .iter()
+            .map(|b| b.index() + 1)
+            .max()
+            .unwrap_or(0);
+
+        // ---- Pass 1: candidate discovery. ----
+        let mut stack = LruStack::new(cap);
+        let mut candidates: HashSet<(u32, u32)> = HashSet::new();
+        for &a in trace.events() {
+            stack.access(a);
+            let mut depth = 0u32;
+            stack.for_each_top(w_max as usize, |b| {
+                if depth > 0 {
+                    let key = (a.0.min(b.0), a.0.max(b.0));
+                    candidates.insert(key);
+                }
+                depth += 1;
+            });
+        }
+
+        // ---- Pass 2: exact per-occurrence resolution. ----
+        let mut partners: Vec<Vec<u32>> = vec![Vec::new(); cap];
+        let mut pairs: HashMap<(u32, u32), PairData> = HashMap::new();
+        for &(x, y) in &candidates {
+            partners[x as usize].push(y);
+            partners[y as usize].push(x);
+            pairs.insert((x, y), PairData::default());
+        }
+
+        let mut stack = LruStack::new(cap);
+        let mut last_access = vec![-1i64; cap];
+        // Reused walk buffer: (block id, last-access position), most recent
+        // first. One extra entry beyond w_max keeps forward footprints exact
+        // at the bound.
+        let walk_len = w_max as usize + 1;
+        let mut walk: Vec<(u32, i64)> = Vec::with_capacity(walk_len);
+
+        for (now, &a) in trace.events().iter().enumerate() {
+            let now = now as i64;
+            let ai = a.0;
+            last_access[ai as usize] = now;
+            stack.access(a);
+
+            walk.clear();
+            stack.for_each_top(walk_len, |b| {
+                walk.push((b.0, last_access[b.index()]));
+            });
+
+            // Forward footprint of a window starting at `p`: the number of
+            // distinct blocks accessed in [p, now] = walked entries with
+            // last access ≥ p (timestamps are strictly descending). A full
+            // walk means the window exceeds w_max.
+            let fp_since = |p: i64| -> u32 {
+                let count = walk.partition_point(|&(_, t)| t >= p);
+                if count >= walk_len {
+                    INF
+                } else {
+                    count as u32
+                }
+            };
+            // Backward witness for the current access: partner's depth + 1
+            // when within the window.
+            let backward_fp = |y: u32| -> u32 {
+                walk.iter()
+                    .take(w_max as usize)
+                    .position(|&(b, _)| b == y)
+                    .map(|d| d as u32 + 1)
+                    .filter(|&fp| fp <= w_max)
+                    .unwrap_or(INF)
+            };
+
+            let ps: Vec<u32> = partners[ai as usize].clone();
+            let mut kills: Vec<(u32, u32)> = Vec::new();
+            for y in ps {
+                let key = (ai.min(y), ai.max(y));
+                let Some(data) = pairs.get_mut(&key) else {
+                    continue; // killed earlier
+                };
+                let a_is_lo = ai == key.0;
+                // Resolve the partner side: `a` is the first partner access
+                // after every pending occurrence of `y` in this pair.
+                {
+                    let (pend_y, thr_y) = if a_is_lo {
+                        (&mut data.pend_hi, &mut data.thr_hi)
+                    } else {
+                        (&mut data.pend_lo, &mut data.thr_lo)
+                    };
+                    for p in pend_y.drain(..) {
+                        let resolved = p.backward_fp.min(fp_since(p.pos));
+                        *thr_y = (*thr_y).max(resolved);
+                    }
+                    if *thr_y > w_max {
+                        kills.push(key);
+                        continue;
+                    }
+                }
+                // Push the new occurrence of `a` as pending on its side.
+                let (pend_a,) = if a_is_lo {
+                    (&mut data.pend_lo,)
+                } else {
+                    (&mut data.pend_hi,)
+                };
+                pend_a.push(Pending {
+                    pos: now,
+                    backward_fp: backward_fp(y),
+                });
+            }
+            for key in kills {
+                pairs.remove(&key);
+                partners[key.0 as usize].retain(|&p| p != key.1);
+                partners[key.1 as usize].retain(|&p| p != key.0);
+            }
+        }
+
+        // End of trace: unresolved pendings fall back to their backward
+        // witness (there is no further partner occurrence).
+        let mut map = HashMap::new();
+        for (key, data) in pairs {
+            let finish = |mut thr: u32, pend: &[Pending]| -> u32 {
+                for p in pend {
+                    thr = thr.max(p.backward_fp);
+                }
+                thr
+            };
+            let thr_lo = finish(data.thr_lo, &data.pend_lo);
+            let thr_hi = finish(data.thr_hi, &data.pend_hi);
+            let thr = thr_lo.max(thr_hi);
+            // A pair with no resolved occurrence on some side (thr == 0)
+            // cannot happen for candidates: discovery implies both blocks
+            // occur. Guard anyway.
+            if thr >= 2 && thr <= w_max {
+                map.insert(key, thr);
+            }
+        }
+        PairThresholds { map, w_max }
+    }
+
+    /// The analysis window bound.
+    pub fn w_max(&self) -> u32 {
+        self.w_max
+    }
+
+    /// Threshold for a pair, or `None` when the pair has no affinity within
+    /// the window bound.
+    pub fn get(&self, x: BlockId, y: BlockId) -> Option<u32> {
+        if x == y {
+            return None;
+        }
+        self.map.get(&(x.0.min(y.0), x.0.max(y.0))).copied()
+    }
+
+    /// True iff the pair has w-window affinity for the given `w`.
+    pub fn has_affinity(&self, x: BlockId, y: BlockId, w: u32) -> bool {
+        self.get(x, y).is_some_and(|t| t <= w)
+    }
+
+    /// All surviving pairs with their thresholds.
+    pub fn pairs(&self) -> impl Iterator<Item = (BlockId, BlockId, u32)> + '_ {
+        self.map
+            .iter()
+            .map(|(&(x, y), &t)| (BlockId(x), BlockId(y), t))
+    }
+
+    /// Number of surviving pairs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no pair has affinity within the bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+
+    fn b(i: u32) -> BlockId {
+        BlockId(i)
+    }
+
+    fn fig1() -> TrimmedTrace {
+        TrimmedTrace::from_indices([1, 4, 2, 4, 2, 3, 5, 1, 4])
+    }
+
+    #[test]
+    fn figure1_thresholds_match_naive() {
+        let t = fig1();
+        let eff = PairThresholds::measure(&t, 8);
+        for x in 1..=5u32 {
+            for y in (x + 1)..=5u32 {
+                let exact = naive::pair_threshold(&t, b(x), b(y));
+                assert_eq!(eff.get(b(x), b(y)), exact, "pair ({}, {})", x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn random_traces_match_naive_exactly() {
+        // Pseudo-random traces over 9 blocks: the stack analyzer must agree
+        // with the exact quadratic definition for every pair, with
+        // thresholds beyond w_max reported as None.
+        for seed in 0..6u64 {
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let ids: Vec<u32> = (0..300).map(|_| (next() % 9) as u32).collect();
+            let t = TrimmedTrace::from_indices(ids);
+            let w_max = 6u32;
+            let eff = PairThresholds::measure(&t, w_max);
+            for x in 0..9u32 {
+                for y in (x + 1)..9u32 {
+                    let exact = naive::pair_threshold(&t, b(x), b(y)).filter(|&v| v <= w_max);
+                    assert_eq!(
+                        eff.get(b(x), b(y)),
+                        exact,
+                        "seed {} pair ({}, {})",
+                        seed,
+                        x,
+                        y
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_alternation_is_threshold_two() {
+        let t = TrimmedTrace::from_indices([7, 8, 7, 8, 7, 8]);
+        let eff = PairThresholds::measure(&t, 4);
+        assert_eq!(eff.get(b(7), b(8)), Some(2));
+    }
+
+    #[test]
+    fn unrelated_blocks_have_no_threshold() {
+        let t = TrimmedTrace::from_indices([0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 0, 1, 2, 3, 4, 5]);
+        let eff = PairThresholds::measure(&t, 3);
+        assert_eq!(eff.get(b(0), b(5)), None);
+    }
+
+    #[test]
+    fn pair_killed_by_uncovered_occurrence() {
+        // 1 and 2 adjacent once, but 1 re-occurs far from any 2.
+        let t = TrimmedTrace::from_indices([1, 2, 3, 4, 5, 6, 1, 3, 4, 5, 6, 3]);
+        let eff = PairThresholds::measure(&t, 4);
+        assert_eq!(eff.get(b(1), b(2)), None);
+    }
+
+    #[test]
+    fn shadowed_forward_witness_is_found() {
+        // x a x y: occurrence x@0's only witness is forward to y@3 with
+        // footprint 3, shadowed by x@2 on the stack. The exact analyzer
+        // must still credit it.
+        let t = TrimmedTrace::from_indices([0, 1, 0, 2]);
+        let eff = PairThresholds::measure(&t, 5);
+        assert_eq!(
+            eff.get(b(0), b(2)),
+            naive::pair_threshold(&t, b(0), b(2))
+        );
+        assert_eq!(eff.get(b(0), b(2)), Some(3));
+    }
+
+    #[test]
+    fn w_max_caps_thresholds() {
+        let t = fig1();
+        let eff = PairThresholds::measure(&t, 3);
+        assert_eq!(eff.get(b(2), b(5)), None); // exact threshold 4
+        assert_eq!(eff.get(b(2), b(4)), None); // exact threshold 5
+        assert_eq!(eff.get(b(3), b(5)), Some(2));
+        assert_eq!(eff.get(b(1), b(4)), Some(3));
+    }
+
+    #[test]
+    fn self_pair_is_none() {
+        let eff = PairThresholds::measure(&fig1(), 5);
+        assert_eq!(eff.get(b(1), b(1)), None);
+    }
+
+    #[test]
+    fn empty_trace_has_no_pairs() {
+        let t = TrimmedTrace::from_indices(std::iter::empty::<u32>());
+        let eff = PairThresholds::measure(&t, 5);
+        assert!(eff.is_empty());
+    }
+
+    #[test]
+    fn get_is_symmetric() {
+        let eff = PairThresholds::measure(&fig1(), 5);
+        for x in 1..=5u32 {
+            for y in 1..=5u32 {
+                assert_eq!(eff.get(b(x), b(y)), eff.get(b(y), b(x)));
+            }
+        }
+    }
+
+    #[test]
+    fn pairs_iterator_consistent_with_get() {
+        let eff = PairThresholds::measure(&fig1(), 5);
+        for (x, y, thr) in eff.pairs() {
+            assert_eq!(eff.get(x, y), Some(thr));
+        }
+        assert_eq!(eff.pairs().count(), eff.len());
+    }
+
+    #[test]
+    fn long_periodic_trace_scales() {
+        // Sanity: 100k events, 64 blocks, completes quickly and finds the
+        // strictly alternating hot pair.
+        let ids: Vec<u32> = (0..100_000)
+            .map(|i| {
+                if i % 4 < 2 {
+                    (i % 2) as u32
+                } else {
+                    2 + ((i / 4) % 62) as u32
+                }
+            })
+            .collect();
+        let t = TrimmedTrace::from_indices(ids);
+        let eff = PairThresholds::measure(&t, 8);
+        assert!(eff.get(b(0), b(1)).is_some());
+    }
+}

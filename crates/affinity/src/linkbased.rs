@@ -1,0 +1,260 @@
+//! Link-based reference affinity — the *original* model the paper's
+//! w-window variant departs from.
+//!
+//! In Zhong et al.'s definition, members of an affinity group need not all
+//! fit in one fixed window: they must be connected by a chain of *links*,
+//! each link being a pair of accesses close in volume distance. As the
+//! paper puts it (§II-B): "in link-based affinity, the window size is
+//! proportional to the size of an affinity group and not constant. As a
+//! result, the partition is unique in link-based affinity but not in
+//! w-window affinity." Analyzing the exact definition is NP-hard, so — as
+//! in the original work — a practical surrogate is used.
+//!
+//! Ours: two blocks are *k-linked* when they are joined by a chain of
+//! pairwise affinities, where each hop satisfies the all-occurrences
+//! proximity test at footprint `k` (exactly [`crate::naive::pair_threshold`]
+//! `≤ k`, computed by the efficient analyzer). Groups at link length `k`
+//! are then the connected components of the hop graph. This keeps both
+//! distinguishing properties: windows grow with the group (chains extend
+//! them), and the partition is *unique* — connected components do not
+//! depend on any processing order, unlike the greedy clique formation of
+//! Algorithm 1.
+
+use crate::analyzer::PairThresholds;
+use clop_trace::{BlockId, TrimmedTrace};
+use std::collections::HashMap;
+
+/// One level of the link-based hierarchy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinkPartition {
+    k: u32,
+    groups: Vec<Vec<BlockId>>,
+}
+
+impl LinkPartition {
+    /// The link length of this level.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Groups in first-appearance order; members in first-appearance order.
+    pub fn groups(&self) -> &[Vec<BlockId>] {
+        &self.groups
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+/// The link-based affinity hierarchy of one trace.
+#[derive(Clone, Debug)]
+pub struct LinkHierarchy {
+    levels: Vec<LinkPartition>,
+}
+
+impl LinkHierarchy {
+    /// Build levels for `k = 2 ..= k_max` from pairwise thresholds.
+    pub fn build(trace: &TrimmedTrace, thresholds: &PairThresholds, k_max: u32) -> Self {
+        // First-appearance order.
+        let mut order: Vec<BlockId> = Vec::new();
+        let mut index: HashMap<u32, usize> = HashMap::new();
+        for b in trace.iter() {
+            if !index.contains_key(&b.0) {
+                index.insert(b.0, order.len());
+                order.push(b);
+            }
+        }
+        let n = order.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+
+        // Edges grouped by threshold so levels can be built incrementally.
+        let mut edges: Vec<(u32, usize, usize)> = thresholds
+            .pairs()
+            .filter_map(|(x, y, t)| {
+                Some((t, *index.get(&x.0)?, *index.get(&y.0)?))
+            })
+            .collect();
+        edges.sort_unstable();
+
+        let mut levels = Vec::new();
+        let mut ei = 0;
+        for k in 2..=k_max.max(2) {
+            while ei < edges.len() && edges[ei].0 <= k {
+                let (_, a, b) = edges[ei];
+                ei += 1;
+                let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                if ra != rb {
+                    // Union by smaller first-appearance keeps output stable.
+                    let (keep, gone) = if ra < rb { (ra, rb) } else { (rb, ra) };
+                    parent[gone] = keep;
+                }
+            }
+            // Snapshot components.
+            let mut groups_by_root: HashMap<usize, Vec<BlockId>> = HashMap::new();
+            for (i, &b) in order.iter().enumerate() {
+                groups_by_root
+                    .entry(find(&mut parent, i))
+                    .or_default()
+                    .push(b);
+            }
+            let mut groups: Vec<Vec<BlockId>> = groups_by_root.into_values().collect();
+            groups.sort_by_key(|g| index[&g[0].0]);
+            levels.push(LinkPartition { k, groups });
+        }
+        LinkHierarchy { levels }
+    }
+
+    /// Convenience: analyze a trace end to end.
+    pub fn analyze(trace: &TrimmedTrace, k_max: u32) -> Self {
+        let thresholds = PairThresholds::measure(trace, k_max);
+        Self::build(trace, &thresholds, k_max)
+    }
+
+    /// The partition at link length `k`.
+    pub fn partition_at(&self, k: u32) -> Option<&LinkPartition> {
+        self.levels.iter().find(|p| p.k == k)
+    }
+
+    /// All levels, smallest `k` first.
+    pub fn levels(&self) -> &[LinkPartition] {
+        &self.levels
+    }
+
+    /// Layout from the top level: groups concatenated, hottest group first.
+    pub fn layout(&self, trace: &TrimmedTrace) -> Vec<BlockId> {
+        let counts = trace.occurrence_counts();
+        let heat = |g: &Vec<BlockId>| -> u64 {
+            g.iter()
+                .map(|b| counts.get(b.index()).copied().unwrap_or(0))
+                .sum()
+        };
+        let mut groups = self
+            .levels
+            .last()
+            .map(|p| p.groups.clone())
+            .unwrap_or_default();
+        groups.sort_by_key(|g| std::cmp::Reverse(heat(g)));
+        groups.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::AffinityHierarchy;
+    use crate::AffinityConfig;
+
+    fn fig1() -> TrimmedTrace {
+        TrimmedTrace::from_indices([1, 4, 2, 4, 2, 3, 5, 1, 4])
+    }
+
+    #[test]
+    fn components_chain_through_links() {
+        // Pairs (1,2) and (2,3) are close, (1,3) never is directly; the
+        // link model still groups {1,2,3} by chaining.
+        let t = TrimmedTrace::from_indices([1, 2, 3, 9, 8, 1, 2, 3, 9, 8, 1, 2, 3]);
+        let h = LinkHierarchy::analyze(&t, 3);
+        let top = h.partition_at(3).unwrap();
+        let g = top
+            .groups()
+            .iter()
+            .find(|g| g.contains(&BlockId(1)))
+            .unwrap();
+        assert!(g.contains(&BlockId(2)));
+        assert!(g.contains(&BlockId(3)));
+    }
+
+    #[test]
+    fn link_groups_are_coarser_than_w_window_groups() {
+        // Every w-window clique is connected in the hop graph, so each
+        // w-window group is contained in one link group at the same level.
+        let t = fig1();
+        let thr = PairThresholds::measure(&t, 5);
+        let win = AffinityHierarchy::build(&t, &thr, AffinityConfig { w_min: 2, w_max: 5 });
+        let link = LinkHierarchy::build(&t, &thr, 5);
+        for w in 2..=5u32 {
+            let wp = win.partition_at(w).unwrap();
+            let lp = link.partition_at(w).unwrap();
+            assert!(lp.num_groups() <= wp.num_groups(), "k = {}", w);
+            for g in wp.groups() {
+                let containing = lp
+                    .groups()
+                    .iter()
+                    .filter(|lg| g.iter().all(|b| lg.contains(b)))
+                    .count();
+                assert_eq!(containing, 1, "w-window group {:?} split at k={}", g, w);
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_unique_regardless_of_trace_labelling() {
+        // Uniqueness: relabelling blocks (permuting ids) permutes the
+        // partition but never changes its group-size multiset.
+        let t1 = TrimmedTrace::from_indices([1, 4, 2, 4, 2, 3, 5, 1, 4]);
+        // Swap labels 1<->2 and 3<->4.
+        let t2 = TrimmedTrace::from_indices([2, 3, 1, 3, 1, 4, 5, 2, 3]);
+        let mut sizes1: Vec<usize> = LinkHierarchy::analyze(&t1, 4)
+            .partition_at(4)
+            .unwrap()
+            .groups()
+            .iter()
+            .map(Vec::len)
+            .collect();
+        let mut sizes2: Vec<usize> = LinkHierarchy::analyze(&t2, 4)
+            .partition_at(4)
+            .unwrap()
+            .groups()
+            .iter()
+            .map(Vec::len)
+            .collect();
+        sizes1.sort_unstable();
+        sizes2.sort_unstable();
+        assert_eq!(sizes1, sizes2);
+    }
+
+    #[test]
+    fn figure1_top_level_is_single_group() {
+        let h = LinkHierarchy::analyze(&fig1(), 5);
+        assert_eq!(h.partition_at(5).unwrap().num_groups(), 1);
+        // At k=2 only (3,5) are linked.
+        let k2 = h.partition_at(2).unwrap();
+        assert_eq!(k2.num_groups(), 4);
+    }
+
+    #[test]
+    fn levels_coarsen_monotonically() {
+        let h = LinkHierarchy::analyze(&fig1(), 8);
+        let mut prev = usize::MAX;
+        for lvl in h.levels() {
+            assert!(lvl.num_groups() <= prev);
+            prev = lvl.num_groups();
+        }
+    }
+
+    #[test]
+    fn layout_is_permutation() {
+        let t = fig1();
+        let h = LinkHierarchy::analyze(&t, 5);
+        let mut l: Vec<u32> = h.layout(&t).iter().map(|b| b.0).collect();
+        l.sort_unstable();
+        assert_eq!(l, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = TrimmedTrace::from_indices(std::iter::empty::<u32>());
+        let h = LinkHierarchy::analyze(&t, 4);
+        assert!(h.layout(&t).is_empty());
+        assert_eq!(h.partition_at(4).unwrap().num_groups(), 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Reference (quadratic) affinity analysis — ground truth for tests.
+//!
+//! Implements Definition 3 literally: `x` and `y` have w-window affinity
+//! iff every occurrence of either block has an occurrence of the other
+//! within a window of footprint ≤ w. [`pair_threshold`] computes the
+//! smallest such `w` for a pair; [`partition_at`] is the paper's
+//! Algorithm 1 for a single level (with deterministic first-appearance
+//! order instead of random choice).
+
+use clop_trace::footprint::footprint_between;
+use clop_trace::{BlockId, TrimmedTrace};
+
+/// The smallest `w` at which `x` and `y` have w-window affinity, or `None`
+/// when no finite window works (one of them never occurs, or is the same
+/// block).
+///
+/// This is `max` over occurrences of the `min` footprint to the other
+/// block, symmetrized over both directions.
+pub fn pair_threshold(trace: &TrimmedTrace, x: BlockId, y: BlockId) -> Option<u32> {
+    if x == y {
+        return None;
+    }
+    let xs = trace.occurrences(x);
+    let ys = trace.occurrences(y);
+    if xs.is_empty() || ys.is_empty() {
+        return None;
+    }
+    let direction = |from: &[usize], to: &[usize]| -> u32 {
+        from.iter()
+            .map(|&i| {
+                to.iter()
+                    .map(|&j| footprint_between(trace, i, j) as u32)
+                    .min()
+                    .expect("non-empty")
+            })
+            .max()
+            .expect("non-empty")
+    };
+    Some(direction(&xs, &ys).max(direction(&ys, &xs)))
+}
+
+/// True iff `x` and `y` have w-window affinity (Definition 3).
+pub fn has_affinity(trace: &TrimmedTrace, x: BlockId, y: BlockId, w: u32) -> bool {
+    pair_threshold(trace, x, y).is_some_and(|t| t <= w)
+}
+
+/// Algorithm 1 for one level: greedily partition the blocks of the trace
+/// into w-window affinity groups. Blocks are visited in first-appearance
+/// order (the paper picks randomly; a fixed order makes results
+/// reproducible). A block joins the first group in which it has w-window
+/// affinity with *every* member; otherwise it starts a new group.
+pub fn partition_at(trace: &TrimmedTrace, w: u32) -> Vec<Vec<BlockId>> {
+    let mut order: Vec<BlockId> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for b in trace.iter() {
+        if seen.insert(b) {
+            order.push(b);
+        }
+    }
+    let mut groups: Vec<Vec<BlockId>> = Vec::new();
+    for a in order {
+        let mut placed = false;
+        for g in groups.iter_mut() {
+            if g.iter().all(|&b| has_affinity(trace, a, b, w)) {
+                g.push(a);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            groups.push(vec![a]);
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(i: u32) -> BlockId {
+        BlockId(i)
+    }
+
+    fn fig1() -> TrimmedTrace {
+        TrimmedTrace::from_indices([1, 4, 2, 4, 2, 3, 5, 1, 4])
+    }
+
+    #[test]
+    fn figure1_pair_thresholds() {
+        let t = fig1();
+        // Verified by hand against the paper's Figure 1(b).
+        assert_eq!(pair_threshold(&t, b(3), b(5)), Some(2));
+        assert_eq!(pair_threshold(&t, b(1), b(4)), Some(3));
+        assert_eq!(pair_threshold(&t, b(2), b(3)), Some(3));
+        assert_eq!(pair_threshold(&t, b(2), b(5)), Some(4));
+        assert_eq!(pair_threshold(&t, b(1), b(2)), Some(4));
+        assert_eq!(pair_threshold(&t, b(2), b(4)), Some(5));
+    }
+
+    #[test]
+    fn threshold_is_symmetric() {
+        let t = fig1();
+        for x in 1..=5u32 {
+            for y in 1..=5u32 {
+                if x != y {
+                    assert_eq!(
+                        pair_threshold(&t, b(x), b(y)),
+                        pair_threshold(&t, b(y), b(x))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn missing_block_has_no_threshold() {
+        let t = fig1();
+        assert_eq!(pair_threshold(&t, b(1), b(9)), None);
+        assert_eq!(pair_threshold(&t, b(1), b(1)), None);
+    }
+
+    #[test]
+    fn affinity_is_monotone_in_w() {
+        let t = fig1();
+        assert!(!has_affinity(&t, b(1), b(4), 2));
+        assert!(has_affinity(&t, b(1), b(4), 3));
+        assert!(has_affinity(&t, b(1), b(4), 10));
+    }
+
+    #[test]
+    fn partition_w2_matches_figure() {
+        let t = fig1();
+        let mut groups: Vec<Vec<u32>> = partition_at(&t, 2)
+            .into_iter()
+            .map(|g| {
+                let mut v: Vec<u32> = g.into_iter().map(|x| x.0).collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        groups.sort();
+        assert_eq!(groups, vec![vec![1], vec![2], vec![3, 5], vec![4]]);
+    }
+
+    #[test]
+    fn partition_w5_is_single_group() {
+        let t = fig1();
+        let groups = partition_at(&t, 5);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 5);
+    }
+
+    #[test]
+    fn partition_covers_all_blocks_exactly_once() {
+        let t = TrimmedTrace::from_indices([0, 1, 2, 0, 3, 1, 4, 2, 0]);
+        for w in 2..8u32 {
+            let groups = partition_at(&t, w);
+            let mut all: Vec<u32> = groups.iter().flatten().map(|x| x.0).collect();
+            all.sort_unstable();
+            assert_eq!(all, vec![0, 1, 2, 3, 4], "w = {}", w);
+        }
+    }
+
+    #[test]
+    fn adjacent_pair_has_threshold_two() {
+        // 7 and 8 strictly alternate → every occurrence adjacent.
+        let t = TrimmedTrace::from_indices([7, 8, 7, 8, 7, 8]);
+        assert_eq!(pair_threshold(&t, b(7), b(8)), Some(2));
+    }
+}

@@ -1,0 +1,86 @@
+//! Affinity analysis throughput: the efficient two-pass stack analyzer vs
+//! the quadratic reference (Algorithm 1), across trace lengths and window
+//! bounds. The paper's claim: the efficient method keeps whole-program
+//! analysis within "a couple of times of original compilation time".
+
+use clop_affinity::{affinity_layout, naive, AffinityConfig, PairThresholds};
+use clop_trace::{BlockId, TrimmedTrace};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// A phase-structured synthetic trace over `blocks` blocks.
+fn synthetic_trace(len: usize, blocks: u32) -> TrimmedTrace {
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let ids: Vec<u32> = (0..len)
+        .map(|i| {
+            let phase = (i / 512) % 4;
+            let base = (phase as u32) * (blocks / 4);
+            base + (next() % (blocks / 4) as u64) as u32
+        })
+        .collect();
+    TrimmedTrace::from_indices(ids)
+}
+
+fn bench_efficient_analyzer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("affinity/efficient");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(4));
+    for &len in &[10_000usize, 50_000, 200_000] {
+        let trace = synthetic_trace(len, 256);
+        g.throughput(Throughput::Elements(trace.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(len), &trace, |b, t| {
+            b.iter(|| PairThresholds::measure(t, 20))
+        });
+    }
+    g.finish();
+}
+
+fn bench_naive_reference(c: &mut Criterion) {
+    // Keep the quadratic reference to small sizes.
+    let mut g = c.benchmark_group("affinity/naive_pairs");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(4));
+    for &len in &[200usize, 500] {
+        let trace = synthetic_trace(len, 16);
+        g.bench_with_input(BenchmarkId::from_parameter(len), &trace, |b, t| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for x in 0..16u32 {
+                    for y in (x + 1)..16u32 {
+                        if naive::pair_threshold(t, BlockId(x), BlockId(y)).is_some() {
+                            total += 1;
+                        }
+                    }
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_window_sweep(c: &mut Criterion) {
+    let trace = synthetic_trace(50_000, 256);
+    let mut g = c.benchmark_group("affinity/w_max");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(4));
+    for &w in &[4u32, 10, 20, 40] {
+        g.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, &w| {
+            b.iter(|| affinity_layout(&trace, AffinityConfig::up_to(w)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_efficient_analyzer,
+    bench_naive_reference,
+    bench_window_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Convenience runner: execute every experiment binary in sequence.
+//!
+//! Equivalent to running each `exp_*` target by hand; builds must already
+//! be compiled (run through `cargo run --release -p clop-bench --bin
+//! exp_all`). Individual experiment failures abort with that experiment's
+//! exit code.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "exp_intro_table",
+    "exp_table1_characteristics",
+    "exp_fig4_miss_ratios",
+    "exp_fig5_solo",
+    "exp_table2_corun",
+    "exp_fig6_corun_bars",
+    "exp_fig7_throughput",
+    "exp_combining",
+    "exp_ablation_window",
+    "exp_ablation_pruning",
+    "exp_ablation_policy",
+    "exp_baselines",
+    "exp_model_validation",
+    "exp_petrank_wall",
+    "exp_smt_width",
+    "exp_coschedule",
+    "exp_mrc",
+    "exp_multilevel",
+];
+
+fn main() {
+    // Find sibling binaries next to this one.
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir");
+    for exp in EXPERIMENTS {
+        println!("\n=== {} ===", exp);
+        let path = dir.join(exp);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("cannot run {}: {} (build with --release first)", exp, e));
+        if !status.success() {
+            eprintln!("{} failed with {}", exp, status);
+            std::process::exit(status.code().unwrap_or(1));
+        }
+    }
+    println!("\nall {} experiments completed; artifacts in results/", EXPERIMENTS.len());
+}

@@ -1,0 +1,127 @@
+//! Shared co-run experiment machinery for Table II and Figure 6.
+//!
+//! The paper's co-run protocol (§III-C): each co-run pairs an *original*
+//! probe program with an *optimized* subject program on the two
+//! hyper-threads; the subject is timed and its improvement is reported
+//! relative to the original-original pairing of the same two programs.
+//! Miss-ratio reductions are reported on both channels: "hardware
+//! counters" (our timed SMT model with the next-line prefetcher) and
+//! "simulated" (pure round-robin shared-cache simulation).
+
+use crate::{baseline_run, optimized_run, timing_hw};
+use clop_core::{OptimizerKind, ProgramRun};
+use clop_workloads::{primary_program, PrimaryBenchmark};
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Result of one subject × probe co-run comparison.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct PairResult {
+    /// Speedup of the optimized subject over the original subject, both
+    /// co-running with the original probe (`> 0` is an improvement).
+    pub speedup: f64,
+    /// Subject miss-ratio reduction on the hw-like channel.
+    pub miss_reduction_hw: f64,
+    /// Subject miss-ratio reduction on the pure-simulation channel.
+    pub miss_reduction_sim: f64,
+}
+
+/// All co-run results of one optimizer for one subject program.
+#[derive(Clone, Debug, Serialize)]
+pub struct SubjectResult {
+    /// Subject program name.
+    pub name: String,
+    /// Per-probe results keyed by probe name (the paper's Figure 6 bars).
+    pub per_probe: Vec<(String, PairResult)>,
+}
+
+impl SubjectResult {
+    /// Average across probes (the paper's Table II row).
+    pub fn average(&self) -> PairResult {
+        let n = self.per_probe.len().max(1) as f64;
+        let mut acc = PairResult {
+            speedup: 0.0,
+            miss_reduction_hw: 0.0,
+            miss_reduction_sim: 0.0,
+        };
+        for (_, p) in &self.per_probe {
+            acc.speedup += p.speedup;
+            acc.miss_reduction_hw += p.miss_reduction_hw;
+            acc.miss_reduction_sim += p.miss_reduction_sim;
+        }
+        acc.speedup /= n;
+        acc.miss_reduction_hw /= n;
+        acc.miss_reduction_sim /= n;
+        acc
+    }
+}
+
+/// Pre-evaluated programs: baselines for all 8 primaries plus optimized
+/// variants per optimizer (None where the optimizer failed — the paper's
+/// N/A entries).
+pub struct CorunLab {
+    /// Baseline run per primary benchmark.
+    pub baselines: HashMap<PrimaryBenchmark, ProgramRun>,
+    /// Optimized run per (benchmark, optimizer).
+    pub optimized: HashMap<(PrimaryBenchmark, OptimizerKind), Option<ProgramRun>>,
+}
+
+impl CorunLab {
+    /// Evaluate every baseline and every optimized variant once.
+    pub fn prepare(kinds: &[OptimizerKind]) -> CorunLab {
+        let mut baselines = HashMap::new();
+        let mut optimized = HashMap::new();
+        for b in PrimaryBenchmark::ALL {
+            let w = primary_program(b);
+            baselines.insert(b, baseline_run(&w));
+            for &k in kinds {
+                optimized.insert((b, k), optimized_run(&w, k).ok());
+                eprint!(".");
+            }
+        }
+        eprintln!();
+        CorunLab {
+            baselines,
+            optimized,
+        }
+    }
+
+    /// The co-run comparison of `subject` optimized with `kind`, against
+    /// every probe. Returns `None` when the optimizer failed on the
+    /// subject (N/A).
+    pub fn subject_result(
+        &self,
+        subject: PrimaryBenchmark,
+        kind: OptimizerKind,
+        probes: &[PrimaryBenchmark],
+    ) -> Option<SubjectResult> {
+        let opt = self.optimized.get(&(subject, kind))?.as_ref()?;
+        let base = &self.baselines[&subject];
+        let timing = timing_hw();
+        let mut per_probe = Vec::new();
+        for &probe in probes {
+            let probe_run = &self.baselines[&probe];
+            // Timed channel: probe is thread 0, subject thread 1.
+            let orig_pair = probe_run.corun_timed(base, timing);
+            let opt_pair = probe_run.corun_timed(opt, timing);
+            let speedup = orig_pair[1].finish_cycles / opt_pair[1].finish_cycles - 1.0;
+            let miss_reduction_hw = orig_pair[1].stats.reduction_to(&opt_pair[1].stats);
+            // Simulated channel.
+            let orig_sim = probe_run.corun_sim(base).per_thread[1];
+            let opt_sim = probe_run.corun_sim(opt).per_thread[1];
+            let miss_reduction_sim = orig_sim.reduction_to(&opt_sim);
+            per_probe.push((
+                probe.name().to_string(),
+                PairResult {
+                    speedup,
+                    miss_reduction_hw,
+                    miss_reduction_sim,
+                },
+            ));
+        }
+        Some(SubjectResult {
+            name: subject.name().to_string(),
+            per_probe,
+        })
+    }
+}

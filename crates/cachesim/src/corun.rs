@@ -1,0 +1,244 @@
+//! Solo and SMT co-run cache simulation — the *Simulated* channel.
+//!
+//! The paper's Pin-based simulator replays instruction fetch streams through
+//! a model of the shared CMP L1 instruction cache without timing feedback.
+//! We reproduce that: [`simulate_solo_lines`] replays one stream,
+//! [`simulate_corun_lines`] replays two streams interleaved round-robin
+//! (fine-grained SMT fetch), keeping per-thread statistics. The two
+//! programs' lines are disambiguated by a per-thread tag bit well above any
+//! realistic line index, modelling distinct physical address spaces.
+
+use crate::config::{CacheConfig, CacheStats};
+use crate::icache::SetAssocCache;
+
+/// Bit used to separate the two co-running address spaces. Line indices are
+/// byte addresses divided by at least 16, so bit 58 is far out of reach.
+const THREAD_TAG_SHIFT: u64 = 58;
+
+/// Tag a line index with its owning thread so the physically-tagged shared
+/// cache never aliases the two programs.
+#[inline]
+pub fn tag_line(line: u64, thread: usize) -> u64 {
+    debug_assert!(line < (1 << THREAD_TAG_SHIFT));
+    line | ((thread as u64) << THREAD_TAG_SHIFT)
+}
+
+/// Replay one fetch stream through a private cache; returns its stats.
+pub fn simulate_solo_lines(lines: &[u64], config: CacheConfig) -> CacheStats {
+    let mut cache = SetAssocCache::new(config);
+    for &l in lines {
+        cache.access(l);
+    }
+    cache.stats()
+}
+
+/// Result of a co-run cache simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CorunCacheResult {
+    /// Per-thread statistics (thread 0, thread 1).
+    pub per_thread: [CacheStats; 2],
+}
+
+impl CorunCacheResult {
+    /// Combined statistics of both threads.
+    pub fn combined(&self) -> CacheStats {
+        let mut s = self.per_thread[0];
+        s.merge(&self.per_thread[1]);
+        s
+    }
+}
+
+/// Round-robin interleave two fetch streams into (thread, line) pairs.
+///
+/// When one stream is exhausted the remainder of the other follows — the
+/// shorter program has finished and the longer one runs alone, exactly as on
+/// hardware.
+pub fn interleave_round_robin(a: &[u64], b: &[u64]) -> Vec<(usize, u64)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    loop {
+        match (i < a.len(), j < b.len()) {
+            (true, true) => {
+                out.push((0, a[i]));
+                out.push((1, b[j]));
+                i += 1;
+                j += 1;
+            }
+            (true, false) => {
+                out.push((0, a[i]));
+                i += 1;
+            }
+            (false, true) => {
+                out.push((1, b[j]));
+                j += 1;
+            }
+            (false, false) => break,
+        }
+    }
+    out
+}
+
+/// Replay two fetch streams through one shared cache with round-robin SMT
+/// interleaving; returns per-thread statistics.
+pub fn simulate_corun_lines(a: &[u64], b: &[u64], config: CacheConfig) -> CorunCacheResult {
+    let mut cache = SetAssocCache::new(config);
+    let mut result = CorunCacheResult::default();
+    for (thread, line) in interleave_round_robin(a, b) {
+        let hit = cache.access(tag_line(line, thread));
+        result.per_thread[thread].record(hit);
+    }
+    result
+}
+
+/// Replay any number of fetch streams through one shared cache with
+/// round-robin SMT interleaving (4-way/8-way SMT per the paper's intro);
+/// returns per-thread statistics. Exhausted streams drop out of the
+/// rotation.
+pub fn simulate_corun_many(streams: &[&[u64]], config: CacheConfig) -> Vec<CacheStats> {
+    let mut cache = SetAssocCache::new(config);
+    let mut stats = vec![CacheStats::default(); streams.len()];
+    let mut cursors = vec![0usize; streams.len()];
+    loop {
+        let mut progressed = false;
+        for (t, stream) in streams.iter().enumerate() {
+            if cursors[t] < stream.len() {
+                let hit = cache.access(tag_line(stream[cursors[t]], t));
+                stats[t].record(hit);
+                cursors[t] += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig::new(256, 2, 64) // 2 sets × 2 ways
+    }
+
+    #[test]
+    fn many_with_two_streams_matches_pairwise() {
+        let a: Vec<u64> = (0..80).map(|i| i % 3).collect();
+        let b: Vec<u64> = (0..60).map(|i| i % 5).collect();
+        let pair = simulate_corun_lines(&a, &b, cfg());
+        let many = simulate_corun_many(&[&a, &b], cfg());
+        assert_eq!(many[0], pair.per_thread[0]);
+        assert_eq!(many[1], pair.per_thread[1]);
+    }
+
+    #[test]
+    fn wider_smt_inflates_misses_monotonically() {
+        // Identical 3-line loops: each added thread adds capacity
+        // pressure, so thread 0's miss ratio never improves with width.
+        let stream: Vec<u64> = (0..300).map(|i| (i % 3) * 2).collect();
+        let mut prev = 0.0;
+        for width in [1usize, 2, 4, 8] {
+            let streams: Vec<&[u64]> = (0..width).map(|_| stream.as_slice()).collect();
+            let stats = simulate_corun_many(&streams, cfg());
+            let m = stats[0].miss_ratio();
+            assert!(m >= prev - 1e-12, "width {}: {} < {}", width, m, prev);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn many_with_one_stream_is_solo() {
+        let a: Vec<u64> = (0..100).map(|i| i % 7).collect();
+        let many = simulate_corun_many(&[&a], cfg());
+        assert_eq!(many[0], simulate_solo_lines(&a, cfg()));
+    }
+
+    #[test]
+    fn many_with_empty_input() {
+        let stats = simulate_corun_many(&[], cfg());
+        assert!(stats.is_empty());
+    }
+
+    #[test]
+    fn solo_loop_fits() {
+        // 4-line loop in a 4-line cache: only cold misses.
+        let lines: Vec<u64> = (0..40).map(|i| i % 4).collect();
+        let s = simulate_solo_lines(&lines, cfg());
+        assert_eq!(s.misses, 4);
+        assert_eq!(s.accesses, 40);
+    }
+
+    #[test]
+    fn interleave_alternates_then_drains() {
+        let a = vec![10, 11, 12];
+        let b = vec![20];
+        let merged = interleave_round_robin(&a, &b);
+        assert_eq!(
+            merged,
+            vec![(0, 10), (1, 20), (0, 11), (0, 12)]
+        );
+    }
+
+    #[test]
+    fn corun_inflates_misses_over_solo() {
+        // Each thread loops over 2 lines mapping to the same set (set 0).
+        // Solo: each fits easily. Co-run: 4 distinct tagged lines compete
+        // for one 2-way set → thrashing.
+        let a: Vec<u64> = (0..100).map(|i| (i % 2) * 2).collect(); // lines 0, 2 → set 0
+        let b = a.clone();
+        let solo = simulate_solo_lines(&a, cfg());
+        let corun = simulate_corun_lines(&a, &b, cfg());
+        assert!(corun.per_thread[0].miss_ratio() > solo.miss_ratio());
+        assert!(corun.per_thread[1].miss_ratio() > solo.miss_ratio());
+    }
+
+    #[test]
+    fn threads_do_not_alias() {
+        // Same line index from both threads must occupy separate entries.
+        let a = vec![0u64; 10];
+        let b = vec![0u64; 10];
+        let r = simulate_corun_lines(&a, &b, cfg());
+        // Both threads get exactly one cold miss each (the set holds both).
+        assert_eq!(r.per_thread[0].misses, 1);
+        assert_eq!(r.per_thread[1].misses, 1);
+    }
+
+    #[test]
+    fn per_thread_access_counts_preserved() {
+        let a = vec![1u64, 2, 3];
+        let b = vec![4u64, 5];
+        let r = simulate_corun_lines(&a, &b, cfg());
+        assert_eq!(r.per_thread[0].accesses, 3);
+        assert_eq!(r.per_thread[1].accesses, 2);
+        assert_eq!(r.combined().accesses, 5);
+    }
+
+    #[test]
+    fn empty_peer_degenerates_to_solo() {
+        let a: Vec<u64> = (0..50).map(|i| i % 3).collect();
+        let solo = simulate_solo_lines(&a, cfg());
+        let corun = simulate_corun_lines(&a, &[], cfg());
+        assert_eq!(corun.per_thread[0], solo);
+        assert_eq!(corun.per_thread[1], CacheStats::default());
+    }
+
+    #[test]
+    fn tag_line_separates_spaces() {
+        assert_ne!(tag_line(5, 0), tag_line(5, 1));
+        assert_eq!(tag_line(5, 0), 5);
+    }
+
+    #[test]
+    fn corun_on_paper_cache_disjoint_sets_no_interference() {
+        // Threads with disjoint set footprints shouldn't disturb each other.
+        let cfgp = CacheConfig::paper_l1i(); // 128 sets, 4 ways
+        // Thread A uses sets 0..32; thread B uses sets 64..96.
+        let a: Vec<u64> = (0..2000).map(|i| i % 32).collect();
+        let b: Vec<u64> = (0..2000).map(|i| 64 + i % 32).collect();
+        let solo_a = simulate_solo_lines(&a, cfgp);
+        let r = simulate_corun_lines(&a, &b, cfgp);
+        assert_eq!(r.per_thread[0].misses, solo_a.misses);
+    }
+}

@@ -1,0 +1,174 @@
+//! Co-scheduling: choosing which programs to pair on a shared cache.
+//!
+//! The paper builds on the observation (Jiang et al., cited in §IV) that
+//! optimal job co-scheduling on CMPs is hard and heuristics are needed.
+//! With the footprint-composition model of [`crate::model`], pairwise
+//! interference can be *predicted from solo traces alone*, which turns
+//! pairing into a weighted matching problem. This module provides:
+//!
+//! * [`interference_matrix`] — predicted co-run miss probabilities for
+//!   every ordered pair of programs,
+//! * [`greedy_pairing`] — minimum-total-interference pairing by greedy
+//!   matching (optimal matching is overkill at fleet sizes where this is
+//!   used; greedy is the standard co-scheduling baseline),
+//! * [`pairing_cost`] — evaluate any proposed pairing under the matrix.
+
+use crate::model::CompositionModel;
+
+/// Predicted interference for every ordered pair: `matrix[i][j]` is the
+/// co-run miss probability of program `i` when sharing a cache of
+/// `capacity` blocks with program `j`. Diagonals are self-pairs.
+pub fn interference_matrix(models: &[CompositionModel], capacity: usize) -> Vec<Vec<f64>> {
+    models
+        .iter()
+        .map(|subject| {
+            models
+                .iter()
+                .map(|peer| subject.corun_miss_probability(peer, capacity, 1.0))
+                .collect()
+        })
+        .collect()
+}
+
+/// The symmetric cost of pairing `i` with `j`: the sum of both directions'
+/// predicted miss probabilities.
+pub fn pair_cost(matrix: &[Vec<f64>], i: usize, j: usize) -> f64 {
+    matrix[i][j] + matrix[j][i]
+}
+
+/// Greedily pair programs to minimize total predicted interference:
+/// repeatedly take the cheapest unpaired pair. With an odd count, one
+/// program is left to run alone (returned separately).
+pub fn greedy_pairing(matrix: &[Vec<f64>]) -> (Vec<(usize, usize)>, Option<usize>) {
+    let n = matrix.len();
+    let mut pairs = Vec::new();
+    let mut used = vec![false; n];
+    let mut candidates: Vec<(f64, usize, usize)> = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            candidates.push((pair_cost(matrix, i, j), i, j));
+        }
+    }
+    candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    for (_, i, j) in candidates {
+        if !used[i] && !used[j] {
+            used[i] = true;
+            used[j] = true;
+            pairs.push((i, j));
+        }
+    }
+    let leftover = (0..n).find(|&i| !used[i]);
+    (pairs, leftover)
+}
+
+/// Total predicted interference of a proposed pairing.
+pub fn pairing_cost(matrix: &[Vec<f64>], pairs: &[(usize, usize)]) -> f64 {
+    pairs.iter().map(|&(i, j)| pair_cost(matrix, i, j)).sum()
+}
+
+/// The worst (maximum-cost) pairing — useful as the adversarial
+/// comparison in experiments.
+pub fn worst_pairing(matrix: &[Vec<f64>]) -> (Vec<(usize, usize)>, Option<usize>) {
+    let n = matrix.len();
+    let mut pairs = Vec::new();
+    let mut used = vec![false; n];
+    let mut candidates: Vec<(f64, usize, usize)> = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            candidates.push((pair_cost(matrix, i, j), i, j));
+        }
+    }
+    candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    for (_, i, j) in candidates {
+        if !used[i] && !used[j] {
+            used[i] = true;
+            used[j] = true;
+            pairs.push((i, j));
+        }
+    }
+    let leftover = (0..n).find(|&i| !used[i]);
+    (pairs, leftover)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clop_trace::TrimmedTrace;
+
+    fn cyclic(n: u32, len: usize) -> CompositionModel {
+        let t = TrimmedTrace::from_indices((0..len).map(|i| (i as u32) % n));
+        CompositionModel::measure(&t, 256)
+    }
+
+    /// Two big programs and two small ones in a cache that fits big+small
+    /// but not big+big: the good pairing mixes sizes.
+    fn models() -> Vec<CompositionModel> {
+        vec![cyclic(20, 2000), cyclic(20, 2000), cyclic(4, 400), cyclic(4, 400)]
+    }
+
+    #[test]
+    fn matrix_is_square_and_in_range() {
+        let m = interference_matrix(&models(), 26);
+        assert_eq!(m.len(), 4);
+        for row in &m {
+            assert_eq!(row.len(), 4);
+            for &v in row {
+                assert!((0.0..=1.0).contains(&v), "{}", v);
+            }
+        }
+    }
+
+    #[test]
+    fn big_big_pairs_cost_more_than_big_small() {
+        let m = interference_matrix(&models(), 26);
+        assert!(pair_cost(&m, 0, 1) > pair_cost(&m, 0, 2));
+    }
+
+    #[test]
+    fn greedy_mixes_sizes() {
+        let m = interference_matrix(&models(), 26);
+        let (pairs, leftover) = greedy_pairing(&m);
+        assert_eq!(pairs.len(), 2);
+        assert!(leftover.is_none());
+        // No pair may hold both big programs (0 and 1).
+        for &(i, j) in &pairs {
+            assert!(
+                !(i == 0 && j == 1),
+                "greedy paired the two big programs: {:?}",
+                pairs
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_beats_worst() {
+        let m = interference_matrix(&models(), 26);
+        let (good, _) = greedy_pairing(&m);
+        let (bad, _) = worst_pairing(&m);
+        assert!(pairing_cost(&m, &good) <= pairing_cost(&m, &bad));
+    }
+
+    #[test]
+    fn odd_count_leaves_one_alone() {
+        let ms = vec![cyclic(8, 400), cyclic(8, 400), cyclic(8, 400)];
+        let m = interference_matrix(&ms, 20);
+        let (pairs, leftover) = greedy_pairing(&m);
+        assert_eq!(pairs.len(), 1);
+        assert!(leftover.is_some());
+    }
+
+    #[test]
+    fn empty_input() {
+        let m = interference_matrix(&[], 16);
+        let (pairs, leftover) = greedy_pairing(&m);
+        assert!(pairs.is_empty());
+        assert!(leftover.is_none());
+    }
+
+    #[test]
+    fn pairing_cost_sums_pairs() {
+        let m = interference_matrix(&models(), 26);
+        let cost = pairing_cost(&m, &[(0, 2), (1, 3)]);
+        assert!((cost - (pair_cost(&m, 0, 2) + pair_cost(&m, 1, 3))).abs() < 1e-12);
+    }
+}

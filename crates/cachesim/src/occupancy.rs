@@ -1,0 +1,213 @@
+//! Cache-set occupancy analysis: where a fetch stream's demand lands.
+//!
+//! Conflict misses are a per-set phenomenon: a layout thrashes when the
+//! distinct hot lines mapping to one set exceed its associativity, no
+//! matter how small the total footprint is. [`OccupancyMap`] aggregates a
+//! fetch stream per set — distinct lines, hot lines (above an access-count
+//! threshold), and access totals — and summarizes the conflict exposure.
+//! The optimizer reports use it to explain *why* a layout wins or loses.
+
+use crate::config::CacheConfig;
+use std::collections::HashMap;
+
+/// Per-set demand of one fetch stream.
+#[derive(Clone, Debug)]
+pub struct OccupancyMap {
+    config: CacheConfig,
+    /// Per set: distinct lines that ever mapped there.
+    distinct: Vec<u32>,
+    /// Per set: distinct *hot* lines (≥ `hot_threshold` accesses).
+    hot: Vec<u32>,
+    /// Per set: total accesses.
+    accesses: Vec<u64>,
+    /// The hotness threshold used (absolute access count).
+    hot_threshold: u64,
+}
+
+impl OccupancyMap {
+    /// Measure a stream. A line is *hot* when it receives at least
+    /// `hot_fraction` of the busiest line's access count (e.g. 0.01).
+    pub fn measure(lines: &[u64], config: CacheConfig, hot_fraction: f64) -> OccupancyMap {
+        assert!((0.0..=1.0).contains(&hot_fraction), "fraction in [0,1]");
+        let sets = config.num_sets() as usize;
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for &l in lines {
+            *counts.entry(l).or_insert(0) += 1;
+        }
+        let max = counts.values().copied().max().unwrap_or(0);
+        let hot_threshold = ((max as f64) * hot_fraction).ceil().max(1.0) as u64;
+
+        let mut distinct = vec![0u32; sets];
+        let mut hot = vec![0u32; sets];
+        let mut accesses = vec![0u64; sets];
+        for (&l, &c) in &counts {
+            let s = config.set_of_line(l) as usize;
+            distinct[s] += 1;
+            if c >= hot_threshold {
+                hot[s] += 1;
+            }
+            accesses[s] += c;
+        }
+        OccupancyMap {
+            config,
+            distinct,
+            hot,
+            accesses,
+            hot_threshold,
+        }
+    }
+
+    /// The geometry this map was measured against.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// The absolute hot-line access threshold used.
+    pub fn hot_threshold(&self) -> u64 {
+        self.hot_threshold
+    }
+
+    /// Distinct lines that mapped to `set`.
+    pub fn distinct_in(&self, set: usize) -> u32 {
+        self.distinct[set]
+    }
+
+    /// Hot lines that mapped to `set`.
+    pub fn hot_in(&self, set: usize) -> u32 {
+        self.hot[set]
+    }
+
+    /// Total accesses hitting `set`.
+    pub fn accesses_in(&self, set: usize) -> u64 {
+        self.accesses[set]
+    }
+
+    /// Sets whose *hot* demand exceeds the associativity — the conflict
+    /// hotspots where LRU will thrash.
+    pub fn oversubscribed_sets(&self) -> Vec<usize> {
+        let a = self.config.associativity;
+        (0..self.hot.len())
+            .filter(|&s| self.hot[s] > a)
+            .collect()
+    }
+
+    /// Fraction of all accesses landing in oversubscribed sets — a cheap
+    /// proxy for conflict exposure in `[0, 1]`.
+    pub fn conflict_exposure(&self) -> f64 {
+        let total: u64 = self.accesses.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let exposed: u64 = self
+            .oversubscribed_sets()
+            .iter()
+            .map(|&s| self.accesses[s])
+            .sum();
+        exposed as f64 / total as f64
+    }
+
+    /// Maximum hot demand over all sets (in ways).
+    pub fn peak_hot_demand(&self) -> u32 {
+        self.hot.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean hot demand over all sets.
+    pub fn mean_hot_demand(&self) -> f64 {
+        if self.hot.is_empty() {
+            return 0.0;
+        }
+        self.hot.iter().map(|&h| h as f64).sum::<f64>() / self.hot.len() as f64
+    }
+
+    /// Coefficient of variation of hot demand — 0 for a perfectly
+    /// balanced layout, large when demand clumps into few sets.
+    pub fn demand_imbalance(&self) -> f64 {
+        let mean = self.mean_hot_demand();
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .hot
+            .iter()
+            .map(|&h| (h as f64 - mean).powi(2))
+            .sum::<f64>()
+            / self.hot.len() as f64;
+        var.sqrt() / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig::new(512, 2, 64) // 4 sets × 2 ways
+    }
+
+    #[test]
+    fn distinct_and_access_counts() {
+        // Lines 0 and 4 → set 0; line 1 → set 1.
+        let lines = vec![0u64, 4, 0, 1];
+        let m = OccupancyMap::measure(&lines, cfg(), 0.0);
+        assert_eq!(m.distinct_in(0), 2);
+        assert_eq!(m.distinct_in(1), 1);
+        assert_eq!(m.distinct_in(2), 0);
+        assert_eq!(m.accesses_in(0), 3);
+    }
+
+    #[test]
+    fn hot_threshold_filters_cold_lines() {
+        // Line 0 accessed 100×, line 4 once; at 5% threshold only line 0
+        // is hot.
+        let mut lines = vec![0u64; 100];
+        lines.push(4);
+        let m = OccupancyMap::measure(&lines, cfg(), 0.05);
+        assert_eq!(m.hot_in(0), 1);
+        assert_eq!(m.distinct_in(0), 2);
+        assert_eq!(m.hot_threshold(), 5);
+    }
+
+    #[test]
+    fn oversubscription_detection() {
+        // Three heavily-used lines in the 2-way set 0.
+        let lines: Vec<u64> = (0..300).map(|i| [0u64, 4, 8][i % 3]).collect();
+        let m = OccupancyMap::measure(&lines, cfg(), 0.5);
+        assert_eq!(m.oversubscribed_sets(), vec![0]);
+        assert_eq!(m.peak_hot_demand(), 3);
+        assert!((m.conflict_exposure() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_layout_has_no_exposure() {
+        // Two hot lines per 2-way set: everything fits.
+        let lines: Vec<u64> = (0..400).map(|i| (i % 8) as u64).collect();
+        let m = OccupancyMap::measure(&lines, cfg(), 0.5);
+        assert!(m.oversubscribed_sets().is_empty());
+        assert_eq!(m.conflict_exposure(), 0.0);
+        assert!(m.demand_imbalance() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_reflects_clumping() {
+        // All hot lines in one set vs spread out.
+        let clumped: Vec<u64> = (0..400).map(|i| ((i % 4) * 4) as u64).collect(); // set 0 only
+        let spread: Vec<u64> = (0..400).map(|i| (i % 4) as u64).collect(); // sets 0..3
+        let mc = OccupancyMap::measure(&clumped, cfg(), 0.5);
+        let ms = OccupancyMap::measure(&spread, cfg(), 0.5);
+        assert!(mc.demand_imbalance() > ms.demand_imbalance());
+    }
+
+    #[test]
+    fn empty_stream() {
+        let m = OccupancyMap::measure(&[], cfg(), 0.1);
+        assert_eq!(m.conflict_exposure(), 0.0);
+        assert_eq!(m.peak_hot_demand(), 0);
+        assert_eq!(m.mean_hot_demand(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn bad_fraction_panics() {
+        OccupancyMap::measure(&[], cfg(), 1.5);
+    }
+}

@@ -1,0 +1,54 @@
+//! The paper's primary contribution: whole-program code layout optimization
+//! driven by locality models, for defensiveness and politeness in shared
+//! instruction cache.
+//!
+//! Two locality models × two transformations give the paper's four
+//! optimizers:
+//!
+//! | model \ granularity | function            | basic block   |
+//! |---------------------|---------------------|---------------|
+//! | w-window affinity   | `FunctionAffinity`  | `BbAffinity`  |
+//! | TRG                 | `FunctionTrg`       | `BbTrg`       |
+//!
+//! The end-to-end pipeline mirrors §II-F:
+//!
+//! 1. [`profile`] — execute the program on its *test* input, recording the
+//!    whole-program function trace and basic-block trace; trim, optionally
+//!    sample, and prune to the hottest blocks,
+//! 2. model — run w-window affinity ([`clop_affinity`]) or TRG
+//!    ([`clop_trg`]) over the chosen granularity's trace,
+//! 3. transform — [`optimizer`] reorders functions wholesale, or
+//!    [`bbreorder`] performs inter-procedural basic-block reordering
+//!    (pre-processing adds the entry-jump stubs and explicit fall-through
+//!    jumps that free every block to move; post-processing sanity-checks
+//!    the result),
+//! 4. [`eval`] — link the optimized layout and measure it, solo or in
+//!    co-run, with the simulators in [`clop_cachesim`].
+
+pub mod baseline;
+pub mod bbreorder;
+pub mod eval;
+pub mod optimizer;
+pub mod profile;
+pub mod report;
+pub mod search;
+
+pub use baseline::{
+    intra_procedural_block_order, pettis_hansen_function_order, preprocess_for_intra_reordering,
+};
+pub use bbreorder::{preprocess_for_bb_reordering, BbReorderError};
+pub use eval::{timed_fetch_stream, EvalConfig, ProgramRun};
+pub use optimizer::{OptError, OptimizedProgram, Optimizer, OptimizerKind};
+pub use profile::{Profile, ProfileConfig};
+pub use report::{OptimizationReport, SideReport};
+pub use search::{
+    exhaustive_best_function_order, random_search_function_order, SearchOutcome,
+};
+
+/// Convenient import surface.
+pub mod prelude {
+    pub use crate::bbreorder::{preprocess_for_bb_reordering, BbReorderError};
+    pub use crate::eval::{timed_fetch_stream, EvalConfig, ProgramRun};
+    pub use crate::optimizer::{OptError, OptimizedProgram, Optimizer, OptimizerKind};
+    pub use crate::profile::{Profile, ProfileConfig};
+}

@@ -1,0 +1,193 @@
+//! Basic blocks, terminators and behaviour models.
+//!
+//! A block carries its static size in bytes, its dynamic instruction count
+//! (used by the timing model), optional side effects on module globals, and
+//! a terminator describing where control flows next. Conditional control
+//! flow is parameterized by a [`CondModel`] so that the interpreter can
+//! reproduce realistic, *deterministic-given-a-seed* branch behaviour:
+//! biased random branches, periodic branches, loop back-edges with trip
+//! counts, and branches correlated with global values (the pattern of the
+//! paper's Figure 3, where `Y`'s direction depends on what `X` stored).
+
+use crate::ids::{FuncId, LocalBlockId, VarId};
+
+/// Behaviour model of a conditional branch.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CondModel {
+    /// Taken with fixed probability `p ∈ [0, 1]`, sampled from the
+    /// interpreter's seeded RNG.
+    Bernoulli(f64),
+    /// Taken on the first `period − 1` of every `period` evaluations, not
+    /// taken on the `period`-th (deterministic). `Alternating(2)` strictly
+    /// alternates taken / not-taken.
+    Alternating(u32),
+    /// Taken iff the module global `var` currently equals `value`.
+    GlobalEq { var: VarId, value: i64 },
+    /// Loop back-edge: taken (continue looping) on the first `trip`
+    /// evaluations per activation of the owning frame, then not taken once,
+    /// after which the counter resets. `trip = 3` runs a loop body 4 times
+    /// (the initial entry plus 3 back-jumps).
+    LoopCounter { trip: u32 },
+}
+
+/// A side effect a block applies to module globals when executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Effect {
+    /// `var = value`.
+    SetGlobal { var: VarId, value: i64 },
+    /// `var += delta` (wrapping).
+    AddGlobal { var: VarId, delta: i64 },
+}
+
+/// Where control flows after a block executes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Terminator {
+    /// Unconditional jump to a block in the same function.
+    Jump(LocalBlockId),
+    /// Two-way conditional branch inside the same function.
+    Branch {
+        cond: CondModel,
+        taken: LocalBlockId,
+        not_taken: LocalBlockId,
+    },
+    /// N-way weighted switch inside the same function. Weights need not be
+    /// normalized; they must be non-negative with a positive sum.
+    Switch {
+        targets: Vec<LocalBlockId>,
+        weights: Vec<f64>,
+    },
+    /// Call `callee`; on return, continue at `ret_to` in this function.
+    Call {
+        callee: FuncId,
+        ret_to: LocalBlockId,
+    },
+    /// Return to the caller (or finish the program in `main`).
+    Return,
+}
+
+/// A basic block: straight-line code with one entry and one terminator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BasicBlock {
+    /// Human-readable name (unique within the function by convention).
+    pub name: String,
+    /// Static code size in bytes. Used by the linker to assign addresses and
+    /// by the fetch expansion to know how many cache lines the block spans.
+    pub size_bytes: u32,
+    /// Number of dynamic instructions executed per activation (timing
+    /// model input).
+    pub instr_count: u32,
+    /// Effects on module globals applied each time the block runs.
+    pub effects: Vec<Effect>,
+    /// Where control goes next.
+    pub terminator: Terminator,
+}
+
+impl BasicBlock {
+    /// A block with the given name, size and terminator and a default
+    /// instruction count proportional to its size (4 bytes/instruction).
+    pub fn new(name: impl Into<String>, size_bytes: u32, terminator: Terminator) -> Self {
+        BasicBlock {
+            name: name.into(),
+            size_bytes,
+            instr_count: (size_bytes / 4).max(1),
+            effects: Vec::new(),
+            terminator,
+        }
+    }
+
+    /// Override the dynamic instruction count.
+    pub fn with_instr_count(mut self, n: u32) -> Self {
+        self.instr_count = n;
+        self
+    }
+
+    /// Append a global-variable effect.
+    pub fn with_effect(mut self, e: Effect) -> Self {
+        self.effects.push(e);
+        self
+    }
+
+    /// The local successor blocks this terminator can transfer to (excluding
+    /// the callee of a `Call`, which is in another function; the `ret_to`
+    /// continuation *is* included).
+    pub fn local_successors(&self) -> Vec<LocalBlockId> {
+        match &self.terminator {
+            Terminator::Jump(t) => vec![*t],
+            Terminator::Branch {
+                taken, not_taken, ..
+            } => vec![*taken, *not_taken],
+            Terminator::Switch { targets, .. } => targets.clone(),
+            Terminator::Call { ret_to, .. } => vec![*ret_to],
+            Terminator::Return => vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lb(i: u32) -> LocalBlockId {
+        LocalBlockId(i)
+    }
+
+    #[test]
+    fn default_instr_count_scales_with_size() {
+        let b = BasicBlock::new("x", 64, Terminator::Return);
+        assert_eq!(b.instr_count, 16);
+        let tiny = BasicBlock::new("y", 2, Terminator::Return);
+        assert_eq!(tiny.instr_count, 1, "at least one instruction");
+    }
+
+    #[test]
+    fn builder_style_overrides() {
+        let b = BasicBlock::new("x", 32, Terminator::Return)
+            .with_instr_count(5)
+            .with_effect(Effect::SetGlobal {
+                var: VarId(0),
+                value: 1,
+            });
+        assert_eq!(b.instr_count, 5);
+        assert_eq!(b.effects.len(), 1);
+    }
+
+    #[test]
+    fn successors_of_each_terminator() {
+        let jump = BasicBlock::new("j", 8, Terminator::Jump(lb(3)));
+        assert_eq!(jump.local_successors(), vec![lb(3)]);
+
+        let branch = BasicBlock::new(
+            "b",
+            8,
+            Terminator::Branch {
+                cond: CondModel::Bernoulli(0.5),
+                taken: lb(1),
+                not_taken: lb(2),
+            },
+        );
+        assert_eq!(branch.local_successors(), vec![lb(1), lb(2)]);
+
+        let switch = BasicBlock::new(
+            "s",
+            8,
+            Terminator::Switch {
+                targets: vec![lb(1), lb(2), lb(3)],
+                weights: vec![1.0, 2.0, 3.0],
+            },
+        );
+        assert_eq!(switch.local_successors().len(), 3);
+
+        let call = BasicBlock::new(
+            "c",
+            8,
+            Terminator::Call {
+                callee: FuncId(1),
+                ret_to: lb(4),
+            },
+        );
+        assert_eq!(call.local_successors(), vec![lb(4)]);
+
+        let ret = BasicBlock::new("r", 8, Terminator::Return);
+        assert!(ret.local_successors().is_empty());
+    }
+}

@@ -1,0 +1,372 @@
+//! Fluent builders for modules and functions.
+//!
+//! The synthetic workload generators and many tests construct programs
+//! programmatically; the builders keep that construction readable and catch
+//! name mistakes early (block/function references are by name, resolved when
+//! the module is finished).
+
+use crate::block::{BasicBlock, CondModel, Effect, Terminator};
+use crate::function::Function;
+use crate::ids::{FuncId, LocalBlockId, VarId};
+use crate::module::{IrError, Module};
+use std::collections::HashMap;
+
+/// A block reference by name, resolved at finish time.
+#[derive(Clone, Debug)]
+enum PendingTerminator {
+    Jump(String),
+    Branch {
+        cond: CondModel,
+        taken: String,
+        not_taken: String,
+    },
+    Switch {
+        targets: Vec<String>,
+        weights: Vec<f64>,
+    },
+    Call {
+        callee: String,
+        ret_to: String,
+    },
+    Return,
+}
+
+struct PendingBlock {
+    name: String,
+    size_bytes: u32,
+    instr_count: Option<u32>,
+    effects: Vec<Effect>,
+    terminator: PendingTerminator,
+}
+
+/// Builds a single function; obtained from [`ModuleBuilder::function`].
+pub struct FunctionBuilder<'m> {
+    module: &'m mut ModuleBuilder,
+    name: String,
+    blocks: Vec<PendingBlock>,
+}
+
+impl<'m> FunctionBuilder<'m> {
+    fn push(&mut self, b: PendingBlock) -> &mut Self {
+        self.blocks.push(b);
+        self
+    }
+
+    /// Add a block ending in an unconditional jump to `target`.
+    pub fn jump(&mut self, name: &str, size: u32, target: &str) -> &mut Self {
+        self.push(PendingBlock {
+            name: name.into(),
+            size_bytes: size,
+            instr_count: None,
+            effects: vec![],
+            terminator: PendingTerminator::Jump(target.into()),
+        })
+    }
+
+    /// Add a block ending in a two-way conditional branch.
+    pub fn branch(
+        &mut self,
+        name: &str,
+        size: u32,
+        cond: CondModel,
+        taken: &str,
+        not_taken: &str,
+    ) -> &mut Self {
+        self.push(PendingBlock {
+            name: name.into(),
+            size_bytes: size,
+            instr_count: None,
+            effects: vec![],
+            terminator: PendingTerminator::Branch {
+                cond,
+                taken: taken.into(),
+                not_taken: not_taken.into(),
+            },
+        })
+    }
+
+    /// Add a block ending in an N-way weighted switch.
+    pub fn switch(
+        &mut self,
+        name: &str,
+        size: u32,
+        targets: &[(&str, f64)],
+    ) -> &mut Self {
+        self.push(PendingBlock {
+            name: name.into(),
+            size_bytes: size,
+            instr_count: None,
+            effects: vec![],
+            terminator: PendingTerminator::Switch {
+                targets: targets.iter().map(|(t, _)| (*t).into()).collect(),
+                weights: targets.iter().map(|(_, w)| *w).collect(),
+            },
+        })
+    }
+
+    /// Add a block that calls `callee` and resumes at `ret_to`.
+    pub fn call(&mut self, name: &str, size: u32, callee: &str, ret_to: &str) -> &mut Self {
+        self.push(PendingBlock {
+            name: name.into(),
+            size_bytes: size,
+            instr_count: None,
+            effects: vec![],
+            terminator: PendingTerminator::Call {
+                callee: callee.into(),
+                ret_to: ret_to.into(),
+            },
+        })
+    }
+
+    /// Add a block that returns to the caller.
+    pub fn ret(&mut self, name: &str, size: u32) -> &mut Self {
+        self.push(PendingBlock {
+            name: name.into(),
+            size_bytes: size,
+            instr_count: None,
+            effects: vec![],
+            terminator: PendingTerminator::Return,
+        })
+    }
+
+    /// Attach a global-variable effect to the most recently added block.
+    pub fn effect(&mut self, e: Effect) -> &mut Self {
+        self.blocks
+            .last_mut()
+            .expect("effect() requires a block")
+            .effects
+            .push(e);
+        self
+    }
+
+    /// Override the instruction count of the most recently added block.
+    pub fn instrs(&mut self, n: u32) -> &mut Self {
+        self.blocks
+            .last_mut()
+            .expect("instrs() requires a block")
+            .instr_count = Some(n);
+        self
+    }
+
+    /// Finish the function and return to the module builder.
+    pub fn finish(&mut self) -> &mut ModuleBuilder {
+        let pending = std::mem::take(&mut self.blocks);
+        let name = std::mem::take(&mut self.name);
+        self.module.pending_functions.push((name, pending));
+        self.module
+    }
+}
+
+/// Builds a [`Module`] from named functions, blocks and globals.
+///
+/// ```
+/// use clop_ir::prelude::*;
+///
+/// let mut b = ModuleBuilder::new("demo");
+/// b.function("main")
+///     .call("entry", 16, "work", "exit")
+///     .ret("exit", 8)
+///     .finish();
+/// b.function("work").ret("body", 32).finish();
+/// let module = b.build().expect("well-formed");
+/// assert_eq!(module.num_functions(), 2);
+/// ```
+pub struct ModuleBuilder {
+    name: String,
+    globals: Vec<(String, i64)>,
+    pending_functions: Vec<(String, Vec<PendingBlock>)>,
+}
+
+impl ModuleBuilder {
+    /// Start a module with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModuleBuilder {
+            name: name.into(),
+            globals: Vec::new(),
+            pending_functions: Vec::new(),
+        }
+    }
+
+    /// Declare a global variable with an initial value; returns its id.
+    pub fn global(&mut self, name: &str, init: i64) -> VarId {
+        let id = VarId(self.globals.len() as u32);
+        self.globals.push((name.into(), init));
+        id
+    }
+
+    /// Start building a function. The first function added is the entry.
+    pub fn function(&mut self, name: &str) -> FunctionBuilder<'_> {
+        FunctionBuilder {
+            module: self,
+            name: name.into(),
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Resolve names and produce a validated [`Module`].
+    ///
+    /// Fails with a panic message naming the unresolved reference on a typo
+    /// (builder misuse is a programming error, not a runtime condition) and
+    /// returns `Err` for structural problems [`Module::validate`] detects.
+    pub fn build(&self) -> Result<Module, IrError> {
+        let func_ids: HashMap<&str, FuncId> = self
+            .pending_functions
+            .iter()
+            .enumerate()
+            .map(|(i, (n, _))| (n.as_str(), FuncId(i as u32)))
+            .collect();
+
+        let mut functions = Vec::with_capacity(self.pending_functions.len());
+        for (fname, pending) in &self.pending_functions {
+            let block_ids: HashMap<&str, LocalBlockId> = pending
+                .iter()
+                .enumerate()
+                .map(|(i, b)| (b.name.as_str(), LocalBlockId(i as u32)))
+                .collect();
+            let resolve_block = |n: &str| -> LocalBlockId {
+                *block_ids.get(n).unwrap_or_else(|| {
+                    panic!("function `{}`: unknown block `{}`", fname, n)
+                })
+            };
+            let resolve_func = |n: &str| -> FuncId {
+                *func_ids
+                    .get(n)
+                    .unwrap_or_else(|| panic!("unknown function `{}`", n))
+            };
+            let mut blocks = Vec::with_capacity(pending.len());
+            for p in pending {
+                let terminator = match &p.terminator {
+                    PendingTerminator::Jump(t) => Terminator::Jump(resolve_block(t)),
+                    PendingTerminator::Branch {
+                        cond,
+                        taken,
+                        not_taken,
+                    } => Terminator::Branch {
+                        cond: cond.clone(),
+                        taken: resolve_block(taken),
+                        not_taken: resolve_block(not_taken),
+                    },
+                    PendingTerminator::Switch { targets, weights } => Terminator::Switch {
+                        targets: targets.iter().map(|t| resolve_block(t)).collect(),
+                        weights: weights.clone(),
+                    },
+                    PendingTerminator::Call { callee, ret_to } => Terminator::Call {
+                        callee: resolve_func(callee),
+                        ret_to: resolve_block(ret_to),
+                    },
+                    PendingTerminator::Return => Terminator::Return,
+                };
+                let mut block = BasicBlock::new(p.name.clone(), p.size_bytes, terminator);
+                if let Some(n) = p.instr_count {
+                    block = block.with_instr_count(n);
+                }
+                block.effects = p.effects.clone();
+                blocks.push(block);
+            }
+            functions.push(Function::new(fname.clone(), blocks));
+        }
+
+        let module = Module::new(
+            self.name.clone(),
+            functions,
+            self.globals.iter().map(|(_, v)| *v).collect(),
+            FuncId(0),
+        );
+        module.validate()?;
+        Ok(module)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_validates() {
+        let mut b = ModuleBuilder::new("t");
+        b.function("main")
+            .call("entry", 16, "leaf", "exit")
+            .ret("exit", 8)
+            .finish();
+        b.function("leaf").ret("body", 24).finish();
+        let m = b.build().unwrap();
+        assert_eq!(m.num_functions(), 2);
+        assert_eq!(m.num_blocks(), 3);
+        assert_eq!(m.entry, FuncId(0));
+    }
+
+    #[test]
+    fn globals_get_sequential_ids() {
+        let mut b = ModuleBuilder::new("t");
+        assert_eq!(b.global("a", 1), VarId(0));
+        assert_eq!(b.global("b", 2), VarId(1));
+        b.function("main").ret("x", 8).finish();
+        let m = b.build().unwrap();
+        assert_eq!(m.globals, vec![1, 2]);
+    }
+
+    #[test]
+    fn branch_and_switch_resolve() {
+        let mut b = ModuleBuilder::new("t");
+        b.function("main")
+            .branch(
+                "head",
+                8,
+                CondModel::Bernoulli(0.5),
+                "left",
+                "right",
+            )
+            .jump("left", 8, "join")
+            .switch("right", 8, &[("join", 1.0), ("left", 3.0)])
+            .ret("join", 8)
+            .finish();
+        let m = b.build().unwrap();
+        let f = m.function(FuncId(0)).unwrap();
+        assert_eq!(
+            f.block(LocalBlockId(0)).unwrap().local_successors(),
+            vec![LocalBlockId(1), LocalBlockId(2)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown block")]
+    fn unknown_block_panics() {
+        let mut b = ModuleBuilder::new("t");
+        b.function("main").jump("a", 8, "nowhere").finish();
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown function")]
+    fn unknown_function_panics() {
+        let mut b = ModuleBuilder::new("t");
+        b.function("main").call("a", 8, "ghost", "a").finish();
+        let _ = b.build();
+    }
+
+    #[test]
+    fn effects_and_instr_overrides_attach_to_last_block() {
+        let mut b = ModuleBuilder::new("t");
+        let v = b.global("g", 0);
+        b.function("main")
+            .ret("x", 8)
+            .effect(Effect::SetGlobal { var: v, value: 7 })
+            .instrs(42)
+            .finish();
+        let m = b.build().unwrap();
+        let blk = m.function(FuncId(0)).unwrap().block(LocalBlockId(0)).unwrap();
+        assert_eq!(blk.instr_count, 42);
+        assert_eq!(
+            blk.effects,
+            vec![Effect::SetGlobal { var: v, value: 7 }]
+        );
+    }
+
+    #[test]
+    fn structural_errors_surface_as_err() {
+        // A zero-size block passes name resolution but fails validation.
+        let mut b = ModuleBuilder::new("t");
+        b.function("main").ret("x", 0).finish();
+        assert!(matches!(b.build(), Err(IrError::ZeroSizeBlock { .. })));
+    }
+}

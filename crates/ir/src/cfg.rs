@@ -1,0 +1,324 @@
+//! Control-flow-graph utilities over functions and modules.
+//!
+//! The transformations and the baseline layout strategies need structural
+//! queries the raw block lists don't answer directly: predecessors,
+//! reachability from the entry, dead blocks, the static call graph, and
+//! profile-weighted edge frequencies (the input to the Pettis–Hansen-style
+//! baselines in `clop-core::baseline`).
+
+use crate::block::Terminator;
+use crate::function::Function;
+use crate::ids::{FuncId, GlobalBlockId, LocalBlockId};
+use crate::module::Module;
+use clop_trace::TrimmedTrace;
+use std::collections::HashMap;
+
+/// Successor/predecessor adjacency of one function's CFG.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    succs: Vec<Vec<LocalBlockId>>,
+    preds: Vec<Vec<LocalBlockId>>,
+    entry: LocalBlockId,
+}
+
+impl Cfg {
+    /// Build the CFG of a function.
+    pub fn of(func: &Function) -> Cfg {
+        let n = func.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (i, b) in func.blocks.iter().enumerate() {
+            for s in b.local_successors() {
+                succs[i].push(s);
+                preds[s.index()].push(LocalBlockId(i as u32));
+            }
+        }
+        Cfg {
+            succs,
+            preds,
+            entry: func.entry,
+        }
+    }
+
+    /// Successors of a block.
+    pub fn successors(&self, b: LocalBlockId) -> &[LocalBlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessors of a block.
+    pub fn predecessors(&self, b: LocalBlockId) -> &[LocalBlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// The function entry.
+    pub fn entry(&self) -> LocalBlockId {
+        self.entry
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// True for a function with no blocks (invalid but constructible).
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Blocks reachable from the entry, as a dense bitmask.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        if self.is_empty() {
+            return seen;
+        }
+        let mut stack = vec![self.entry];
+        seen[self.entry.index()] = true;
+        while let Some(b) = stack.pop() {
+            for &s in self.successors(b) {
+                if !seen[s.index()] {
+                    seen[s.index()] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Blocks unreachable from the entry (candidates for elimination; the
+    /// BB reorderer's post-processing reports them as residual code).
+    pub fn dead_blocks(&self) -> Vec<LocalBlockId> {
+        self.reachable()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &r)| (!r).then_some(LocalBlockId(i as u32)))
+            .collect()
+    }
+}
+
+/// The static call graph of a module: caller → callee multiplicity.
+#[derive(Clone, Debug, Default)]
+pub struct CallGraph {
+    edges: HashMap<(u32, u32), u32>,
+}
+
+impl CallGraph {
+    /// Build from call terminators.
+    pub fn of(module: &Module) -> CallGraph {
+        let mut edges: HashMap<(u32, u32), u32> = HashMap::new();
+        for (fi, f) in module.functions.iter().enumerate() {
+            for b in &f.blocks {
+                if let Terminator::Call { callee, .. } = &b.terminator {
+                    *edges.entry((fi as u32, callee.0)).or_insert(0) += 1;
+                }
+            }
+        }
+        CallGraph { edges }
+    }
+
+    /// Static call-site count from `caller` to `callee`.
+    pub fn call_sites(&self, caller: FuncId, callee: FuncId) -> u32 {
+        self.edges.get(&(caller.0, callee.0)).copied().unwrap_or(0)
+    }
+
+    /// All (caller, callee, sites) edges.
+    pub fn edges(&self) -> impl Iterator<Item = (FuncId, FuncId, u32)> + '_ {
+        self.edges
+            .iter()
+            .map(|(&(a, b), &n)| (FuncId(a), FuncId(b), n))
+    }
+
+    /// Functions never called and not the entry (cold candidates).
+    pub fn uncalled(&self, module: &Module) -> Vec<FuncId> {
+        let mut called = vec![false; module.num_functions()];
+        called[module.entry.index()] = true;
+        for (&(_, callee), _) in &self.edges {
+            if (callee as usize) < called.len() {
+                called[callee as usize] = true;
+            }
+        }
+        called
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &c)| (!c).then_some(FuncId(i as u32)))
+            .collect()
+    }
+}
+
+/// Profile-weighted edge frequencies between adjacent trace events.
+///
+/// For a whole-program block trace this measures how often control moved
+/// from one unit to the next — the "hot path" signal the classic layout
+/// baselines (Pettis–Hansen) consume. Works on function traces too.
+#[derive(Clone, Debug, Default)]
+pub struct EdgeProfile {
+    edges: HashMap<(u32, u32), u64>,
+}
+
+impl EdgeProfile {
+    /// Count adjacent pairs of the trace (direction-sensitive).
+    pub fn measure(trace: &TrimmedTrace) -> EdgeProfile {
+        let mut edges: HashMap<(u32, u32), u64> = HashMap::new();
+        for w in trace.events().windows(2) {
+            *edges.entry((w[0].0, w[1].0)).or_insert(0) += 1;
+        }
+        EdgeProfile { edges }
+    }
+
+    /// Directed transition count `from → to`.
+    pub fn weight(&self, from: u32, to: u32) -> u64 {
+        self.edges.get(&(from, to)).copied().unwrap_or(0)
+    }
+
+    /// Undirected affinity weight: `w(a→b) + w(b→a)`.
+    pub fn undirected(&self, a: u32, b: u32) -> u64 {
+        self.weight(a, b) + self.weight(b, a)
+    }
+
+    /// All directed edges.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32, u64)> + '_ {
+        self.edges.iter().map(|(&(a, b), &w)| (a, b, w))
+    }
+
+    /// Number of distinct directed edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when the profile saw fewer than two events.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// Whole-program reachability: the set of global blocks reachable by any
+/// path from the module entry (following calls).
+pub fn reachable_blocks(module: &Module) -> Vec<GlobalBlockId> {
+    let mut reachable_funcs = vec![false; module.num_functions()];
+    let mut stack = vec![module.entry];
+    reachable_funcs[module.entry.index()] = true;
+    while let Some(f) = stack.pop() {
+        for b in &module.functions[f.index()].blocks {
+            if let Terminator::Call { callee, .. } = &b.terminator {
+                if !reachable_funcs[callee.index()] {
+                    reachable_funcs[callee.index()] = true;
+                    stack.push(*callee);
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (fi, f) in module.functions.iter().enumerate() {
+        if !reachable_funcs[fi] {
+            continue;
+        }
+        let cfg = Cfg::of(f);
+        for (bi, r) in cfg.reachable().iter().enumerate() {
+            if *r {
+                out.push(module.global_id(FuncId(fi as u32), LocalBlockId(bi as u32)));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{BasicBlock, CondModel};
+    use crate::builder::ModuleBuilder;
+
+    fn lb(i: u32) -> LocalBlockId {
+        LocalBlockId(i)
+    }
+
+    fn diamond() -> Function {
+        Function::new(
+            "d",
+            vec![
+                BasicBlock::new(
+                    "h",
+                    8,
+                    Terminator::Branch {
+                        cond: CondModel::Bernoulli(0.5),
+                        taken: lb(1),
+                        not_taken: lb(2),
+                    },
+                ),
+                BasicBlock::new("l", 8, Terminator::Jump(lb(3))),
+                BasicBlock::new("r", 8, Terminator::Jump(lb(3))),
+                BasicBlock::new("j", 8, Terminator::Return),
+                BasicBlock::new("dead", 8, Terminator::Return),
+            ],
+        )
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let cfg = Cfg::of(&diamond());
+        assert_eq!(cfg.successors(lb(0)), &[lb(1), lb(2)]);
+        assert_eq!(cfg.predecessors(lb(3)), &[lb(1), lb(2)]);
+        assert_eq!(cfg.predecessors(lb(0)), &[] as &[LocalBlockId]);
+        assert_eq!(cfg.entry(), lb(0));
+    }
+
+    #[test]
+    fn reachability_and_dead_blocks() {
+        let cfg = Cfg::of(&diamond());
+        let r = cfg.reachable();
+        assert_eq!(r, vec![true, true, true, true, false]);
+        assert_eq!(cfg.dead_blocks(), vec![lb(4)]);
+    }
+
+    #[test]
+    fn call_graph_counts_sites() {
+        let mut b = ModuleBuilder::new("t");
+        b.function("main")
+            .call("c1", 8, "f", "c2")
+            .call("c2", 8, "f", "end")
+            .ret("end", 8)
+            .finish();
+        b.function("f").ret("x", 8).finish();
+        b.function("ghost").ret("x", 8).finish();
+        let m = b.build().unwrap();
+        let cg = CallGraph::of(&m);
+        assert_eq!(cg.call_sites(FuncId(0), FuncId(1)), 2);
+        assert_eq!(cg.call_sites(FuncId(1), FuncId(0)), 0);
+        assert_eq!(cg.uncalled(&m), vec![FuncId(2)]);
+        assert_eq!(cg.edges().count(), 1);
+    }
+
+    #[test]
+    fn edge_profile_counts_transitions() {
+        let t = TrimmedTrace::from_indices([1, 2, 1, 2, 3]);
+        let p = EdgeProfile::measure(&t);
+        assert_eq!(p.weight(1, 2), 2);
+        assert_eq!(p.weight(2, 1), 1);
+        assert_eq!(p.weight(2, 3), 1);
+        assert_eq!(p.undirected(1, 2), 3);
+        assert_eq!(p.weight(3, 1), 0);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn edge_profile_of_short_traces() {
+        assert!(EdgeProfile::measure(&TrimmedTrace::from_indices([7])).is_empty());
+        assert!(
+            EdgeProfile::measure(&TrimmedTrace::from_indices(std::iter::empty::<u32>()))
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn whole_program_reachability_follows_calls() {
+        let mut b = ModuleBuilder::new("t");
+        b.function("main").call("c", 8, "used", "end").ret("end", 8).finish();
+        b.function("used").ret("x", 8).finish();
+        b.function("unused").ret("x", 8).finish();
+        let m = b.build().unwrap();
+        let r = reachable_blocks(&m);
+        // main's 2 blocks + used's 1 block; unused's block absent.
+        assert_eq!(r.len(), 3);
+        let unused_block = m.global_id(FuncId(2), lb(0));
+        assert!(!r.contains(&unused_block));
+    }
+}

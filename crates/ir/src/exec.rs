@@ -1,0 +1,530 @@
+//! The interpreter: executes a module under a seeded behaviour model and
+//! records whole-program function and basic-block traces.
+//!
+//! This replaces the paper's instrumentation + test-input run. The output is
+//! exactly the artifact that run produced: an (untrimmed) trace of executed
+//! blocks/functions, which the analyses then trim, prune and model.
+//!
+//! Execution is deterministic given `(module, seed, fuel)`: all randomness
+//! comes from one seeded RNG, and the behaviour models are otherwise pure
+//! functions of interpreter state. Layout never affects control flow.
+
+use crate::block::{CondModel, Effect, Terminator};
+use crate::ids::{FuncId, GlobalBlockId, LocalBlockId};
+use crate::module::Module;
+use clop_trace::{BlockId, Trace};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Interpreter configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecConfig {
+    /// RNG seed; the only source of nondeterminism.
+    pub seed: u64,
+    /// Maximum number of basic-block events to execute (fuel). Execution
+    /// stops gracefully when exhausted.
+    pub max_events: u64,
+    /// Maximum call depth; deeper calls make the frame return immediately
+    /// (guards against runaway recursion in generated workloads).
+    pub max_call_depth: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            seed: 0x1CC_2014,
+            max_events: 2_000_000,
+            max_call_depth: 256,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// Config with the given fuel, default seed and depth.
+    pub fn with_fuel(max_events: u64) -> Self {
+        ExecConfig {
+            max_events,
+            ..Default::default()
+        }
+    }
+
+    /// Replace the seed.
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// What an execution produced.
+#[derive(Clone, Debug)]
+pub struct ExecOutcome {
+    /// Basic-block trace in whole-program ([`GlobalBlockId`]) numbering.
+    pub bb_trace: Trace,
+    /// Function trace: one event per function *entry* (calls), plus the
+    /// initial entry into `main`. This matches the paper's function-level
+    /// instrumentation, which records each function activation.
+    pub func_trace: Trace,
+    /// Total dynamic instructions executed (sum of block `instr_count`s).
+    pub instructions: u64,
+    /// False when the run stopped because fuel ran out.
+    pub completed: bool,
+}
+
+impl ExecOutcome {
+    /// Number of basic-block events.
+    pub fn num_events(&self) -> usize {
+        self.bb_trace.len()
+    }
+}
+
+#[derive(Clone)]
+struct Frame {
+    func: FuncId,
+    block: LocalBlockId,
+    /// Per-activation loop counters, keyed by the block owning the
+    /// `LoopCounter` condition.
+    loop_counters: HashMap<u32, u32>,
+}
+
+/// Executes modules. Holds only configuration; each [`Interpreter::run`]
+/// call is independent and deterministic.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Interpreter {
+    pub config: ExecConfig,
+}
+
+impl Interpreter {
+    /// An interpreter with the given configuration.
+    pub fn new(config: ExecConfig) -> Self {
+        Interpreter { config }
+    }
+
+    /// Execute `module` from its entry function.
+    ///
+    /// The module must be valid (see [`Module::validate`]); invalid modules
+    /// may panic.
+    pub fn run(&self, module: &Module) -> ExecOutcome {
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        let mut globals = module.globals.clone();
+        // Module-wide counters for Alternating conditions, keyed by global
+        // block id.
+        let mut alt_counters: HashMap<u32, u32> = HashMap::new();
+
+        let mut bb_trace = Trace::new();
+        let mut func_trace = Trace::new();
+        let mut instructions = 0u64;
+
+        let mut stack: Vec<Frame> = Vec::new();
+        let entry_fn = module.function(module.entry).expect("valid entry");
+        stack.push(Frame {
+            func: module.entry,
+            block: entry_fn.entry,
+            loop_counters: HashMap::new(),
+        });
+        func_trace.push(BlockId(module.entry.0));
+
+        let mut events = 0u64;
+        let mut completed = true;
+
+        while let Some(frame) = stack.last_mut() {
+            if events >= self.config.max_events {
+                completed = false;
+                break;
+            }
+            let func = &module.functions[frame.func.index()];
+            let block = &func.blocks[frame.block.index()];
+            let gid: GlobalBlockId = module.global_id(frame.func, frame.block);
+            bb_trace.push(BlockId(gid.0));
+            instructions += block.instr_count as u64;
+            events += 1;
+
+            for e in &block.effects {
+                match *e {
+                    Effect::SetGlobal { var, value } => globals[var.index()] = value,
+                    Effect::AddGlobal { var, delta } => {
+                        globals[var.index()] = globals[var.index()].wrapping_add(delta)
+                    }
+                }
+            }
+
+            match &block.terminator {
+                Terminator::Jump(t) => frame.block = *t,
+                Terminator::Branch {
+                    cond,
+                    taken,
+                    not_taken,
+                } => {
+                    let take = match cond {
+                        CondModel::Bernoulli(p) => rng.gen_bool(*p),
+                        CondModel::Alternating(period) => {
+                            let c = alt_counters.entry(gid.0).or_insert(0);
+                            let take = (*c % period) != period - 1;
+                            *c = c.wrapping_add(1);
+                            take
+                        }
+                        CondModel::GlobalEq { var, value } => globals[var.index()] == *value,
+                        CondModel::LoopCounter { trip } => {
+                            let c = frame.loop_counters.entry(frame.block.0).or_insert(0);
+                            if *c < *trip {
+                                *c += 1;
+                                true
+                            } else {
+                                *c = 0;
+                                false
+                            }
+                        }
+                    };
+                    frame.block = if take { *taken } else { *not_taken };
+                }
+                Terminator::Switch { targets, weights } => {
+                    let total: f64 = weights.iter().sum();
+                    let mut x = rng.gen_range(0.0..total);
+                    let mut chosen = targets[targets.len() - 1];
+                    for (t, w) in targets.iter().zip(weights) {
+                        if x < *w {
+                            chosen = *t;
+                            break;
+                        }
+                        x -= w;
+                    }
+                    frame.block = chosen;
+                }
+                Terminator::Call { callee, ret_to } => {
+                    frame.block = *ret_to;
+                    if stack.len() < self.config.max_call_depth {
+                        let callee = *callee;
+                        let centry = module.functions[callee.index()].entry;
+                        func_trace.push(BlockId(callee.0));
+                        stack.push(Frame {
+                            func: callee,
+                            block: centry,
+                            loop_counters: HashMap::new(),
+                        });
+                    }
+                    // Beyond max depth the call is elided: execution
+                    // continues at ret_to as if the callee returned at once.
+                }
+                Terminator::Return => {
+                    stack.pop();
+                }
+            }
+        }
+
+        ExecOutcome {
+            bb_trace,
+            func_trace,
+            instructions,
+            completed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+
+    fn straight_line() -> Module {
+        let mut b = ModuleBuilder::new("t");
+        b.function("main")
+            .jump("a", 8, "b")
+            .jump("b", 8, "c")
+            .ret("c", 8)
+            .finish();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn straight_line_trace() {
+        let out = Interpreter::default().run(&straight_line());
+        assert!(out.completed);
+        assert_eq!(
+            out.bb_trace.events(),
+            &[BlockId(0), BlockId(1), BlockId(2)]
+        );
+        assert_eq!(out.func_trace.events(), &[BlockId(0)]);
+        assert_eq!(out.instructions, 6); // 8-byte blocks → 2 instrs each
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut b = ModuleBuilder::new("t");
+        b.function("main")
+            .branch(
+                "h",
+                8,
+                crate::block::CondModel::Bernoulli(0.5),
+                "l",
+                "r",
+            )
+            .jump("l", 8, "back")
+            .jump("r", 8, "back")
+            .branch(
+                "back",
+                8,
+                crate::block::CondModel::LoopCounter { trip: 50 },
+                "h",
+                "end",
+            )
+            .ret("end", 8)
+            .finish();
+        let m = b.build().unwrap();
+        let i = Interpreter::new(ExecConfig::default().seeded(42));
+        let a = i.run(&m);
+        let b2 = i.run(&m);
+        assert_eq!(a.bb_trace, b2.bb_trace);
+        let other = Interpreter::new(ExecConfig::default().seeded(43)).run(&m);
+        // Overwhelmingly likely to differ over 50 coin flips.
+        assert_ne!(a.bb_trace, other.bb_trace);
+    }
+
+    #[test]
+    fn loop_counter_runs_trip_plus_one_iterations() {
+        let mut b = ModuleBuilder::new("t");
+        b.function("main")
+            .jump("entry", 8, "body")
+            .branch(
+                "body",
+                8,
+                crate::block::CondModel::LoopCounter { trip: 3 },
+                "body",
+                "exit",
+            )
+            .ret("exit", 8)
+            .finish();
+        let m = b.build().unwrap();
+        let out = Interpreter::default().run(&m);
+        // body runs 4 times: entry → body (3 back-edges) → exit.
+        let body_events = out
+            .bb_trace
+            .events()
+            .iter()
+            .filter(|b| **b == BlockId(1))
+            .count();
+        assert_eq!(body_events, 4);
+        assert!(out.completed);
+    }
+
+    #[test]
+    fn alternating_condition_is_periodic() {
+        let mut b = ModuleBuilder::new("t");
+        b.function("main")
+            .jump("entry", 8, "head")
+            .branch(
+                "head",
+                8,
+                crate::block::CondModel::Alternating(2),
+                "odd",
+                "even",
+            )
+            .branch(
+                "odd",
+                8,
+                crate::block::CondModel::LoopCounter { trip: 5 },
+                "head",
+                "exit",
+            )
+            .branch(
+                "even",
+                8,
+                crate::block::CondModel::LoopCounter { trip: 5 },
+                "head",
+                "exit",
+            )
+            .ret("exit", 8)
+            .finish();
+        let m = b.build().unwrap();
+        let out = Interpreter::default().run(&m);
+        // head alternates odd, even, odd, even...
+        let seq: Vec<_> = out
+            .bb_trace
+            .events()
+            .iter()
+            .filter(|b| **b == BlockId(2) || **b == BlockId(3))
+            .collect();
+        for pair in seq.chunks(2) {
+            if pair.len() == 2 {
+                assert_ne!(pair[0], pair[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn global_correlated_branch_follows_setter() {
+        // The paper's Figure 3 pattern: X sets b, Y branches on it.
+        let mut b = ModuleBuilder::new("fig3");
+        let v = b.global("b", 0);
+        b.function("main")
+            .call("c1", 8, "x", "c2")
+            .call("c2", 8, "y", "loop")
+            .branch(
+                "loop",
+                8,
+                crate::block::CondModel::LoopCounter { trip: 99 },
+                "c1",
+                "end",
+            )
+            .ret("end", 8)
+            .finish();
+        b.function("x")
+            .branch(
+                "X1",
+                8,
+                crate::block::CondModel::Bernoulli(1.0),
+                "X2",
+                "X3",
+            )
+            .ret("X2", 8)
+            .effect(Effect::SetGlobal { var: v, value: 1 })
+            .ret("X3", 8)
+            .effect(Effect::SetGlobal { var: v, value: 2 })
+            .finish();
+        b.function("y")
+            .branch(
+                "Y1",
+                8,
+                crate::block::CondModel::GlobalEq { var: v, value: 1 },
+                "Y2",
+                "Y3",
+            )
+            .ret("Y2", 8)
+            .ret("Y3", 8)
+            .finish();
+        let m = b.build().unwrap();
+        let out = Interpreter::default().run(&m);
+        // X always takes X2 (p=1.0) → b==1 → Y always takes Y2; Y3 never runs.
+        let y3 = m.global_id(FuncId(2), LocalBlockId(2));
+        let y2 = m.global_id(FuncId(2), LocalBlockId(1));
+        let count = |g: GlobalBlockId| {
+            out.bb_trace
+                .events()
+                .iter()
+                .filter(|b| b.0 == g.0)
+                .count()
+        };
+        assert_eq!(count(y3), 0);
+        assert_eq!(count(y2), 100);
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_graceful() {
+        let mut b = ModuleBuilder::new("t");
+        b.function("main")
+            .jump("a", 8, "b")
+            .jump("b", 8, "a") // infinite loop
+            .finish();
+        let m = b.build().unwrap();
+        let out = Interpreter::new(ExecConfig::with_fuel(100)).run(&m);
+        assert!(!out.completed);
+        assert_eq!(out.num_events(), 100);
+    }
+
+    #[test]
+    fn recursion_depth_capped() {
+        let mut b = ModuleBuilder::new("t");
+        b.function("main").call("rec", 8, "main", "done").ret("done", 8).finish();
+        let m = b.build().unwrap();
+        let cfg = ExecConfig {
+            max_call_depth: 8,
+            max_events: 10_000,
+            ..Default::default()
+        };
+        let out = Interpreter::new(cfg).run(&m);
+        assert!(out.completed, "bounded recursion must terminate");
+        // 8 frames each run `rec` once, then unwind through `done`.
+        assert_eq!(out.func_trace.len(), 8);
+    }
+
+    #[test]
+    fn function_trace_records_activations() {
+        let mut b = ModuleBuilder::new("t");
+        b.function("main")
+            .call("c1", 8, "f", "c2")
+            .call("c2", 8, "g", "end")
+            .ret("end", 8)
+            .finish();
+        b.function("f").ret("fb", 8).finish();
+        b.function("g").call("gb", 8, "f", "gend").ret("gend", 8).finish();
+        let m = b.build().unwrap();
+        let out = Interpreter::default().run(&m);
+        // main, f, g, f
+        assert_eq!(
+            out.func_trace.events(),
+            &[BlockId(0), BlockId(1), BlockId(2), BlockId(1)]
+        );
+    }
+
+    #[test]
+    fn switch_respects_zero_weight() {
+        let mut b = ModuleBuilder::new("t");
+        b.function("main")
+            .jump("entry", 8, "head")
+            .switch("head", 8, &[("never", 0.0), ("always", 1.0)])
+            .ret("never", 8)
+            .branch(
+                "always",
+                8,
+                crate::block::CondModel::LoopCounter { trip: 200 },
+                "head",
+                "end",
+            )
+            .ret("end", 8)
+            .finish();
+        let m = b.build().unwrap();
+        let out = Interpreter::default().run(&m);
+        let never = out
+            .bb_trace
+            .events()
+            .iter()
+            .filter(|x| **x == BlockId(2))
+            .count();
+        assert_eq!(never, 0);
+    }
+
+    #[test]
+    fn bernoulli_frequency_close_to_p() {
+        let mut b = ModuleBuilder::new("t");
+        b.function("main")
+            .jump("entry", 8, "head")
+            .branch(
+                "head",
+                8,
+                crate::block::CondModel::Bernoulli(0.25),
+                "t",
+                "f",
+            )
+            .branch(
+                "t",
+                8,
+                crate::block::CondModel::LoopCounter { trip: 9999 },
+                "head",
+                "end",
+            )
+            .branch(
+                "f",
+                8,
+                crate::block::CondModel::LoopCounter { trip: 9999 },
+                "head",
+                "end",
+            )
+            .ret("end", 8)
+            .finish();
+        let m = b.build().unwrap();
+        let out = Interpreter::new(ExecConfig::with_fuel(50_000)).run(&m);
+        let t = out
+            .bb_trace
+            .events()
+            .iter()
+            .filter(|x| **x == BlockId(2))
+            .count() as f64;
+        let f = out
+            .bb_trace
+            .events()
+            .iter()
+            .filter(|x| **x == BlockId(3))
+            .count() as f64;
+        let freq = t / (t + f);
+        assert!((freq - 0.25).abs() < 0.03, "taken frequency {}", freq);
+    }
+}

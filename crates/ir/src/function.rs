@@ -1,0 +1,86 @@
+//! Functions: named basic-block CFGs.
+
+use crate::block::BasicBlock;
+use crate::ids::LocalBlockId;
+
+/// A function: a named list of basic blocks with a designated entry block.
+///
+/// Block order in `blocks` is the *original* (source) layout order; layouts
+/// permute it without touching the function itself.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Function {
+    /// Function name, unique within the module.
+    pub name: String,
+    /// The function body. Never empty for a validated module.
+    pub blocks: Vec<BasicBlock>,
+    /// Entry block (usually block 0).
+    pub entry: LocalBlockId,
+}
+
+impl Function {
+    /// A function with the given name, entry at block 0.
+    pub fn new(name: impl Into<String>, blocks: Vec<BasicBlock>) -> Self {
+        Function {
+            name: name.into(),
+            blocks,
+            entry: LocalBlockId(0),
+        }
+    }
+
+    /// Number of basic blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Static code size: sum of block sizes in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.blocks.iter().map(|b| b.size_bytes as u64).sum()
+    }
+
+    /// The block with the given local id, if in range.
+    pub fn block(&self, id: LocalBlockId) -> Option<&BasicBlock> {
+        self.blocks.get(id.index())
+    }
+
+    /// Find a block by name.
+    pub fn block_by_name(&self, name: &str) -> Option<LocalBlockId> {
+        self.blocks
+            .iter()
+            .position(|b| b.name == name)
+            .map(|i| LocalBlockId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Terminator;
+
+    #[test]
+    fn size_is_sum_of_blocks() {
+        let f = Function::new(
+            "f",
+            vec![
+                BasicBlock::new("a", 32, Terminator::Jump(LocalBlockId(1))),
+                BasicBlock::new("b", 48, Terminator::Return),
+            ],
+        );
+        assert_eq!(f.size_bytes(), 80);
+        assert_eq!(f.num_blocks(), 2);
+    }
+
+    #[test]
+    fn lookup_by_name_and_id() {
+        let f = Function::new(
+            "f",
+            vec![
+                BasicBlock::new("entry", 8, Terminator::Jump(LocalBlockId(1))),
+                BasicBlock::new("exit", 8, Terminator::Return),
+            ],
+        );
+        assert_eq!(f.block_by_name("exit"), Some(LocalBlockId(1)));
+        assert_eq!(f.block_by_name("nope"), None);
+        assert_eq!(f.block(LocalBlockId(0)).unwrap().name, "entry");
+        assert!(f.block(LocalBlockId(9)).is_none());
+    }
+}

@@ -1,0 +1,98 @@
+//! Typed identifiers for IR entities.
+//!
+//! Three index spaces exist side by side:
+//!
+//! * [`FuncId`] — dense index of a function within its module,
+//! * [`LocalBlockId`] — index of a basic block within its function,
+//! * [`GlobalBlockId`] — module-wide dense block index, the numbering the
+//!   whole-program analyses and the linker work in. The module owns the
+//!   (func, local) ↔ global bijection.
+//!
+//! [`VarId`] indexes module globals, which the behaviour models use to
+//! express value-correlated branches (e.g. the `b` variable in the paper's
+//! Figure 3 example).
+
+use std::fmt;
+
+macro_rules! dense_id {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index, usable directly as a dense-array slot.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+dense_id!(
+    /// Dense index of a function within a [`crate::Module`].
+    FuncId,
+    "fn"
+);
+
+dense_id!(
+    /// Index of a basic block within its owning function.
+    LocalBlockId,
+    "bb"
+);
+
+dense_id!(
+    /// Module-wide dense basic-block index (whole-program numbering).
+    GlobalBlockId,
+    "g"
+);
+
+dense_id!(
+    /// Index of a module global variable.
+    VarId,
+    "v"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", FuncId(3)), "fn3");
+        assert_eq!(format!("{:?}", LocalBlockId(0)), "bb0");
+        assert_eq!(format!("{:?}", GlobalBlockId(12)), "g12");
+        assert_eq!(format!("{:?}", VarId(1)), "v1");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        assert_eq!(FuncId::from(7u32).index(), 7);
+        assert_eq!(GlobalBlockId(9).index(), 9);
+    }
+
+    #[test]
+    fn ordering_by_raw_value() {
+        assert!(FuncId(1) < FuncId(2));
+        assert!(GlobalBlockId(0) < GlobalBlockId(10));
+    }
+}

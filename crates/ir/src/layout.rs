@@ -1,0 +1,299 @@
+//! Layouts and linking: assigning byte addresses to every basic block.
+//!
+//! A layout is either a *function order* (each function's blocks stay in
+//! their original order, functions are permuted — the paper's function
+//! reordering, which inserts no space between functions) or a *global block
+//! order* (any interleaving of blocks across functions — the paper's
+//! inter-procedural basic-block reordering). Linking lays the units out
+//! contiguously, optionally aligning function starts, and records the byte
+//! address of every block: the [`LinkedImage`] the fetch expansion and the
+//! cache simulator consume.
+
+use crate::ids::{FuncId, GlobalBlockId};
+use crate::module::Module;
+
+/// A code layout: the order in which code units are emitted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Layout {
+    /// Functions in the given order, blocks within each function in their
+    /// original order. Must be a permutation of all functions.
+    FunctionOrder(Vec<FuncId>),
+    /// All blocks in the given whole-program order, ignoring function
+    /// boundaries. Must be a permutation of all blocks.
+    BlockOrder(Vec<GlobalBlockId>),
+}
+
+impl Layout {
+    /// The original (source) layout of a module.
+    pub fn original(module: &Module) -> Layout {
+        Layout::FunctionOrder((0..module.num_functions() as u32).map(FuncId).collect())
+    }
+
+    /// Check that this layout is a permutation of the module's units.
+    pub fn is_permutation_of(&self, module: &Module) -> bool {
+        match self {
+            Layout::FunctionOrder(order) => {
+                let mut seen = vec![false; module.num_functions()];
+                if order.len() != module.num_functions() {
+                    return false;
+                }
+                for f in order {
+                    match seen.get_mut(f.index()) {
+                        Some(s) if !*s => *s = true,
+                        _ => return false,
+                    }
+                }
+                true
+            }
+            Layout::BlockOrder(order) => {
+                let mut seen = vec![false; module.num_blocks()];
+                if order.len() != module.num_blocks() {
+                    return false;
+                }
+                for b in order {
+                    match seen.get_mut(b.index()) {
+                        Some(s) if !*s => *s = true,
+                        _ => return false,
+                    }
+                }
+                true
+            }
+        }
+    }
+}
+
+/// Linking options.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkOptions {
+    /// Align the start of each function to this many bytes (function-order
+    /// layouts only; the paper does not insert space between functions, so
+    /// its configuration is alignment 1).
+    pub function_align: u32,
+    /// Base address of the code segment.
+    pub base_address: u64,
+}
+
+impl Default for LinkOptions {
+    fn default() -> Self {
+        LinkOptions {
+            function_align: 1,
+            base_address: 0x40_0000, // conventional ELF text base
+        }
+    }
+}
+
+/// Result of linking: a byte address for every basic block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinkedImage {
+    /// Start address of each block, indexed by [`GlobalBlockId`].
+    addresses: Vec<u64>,
+    /// Size of each block in bytes, indexed by [`GlobalBlockId`].
+    sizes: Vec<u32>,
+    /// One past the last byte of the image.
+    end_address: u64,
+    /// Base address.
+    base_address: u64,
+}
+
+impl LinkedImage {
+    /// Link `module` with `layout`. Panics if the layout is not a
+    /// permutation of the module's units (use [`Layout::is_permutation_of`]
+    /// to pre-check untrusted layouts).
+    pub fn link(module: &Module, layout: &Layout, opts: LinkOptions) -> LinkedImage {
+        assert!(
+            layout.is_permutation_of(module),
+            "layout is not a permutation of the module"
+        );
+        let n = module.num_blocks();
+        let mut addresses = vec![0u64; n];
+        let mut sizes = vec![0u32; n];
+        for (gid, _, b) in module.iter_global_blocks() {
+            sizes[gid.index()] = b.size_bytes;
+        }
+        let mut cursor = opts.base_address;
+        match layout {
+            Layout::FunctionOrder(order) => {
+                for &f in order {
+                    let align = opts.function_align.max(1) as u64;
+                    cursor = cursor.div_ceil(align) * align;
+                    let func = module.function(f).expect("validated");
+                    for (bi, b) in func.blocks.iter().enumerate() {
+                        let gid = module.global_id(f, crate::ids::LocalBlockId(bi as u32));
+                        addresses[gid.index()] = cursor;
+                        cursor += b.size_bytes as u64;
+                    }
+                }
+            }
+            Layout::BlockOrder(order) => {
+                for &g in order {
+                    addresses[g.index()] = cursor;
+                    cursor += sizes[g.index()] as u64;
+                }
+            }
+        }
+        LinkedImage {
+            addresses,
+            sizes,
+            end_address: cursor,
+            base_address: opts.base_address,
+        }
+    }
+
+    /// Start address of a block.
+    #[inline]
+    pub fn address(&self, id: GlobalBlockId) -> u64 {
+        self.addresses[id.index()]
+    }
+
+    /// Size of a block in bytes.
+    #[inline]
+    pub fn size(&self, id: GlobalBlockId) -> u32 {
+        self.sizes[id.index()]
+    }
+
+    /// Total image size in bytes (excluding alignment holes before base).
+    pub fn image_size(&self) -> u64 {
+        self.end_address - self.base_address
+    }
+
+    /// Number of blocks in the image.
+    pub fn num_blocks(&self) -> usize {
+        self.addresses.len()
+    }
+
+    /// The cache lines `[first, last]` a block spans for a given line size.
+    #[inline]
+    pub fn line_span(&self, id: GlobalBlockId, line_size: u64) -> (u64, u64) {
+        let start = self.address(id);
+        let end = start + self.size(id) as u64 - 1;
+        (start / line_size, end / line_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::ids::LocalBlockId;
+
+    fn sample_module() -> Module {
+        let mut b = ModuleBuilder::new("t");
+        b.function("main")
+            .jump("a", 10, "b")
+            .ret("b", 6)
+            .finish();
+        b.function("leaf").ret("x", 20).finish();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn original_layout_is_contiguous() {
+        let m = sample_module();
+        let img = LinkedImage::link(&m, &Layout::original(&m), LinkOptions::default());
+        let base = LinkOptions::default().base_address;
+        assert_eq!(img.address(GlobalBlockId(0)), base);
+        assert_eq!(img.address(GlobalBlockId(1)), base + 10);
+        assert_eq!(img.address(GlobalBlockId(2)), base + 16);
+        assert_eq!(img.image_size(), 36);
+    }
+
+    #[test]
+    fn function_reorder_moves_functions_wholesale() {
+        let m = sample_module();
+        let layout = Layout::FunctionOrder(vec![FuncId(1), FuncId(0)]);
+        let img = LinkedImage::link(&m, &layout, LinkOptions::default());
+        let base = LinkOptions::default().base_address;
+        assert_eq!(img.address(GlobalBlockId(2)), base); // leaf first
+        assert_eq!(img.address(GlobalBlockId(0)), base + 20);
+        assert_eq!(img.address(GlobalBlockId(1)), base + 30);
+    }
+
+    #[test]
+    fn block_order_interleaves_functions() {
+        let m = sample_module();
+        let layout = Layout::BlockOrder(vec![
+            GlobalBlockId(2),
+            GlobalBlockId(0),
+            GlobalBlockId(1),
+        ]);
+        let img = LinkedImage::link(&m, &layout, LinkOptions::default());
+        let base = LinkOptions::default().base_address;
+        assert_eq!(img.address(GlobalBlockId(2)), base);
+        assert_eq!(img.address(GlobalBlockId(0)), base + 20);
+        assert_eq!(img.address(GlobalBlockId(1)), base + 30);
+    }
+
+    #[test]
+    fn function_alignment_pads_starts() {
+        let m = sample_module();
+        let opts = LinkOptions {
+            function_align: 16,
+            base_address: 0,
+        };
+        let img = LinkedImage::link(&m, &Layout::original(&m), opts);
+        // main occupies [0,16); leaf aligned to 16.
+        assert_eq!(img.address(GlobalBlockId(2)) % 16, 0);
+        assert_eq!(img.address(GlobalBlockId(2)), 16);
+    }
+
+    #[test]
+    fn permutation_check() {
+        let m = sample_module();
+        assert!(Layout::original(&m).is_permutation_of(&m));
+        assert!(!Layout::FunctionOrder(vec![FuncId(0)]).is_permutation_of(&m));
+        assert!(!Layout::FunctionOrder(vec![FuncId(0), FuncId(0)]).is_permutation_of(&m));
+        assert!(
+            !Layout::BlockOrder(vec![GlobalBlockId(0), GlobalBlockId(1), GlobalBlockId(1)])
+                .is_permutation_of(&m)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn linking_bad_layout_panics() {
+        let m = sample_module();
+        LinkedImage::link(
+            &m,
+            &Layout::FunctionOrder(vec![FuncId(0)]),
+            LinkOptions::default(),
+        );
+    }
+
+    #[test]
+    fn line_span() {
+        let m = sample_module();
+        let opts = LinkOptions {
+            function_align: 1,
+            base_address: 0,
+        };
+        let img = LinkedImage::link(&m, &Layout::original(&m), opts);
+        // Block 2 at [16, 36): spans lines 0 and 1 with 32-byte lines? No:
+        // addresses 16..35 → lines 0..1 for 32-byte lines.
+        assert_eq!(img.line_span(GlobalBlockId(2), 32), (0, 1));
+        assert_eq!(img.line_span(GlobalBlockId(0), 32), (0, 0));
+    }
+
+    #[test]
+    fn sizes_are_preserved_under_any_layout() {
+        let m = sample_module();
+        let l1 = LinkedImage::link(&m, &Layout::original(&m), LinkOptions::default());
+        let l2 = LinkedImage::link(
+            &m,
+            &Layout::FunctionOrder(vec![FuncId(1), FuncId(0)]),
+            LinkOptions::default(),
+        );
+        for g in 0..3u32 {
+            assert_eq!(l1.size(GlobalBlockId(g)), l2.size(GlobalBlockId(g)));
+        }
+        assert_eq!(l1.image_size(), l2.image_size());
+    }
+
+    #[test]
+    fn locate_blocks_via_module_round_trip() {
+        let m = sample_module();
+        assert_eq!(
+            m.locate(GlobalBlockId(2)),
+            Some((FuncId(1), LocalBlockId(0)))
+        );
+    }
+}

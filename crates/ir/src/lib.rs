@@ -1,0 +1,62 @@
+//! Miniature whole-program IR — the compiler substrate of the reproduction.
+//!
+//! The paper implements its models and transformations inside LLVM: programs
+//! are compiled to a single byte-code file, instrumented, run on a test
+//! input, and finally re-emitted with functions or basic blocks reordered.
+//! None of that substrate is available here, so this crate provides the
+//! minimal equivalent the optimizers actually need:
+//!
+//! * a **program representation** ([`Module`], [`Function`], [`BasicBlock`])
+//!   with control flow expressed by block [`Terminator`]s — conditional
+//!   branches with behaviour models, calls, returns, switches and loop
+//!   back-edges,
+//! * a **builder** ([`builder::ModuleBuilder`]) for constructing programs
+//!   programmatically (used by the synthetic workload suite and by tests),
+//! * an **interpreter** ([`exec`]) that executes a module under a seeded
+//!   behaviour model and records the whole-program function trace and
+//!   basic-block trace — the artifact the paper's instrumentation produced,
+//! * a **layout/link stage** ([`layout`]) that assigns byte addresses to
+//!   every block given a function-order or global block-order layout — the
+//!   artifact the paper's code-generation phase produced,
+//! * a **fetch expansion** ([`fetch`]) that turns a basic-block trace plus a
+//!   linked image into the stream of instruction-cache line addresses
+//!   consumed by the cache simulator.
+//!
+//! Block behaviour (branch probabilities, loop trip counts, value-correlated
+//! conditions through module globals) is part of the IR so that executions
+//! are reproducible: the same module, seed and fuel always produce the same
+//! trace, regardless of layout. This mirrors reality — code layout does not
+//! change control flow, only addresses.
+
+pub mod block;
+pub mod builder;
+pub mod cfg;
+pub mod exec;
+pub mod fetch;
+pub mod function;
+pub mod ids;
+pub mod layout;
+pub mod module;
+pub mod text;
+
+pub use block::{BasicBlock, CondModel, Effect, Terminator};
+pub use builder::{FunctionBuilder, ModuleBuilder};
+pub use cfg::{CallGraph, Cfg, EdgeProfile};
+pub use exec::{ExecConfig, ExecOutcome, Interpreter};
+pub use fetch::{line_trace, FetchStats};
+pub use function::Function;
+pub use ids::{FuncId, GlobalBlockId, LocalBlockId, VarId};
+pub use layout::{Layout, LinkOptions, LinkedImage};
+pub use module::{IrError, Module};
+
+/// Convenient import surface.
+pub mod prelude {
+    pub use crate::block::{BasicBlock, CondModel, Effect, Terminator};
+    pub use crate::builder::{FunctionBuilder, ModuleBuilder};
+    pub use crate::exec::{ExecConfig, ExecOutcome, Interpreter};
+    pub use crate::fetch::line_trace;
+    pub use crate::function::Function;
+    pub use crate::ids::{FuncId, GlobalBlockId, LocalBlockId, VarId};
+    pub use crate::layout::{Layout, LinkOptions, LinkedImage};
+    pub use crate::module::{IrError, Module};
+}

@@ -1,0 +1,482 @@
+//! Modules: whole programs as a single unit, like the paper's single
+//! byte-code file, plus structural validation.
+
+use crate::block::{BasicBlock, CondModel, Terminator};
+use crate::function::Function;
+use crate::ids::{FuncId, GlobalBlockId, LocalBlockId, VarId};
+use std::fmt;
+
+/// Structural validation errors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum IrError {
+    /// The module has no functions.
+    EmptyModule,
+    /// A function has no blocks.
+    EmptyFunction(FuncId),
+    /// A function's entry block is out of range.
+    BadEntry(FuncId),
+    /// A terminator targets a block outside its function.
+    BadBlockRef {
+        func: FuncId,
+        block: LocalBlockId,
+        target: LocalBlockId,
+    },
+    /// A call targets a function outside the module.
+    BadCallee { func: FuncId, block: LocalBlockId },
+    /// The module entry function is out of range.
+    BadModuleEntry,
+    /// A behaviour model references an undeclared global.
+    BadGlobal { func: FuncId, block: LocalBlockId },
+    /// A switch has mismatched or invalid weights.
+    BadSwitch { func: FuncId, block: LocalBlockId },
+    /// A Bernoulli probability is outside [0, 1] or NaN.
+    BadProbability { func: FuncId, block: LocalBlockId },
+    /// A block has zero size (the linker requires positive sizes).
+    ZeroSizeBlock { func: FuncId, block: LocalBlockId },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::EmptyModule => write!(f, "module has no functions"),
+            IrError::EmptyFunction(id) => write!(f, "function {} has no blocks", id),
+            IrError::BadEntry(id) => write!(f, "function {} entry block out of range", id),
+            IrError::BadBlockRef {
+                func,
+                block,
+                target,
+            } => write!(
+                f,
+                "block {}/{} targets out-of-range block {}",
+                func, block, target
+            ),
+            IrError::BadCallee { func, block } => {
+                write!(f, "block {}/{} calls out-of-range function", func, block)
+            }
+            IrError::BadModuleEntry => write!(f, "module entry function out of range"),
+            IrError::BadGlobal { func, block } => {
+                write!(f, "block {}/{} references undeclared global", func, block)
+            }
+            IrError::BadSwitch { func, block } => {
+                write!(f, "block {}/{} has an invalid switch", func, block)
+            }
+            IrError::BadProbability { func, block } => {
+                write!(f, "block {}/{} has an invalid probability", func, block)
+            }
+            IrError::ZeroSizeBlock { func, block } => {
+                write!(f, "block {}/{} has zero size", func, block)
+            }
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+/// A whole program: functions, globals, and an entry point.
+///
+/// The module also owns the whole-program block numbering: every basic block
+/// has a [`GlobalBlockId`] assigned in (function, block) lexicographic
+/// order. Analyses and the linker work in global ids.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Module {
+    /// Module name (workload name in the benchmark suite).
+    pub name: String,
+    /// All functions. `FuncId(i)` indexes this vector.
+    pub functions: Vec<Function>,
+    /// Initial values of module globals. `VarId(i)` indexes this vector.
+    pub globals: Vec<i64>,
+    /// The program entry function ("main").
+    pub entry: FuncId,
+    /// Prefix sums for (func, local) → global block-id conversion:
+    /// `block_base[f]` is the global id of function `f`'s block 0.
+    block_base: Vec<u32>,
+}
+
+impl Module {
+    /// Assemble a module. Global block ids are computed here; the result
+    /// should normally be [`Module::validate`]d before use.
+    pub fn new(
+        name: impl Into<String>,
+        functions: Vec<Function>,
+        globals: Vec<i64>,
+        entry: FuncId,
+    ) -> Self {
+        let mut block_base = Vec::with_capacity(functions.len());
+        let mut acc = 0u32;
+        for f in &functions {
+            block_base.push(acc);
+            acc += f.blocks.len() as u32;
+        }
+        Module {
+            name: name.into(),
+            functions,
+            globals,
+            entry,
+            block_base,
+        }
+    }
+
+    /// Number of functions.
+    pub fn num_functions(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Total number of basic blocks across all functions.
+    pub fn num_blocks(&self) -> usize {
+        self.functions.iter().map(|f| f.blocks.len()).sum()
+    }
+
+    /// Total static code size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.functions.iter().map(|f| f.size_bytes()).sum()
+    }
+
+    /// The function with the given id, if in range.
+    pub fn function(&self, id: FuncId) -> Option<&Function> {
+        self.functions.get(id.index())
+    }
+
+    /// Find a function by name.
+    pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// Convert a (function, local block) pair to the whole-program id.
+    pub fn global_id(&self, func: FuncId, block: LocalBlockId) -> GlobalBlockId {
+        debug_assert!(func.index() < self.functions.len());
+        debug_assert!(block.index() < self.functions[func.index()].blocks.len());
+        GlobalBlockId(self.block_base[func.index()] + block.0)
+    }
+
+    /// Convert a whole-program block id back to (function, local block).
+    pub fn locate(&self, id: GlobalBlockId) -> Option<(FuncId, LocalBlockId)> {
+        // block_base is sorted; find the owning function by binary search.
+        let g = id.0;
+        let f = match self.block_base.binary_search(&g) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        let local = g - self.block_base[f];
+        if (local as usize) < self.functions[f].blocks.len() {
+            Some((FuncId(f as u32), LocalBlockId(local)))
+        } else {
+            None
+        }
+    }
+
+    /// The block behind a whole-program id.
+    pub fn global_block(&self, id: GlobalBlockId) -> Option<&BasicBlock> {
+        let (f, l) = self.locate(id)?;
+        self.functions[f.index()].block(l)
+    }
+
+    /// Iterate all blocks in (function, local) order with their global ids.
+    pub fn iter_global_blocks(
+        &self,
+    ) -> impl Iterator<Item = (GlobalBlockId, FuncId, &BasicBlock)> {
+        self.functions.iter().enumerate().flat_map(move |(fi, f)| {
+            let base = self.block_base[fi];
+            f.blocks
+                .iter()
+                .enumerate()
+                .map(move |(bi, b)| (GlobalBlockId(base + bi as u32), FuncId(fi as u32), b))
+        })
+    }
+
+    /// Structural validation: every reference in range, entries valid,
+    /// switches well-formed, probabilities in `[0, 1]`, block sizes positive.
+    pub fn validate(&self) -> Result<(), IrError> {
+        if self.functions.is_empty() {
+            return Err(IrError::EmptyModule);
+        }
+        if self.entry.index() >= self.functions.len() {
+            return Err(IrError::BadModuleEntry);
+        }
+        for (fi, f) in self.functions.iter().enumerate() {
+            let fid = FuncId(fi as u32);
+            if f.blocks.is_empty() {
+                return Err(IrError::EmptyFunction(fid));
+            }
+            if f.entry.index() >= f.blocks.len() {
+                return Err(IrError::BadEntry(fid));
+            }
+            for (bi, b) in f.blocks.iter().enumerate() {
+                let bid = LocalBlockId(bi as u32);
+                if b.size_bytes == 0 {
+                    return Err(IrError::ZeroSizeBlock {
+                        func: fid,
+                        block: bid,
+                    });
+                }
+                for t in b.local_successors() {
+                    if t.index() >= f.blocks.len() {
+                        return Err(IrError::BadBlockRef {
+                            func: fid,
+                            block: bid,
+                            target: t,
+                        });
+                    }
+                }
+                match &b.terminator {
+                    Terminator::Call { callee, .. } => {
+                        if callee.index() >= self.functions.len() {
+                            return Err(IrError::BadCallee {
+                                func: fid,
+                                block: bid,
+                            });
+                        }
+                    }
+                    Terminator::Switch { targets, weights } => {
+                        let ok = !targets.is_empty()
+                            && targets.len() == weights.len()
+                            && weights.iter().all(|w| w.is_finite() && *w >= 0.0)
+                            && weights.iter().sum::<f64>() > 0.0;
+                        if !ok {
+                            return Err(IrError::BadSwitch {
+                                func: fid,
+                                block: bid,
+                            });
+                        }
+                    }
+                    Terminator::Branch { cond, .. } => {
+                        self.validate_cond(cond, fid, bid)?;
+                    }
+                    _ => {}
+                }
+                for e in &b.effects {
+                    let var = match e {
+                        crate::block::Effect::SetGlobal { var, .. } => *var,
+                        crate::block::Effect::AddGlobal { var, .. } => *var,
+                    };
+                    if var.index() >= self.globals.len() {
+                        return Err(IrError::BadGlobal {
+                            func: fid,
+                            block: bid,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_cond(
+        &self,
+        cond: &CondModel,
+        func: FuncId,
+        block: LocalBlockId,
+    ) -> Result<(), IrError> {
+        match cond {
+            CondModel::Bernoulli(p) => {
+                if !p.is_finite() || !(0.0..=1.0).contains(p) {
+                    return Err(IrError::BadProbability { func, block });
+                }
+            }
+            CondModel::GlobalEq { var, .. } => {
+                if var.index() >= self.globals.len() {
+                    return Err(IrError::BadGlobal { func, block });
+                }
+            }
+            CondModel::Alternating(period) => {
+                if *period == 0 {
+                    return Err(IrError::BadProbability { func, block });
+                }
+            }
+            CondModel::LoopCounter { .. } => {}
+        }
+        Ok(())
+    }
+
+    /// Look up a global variable's initial value.
+    pub fn global_init(&self, var: VarId) -> Option<i64> {
+        self.globals.get(var.index()).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Terminator;
+
+    fn two_function_module() -> Module {
+        let main = Function::new(
+            "main",
+            vec![
+                BasicBlock::new(
+                    "entry",
+                    16,
+                    Terminator::Call {
+                        callee: FuncId(1),
+                        ret_to: LocalBlockId(1),
+                    },
+                ),
+                BasicBlock::new("exit", 8, Terminator::Return),
+            ],
+        );
+        let leaf = Function::new("leaf", vec![BasicBlock::new("body", 32, Terminator::Return)]);
+        Module::new("m", vec![main, leaf], vec![], FuncId(0))
+    }
+
+    #[test]
+    fn valid_module_validates() {
+        assert_eq!(two_function_module().validate(), Ok(()));
+    }
+
+    #[test]
+    fn global_ids_are_dense_in_function_order() {
+        let m = two_function_module();
+        assert_eq!(m.global_id(FuncId(0), LocalBlockId(0)), GlobalBlockId(0));
+        assert_eq!(m.global_id(FuncId(0), LocalBlockId(1)), GlobalBlockId(1));
+        assert_eq!(m.global_id(FuncId(1), LocalBlockId(0)), GlobalBlockId(2));
+        assert_eq!(m.num_blocks(), 3);
+    }
+
+    #[test]
+    fn locate_inverts_global_id() {
+        let m = two_function_module();
+        for (gid, fid, _) in m.iter_global_blocks() {
+            let (f, l) = m.locate(gid).expect("in range");
+            assert_eq!(f, fid);
+            assert_eq!(m.global_id(f, l), gid);
+        }
+        assert_eq!(m.locate(GlobalBlockId(3)), None);
+    }
+
+    #[test]
+    fn size_totals() {
+        let m = two_function_module();
+        assert_eq!(m.size_bytes(), 56);
+    }
+
+    #[test]
+    fn function_lookup() {
+        let m = two_function_module();
+        assert_eq!(m.function_by_name("leaf"), Some(FuncId(1)));
+        assert_eq!(m.function_by_name("nope"), None);
+        assert_eq!(m.function(FuncId(0)).unwrap().name, "main");
+    }
+
+    #[test]
+    fn empty_module_rejected() {
+        let m = Module::new("m", vec![], vec![], FuncId(0));
+        assert_eq!(m.validate(), Err(IrError::EmptyModule));
+    }
+
+    #[test]
+    fn bad_block_ref_rejected() {
+        let f = Function::new(
+            "f",
+            vec![BasicBlock::new("a", 8, Terminator::Jump(LocalBlockId(5)))],
+        );
+        let m = Module::new("m", vec![f], vec![], FuncId(0));
+        assert!(matches!(m.validate(), Err(IrError::BadBlockRef { .. })));
+    }
+
+    #[test]
+    fn bad_callee_rejected() {
+        let f = Function::new(
+            "f",
+            vec![BasicBlock::new(
+                "a",
+                8,
+                Terminator::Call {
+                    callee: FuncId(9),
+                    ret_to: LocalBlockId(0),
+                },
+            )],
+        );
+        let m = Module::new("m", vec![f], vec![], FuncId(0));
+        assert!(matches!(m.validate(), Err(IrError::BadCallee { .. })));
+    }
+
+    #[test]
+    fn bad_probability_rejected() {
+        let f = Function::new(
+            "f",
+            vec![
+                BasicBlock::new(
+                    "a",
+                    8,
+                    Terminator::Branch {
+                        cond: CondModel::Bernoulli(1.5),
+                        taken: LocalBlockId(1),
+                        not_taken: LocalBlockId(1),
+                    },
+                ),
+                BasicBlock::new("b", 8, Terminator::Return),
+            ],
+        );
+        let m = Module::new("m", vec![f], vec![], FuncId(0));
+        assert!(matches!(m.validate(), Err(IrError::BadProbability { .. })));
+    }
+
+    #[test]
+    fn bad_switch_rejected() {
+        let f = Function::new(
+            "f",
+            vec![BasicBlock::new(
+                "a",
+                8,
+                Terminator::Switch {
+                    targets: vec![LocalBlockId(0)],
+                    weights: vec![0.0],
+                },
+            )],
+        );
+        let m = Module::new("m", vec![f], vec![], FuncId(0));
+        assert!(matches!(m.validate(), Err(IrError::BadSwitch { .. })));
+    }
+
+    #[test]
+    fn undeclared_global_rejected() {
+        let f = Function::new(
+            "f",
+            vec![
+                BasicBlock::new(
+                    "a",
+                    8,
+                    Terminator::Branch {
+                        cond: CondModel::GlobalEq {
+                            var: VarId(0),
+                            value: 1,
+                        },
+                        taken: LocalBlockId(1),
+                        not_taken: LocalBlockId(1),
+                    },
+                ),
+                BasicBlock::new("b", 8, Terminator::Return),
+            ],
+        );
+        let m = Module::new("m", vec![f], vec![], FuncId(0));
+        assert!(matches!(m.validate(), Err(IrError::BadGlobal { .. })));
+    }
+
+    #[test]
+    fn zero_size_block_rejected() {
+        let f = Function::new("f", vec![BasicBlock::new("a", 0, Terminator::Return)]);
+        let m = Module::new("m", vec![f], vec![], FuncId(0));
+        assert!(matches!(m.validate(), Err(IrError::ZeroSizeBlock { .. })));
+    }
+
+    #[test]
+    fn bad_module_entry_rejected() {
+        let f = Function::new("f", vec![BasicBlock::new("a", 8, Terminator::Return)]);
+        let m = Module::new("m", vec![f], vec![], FuncId(3));
+        assert_eq!(m.validate(), Err(IrError::BadModuleEntry));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = IrError::BadBlockRef {
+            func: FuncId(1),
+            block: LocalBlockId(2),
+            target: LocalBlockId(9),
+        };
+        let s = e.to_string();
+        assert!(s.contains("fn1") && s.contains("bb2") && s.contains("bb9"));
+    }
+}

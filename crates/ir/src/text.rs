@@ -1,0 +1,677 @@
+//! Textual IR: a human-readable, round-trippable serialization of modules.
+//!
+//! The paper's system works on "a single byte-code file" for the whole
+//! program; this module provides the equivalent artifact for ours, so
+//! programs can be saved, diffed, and reloaded. The format is line
+//! oriented:
+//!
+//! ```text
+//! module demo
+//! global b = 0
+//!
+//! func main {
+//!   block entry size=16 instrs=4:
+//!     call work ret exit
+//!   block exit size=8:
+//!     set b = 1
+//!     return
+//! }
+//!
+//! func work {
+//!   block body size=512:
+//!     branch bernoulli(0.75) hot cold
+//!   ...
+//! }
+//! ```
+//!
+//! Parsing reports errors with line numbers. `parse(print(m)) == m` holds
+//! for every valid module (property-tested below).
+
+use crate::block::{BasicBlock, CondModel, Effect, Terminator};
+use crate::function::Function;
+use crate::ids::{FuncId, LocalBlockId, VarId};
+use crate::module::{IrError, Module};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// A parse failure, with a 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line where the problem was found (0 for end-of-input).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Render a module to the textual format.
+pub fn print(module: &Module) -> String {
+    let mut out = String::new();
+    writeln!(out, "module {}", module.name).unwrap();
+    for (i, init) in module.globals.iter().enumerate() {
+        writeln!(out, "global g{} = {}", i, init).unwrap();
+    }
+    for (fi, f) in module.functions.iter().enumerate() {
+        writeln!(out).unwrap();
+        let entry_note = if f.entry.0 != 0 {
+            format!(" entry={}", f.blocks[f.entry.index()].name)
+        } else {
+            String::new()
+        };
+        writeln!(out, "func {}{} {{", f.name, entry_note).unwrap();
+        for b in &f.blocks {
+            writeln!(
+                out,
+                "  block {} size={} instrs={}:",
+                b.name, b.size_bytes, b.instr_count
+            )
+            .unwrap();
+            for e in &b.effects {
+                match e {
+                    Effect::SetGlobal { var, value } => {
+                        writeln!(out, "    set g{} = {}", var.0, value).unwrap()
+                    }
+                    Effect::AddGlobal { var, delta } => {
+                        writeln!(out, "    add g{} += {}", var.0, delta).unwrap()
+                    }
+                }
+            }
+            let name_of = |l: LocalBlockId| f.blocks[l.index()].name.clone();
+            match &b.terminator {
+                Terminator::Jump(t) => writeln!(out, "    jump {}", name_of(*t)).unwrap(),
+                Terminator::Branch {
+                    cond,
+                    taken,
+                    not_taken,
+                } => {
+                    let c = match cond {
+                        CondModel::Bernoulli(p) => format!("bernoulli({})", p),
+                        CondModel::Alternating(n) => format!("alternating({})", n),
+                        CondModel::GlobalEq { var, value } => {
+                            format!("globaleq(g{},{})", var.0, value)
+                        }
+                        CondModel::LoopCounter { trip } => format!("loop({})", trip),
+                    };
+                    writeln!(out, "    branch {} {} {}", c, name_of(*taken), name_of(*not_taken))
+                        .unwrap();
+                }
+                Terminator::Switch { targets, weights } => {
+                    let arms: Vec<String> = targets
+                        .iter()
+                        .zip(weights)
+                        .map(|(t, w)| format!("{}:{}", name_of(*t), w))
+                        .collect();
+                    writeln!(out, "    switch {}", arms.join(" ")).unwrap();
+                }
+                Terminator::Call { callee, ret_to } => writeln!(
+                    out,
+                    "    call {} ret {}",
+                    module.functions[callee.index()].name,
+                    name_of(*ret_to)
+                )
+                .unwrap(),
+                Terminator::Return => writeln!(out, "    return").unwrap(),
+            }
+        }
+        writeln!(out, "}}").unwrap();
+        let _ = fi;
+    }
+    out
+}
+
+/// Parse the textual format back into a validated module.
+pub fn parse(text: &str) -> Result<Module, ParseError> {
+    struct PendingBlock {
+        name: String,
+        size: u32,
+        instrs: Option<u32>,
+        effects: Vec<Effect>,
+        terminator: Option<(usize, String)>, // (line, raw text)
+    }
+    struct PendingFunc {
+        name: String,
+        entry_name: Option<String>,
+        blocks: Vec<PendingBlock>,
+        line: usize,
+    }
+
+    let mut module_name: Option<String> = None;
+    let mut globals: Vec<(String, i64)> = Vec::new();
+    let mut funcs: Vec<PendingFunc> = Vec::new();
+    let mut cur: Option<PendingFunc> = None;
+
+    for (ln, raw) in text.lines().enumerate() {
+        let lineno = ln + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let head = words.next().unwrap_or("");
+        match head {
+            "module" => {
+                let name = words.next().ok_or(ParseError {
+                    line: lineno,
+                    message: "module needs a name".into(),
+                })?;
+                module_name = Some(name.to_string());
+            }
+            "global" => {
+                let name = words
+                    .next()
+                    .ok_or_else(|| ParseError {
+                        line: lineno,
+                        message: "global needs a name".into(),
+                    })?
+                    .to_string();
+                if words.next() != Some("=") {
+                    return err(lineno, "expected `= <init>` after global name");
+                }
+                let init: i64 = words
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| ParseError {
+                        line: lineno,
+                        message: "global needs an integer initializer".into(),
+                    })?;
+                globals.push((name, init));
+            }
+            "func" => {
+                if cur.is_some() {
+                    return err(lineno, "nested `func` (missing `}`?)");
+                }
+                let name = words.next().ok_or(ParseError {
+                    line: lineno,
+                    message: "func needs a name".into(),
+                })?;
+                let mut entry_name = None;
+                for w in words.by_ref() {
+                    if let Some(e) = w.strip_prefix("entry=") {
+                        entry_name = Some(e.to_string());
+                    } else if w == "{" {
+                        break;
+                    } else {
+                        return err(lineno, format!("unexpected token `{}` in func header", w));
+                    }
+                }
+                cur = Some(PendingFunc {
+                    name: name.to_string(),
+                    entry_name,
+                    blocks: Vec::new(),
+                    line: lineno,
+                });
+            }
+            "}" => {
+                let f = cur.take().ok_or(ParseError {
+                    line: lineno,
+                    message: "stray `}`".into(),
+                })?;
+                funcs.push(f);
+            }
+            "block" => {
+                let f = cur.as_mut().ok_or(ParseError {
+                    line: lineno,
+                    message: "`block` outside a func".into(),
+                })?;
+                let name = words
+                    .next()
+                    .ok_or_else(|| ParseError {
+                        line: lineno,
+                        message: "block needs a name".into(),
+                    })?
+                    .to_string();
+                let mut size = None;
+                let mut instrs = None;
+                for w in words {
+                    let w = w.trim_end_matches(':');
+                    if let Some(v) = w.strip_prefix("size=") {
+                        size = v.parse().ok();
+                    } else if let Some(v) = w.strip_prefix("instrs=") {
+                        instrs = v.parse().ok();
+                    } else if !w.is_empty() {
+                        return err(lineno, format!("unexpected token `{}` in block header", w));
+                    }
+                }
+                let size = size.ok_or(ParseError {
+                    line: lineno,
+                    message: "block needs size=<bytes>".into(),
+                })?;
+                f.blocks.push(PendingBlock {
+                    name,
+                    size,
+                    instrs,
+                    effects: Vec::new(),
+                    terminator: None,
+                });
+            }
+            "set" | "add" => {
+                let f = cur.as_mut().ok_or(ParseError {
+                    line: lineno,
+                    message: "effect outside a func".into(),
+                })?;
+                let b = f.blocks.last_mut().ok_or(ParseError {
+                    line: lineno,
+                    message: "effect before any block".into(),
+                })?;
+                // `set gN = v` | `add gN += v`
+                let var = words.next().unwrap_or("");
+                let op = words.next().unwrap_or("");
+                let val: i64 = words
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| ParseError {
+                        line: lineno,
+                        message: "effect needs an integer value".into(),
+                    })?;
+                let vid = parse_global_ref(var, &globals, lineno)?;
+                match (head, op) {
+                    ("set", "=") => b.effects.push(Effect::SetGlobal { var: vid, value: val }),
+                    ("add", "+=") => b.effects.push(Effect::AddGlobal { var: vid, delta: val }),
+                    _ => return err(lineno, "malformed effect"),
+                }
+            }
+            "jump" | "branch" | "switch" | "call" | "return" => {
+                let f = cur.as_mut().ok_or(ParseError {
+                    line: lineno,
+                    message: "terminator outside a func".into(),
+                })?;
+                let b = f.blocks.last_mut().ok_or(ParseError {
+                    line: lineno,
+                    message: "terminator before any block".into(),
+                })?;
+                if b.terminator.is_some() {
+                    return err(lineno, format!("block `{}` already has a terminator", b.name));
+                }
+                b.terminator = Some((lineno, line.to_string()));
+            }
+            other => return err(lineno, format!("unknown directive `{}`", other)),
+        }
+    }
+    if cur.is_some() {
+        return err(0, "unterminated func at end of input");
+    }
+    let module_name = module_name.ok_or(ParseError {
+        line: 0,
+        message: "missing `module <name>` header".into(),
+    })?;
+
+    // Resolve names.
+    let func_ids: HashMap<&str, FuncId> = funcs
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.as_str(), FuncId(i as u32)))
+        .collect();
+    if func_ids.len() != funcs.len() {
+        return err(0, "duplicate function names");
+    }
+
+    let mut functions = Vec::with_capacity(funcs.len());
+    for f in &funcs {
+        let block_ids: HashMap<&str, LocalBlockId> = f
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (b.name.as_str(), LocalBlockId(i as u32)))
+            .collect();
+        if block_ids.len() != f.blocks.len() {
+            return err(f.line, format!("duplicate block names in func `{}`", f.name));
+        }
+        let resolve = |n: &str, line: usize| -> Result<LocalBlockId, ParseError> {
+            block_ids.get(n).copied().ok_or(ParseError {
+                line,
+                message: format!("unknown block `{}` in func `{}`", n, f.name),
+            })
+        };
+        let mut blocks = Vec::with_capacity(f.blocks.len());
+        for pb in &f.blocks {
+            let (tline, traw) = pb.terminator.clone().ok_or(ParseError {
+                line: f.line,
+                message: format!("block `{}` has no terminator", pb.name),
+            })?;
+            let mut w = traw.split_whitespace();
+            let kind = w.next().unwrap_or("");
+            let terminator = match kind {
+                "return" => Terminator::Return,
+                "jump" => {
+                    let t = w.next().ok_or(ParseError {
+                        line: tline,
+                        message: "jump needs a target".into(),
+                    })?;
+                    Terminator::Jump(resolve(t, tline)?)
+                }
+                "call" => {
+                    let callee = w.next().ok_or(ParseError {
+                        line: tline,
+                        message: "call needs a callee".into(),
+                    })?;
+                    if w.next() != Some("ret") {
+                        return err(tline, "call syntax: `call <func> ret <block>`");
+                    }
+                    let ret_to = w.next().ok_or(ParseError {
+                        line: tline,
+                        message: "call needs a ret block".into(),
+                    })?;
+                    let fid = func_ids.get(callee).copied().ok_or(ParseError {
+                        line: tline,
+                        message: format!("unknown function `{}`", callee),
+                    })?;
+                    Terminator::Call {
+                        callee: fid,
+                        ret_to: resolve(ret_to, tline)?,
+                    }
+                }
+                "branch" => {
+                    let cond = w.next().ok_or(ParseError {
+                        line: tline,
+                        message: "branch needs a condition".into(),
+                    })?;
+                    let taken = w.next().ok_or(ParseError {
+                        line: tline,
+                        message: "branch needs a taken target".into(),
+                    })?;
+                    let not_taken = w.next().ok_or(ParseError {
+                        line: tline,
+                        message: "branch needs a not-taken target".into(),
+                    })?;
+                    Terminator::Branch {
+                        cond: parse_cond(cond, &globals, tline)?,
+                        taken: resolve(taken, tline)?,
+                        not_taken: resolve(not_taken, tline)?,
+                    }
+                }
+                "switch" => {
+                    let mut targets = Vec::new();
+                    let mut weights = Vec::new();
+                    for arm in w {
+                        let (t, wt) = arm.split_once(':').ok_or(ParseError {
+                            line: tline,
+                            message: format!("switch arm `{}` needs `target:weight`", arm),
+                        })?;
+                        targets.push(resolve(t, tline)?);
+                        weights.push(wt.parse().map_err(|_| ParseError {
+                            line: tline,
+                            message: format!("bad switch weight `{}`", wt),
+                        })?);
+                    }
+                    Terminator::Switch { targets, weights }
+                }
+                _ => return err(tline, format!("unknown terminator `{}`", kind)),
+            };
+            let mut block = BasicBlock::new(pb.name.clone(), pb.size, terminator);
+            if let Some(n) = pb.instrs {
+                block = block.with_instr_count(n);
+            }
+            block.effects = pb.effects.clone();
+            blocks.push(block);
+        }
+        let mut func = Function::new(f.name.clone(), blocks);
+        if let Some(e) = &f.entry_name {
+            func.entry = resolve(e, f.line)?;
+        }
+        functions.push(func);
+    }
+
+    let module = Module::new(
+        module_name,
+        functions,
+        globals.iter().map(|(_, v)| *v).collect(),
+        FuncId(0),
+    );
+    module.validate().map_err(|e: IrError| ParseError {
+        line: 0,
+        message: format!("validation failed: {}", e),
+    })?;
+    Ok(module)
+}
+
+fn parse_global_ref(
+    token: &str,
+    globals: &[(String, i64)],
+    line: usize,
+) -> Result<VarId, ParseError> {
+    // Accept `gN` (printer form) or a declared global's name.
+    if let Some(n) = token.strip_prefix('g') {
+        if let Ok(i) = n.parse::<u32>() {
+            if (i as usize) < globals.len() {
+                return Ok(VarId(i));
+            }
+        }
+    }
+    globals
+        .iter()
+        .position(|(n, _)| n == token)
+        .map(|i| VarId(i as u32))
+        .ok_or(ParseError {
+            line,
+            message: format!("unknown global `{}`", token),
+        })
+}
+
+fn parse_cond(
+    token: &str,
+    globals: &[(String, i64)],
+    line: usize,
+) -> Result<CondModel, ParseError> {
+    let (kind, args) = token.split_once('(').ok_or(ParseError {
+        line,
+        message: format!("malformed condition `{}`", token),
+    })?;
+    let args = args.strip_suffix(')').ok_or(ParseError {
+        line,
+        message: format!("unclosed condition `{}`", token),
+    })?;
+    match kind {
+        "bernoulli" => args
+            .parse::<f64>()
+            .map(CondModel::Bernoulli)
+            .map_err(|_| ParseError {
+                line,
+                message: format!("bad probability `{}`", args),
+            }),
+        "alternating" => args
+            .parse::<u32>()
+            .map(CondModel::Alternating)
+            .map_err(|_| ParseError {
+                line,
+                message: format!("bad period `{}`", args),
+            }),
+        "loop" => args
+            .parse::<u32>()
+            .map(|trip| CondModel::LoopCounter { trip })
+            .map_err(|_| ParseError {
+                line,
+                message: format!("bad trip count `{}`", args),
+            }),
+        "globaleq" => {
+            let (var, val) = args.split_once(',').ok_or(ParseError {
+                line,
+                message: "globaleq needs `(gN,value)`".into(),
+            })?;
+            Ok(CondModel::GlobalEq {
+                var: parse_global_ref(var, globals, line)?,
+                value: val.parse().map_err(|_| ParseError {
+                    line,
+                    message: format!("bad value `{}`", val),
+                })?,
+            })
+        }
+        _ => err(line, format!("unknown condition kind `{}`", kind)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+
+    fn sample() -> Module {
+        let mut b = ModuleBuilder::new("demo");
+        let v = b.global("flag", 0);
+        b.function("main")
+            .call("entry", 16, "work", "mid")
+            .branch(
+                "mid",
+                8,
+                CondModel::LoopCounter { trip: 3 },
+                "entry",
+                "exit",
+            )
+            .ret("exit", 8)
+            .effect(Effect::SetGlobal { var: v, value: 1 })
+            .finish();
+        b.function("work")
+            .branch("head", 32, CondModel::Bernoulli(0.25), "a", "b")
+            .jump("a", 64, "out")
+            .switch("b", 64, &[("out", 1.0), ("a", 2.5)])
+            .ret("out", 16)
+            .finish();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_module() {
+        let m = sample();
+        let text = print(&m);
+        let back = parse(&text).expect("parses");
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn printed_form_is_stable() {
+        let m = sample();
+        assert_eq!(print(&m), print(&parse(&print(&m)).unwrap()));
+    }
+
+    #[test]
+    fn parses_minimal_module() {
+        let m = parse("module tiny\nfunc main {\n  block only size=8:\n    return\n}\n")
+            .unwrap();
+        assert_eq!(m.name, "tiny");
+        assert_eq!(m.num_blocks(), 1);
+    }
+
+    #[test]
+    fn accepts_comments_and_blank_lines() {
+        let text = "# a comment\nmodule t\n\nfunc main {\n  block x size=8:\n    return\n}\n";
+        assert!(parse(text).is_ok());
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let text = "module t\nfunc main {\n  block x size=8:\n    jump nowhere\n}\n";
+        let e = parse(text).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn rejects_duplicate_blocks() {
+        let text = "module t\nfunc main {\n  block x size=8:\n    return\n  block x size=8:\n    return\n}\n";
+        let e = parse(text).unwrap_err();
+        assert!(e.message.contains("duplicate block"));
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let text = "module t\nfunc main {\n  block x size=8:\n}\n";
+        let e = parse(text).unwrap_err();
+        assert!(e.message.contains("no terminator"));
+    }
+
+    #[test]
+    fn rejects_double_terminator() {
+        let text =
+            "module t\nfunc main {\n  block x size=8:\n    return\n    return\n}\n";
+        let e = parse(text).unwrap_err();
+        assert!(e.message.contains("already has a terminator"));
+    }
+
+    #[test]
+    fn rejects_unknown_function_in_call() {
+        let text = "module t\nfunc main {\n  block x size=8:\n    call ghost ret x\n}\n";
+        let e = parse(text).unwrap_err();
+        assert!(e.message.contains("ghost"));
+    }
+
+    #[test]
+    fn rejects_unterminated_func() {
+        let text = "module t\nfunc main {\n  block x size=8:\n    return\n";
+        let e = parse(text).unwrap_err();
+        assert!(e.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn effects_round_trip() {
+        let text = "module t\nglobal counter = 5\nfunc main {\n  block x size=8:\n    add g0 += 3\n    set g0 = 9\n    return\n}\n";
+        let m = parse(text).unwrap();
+        let b = m.function(FuncId(0)).unwrap().block(LocalBlockId(0)).unwrap();
+        assert_eq!(b.effects.len(), 2);
+        assert_eq!(m.globals, vec![5]);
+        let again = parse(&print(&m)).unwrap();
+        assert_eq!(m, again);
+    }
+
+    #[test]
+    fn globals_referable_by_name() {
+        let text = "module t\nglobal mode = 0\nfunc main {\n  block x size=8:\n    set mode = 2\n    return\n}\n";
+        let m = parse(text).unwrap();
+        let b = m.function(FuncId(0)).unwrap().block(LocalBlockId(0)).unwrap();
+        assert_eq!(
+            b.effects,
+            vec![Effect::SetGlobal {
+                var: VarId(0),
+                value: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn entry_annotation_round_trips() {
+        let mut m = sample();
+        m.functions[1].entry = LocalBlockId(3);
+        // Rebuild to keep block_base consistent.
+        let m = Module::new("demo", m.functions.clone(), m.globals.clone(), FuncId(0));
+        let back = parse(&print(&m)).unwrap();
+        assert_eq!(back.functions[1].entry, LocalBlockId(3));
+    }
+
+    #[test]
+    fn validation_errors_surface() {
+        // A zero-size block parses syntactically but fails validation.
+        let text = "module t\nfunc main {\n  block x size=0:\n    return\n}\n";
+        let e = parse(text).unwrap_err();
+        assert!(e.message.contains("validation failed"));
+    }
+
+    #[test]
+    fn workload_scale_round_trip() {
+        // A mid-size generated-style module survives the round trip.
+        let mut b = ModuleBuilder::new("big");
+        b.function("main").ret("x", 16).finish();
+        for i in 0..50 {
+            let name = format!("f{}", i);
+            b.function(&name)
+                .branch("h", 32, CondModel::Bernoulli(0.5), "l", "r")
+                .jump("l", 64, "o")
+                .jump("r", 64, "o")
+                .ret("o", 16)
+                .finish();
+        }
+        let m = b.build().unwrap();
+        assert_eq!(parse(&print(&m)).unwrap(), m);
+    }
+}

@@ -1,0 +1,370 @@
+//! Windowed footprints over trimmed traces.
+//!
+//! Definition 2 of the paper: in a trimmed trace, any two occurrences form a
+//! window, and the footprint `fp<a,b>` is the total amount of code occurring
+//! in the window, *including* both endpoints. Following the paper, the size
+//! of a code block is approximated by 1, so a footprint is the number of
+//! distinct blocks in the closed window.
+//!
+//! This module also provides the all-window *average* footprint curve
+//! `fp(w)` — the average number of distinct blocks accessed over windows of
+//! length `w` — which feeds the footprint-composition miss model (Eqs 1–2)
+//! in `clop-cachesim`.
+
+use crate::trace::{BlockId, TrimmedTrace};
+use std::collections::HashMap;
+
+/// The footprint `fp<a,b>` of the closed window between positions `from` and
+/// `to` (inclusive): the number of distinct blocks occurring in it.
+///
+/// Positions may be given in either order. Panics if a position is out of
+/// bounds.
+pub fn footprint_between(trace: &TrimmedTrace, from: usize, to: usize) -> usize {
+    let (lo, hi) = if from <= to { (from, to) } else { (to, from) };
+    assert!(hi < trace.len(), "window endpoint out of bounds");
+    let mut seen: Vec<BlockId> = trace.events()[lo..=hi].to_vec();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len()
+}
+
+/// The footprint `fp<a,b>` between the *closest* pair of occurrences of two
+/// blocks, or `None` if either block never occurs.
+///
+/// The w-window affinity definition asks, for each occurrence of `x`,
+/// whether *some* occurrence of `y` lies within a footprint-`w` window; this
+/// helper returns the minimum such footprint over all pairs, which is what a
+/// single query usually wants.
+pub fn min_footprint_between_blocks(
+    trace: &TrimmedTrace,
+    x: BlockId,
+    y: BlockId,
+) -> Option<usize> {
+    let xs = trace.occurrences(x);
+    let ys = trace.occurrences(y);
+    if xs.is_empty() || ys.is_empty() {
+        return None;
+    }
+    let mut best = usize::MAX;
+    for &a in &xs {
+        for &b in &ys {
+            best = best.min(footprint_between(trace, a, b));
+        }
+    }
+    Some(best)
+}
+
+/// For one occurrence position `pos` of a block, the minimum footprint to any
+/// occurrence of `other`, or `None` if `other` never occurs.
+///
+/// This is the per-occurrence quantifier of Definition 3: block `x` has
+/// w-window affinity with `y` iff this value is `<= w` for *every*
+/// occurrence position of `x` (and vice versa).
+pub fn min_footprint_from_position(
+    trace: &TrimmedTrace,
+    pos: usize,
+    other: BlockId,
+) -> Option<usize> {
+    let os = trace.occurrences(other);
+    if os.is_empty() {
+        return None;
+    }
+    Some(
+        os.iter()
+            .map(|&o| footprint_between(trace, pos, o))
+            .min()
+            .expect("non-empty"),
+    )
+}
+
+/// The average-footprint curve of a trimmed trace.
+///
+/// `fp(w)` is the average, over all length-`w` windows of the trace, of the
+/// number of distinct blocks accessed in the window. It is non-decreasing and
+/// concave in `w` (Xiang et al.'s footprint theory); the miss-probability
+/// composition of the paper (Eq 1/Eq 2) evaluates `P(self.FP + peer.FP >= C)`
+/// using exactly this curve.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FootprintCurve {
+    /// `values[w]` = average distinct blocks over all windows of length `w`;
+    /// `values[0] = 0`. Lengths are in trace events.
+    values: Vec<f64>,
+    /// Number of distinct blocks in the whole trace (the curve's asymptote).
+    total_distinct: usize,
+}
+
+impl FootprintCurve {
+    /// Compute the exact average footprint for every window length
+    /// `1..=max_window` by a single sliding-window pass per length.
+    ///
+    /// Cost is `O(max_window · N)`; for the all-window curve of a long trace
+    /// prefer [`FootprintCurve::measure_sampled`].
+    pub fn measure(trace: &TrimmedTrace, max_window: usize) -> Self {
+        let n = trace.len();
+        let total_distinct = trace.num_distinct();
+        let mut values = vec![0.0; max_window + 1];
+        if n == 0 {
+            return FootprintCurve {
+                values,
+                total_distinct,
+            };
+        }
+        for w in 1..=max_window {
+            if w > n {
+                values[w] = total_distinct as f64;
+                continue;
+            }
+            // Sliding window with occurrence counts: distinct count changes
+            // only when a block enters from 0 or leaves to 0.
+            let mut counts: HashMap<BlockId, u32> = HashMap::new();
+            let ev = trace.events();
+            let mut distinct = 0usize;
+            let mut sum = 0u64;
+            for (i, &e) in ev.iter().enumerate() {
+                let c = counts.entry(e).or_insert(0);
+                if *c == 0 {
+                    distinct += 1;
+                }
+                *c += 1;
+                if i + 1 >= w {
+                    sum += distinct as u64;
+                    let out = ev[i + 1 - w];
+                    let c = counts.get_mut(&out).expect("in window");
+                    *c -= 1;
+                    if *c == 0 {
+                        distinct -= 1;
+                    }
+                }
+            }
+            let windows = (n - w + 1) as f64;
+            values[w] = sum as f64 / windows;
+        }
+        FootprintCurve {
+            values,
+            total_distinct,
+        }
+    }
+
+    /// Approximate the curve by measuring only a geometric ladder of window
+    /// lengths and interpolating linearly in between. This is the practical
+    /// variant used on multi-million-event traces.
+    pub fn measure_sampled(trace: &TrimmedTrace, max_window: usize) -> Self {
+        let n = trace.len();
+        let total_distinct = trace.num_distinct();
+        let mut values = vec![0.0; max_window + 1];
+        if n == 0 || max_window == 0 {
+            return FootprintCurve {
+                values,
+                total_distinct,
+            };
+        }
+        // Ladder: 1, 2, 4, ..., max_window (always including max_window).
+        let mut ladder = Vec::new();
+        let mut w = 1usize;
+        while w < max_window {
+            ladder.push(w);
+            w = (w * 2).max(w + 1);
+        }
+        ladder.push(max_window);
+
+        let exact = |w: usize| -> f64 {
+            if w > n {
+                return total_distinct as f64;
+            }
+            let mut counts: HashMap<BlockId, u32> = HashMap::new();
+            let ev = trace.events();
+            let mut distinct = 0usize;
+            let mut sum = 0u64;
+            for (i, &e) in ev.iter().enumerate() {
+                let c = counts.entry(e).or_insert(0);
+                if *c == 0 {
+                    distinct += 1;
+                }
+                *c += 1;
+                if i + 1 >= w {
+                    sum += distinct as u64;
+                    let out = ev[i + 1 - w];
+                    let c = counts.get_mut(&out).expect("in window");
+                    *c -= 1;
+                    if *c == 0 {
+                        distinct -= 1;
+                    }
+                }
+            }
+            sum as f64 / (n - w + 1) as f64
+        };
+
+        let mut pts: Vec<(usize, f64)> = Vec::with_capacity(ladder.len());
+        for &w in &ladder {
+            pts.push((w, exact(w)));
+        }
+        // Interpolate.
+        let mut prev = (0usize, 0.0f64);
+        let mut pi = 0usize;
+        for w in 1..=max_window {
+            while pi < pts.len() && pts[pi].0 < w {
+                prev = pts[pi];
+                pi += 1;
+            }
+            if pi < pts.len() && pts[pi].0 == w {
+                values[w] = pts[pi].1;
+            } else if pi < pts.len() {
+                let (x0, y0) = prev;
+                let (x1, y1) = pts[pi];
+                let t = (w - x0) as f64 / (x1 - x0) as f64;
+                values[w] = y0 + t * (y1 - y0);
+            } else {
+                values[w] = total_distinct as f64;
+            }
+        }
+        FootprintCurve {
+            values,
+            total_distinct,
+        }
+    }
+
+    /// Average footprint at window length `w` (clamped to the asymptote for
+    /// lengths beyond the measured range).
+    pub fn at(&self, w: usize) -> f64 {
+        if w < self.values.len() {
+            self.values[w]
+        } else {
+            self.total_distinct as f64
+        }
+    }
+
+    /// Largest measured window length.
+    pub fn max_window(&self) -> usize {
+        self.values.len().saturating_sub(1)
+    }
+
+    /// Distinct blocks in the entire trace (curve asymptote).
+    pub fn total_distinct(&self) -> usize {
+        self.total_distinct
+    }
+
+    /// The smallest window length whose average footprint reaches `target`,
+    /// or `None` if the curve never does within the measured range. This is
+    /// the inverse function used when composing Eq 1: "how much time does the
+    /// program need to touch `target` blocks".
+    pub fn inverse(&self, target: f64) -> Option<usize> {
+        (1..self.values.len()).find(|&w| self.values[w] >= target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(i: u32) -> BlockId {
+        BlockId(i)
+    }
+
+    /// Paper §II-B example: in trace B1 B3 B2 B3 B4, fp<B1,B2> = 3.
+    #[test]
+    fn paper_footprint_example() {
+        let t = TrimmedTrace::from_indices([1, 3, 2, 3, 4]);
+        assert_eq!(min_footprint_between_blocks(&t, b(1), b(2)), Some(3));
+    }
+
+    #[test]
+    fn footprint_between_includes_endpoints() {
+        let t = TrimmedTrace::from_indices([1, 2, 3]);
+        assert_eq!(footprint_between(&t, 0, 2), 3);
+        assert_eq!(footprint_between(&t, 0, 0), 1);
+        assert_eq!(footprint_between(&t, 2, 0), 3); // order-insensitive
+    }
+
+    #[test]
+    fn footprint_counts_distinct_not_length() {
+        let t = TrimmedTrace::from_indices([1, 2, 1, 2, 1]);
+        assert_eq!(footprint_between(&t, 0, 4), 2);
+    }
+
+    #[test]
+    fn min_footprint_missing_block_is_none() {
+        let t = TrimmedTrace::from_indices([1, 2]);
+        assert_eq!(min_footprint_between_blocks(&t, b(1), b(9)), None);
+        assert_eq!(min_footprint_from_position(&t, 0, b(9)), None);
+    }
+
+    #[test]
+    fn min_footprint_from_position_picks_nearest() {
+        // B5 occurs once at pos 6; from B2's occurrence at pos 4 the window
+        // [4,6] holds {B2,B3,B5} = 3.
+        let t = TrimmedTrace::from_indices([1, 4, 2, 4, 2, 3, 5, 1, 4]);
+        assert_eq!(min_footprint_from_position(&t, 4, b(5)), Some(3));
+    }
+
+    #[test]
+    fn curve_monotone_nondecreasing() {
+        let t = TrimmedTrace::from_indices([1, 4, 2, 4, 2, 3, 5, 1, 4]);
+        let c = FootprintCurve::measure(&t, 9);
+        for w in 1..9 {
+            assert!(
+                c.at(w + 1) >= c.at(w) - 1e-12,
+                "fp({}) = {} > fp({}) = {}",
+                w,
+                c.at(w),
+                w + 1,
+                c.at(w + 1)
+            );
+        }
+    }
+
+    #[test]
+    fn curve_window_one_is_one() {
+        // Every length-1 window holds exactly one distinct block.
+        let t = TrimmedTrace::from_indices([1, 2, 3, 1]);
+        let c = FootprintCurve::measure(&t, 2);
+        assert!((c.at(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_full_window_is_total_distinct() {
+        let t = TrimmedTrace::from_indices([1, 2, 3, 1, 2]);
+        let c = FootprintCurve::measure(&t, 5);
+        assert!((c.at(5) - 3.0).abs() < 1e-12);
+        assert_eq!(c.total_distinct(), 3);
+        // Beyond measured range clamps to asymptote.
+        assert!((c.at(100) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_inverse() {
+        let t = TrimmedTrace::from_indices([1, 2, 3, 4, 5]);
+        let c = FootprintCurve::measure(&t, 5);
+        assert_eq!(c.inverse(3.0), Some(3));
+        assert_eq!(c.inverse(6.0), None);
+    }
+
+    #[test]
+    fn sampled_matches_exact_on_ladder_points() {
+        let ids: Vec<u32> = (0..200).map(|i| (i * 7 % 23) as u32).collect();
+        let t = TrimmedTrace::from_indices(ids);
+        let exact = FootprintCurve::measure(&t, 64);
+        let sampled = FootprintCurve::measure_sampled(&t, 64);
+        for w in [1usize, 2, 4, 8, 16, 32, 64] {
+            assert!(
+                (exact.at(w) - sampled.at(w)).abs() < 1e-9,
+                "w={}: {} vs {}",
+                w,
+                exact.at(w),
+                sampled.at(w)
+            );
+        }
+        // Interpolated points are within the bracketing exact values.
+        for w in 2..64 {
+            assert!(sampled.at(w) <= exact.at(64) + 1e-9);
+            assert!(sampled.at(w) >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_trace_curve() {
+        let t = TrimmedTrace::from_indices(std::iter::empty::<u32>());
+        let c = FootprintCurve::measure(&t, 4);
+        assert_eq!(c.at(1), 0.0);
+        assert_eq!(c.total_distinct(), 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Trace and mapping-file serialization.
+//!
+//! The paper's instrumentation "records the trace of all functions and all
+//! basic blocks in a file" plus "a mapping file to assign each basic block
+//! or function an index" (§II-F). This module provides both artifacts:
+//!
+//! * a compact varint binary trace format (gap-friendly: ids are
+//!   delta-encoded against the previous event, which compresses the tight
+//!   loops that dominate real traces),
+//! * a line-oriented text mapping format (`<index> <name>`).
+//!
+//! Both round-trip exactly and fail loudly on corruption.
+
+use crate::mapping::BlockMap;
+use crate::trace::{BlockId, Trace, TrimmedTrace};
+use std::io::{self, BufRead, Read, Write};
+
+/// Magic bytes identifying a trace file.
+const MAGIC: &[u8; 4] = b"CLT1";
+
+/// Encode an unsigned LEB128 varint.
+fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+/// Decode an unsigned LEB128 varint.
+fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        if shift >= 63 && byte[0] > 1 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint overflow",
+            ));
+        }
+        v |= u64::from(byte[0] & 0x7f) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-encode a signed delta.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Zigzag-decode.
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Write a trace in the binary format: magic, event count, then
+/// delta-encoded ids.
+pub fn write_trace<W: Write>(w: &mut W, trace: &Trace) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    write_varint(w, trace.len() as u64)?;
+    let mut prev = 0i64;
+    for &e in trace.events() {
+        let cur = e.0 as i64;
+        write_varint(w, zigzag(cur - prev))?;
+        prev = cur;
+    }
+    Ok(())
+}
+
+/// Read a trace written by [`write_trace`].
+pub fn read_trace<R: Read>(r: &mut R) -> io::Result<Trace> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a CLT1 trace file",
+        ));
+    }
+    let n = read_varint(r)? as usize;
+    let mut trace = Trace::new();
+    let mut prev = 0i64;
+    for _ in 0..n {
+        let delta = unzigzag(read_varint(r)?);
+        let cur = prev
+            .checked_add(delta)
+            .filter(|&v| (0..=u32::MAX as i64).contains(&v))
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "trace id out of range")
+            })?;
+        trace.push(BlockId(cur as u32));
+        prev = cur;
+    }
+    Ok(trace)
+}
+
+/// Convenience: serialize a trimmed trace (stored as a plain trace; the
+/// trimming invariant is re-established on read).
+pub fn write_trimmed<W: Write>(w: &mut W, trace: &TrimmedTrace) -> io::Result<()> {
+    let mut t = Trace::new();
+    for e in trace.iter() {
+        t.push(e);
+    }
+    write_trace(w, &t)
+}
+
+/// Read a trace and trim it.
+pub fn read_trimmed<R: Read>(r: &mut R) -> io::Result<TrimmedTrace> {
+    Ok(read_trace(r)?.trim())
+}
+
+/// Write a mapping file: one `<index> <name>` line per block, in id order.
+pub fn write_mapping<W: Write>(w: &mut W, map: &BlockMap) -> io::Result<()> {
+    for (id, name) in map.iter() {
+        writeln!(w, "{} {}", id.0, name)?;
+    }
+    Ok(())
+}
+
+/// Read a mapping file. Indices must be dense and in order (the writer's
+/// format); names may contain spaces.
+pub fn read_mapping<R: BufRead>(r: &mut R) -> io::Result<BlockMap> {
+    let mut map = BlockMap::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (idx, name) = line.split_once(' ').ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("mapping line {} lacks a name", lineno + 1),
+            )
+        })?;
+        let idx: u32 = idx.parse().map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("mapping line {} has a bad index", lineno + 1),
+            )
+        })?;
+        let got = map.intern(name);
+        if got.0 != idx {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "mapping line {}: expected dense index {}, found {}",
+                    lineno + 1,
+                    got.0,
+                    idx
+                ),
+            ));
+        }
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v).unwrap();
+            assert_eq!(read_varint(&mut buf.as_slice()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN + 1] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn trace_round_trip() {
+        let t = Trace::from_indices([5, 5, 9, 0, 1_000_000, 3, 3, 3]);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let back = read_trace(&mut buf.as_slice()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn empty_trace_round_trip() {
+        let t = Trace::new();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        assert_eq!(read_trace(&mut buf.as_slice()).unwrap(), t);
+        assert_eq!(buf.len(), 5); // magic + one varint
+    }
+
+    #[test]
+    fn tight_loops_compress_well() {
+        // Alternating pair: deltas are ±1 → one byte each.
+        let t = Trace::from_indices((0..1000).map(|i| 100 + (i % 2)));
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        assert!(buf.len() < 1010, "compressed size {}", buf.len());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let buf = b"NOPE\x00".to_vec();
+        let err = read_trace(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let t = Trace::from_indices([1, 2, 3]);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        buf.pop();
+        assert!(read_trace(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn trimmed_round_trip_re_trims() {
+        let t = TrimmedTrace::from_indices([1, 2, 1, 2]);
+        let mut buf = Vec::new();
+        write_trimmed(&mut buf, &t).unwrap();
+        assert_eq!(read_trimmed(&mut buf.as_slice()).unwrap(), t);
+    }
+
+    #[test]
+    fn mapping_round_trip() {
+        let mut m = BlockMap::new();
+        m.intern("main.entry");
+        m.intern("hot 001.diamond 3"); // names with spaces survive
+        let mut buf = Vec::new();
+        write_mapping(&mut buf, &m).unwrap();
+        let back = read_mapping(&mut io::BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.name(BlockId(1)), Some("hot 001.diamond 3"));
+    }
+
+    #[test]
+    fn mapping_rejects_non_dense_indices() {
+        let text = "0 a\n2 b\n";
+        let err = read_mapping(&mut io::BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("dense"));
+    }
+
+    #[test]
+    fn mapping_rejects_missing_name() {
+        let text = "0\n";
+        assert!(read_mapping(&mut io::BufReader::new(text.as_bytes())).is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! Code-block traces and the trace analyses shared by the locality models.
+//!
+//! The paper's entire analysis pipeline consumes *trimmed* code-block traces
+//! (Definition 1): sequences of basic blocks or functions in execution order
+//! in which no two consecutive entries are equal. This crate provides:
+//!
+//! * [`BlockId`] / [`BlockMap`] — the index mapping that the paper's
+//!   instrumentation phase records alongside the trace,
+//! * [`TrimmedTrace`] — a trace with the trimming invariant enforced at the
+//!   type level,
+//! * [`footprint`] — windowed footprints `fp<a,b>` (Definition 2) and the
+//!   all-window average footprint curve used by the miss-probability model,
+//! * [`prune`] — hot-block trace pruning (the paper keeps the 10,000 most
+//!   frequently executed blocks, retaining >90% of occurrences),
+//! * [`sample`] — interval trace sampling,
+//! * [`stack`] — LRU stack processing (hash map + intrusive doubly-linked
+//!   list, the paper's §II-F "Stack Processing") producing reuse distances,
+//! * [`histogram`] — reuse-distance histograms and miss-ratio projection.
+
+pub mod footprint;
+pub mod histogram;
+pub mod io;
+pub mod mapping;
+pub mod phases;
+pub mod prune;
+pub mod sample;
+pub mod stack;
+pub mod trace;
+
+pub use histogram::ReuseHistogram;
+pub use mapping::{BlockMap, Granularity};
+pub use prune::{PruneReport, Pruner};
+pub use stack::LruStack;
+pub use trace::{BlockId, Trace, TrimmedTrace};

@@ -1,0 +1,131 @@
+//! The block↔index mapping recorded by the instrumentation phase.
+//!
+//! The paper's instrumentation "records a mapping file to assign each basic
+//! block or function an index, which is used in representing the trace and in
+//! locality analysis" (§II-F). [`BlockMap`] is that mapping: a bijection
+//! between human-readable block names and dense [`BlockId`]s.
+
+use crate::trace::BlockId;
+use std::collections::HashMap;
+
+/// Granularity at which the system instruments, analyzes and transforms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Granularity {
+    /// Whole functions (function trace, function reordering).
+    Function,
+    /// Basic blocks across the entire program (inter-procedural BB
+    /// reordering).
+    BasicBlock,
+}
+
+impl std::fmt::Display for Granularity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Granularity::Function => write!(f, "function"),
+            Granularity::BasicBlock => write!(f, "basic-block"),
+        }
+    }
+}
+
+/// Bijection between block names and dense indices.
+///
+/// Ids are handed out in first-registration order starting at 0, so they can
+/// be used directly to index dense per-block arrays.
+#[derive(Clone, Debug, Default)]
+pub struct BlockMap {
+    names: Vec<String>,
+    by_name: HashMap<String, BlockId>,
+}
+
+impl BlockMap {
+    /// An empty mapping.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Return the id for `name`, registering it if unseen.
+    pub fn intern(&mut self, name: &str) -> BlockId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = BlockId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Look up an already-registered name.
+    pub fn get(&self, name: &str) -> Option<BlockId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name registered for `id`, if any.
+    pub fn name(&self, id: BlockId) -> Option<&str> {
+        self.names.get(id.index()).map(String::as_str)
+    }
+
+    /// Number of registered blocks.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (BlockId(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut m = BlockMap::new();
+        let a = m.intern("main.entry");
+        let b = m.intern("main.entry");
+        assert_eq!(a, b);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_in_registration_order() {
+        let mut m = BlockMap::new();
+        assert_eq!(m.intern("f"), BlockId(0));
+        assert_eq!(m.intern("g"), BlockId(1));
+        assert_eq!(m.intern("h"), BlockId(2));
+    }
+
+    #[test]
+    fn name_round_trips() {
+        let mut m = BlockMap::new();
+        let id = m.intern("X2");
+        assert_eq!(m.name(id), Some("X2"));
+        assert_eq!(m.get("X2"), Some(id));
+        assert_eq!(m.get("missing"), None);
+        assert_eq!(m.name(BlockId(99)), None);
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut m = BlockMap::new();
+        m.intern("a");
+        m.intern("b");
+        let pairs: Vec<_> = m.iter().collect();
+        assert_eq!(pairs, vec![(BlockId(0), "a"), (BlockId(1), "b")]);
+    }
+
+    #[test]
+    fn granularity_display() {
+        assert_eq!(Granularity::Function.to_string(), "function");
+        assert_eq!(Granularity::BasicBlock.to_string(), "basic-block");
+    }
+}

@@ -1,0 +1,273 @@
+//! Phase detection over code-block traces.
+//!
+//! Real programs execute in phases — the paper's workloads (compilers,
+//! game engines, simulators) all show working sets that shift over time,
+//! which is why its affinity model examines a *range* of windows. This
+//! module detects phase boundaries from the trace itself: the trace is cut
+//! into fixed-length segments, each summarized by its set of active
+//! blocks, and a boundary is declared where consecutive segments' sets
+//! diverge (low Jaccard similarity). Downstream uses: reporting, workload
+//! validation, and per-phase layout analysis.
+
+use crate::trace::{BlockId, TrimmedTrace};
+use std::collections::HashSet;
+
+/// One detected phase: a span of trace positions with a stable active set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Phase {
+    /// First trace position of the phase (inclusive).
+    pub start: usize,
+    /// One past the last trace position.
+    pub end: usize,
+    /// The blocks active in this phase.
+    pub active: Vec<BlockId>,
+}
+
+impl Phase {
+    /// Number of trace events in the phase.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True for a degenerate empty phase (never produced by detection).
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Phase-detection parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseConfig {
+    /// Segment length in trace events over which active sets are compared.
+    pub segment: usize,
+    /// Jaccard similarity below which a boundary is declared (0..1).
+    pub boundary_similarity: f64,
+}
+
+impl Default for PhaseConfig {
+    fn default() -> Self {
+        PhaseConfig {
+            segment: 1024,
+            boundary_similarity: 0.5,
+        }
+    }
+}
+
+/// Jaccard similarity of two block sets.
+fn jaccard(a: &HashSet<BlockId>, b: &HashSet<BlockId>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count() as f64;
+    let union = (a.len() + b.len()) as f64 - inter;
+    inter / union
+}
+
+/// Detect phases in a trimmed trace.
+///
+/// Returns at least one phase for a non-empty trace; phases partition
+/// `0..trace.len()` exactly.
+pub fn detect_phases(trace: &TrimmedTrace, config: PhaseConfig) -> Vec<Phase> {
+    let n = trace.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let seg = config.segment.max(1);
+    let events = trace.events();
+
+    // Active set per segment.
+    let mut segments: Vec<HashSet<BlockId>> = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let end = (i + seg).min(n);
+        segments.push(events[i..end].iter().copied().collect());
+        i = end;
+    }
+
+    // A boundary falls between segments whose own active sets diverge;
+    // comparing *consecutive* segments (not an accumulated union) keeps
+    // long phases from diluting the similarity signal. The phase's active
+    // set is the union of its segments.
+    let mut phases: Vec<Phase> = Vec::new();
+    let mut cur_start = 0usize;
+    let mut cur_union: HashSet<BlockId> = segments[0].clone();
+    for si in 1..segments.len() {
+        if jaccard(&segments[si - 1], &segments[si]) < config.boundary_similarity {
+            let end = si * seg;
+            let mut active: Vec<BlockId> = cur_union.iter().copied().collect();
+            active.sort_unstable();
+            phases.push(Phase {
+                start: cur_start,
+                end,
+                active,
+            });
+            cur_start = end;
+            cur_union = segments[si].clone();
+        } else {
+            cur_union.extend(segments[si].iter().copied());
+        }
+    }
+    let mut active: Vec<BlockId> = cur_union.into_iter().collect();
+    active.sort_unstable();
+    phases.push(Phase {
+        start: cur_start,
+        end: n,
+        active,
+    });
+    phases
+}
+
+/// Summary statistics of a phase decomposition.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PhaseSummary {
+    /// Number of phases.
+    pub count: usize,
+    /// Mean active-set size over phases.
+    pub mean_active: f64,
+    /// Largest active set.
+    pub max_active: usize,
+    /// Mean pairwise Jaccard similarity between consecutive phases (low =
+    /// strong phase behaviour).
+    pub mean_transition_similarity: f64,
+}
+
+/// Summarize a phase decomposition.
+pub fn summarize(phases: &[Phase]) -> PhaseSummary {
+    if phases.is_empty() {
+        return PhaseSummary {
+            count: 0,
+            mean_active: 0.0,
+            max_active: 0,
+            mean_transition_similarity: 1.0,
+        };
+    }
+    let mean_active =
+        phases.iter().map(|p| p.active.len() as f64).sum::<f64>() / phases.len() as f64;
+    let max_active = phases.iter().map(|p| p.active.len()).max().unwrap_or(0);
+    let mut sims = Vec::new();
+    for w in phases.windows(2) {
+        let a: HashSet<BlockId> = w[0].active.iter().copied().collect();
+        let b: HashSet<BlockId> = w[1].active.iter().copied().collect();
+        sims.push(jaccard(&a, &b));
+    }
+    let mean_transition_similarity = if sims.is_empty() {
+        1.0
+    } else {
+        sims.iter().sum::<f64>() / sims.len() as f64
+    };
+    PhaseSummary {
+        count: phases.len(),
+        mean_active,
+        max_active,
+        mean_transition_similarity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two clearly distinct phases: blocks 0..8 then 100..108. Phase
+    /// lengths are multiples of the default segment so the boundary falls
+    /// between segments (a straddling segment blurs any detector).
+    fn two_phase_trace() -> TrimmedTrace {
+        let mut ids = Vec::new();
+        for i in 0..4096u32 {
+            ids.push(i % 8);
+        }
+        for i in 0..4096u32 {
+            ids.push(100 + i % 8);
+        }
+        TrimmedTrace::from_indices(ids)
+    }
+
+    #[test]
+    fn detects_two_phases() {
+        let t = two_phase_trace();
+        let phases = detect_phases(&t, PhaseConfig::default());
+        assert_eq!(phases.len(), 2, "{:?}", summarize(&phases));
+        assert_eq!(phases[0].start, 0);
+        assert_eq!(phases[1].end, t.len());
+        assert!(phases[0].active.iter().all(|b| b.0 < 8));
+        assert!(phases[1].active.iter().all(|b| b.0 >= 100));
+    }
+
+    #[test]
+    fn phases_partition_the_trace() {
+        let t = two_phase_trace();
+        let phases = detect_phases(&t, PhaseConfig::default());
+        let mut pos = 0;
+        for p in &phases {
+            assert_eq!(p.start, pos);
+            assert!(!p.is_empty());
+            pos = p.end;
+        }
+        assert_eq!(pos, t.len());
+    }
+
+    #[test]
+    fn stable_program_is_one_phase() {
+        let ids: Vec<u32> = (0..8000).map(|i| (i % 12) as u32).collect();
+        let t = TrimmedTrace::from_indices(ids);
+        let phases = detect_phases(&t, PhaseConfig::default());
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].active.len(), 12);
+    }
+
+    #[test]
+    fn overlapping_phases_merge_at_high_similarity() {
+        // Second half shares 6 of 10 distinct blocks with the first:
+        // Jaccard 0.6, between the strict and loose thresholds below.
+        let mut ids = Vec::new();
+        for i in 0..4096u32 {
+            ids.push(i % 8);
+        }
+        for i in 0..4096u32 {
+            ids.push(2 + i % 8); // blocks 2..10
+        }
+        let t = TrimmedTrace::from_indices(ids);
+        let strict = detect_phases(
+            &t,
+            PhaseConfig {
+                segment: 1024,
+                boundary_similarity: 0.7,
+            },
+        );
+        let loose = detect_phases(
+            &t,
+            PhaseConfig {
+                segment: 1024,
+                boundary_similarity: 0.3,
+            },
+        );
+        assert!(strict.len() >= 2);
+        assert_eq!(loose.len(), 1);
+    }
+
+    #[test]
+    fn empty_trace_has_no_phases() {
+        let t = TrimmedTrace::from_indices(std::iter::empty::<u32>());
+        assert!(detect_phases(&t, PhaseConfig::default()).is_empty());
+        let s = summarize(&[]);
+        assert_eq!(s.count, 0);
+    }
+
+    #[test]
+    fn summary_reflects_structure() {
+        let t = two_phase_trace();
+        let phases = detect_phases(&t, PhaseConfig::default());
+        let s = summarize(&phases);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max_active, 8);
+        assert!((s.mean_active - 8.0).abs() < 1e-9);
+        assert_eq!(s.mean_transition_similarity, 0.0); // disjoint sets
+    }
+
+    #[test]
+    fn short_trace_single_segment() {
+        let t = TrimmedTrace::from_indices([1, 2, 3]);
+        let phases = detect_phases(&t, PhaseConfig::default());
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].len(), 3);
+    }
+}

@@ -1,0 +1,339 @@
+//! TRG reduction (Algorithm 2): greedy slot assignment along heaviest
+//! conflict edges, then round-robin emission.
+//!
+//! The reduction keeps `K` slot lists, each backed by a *supernode* in the
+//! working graph. Edges are processed heaviest first; each unplaced
+//! endpoint picks the first empty slot, or — when none is empty — the slot
+//! whose supernode it conflicts with least (only slots it actually has an
+//! edge to are candidates; a block with a single conflict partner follows
+//! that partner's slot, as `C` does in the paper's Figure 2 walk-through).
+//! Placing a block merges it into the slot supernode (edge weights
+//! combine) and deletes its edges to the other slots, because blocks in
+//! different slots occupy different cache sets and no longer conflict.
+//! Finally the slot lists are drained round-robin into the output order,
+//! interleaving the slots so that consecutive output blocks land in
+//! different cache-set regions.
+//!
+//! Blocks that never appear in any edge (no conflicts) are appended to the
+//! shortest slot lists in first-appearance order before emission.
+
+use crate::graph::Trg;
+use clop_trace::{BlockId, TrimmedTrace};
+use std::collections::HashMap;
+
+/// Result of a TRG reduction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlotAssignment {
+    /// Per-slot block lists, in placement order.
+    pub slots: Vec<Vec<BlockId>>,
+    /// The emitted code-block order (round-robin over slots).
+    pub sequence: Vec<BlockId>,
+}
+
+/// Working-graph entity: an unplaced block or a slot supernode.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+enum Ent {
+    Block(u32),
+    Slot(u32),
+}
+
+/// Run Algorithm 2 with `k` slots. The trace supplies the deterministic
+/// first-appearance order used for conflict-free blocks and tie-breaks.
+pub fn reduce(trg: &Trg, k: usize, trace: &TrimmedTrace) -> SlotAssignment {
+    let k = k.max(1);
+
+    // First-appearance rank for deterministic tie-breaking.
+    let mut rank: HashMap<u32, usize> = HashMap::new();
+    for b in trace.iter() {
+        let next = rank.len();
+        rank.entry(b.0).or_insert(next);
+    }
+    for n in trg.nodes() {
+        let next = rank.len();
+        rank.entry(n.0).or_insert(next);
+    }
+    // Injective tie-break key: slot entities and block entities must never
+    // compare equal, or ties fall back to hash-map iteration order and the
+    // reduction becomes nondeterministic.
+    let rank_of = |e: &Ent| -> (u8, usize) {
+        match e {
+            Ent::Block(x) => (0, *rank.get(x).copied().as_ref().unwrap_or(&usize::MAX)),
+            Ent::Slot(s) => (1, *s as usize),
+        }
+    };
+
+    // Working graph over entities.
+    let mut weights: HashMap<(Ent, Ent), u64> = HashMap::new();
+    let mut adj: HashMap<Ent, Vec<Ent>> = HashMap::new();
+    let key = |a: Ent, b: Ent| if a <= b { (a, b) } else { (b, a) };
+    for (x, y, w) in trg.edges() {
+        let (a, b) = (Ent::Block(x.0), Ent::Block(y.0));
+        weights.insert(key(a, b), w);
+        adj.entry(a).or_default().push(b);
+        adj.entry(b).or_default().push(a);
+    }
+
+    let mut slots: Vec<Vec<BlockId>> = vec![Vec::new(); k];
+    let mut placed: HashMap<u32, u32> = HashMap::new(); // block → slot
+
+    // Heaviest-first edge processing with deterministic tie-breaks.
+    loop {
+        // Pick the heaviest remaining edge with at least one unplaced
+        // endpoint (edges between supernodes are deleted on placement, so
+        // any (Block, _) edge qualifies).
+        let best = weights
+            .iter()
+            .filter(|((a, b), _)| {
+                matches!(a, Ent::Block(_)) || matches!(b, Ent::Block(_))
+            })
+            .max_by(|((a1, b1), w1), ((a2, b2), w2)| {
+                w1.cmp(w2)
+                    .then_with(|| (rank_of(a2).min(rank_of(b2))).cmp(&(rank_of(a1).min(rank_of(b1)))))
+                    .then_with(|| (rank_of(a2).max(rank_of(b2))).cmp(&(rank_of(a1).max(rank_of(b1)))))
+            })
+            .map(|((a, b), _)| (*a, *b));
+        let Some((a, b)) = best else { break };
+
+        // Order endpoints deterministically (first-appearance first), then
+        // place each unplaced block endpoint.
+        let mut endpoints = [a, b];
+        endpoints.sort_by_key(rank_of);
+        for e in endpoints {
+            let Ent::Block(x) = e else { continue };
+            if placed.contains_key(&x) {
+                continue;
+            }
+            place_block(
+                x,
+                &mut weights,
+                &mut adj,
+                &mut slots,
+                &mut placed,
+                &rank,
+            );
+        }
+    }
+
+    // Conflict-free blocks: append to the currently shortest slots in
+    // first-appearance order.
+    let mut leftovers: Vec<BlockId> = trg
+        .nodes()
+        .iter()
+        .copied()
+        .filter(|n| !placed.contains_key(&n.0))
+        .collect();
+    let mut all_blocks: Vec<BlockId> = trace.distinct_blocks();
+    all_blocks.sort_by_key(|b| rank[&b.0]);
+    for b in all_blocks {
+        if !placed.contains_key(&b.0) && !leftovers.contains(&b) {
+            leftovers.push(b);
+        }
+    }
+    leftovers.sort_by_key(|b| rank[&b.0]);
+    for b in leftovers {
+        let (si, _) = slots
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, s)| (s.len(), *i))
+            .expect("k >= 1");
+        slots[si].push(b);
+        placed.insert(b.0, si as u32);
+    }
+
+    // Round-robin emission.
+    let mut sequence = Vec::with_capacity(placed.len());
+    let mut cursors = vec![0usize; k];
+    loop {
+        let mut emitted = false;
+        for (s, cur) in cursors.iter_mut().enumerate() {
+            if *cur < slots[s].len() {
+                sequence.push(slots[s][*cur]);
+                *cur += 1;
+                emitted = true;
+            }
+        }
+        if !emitted {
+            break;
+        }
+    }
+
+    SlotAssignment { slots, sequence }
+}
+
+/// Place one block per Algorithm 2 steps 4–22.
+fn place_block(
+    x: u32,
+    weights: &mut HashMap<(Ent, Ent), u64>,
+    adj: &mut HashMap<Ent, Vec<Ent>>,
+    slots: &mut [Vec<BlockId>],
+    placed: &mut HashMap<u32, u32>,
+    _rank: &HashMap<u32, usize>,
+) {
+    let e = Ent::Block(x);
+    let key = |a: Ent, b: Ent| if a <= b { (a, b) } else { (b, a) };
+
+    // Choose a slot: first empty, else the minimum-conflict slot among
+    // those this block has an edge to.
+    let mut chosen: Option<usize> = None;
+    for (i, s) in slots.iter().enumerate() {
+        if s.is_empty() {
+            chosen = Some(i);
+            break;
+        }
+    }
+    if chosen.is_none() {
+        let mut best_w = u64::MAX;
+        for i in 0..slots.len() {
+            if let Some(&w) = weights.get(&key(e, Ent::Slot(i as u32))) {
+                if w < best_w {
+                    best_w = w;
+                    chosen = Some(i);
+                }
+            }
+        }
+    }
+    // A block reached from an edge always conflicts with something; if all
+    // its conflicts were already consumed, fall back to the shortest slot.
+    let si = chosen.unwrap_or_else(|| {
+        slots
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, s)| (s.len(), *i))
+            .expect("k >= 1")
+            .0
+    });
+
+    slots[si].push(BlockId(x));
+    placed.insert(x, si as u32);
+    let slot_ent = Ent::Slot(si as u32);
+
+    // Merge x into the slot supernode: re-point x's edges; edges to other
+    // slots are dropped (different slots no longer conflict); edges to the
+    // chosen slot's supernode disappear in the merge.
+    let partners = adj.remove(&e).unwrap_or_default();
+    for p in partners {
+        let Some(w) = weights.remove(&key(e, p)) else {
+            continue;
+        };
+        adj.entry(p).or_default().retain(|q| *q != e);
+        match p {
+            Ent::Slot(_) => {
+                // Either the chosen slot (merged away) or another slot
+                // (conflict removed). Nothing survives.
+            }
+            Ent::Block(_) => {
+                let k2 = key(slot_ent, p);
+                *weights.entry(k2).or_insert(0) += w;
+                let al = adj.entry(p).or_default();
+                if !al.contains(&slot_ent) {
+                    al.push(slot_ent);
+                }
+                let al2 = adj.entry(slot_ent).or_default();
+                if !al2.contains(&p) {
+                    al2.push(p);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(i: u32) -> BlockId {
+        BlockId(i)
+    }
+
+    /// The paper's Figure 2 walk-through with 3 code slots. (The figure's
+    /// weights are illegible in our source; these weights are chosen so
+    /// the narrated reduction steps are forced: E<A,B> heaviest → A, B take
+    /// slots 1 and 2; E<E,F> next → E takes slot 3, F joins A's slot as its
+    /// least conflict; C's only edge is to E, so C joins E's slot. The
+    /// emitted sequence must be A B E F C.)
+    #[test]
+    fn paper_figure2() {
+        // A=1, B=2, C=3, E=4, F=5 (first-appearance order A B C E F).
+        let trace = TrimmedTrace::from_indices([1, 2, 3, 4, 5]);
+        let trg = Trg::from_edges(&[
+            (1, 2, 40), // A-B, heaviest
+            (4, 5, 30), // E-F
+            (4, 3, 25), // E-C
+            (5, 2, 15), // F-B
+            (5, 1, 10), // F-A (F's least conflict → joins A)
+        ]);
+        let out = reduce(&trg, 3, &trace);
+        assert_eq!(out.slots[0], vec![b(1), b(5)]); // A F
+        assert_eq!(out.slots[1], vec![b(2)]); // B
+        assert_eq!(out.slots[2], vec![b(4), b(3)]); // E C
+        let seq: Vec<u32> = out.sequence.iter().map(|x| x.0).collect();
+        assert_eq!(seq, vec![1, 2, 4, 5, 3]); // A B E F C
+    }
+
+    #[test]
+    fn sequence_is_permutation_of_trace_blocks() {
+        let trace = TrimmedTrace::from_indices([0, 1, 2, 0, 1, 3, 4, 2, 0]);
+        let trg = Trg::build(&trace, 8);
+        let out = reduce(&trg, 3, &trace);
+        let mut seq: Vec<u32> = out.sequence.iter().map(|x| x.0).collect();
+        seq.sort_unstable();
+        assert_eq!(seq, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn heavy_conflict_pair_separates_into_slots() {
+        // 0 and 1 conflict heavily; with 2 slots they must not share one.
+        let ids: Vec<u32> = (0..100).map(|i| (i % 2) as u32).collect();
+        let trace = TrimmedTrace::from_indices(ids);
+        let trg = Trg::build(&trace, 8);
+        let out = reduce(&trg, 2, &trace);
+        let slot_of = |x: u32| {
+            out.slots
+                .iter()
+                .position(|s| s.contains(&b(x)))
+                .expect("placed")
+        };
+        assert_ne!(slot_of(0), slot_of(1));
+    }
+
+    #[test]
+    fn conflict_free_blocks_fill_shortest_slots() {
+        let trace = TrimmedTrace::from_indices([0, 1, 2, 3]);
+        let trg = Trg::build(&trace, 8); // no reuses → no edges
+        let out = reduce(&trg, 2, &trace);
+        // 4 blocks over 2 slots, 2 each, first-appearance order.
+        assert_eq!(out.slots[0].len(), 2);
+        assert_eq!(out.slots[1].len(), 2);
+        let seq: Vec<u32> = out.sequence.iter().map(|x| x.0).collect();
+        assert_eq!(seq, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn single_slot_degenerates_to_placement_order() {
+        let trace = TrimmedTrace::from_indices([2, 0, 2, 1, 2, 0]);
+        let trg = Trg::build(&trace, 8);
+        let out = reduce(&trg, 1, &trace);
+        assert_eq!(out.slots.len(), 1);
+        let mut seq: Vec<u32> = out.sequence.iter().map(|x| x.0).collect();
+        seq.sort_unstable();
+        assert_eq!(seq, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let ids: Vec<u32> = (0..500).map(|i| ((i * 13 + i / 7) % 12) as u32).collect();
+        let trace = TrimmedTrace::from_indices(ids);
+        let trg = Trg::build(&trace, 16);
+        let a = reduce(&trg, 4, &trace);
+        let c = reduce(&trg, 4, &trace);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn more_slots_than_blocks_is_fine() {
+        let trace = TrimmedTrace::from_indices([0, 1, 0]);
+        let trg = Trg::build(&trace, 8);
+        let out = reduce(&trg, 10, &trace);
+        assert_eq!(out.sequence.len(), 2);
+    }
+}

@@ -1,0 +1,590 @@
+//! Parameterized synthetic program generation.
+//!
+//! A [`WorkloadSpec`] describes a program's instruction-cache shape: how
+//! many hot functions its phase loops cycle through, how big they are, how
+//! branchy their bodies are, how much cold code dilutes the layout, and
+//! whether it contains interpreter-style wide dispatch. [`WorkloadSpec::generate`]
+//! turns the spec into a concrete [`Module`] plus test/reference execution
+//! configs.
+//!
+//! Generated structure:
+//!
+//! * `main` runs an outer loop over `phases` program phases; each phase
+//!   sets a phase global, then loops `phase_trips` times over a call chain
+//!   of that phase's hot functions (phases use overlapping windows of the
+//!   hot function list, giving the gradual working-set drift real programs
+//!   show). A small probability per iteration calls into cold code.
+//! * Hot functions are chains of branch diamonds, optionally with inner
+//!   loops; some branches correlate with the phase global, so different
+//!   phases execute different halves of the same functions — the pattern
+//!   that makes *inter-procedural* basic-block reordering attractive
+//!   (paper Figure 3).
+//! * Cold functions are large straight-line blobs, mostly never executed.
+//! * Functions are emitted in a seeded shuffle of declaration order, so the
+//!   original layout interleaves hot and cold code — the realistic,
+//!   suboptimal baseline the optimizers improve on.
+
+use clop_ir::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Specification of a synthetic workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadSpec {
+    /// Program name (module name).
+    pub name: String,
+    /// Seed for structure generation (not execution).
+    pub seed: u64,
+    /// Number of hot functions cycled by the phase loops.
+    pub hot_funcs: usize,
+    /// Approximate body size of each hot function, in bytes.
+    pub hot_func_bytes: u32,
+    /// Branch diamonds per hot function body.
+    pub diamonds_per_func: usize,
+    /// Probability that a diamond's branch correlates with the phase
+    /// global instead of being an independent coin flip.
+    pub phase_correlation: f64,
+    /// Probability that a diamond is an inner loop rather than an if/else.
+    pub loop_fraction: f64,
+    /// Inclusive range of inner-loop trip counts. More trips mean more
+    /// within-iteration reuse, i.e. a lower solo miss ratio for the same
+    /// code footprint.
+    pub loop_trips: (u32, u32),
+    /// Number of program phases.
+    pub phases: usize,
+    /// Hot functions called per phase iteration (the phase working set).
+    pub funcs_per_phase: usize,
+    /// Loop trips per phase visit.
+    pub phase_trips: u32,
+    /// Number of cold (rarely/never executed) functions.
+    pub cold_funcs: usize,
+    /// Size of each cold function, in bytes.
+    pub cold_func_bytes: u32,
+    /// Probability per phase iteration of calling into a cold function.
+    pub cold_call_prob: f64,
+    /// Width of an interpreter-style dispatch switch in the program's
+    /// dispatcher function; 0 generates no dispatcher. Widths beyond the
+    /// BB reorderer's limit reproduce the paper's "N/A" programs.
+    pub dispatch_width: usize,
+    /// Fuel (basic-block events) of the test input.
+    pub test_fuel: u64,
+    /// Fuel of the reference input.
+    pub ref_fuel: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            name: "synthetic".into(),
+            seed: 1,
+            hot_funcs: 24,
+            hot_func_bytes: 1200,
+            diamonds_per_func: 4,
+            phase_correlation: 0.3,
+            loop_fraction: 0.45,
+            loop_trips: (4, 12),
+            phases: 4,
+            funcs_per_phase: 12,
+            phase_trips: 40,
+            cold_funcs: 30,
+            cold_func_bytes: 2048,
+            cold_call_prob: 0.03,
+            dispatch_width: 0,
+            test_fuel: 60_000,
+            ref_fuel: 240_000,
+        }
+    }
+}
+
+/// A generated workload: the program plus its two inputs.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Program name.
+    pub name: String,
+    /// The program.
+    pub module: Module,
+    /// Profiling (test-input) execution config.
+    pub test_exec: ExecConfig,
+    /// Evaluation (reference-input) execution config.
+    pub ref_exec: ExecConfig,
+    /// The spec this was generated from.
+    pub spec: WorkloadSpec,
+}
+
+impl WorkloadSpec {
+    /// Total approximate hot code bytes (the icache working-set knob).
+    pub fn hot_bytes(&self) -> u64 {
+        self.hot_funcs as u64 * self.hot_func_bytes as u64
+    }
+
+    /// Generate the workload. Deterministic in the spec.
+    pub fn generate(&self) -> Workload {
+        assert!(self.hot_funcs >= 1, "need at least one hot function");
+        assert!(
+            self.funcs_per_phase >= 1 && self.funcs_per_phase <= self.hot_funcs,
+            "phase working set must be within the hot function list"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut b = ModuleBuilder::new(self.name.clone());
+        let phase_var = b.global("phase", 0);
+
+        // ---- main: outer loop over phases, phase loops over call chains.
+        self.build_main(&mut b, phase_var, &mut rng);
+
+        // ---- hot functions.
+        let mut hot_names = Vec::with_capacity(self.hot_funcs);
+        let mut hot_defs = Vec::with_capacity(self.hot_funcs);
+        for i in 0..self.hot_funcs {
+            let name = format!("hot{:03}", i);
+            hot_defs.push(self.hot_function_def(&name, phase_var, &mut rng));
+            hot_names.push(name);
+        }
+
+        // ---- dispatcher (optional).
+        let mut dispatcher = None;
+        if self.dispatch_width > 0 {
+            dispatcher = Some(self.dispatcher_def(&mut rng));
+        }
+
+        // ---- cold functions.
+        let mut cold_defs = Vec::with_capacity(self.cold_funcs);
+        for i in 0..self.cold_funcs {
+            cold_defs.push(ColdDef {
+                name: format!("cold{:03}", i),
+                bytes: self.cold_func_bytes,
+            });
+        }
+
+        // Emit everything after main in a seeded shuffle: hot and cold code
+        // interleaved, the realistic suboptimal source order.
+        enum Def {
+            Hot(HotDef),
+            Cold(ColdDef),
+            Dispatch(DispatchDef),
+        }
+        let mut defs: Vec<Def> = hot_defs
+            .into_iter()
+            .map(Def::Hot)
+            .chain(cold_defs.into_iter().map(Def::Cold))
+            .chain(dispatcher.into_iter().map(Def::Dispatch))
+            .collect();
+        // Fisher–Yates with the structure RNG.
+        for i in (1..defs.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            defs.swap(i, j);
+        }
+        for d in defs {
+            match d {
+                Def::Hot(h) => h.emit(&mut b),
+                Def::Cold(c) => c.emit(&mut b),
+                Def::Dispatch(d) => d.emit(&mut b),
+            }
+        }
+
+        let module = b.build().expect("generated module is structurally valid");
+        Workload {
+            name: self.name.clone(),
+            module,
+            test_exec: ExecConfig::with_fuel(self.test_fuel).seeded(self.seed ^ 0x7E57),
+            ref_exec: ExecConfig::with_fuel(self.ref_fuel).seeded(self.seed ^ 0x4EF),
+            spec: self.clone(),
+        }
+    }
+
+    fn build_main(&self, b: &mut ModuleBuilder, phase_var: VarId, rng: &mut StdRng) {
+        // Phase p calls hot functions [start_p, start_p + funcs_per_phase)
+        // (wrapping), where start_p slides by about half a window per
+        // phase: overlapping working sets.
+        let stride = (self.funcs_per_phase / 2).max(1);
+        let mut fb = b.function("main");
+        for p in 0..self.phases {
+            let set_name = format!("phase{}_set", p);
+            let first_call = format!("p{}c0", p);
+            fb.jump(&set_name, 16, &first_call).effect(Effect::SetGlobal {
+                var: phase_var,
+                value: p as i64,
+            });
+            let start = (p * stride) % self.hot_funcs;
+            for k in 0..self.funcs_per_phase {
+                let f = (start + k) % self.hot_funcs;
+                let this = format!("p{}c{}", p, k);
+                let next = if k + 1 < self.funcs_per_phase {
+                    format!("p{}c{}", p, k + 1)
+                } else {
+                    format!("p{}cold", p)
+                };
+                fb.call(&this, 16, &format!("hot{:03}", f), &next);
+            }
+            // Rare cold excursion, then the phase back-edge.
+            let cold_target = format!("cold{:03}", p % self.cold_funcs.max(1));
+            let back = format!("p{}back", p);
+            if self.cold_funcs > 0 && self.cold_call_prob > 0.0 {
+                let do_cold = format!("p{}docold", p);
+                fb.branch(
+                    &format!("p{}cold", p),
+                    16,
+                    CondModel::Bernoulli(self.cold_call_prob),
+                    &do_cold,
+                    &back,
+                );
+                fb.call(&do_cold, 16, &cold_target, &back);
+            } else {
+                fb.jump(&format!("p{}cold", p), 16, &back);
+            }
+            // Dispatcher call once per iteration for interpreter-like
+            // programs.
+            let loop_head = format!("p{}c0", p);
+            let after = if p + 1 < self.phases {
+                format!("phase{}_set", p + 1)
+            } else {
+                "outer_back".to_string()
+            };
+            if self.dispatch_width > 0 {
+                let disp = format!("p{}disp", p);
+                fb.call(&back, 16, "dispatch", &disp);
+                fb.branch(
+                    &disp,
+                    16,
+                    CondModel::LoopCounter {
+                        trip: self.phase_trips,
+                    },
+                    &loop_head,
+                    &after,
+                );
+            } else {
+                fb.branch(
+                    &back,
+                    16,
+                    CondModel::LoopCounter {
+                        trip: self.phase_trips,
+                    },
+                    &loop_head,
+                    &after,
+                );
+            }
+        }
+        // Outer loop: repeat all phases until fuel runs out.
+        fb.branch(
+            "outer_back",
+            16,
+            CondModel::LoopCounter { trip: u32::MAX },
+            "phase0_set",
+            "the_end",
+        );
+        fb.ret("the_end", 16);
+        let _ = rng;
+        fb.finish();
+    }
+
+    fn hot_function_def(&self, name: &str, phase_var: VarId, rng: &mut StdRng) -> HotDef {
+        // Split the byte budget over entry + diamonds (branch, two arms)
+        // + exit.
+        let d = self.diamonds_per_func.max(1);
+        let unit = (self.hot_func_bytes / (3 * d as u32 + 2)).clamp(16, 512);
+        let mut diamonds = Vec::with_capacity(d);
+        for _ in 0..d {
+            let style = if rng.gen_bool(self.loop_fraction) {
+                DiamondStyle::InnerLoop {
+                    trip: rng.gen_range(self.loop_trips.0..=self.loop_trips.1.max(self.loop_trips.0)),
+                }
+            } else if rng.gen_bool(self.phase_correlation) {
+                DiamondStyle::PhaseCorrelated {
+                    var: phase_var,
+                    value: rng.gen_range(0..self.phases.max(1)) as i64,
+                }
+            } else {
+                DiamondStyle::Coin {
+                    p: rng.gen_range(0.5..0.95),
+                }
+            };
+            diamonds.push(Diamond {
+                style,
+                branch_bytes: jitter(unit, rng),
+                left_bytes: jitter(unit, rng),
+                right_bytes: jitter(unit, rng),
+            });
+        }
+        HotDef {
+            name: name.to_string(),
+            entry_bytes: jitter(unit, rng),
+            exit_bytes: jitter(unit, rng),
+            diamonds,
+        }
+    }
+
+    fn dispatcher_def(&self, rng: &mut StdRng) -> DispatchDef {
+        DispatchDef {
+            width: self.dispatch_width,
+            op_bytes: (0..self.dispatch_width)
+                .map(|_| rng.gen_range(48..192))
+                .collect(),
+        }
+    }
+}
+
+fn jitter(unit: u32, rng: &mut StdRng) -> u32 {
+    let lo = (unit as f64 * 0.6) as u32;
+    let hi = (unit as f64 * 1.4) as u32;
+    rng.gen_range(lo.max(8)..=hi.max(9))
+}
+
+enum DiamondStyle {
+    Coin { p: f64 },
+    PhaseCorrelated { var: VarId, value: i64 },
+    InnerLoop { trip: u32 },
+}
+
+struct Diamond {
+    style: DiamondStyle,
+    branch_bytes: u32,
+    left_bytes: u32,
+    right_bytes: u32,
+}
+
+struct HotDef {
+    name: String,
+    entry_bytes: u32,
+    exit_bytes: u32,
+    diamonds: Vec<Diamond>,
+}
+
+impl HotDef {
+    fn emit(self, b: &mut ModuleBuilder) {
+        let mut fb = b.function(&self.name);
+        let first = if self.diamonds.is_empty() {
+            "exit".to_string()
+        } else {
+            "d0".to_string()
+        };
+        fb.jump("entry", self.entry_bytes, &first);
+        let n = self.diamonds.len();
+        for (i, d) in self.diamonds.iter().enumerate() {
+            let head = format!("d{}", i);
+            let left = format!("d{}l", i);
+            let right = format!("d{}r", i);
+            let next = if i + 1 < n {
+                format!("d{}", i + 1)
+            } else {
+                "exit".to_string()
+            };
+            match &d.style {
+                DiamondStyle::Coin { p } => {
+                    fb.branch(&head, d.branch_bytes, CondModel::Bernoulli(*p), &left, &right);
+                    fb.jump(&left, d.left_bytes, &next);
+                    fb.jump(&right, d.right_bytes, &next);
+                }
+                DiamondStyle::PhaseCorrelated { var, value } => {
+                    fb.branch(
+                        &head,
+                        d.branch_bytes,
+                        CondModel::GlobalEq {
+                            var: *var,
+                            value: *value,
+                        },
+                        &left,
+                        &right,
+                    );
+                    fb.jump(&left, d.left_bytes, &next);
+                    fb.jump(&right, d.right_bytes, &next);
+                }
+                DiamondStyle::InnerLoop { trip } => {
+                    // head is the loop head; left is the body looping back;
+                    // right is the loop exit continuing to next.
+                    fb.branch(
+                        &head,
+                        d.branch_bytes,
+                        CondModel::LoopCounter { trip: *trip },
+                        &left,
+                        &right,
+                    );
+                    fb.jump(&left, d.left_bytes, &head);
+                    fb.jump(&right, d.right_bytes, &next);
+                }
+            }
+        }
+        fb.ret("exit", self.exit_bytes);
+        fb.finish();
+    }
+}
+
+struct ColdDef {
+    name: String,
+    bytes: u32,
+}
+
+impl ColdDef {
+    fn emit(self, b: &mut ModuleBuilder) {
+        // Cold bodies are a few straight-line blocks so that a cold call
+        // touches several cache lines.
+        let mut fb = b.function(&self.name);
+        let chunk = (self.bytes / 4).max(64);
+        fb.jump("c0", chunk, "c1");
+        fb.jump("c1", chunk, "c2");
+        fb.jump("c2", chunk, "c3");
+        fb.ret("c3", chunk);
+        fb.finish();
+    }
+}
+
+struct DispatchDef {
+    width: usize,
+    op_bytes: Vec<u32>,
+}
+
+impl DispatchDef {
+    fn emit(self, b: &mut ModuleBuilder) {
+        let mut fb = b.function("dispatch");
+        let names: Vec<String> = (0..self.width).map(|i| format!("op{}", i)).collect();
+        {
+            // Zipf-ish weights: low opcodes dominate, like real
+            // interpreters.
+            let targets: Vec<(&str, f64)> = names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.as_str(), 1.0 / (i + 1) as f64))
+                .collect();
+            fb.switch("table", 64, &targets);
+        }
+        for (i, n) in names.iter().enumerate() {
+            fb.ret(n, self.op_bytes[i]);
+        }
+        fb.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clop_ir::Interpreter;
+
+    #[test]
+    fn default_spec_generates_valid_module() {
+        let w = WorkloadSpec::default().generate();
+        assert!(w.module.validate().is_ok());
+        assert!(w.module.num_functions() > 50);
+        assert_eq!(w.module.entry, FuncId(0));
+        assert_eq!(w.module.functions[0].name, "main");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = WorkloadSpec::default().generate();
+        let b = WorkloadSpec::default().generate();
+        assert_eq!(a.module, b.module);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = WorkloadSpec::default().generate();
+        let b = WorkloadSpec {
+            seed: 99,
+            ..Default::default()
+        }
+        .generate();
+        assert_ne!(a.module, b.module);
+    }
+
+    #[test]
+    fn executes_and_visits_hot_functions() {
+        let w = WorkloadSpec::default().generate();
+        let out = Interpreter::new(w.test_exec).run(&w.module);
+        assert!(out.num_events() > 1000);
+        // Every phase-0 hot function appears in the function trace.
+        let hot0 = w.module.function_by_name("hot000").unwrap();
+        assert!(out
+            .func_trace
+            .events()
+            .iter()
+            .any(|e| e.0 == hot0.0));
+    }
+
+    #[test]
+    fn hot_bytes_reflects_spec() {
+        let spec = WorkloadSpec {
+            hot_funcs: 10,
+            hot_func_bytes: 1000,
+            funcs_per_phase: 8,
+            ..Default::default()
+        };
+        assert_eq!(spec.hot_bytes(), 10_000);
+        // Generated hot code is within 2x of the nominal budget.
+        let w = spec.generate();
+        let actual: u64 = (0..10)
+            .map(|i| {
+                let f = w
+                    .module
+                    .function_by_name(&format!("hot{:03}", i))
+                    .unwrap();
+                w.module.function(f).unwrap().size_bytes()
+            })
+            .sum();
+        assert!(
+            actual > 5_000 && actual < 20_000,
+            "hot bytes {} vs nominal 10000",
+            actual
+        );
+    }
+
+    #[test]
+    fn dispatcher_emitted_when_requested() {
+        let w = WorkloadSpec {
+            dispatch_width: 20,
+            ..Default::default()
+        }
+        .generate();
+        let f = w.module.function_by_name("dispatch").expect("dispatcher");
+        let func = w.module.function(f).unwrap();
+        assert_eq!(func.num_blocks(), 21); // table + 20 ops
+    }
+
+    #[test]
+    fn no_dispatcher_by_default() {
+        let w = WorkloadSpec::default().generate();
+        assert!(w.module.function_by_name("dispatch").is_none());
+    }
+
+    #[test]
+    fn cold_functions_mostly_unexecuted() {
+        let mut spec = WorkloadSpec::default();
+        spec.cold_call_prob = 0.0;
+        let w = spec.generate();
+        let out = Interpreter::new(w.test_exec).run(&w.module);
+        for i in 0..spec.cold_funcs {
+            let f = w
+                .module
+                .function_by_name(&format!("cold{:03}", i))
+                .unwrap();
+            assert!(
+                !out.func_trace.events().iter().any(|e| e.0 == f.0),
+                "cold{:03} executed with cold_call_prob = 0",
+                i
+            );
+        }
+    }
+
+    #[test]
+    fn test_and_ref_inputs_differ() {
+        let w = WorkloadSpec::default().generate();
+        assert_ne!(w.test_exec.seed, w.ref_exec.seed);
+        assert!(w.ref_exec.max_events > w.test_exec.max_events);
+    }
+
+    #[test]
+    fn phase_correlation_steers_execution() {
+        // With full phase correlation and one phase, correlated diamonds
+        // always take the same side.
+        let spec = WorkloadSpec {
+            phases: 2,
+            phase_correlation: 1.0,
+            loop_fraction: 0.0,
+            hot_funcs: 2,
+            funcs_per_phase: 2,
+            diamonds_per_func: 2,
+            cold_call_prob: 0.0,
+            ..Default::default()
+        };
+        let w = spec.generate();
+        let out = Interpreter::new(w.test_exec).run(&w.module);
+        assert!(out.num_events() > 100);
+    }
+}

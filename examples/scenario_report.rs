@@ -1,0 +1,39 @@
+//! Scenario walkthrough: optimize three realistic workload shapes and
+//! print the before/after optimization report for each.
+//!
+//! ```sh
+//! cargo run --release --example scenario_report
+//! ```
+
+use code_layout_opt::core::{EvalConfig, OptimizationReport, Optimizer, OptimizerKind, ProfileConfig};
+use code_layout_opt::workloads::scenarios;
+
+fn main() {
+    let workloads = [
+        scenarios::interpreter(10, 41), // narrow dispatch: BB reordering OK
+        scenarios::database(42),
+        scenarios::microservice(43),
+    ];
+    for w in workloads {
+        println!("=== {} ===", w.name);
+        // Choose the best applicable optimizer: BB affinity when the
+        // program has no over-wide dispatch, else function affinity.
+        let mut optimizer = Optimizer::new(OptimizerKind::BbAffinity);
+        optimizer.profile = ProfileConfig::with_exec(w.test_exec);
+        let optimized = match optimizer.optimize(&w.module) {
+            Ok(o) => o,
+            Err(e) => {
+                println!("bb-affinity unavailable ({}); falling back", e);
+                let mut fo = Optimizer::new(OptimizerKind::FunctionAffinity);
+                fo.profile = ProfileConfig::with_exec(w.test_exec);
+                fo.optimize(&w.module).expect("function reordering always applies")
+            }
+        };
+        let eval = EvalConfig {
+            exec: w.ref_exec,
+            ..Default::default()
+        };
+        print!("{}", OptimizationReport::build(&w.module, &optimized, &eval));
+        println!();
+    }
+}
