@@ -18,8 +18,8 @@
 //!    encounter; pairs that never do cannot have affinity within the bound.
 //! 2. **Resolution** — with the candidate set known from the start, each
 //!    block access pushes a *pending occurrence* onto all its candidate
-//!    pairs, recording the backward-witness footprint (partner's stack depth
-//!    + 1, when within the window). A later access of the partner resolves
+//!    pairs, recording the backward-witness footprint (one more than the
+//!    partner's stack depth, when within the window). A later access of the partner resolves
 //!    every pending at once: the forward footprint of a pending at position
 //!    `p` is the number of distinct blocks accessed in `[p, now]`, read off
 //!    the recency stack (entries with last access ≥ `p`). Resolutions beyond
@@ -327,10 +327,7 @@ mod tests {
         // must still credit it.
         let t = TrimmedTrace::from_indices([0, 1, 0, 2]);
         let eff = PairThresholds::measure(&t, 5);
-        assert_eq!(
-            eff.get(b(0), b(2)),
-            naive::pair_threshold(&t, b(0), b(2))
-        );
+        assert_eq!(eff.get(b(0), b(2)), naive::pair_threshold(&t, b(0), b(2)));
         assert_eq!(eff.get(b(0), b(2)), Some(3));
     }
 

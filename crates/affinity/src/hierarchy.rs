@@ -74,7 +74,8 @@ impl AffinityHierarchy {
 
         // Union-find over blocks, with per-root ordered member lists.
         let n = order.len();
-        let index_of: HashMap<u32, usize> = order.iter().enumerate().map(|(i, b)| (b.0, i)).collect();
+        let index_of: HashMap<u32, usize> =
+            order.iter().enumerate().map(|(i, b)| (b.0, i)).collect();
         let mut parent: Vec<usize> = (0..n).collect();
         let mut members: Vec<Vec<BlockId>> = order.iter().map(|&b| vec![b]).collect();
         // Rank of an atom = first appearance of its earliest block; the
@@ -134,7 +135,11 @@ impl AffinityHierarchy {
                     continue;
                 }
                 // The atom that appeared earlier keeps its position.
-                let (keep, gone) = if rank[rx] <= rank[ry] { (rx, ry) } else { (ry, rx) };
+                let (keep, gone) = if rank[rx] <= rank[ry] {
+                    (rx, ry)
+                } else {
+                    (ry, rx)
+                };
                 let moved = std::mem::take(&mut members[gone]);
                 members[keep].extend(moved);
                 parent[gone] = keep;

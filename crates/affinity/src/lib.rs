@@ -49,7 +49,10 @@ pub struct AffinityConfig {
 
 impl Default for AffinityConfig {
     fn default() -> Self {
-        AffinityConfig { w_min: 2, w_max: 20 }
+        AffinityConfig {
+            w_min: 2,
+            w_max: 20,
+        }
     }
 }
 

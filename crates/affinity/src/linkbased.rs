@@ -61,8 +61,8 @@ impl LinkHierarchy {
         let mut order: Vec<BlockId> = Vec::new();
         let mut index: HashMap<u32, usize> = HashMap::new();
         for b in trace.iter() {
-            if !index.contains_key(&b.0) {
-                index.insert(b.0, order.len());
+            if let std::collections::hash_map::Entry::Vacant(e) = index.entry(b.0) {
+                e.insert(order.len());
                 order.push(b);
             }
         }
@@ -79,9 +79,7 @@ impl LinkHierarchy {
         // Edges grouped by threshold so levels can be built incrementally.
         let mut edges: Vec<(u32, usize, usize)> = thresholds
             .pairs()
-            .filter_map(|(x, y, t)| {
-                Some((t, *index.get(&x.0)?, *index.get(&y.0)?))
-            })
+            .filter_map(|(x, y, t)| Some((t, *index.get(&x.0)?, *index.get(&y.0)?)))
             .collect();
         edges.sort_unstable();
 

@@ -5,7 +5,7 @@
 
 use clop_affinity::{affinity_layout, naive, AffinityConfig, PairThresholds};
 use clop_trace::{BlockId, TrimmedTrace};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use clop_util::bench::Runner;
 
 /// A phase-structured synthetic trace over `blocks` blocks.
 fn synthetic_trace(len: usize, blocks: u32) -> TrimmedTrace {
@@ -26,61 +26,38 @@ fn synthetic_trace(len: usize, blocks: u32) -> TrimmedTrace {
     TrimmedTrace::from_indices(ids)
 }
 
-fn bench_efficient_analyzer(c: &mut Criterion) {
-    let mut g = c.benchmark_group("affinity/efficient");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(4));
-    for &len in &[10_000usize, 50_000, 200_000] {
-        let trace = synthetic_trace(len, 256);
-        g.throughput(Throughput::Elements(trace.len() as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(len), &trace, |b, t| {
-            b.iter(|| PairThresholds::measure(t, 20))
-        });
-    }
-    g.finish();
-}
+fn main() {
+    let r = Runner::from_args();
 
-fn bench_naive_reference(c: &mut Criterion) {
+    for len in [10_000usize, 50_000, 200_000] {
+        let trace = synthetic_trace(len, 256);
+        r.bench_with_elements(
+            &format!("affinity/efficient/{}", len),
+            Some(trace.len() as u64),
+            || PairThresholds::measure(&trace, 20),
+        );
+    }
+
     // Keep the quadratic reference to small sizes.
-    let mut g = c.benchmark_group("affinity/naive_pairs");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(4));
-    for &len in &[200usize, 500] {
+    for len in [200usize, 500] {
         let trace = synthetic_trace(len, 16);
-        g.bench_with_input(BenchmarkId::from_parameter(len), &trace, |b, t| {
-            b.iter(|| {
-                let mut total = 0usize;
-                for x in 0..16u32 {
-                    for y in (x + 1)..16u32 {
-                        if naive::pair_threshold(t, BlockId(x), BlockId(y)).is_some() {
-                            total += 1;
-                        }
+        r.bench(&format!("affinity/naive_pairs/{}", len), || {
+            let mut total = 0usize;
+            for x in 0..16u32 {
+                for y in (x + 1)..16u32 {
+                    if naive::pair_threshold(&trace, BlockId(x), BlockId(y)).is_some() {
+                        total += 1;
                     }
                 }
-                total
-            })
+            }
+            total
         });
     }
-    g.finish();
-}
 
-fn bench_window_sweep(c: &mut Criterion) {
     let trace = synthetic_trace(50_000, 256);
-    let mut g = c.benchmark_group("affinity/w_max");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(4));
-    for &w in &[4u32, 10, 20, 40] {
-        g.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, &w| {
-            b.iter(|| affinity_layout(&trace, AffinityConfig::up_to(w)))
+    for w in [4u32, 10, 20, 40] {
+        r.bench(&format!("affinity/w_max/{}", w), || {
+            affinity_layout(&trace, AffinityConfig::up_to(w))
         });
     }
-    g.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_efficient_analyzer,
-    bench_naive_reference,
-    bench_window_sweep
-);
-criterion_main!(benches);

@@ -2,10 +2,10 @@
 //! channel, and the timed core model.
 
 use clop_cachesim::{
-    simulate_corun_lines, simulate_solo_lines, CacheConfig, NextLinePrefetchCache,
-    SmtSimulator, TimingConfig,
+    simulate_corun_lines, simulate_solo_lines, CacheConfig, NextLinePrefetchCache, SmtSimulator,
+    TimingConfig,
 };
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use clop_util::bench::Runner;
 
 fn synthetic_lines(len: usize, span: u64) -> Vec<u64> {
     let mut state = 0xA0761D6478BD642Fu64;
@@ -27,54 +27,37 @@ fn synthetic_lines(len: usize, span: u64) -> Vec<u64> {
         .collect()
 }
 
-fn bench_solo(c: &mut Criterion) {
+fn main() {
+    let r = Runner::from_args();
     let cfg = CacheConfig::paper_l1i();
-    let mut g = c.benchmark_group("cachesim/solo");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(4));
-    for &len in &[100_000usize, 1_000_000] {
+
+    for len in [100_000usize, 1_000_000] {
         let lines = synthetic_lines(len, 2048);
-        g.throughput(Throughput::Elements(len as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(len), &lines, |b, l| {
-            b.iter(|| simulate_solo_lines(l, cfg))
+        r.bench_with_elements(&format!("cachesim/solo/{}", len), Some(len as u64), || {
+            simulate_solo_lines(&lines, cfg)
         });
     }
-    g.finish();
-}
 
-fn bench_corun(c: &mut Criterion) {
-    let cfg = CacheConfig::paper_l1i();
     let a = synthetic_lines(500_000, 2048);
-    let b2 = synthetic_lines(500_000, 1024);
-    c.bench_function("cachesim/corun_1m", |b| {
-        b.iter(|| simulate_corun_lines(&a, &b2, cfg))
-    });
-}
+    let b = synthetic_lines(500_000, 1024);
+    r.bench("cachesim/corun_1m", || simulate_corun_lines(&a, &b, cfg));
 
-fn bench_prefetch(c: &mut Criterion) {
     let lines = synthetic_lines(500_000, 2048);
-    c.bench_function("cachesim/prefetch_500k", |b| {
-        b.iter(|| {
-            let mut cache = NextLinePrefetchCache::new(CacheConfig::paper_l1i());
-            for &l in &lines {
-                cache.access(l);
-            }
-            cache.stats()
-        })
+    r.bench("cachesim/prefetch_500k", || {
+        let mut cache = NextLinePrefetchCache::new(CacheConfig::paper_l1i());
+        for &l in &lines {
+            cache.access(l);
+        }
+        cache.stats()
     });
-}
 
-fn bench_timed(c: &mut Criterion) {
     let stream: Vec<(u64, u32)> = synthetic_lines(200_000, 2048)
         .into_iter()
         .map(|l| (l, 12))
         .collect();
     let sim = SmtSimulator::new(TimingConfig::default());
-    c.bench_function("cachesim/timed_solo_200k", |b| b.iter(|| sim.run_solo(&stream)));
-    c.bench_function("cachesim/timed_corun_200k", |b| {
-        b.iter(|| sim.run_corun(&stream, &stream))
+    r.bench("cachesim/timed_solo_200k", || sim.run_solo(&stream));
+    r.bench("cachesim/timed_corun_200k", || {
+        sim.run_corun(&stream, &stream)
     });
 }
-
-criterion_group!(benches, bench_solo, bench_corun, bench_prefetch, bench_timed);
-criterion_main!(benches);

@@ -4,29 +4,22 @@
 //! time"; here the baseline is the profiling run itself.
 
 use clop_core::{Optimizer, OptimizerKind, Profile, ProfileConfig};
+use clop_util::bench::Runner;
 use clop_workloads::{primary_program, PrimaryBenchmark};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_profile_only(c: &mut Criterion) {
+fn main() {
+    let r = Runner::from_args();
     let w = primary_program(PrimaryBenchmark::Sjeng);
-    c.bench_function("e2e/profile_only", |b| {
-        b.iter(|| Profile::collect(&w.module, &ProfileConfig::with_exec(w.test_exec)))
+
+    r.bench("e2e/profile_only", || {
+        Profile::collect(&w.module, &ProfileConfig::with_exec(w.test_exec))
     });
-}
 
-fn bench_optimizers(c: &mut Criterion) {
-    let w = primary_program(PrimaryBenchmark::Sjeng);
-    let mut g = c.benchmark_group("e2e/optimize");
-    g.sample_size(10);
     for kind in OptimizerKind::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
-            let mut opt = Optimizer::new(kind);
-            opt.profile = ProfileConfig::with_exec(w.test_exec);
-            b.iter(|| opt.optimize(&w.module).expect("sjeng supports all four"))
+        let mut opt = Optimizer::new(kind);
+        opt.profile = ProfileConfig::with_exec(w.test_exec);
+        r.bench(&format!("e2e/optimize/{}", kind), || {
+            opt.optimize(&w.module).expect("sjeng supports all four")
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_profile_only, bench_optimizers);
-criterion_main!(benches);

@@ -3,7 +3,7 @@
 
 use clop_trace::footprint::FootprintCurve;
 use clop_trace::{BlockId, LruStack, ReuseHistogram, TrimmedTrace};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use clop_util::bench::Runner;
 
 fn synthetic_ids(len: usize, blocks: u32) -> Vec<u32> {
     let mut state = 0xE7037ED1A0B428DBu64;
@@ -16,62 +16,42 @@ fn synthetic_ids(len: usize, blocks: u32) -> Vec<u32> {
     (0..len).map(|_| (next() % blocks as u64) as u32).collect()
 }
 
-fn bench_stack_access(c: &mut Criterion) {
-    let mut g = c.benchmark_group("stack/access");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(4));
-    for &blocks in &[64u32, 1024, 16_384] {
+fn main() {
+    let r = Runner::from_args();
+
+    for blocks in [64u32, 1024, 16_384] {
         let ids = synthetic_ids(200_000, blocks);
-        g.throughput(Throughput::Elements(ids.len() as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(blocks), &ids, |b, ids| {
-            b.iter(|| {
+        r.bench_with_elements(
+            &format!("stack/access/{}", blocks),
+            Some(ids.len() as u64),
+            || {
                 let mut s = LruStack::new(blocks as usize);
                 let mut acc = 0usize;
-                for &x in ids {
+                for &x in &ids {
                     let d = s.access(BlockId(x));
                     if d != LruStack::INFINITE {
                         acc += d;
                     }
                 }
                 acc
-            })
-        });
+            },
+        );
     }
-    g.finish();
-}
 
-fn bench_bounded_walk(c: &mut Criterion) {
     let ids = synthetic_ids(200_000, 16_384);
-    c.bench_function("stack/access_bounded_w20", |b| {
-        b.iter(|| {
-            let mut s = LruStack::with_walk_bound(16_384, 20);
-            for &x in &ids {
-                s.access(BlockId(x));
-            }
-            s.len()
-        })
+    r.bench("stack/access_bounded_w20", || {
+        let mut s = LruStack::with_walk_bound(16_384, 20);
+        for &x in &ids {
+            s.access(BlockId(x));
+        }
+        s.len()
     });
-}
 
-fn bench_reuse_histogram(c: &mut Criterion) {
     let t = TrimmedTrace::from_indices(synthetic_ids(200_000, 1024));
-    c.bench_function("stack/reuse_histogram_200k", |b| {
-        b.iter(|| ReuseHistogram::measure(&t))
-    });
-}
+    r.bench("stack/reuse_histogram_200k", || ReuseHistogram::measure(&t));
 
-fn bench_footprint_curve(c: &mut Criterion) {
     let t = TrimmedTrace::from_indices(synthetic_ids(100_000, 1024));
-    c.bench_function("stack/footprint_sampled_100k", |b| {
-        b.iter(|| FootprintCurve::measure_sampled(&t, 4096))
+    r.bench("stack/footprint_sampled_100k", || {
+        FootprintCurve::measure_sampled(&t, 4096)
     });
 }
-
-criterion_group!(
-    benches,
-    bench_stack_access,
-    bench_bounded_walk,
-    bench_reuse_histogram,
-    bench_footprint_curve
-);
-criterion_main!(benches);

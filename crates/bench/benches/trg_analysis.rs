@@ -4,7 +4,7 @@
 
 use clop_trace::TrimmedTrace;
 use clop_trg::{reduce, Trg, TrgConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use clop_util::bench::Runner;
 
 fn synthetic_trace(len: usize, blocks: u32) -> TrimmedTrace {
     let mut state = 0xD1B54A32D192ED03u64;
@@ -17,59 +17,27 @@ fn synthetic_trace(len: usize, blocks: u32) -> TrimmedTrace {
     TrimmedTrace::from_indices((0..len).map(|_| (next() % blocks as u64) as u32))
 }
 
-fn bench_construction(c: &mut Criterion) {
-    let mut g = c.benchmark_group("trg/build");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(4));
-    for &len in &[10_000usize, 50_000, 200_000] {
+fn main() {
+    let r = Runner::from_args();
+
+    for len in [10_000usize, 50_000, 200_000] {
         let trace = synthetic_trace(len, 128);
-        g.throughput(Throughput::Elements(len as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(len), &trace, |b, t| {
-            b.iter(|| Trg::build(t, 256))
+        r.bench_with_elements(&format!("trg/build/{}", len), Some(len as u64), || {
+            Trg::build(&trace, 256)
         });
     }
-    g.finish();
-}
 
-fn bench_window(c: &mut Criterion) {
     let trace = synthetic_trace(50_000, 128);
-    let mut g = c.benchmark_group("trg/window");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(4));
-    for &q in &[32usize, 128, 512] {
-        g.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
-            b.iter(|| Trg::build(&trace, q))
-        });
+    for q in [32usize, 128, 512] {
+        r.bench(&format!("trg/window/{}", q), || Trg::build(&trace, q));
     }
-    g.finish();
-}
 
-fn bench_reduction(c: &mut Criterion) {
-    let trace = synthetic_trace(50_000, 128);
     let trg = Trg::build(&trace, 256);
-    let mut g = c.benchmark_group("trg/reduce");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(4));
-    for &k in &[8usize, 32, 128] {
-        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| reduce(&trg, k, &trace))
-        });
+    for k in [8usize, 32, 128] {
+        r.bench(&format!("trg/reduce/{}", k), || reduce(&trg, k, &trace));
     }
-    g.finish();
-}
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let trace = synthetic_trace(50_000, 128);
-    c.bench_function("trg/layout_default", |b| {
-        b.iter(|| clop_trg::trg_layout(&trace, TrgConfig::default()))
+    r.bench("trg/layout_default", || {
+        clop_trg::trg_layout(&trace, TrgConfig::default())
     });
 }
-
-criterion_group!(
-    benches,
-    bench_construction,
-    bench_window,
-    bench_reduction,
-    bench_end_to_end
-);
-criterion_main!(benches);

@@ -1,73 +1,3 @@
-//! Ablation A4: does the layout optimization survive realistic replacement
-//! policies?
-//!
-//! The paper's simulator assumes true LRU; real L1I caches use cheaper
-//! approximations (tree-PLRU on Intel, FIFO on some embedded cores). We
-//! replay the baseline and BB-affinity-optimized fetch streams of two
-//! benchmarks under four policies and report the miss-ratio reduction per
-//! policy. Expectation: the reduction is a property of the layout, not of
-//! the policy — it should persist (within a few points) across all four.
-
-use clop_bench::{baseline_run, optimized_run, paper_cache, pct, pct0, render_table, write_json};
-use clop_cachesim::{simulate_with_policy, ReplacementPolicy};
-use clop_core::OptimizerKind;
-use clop_workloads::{primary_program, PrimaryBenchmark};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    program: String,
-    policy: String,
-    base_miss: f64,
-    opt_miss: f64,
-    reduction: f64,
-}
-
 fn main() {
-    let cache = paper_cache();
-    let mut rows = Vec::new();
-    for b in [PrimaryBenchmark::Gobmk, PrimaryBenchmark::Sjeng] {
-        let w = primary_program(b);
-        let base = baseline_run(&w).lines();
-        let opt = optimized_run(&w, OptimizerKind::BbAffinity)
-            .expect("supported")
-            .lines();
-        for policy in ReplacementPolicy::ALL {
-            let sb = simulate_with_policy(&base, cache, policy);
-            let so = simulate_with_policy(&opt, cache, policy);
-            rows.push(Row {
-                program: b.name().to_string(),
-                policy: policy.to_string(),
-                base_miss: sb.miss_ratio(),
-                opt_miss: so.miss_ratio(),
-                reduction: sb.reduction_to(&so),
-            });
-            eprint!(".");
-        }
-    }
-    eprintln!();
-
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.program.clone(),
-                r.policy.clone(),
-                pct0(r.base_miss),
-                pct0(r.opt_miss),
-                pct(r.reduction),
-            ]
-        })
-        .collect();
-    println!("Ablation A4: BB-affinity miss reduction under four replacement policies\n");
-    println!(
-        "{}",
-        render_table(
-            &["program", "policy", "baseline miss", "optimized miss", "reduction"],
-            &table
-        )
-    );
-    println!("expectation: the layout benefit persists across policies");
-
-    write_json("ablation_policy", &rows);
+    clop_bench::experiment::cli_main("ablation_policy");
 }

@@ -1,60 +1,3 @@
-//! Ablation A3: trace pruning rate vs model quality.
-//!
-//! The paper prunes basic-block traces to the 10,000 hottest blocks,
-//! retaining over 90% of occurrences (§II-F). We sweep the pruning budget
-//! on 445.gobmk-like and report (a) occurrence retention and (b) the solo
-//! miss reduction achieved by BB affinity built from the pruned trace:
-//! aggressive pruning must degrade the optimization gracefully, while
-//! budgets that keep most occurrences match the unpruned result.
-
-use clop_bench::{baseline_run, eval_config, optimizer_for, pct, pct0, render_table, write_json};
-use clop_core::{OptimizerKind, ProgramRun};
-use clop_trace::Pruner;
-use clop_workloads::{primary_program, PrimaryBenchmark};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Point {
-    budget: usize,
-    retention: f64,
-    miss_reduction: f64,
-}
-
 fn main() {
-    let w = primary_program(PrimaryBenchmark::Gobmk);
-    let base = baseline_run(&w).solo_sim();
-
-    let mut points = Vec::new();
-    for budget in [10usize, 25, 50, 100, 200, 400, 800, 10_000] {
-        let mut opt = optimizer_for(&w, OptimizerKind::BbAffinity);
-        opt.profile.prune = Some(Pruner::new(budget));
-        let o = opt.optimize(&w.module).expect("gobmk supports BB reordering");
-        let run = ProgramRun::evaluate(&o.module, &o.layout, &eval_config(&w));
-        points.push(Point {
-            budget,
-            retention: o.profile.prune_retention,
-            miss_reduction: base.reduction_to(&run.solo_sim()),
-        });
-        eprint!(".");
-    }
-    eprintln!();
-
-    println!("Ablation A3: pruning budget vs retention and BB-affinity quality (445.gobmk)\n");
-    println!(
-        "{}",
-        render_table(
-            &["hot-block budget", "retention", "solo miss reduction"],
-            &points
-                .iter()
-                .map(|p| vec![
-                    p.budget.to_string(),
-                    pct0(p.retention),
-                    pct(p.miss_reduction)
-                ])
-                .collect::<Vec<_>>()
-        )
-    );
-    println!("paper: the 10k budget retains >90% of occurrences and is effectively lossless");
-
-    write_json("ablation_pruning", &points);
+    clop_bench::experiment::cli_main("ablation_pruning");
 }

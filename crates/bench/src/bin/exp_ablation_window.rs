@@ -1,105 +1,3 @@
-//! Ablations A1/A2: sensitivity of the two models to their window
-//! parameters.
-//!
-//! A1 — the affinity analysis considers windows w in [2, w_max]; the paper
-//! chooses w_max = 20 "to improve efficiency". We sweep w_max on a
-//! code-heavy program (445.gobmk-like) and report the solo miss reduction
-//! of BB affinity: the curve should be fairly flat beyond a modest w_max —
-//! affinity is robust to the window bound.
-//!
-//! A2 — TRG examines a single fixed window (Gloy–Smith recommend 2C). The
-//! paper finds TRG "sensitive to the window size 2C" and its improvement
-//! "fragile as we try to pick the value that gives the best performance".
-//! We sweep the window on 458.sjeng-like and report the solo miss
-//! reduction of function TRG: expect a non-monotone, fragile curve.
-
-use clop_bench::{baseline_run, eval_config, optimizer_for, pct, render_table, write_json};
-use clop_core::{OptimizerKind, ProgramRun};
-use clop_trg::TrgConfig;
-use clop_workloads::{primary_program, PrimaryBenchmark};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Sweep {
-    parameter: String,
-    program: String,
-    points: Vec<(u32, f64)>,
-}
-
 fn main() {
-    // ---- A1: affinity w_max sweep.
-    let w = primary_program(PrimaryBenchmark::Gobmk);
-    let base = baseline_run(&w).solo_sim();
-    let mut aff_points = Vec::new();
-    for w_max in [2u32, 4, 6, 8, 12, 16, 20, 28, 40] {
-        let mut opt = optimizer_for(&w, OptimizerKind::BbAffinity);
-        opt.affinity.w_max = w_max;
-        let run = opt
-            .optimize(&w.module)
-            .map(|o| ProgramRun::evaluate(&o.module, &o.layout, &eval_config(&w)))
-            .expect("gobmk supports BB reordering");
-        let reduction = base.reduction_to(&run.solo_sim());
-        aff_points.push((w_max, reduction));
-        eprint!(".");
-    }
-    eprintln!();
-    println!("Ablation A1: BB affinity miss reduction vs w_max (445.gobmk)\n");
-    println!(
-        "{}",
-        render_table(
-            &["w_max", "solo miss reduction"],
-            &aff_points
-                .iter()
-                .map(|(w, r)| vec![w.to_string(), pct(*r)])
-                .collect::<Vec<_>>()
-        )
-    );
-
-    // ---- A2: TRG window sweep.
-    let w2 = primary_program(PrimaryBenchmark::Sjeng);
-    let base2 = baseline_run(&w2).solo_sim();
-    let mut trg_points = Vec::new();
-    for window in [8u32, 16, 32, 64, 128, 256, 512] {
-        let mut opt = optimizer_for(&w2, OptimizerKind::FunctionTrg);
-        opt.trg = TrgConfig {
-            window: window as usize,
-            slots: opt.trg.slots,
-        };
-        let run = opt
-            .optimize(&w2.module)
-            .map(|o| ProgramRun::evaluate(&o.module, &o.layout, &eval_config(&w2)))
-            .expect("function reordering always works");
-        let reduction = base2.reduction_to(&run.solo_sim());
-        trg_points.push((window, reduction));
-        eprint!(".");
-    }
-    eprintln!();
-    println!("\nAblation A2: function TRG miss reduction vs window (458.sjeng)\n");
-    println!(
-        "{}",
-        render_table(
-            &["window (blocks)", "solo miss reduction"],
-            &trg_points
-                .iter()
-                .map(|(w, r)| vec![w.to_string(), pct(*r)])
-                .collect::<Vec<_>>()
-        )
-    );
-    println!("paper: affinity robust across w; TRG fragile in its 2C window");
-
-    write_json(
-        "ablation_window",
-        &vec![
-            Sweep {
-                parameter: "affinity w_max".into(),
-                program: "445.gobmk".into(),
-                points: aff_points,
-            },
-            Sweep {
-                parameter: "trg window".into(),
-                program: "458.sjeng".into(),
-                points: trg_points,
-            },
-        ],
-    );
+    clop_bench::experiment::cli_main("ablation_window");
 }

@@ -1,47 +1,30 @@
-//! Convenience runner: execute every experiment binary in sequence.
+//! Run every experiment in sequence, sharing one memoizing [`Engine`] so
+//! baselines and optimized runs computed by one experiment are reused by
+//! the next. Parallelism lives *inside* each experiment (`--jobs N`, or
+//! `-j N`; defaults to the machine's available parallelism): experiments
+//! fan their independent work items out over a scoped-thread pool, and the
+//! pool returns results in input order, so the emitted text and
+//! `results/*.json` are identical for every jobs count.
 //!
-//! Equivalent to running each `exp_*` target by hand; builds must already
-//! be compiled (run through `cargo run --release -p clop-bench --bin
-//! exp_all`). Individual experiment failures abort with that experiment's
-//! exit code.
+//! [`Engine`]: clop_core::Engine
 
-use std::process::Command;
-
-const EXPERIMENTS: &[&str] = &[
-    "exp_intro_table",
-    "exp_table1_characteristics",
-    "exp_fig4_miss_ratios",
-    "exp_fig5_solo",
-    "exp_table2_corun",
-    "exp_fig6_corun_bars",
-    "exp_fig7_throughput",
-    "exp_combining",
-    "exp_ablation_window",
-    "exp_ablation_pruning",
-    "exp_ablation_policy",
-    "exp_baselines",
-    "exp_model_validation",
-    "exp_petrank_wall",
-    "exp_smt_width",
-    "exp_coschedule",
-    "exp_mrc",
-    "exp_multilevel",
-];
+use clop_bench::experiment::{all, jobs_from_args, run_and_write, ExperimentCtx};
 
 fn main() {
-    // Find sibling binaries next to this one.
-    let me = std::env::current_exe().expect("own path");
-    let dir = me.parent().expect("bin dir");
-    for exp in EXPERIMENTS {
-        println!("\n=== {} ===", exp);
-        let path = dir.join(exp);
-        let status = Command::new(&path)
-            .status()
-            .unwrap_or_else(|e| panic!("cannot run {}: {} (build with --release first)", exp, e));
-        if !status.success() {
-            eprintln!("{} failed with {}", exp, status);
-            std::process::exit(status.code().unwrap_or(1));
-        }
+    let ctx = ExperimentCtx::new(jobs_from_args());
+    eprintln!(
+        "running {} experiments with --jobs {}",
+        all().len(),
+        ctx.jobs
+    );
+    for exp in all() {
+        println!("=== {} ===", exp.name);
+        run_and_write(&exp, &ctx);
+        println!();
     }
-    println!("\nall {} experiments completed; artifacts in results/", EXPERIMENTS.len());
+    let stats = ctx.engine.stats();
+    eprintln!(
+        "engine: {} evaluations ({} memoized), {} optimizations ({} memoized)",
+        stats.eval_misses, stats.eval_hits, stats.opt_misses, stats.opt_hits
+    );
 }

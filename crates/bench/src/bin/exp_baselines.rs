@@ -1,168 +1,3 @@
-//! Baseline comparison: the paper's whole-program optimizers vs the two
-//! classic prior-work layouts it cites (§IV) and vs the original
-//! Gloy–Smith padding realization of TRG.
-//!
-//! * Function granularity: original order, Pettis–Hansen call-affinity
-//!   chains, function affinity, function TRG.
-//! * Basic-block granularity: original order, intra-procedural hot-path
-//!   reordering (the traditional compiler pass), inter-procedural BB
-//!   affinity.
-//! * TRG realization: reordering (the paper's adaptation) vs padding
-//!   (Gloy–Smith), comparing miss ratio and image size.
-//!
-//! Expected shape: the whole-program treatments beat the classical,
-//! function-local ones; padding wins a few conflicts but bloats the image.
-
-use clop_bench::{baseline_run, eval_config, optimizer_for, pct0, render_table, write_json};
-use clop_core::{
-    baseline, OptimizerKind, Profile, ProfileConfig, ProgramRun,
-};
-use clop_ir::Interpreter;
-use clop_trg::{place_with_padding, reduce, Trg};
-use clop_workloads::{primary_program, PrimaryBenchmark};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    program: String,
-    strategy: String,
-    solo_miss: f64,
-    image_kb: f64,
-}
-
 fn main() {
-    let mut rows: Vec<Row> = Vec::new();
-    let programs = [
-        PrimaryBenchmark::Gobmk,
-        PrimaryBenchmark::Sjeng,
-        PrimaryBenchmark::Xalancbmk,
-    ];
-    for bench in programs {
-        let w = primary_program(bench);
-        let cfg = eval_config(&w);
-        let mut push = |strategy: &str, run: &ProgramRun| {
-            rows.push(Row {
-                program: bench.name().to_string(),
-                strategy: strategy.to_string(),
-                solo_miss: run.solo_sim().miss_ratio(),
-                image_kb: run.image_bytes as f64 / 1024.0,
-            });
-        };
-
-        // Function granularity.
-        let base = baseline_run(&w);
-        push("original", &base);
-        let profile = Profile::collect(&w.module, &ProfileConfig::with_exec(w.test_exec));
-        let ph = baseline::pettis_hansen_function_order(&w.module, &profile.func_trace);
-        push("pettis-hansen", &ProgramRun::evaluate(&w.module, &ph, &cfg));
-        for kind in [OptimizerKind::FunctionAffinity, OptimizerKind::FunctionTrg] {
-            let o = optimizer_for(&w, kind).optimize(&w.module).expect("fn opt");
-            push(
-                &kind.to_string(),
-                &ProgramRun::evaluate(&o.module, &o.layout, &cfg),
-            );
-        }
-
-        // Basic-block granularity.
-        let intra_mod = baseline::preprocess_for_intra_reordering(&w.module);
-        let intra_profile =
-            Profile::collect(&intra_mod, &ProfileConfig::with_exec(w.test_exec));
-        let intra = baseline::intra_procedural_block_order(&intra_mod, &intra_profile);
-        push(
-            "intra-bb (classic)",
-            &ProgramRun::evaluate(&intra_mod, &intra, &cfg),
-        );
-        if let Ok(o) = optimizer_for(&w, OptimizerKind::BbAffinity).optimize(&w.module) {
-            push(
-                "inter-bb affinity",
-                &ProgramRun::evaluate(&o.module, &o.layout, &cfg),
-            );
-        }
-
-        // TRG realization: reorder vs pad, at function granularity, using
-        // the same graph. The padding realization gets fine-grained slots
-        // (one lane per ~512 B, Gloy–Smith's per-function alignment) —
-        // with coarse slots, co-slotted hot functions of these
-        // beyond-capacity workloads alias catastrophically.
-        let trg_cfg = optimizer_for(&w, OptimizerKind::FunctionTrg).trg;
-        let trg = Trg::build(&profile.func_trace, trg_cfg.window);
-        let assignment = reduce(&trg, 128, &profile.func_trace);
-        let fsize = |b: clop_trace::BlockId| {
-            w.module
-                .function(clop_ir::FuncId(b.0))
-                .map(|f| f.size_bytes())
-                .unwrap_or(0)
-        };
-        let padded = place_with_padding(&assignment, 2 * 32 * 1024, fsize);
-        // Simulate the padded image at the same granularity as every other
-        // row: expand the reference *basic-block* trace, locating each
-        // block at its function's padded offset plus its intra-function
-        // offset (block order inside functions is untouched by padding).
-        let out = Interpreter::new(w.ref_exec).run(&w.module);
-        let mut func_offset = vec![u64::MAX; w.module.num_functions()];
-        for p in &padded.blocks {
-            func_offset[p.block.index()] = p.offset;
-        }
-        // Unplaced (never-profiled) functions follow the padded region.
-        let mut tail = padded.image_bytes;
-        for (fi, off) in func_offset.iter_mut().enumerate() {
-            if *off == u64::MAX {
-                *off = tail;
-                tail += w.module.functions[fi].size_bytes();
-            }
-        }
-        let mut lines = Vec::with_capacity(out.bb_trace.len() * 2);
-        for &e in out.bb_trace.events() {
-            let gid = clop_ir::GlobalBlockId(e.0);
-            let (f, l) = w.module.locate(gid).expect("in range");
-            let func = w.module.function(f).unwrap();
-            let intra: u64 = func.blocks[..l.index()]
-                .iter()
-                .map(|b| b.size_bytes as u64)
-                .sum();
-            let addr = func_offset[f.index()] + intra;
-            let size = func.blocks[l.index()].size_bytes as u64;
-            for line in addr / 64..=(addr + size - 1) / 64 {
-                lines.push(line);
-            }
-        }
-        let stats = clop_cachesim::simulate_solo_lines(&lines, cfg.cache);
-        // Unprofiled (cold) code follows the padded region contiguously;
-        // charge it to the image for a fair size comparison.
-        let placed: std::collections::HashSet<u32> =
-            padded.blocks.iter().map(|p| p.block.0).collect();
-        let cold_bytes: u64 = (0..w.module.num_functions() as u32)
-            .filter(|f| !placed.contains(f))
-            .map(|f| w.module.function(clop_ir::FuncId(f)).unwrap().size_bytes())
-            .sum();
-        rows.push(Row {
-            program: bench.name().to_string(),
-            strategy: "fn-trg padded (gloy-smith)".into(),
-            solo_miss: stats.miss_ratio(),
-            image_kb: (padded.image_bytes + cold_bytes) as f64 / 1024.0,
-        });
-        eprint!(".");
-    }
-    eprintln!();
-
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.program.clone(),
-                r.strategy.clone(),
-                pct0(r.solo_miss),
-                format!("{:.0}K", r.image_kb),
-            ]
-        })
-        .collect();
-    println!("Baseline comparison: solo L1I miss ratio and image size\n");
-    println!(
-        "{}",
-        render_table(&["program", "strategy", "solo miss", "image"], &table)
-    );
-    println!("note: the padded variant trades a 1.8-2x image for conflict relief,");
-    println!("      which is exactly the trade the paper's reordering adaptation avoids.");
-
-    write_json("baselines", &rows);
+    clop_bench::experiment::cli_main("baselines");
 }

@@ -1,102 +1,3 @@
-//! §III-F: combining defensiveness and politeness.
-//!
-//! The paper takes the three programs that function affinity improves
-//! most and co-runs them optimized-optimized, comparing against
-//! optimized-baseline. Finding: only negligible further improvement (and
-//! no slowdown) — optimizing *one* of the two co-runners already removes
-//! the instruction-cache contention, so there is no room left.
-
-use clop_bench::{baseline_run, optimized_run, pct, render_table, timing_hw, write_json};
-use clop_core::{OptimizerKind, ProgramRun};
-use clop_workloads::{primary_program, PrimaryBenchmark};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    pair: String,
-    opt_base_speedup: f64,
-    opt_opt_speedup: f64,
-    extra: f64,
-}
-
 fn main() {
-    let timing = timing_hw();
-
-    // Rank programs by their average co-run speedup under function
-    // affinity, reusing the Table II protocol on a small scale: here we
-    // use the three visibly strongest from Table II (mcf, omnetpp,
-    // xalancbmk-class); compute explicitly to stay self-contained.
-    let mut scored: Vec<(PrimaryBenchmark, f64, ProgramRun, ProgramRun)> = Vec::new();
-    for b in PrimaryBenchmark::ALL {
-        let w = primary_program(b);
-        let base = baseline_run(&w);
-        let opt = optimized_run(&w, OptimizerKind::FunctionAffinity).expect("fn affinity");
-        // Score: self-pair improvement.
-        let ob = base.corun_timed(&base, timing);
-        let oo = base.corun_timed(&opt, timing);
-        let speedup = ob[1].finish_cycles / oo[1].finish_cycles - 1.0;
-        scored.push((b, speedup, base, opt));
-        eprint!(".");
-    }
-    eprintln!();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-    let top: Vec<_> = scored.into_iter().take(3).collect();
-    println!(
-        "three most-improving programs: {}",
-        top.iter()
-            .map(|(b, s, _, _)| format!("{} ({})", b.name(), pct(*s)))
-            .collect::<Vec<_>>()
-            .join(", ")
-    );
-
-    let mut rows = Vec::new();
-    for i in 0..top.len() {
-        for j in 0..top.len() {
-            if i == j && top.len() > 1 {
-                // Self pairs included: optimized-optimized self co-run.
-            }
-            let (bi, _, base_i, opt_i) = &top[i];
-            let (bj, _, base_j, opt_j) = &top[j];
-            // optimized(i) with baseline(j): thread 0 = subject i.
-            let base_pair = base_i.corun_timed(base_j, timing);
-            let ob = opt_i.corun_timed(base_j, timing);
-            let oo = opt_i.corun_timed(opt_j, timing);
-            let speedup_ob = base_pair[0].finish_cycles / ob[0].finish_cycles - 1.0;
-            let speedup_oo = base_pair[0].finish_cycles / oo[0].finish_cycles - 1.0;
-            rows.push(Row {
-                pair: format!("{} + {}", bi.name(), bj.name()),
-                opt_base_speedup: speedup_ob,
-                opt_opt_speedup: speedup_oo,
-                extra: speedup_oo - speedup_ob,
-            });
-        }
-    }
-
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.pair.clone(),
-                pct(r.opt_base_speedup),
-                pct(r.opt_opt_speedup),
-                pct(r.extra),
-            ]
-        })
-        .collect();
-    println!("\n§III-F: optimized-baseline vs optimized-optimized co-run\n");
-    println!(
-        "{}",
-        render_table(
-            &["pair (subject + peer)", "opt-base", "opt-opt", "extra from peer opt"],
-            &table
-        )
-    );
-    let max_extra = rows.iter().map(|r| r.extra.abs()).fold(0.0, f64::max);
-    println!(
-        "largest |extra| from also optimizing the peer: {}",
-        pct(max_extra)
-    );
-    println!("paper: only negligible further improvement (and no slowdown)");
-
-    write_json("combining", &rows);
+    clop_bench::experiment::cli_main("combining");
 }

@@ -1,133 +1,3 @@
-//! Extension experiment: model-driven co-scheduling.
-//!
-//! The composition model predicts pairwise interference from solo traces
-//! alone (see `exp_model_validation`); here we use it to *choose* which
-//! programs of a mixed fleet — two code-heavy, two peer-sensitive and two tiny
-//! workloads, the consolidation scenario the paper's co-scheduling
-//! references address — share a hyper-threaded core. Three schedules are
-//! compared under the full co-run simulator: the model's greedy
-//! minimum-interference pairing, the naive pairing (adjacent in fleet
-//! order), and the adversarial maximum-interference pairing. The metric
-//! is the average per-thread co-run miss ratio over all scheduled pairs.
-
-use clop_bench::{baseline_run, paper_cache, pct0, render_table, write_json};
-use clop_cachesim::coschedule::{greedy_pairing, interference_matrix, worst_pairing};
-use clop_cachesim::{simulate_corun_lines, CompositionModel};
-use clop_trace::{BlockId, Trace};
-use clop_workloads::full_suite;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Schedule {
-    name: String,
-    pairs: Vec<(String, String)>,
-    avg_corun_miss: f64,
-}
-
 fn main() {
-    let cache = paper_cache();
-    let capacity = cache.num_lines() as usize;
-
-    // A mixed consolidation fleet: two code-heavy programs, two
-    // peer-sensitive ones (near-fit working sets — the programs with the
-    // most to lose from a bad neighbour), and two tiny ones.
-    let fleet = [
-        "403.gcc",
-        "445.gobmk",
-        "471.omnetpp",
-        "429.mcf",
-        "470.lbm",
-        "433.milc",
-    ];
-    let suite = full_suite();
-
-    // Solo runs + composition models for the fleet.
-    let mut names = Vec::new();
-    let mut lines = Vec::new();
-    let mut models = Vec::new();
-    for name in fleet {
-        let entry = suite
-            .iter()
-            .find(|e| e.name == name)
-            .expect("fleet entries exist");
-        let run = baseline_run(&entry.workload());
-        let l = run.lines();
-        // Dense remap for the model.
-        let mut map = std::collections::HashMap::new();
-        let mut t = Trace::new();
-        for &x in &l {
-            let next = map.len() as u32;
-            let id = *map.entry(x).or_insert(next);
-            t.push(BlockId(id));
-        }
-        models.push(CompositionModel::measure(&t.trim(), 4 * capacity));
-        names.push(name.to_string());
-        lines.push(l);
-        eprint!(".");
-    }
-    eprintln!();
-
-    let matrix = interference_matrix(&models, capacity);
-
-    let evaluate = |pairs: &[(usize, usize)]| -> f64 {
-        let mut acc = 0.0;
-        let mut n = 0usize;
-        for &(i, j) in pairs {
-            let r = simulate_corun_lines(&lines[i], &lines[j], cache);
-            acc += r.per_thread[0].miss_ratio() + r.per_thread[1].miss_ratio();
-            n += 2;
-        }
-        acc / n as f64
-    };
-
-    let (good, _) = greedy_pairing(&matrix);
-    let (bad, _) = worst_pairing(&matrix);
-    let naive: Vec<(usize, usize)> = (0..names.len() / 2).map(|k| (2 * k, 2 * k + 1)).collect();
-
-    let mut schedules = Vec::new();
-    for (label, pairs) in [
-        ("model greedy (min interference)", &good),
-        ("naive (suite order)", &naive),
-        ("adversarial (max interference)", &bad),
-    ] {
-        schedules.push(Schedule {
-            name: label.to_string(),
-            pairs: pairs
-                .iter()
-                .map(|&(i, j)| (names[i].clone(), names[j].clone()))
-                .collect(),
-            avg_corun_miss: evaluate(pairs),
-        });
-        eprint!("+");
-    }
-    eprintln!();
-
-    let table: Vec<Vec<String>> = schedules
-        .iter()
-        .map(|s| {
-            vec![
-                s.name.clone(),
-                s.pairs
-                    .iter()
-                    .map(|(a, b)| {
-                        format!(
-                            "{}+{}",
-                            a.split('.').nth(1).unwrap_or(a),
-                            b.split('.').nth(1).unwrap_or(b)
-                        )
-                    })
-                    .collect::<Vec<_>>()
-                    .join("  "),
-                pct0(s.avg_corun_miss),
-            ]
-        })
-        .collect();
-    println!("Model-driven co-scheduling of a mixed six-program fleet\n");
-    println!(
-        "{}",
-        render_table(&["schedule", "pairs", "avg co-run miss"], &table)
-    );
-    println!("expectation: the solo-trace model's pairing beats naive and adversarial");
-
-    write_json("coschedule", &schedules);
+    clop_bench::experiment::cli_main("coschedule");
 }

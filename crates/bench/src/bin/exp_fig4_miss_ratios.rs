@@ -1,79 +1,3 @@
-//! Figure 4: L1 instruction-cache miss ratios of all 29 programs under
-//! solo-run and under co-run with two probe programs (403.gcc-like and
-//! 416.gamess-like).
-//!
-//! The paper's figure shows ~30% of the suite with non-trivial solo miss
-//! ratios and consistently higher ratios under co-run. We print the three
-//! series (solo, gcc probe, gamess probe) per program, sorted by solo miss
-//! ratio, and record the headline statistic: the count of programs whose
-//! solo miss ratio is non-trivial (≥ 0.5%).
-
-use clop_bench::{baseline_run, paper_cache, pct0, render_table, write_json};
-use clop_cachesim::simulate_corun_lines;
-use clop_workloads::{full_suite, probe_program, ProbeBenchmark};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    name: String,
-    solo: f64,
-    corun_gcc: f64,
-    corun_gamess: f64,
-}
-
 fn main() {
-    let cache = paper_cache();
-    let gcc = baseline_run(&probe_program(ProbeBenchmark::Gcc));
-    let gamess = baseline_run(&probe_program(ProbeBenchmark::Gamess));
-    let gcc_lines = gcc.lines();
-    let gamess_lines = gamess.lines();
-
-    let mut rows: Vec<Row> = Vec::new();
-    for entry in full_suite() {
-        let w = entry.workload();
-        let run = baseline_run(&w);
-        let lines = run.lines();
-        let solo = run.solo_sim().miss_ratio();
-        let with_gcc = simulate_corun_lines(&lines, &gcc_lines, cache).per_thread[0].miss_ratio();
-        let with_gamess =
-            simulate_corun_lines(&lines, &gamess_lines, cache).per_thread[0].miss_ratio();
-        rows.push(Row {
-            name: entry.name.to_string(),
-            solo,
-            corun_gcc: with_gcc,
-            corun_gamess: with_gamess,
-        });
-        eprint!(".");
-    }
-    eprintln!();
-    rows.sort_by(|a, b| b.solo.partial_cmp(&a.solo).unwrap());
-
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.name.clone(),
-                pct0(r.solo),
-                pct0(r.corun_gcc),
-                pct0(r.corun_gamess),
-            ]
-        })
-        .collect();
-    println!("Figure 4: L1I miss ratios, solo and under two probes\n");
-    println!(
-        "{}",
-        render_table(&["program", "solo", "gcc probe", "gamess probe"], &table)
-    );
-
-    let non_trivial = rows.iter().filter(|r| r.solo >= 0.005).count();
-    println!(
-        "programs with non-trivial (>=0.5%) solo miss ratio: {} of {} ({:.0}%)",
-        non_trivial,
-        rows.len(),
-        100.0 * non_trivial as f64 / rows.len() as f64
-    );
-    let paper_note = "paper: 9 of 29 (~30%) non-trivial";
-    println!("{}", paper_note);
-
-    write_json("fig4_miss_ratios", &rows);
+    clop_bench::experiment::cli_main("fig4_miss_ratios");
 }

@@ -1,86 +1,3 @@
-//! Figure 5: the solo-run effect of the two affinity optimizers on the 8
-//! primary benchmarks.
-//!
-//! (a) performance speedup — paper: between −1% and +2% for function
-//!     reordering, 0% to +3% for BB reordering; modest at best.
-//! (b) instruction-cache miss-ratio reduction — paper: dramatic, up to 34%
-//!     (function) and 37% (BB), measured by hardware counters.
-//!
-//! BB reordering reports N/A for 400.perlbench and 453.povray (the paper's
-//! compiler errors; our BB reorderer rejects their wide dispatch switches).
-
-use clop_bench::{baseline_run, optimized_run, pct, pct0, render_table, timing_hw, write_json};
-use clop_core::OptimizerKind;
-use clop_workloads::{primary_program, PrimaryBenchmark};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    name: String,
-    fn_speedup: f64,
-    fn_miss_reduction: f64,
-    bb_speedup: Option<f64>,
-    bb_miss_reduction: Option<f64>,
-}
-
 fn main() {
-    let timing = timing_hw();
-    let mut rows = Vec::new();
-    for b in PrimaryBenchmark::ALL {
-        let w = primary_program(b);
-        let base = baseline_run(&w);
-        let base_t = base.solo_timed(timing);
-
-        let eval = |kind: OptimizerKind| -> Option<(f64, f64)> {
-            let run = optimized_run(&w, kind).ok()?;
-            let t = run.solo_timed(timing);
-            let speedup = base_t.cycles / t.cycles - 1.0;
-            let reduction = base_t.stats.reduction_to(&t.stats);
-            Some((speedup, reduction))
-        };
-
-        let (fns, fnr) = eval(OptimizerKind::FunctionAffinity).expect("function reordering");
-        let bb = eval(OptimizerKind::BbAffinity);
-        rows.push(Row {
-            name: b.name().to_string(),
-            fn_speedup: fns,
-            fn_miss_reduction: fnr,
-            bb_speedup: bb.map(|x| x.0),
-            bb_miss_reduction: bb.map(|x| x.1),
-        });
-        eprint!(".");
-    }
-    eprintln!();
-
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.name.clone(),
-                pct(r.fn_speedup),
-                pct0(r.fn_miss_reduction),
-                r.bb_speedup.map(pct).unwrap_or_else(|| "N/A".into()),
-                r.bb_miss_reduction
-                    .map(pct0)
-                    .unwrap_or_else(|| "N/A".into()),
-            ]
-        })
-        .collect();
-    println!("Figure 5: solo-run effect of the two affinity optimizers\n");
-    println!(
-        "{}",
-        render_table(
-            &[
-                "program",
-                "fn speedup",
-                "fn miss redn",
-                "bb speedup",
-                "bb miss redn"
-            ],
-            &table
-        )
-    );
-    println!("paper: speedups modest (-1%..+3%); miss reductions dramatic (up to ~37%)");
-
-    write_json("fig5_solo", &rows);
+    clop_bench::experiment::cli_main("fig5_solo");
 }

@@ -1,75 +1,3 @@
-//! Figure 6: per-probe co-run speedup bars for the three effective
-//! optimizers (function affinity, BB affinity, function TRG).
-//!
-//! Each panel shows, for every subject program, its speedup when
-//! co-running (optimized) against each original probe program, normalized
-//! to the original-original pairing — the same protocol as Table II but
-//! without averaging. Paper shape: affinity optimizers occasionally slow a
-//! program down in one co-run but always improve on average; function TRG
-//! is consistently beneficial except on one program where it is
-//! consistently harmful.
-
-use clop_bench::corun::CorunLab;
-use clop_bench::{pct, render_table, write_json};
-use clop_core::OptimizerKind;
-use clop_workloads::PrimaryBenchmark;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Panel {
-    optimizer: String,
-    /// subject name → (probe name, speedup) series
-    series: Vec<(String, Vec<(String, f64)>)>,
-}
-
 fn main() {
-    let kinds = [
-        OptimizerKind::FunctionAffinity,
-        OptimizerKind::BbAffinity,
-        OptimizerKind::FunctionTrg,
-    ];
-    let lab = CorunLab::prepare(&kinds);
-    let probes = PrimaryBenchmark::ALL;
-
-    let mut panels = Vec::new();
-    for kind in kinds {
-        let mut series = Vec::new();
-        let mut rows: Vec<Vec<String>> = Vec::new();
-        for subject in PrimaryBenchmark::ALL {
-            match lab.subject_result(subject, kind, &probes) {
-                Some(r) => {
-                    let mut row = vec![r.name.clone()];
-                    row.extend(r.per_probe.iter().map(|(_, p)| pct(p.speedup)));
-                    rows.push(row);
-                    series.push((
-                        r.name.clone(),
-                        r.per_probe
-                            .iter()
-                            .map(|(n, p)| (n.clone(), p.speedup))
-                            .collect(),
-                    ));
-                }
-                None => {
-                    let mut row = vec![subject.name().to_string()];
-                    row.extend(std::iter::repeat("N/A".to_string()).take(probes.len()));
-                    rows.push(row);
-                }
-            }
-            eprint!("+");
-        }
-        eprintln!();
-        let mut headers: Vec<String> = vec!["subject \\ probe".into()];
-        headers.extend(probes.iter().map(|p| p.name().to_string()));
-        let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
-        println!("Figure 6 panel: co-run speedups, optimizer = {}\n", kind);
-        println!("{}", render_table(&headers_ref, &rows));
-        panels.push(Panel {
-            optimizer: kind.to_string(),
-            series,
-        });
-    }
-    println!("paper: affinity optimizers may lose one pairing but improve every average;");
-    println!("       function TRG consistently helps except on one program.");
-
-    write_json("fig6_corun_bars", &panels);
+    clop_bench::experiment::cli_main("fig6_corun_bars");
 }

@@ -1,122 +1,3 @@
-//! Figure 7: hyper-threading throughput.
-//!
-//! (a) Throughput improvement of baseline co-run over back-to-back solo
-//!     runs — the benefit of hyper-threading itself. Paper: both programs
-//!     finish 15% to over 30% faster.
-//! (b) The magnifying effect of function-affinity optimization: the
-//!     improvement of the optimized-baseline co-run divided by the
-//!     improvement of the baseline-baseline co-run, minus one. Paper: over
-//!     5.6% for 16 of 28 pairs, ≥10% for 9 pairs, arithmetic average 7.9%,
-//!     one degradation (−8%, the 453-453 self-pair).
-//!
-//! As in the paper's figure, the pairs are all (unordered) combinations
-//! with repetition of 7 programs (445.gobmk is absent from Figure 7):
-//! C(7,2) + 7 = 28 pairs.
-
-use clop_bench::{baseline_run, optimized_run, pct, render_table, timing_hw, write_json};
-use clop_cachesim::timing::throughput_improvement;
-use clop_core::{OptimizerKind, ProgramRun};
-use clop_workloads::{primary_program, PrimaryBenchmark};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct PairRow {
-    pair: String,
-    baseline_gain: f64,
-    optimized_gain: f64,
-    magnification: f64,
-}
-
 fn main() {
-    // Figure 7's seven programs (gobmk excluded, as in the paper's axis).
-    let progs = [
-        PrimaryBenchmark::Perlbench,
-        PrimaryBenchmark::Gcc,
-        PrimaryBenchmark::Mcf,
-        PrimaryBenchmark::Povray,
-        PrimaryBenchmark::Sjeng,
-        PrimaryBenchmark::Omnetpp,
-        PrimaryBenchmark::Xalancbmk,
-    ];
-    let short = |b: PrimaryBenchmark| b.name().split('.').next().unwrap().to_string();
-
-    let timing = timing_hw();
-    let mut base_runs: Vec<ProgramRun> = Vec::new();
-    let mut opt_runs: Vec<ProgramRun> = Vec::new();
-    let mut solo_cycles: Vec<f64> = Vec::new();
-    let mut solo_opt_cycles: Vec<f64> = Vec::new();
-    for &b in &progs {
-        let w = primary_program(b);
-        let base = baseline_run(&w);
-        solo_cycles.push(base.solo_timed(timing).cycles);
-        // Function affinity succeeds on every program (Table II).
-        let opt = optimized_run(&w, OptimizerKind::FunctionAffinity).expect("fn affinity");
-        solo_opt_cycles.push(opt.solo_timed(timing).cycles);
-        base_runs.push(base);
-        opt_runs.push(opt);
-        eprint!(".");
-    }
-    eprintln!();
-
-    let mut rows = Vec::new();
-    for i in 0..progs.len() {
-        for j in i..progs.len() {
-            // Baseline-baseline co-run (thread0 = program i).
-            let bb = base_runs[i].corun_timed(&base_runs[j], timing);
-            let base_gain = throughput_improvement(solo_cycles[i], solo_cycles[j], bb);
-            // Optimized-baseline: program i optimized. Throughput counts
-            // *programs completed*, so both gains are normalized by the
-            // same baseline solo times — the optimized pairing's gain then
-            // reflects its smaller makespan for the same work, which is
-            // what the paper's magnification measures.
-            let ob = opt_runs[i].corun_timed(&base_runs[j], timing);
-            let opt_gain = throughput_improvement(solo_cycles[i], solo_cycles[j], ob);
-            let _ = &solo_opt_cycles; // kept for the JSON record below
-            rows.push(PairRow {
-                pair: format!("{}-{}", short(progs[i]), short(progs[j])),
-                baseline_gain: base_gain,
-                optimized_gain: opt_gain,
-                magnification: opt_gain / base_gain - 1.0,
-            });
-        }
-    }
-
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.pair.clone(),
-                pct(r.baseline_gain),
-                pct(r.optimized_gain),
-                pct(r.magnification),
-            ]
-        })
-        .collect();
-    println!("Figure 7: hyper-threading throughput, {} pairs\n", rows.len());
-    println!(
-        "{}",
-        render_table(
-            &["pair", "(a) base co-run gain", "opt co-run gain", "(b) magnification"],
-            &table
-        )
-    );
-
-    let n = rows.len() as f64;
-    let avg_base = rows.iter().map(|r| r.baseline_gain).sum::<f64>() / n;
-    let avg_mag = rows.iter().map(|r| r.magnification).sum::<f64>() / n;
-    let over56 = rows.iter().filter(|r| r.magnification > 0.056).count();
-    let over10 = rows.iter().filter(|r| r.magnification >= 0.10).count();
-    let degraded = rows.iter().filter(|r| r.magnification < 0.0).count();
-    println!(
-        "summary: avg base gain {}, avg magnification {}, >5.6% for {}/{}, >=10% for {}, degradations {}",
-        pct(avg_base),
-        pct(avg_mag),
-        over56,
-        rows.len(),
-        over10,
-        degraded
-    );
-    println!("paper: base gains 15%..30%+; avg magnification 7.9%; 16/28 over 5.6%; 9 pairs >=10%; 1 degradation");
-
-    write_json("fig7_throughput", &rows);
+    clop_bench::experiment::cli_main("fig7_throughput");
 }

@@ -1,83 +1,3 @@
-//! The introduction's motivating table: the average L1I miss ratio of the
-//! programs with non-trivial solo miss ratios, in solo run and in
-//! hyper-threaded co-run with two different peers.
-//!
-//! Paper numbers: solo 1.5%, co-run 1 (gcc peer) 2.5% (+67%), co-run 2
-//! (gamess peer) 3.8% (+153%). Shape to reproduce: co-run inflates the
-//! average strongly, and the heavier peer inflates it more.
-
-use clop_bench::{baseline_run, paper_cache, pct, pct0, render_table, write_json};
-use clop_cachesim::simulate_corun_lines;
-use clop_workloads::{full_suite, probe_program, ProbeBenchmark};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Summary {
-    programs: Vec<String>,
-    avg_solo: f64,
-    avg_corun_gcc: f64,
-    avg_corun_gamess: f64,
-    increase_gcc: f64,
-    increase_gamess: f64,
-}
-
 fn main() {
-    let cache = paper_cache();
-    let gcc = baseline_run(&probe_program(ProbeBenchmark::Gcc)).lines();
-    let gamess = baseline_run(&probe_program(ProbeBenchmark::Gamess)).lines();
-
-    // Select programs with non-trivial solo miss ratio (≥ 0.5%), the
-    // paper's "9 out of 29" set.
-    let mut selected = Vec::new();
-    for entry in full_suite() {
-        let w = entry.workload();
-        let run = baseline_run(&w);
-        let solo = run.solo_sim().miss_ratio();
-        if solo >= 0.005 {
-            let lines = run.lines();
-            let c1 = simulate_corun_lines(&lines, &gcc, cache).per_thread[0].miss_ratio();
-            let c2 = simulate_corun_lines(&lines, &gamess, cache).per_thread[0].miss_ratio();
-            selected.push((entry.name.to_string(), solo, c1, c2));
-        }
-        eprint!(".");
-    }
-    eprintln!();
-
-    let n = selected.len() as f64;
-    let avg = |f: fn(&(String, f64, f64, f64)) -> f64| selected.iter().map(f).sum::<f64>() / n;
-    let s = Summary {
-        programs: selected.iter().map(|x| x.0.clone()).collect(),
-        avg_solo: avg(|x| x.1),
-        avg_corun_gcc: avg(|x| x.2),
-        avg_corun_gamess: avg(|x| x.3),
-        increase_gcc: avg(|x| x.2) / avg(|x| x.1) - 1.0,
-        increase_gamess: avg(|x| x.3) / avg(|x| x.1) - 1.0,
-    };
-
-    println!(
-        "Intro table: average L1I miss ratio over the {} non-trivial programs\n",
-        selected.len()
-    );
-    println!(
-        "{}",
-        render_table(
-            &["", "avg. miss ratio", "increase over solo"],
-            &[
-                vec!["solo".into(), pct0(s.avg_solo), "—".into()],
-                vec![
-                    "co-run 1 (gcc peer)".into(),
-                    pct0(s.avg_corun_gcc),
-                    pct(s.increase_gcc)
-                ],
-                vec![
-                    "co-run 2 (gamess peer)".into(),
-                    pct0(s.avg_corun_gamess),
-                    pct(s.increase_gamess)
-                ],
-            ]
-        )
-    );
-    println!("paper: 1.5% / 2.5% (+67%) / 3.8% (+153%)");
-
-    write_json("intro_table", &s);
+    clop_bench::experiment::cli_main("intro_table");
 }

@@ -1,79 +1,3 @@
-//! Extension experiment: L1I miss-ratio curves (MRCs).
-//!
-//! The paper's setup section argues the 32 KB L1I size is pinned by the
-//! virtually-indexed/physically-tagged lookup trick and "has not changed
-//! for successive processor generations" — so programs must adapt to the
-//! cache, not vice versa. The MRC shows what hardware would have to pay to
-//! fix by size what layout fixes for free: the miss ratio of each primary
-//! program across cache sizes from 8 KB to 256 KB (4-way, 64 B lines),
-//! baseline vs BB-affinity-optimized. The optimized curve should shift
-//! left: the same miss ratio at a smaller cache.
-
-use clop_bench::{baseline_run, optimized_run, pct0, render_table, write_json};
-use clop_cachesim::{simulate_solo_lines, CacheConfig};
-use clop_core::OptimizerKind;
-use clop_workloads::{primary_program, PrimaryBenchmark};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Curve {
-    program: String,
-    optimized: bool,
-    /// (cache KB, miss ratio) points.
-    points: Vec<(u64, f64)>,
-}
-
 fn main() {
-    let sizes_kb = [8u64, 16, 32, 64, 128, 256];
-    let mut curves = Vec::new();
-    let programs = [
-        PrimaryBenchmark::Gcc,
-        PrimaryBenchmark::Gobmk,
-        PrimaryBenchmark::Sjeng,
-        PrimaryBenchmark::Xalancbmk,
-    ];
-    for b in programs {
-        let w = primary_program(b);
-        let base_lines = baseline_run(&w).lines();
-        let opt_lines = optimized_run(&w, OptimizerKind::BbAffinity)
-            .expect("supported")
-            .lines();
-        for (optimized, lines) in [(false, &base_lines), (true, &opt_lines)] {
-            let points: Vec<(u64, f64)> = sizes_kb
-                .iter()
-                .map(|&kb| {
-                    let cfg = CacheConfig::new(kb * 1024, 4, 64);
-                    (kb, simulate_solo_lines(lines, cfg).miss_ratio())
-                })
-                .collect();
-            curves.push(Curve {
-                program: b.name().to_string(),
-                optimized,
-                points,
-            });
-        }
-        eprint!(".");
-    }
-    eprintln!();
-
-    let mut headers: Vec<String> = vec!["program".into(), "layout".into()];
-    headers.extend(sizes_kb.iter().map(|kb| format!("{}K", kb)));
-    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let table: Vec<Vec<String>> = curves
-        .iter()
-        .map(|c| {
-            let mut row = vec![
-                c.program.clone(),
-                if c.optimized { "bb-affinity" } else { "original" }.to_string(),
-            ];
-            row.extend(c.points.iter().map(|&(_, m)| pct0(m)));
-            row
-        })
-        .collect();
-    println!("L1I miss-ratio curves, 4-way, 64 B lines (paper cache = 32K)\n");
-    println!("{}", render_table(&headers_ref, &table));
-    println!("the optimized curve reaches the baseline's 64K miss ratio at ~32K:");
-    println!("layout buys what a cache doubling would.");
-
-    write_json("mrc", &curves);
+    clop_bench::experiment::cli_main("mrc");
 }

@@ -1,97 +1,3 @@
-//! Extension experiment: the optimization's effect across a two-level
-//! hierarchy (private L1I caches over a shared unified L2).
-//!
-//! §III-F observes that once layout optimization removes the L1I
-//! contention, "without benefits in L1, there is no further improvement in
-//! the unified cache in the lower levels" — code misses simply stop
-//! reaching L2 in volume. Here the topology is the CMP (separate-core)
-//! configuration: each program has a *private* L1I, and contention lives
-//! only in the shared 256 KB unified L2. We co-run each primary subject
-//! against a gcc-like probe and report both levels' miss counts, baseline
-//! vs BB-affinity-optimized subject.
-
-use clop_bench::{baseline_run, optimized_run, paper_cache, pct0, render_table, write_json};
-use clop_cachesim::multilevel::simulate_two_level_corun;
-use clop_cachesim::CacheConfig;
-use clop_core::OptimizerKind;
-use clop_workloads::{primary_program, probe_program, PrimaryBenchmark, ProbeBenchmark};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    program: String,
-    base_l1_miss: f64,
-    opt_l1_miss: f64,
-    base_l2_accesses: u64,
-    opt_l2_accesses: u64,
-    base_l2_misses: u64,
-    opt_l2_misses: u64,
-}
-
 fn main() {
-    let l1 = paper_cache();
-    let l2 = CacheConfig::new(256 * 1024, 8, 64);
-    let probe = baseline_run(&probe_program(ProbeBenchmark::Gcc)).lines();
-
-    let mut rows = Vec::new();
-    for b in [
-        PrimaryBenchmark::Gobmk,
-        PrimaryBenchmark::Sjeng,
-        PrimaryBenchmark::Omnetpp,
-        PrimaryBenchmark::Xalancbmk,
-    ] {
-        let w = primary_program(b);
-        let base = baseline_run(&w).lines();
-        let opt = optimized_run(&w, OptimizerKind::BbAffinity)
-            .expect("supported")
-            .lines();
-        let rb = simulate_two_level_corun(&base, &probe, l1, l2).per_thread[0];
-        let ro = simulate_two_level_corun(&opt, &probe, l1, l2).per_thread[0];
-        rows.push(Row {
-            program: b.name().to_string(),
-            base_l1_miss: rb.l1_miss_ratio(),
-            opt_l1_miss: ro.l1_miss_ratio(),
-            base_l2_accesses: rb.l1_misses,
-            opt_l2_accesses: ro.l1_misses,
-            base_l2_misses: rb.l2_misses,
-            opt_l2_misses: ro.l2_misses,
-        });
-        eprint!(".");
-    }
-    eprintln!();
-
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.program.clone(),
-                pct0(r.base_l1_miss),
-                pct0(r.opt_l1_miss),
-                r.base_l2_accesses.to_string(),
-                r.opt_l2_accesses.to_string(),
-                r.base_l2_misses.to_string(),
-                r.opt_l2_misses.to_string(),
-            ]
-        })
-        .collect();
-    println!("CMP two-level co-run vs gcc probe (private L1I, shared L2; subject shown)\n");
-    println!(
-        "{}",
-        render_table(
-            &[
-                "program",
-                "L1 miss (base)",
-                "L1 miss (opt)",
-                "L2 acc (base)",
-                "L2 acc (opt)",
-                "L2 miss (base)",
-                "L2 miss (opt)"
-            ],
-            &table
-        )
-    );
-    println!("paper §III-F: the optimization's work happens at L1 — optimized code sends");
-    println!("fewer requests to the unified L2, whose own miss count barely moves.");
-
-    write_json("multilevel", &rows);
+    clop_bench::experiment::cli_main("multilevel");
 }

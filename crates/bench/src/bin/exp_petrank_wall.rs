@@ -1,161 +1,3 @@
-//! §III-D: the Petrank–Rawitz wall, made measurable.
-//!
-//! No practical layout optimizer can guarantee closeness to the optimum
-//! (optimal placement is inapproximable unless P = NP), so the paper
-//! argues for specific patterns with variety. On a program small enough to
-//! enumerate *every* function order, we compare the model-driven
-//! optimizers against the true optimum and against budget-matched random
-//! search:
-//!
-//! * the heuristics should land near the exhaustive optimum while
-//!   evaluating exactly one layout,
-//! * random search with the same single-evaluation budget should land far
-//!   away, and should need a large slice of the factorial space to catch
-//!   up — the wall in numbers.
-
-use clop_bench::{pct0, render_table, write_json};
-use clop_core::search::exhaustive_function_order_distribution;
-use clop_core::{
-    baseline, exhaustive_best_function_order, random_search_function_order, EvalConfig,
-    Optimizer, OptimizerKind, Profile, ProfileConfig, ProgramRun,
-};
-use clop_ir::prelude::*;
-use serde::Serialize;
-
-/// An 8-function program (7! = 5,040 orders of the non-main functions
-/// matter; we enumerate all 8! = 40,320) with a conflict-prone structure:
-/// three hot functions sized to collide when interleaved with the pads.
-fn wall_module() -> Module {
-    let mut b = ModuleBuilder::new("wall");
-    b.function("main")
-        .call("c1", 32, "hot_a", "c2")
-        .call("c2", 32, "hot_b", "c3")
-        .call("c3", 32, "hot_c", "back")
-        .branch("back", 32, CondModel::LoopCounter { trip: 500 }, "c1", "end")
-        .ret("end", 16)
-        .finish();
-    b.function("pad_a").jump("p0", 1024, "p1").ret("p1", 1024).finish();
-    b.function("hot_a").jump("top", 1024, "bot").ret("bot", 1024).finish();
-    b.function("pad_b").jump("p0", 1024, "p1").ret("p1", 1024).finish();
-    b.function("hot_b").jump("top", 1024, "bot").ret("bot", 1024).finish();
-    b.function("pad_c").jump("p0", 1024, "p1").ret("p1", 1024).finish();
-    b.function("hot_c").jump("top", 1024, "bot").ret("bot", 1024).finish();
-    b.function("pad_d").jump("p0", 1024, "p1").ret("p1", 1024).finish();
-    b.build().unwrap()
-}
-
-#[derive(Serialize)]
-struct Row {
-    strategy: String,
-    layouts_evaluated: u64,
-    misses: u64,
-    miss_ratio: f64,
-    gap_to_optimal: f64,
-    percentile: f64,
-}
-
 fn main() {
-    let module = wall_module();
-    let config = EvalConfig {
-        cache: clop_cachesim::CacheConfig::new(8 * 1024, 2, 64),
-        exec: ExecConfig::with_fuel(40_000),
-        ..Default::default()
-    };
-    let measure = |layout: &Layout| ProgramRun::evaluate(&module, layout, &config).solo_sim();
-
-    eprintln!("enumerating 8! = 40320 layouts…");
-    let best = exhaustive_best_function_order(&module, &config, 8);
-    let optimal = best.stats;
-    let mut dist = exhaustive_function_order_distribution(&module, &config, 8);
-    dist.sort_unstable();
-    let pctile = |m: u64| -> f64 {
-        let below = dist.partition_point(|&x| x < m);
-        below as f64 / dist.len() as f64
-    };
-    let q = |f: f64| dist[((dist.len() - 1) as f64 * f) as usize];
-    println!(
-        "layout-landscape misses: min {}  p10 {}  median {}  p90 {}  max {}",
-        q(0.0),
-        q(0.10),
-        q(0.50),
-        q(0.90),
-        q(1.0)
-    );
-    println!(
-        "fraction of all layouts within 10% of optimum: {:.1}%\n",
-        100.0 * dist.partition_point(|&x| x as f64 <= optimal.misses as f64 * 1.10) as f64
-            / dist.len() as f64
-    );
-
-    let mut rows: Vec<Row> = Vec::new();
-    let mut push = |strategy: &str, evaluated: u64, stats: clop_cachesim::CacheStats| {
-        rows.push(Row {
-            strategy: strategy.to_string(),
-            layouts_evaluated: evaluated,
-            misses: stats.misses,
-            miss_ratio: stats.miss_ratio(),
-            gap_to_optimal: if optimal.misses > 0 {
-                stats.misses as f64 / optimal.misses as f64 - 1.0
-            } else {
-                stats.misses as f64
-            },
-            percentile: pctile(stats.misses),
-        });
-    };
-
-    push("exhaustive optimum", best.evaluated, optimal);
-    push("original layout", 1, measure(&Layout::original(&module)));
-
-    for kind in [OptimizerKind::FunctionAffinity, OptimizerKind::FunctionTrg] {
-        let mut opt = Optimizer::new(kind);
-        opt.profile = ProfileConfig::with_exec(ExecConfig::with_fuel(10_000));
-        let o = opt.optimize(&module).expect("function reordering");
-        push(&kind.to_string(), 1, measure(&o.layout));
-    }
-    {
-        let profile = Profile::collect(
-            &module,
-            &ProfileConfig::with_exec(ExecConfig::with_fuel(10_000)),
-        );
-        let ph = baseline::pettis_hansen_function_order(&module, &profile.func_trace);
-        push("pettis-hansen", 1, measure(&ph));
-    }
-    for budget in [1u64, 16, 256, 4096] {
-        let r = random_search_function_order(&module, &config, budget, 0xA11CE);
-        push(&format!("random search ({})", budget), r.evaluated, r.stats);
-    }
-
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.strategy.clone(),
-                r.layouts_evaluated.to_string(),
-                r.misses.to_string(),
-                pct0(r.miss_ratio),
-                format!("{:+.1}%", 100.0 * r.gap_to_optimal),
-                format!("beats {:.1}%", 100.0 * (1.0 - r.percentile)),
-            ]
-        })
-        .collect();
-    println!("Petrank–Rawitz wall probe: 8 functions, all 40,320 layouts known\n");
-    println!(
-        "{}",
-        render_table(
-            &[
-                "strategy",
-                "layouts tried",
-                "misses",
-                "miss ratio",
-                "gap to optimum",
-                "landscape rank"
-            ],
-            &table
-        )
-    );
-    println!("paper: no guarantee of closeness is possible; specificity + variety is the");
-    println!("       practical answer — the pattern-driven optimizers approach the optimum");
-    println!("       with a single layout evaluation.");
-
-    write_json("petrank_wall", &rows);
+    clop_bench::experiment::cli_main("petrank_wall");
 }

@@ -1,85 +1,3 @@
-//! Extension experiment: scaling SMT width beyond two threads.
-//!
-//! The paper's introduction notes that IBM POWER7 runs 4 SMT threads per
-//! core and POWER8 runs 8 — sharing the instruction cache that much more
-//! aggressively. We co-run 1, 2, 4 and 8 copies of a sensitive program
-//! (471.omnetpp-like) and of a code-heavy one (403.gcc-like) in the shared
-//! L1I, baseline vs function-affinity-optimized, and report how miss
-//! inflation grows with width and how much of it the optimization removes.
-
-use clop_bench::{eval_config, optimized_run, paper_cache, pct0, render_table, write_json};
-use clop_cachesim::simulate_corun_many;
-use clop_core::{OptimizerKind, ProgramRun};
-use clop_ir::Layout;
-use clop_workloads::{primary_program, PrimaryBenchmark};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    program: String,
-    width: usize,
-    base_miss: f64,
-    opt_miss: f64,
-}
-
 fn main() {
-    let cache = paper_cache();
-    let mut rows = Vec::new();
-    for b in [PrimaryBenchmark::Omnetpp, PrimaryBenchmark::Gcc] {
-        let w = primary_program(b);
-        // Each co-running copy processes its own input (distinct seed);
-        // identical lock-stepped streams would alias pathologically in
-        // ways no real consolidation exhibits.
-        let copy_lines = |seed_offset: u64| -> Vec<u64> {
-            let mut cfg = eval_config(&w);
-            cfg.exec = cfg.exec.seeded(cfg.exec.seed ^ (seed_offset * 0x9E37));
-            ProgramRun::evaluate(&w.module, &Layout::original(&w.module), &cfg).lines()
-        };
-        let copies: Vec<Vec<u64>> = (0..8).map(copy_lines).collect();
-        let opt_lines = optimized_run(&w, OptimizerKind::FunctionAffinity)
-            .expect("fn affinity")
-            .lines();
-        for width in [1usize, 2, 4, 8] {
-            let base_streams: Vec<&[u64]> =
-                (0..width).map(|i| copies[i].as_slice()).collect();
-            let base = simulate_corun_many(&base_streams, cache)[0];
-            // One optimized copy among width−1 baseline peers: the
-            // defensiveness question at width.
-            let mut opt_streams: Vec<&[u64]> = vec![opt_lines.as_slice()];
-            opt_streams.extend((1..width).map(|i| copies[i].as_slice()));
-            let opt = simulate_corun_many(&opt_streams, cache)[0];
-            rows.push(Row {
-                program: b.name().to_string(),
-                width,
-                base_miss: base.miss_ratio(),
-                opt_miss: opt.miss_ratio(),
-            });
-            eprint!(".");
-        }
-    }
-    eprintln!();
-
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.program.clone(),
-                format!("{}-way", r.width),
-                pct0(r.base_miss),
-                pct0(r.opt_miss),
-                pct0((r.base_miss - r.opt_miss).max(0.0)),
-            ]
-        })
-        .collect();
-    println!("SMT width scaling: subject miss ratio, baseline vs optimized subject\n");
-    println!(
-        "{}",
-        render_table(
-            &["program", "SMT width", "baseline", "optimized", "absolute saving"],
-            &table
-        )
-    );
-    println!("expectation: inflation grows with width; the optimized copy suffers less");
-
-    write_json("smt_width", &rows);
+    clop_bench::experiment::cli_main("smt_width");
 }

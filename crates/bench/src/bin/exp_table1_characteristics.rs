@@ -1,79 +1,3 @@
-//! Table I: characteristics of the 8 primary benchmarks — dynamic
-//! instruction count, static code size, and L1 icache miss ratios solo and
-//! under the two probes (gcc-like, gamess-like).
-//!
-//! Paper shape: dynamic counts in the hundreds of billions (ours are
-//! scaled down with the simulator), static sizes from tens of KB to MB,
-//! solo miss ratios 0%–3.1% with strong co-run inflation (e.g. sjeng
-//! 0.60% → 2.13% → 4.68%).
-
-use clop_bench::{baseline_run, paper_cache, pct0, render_table, write_json};
-use clop_cachesim::simulate_corun_lines;
-use clop_workloads::{primary_program, probe_program, PrimaryBenchmark, ProbeBenchmark};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    name: String,
-    dynamic_instrs: u64,
-    static_bytes: u64,
-    solo: f64,
-    corun_gcc: f64,
-    corun_gamess: f64,
-}
-
 fn main() {
-    let cache = paper_cache();
-    let gcc = baseline_run(&probe_program(ProbeBenchmark::Gcc)).lines();
-    let gamess = baseline_run(&probe_program(ProbeBenchmark::Gamess)).lines();
-
-    let mut rows = Vec::new();
-    for b in PrimaryBenchmark::ALL {
-        let w = primary_program(b);
-        let run = baseline_run(&w);
-        let lines = run.lines();
-        rows.push(Row {
-            name: b.name().to_string(),
-            dynamic_instrs: run.instructions,
-            static_bytes: w.module.size_bytes(),
-            solo: run.solo_sim().miss_ratio(),
-            corun_gcc: simulate_corun_lines(&lines, &gcc, cache).per_thread[0].miss_ratio(),
-            corun_gamess: simulate_corun_lines(&lines, &gamess, cache).per_thread[0]
-                .miss_ratio(),
-        });
-        eprint!(".");
-    }
-    eprintln!();
-
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.name.clone(),
-                format!("{:.2}M", r.dynamic_instrs as f64 / 1e6),
-                format!("{:.1}K", r.static_bytes as f64 / 1024.0),
-                pct0(r.solo),
-                pct0(r.corun_gcc),
-                pct0(r.corun_gamess),
-            ]
-        })
-        .collect();
-    println!("Table I: characteristics of the 8 primary benchmarks\n");
-    println!(
-        "{}",
-        render_table(
-            &[
-                "program",
-                "dyn instrs",
-                "static size",
-                "solo miss",
-                "co-run gcc",
-                "co-run gamess"
-            ],
-            &table
-        )
-    );
-    println!("paper: solo 0%..3.1%; co-run inflates every non-zero ratio, gamess more than gcc.");
-
-    write_json("table1_characteristics", &rows);
+    clop_bench::experiment::cli_main("table1_characteristics");
 }

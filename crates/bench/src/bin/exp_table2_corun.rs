@@ -1,91 +1,3 @@
-//! Table II: average co-run speedup and miss-ratio reduction of the three
-//! effective optimizers (function affinity, BB affinity, function TRG)
-//! over the 8 primary benchmarks.
-//!
-//! Paper shape: BB affinity is the most robust and best performing (4–5%
-//! average speedup on its best three programs); function affinity is
-//! robust but modest; function TRG is fragile — occasional large speedups
-//! with counter-productive miss ratios on a majority of programs. BB TRG
-//! shows no improvement and is omitted, as in the paper.
-
-use clop_bench::corun::CorunLab;
-use clop_bench::{pct, pct0, render_table, write_json};
-use clop_core::OptimizerKind;
-use clop_workloads::PrimaryBenchmark;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    name: String,
-    fn_aff: Option<(f64, f64, f64)>,
-    bb_aff: Option<(f64, f64, f64)>,
-    fn_trg: Option<(f64, f64, f64)>,
-}
-
 fn main() {
-    let kinds = [
-        OptimizerKind::FunctionAffinity,
-        OptimizerKind::BbAffinity,
-        OptimizerKind::FunctionTrg,
-    ];
-    let lab = CorunLab::prepare(&kinds);
-    let probes = PrimaryBenchmark::ALL;
-
-    let mut rows = Vec::new();
-    for subject in PrimaryBenchmark::ALL {
-        let avg = |k: OptimizerKind| {
-            lab.subject_result(subject, k, &probes).map(|r| {
-                let a = r.average();
-                (a.speedup, a.miss_reduction_hw, a.miss_reduction_sim)
-            })
-        };
-        rows.push(Row {
-            name: subject.name().to_string(),
-            fn_aff: avg(OptimizerKind::FunctionAffinity),
-            bb_aff: avg(OptimizerKind::BbAffinity),
-            fn_trg: avg(OptimizerKind::FunctionTrg),
-        });
-        eprint!("+");
-    }
-    eprintln!();
-
-    let cell = |v: &Option<(f64, f64, f64)>| -> Vec<String> {
-        match v {
-            Some((s, hw, sim)) => vec![pct(*s), pct0(*hw), pct0(*sim)],
-            None => vec!["N/A".into(), "N/A".into(), "N/A".into()],
-        }
-    };
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            let mut row = vec![r.name.clone()];
-            row.extend(cell(&r.fn_aff));
-            row.extend(cell(&r.bb_aff));
-            row.extend(cell(&r.fn_trg));
-            row
-        })
-        .collect();
-    println!("Table II: average co-run speedup and miss reduction (hw-like, simulated)\n");
-    println!(
-        "{}",
-        render_table(
-            &[
-                "program",
-                "fnAff spd",
-                "fnAff hw",
-                "fnAff sim",
-                "bbAff spd",
-                "bbAff hw",
-                "bbAff sim",
-                "fnTRG spd",
-                "fnTRG hw",
-                "fnTRG sim",
-            ],
-            &table
-        )
-    );
-    println!("paper: BB affinity best and most robust; function affinity robust/modest;");
-    println!("       function TRG fragile (speedups can coexist with higher miss ratios).");
-
-    write_json("table2_corun", &rows);
+    clop_bench::experiment::cli_main("table2_corun");
 }

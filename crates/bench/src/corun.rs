@@ -8,14 +8,16 @@
 //! counters" (our timed SMT model with the next-line prefetcher) and
 //! "simulated" (pure round-robin shared-cache simulation).
 
-use crate::{baseline_run, optimized_run, timing_hw};
+use crate::experiment::ExperimentCtx;
+use crate::timing_hw;
 use clop_core::{OptimizerKind, ProgramRun};
+use clop_util::{Json, ToJson};
 use clop_workloads::{primary_program, PrimaryBenchmark};
-use serde::Serialize;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Result of one subject × probe co-run comparison.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct PairResult {
     /// Speedup of the optimized subject over the original subject, both
     /// co-running with the original probe (`> 0` is an improvement).
@@ -26,13 +28,32 @@ pub struct PairResult {
     pub miss_reduction_sim: f64,
 }
 
+impl ToJson for PairResult {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("speedup", self.speedup.to_json()),
+            ("miss_reduction_hw", self.miss_reduction_hw.to_json()),
+            ("miss_reduction_sim", self.miss_reduction_sim.to_json()),
+        ])
+    }
+}
+
 /// All co-run results of one optimizer for one subject program.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SubjectResult {
     /// Subject program name.
     pub name: String,
     /// Per-probe results keyed by probe name (the paper's Figure 6 bars).
     pub per_probe: Vec<(String, PairResult)>,
+}
+
+impl ToJson for SubjectResult {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("per_probe", self.per_probe.to_json()),
+        ])
+    }
 }
 
 impl SubjectResult {
@@ -58,28 +79,58 @@ impl SubjectResult {
 
 /// Pre-evaluated programs: baselines for all 8 primaries plus optimized
 /// variants per optimizer (None where the optimizer failed — the paper's
-/// N/A entries).
+/// N/A entries). Runs are engine-shared `Arc`s; preparing two labs in one
+/// process costs one evaluation sweep.
 pub struct CorunLab {
     /// Baseline run per primary benchmark.
-    pub baselines: HashMap<PrimaryBenchmark, ProgramRun>,
+    pub baselines: HashMap<PrimaryBenchmark, Arc<ProgramRun>>,
     /// Optimized run per (benchmark, optimizer).
-    pub optimized: HashMap<(PrimaryBenchmark, OptimizerKind), Option<ProgramRun>>,
+    pub optimized: HashMap<(PrimaryBenchmark, OptimizerKind), Option<Arc<ProgramRun>>>,
 }
 
 impl CorunLab {
-    /// Evaluate every baseline and every optimized variant once.
-    pub fn prepare(kinds: &[OptimizerKind]) -> CorunLab {
-        let mut baselines = HashMap::new();
-        let mut optimized = HashMap::new();
-        for b in PrimaryBenchmark::ALL {
-            let w = primary_program(b);
-            baselines.insert(b, baseline_run(&w));
+    /// Evaluate every baseline and every optimized variant, fanned out
+    /// over the context's worker pool.
+    pub fn prepare(ctx: &ExperimentCtx, kinds: &[OptimizerKind]) -> CorunLab {
+        CorunLab::prepare_subset(ctx, &PrimaryBenchmark::ALL, kinds)
+    }
+
+    /// Like [`CorunLab::prepare`], restricted to a benchmark subset. The
+    /// golden-regression tests use this to re-run Table II on a reduced
+    /// suite.
+    pub fn prepare_subset(
+        ctx: &ExperimentCtx,
+        benches: &[PrimaryBenchmark],
+        kinds: &[OptimizerKind],
+    ) -> CorunLab {
+        let mut work: Vec<(PrimaryBenchmark, Option<OptimizerKind>)> = Vec::new();
+        for &b in benches {
+            work.push((b, None));
             for &k in kinds {
-                optimized.insert((b, k), optimized_run(&w, k).ok());
-                eprint!(".");
+                work.push((b, Some(k)));
             }
         }
-        eprintln!();
+        let runs = ctx.map(work, |_, (b, k)| {
+            let w = primary_program(b);
+            let run = match k {
+                None => Some(ctx.baseline(&w)),
+                Some(kind) => ctx.optimized(&w, kind).ok(),
+            };
+            (b, k, run)
+        });
+
+        let mut baselines = HashMap::new();
+        let mut optimized = HashMap::new();
+        for (b, k, run) in runs {
+            match k {
+                None => {
+                    baselines.insert(b, run.expect("baselines always evaluate"));
+                }
+                Some(kind) => {
+                    optimized.insert((b, kind), run);
+                }
+            }
+        }
         CorunLab {
             baselines,
             optimized,
@@ -95,12 +146,12 @@ impl CorunLab {
         kind: OptimizerKind,
         probes: &[PrimaryBenchmark],
     ) -> Option<SubjectResult> {
-        let opt = self.optimized.get(&(subject, kind))?.as_ref()?;
-        let base = &self.baselines[&subject];
+        let opt = self.optimized.get(&(subject, kind))?.as_deref()?;
+        let base = self.baselines[&subject].as_ref();
         let timing = timing_hw();
         let mut per_probe = Vec::new();
         for &probe in probes {
-            let probe_run = &self.baselines[&probe];
+            let probe_run = self.baselines[&probe].as_ref();
             // Timed channel: probe is thread 0, subject thread 1.
             let orig_pair = probe_run.corun_timed(base, timing);
             let opt_pair = probe_run.corun_timed(opt, timing);

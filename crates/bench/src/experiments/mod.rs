@@ -1,0 +1,24 @@
+//! One module per table/figure reproduction. Each exposes
+//! `run(&ExperimentCtx) -> ExperimentResult`; the registry in
+//! [`crate::experiment::all`] binds them to names. Modules that the
+//! golden-regression tests re-run on reduced inputs additionally expose a
+//! `rows_for`-style function over an explicit work list.
+
+pub mod ablation_policy;
+pub mod ablation_pruning;
+pub mod ablation_window;
+pub mod baselines;
+pub mod combining;
+pub mod coschedule;
+pub mod fig4_miss_ratios;
+pub mod fig5_solo;
+pub mod fig6_corun_bars;
+pub mod fig7_throughput;
+pub mod intro_table;
+pub mod model_validation;
+pub mod mrc;
+pub mod multilevel;
+pub mod petrank_wall;
+pub mod smt_width;
+pub mod table1_characteristics;
+pub mod table2_corun;

@@ -1,0 +1,225 @@
+//! §III-D: the Petrank–Rawitz wall, made measurable.
+//!
+//! No practical layout optimizer can guarantee closeness to the optimum
+//! (optimal placement is inapproximable unless P = NP), so the paper
+//! argues for specific patterns with variety. On a program small enough to
+//! enumerate *every* function order, we compare the model-driven
+//! optimizers against the true optimum and against budget-matched random
+//! search:
+//!
+//! * the heuristics should land near the exhaustive optimum while
+//!   evaluating exactly one layout,
+//! * random search with the same single-evaluation budget should land far
+//!   away, and should need a large slice of the factorial space to catch
+//!   up — the wall in numbers.
+
+use crate::experiment::{ExperimentCtx, ExperimentResult};
+use crate::{pct0, render_table};
+use clop_core::search::exhaustive_function_order_distribution;
+use clop_core::{
+    baseline, exhaustive_best_function_order, random_search_function_order, EvalConfig, Optimizer,
+    OptimizerKind, Profile, ProfileConfig,
+};
+use clop_ir::prelude::*;
+use clop_util::{Json, ToJson};
+use std::fmt::Write as _;
+
+/// An 8-function program (7! = 5,040 orders of the non-main functions
+/// matter; we enumerate all 8! = 40,320) with a conflict-prone structure:
+/// three hot functions sized to collide when interleaved with the pads.
+fn wall_module() -> Module {
+    let mut b = ModuleBuilder::new("wall");
+    b.function("main")
+        .call("c1", 32, "hot_a", "c2")
+        .call("c2", 32, "hot_b", "c3")
+        .call("c3", 32, "hot_c", "back")
+        .branch(
+            "back",
+            32,
+            CondModel::LoopCounter { trip: 500 },
+            "c1",
+            "end",
+        )
+        .ret("end", 16)
+        .finish();
+    b.function("pad_a")
+        .jump("p0", 1024, "p1")
+        .ret("p1", 1024)
+        .finish();
+    b.function("hot_a")
+        .jump("top", 1024, "bot")
+        .ret("bot", 1024)
+        .finish();
+    b.function("pad_b")
+        .jump("p0", 1024, "p1")
+        .ret("p1", 1024)
+        .finish();
+    b.function("hot_b")
+        .jump("top", 1024, "bot")
+        .ret("bot", 1024)
+        .finish();
+    b.function("pad_c")
+        .jump("p0", 1024, "p1")
+        .ret("p1", 1024)
+        .finish();
+    b.function("hot_c")
+        .jump("top", 1024, "bot")
+        .ret("bot", 1024)
+        .finish();
+    b.function("pad_d")
+        .jump("p0", 1024, "p1")
+        .ret("p1", 1024)
+        .finish();
+    b.build().unwrap()
+}
+
+struct Row {
+    strategy: String,
+    layouts_evaluated: u64,
+    misses: u64,
+    miss_ratio: f64,
+    gap_to_optimal: f64,
+    percentile: f64,
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("strategy", self.strategy.to_json()),
+            ("layouts_evaluated", self.layouts_evaluated.to_json()),
+            ("misses", self.misses.to_json()),
+            ("miss_ratio", self.miss_ratio.to_json()),
+            ("gap_to_optimal", self.gap_to_optimal.to_json()),
+            ("percentile", self.percentile.to_json()),
+        ])
+    }
+}
+
+pub fn run(ctx: &ExperimentCtx) -> ExperimentResult {
+    let module = wall_module();
+    let config = EvalConfig {
+        cache: clop_cachesim::CacheConfig::new(8 * 1024, 2, 64),
+        exec: ExecConfig::with_fuel(40_000),
+        ..Default::default()
+    };
+    let measure = |layout: &Layout| ctx.evaluate(&module, layout, &config).solo_sim();
+
+    let mut text = String::new();
+    let best = exhaustive_best_function_order(&module, &config, 8);
+    let optimal = best.stats;
+    let mut dist = exhaustive_function_order_distribution(&module, &config, 8);
+    dist.sort_unstable();
+    let pctile = |m: u64| -> f64 {
+        let below = dist.partition_point(|&x| x < m);
+        below as f64 / dist.len() as f64
+    };
+    let q = |f: f64| dist[((dist.len() - 1) as f64 * f) as usize];
+    writeln!(
+        text,
+        "layout-landscape misses: min {}  p10 {}  median {}  p90 {}  max {}",
+        q(0.0),
+        q(0.10),
+        q(0.50),
+        q(0.90),
+        q(1.0)
+    )
+    .unwrap();
+    writeln!(
+        text,
+        "fraction of all layouts within 10% of optimum: {:.1}%\n",
+        100.0 * dist.partition_point(|&x| x as f64 <= optimal.misses as f64 * 1.10) as f64
+            / dist.len() as f64
+    )
+    .unwrap();
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut push = |strategy: &str, evaluated: u64, stats: clop_cachesim::CacheStats| {
+        rows.push(Row {
+            strategy: strategy.to_string(),
+            layouts_evaluated: evaluated,
+            misses: stats.misses,
+            miss_ratio: stats.miss_ratio(),
+            gap_to_optimal: if optimal.misses > 0 {
+                stats.misses as f64 / optimal.misses as f64 - 1.0
+            } else {
+                stats.misses as f64
+            },
+            percentile: pctile(stats.misses),
+        });
+    };
+
+    push("exhaustive optimum", best.evaluated, optimal);
+    push("original layout", 1, measure(&Layout::original(&module)));
+
+    for kind in [OptimizerKind::FunctionAffinity, OptimizerKind::FunctionTrg] {
+        let mut opt = Optimizer::new(kind);
+        opt.profile = ProfileConfig::with_exec(ExecConfig::with_fuel(10_000));
+        let o = ctx
+            .optimize_with(&module, &opt)
+            .expect("function reordering");
+        push(&kind.to_string(), 1, measure(&o.layout));
+    }
+    {
+        let profile = Profile::collect(
+            &module,
+            &ProfileConfig::with_exec(ExecConfig::with_fuel(10_000)),
+        );
+        let ph = baseline::pettis_hansen_function_order(&module, &profile.func_trace);
+        push("pettis-hansen", 1, measure(&ph));
+    }
+    for budget in [1u64, 16, 256, 4096] {
+        let r = random_search_function_order(&module, &config, budget, 0xA11CE);
+        push(&format!("random search ({})", budget), r.evaluated, r.stats);
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.strategy.clone(),
+                r.layouts_evaluated.to_string(),
+                r.misses.to_string(),
+                pct0(r.miss_ratio),
+                format!("{:+.1}%", 100.0 * r.gap_to_optimal),
+                format!("beats {:.1}%", 100.0 * (1.0 - r.percentile)),
+            ]
+        })
+        .collect();
+    writeln!(
+        text,
+        "Petrank–Rawitz wall probe: 8 functions, all 40,320 layouts known\n"
+    )
+    .unwrap();
+    writeln!(
+        text,
+        "{}",
+        render_table(
+            &[
+                "strategy",
+                "layouts tried",
+                "misses",
+                "miss ratio",
+                "gap to optimum",
+                "landscape rank"
+            ],
+            &table
+        )
+    )
+    .unwrap();
+    writeln!(
+        text,
+        "paper: no guarantee of closeness is possible; specificity + variety is the"
+    )
+    .unwrap();
+    writeln!(
+        text,
+        "       practical answer — the pattern-driven optimizers approach the optimum"
+    )
+    .unwrap();
+    writeln!(text, "       with a single layout evaluation.").unwrap();
+
+    ExperimentResult {
+        text,
+        json: rows.to_json(),
+    }
+}

@@ -1,0 +1,138 @@
+//! Table II: average co-run speedup and miss-ratio reduction of the three
+//! effective optimizers (function affinity, BB affinity, function TRG)
+//! over the 8 primary benchmarks.
+//!
+//! Paper shape: BB affinity is the most robust and best performing (4–5%
+//! average speedup on its best three programs); function affinity is
+//! robust but modest; function TRG is fragile — occasional large speedups
+//! with counter-productive miss ratios on a majority of programs. BB TRG
+//! shows no improvement and is omitted, as in the paper.
+
+use crate::corun::CorunLab;
+use crate::experiment::{ExperimentCtx, ExperimentResult};
+use crate::{pct, pct0, render_table};
+use clop_core::OptimizerKind;
+use clop_util::{Json, ToJson};
+use clop_workloads::PrimaryBenchmark;
+use std::fmt::Write as _;
+
+/// The three effective optimizers of Table II, in presentation order.
+pub const KINDS: [OptimizerKind; 3] = [
+    OptimizerKind::FunctionAffinity,
+    OptimizerKind::BbAffinity,
+    OptimizerKind::FunctionTrg,
+];
+
+/// One Table II row: per-optimizer (speedup, hw reduction, sim reduction)
+/// averages, `None` for the paper's N/A entries.
+pub struct Row {
+    pub name: String,
+    pub fn_aff: Option<(f64, f64, f64)>,
+    pub bb_aff: Option<(f64, f64, f64)>,
+    pub fn_trg: Option<(f64, f64, f64)>,
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("fn_aff", self.fn_aff.to_json()),
+            ("bb_aff", self.bb_aff.to_json()),
+            ("fn_trg", self.fn_trg.to_json()),
+        ])
+    }
+}
+
+/// The Table II measurement over explicit subject/probe subsets. The
+/// golden-regression test runs this on a reduced suite.
+pub fn rows_for(
+    ctx: &ExperimentCtx,
+    subjects: &[PrimaryBenchmark],
+    probes: &[PrimaryBenchmark],
+) -> Vec<Row> {
+    // The lab needs runs of every subject and every probe.
+    let mut benches: Vec<PrimaryBenchmark> = subjects.to_vec();
+    for &p in probes {
+        if !benches.contains(&p) {
+            benches.push(p);
+        }
+    }
+    let lab = CorunLab::prepare_subset(ctx, &benches, &KINDS);
+
+    ctx.map(subjects.to_vec(), |_, subject| {
+        let avg = |k: OptimizerKind| {
+            lab.subject_result(subject, k, probes).map(|r| {
+                let a = r.average();
+                (a.speedup, a.miss_reduction_hw, a.miss_reduction_sim)
+            })
+        };
+        Row {
+            name: subject.name().to_string(),
+            fn_aff: avg(OptimizerKind::FunctionAffinity),
+            bb_aff: avg(OptimizerKind::BbAffinity),
+            fn_trg: avg(OptimizerKind::FunctionTrg),
+        }
+    })
+}
+
+pub fn run(ctx: &ExperimentCtx) -> ExperimentResult {
+    let rows = rows_for(ctx, &PrimaryBenchmark::ALL, &PrimaryBenchmark::ALL);
+
+    let cell = |v: &Option<(f64, f64, f64)>| -> Vec<String> {
+        match v {
+            Some((s, hw, sim)) => vec![pct(*s), pct0(*hw), pct0(*sim)],
+            None => vec!["N/A".into(), "N/A".into(), "N/A".into()],
+        }
+    };
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.name.clone()];
+            row.extend(cell(&r.fn_aff));
+            row.extend(cell(&r.bb_aff));
+            row.extend(cell(&r.fn_trg));
+            row
+        })
+        .collect();
+    let mut text = String::new();
+    writeln!(
+        text,
+        "Table II: average co-run speedup and miss reduction (hw-like, simulated)\n"
+    )
+    .unwrap();
+    writeln!(
+        text,
+        "{}",
+        render_table(
+            &[
+                "program",
+                "fnAff spd",
+                "fnAff hw",
+                "fnAff sim",
+                "bbAff spd",
+                "bbAff hw",
+                "bbAff sim",
+                "fnTRG spd",
+                "fnTRG hw",
+                "fnTRG sim",
+            ],
+            &table
+        )
+    )
+    .unwrap();
+    writeln!(
+        text,
+        "paper: BB affinity best and most robust; function affinity robust/modest;"
+    )
+    .unwrap();
+    writeln!(
+        text,
+        "       function TRG fragile (speedups can coexist with higher miss ratios)."
+    )
+    .unwrap();
+
+    ExperimentResult {
+        text,
+        json: rows.to_json(),
+    }
+}

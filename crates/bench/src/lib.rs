@@ -1,17 +1,22 @@
 //! Shared harness utilities for the experiment binaries.
 //!
 //! Every experiment binary (`src/bin/exp_*.rs`) regenerates one table or
-//! figure of the paper. They share: program evaluation (link + reference
-//! run + both measurement channels), aligned-text table rendering, and
-//! JSON result emission into `results/`.
+//! figure of the paper. The experiments themselves live in
+//! [`experiments`] as declarative specs registered in [`experiment::all`];
+//! the binaries are thin shims over [`experiment::cli_main`]. Shared here:
+//! program evaluation (link + reference run + both measurement channels),
+//! aligned-text table rendering, and JSON result emission into `results/`.
 
 pub mod corun;
+pub mod experiment;
+pub mod experiments;
+pub mod pool;
 
 use clop_cachesim::{CacheConfig, TimingConfig};
 use clop_core::{EvalConfig, OptError, Optimizer, OptimizerKind, ProfileConfig, ProgramRun};
 use clop_ir::Layout;
+use clop_util::Json;
 use clop_workloads::Workload;
-use serde::Serialize;
 use std::io::Write as _;
 use std::path::PathBuf;
 
@@ -25,6 +30,9 @@ pub fn eval_config(w: &Workload) -> EvalConfig {
 }
 
 /// Evaluate a workload's baseline (original layout, untransformed module).
+///
+/// Unmemoized convenience entry; experiments go through
+/// [`experiment::ExperimentCtx::baseline`] instead, which caches the run.
 pub fn baseline_run(w: &Workload) -> ProgramRun {
     ProgramRun::evaluate(&w.module, &Layout::original(&w.module), &eval_config(w))
 }
@@ -73,12 +81,14 @@ pub fn results_dir() -> PathBuf {
     dir
 }
 
-/// Write a serializable result as JSON under `results/<name>.json`.
-pub fn write_json<T: Serialize>(name: &str, value: &T) {
+/// Write a JSON result under `results/<name>.json`.
+pub fn write_json(name: &str, value: &Json) {
     let path = results_dir().join(format!("{}.json", name));
     let file = std::fs::File::create(&path).expect("create result file");
     let mut w = std::io::BufWriter::new(file);
-    serde_json::to_writer_pretty(&mut w, value).expect("serialize result");
+    w.write_all(value.pretty().as_bytes())
+        .expect("write result");
+    w.write_all(b"\n").expect("write result");
     w.flush().expect("flush result");
     eprintln!("wrote {}", path.display());
 }

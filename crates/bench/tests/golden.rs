@@ -1,0 +1,79 @@
+//! Golden-regression tests: re-run reduced versions of Figure 4 and
+//! Table II and compare the JSON against checked-in expected files with a
+//! numeric tolerance.
+//!
+//! The reduced inputs (4 suite programs for Figure 4; 2 subjects × 1 probe
+//! for Table II) keep the runtime in seconds while still exercising the
+//! full measurement path: workload generation, profiling, both optimizer
+//! families, the co-run protocol and both measurement channels. Every
+//! quantity is deterministic, so the tolerance only needs to absorb
+//! floating-point noise, not run-to-run variance.
+//!
+//! To regenerate after an intentional behaviour change:
+//!
+//! ```text
+//! CLOP_BLESS=1 cargo test -p clop-bench --test golden
+//! ```
+
+use clop_bench::experiment::ExperimentCtx;
+use clop_bench::experiments::{fig4_miss_ratios, table2_corun};
+use clop_util::{Json, ToJson};
+use clop_workloads::{full_suite, PrimaryBenchmark};
+use std::path::PathBuf;
+
+const TOLERANCE: f64 = 1e-9;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{}.json", name))
+}
+
+fn check_golden(name: &str, actual: &Json) {
+    let path = golden_path(name);
+    if std::env::var_os("CLOP_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual.pretty() + "\n").unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({}); regenerate with CLOP_BLESS=1",
+            path.display(),
+            e
+        )
+    });
+    let expected = Json::parse(&raw).expect("golden file parses");
+    if let Err(msg) = expected.approx_eq(actual, TOLERANCE) {
+        panic!(
+            "{} diverged from golden {}: {}\n\
+             (rerun with CLOP_BLESS=1 if the change is intentional)",
+            name,
+            path.display(),
+            msg
+        );
+    }
+}
+
+#[test]
+fn reduced_fig4_matches_golden() {
+    let ctx = ExperimentCtx::new(2);
+    let keep = ["403.gcc", "445.gobmk", "458.sjeng", "471.omnetpp"];
+    let entries: Vec<_> = full_suite()
+        .into_iter()
+        .filter(|e| keep.contains(&e.name))
+        .collect();
+    assert_eq!(entries.len(), keep.len(), "reduced suite entries exist");
+    let rows = fig4_miss_ratios::rows_for(&ctx, entries);
+    check_golden("fig4_reduced", &rows.to_json());
+}
+
+#[test]
+fn reduced_table2_matches_golden() {
+    let ctx = ExperimentCtx::new(2);
+    let subjects = [PrimaryBenchmark::Gobmk, PrimaryBenchmark::Sjeng];
+    let probes = [PrimaryBenchmark::Gcc];
+    let rows = table2_corun::rows_for(&ctx, &subjects, &probes);
+    check_golden("table2_reduced", &rows.to_json());
+}

@@ -31,10 +31,13 @@ impl CacheConfig {
             associativity,
             line_size,
         };
-        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(associativity >= 1, "associativity must be at least 1");
         assert!(
-            size_bytes % (associativity as u64 * line_size) == 0,
+            size_bytes.is_multiple_of(associativity as u64 * line_size),
             "capacity must be a whole number of sets"
         );
         assert!(c.num_sets() >= 1, "cache must have at least one set");
@@ -174,7 +177,12 @@ mod tests {
         };
         assert!((base.reduction_to(&opt) - 0.4).abs() < 1e-12);
         // Regression shows as negative reduction.
-        assert!(base.reduction_to(&CacheStats { accesses: 100, misses: 20 }) < 0.0);
+        assert!(
+            base.reduction_to(&CacheStats {
+                accesses: 100,
+                misses: 20
+            }) < 0.0
+        );
         // Zero-baseline guards against division by zero.
         let z = CacheStats {
             accesses: 100,

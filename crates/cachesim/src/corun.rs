@@ -17,9 +17,20 @@ const THREAD_TAG_SHIFT: u64 = 58;
 
 /// Tag a line index with its owning thread so the physically-tagged shared
 /// cache never aliases the two programs.
+///
+/// Invariant (checked unconditionally): `line` must stay below bit
+/// [`THREAD_TAG_SHIFT`], i.e. below 2^58. Real line indices are byte
+/// addresses divided by the line size, so a violation means a corrupted
+/// stream — silently folding the tag into the index would alias the two
+/// address spaces and quietly skew every co-run statistic.
 #[inline]
 pub fn tag_line(line: u64, thread: usize) -> u64 {
-    debug_assert!(line < (1 << THREAD_TAG_SHIFT));
+    assert!(
+        line < (1 << THREAD_TAG_SHIFT),
+        "line index {:#x} collides with the thread tag (bit {})",
+        line,
+        THREAD_TAG_SHIFT
+    );
     line | ((thread as u64) << THREAD_TAG_SHIFT)
 }
 
@@ -54,28 +65,64 @@ impl CorunCacheResult {
 /// shorter program has finished and the longer one runs alone, exactly as on
 /// hardware.
 pub fn interleave_round_robin(a: &[u64], b: &[u64]) -> Vec<(usize, u64)> {
-    let mut out = Vec::with_capacity(a.len() + b.len());
-    let (mut i, mut j) = (0usize, 0usize);
-    loop {
-        match (i < a.len(), j < b.len()) {
-            (true, true) => {
-                out.push((0, a[i]));
-                out.push((1, b[j]));
-                i += 1;
-                j += 1;
-            }
-            (true, false) => {
-                out.push((0, a[i]));
-                i += 1;
-            }
-            (false, true) => {
-                out.push((1, b[j]));
-                j += 1;
-            }
-            (false, false) => break,
+    interleave_round_robin_iter(a, b).collect()
+}
+
+/// Iterator form of [`interleave_round_robin`]: yields the same `(thread,
+/// line)` sequence without materializing an `a.len() + b.len()` vector.
+/// Co-run simulation streams through this directly.
+pub fn interleave_round_robin_iter<'a>(
+    a: &'a [u64],
+    b: &'a [u64],
+) -> impl Iterator<Item = (usize, u64)> + 'a {
+    InterleaveRoundRobin {
+        a,
+        b,
+        i: 0,
+        j: 0,
+        // Thread 1 is next only when thread 0 has already fetched this
+        // round; draining starts in thread-0 position.
+        b_turn: false,
+    }
+}
+
+struct InterleaveRoundRobin<'a> {
+    a: &'a [u64],
+    b: &'a [u64],
+    i: usize,
+    j: usize,
+    b_turn: bool,
+}
+
+impl<'a> Iterator for InterleaveRoundRobin<'a> {
+    type Item = (usize, u64);
+
+    fn next(&mut self) -> Option<(usize, u64)> {
+        let a_left = self.i < self.a.len();
+        let b_left = self.j < self.b.len();
+        let pick_a = match (a_left, b_left) {
+            (false, false) => return None,
+            (true, false) => true,
+            (false, true) => false,
+            (true, true) => !self.b_turn,
+        };
+        if pick_a {
+            let line = self.a[self.i];
+            self.i += 1;
+            self.b_turn = b_left;
+            Some((0, line))
+        } else {
+            let line = self.b[self.j];
+            self.j += 1;
+            self.b_turn = false;
+            Some((1, line))
         }
     }
-    out
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.a.len() - self.i) + (self.b.len() - self.j);
+        (n, Some(n))
+    }
 }
 
 /// Replay two fetch streams through one shared cache with round-robin SMT
@@ -83,7 +130,7 @@ pub fn interleave_round_robin(a: &[u64], b: &[u64]) -> Vec<(usize, u64)> {
 pub fn simulate_corun_lines(a: &[u64], b: &[u64], config: CacheConfig) -> CorunCacheResult {
     let mut cache = SetAssocCache::new(config);
     let mut result = CorunCacheResult::default();
-    for (thread, line) in interleave_round_robin(a, b) {
+    for (thread, line) in interleave_round_robin_iter(a, b) {
         let hit = cache.access(tag_line(line, thread));
         result.per_thread[thread].record(hit);
     }
@@ -175,10 +222,7 @@ mod tests {
         let a = vec![10, 11, 12];
         let b = vec![20];
         let merged = interleave_round_robin(&a, &b);
-        assert_eq!(
-            merged,
-            vec![(0, 10), (1, 20), (0, 11), (0, 12)]
-        );
+        assert_eq!(merged, vec![(0, 10), (1, 20), (0, 11), (0, 12)]);
     }
 
     #[test]
@@ -231,10 +275,43 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "collides with the thread tag")]
+    fn tag_line_rejects_out_of_range_lines() {
+        tag_line(1 << THREAD_TAG_SHIFT, 0);
+    }
+
+    #[test]
+    fn iterator_interleave_matches_vec_interleave() {
+        let cases: [(&[u64], &[u64]); 5] = [
+            (&[1, 2, 3], &[10, 20]),
+            (&[1], &[10, 20, 30, 40]),
+            (&[], &[10, 20]),
+            (&[1, 2], &[]),
+            (&[], &[]),
+        ];
+        for (a, b) in cases {
+            let vec_form = interleave_round_robin(a, b);
+            let iter_form: Vec<(usize, u64)> = interleave_round_robin_iter(a, b).collect();
+            assert_eq!(vec_form, iter_form, "a={:?} b={:?}", a, b);
+        }
+    }
+
+    #[test]
+    fn iterator_interleave_reports_exact_size() {
+        let a = [1u64, 2, 3];
+        let b = [10u64, 20];
+        let mut it = interleave_round_robin_iter(&a, &b);
+        assert_eq!(it.size_hint(), (5, Some(5)));
+        it.next();
+        assert_eq!(it.size_hint(), (4, Some(4)));
+        assert_eq!(it.count(), 4);
+    }
+
+    #[test]
     fn corun_on_paper_cache_disjoint_sets_no_interference() {
         // Threads with disjoint set footprints shouldn't disturb each other.
         let cfgp = CacheConfig::paper_l1i(); // 128 sets, 4 ways
-        // Thread A uses sets 0..32; thread B uses sets 64..96.
+                                             // Thread A uses sets 0..32; thread B uses sets 64..96.
         let a: Vec<u64> = (0..2000).map(|i| i % 32).collect();
         let b: Vec<u64> = (0..2000).map(|i| 64 + i % 32).collect();
         let solo_a = simulate_solo_lines(&a, cfgp);

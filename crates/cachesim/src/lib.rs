@@ -29,26 +29,26 @@ pub mod prefetch;
 pub mod timing;
 
 pub use config::{CacheConfig, CacheStats};
-pub use occupancy::OccupancyMap;
-pub use policy::{simulate_with_policy, PolicyCache, ReplacementPolicy};
 pub use corun::{
-    interleave_round_robin, simulate_corun_lines, simulate_corun_many, simulate_solo_lines,
-    CorunCacheResult,
+    interleave_round_robin, interleave_round_robin_iter, simulate_corun_lines, simulate_corun_many,
+    simulate_solo_lines, tag_line, CorunCacheResult,
 };
 pub use icache::SetAssocCache;
 pub use model::{CompositionModel, InterferenceReport};
+pub use occupancy::OccupancyMap;
+pub use policy::{simulate_with_policy, PolicyCache, ReplacementPolicy};
 pub use prefetch::NextLinePrefetchCache;
-pub use timing::{SmtSimulator, ThreadOutcome, TimingConfig, TimedRun};
+pub use timing::{SmtSimulator, ThreadOutcome, TimedRun, TimingConfig};
 
 /// Convenient import surface.
 pub mod prelude {
     pub use crate::config::{CacheConfig, CacheStats};
     pub use crate::corun::{
-        interleave_round_robin, simulate_corun_lines, simulate_corun_many, simulate_solo_lines,
-        CorunCacheResult,
+        interleave_round_robin, interleave_round_robin_iter, simulate_corun_lines,
+        simulate_corun_many, simulate_solo_lines, tag_line, CorunCacheResult,
     };
     pub use crate::icache::SetAssocCache;
     pub use crate::model::{CompositionModel, InterferenceReport};
     pub use crate::prefetch::NextLinePrefetchCache;
-    pub use crate::timing::{SmtSimulator, ThreadOutcome, TimingConfig, TimedRun};
+    pub use crate::timing::{SmtSimulator, ThreadOutcome, TimedRun, TimingConfig};
 }

@@ -129,11 +129,7 @@ pub struct InterferenceReport {
 
 impl InterferenceReport {
     /// Compose `subject` against `peer`.
-    pub fn measure(
-        subject: &CompositionModel,
-        peer: &CompositionModel,
-        capacity: usize,
-    ) -> Self {
+    pub fn measure(subject: &CompositionModel, peer: &CompositionModel, capacity: usize) -> Self {
         let solo = subject.solo_miss_probability(capacity);
         let corun = subject.corun_miss_probability(peer, capacity, 1.0);
         let sensitivity = if solo > 0.0 {
@@ -152,21 +148,13 @@ impl InterferenceReport {
 /// Defensiveness of `subject` against `peer`: negated sensitivity, so larger
 /// is better (a perfectly defensive program's miss probability does not grow
 /// at all under co-run).
-pub fn defensiveness(
-    subject: &CompositionModel,
-    peer: &CompositionModel,
-    capacity: usize,
-) -> f64 {
+pub fn defensiveness(subject: &CompositionModel, peer: &CompositionModel, capacity: usize) -> f64 {
     -InterferenceReport::measure(subject, peer, capacity).sensitivity
 }
 
 /// Politeness of `subject` toward `peer`: how little the *peer* suffers from
 /// co-running with the subject — negated peer sensitivity, larger is better.
-pub fn politeness(
-    subject: &CompositionModel,
-    peer: &CompositionModel,
-    capacity: usize,
-) -> f64 {
+pub fn politeness(subject: &CompositionModel, peer: &CompositionModel, capacity: usize) -> f64 {
     -InterferenceReport::measure(peer, subject, capacity).sensitivity
 }
 
@@ -174,11 +162,7 @@ pub fn politeness(
 /// distance `d` overflows the shared cache, `max(0, d + peer.FP − C)`,
 /// averaged over the reuse histogram. A smoother interference indicator than
 /// the 0/1 miss count; used by ablation benches.
-pub fn mean_overflow(
-    subject: &CompositionModel,
-    peer: &CompositionModel,
-    capacity: usize,
-) -> f64 {
+pub fn mean_overflow(subject: &CompositionModel, peer: &CompositionModel, capacity: usize) -> f64 {
     let total = subject.reuse.total();
     if total == 0 {
         return 0.0;
@@ -330,10 +314,8 @@ mod tests {
 
     #[test]
     fn empty_model_is_benign() {
-        let empty = CompositionModel::measure(
-            &TrimmedTrace::from_indices(std::iter::empty::<u32>()),
-            16,
-        );
+        let empty =
+            CompositionModel::measure(&TrimmedTrace::from_indices(std::iter::empty::<u32>()), 16);
         let other = CompositionModel::measure(&cyclic(4, 40), 16);
         assert_eq!(empty.solo_miss_probability(8), 0.0);
         assert_eq!(empty.corun_miss_probability(&other, 8, 1.0), 0.0);

@@ -165,7 +165,7 @@ mod tests {
         let mut c = TwoLevelCache::new(l1, l2);
         assert_eq!(c.access(0), Level::Memory); // cold everywhere
         assert_eq!(c.access(0), Level::L1); // now resident
-        // Evict from L1 (8 lines in same... fill 8+ lines), keep in L2.
+                                            // Evict from L1 (8 lines in same... fill 8+ lines), keep in L2.
         for l in 1..=8u64 {
             c.access(l * 2); // all map across sets, 8 lines evict line 0 eventually
         }
@@ -189,7 +189,11 @@ mod tests {
             }
         }
         let st = c.stats();
-        assert!(st.l1_miss_ratio() > 0.5, "L1 thrashes: {}", st.l1_miss_ratio());
+        assert!(
+            st.l1_miss_ratio() > 0.5,
+            "L1 thrashes: {}",
+            st.l1_miss_ratio()
+        );
         assert!(
             st.l2_local_miss_ratio() < 0.1,
             "L2 absorbs: {}",
@@ -221,8 +225,8 @@ mod tests {
     fn shared_l2_contention_appears_when_combined_overflows() {
         let (l1, _) = small();
         let tiny_l2 = CacheConfig::new(1024, 2, 64); // 16 lines
-        // Each thread cycles 12 lines: alone fits L2 (12 < 16); together
-        // 24 tagged lines overflow it.
+                                                     // Each thread cycles 12 lines: alone fits L2 (12 < 16); together
+                                                     // 24 tagged lines overflow it.
         let a: Vec<u64> = (0..600).map(|i| i % 12).collect();
         let solo = {
             let mut c = TwoLevelCache::new(l1, tiny_l2);

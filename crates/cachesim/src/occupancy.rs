@@ -86,9 +86,7 @@ impl OccupancyMap {
     /// hotspots where LRU will thrash.
     pub fn oversubscribed_sets(&self) -> Vec<usize> {
         let a = self.config.associativity;
-        (0..self.hot.len())
-            .filter(|&s| self.hot[s] > a)
-            .collect()
+        (0..self.hot.len()).filter(|&s| self.hot[s] > a).collect()
     }
 
     /// Fraction of all accesses landing in oversubscribed sets — a cheap

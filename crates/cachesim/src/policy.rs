@@ -276,7 +276,12 @@ mod tests {
         let lru = simulate_with_policy(&lines, cfg(), ReplacementPolicy::Lru);
         let plru = simulate_with_policy(&lines, cfg(), ReplacementPolicy::TreePlru);
         // Within 2x of LRU's misses on a mixed workload.
-        assert!(plru.misses <= lru.misses * 2 + 8, "{} vs {}", plru.misses, lru.misses);
+        assert!(
+            plru.misses <= lru.misses * 2 + 8,
+            "{} vs {}",
+            plru.misses,
+            lru.misses
+        );
     }
 
     #[test]

@@ -179,7 +179,10 @@ enum ThreadState {
     /// Executing the current segment; `f64` cycles of work remain.
     Exec(f64),
     /// Stalled until the given absolute cycle, then `f64` work remains.
-    Stall { until: f64, then_exec: f64 },
+    Stall {
+        until: f64,
+        then_exec: f64,
+    },
     Done,
 }
 
@@ -425,9 +428,11 @@ mod tests {
 
     #[test]
     fn background_stalls_add_duty_cycle() {
-        let mut cfg = TimingConfig::default();
-        cfg.background_interval = 100.0;
-        cfg.background_stall = 25.0;
+        let cfg = TimingConfig {
+            background_interval: 100.0,
+            background_stall: 25.0,
+            ..Default::default()
+        };
         let sim = SmtSimulator::new(cfg);
         let stream = looped_stream(1, 100, 10); // 1000 exec cycles, 1 miss
         let run = sim.run_solo(&stream);

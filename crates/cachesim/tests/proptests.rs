@@ -1,110 +1,176 @@
-//! Property-based tests for the cache simulators.
+//! Property-based tests for the cache simulators, driven by the seeded
+//! `clop_util::check` harness.
 
 use clop_cachesim::{
     interleave_round_robin, simulate_corun_lines, simulate_solo_lines, simulate_with_policy,
-    CacheConfig, ReplacementPolicy, SetAssocCache, SmtSimulator, TimingConfig,
+    tag_line, CacheConfig, ReplacementPolicy, SetAssocCache, SmtSimulator, TimingConfig,
 };
-use proptest::prelude::*;
+use clop_util::check::{check, vec_of};
+use clop_util::Rng;
 
-fn lines(span: u64, len: usize) -> impl Strategy<Value = Vec<u64>> {
-    proptest::collection::vec(0..span, 0..len)
+fn lines(rng: &mut Rng, span: u64, max_len: usize) -> Vec<u64> {
+    vec_of(rng, max_len, |r| r.gen_below(span))
 }
 
 fn small_cfg() -> CacheConfig {
     CacheConfig::new(1024, 2, 64) // 8 sets × 2 ways
 }
 
-proptest! {
-    /// Misses never exceed accesses; accesses equal the stream length.
-    #[test]
-    fn stats_are_conserved(v in lines(64, 300)) {
+/// Misses never exceed accesses; accesses equal the stream length.
+#[test]
+fn stats_are_conserved() {
+    check("stats_are_conserved", |rng| {
+        let v = lines(rng, 64, 300);
         let s = simulate_solo_lines(&v, small_cfg());
-        prop_assert_eq!(s.accesses, v.len() as u64);
-        prop_assert!(s.misses <= s.accesses);
-        // Cold misses at least the distinct-line count capped by capacity...
-        // every distinct line misses at least once:
+        assert_eq!(s.accesses, v.len() as u64);
+        assert!(s.misses <= s.accesses);
+        // Every distinct line misses at least once (cold misses).
         let mut d: Vec<u64> = v.clone();
         d.sort_unstable();
         d.dedup();
-        prop_assert!(s.misses >= d.len() as u64);
-    }
+        assert!(s.misses >= d.len() as u64);
+    });
+}
 
-    /// A cache with more ways (same capacity in lines per set count) never
-    /// performs worse under LRU (inclusion in the associativity direction
-    /// holds for same set count and growing ways).
-    #[test]
-    fn more_ways_never_hurt_with_same_sets(v in lines(128, 300)) {
+/// A cache with more ways (same set count, growing ways) never performs
+/// worse under LRU.
+#[test]
+fn more_ways_never_hurt_with_same_sets() {
+    check("more_ways_never_hurt_with_same_sets", |rng| {
+        let v = lines(rng, 128, 300);
         // 8 sets × 2 ways vs 8 sets × 4 ways.
         let a = simulate_solo_lines(&v, CacheConfig::new(1024, 2, 64));
         let b = simulate_solo_lines(&v, CacheConfig::new(2048, 4, 64));
-        prop_assert!(b.misses <= a.misses);
-    }
+        assert!(b.misses <= a.misses);
+    });
+}
 
-    /// Round-robin interleaving preserves each stream's events in order.
-    #[test]
-    fn interleave_preserves_order(a in lines(64, 100), b in lines(64, 100)) {
+/// Round-robin interleaving preserves each stream's events in order.
+#[test]
+fn interleave_preserves_order() {
+    check("interleave_preserves_order", |rng| {
+        let a = lines(rng, 64, 100);
+        let b = lines(rng, 64, 100);
         let merged = interleave_round_robin(&a, &b);
-        let back_a: Vec<u64> = merged.iter().filter(|(t, _)| *t == 0).map(|(_, l)| *l).collect();
-        let back_b: Vec<u64> = merged.iter().filter(|(t, _)| *t == 1).map(|(_, l)| *l).collect();
-        prop_assert_eq!(back_a, a);
-        prop_assert_eq!(back_b, b);
-    }
+        let back_a: Vec<u64> = merged
+            .iter()
+            .filter(|(t, _)| *t == 0)
+            .map(|(_, l)| *l)
+            .collect();
+        let back_b: Vec<u64> = merged
+            .iter()
+            .filter(|(t, _)| *t == 1)
+            .map(|(_, l)| *l)
+            .collect();
+        assert_eq!(back_a, a);
+        assert_eq!(back_b, b);
+    });
+}
 
-    /// Co-run combined statistics equal the sum of per-thread statistics.
-    #[test]
-    fn corun_stats_additive(a in lines(64, 150), b in lines(64, 150)) {
+/// Co-run address streams from different threads never alias: the
+/// thread-tagged line of thread 0 is disjoint from that of thread 1 for
+/// *every* pair of raw lines, so two co-running programs can never share
+/// (and never falsely hit on) each other's cache lines.
+#[test]
+fn corun_streams_never_alias() {
+    check("corun_streams_never_alias", |rng| {
+        let a = lines(rng, 1 << 40, 100);
+        let b = lines(rng, 1 << 40, 100);
+        for &la in &a {
+            for &lb in &b {
+                assert_ne!(
+                    tag_line(la, 0),
+                    tag_line(lb, 1),
+                    "thread tags must separate address spaces (lines {:#x}, {:#x})",
+                    la,
+                    lb
+                );
+            }
+        }
+        // And tagging is injective per thread: equal tags imply equal lines.
+        for &la in &a {
+            for &la2 in &a {
+                assert_eq!(tag_line(la, 0) == tag_line(la2, 0), la == la2);
+            }
+        }
+    });
+}
+
+/// Co-run combined statistics equal the sum of per-thread statistics.
+#[test]
+fn corun_stats_additive() {
+    check("corun_stats_additive", |rng| {
+        let a = lines(rng, 64, 150);
+        let b = lines(rng, 64, 150);
         let r = simulate_corun_lines(&a, &b, small_cfg());
         let c = r.combined();
-        prop_assert_eq!(c.accesses, r.per_thread[0].accesses + r.per_thread[1].accesses);
-        prop_assert_eq!(c.misses, r.per_thread[0].misses + r.per_thread[1].misses);
-    }
+        assert_eq!(
+            c.accesses,
+            r.per_thread[0].accesses + r.per_thread[1].accesses
+        );
+        assert_eq!(c.misses, r.per_thread[0].misses + r.per_thread[1].misses);
+    });
+}
 
-    /// The LRU policy cache and the reference cache agree exactly on any
-    /// stream.
-    #[test]
-    fn policy_lru_equals_reference(v in lines(96, 300)) {
+/// The LRU policy cache and the reference cache agree exactly on any
+/// stream.
+#[test]
+fn policy_lru_equals_reference() {
+    check("policy_lru_equals_reference", |rng| {
+        let v = lines(rng, 96, 300);
         let a = simulate_with_policy(&v, small_cfg(), ReplacementPolicy::Lru);
         let b = simulate_solo_lines(&v, small_cfg());
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    /// Every policy is deterministic and conserves accesses.
-    #[test]
-    fn policies_deterministic(v in lines(96, 200)) {
+/// Every policy is deterministic and conserves accesses.
+#[test]
+fn policies_deterministic() {
+    check("policies_deterministic", |rng| {
+        let v = lines(rng, 96, 200);
         for p in ReplacementPolicy::ALL {
             let a = simulate_with_policy(&v, small_cfg(), p);
             let b = simulate_with_policy(&v, small_cfg(), p);
-            prop_assert_eq!(a, b);
-            prop_assert_eq!(a.accesses, v.len() as u64);
+            assert_eq!(a, b);
+            assert_eq!(a.accesses, v.len() as u64);
         }
-    }
+    });
+}
 
-    /// Timed solo runs: cycles grow monotonically with added work, and the
-    /// reported stats match a plain cache replay of the same stream.
-    #[test]
-    fn timed_solo_consistent(v in lines(64, 150)) {
+/// Timed solo runs: cycles grow monotonically with added work, and the
+/// reported stats match a plain cache replay of the same stream.
+#[test]
+fn timed_solo_consistent() {
+    check("timed_solo_consistent", |rng| {
+        let v = lines(rng, 64, 150);
         let stream: Vec<(u64, u32)> = v.iter().map(|&l| (l, 8)).collect();
-        let mut cfg = TimingConfig::default();
-        cfg.cache = small_cfg();
-        cfg.prefetch = false;
+        let cfg = TimingConfig {
+            cache: small_cfg(),
+            prefetch: false,
+            ..Default::default()
+        };
         let sim = SmtSimulator::new(cfg);
         let run = sim.run_solo(&stream);
-        prop_assert_eq!(run.stats.accesses, v.len() as u64);
+        assert_eq!(run.stats.accesses, v.len() as u64);
         // Same misses as an untimed replay (timing doesn't change a solo
         // access order).
         let plain = simulate_solo_lines(&v, small_cfg());
-        prop_assert_eq!(run.stats.misses, plain.misses);
+        assert_eq!(run.stats.misses, plain.misses);
         // Adding one element never reduces cycles.
         if !stream.is_empty() {
             let shorter = &stream[..stream.len() - 1];
             let run2 = sim.run_solo(shorter);
-            prop_assert!(run2.cycles <= run.cycles + 1e-9);
+            assert!(run2.cycles <= run.cycles + 1e-9);
         }
-    }
+    });
+}
 
-    /// Probing never changes statistics.
-    #[test]
-    fn probe_is_pure(v in lines(64, 100)) {
+/// Probing never changes statistics.
+#[test]
+fn probe_is_pure() {
+    check("probe_is_pure", |rng| {
+        let v = lines(rng, 64, 100);
         let mut c = SetAssocCache::new(small_cfg());
         for &l in &v {
             c.access(l);
@@ -113,6 +179,6 @@ proptest! {
         for &l in &v {
             c.probe(l);
         }
-        prop_assert_eq!(c.stats(), before);
-    }
+        assert_eq!(c.stats(), before);
+    });
 }

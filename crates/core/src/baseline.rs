@@ -87,8 +87,8 @@ pub fn pettis_hansen_function_order(module: &Module, func_trace: &TrimmedTrace) 
             }
         }
     }
-    for f in 0..n {
-        if !placed[f] {
+    for (f, done) in placed.iter().enumerate().take(n) {
+        if !done {
             order.push(FuncId(f as u32));
         }
     }
@@ -314,10 +314,7 @@ mod tests {
             panic!()
         };
         // Blocks of each function form one contiguous run.
-        let funcs: Vec<u32> = order
-            .iter()
-            .map(|&g| pre.locate(g).unwrap().0 .0)
-            .collect();
+        let funcs: Vec<u32> = order.iter().map(|&g| pre.locate(g).unwrap().0 .0).collect();
         let mut seen = std::collections::HashSet::new();
         let mut last = u32::MAX;
         for f in funcs {
@@ -333,7 +330,7 @@ mod tests {
         let m = branchy_module();
         let pre = preprocess_for_intra_reordering(&m);
         assert_eq!(pre.num_blocks(), m.num_blocks()); // no stubs
-        // Branch/jump/call blocks grew; return blocks did not.
+                                                      // Branch/jump/call blocks grew; return blocks did not.
         let f = &pre.functions[1];
         assert_eq!(f.blocks[0].size_bytes, 16 + JUMP_BYTES);
         assert_eq!(f.blocks[1].size_bytes, 64 + JUMP_BYTES);

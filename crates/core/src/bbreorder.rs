@@ -154,10 +154,7 @@ pub fn preprocess_for_bb_reordering(module: &Module) -> Result<Module, BbReorder
 /// Post-processing sanity check (§II-E step 3): the layout must be a
 /// permutation of the transformed module's blocks and the module must still
 /// validate.
-pub fn postprocess_check(
-    module: &Module,
-    layout: &clop_ir::Layout,
-) -> Result<(), BbReorderError> {
+pub fn postprocess_check(module: &Module, layout: &clop_ir::Layout) -> Result<(), BbReorderError> {
     module
         .validate()
         .map_err(|e| BbReorderError::SanityCheckFailed(e.to_string()))?;
@@ -208,7 +205,7 @@ mod tests {
         let m = sample();
         let pre = preprocess_for_bb_reordering(&m).unwrap();
         let f = &pre.functions[1]; // leaf
-        // head (Branch), a (Jump), b (Jump) grow; out (Return) does not.
+                                   // head (Branch), a (Jump), b (Jump) grow; out (Return) does not.
         assert_eq!(f.blocks[1].size_bytes, 8 + JUMP_BYTES);
         assert_eq!(f.blocks[2].size_bytes, 8 + JUMP_BYTES);
         assert_eq!(f.blocks[3].size_bytes, 8 + JUMP_BYTES);

@@ -11,7 +11,7 @@ use clop_cachesim::{
     simulate_corun_lines, simulate_solo_lines, CacheConfig, CacheStats, CorunCacheResult,
     SmtSimulator, ThreadOutcome, TimedRun, TimingConfig,
 };
-use clop_ir::{ExecConfig, Interpreter, Layout, LinkOptions, LinkedImage, Module};
+use clop_ir::{ExecConfig, ExecOutcome, Interpreter, Layout, LinkOptions, LinkedImage, Module};
 
 /// Evaluation configuration: how the reference run executes, how code is
 /// linked, and the cache geometry.
@@ -39,12 +39,26 @@ impl Default for EvalConfig {
 /// Expand a module execution into a timed fetch stream: one `(line,
 /// exec_cycles)` entry per cache line each basic block spans, with the
 /// block's instruction count spread over its lines.
+///
+/// Runs the interpreter once. Prefer [`timed_fetch_stream_from`] when an
+/// [`ExecOutcome`] is already in hand — layout never affects control flow,
+/// so one execution can be re-expanded under any number of layouts.
 pub fn timed_fetch_stream(
     module: &Module,
     image: &LinkedImage,
     exec: ExecConfig,
 ) -> Vec<(u64, u32)> {
     let outcome = Interpreter::new(exec).run(module);
+    timed_fetch_stream_from(module, image, &outcome)
+}
+
+/// Expand an already-recorded execution into the timed fetch stream for
+/// `image` (see [`timed_fetch_stream`]).
+pub fn timed_fetch_stream_from(
+    module: &Module,
+    image: &LinkedImage,
+    outcome: &ExecOutcome,
+) -> Vec<(u64, u32)> {
     let line_size = 64;
     let mut out = Vec::with_capacity(outcome.bb_trace.len() * 2);
     for &e in outcome.bb_trace.events() {
@@ -78,10 +92,13 @@ pub struct ProgramRun {
 
 impl ProgramRun {
     /// Link `module` with `layout` and execute the reference input.
+    ///
+    /// The interpreter runs exactly once: the same [`ExecOutcome`] yields
+    /// both the timed fetch stream and the instruction count.
     pub fn evaluate(module: &Module, layout: &Layout, config: &EvalConfig) -> ProgramRun {
         let image = LinkedImage::link(module, layout, config.link);
-        let stream = timed_fetch_stream(module, &image, config.exec);
         let outcome = Interpreter::new(config.exec).run(module);
+        let stream = timed_fetch_stream_from(module, &image, &outcome);
         ProgramRun {
             stream,
             instructions: outcome.instructions,
@@ -142,9 +159,7 @@ mod tests {
             .finish();
         // 40 cold functions × 2 KB separate the two hot ones.
         for i in 0..40 {
-            b.function(&format!("cold{}", i))
-                .ret("body", 2048)
-                .finish();
+            b.function(&format!("cold{}", i)).ret("body", 2048).finish();
         }
         b.function("hot_a").ret("a", 3000).finish();
         b.function("hot_b").ret("b", 3000).finish();
@@ -166,9 +181,7 @@ mod tests {
         let m = spread_out_module();
         let cfg = EvalConfig::default();
         let orig = ProgramRun::evaluate(&m, &Layout::original(&m), &cfg);
-        let rev = Layout::FunctionOrder(
-            (0..m.num_functions() as u32).rev().map(FuncId).collect(),
-        );
+        let rev = Layout::FunctionOrder((0..m.num_functions() as u32).rev().map(FuncId).collect());
         let revd = ProgramRun::evaluate(&m, &rev, &cfg);
         assert_eq!(orig.instructions, revd.instructions);
         // Stream lengths may differ slightly (a block may straddle a line
@@ -189,12 +202,7 @@ mod tests {
             .unwrap();
         let optd = ProgramRun::evaluate(&opt.module, &opt.layout, &cfg);
         let (b, o) = (base.solo_sim().miss_ratio(), optd.solo_sim().miss_ratio());
-        assert!(
-            o <= b,
-            "optimized {} should not exceed baseline {}",
-            o,
-            b
-        );
+        assert!(o <= b, "optimized {} should not exceed baseline {}", o, b);
     }
 
     #[test]

@@ -10,25 +10,34 @@
 //! | w-window affinity   | `FunctionAffinity`  | `BbAffinity`  |
 //! | TRG                 | `FunctionTrg`       | `BbTrg`       |
 //!
-//! The end-to-end pipeline mirrors §II-F:
+//! The end-to-end pipeline mirrors §II-F and is first-class in
+//! [`pipeline`]: a [`pipeline::LocalityModel`] (w-window affinity, TRG)
+//! composed with a [`pipeline::Transform`] (function reorder,
+//! inter-procedural BB reorder) through a name-keyed registry:
 //!
 //! 1. [`profile`] — execute the program on its *test* input, recording the
 //!    whole-program function trace and basic-block trace; trim, optionally
 //!    sample, and prune to the hottest blocks,
 //! 2. model — run w-window affinity ([`clop_affinity`]) or TRG
 //!    ([`clop_trg`]) over the chosen granularity's trace,
-//! 3. transform — [`optimizer`] reorders functions wholesale, or
-//!    [`bbreorder`] performs inter-procedural basic-block reordering
+//! 3. transform — reorder functions wholesale, or perform the
+//!    inter-procedural basic-block reordering of [`bbreorder`]
 //!    (pre-processing adds the entry-jump stubs and explicit fall-through
 //!    jumps that free every block to move; post-processing sanity-checks
 //!    the result),
 //! 4. [`eval`] — link the optimized layout and measure it, solo or in
-//!    co-run, with the simulators in [`clop_cachesim`].
+//!    co-run, with the simulators in [`clop_cachesim`]; the memoizing
+//!    [`engine::Engine`] deduplicates identical evaluations process-wide.
+//!
+//! [`optimizer::OptimizerKind`] survives as a compatibility alias whose
+//! four names dispatch through the registry.
 
 pub mod baseline;
 pub mod bbreorder;
+pub mod engine;
 pub mod eval;
 pub mod optimizer;
+pub mod pipeline;
 pub mod profile;
 pub mod report;
 pub mod search;
@@ -37,18 +46,26 @@ pub use baseline::{
     intra_procedural_block_order, pettis_hansen_function_order, preprocess_for_intra_reordering,
 };
 pub use bbreorder::{preprocess_for_bb_reordering, BbReorderError};
-pub use eval::{timed_fetch_stream, EvalConfig, ProgramRun};
+pub use engine::{Engine, EngineStats};
+pub use eval::{timed_fetch_stream, timed_fetch_stream_from, EvalConfig, ProgramRun};
 pub use optimizer::{OptError, OptimizedProgram, Optimizer, OptimizerKind};
+pub use pipeline::{
+    build_pipeline, register_pipeline, registered_pipelines, BbReorder, FunctionReorder,
+    LocalityModel, Pipeline, PipelineParams, PipelineRegistry, Transform, TrgModel,
+    WWindowAffinity,
+};
 pub use profile::{Profile, ProfileConfig};
 pub use report::{OptimizationReport, SideReport};
-pub use search::{
-    exhaustive_best_function_order, random_search_function_order, SearchOutcome,
-};
+pub use search::{exhaustive_best_function_order, random_search_function_order, SearchOutcome};
 
 /// Convenient import surface.
 pub mod prelude {
     pub use crate::bbreorder::{preprocess_for_bb_reordering, BbReorderError};
+    pub use crate::engine::{Engine, EngineStats};
     pub use crate::eval::{timed_fetch_stream, EvalConfig, ProgramRun};
     pub use crate::optimizer::{OptError, OptimizedProgram, Optimizer, OptimizerKind};
+    pub use crate::pipeline::{
+        build_pipeline, register_pipeline, LocalityModel, Pipeline, PipelineParams, Transform,
+    };
     pub use crate::profile::{Profile, ProfileConfig};
 }

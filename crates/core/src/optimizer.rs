@@ -1,4 +1,5 @@
-//! The four code-layout optimizers.
+//! The four code-layout optimizers, as a thin shim over the trait-based
+//! [`pipeline`](crate::pipeline).
 //!
 //! An [`Optimizer`] runs the full pipeline of §II-F on a module: profile on
 //! the test input, run the configured locality model at the configured
@@ -7,13 +8,19 @@
 //! after the optimized sequence in original order — reference affinity
 //! deliberately handles both hot and cold paths the profile *did* see, but
 //! can say nothing about unexecuted code.
+//!
+//! [`OptimizerKind`] remains as a compatibility alias for the paper's 2×2
+//! matrix; every `optimize` call dispatches through the name-keyed
+//! [`pipeline registry`](crate::pipeline::build_pipeline), so kinds and
+//! registered pipelines always agree.
 
-use crate::bbreorder::{self, BbReorderError};
+use crate::bbreorder::BbReorderError;
+use crate::pipeline::{build_pipeline, PipelineParams};
 use crate::profile::{Profile, ProfileConfig};
-use clop_affinity::{affinity_layout, AffinityConfig};
-use clop_ir::{FuncId, GlobalBlockId, Layout, Module};
-use clop_trace::{BlockId, TrimmedTrace};
-use clop_trg::{trg_layout, TrgConfig};
+use clop_affinity::AffinityConfig;
+use clop_ir::{Layout, Module};
+use clop_trace::Granularity;
+use clop_trg::TrgConfig;
 use std::fmt;
 
 /// Which of the paper's four optimizers to run.
@@ -49,6 +56,20 @@ impl OptimizerKind {
             self,
             OptimizerKind::FunctionAffinity | OptimizerKind::BbAffinity
         )
+    }
+
+    /// The granularity this kind transforms at.
+    pub fn granularity(self) -> Granularity {
+        if self.is_bb() {
+            Granularity::BasicBlock
+        } else {
+            Granularity::Function
+        }
+    }
+
+    /// The registry name of this kind's pipeline (same as `Display`).
+    pub fn name(self) -> String {
+        self.to_string()
     }
 }
 
@@ -100,8 +121,9 @@ pub struct OptimizedProgram {
     pub module: Module,
     /// The optimized layout.
     pub layout: Layout,
-    /// Which optimizer produced this.
-    pub kind: OptimizerKind,
+    /// Registry name of the pipeline that produced this (e.g.
+    /// `"function-affinity"`).
+    pub name: String,
     /// The profile used (kept for reporting: retention, trace sizes).
     pub profile: Profile,
 }
@@ -128,91 +150,31 @@ impl Optimizer {
     /// granularity — a typical function is ~1 KB, a typical basic block
     /// ~64 B — which sets the slot count and the 2C window.
     pub fn new(kind: OptimizerKind) -> Self {
-        let assumed_block_bytes = if kind.is_bb() { 64 } else { 1024 };
+        let params = PipelineParams::for_granularity(kind.granularity());
         Optimizer {
             kind,
-            affinity: AffinityConfig::default(),
-            trg: TrgConfig::from_cache(32 * 1024, 4, 64, assumed_block_bytes),
-            profile: ProfileConfig::default(),
+            affinity: params.affinity,
+            trg: params.trg,
+            profile: params.profile,
         }
     }
 
-    /// Run the pipeline on a module.
+    /// The pipeline parameters this optimizer carries.
+    pub fn params(&self) -> PipelineParams {
+        PipelineParams {
+            affinity: self.affinity,
+            trg: self.trg,
+            profile: self.profile,
+        }
+    }
+
+    /// Run the pipeline on a module. Dispatches through the name-keyed
+    /// pipeline registry; the enum is purely a name.
     pub fn optimize(&self, module: &Module) -> Result<OptimizedProgram, OptError> {
-        if self.kind.is_bb() {
-            self.optimize_bb(module)
-        } else {
-            self.optimize_functions(module)
-        }
+        build_pipeline(&self.kind.to_string(), &self.params())
+            .expect("paper pipelines are always registered")
+            .optimize(module)
     }
-
-    fn model_sequence(&self, trace: &TrimmedTrace) -> Vec<BlockId> {
-        if self.kind.is_affinity() {
-            affinity_layout(trace, self.affinity)
-        } else {
-            trg_layout(trace, self.trg)
-        }
-    }
-
-    fn optimize_functions(&self, module: &Module) -> Result<OptimizedProgram, OptError> {
-        let profile = Profile::collect(module, &self.profile);
-        if profile.func_trace.is_empty() {
-            return Err(OptError::EmptyProfile);
-        }
-        let hot = self.model_sequence(&profile.func_trace);
-        let order = complete_order(
-            hot.iter().map(|b| b.0),
-            module.num_functions() as u32,
-        );
-        let layout = Layout::FunctionOrder(order.into_iter().map(FuncId).collect());
-        debug_assert!(layout.is_permutation_of(module));
-        Ok(OptimizedProgram {
-            module: module.clone(),
-            layout,
-            kind: self.kind,
-            profile,
-        })
-    }
-
-    fn optimize_bb(&self, module: &Module) -> Result<OptimizedProgram, OptError> {
-        let pre = bbreorder::preprocess_for_bb_reordering(module)?;
-        let profile = Profile::collect(&pre, &self.profile);
-        if profile.bb_trace.is_empty() {
-            return Err(OptError::EmptyProfile);
-        }
-        let hot = self.model_sequence(&profile.bb_trace);
-        let order = complete_order(hot.iter().map(|b| b.0), pre.num_blocks() as u32);
-        let layout = Layout::BlockOrder(order.into_iter().map(GlobalBlockId).collect());
-        bbreorder::postprocess_check(&pre, &layout)?;
-        Ok(OptimizedProgram {
-            module: pre,
-            layout,
-            kind: self.kind,
-            profile,
-        })
-    }
-}
-
-/// Extend a hot-unit sequence to a full permutation of `0..n`: cold units
-/// (absent from the sequence) follow in original order.
-fn complete_order<I: IntoIterator<Item = u32>>(hot: I, n: u32) -> Vec<u32> {
-    let mut seen = vec![false; n as usize];
-    let mut order = Vec::with_capacity(n as usize);
-    for id in hot {
-        // The model may mention only in-range, unseen units; anything else
-        // is a bug upstream.
-        debug_assert!(id < n, "model produced out-of-range unit {}", id);
-        if !seen[id as usize] {
-            seen[id as usize] = true;
-            order.push(id);
-        }
-    }
-    for id in 0..n {
-        if !seen[id as usize] {
-            order.push(id);
-        }
-    }
-    order
 }
 
 #[cfg(test)]
@@ -226,13 +188,7 @@ mod tests {
         b.function("main")
             .call("c1", 8, "f", "c2")
             .call("c2", 8, "g", "back")
-            .branch(
-                "back",
-                8,
-                CondModel::LoopCounter { trip: 30 },
-                "c1",
-                "end",
-            )
+            .branch("back", 8, CondModel::LoopCounter { trip: 30 }, "c1", "end")
             .ret("end", 8)
             .finish();
         b.function("f").ret("fb", 32).finish();
@@ -268,12 +224,11 @@ mod tests {
     #[test]
     fn bb_affinity_transforms_and_reorders() {
         let m = module_with_cold_function();
-        let opt = Optimizer::new(OptimizerKind::BbAffinity).optimize(&m).unwrap();
+        let opt = Optimizer::new(OptimizerKind::BbAffinity)
+            .optimize(&m)
+            .unwrap();
         // Pre-processing adds one stub per function.
-        assert_eq!(
-            opt.module.num_blocks(),
-            m.num_blocks() + m.num_functions()
-        );
+        assert_eq!(opt.module.num_blocks(), m.num_blocks() + m.num_functions());
         assert!(opt.layout.is_permutation_of(&opt.module));
         assert!(matches!(opt.layout, Layout::BlockOrder(_)));
     }
@@ -325,6 +280,7 @@ mod tests {
 
     #[test]
     fn complete_order_appends_cold_units() {
+        use crate::pipeline::complete_order;
         assert_eq!(complete_order([2u32, 0], 4), vec![2, 0, 1, 3]);
         assert_eq!(complete_order([], 3), vec![0, 1, 2]);
         // Duplicates from the model are collapsed.
@@ -337,7 +293,10 @@ mod tests {
         assert!(OptimizerKind::BbAffinity.is_affinity());
         assert!(!OptimizerKind::FunctionTrg.is_affinity());
         assert!(!OptimizerKind::FunctionTrg.is_bb());
-        assert_eq!(OptimizerKind::FunctionAffinity.to_string(), "function-affinity");
+        assert_eq!(
+            OptimizerKind::FunctionAffinity.to_string(),
+            "function-affinity"
+        );
     }
 
     #[test]

@@ -1,0 +1,452 @@
+//! The optimization pipeline as open traits plus a name-keyed registry.
+//!
+//! The paper's contribution (§II-F) is a *pipeline* — instrument → trace →
+//! prune → model → transform → evaluate — instantiated four ways: two
+//! locality models (w-window reference affinity, TRG) crossed with two
+//! transforms (global function reordering, inter-procedural basic-block
+//! reordering). This module makes both axes first-class:
+//!
+//! * [`LocalityModel`] turns a trimmed trace into a hot-unit sequence.
+//! * [`Transform`] owns a granularity: it prepares the module, selects the
+//!   matching trace from a [`Profile`], and realizes the model's sequence
+//!   as a concrete [`Layout`].
+//! * [`Pipeline`] composes one of each with a profiling configuration.
+//! * The [`registry`] maps names ("function-affinity", "bb-trg", …) to
+//!   pipeline builders, so new models and transforms plug in without
+//!   touching any dispatch site — [`crate::Optimizer`] and the experiment
+//!   harness both construct pipelines purely by name.
+
+use crate::bbreorder;
+use crate::optimizer::{OptError, OptimizedProgram};
+use crate::profile::{Profile, ProfileConfig};
+use clop_affinity::{affinity_layout, AffinityConfig};
+use clop_ir::{FuncId, GlobalBlockId, Layout, Module};
+use clop_trace::{BlockId, Granularity, TrimmedTrace};
+use clop_trg::{trg_layout, TrgConfig};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A locality model: maps a trimmed code-block trace to a hot-unit
+/// placement sequence. Units the model never mentions are appended in
+/// original order by the transform.
+pub trait LocalityModel: Send + Sync {
+    /// Short human-readable model name (e.g. `"affinity"`).
+    fn name(&self) -> &str;
+    /// The placement sequence for the profiled units.
+    fn sequence(&self, trace: &TrimmedTrace) -> Vec<BlockId>;
+}
+
+/// w-window reference affinity (paper §II-B) as a [`LocalityModel`].
+#[derive(Clone, Copy, Debug)]
+pub struct WWindowAffinity {
+    pub config: AffinityConfig,
+}
+
+impl LocalityModel for WWindowAffinity {
+    fn name(&self) -> &str {
+        "affinity"
+    }
+
+    fn sequence(&self, trace: &TrimmedTrace) -> Vec<BlockId> {
+        affinity_layout(trace, self.config)
+    }
+}
+
+/// Temporal relationship graph (paper §II-C) as a [`LocalityModel`].
+#[derive(Clone, Copy, Debug)]
+pub struct TrgModel {
+    pub config: TrgConfig,
+}
+
+impl LocalityModel for TrgModel {
+    fn name(&self) -> &str {
+        "trg"
+    }
+
+    fn sequence(&self, trace: &TrimmedTrace) -> Vec<BlockId> {
+        trg_layout(trace, self.config)
+    }
+}
+
+/// A code transform at a fixed granularity: prepares the module for
+/// reordering, picks the trace the model should see, and turns the model's
+/// sequence into a layout.
+pub trait Transform: Send + Sync {
+    /// Short human-readable transform name (e.g. `"function"`).
+    fn name(&self) -> &str;
+    /// The granularity this transform reorders at.
+    fn granularity(&self) -> Granularity;
+    /// Rewrite the module so every unit of this granularity can move
+    /// freely. Identity for function reordering; stub insertion for
+    /// inter-procedural BB reordering.
+    fn prepare(&self, module: &Module) -> Result<Module, OptError>;
+    /// The trace of this transform's granularity within a profile.
+    fn trace<'p>(&self, profile: &'p Profile) -> &'p TrimmedTrace;
+    /// Extend the hot sequence to a full layout of `prepared` and validate
+    /// it.
+    fn realize(&self, prepared: &Module, hot: &[BlockId]) -> Result<Layout, OptError>;
+}
+
+/// Global function reordering (paper §II-D).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FunctionReorder;
+
+impl Transform for FunctionReorder {
+    fn name(&self) -> &str {
+        "function"
+    }
+
+    fn granularity(&self) -> Granularity {
+        Granularity::Function
+    }
+
+    fn prepare(&self, module: &Module) -> Result<Module, OptError> {
+        Ok(module.clone())
+    }
+
+    fn trace<'p>(&self, profile: &'p Profile) -> &'p TrimmedTrace {
+        &profile.func_trace
+    }
+
+    fn realize(&self, prepared: &Module, hot: &[BlockId]) -> Result<Layout, OptError> {
+        let order = complete_order(hot.iter().map(|b| b.0), prepared.num_functions() as u32);
+        let layout = Layout::FunctionOrder(order.into_iter().map(FuncId).collect());
+        debug_assert!(layout.is_permutation_of(prepared));
+        Ok(layout)
+    }
+}
+
+/// Inter-procedural basic-block reordering (paper §II-E, `bbreorder`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BbReorder;
+
+impl Transform for BbReorder {
+    fn name(&self) -> &str {
+        "bb"
+    }
+
+    fn granularity(&self) -> Granularity {
+        Granularity::BasicBlock
+    }
+
+    fn prepare(&self, module: &Module) -> Result<Module, OptError> {
+        Ok(bbreorder::preprocess_for_bb_reordering(module)?)
+    }
+
+    fn trace<'p>(&self, profile: &'p Profile) -> &'p TrimmedTrace {
+        &profile.bb_trace
+    }
+
+    fn realize(&self, prepared: &Module, hot: &[BlockId]) -> Result<Layout, OptError> {
+        let order = complete_order(hot.iter().map(|b| b.0), prepared.num_blocks() as u32);
+        let layout = Layout::BlockOrder(order.into_iter().map(GlobalBlockId).collect());
+        bbreorder::postprocess_check(prepared, &layout)?;
+        Ok(layout)
+    }
+}
+
+/// Extend a hot-unit sequence to a full permutation of `0..n`: cold units
+/// (absent from the sequence) follow in original order.
+pub(crate) fn complete_order<I: IntoIterator<Item = u32>>(hot: I, n: u32) -> Vec<u32> {
+    let mut seen = vec![false; n as usize];
+    let mut order = Vec::with_capacity(n as usize);
+    for id in hot {
+        // The model may mention only in-range units; anything else is a bug
+        // upstream.
+        debug_assert!(id < n, "model produced out-of-range unit {}", id);
+        if !seen[id as usize] {
+            seen[id as usize] = true;
+            order.push(id);
+        }
+    }
+    for id in 0..n {
+        if !seen[id as usize] {
+            order.push(id);
+        }
+    }
+    order
+}
+
+/// A composed optimization pipeline: profile → model → transform.
+#[derive(Clone)]
+pub struct Pipeline {
+    /// Registry name this pipeline was built under (e.g.
+    /// `"function-affinity"`); recorded on the [`OptimizedProgram`].
+    pub name: String,
+    /// The locality model.
+    pub model: Arc<dyn LocalityModel>,
+    /// The transform.
+    pub transform: Arc<dyn Transform>,
+    /// Profiling (test-input) configuration.
+    pub profile: ProfileConfig,
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("name", &self.name)
+            .field("model", &self.model.name())
+            .field("transform", &self.transform.name())
+            .field("profile", &self.profile)
+            .finish()
+    }
+}
+
+impl Pipeline {
+    /// Compose a pipeline; its name is `"<transform>-<model>"`.
+    pub fn new(
+        model: Arc<dyn LocalityModel>,
+        transform: Arc<dyn Transform>,
+        profile: ProfileConfig,
+    ) -> Pipeline {
+        let name = format!("{}-{}", transform.name(), model.name());
+        Pipeline {
+            name,
+            model,
+            transform,
+            profile,
+        }
+    }
+
+    /// Run the full pipeline of §II-F on a module.
+    pub fn optimize(&self, module: &Module) -> Result<OptimizedProgram, OptError> {
+        let prepared = self.transform.prepare(module)?;
+        let profile = Profile::collect(&prepared, &self.profile);
+        let trace = self.transform.trace(&profile);
+        if trace.is_empty() {
+            return Err(OptError::EmptyProfile);
+        }
+        let hot = self.model.sequence(trace);
+        let layout = self.transform.realize(&prepared, &hot)?;
+        Ok(OptimizedProgram {
+            module: prepared,
+            layout,
+            name: self.name.clone(),
+            profile,
+        })
+    }
+}
+
+/// Model and transform parameters a registry builder may draw from.
+///
+/// Carrying all parameter families here keeps builders uniform: callers
+/// configure one struct and any registered pipeline picks the pieces it
+/// understands (exactly how [`crate::Optimizer`]'s public fields behave).
+#[derive(Clone, Debug)]
+pub struct PipelineParams {
+    /// Affinity model window range.
+    pub affinity: AffinityConfig,
+    /// TRG model window / slot configuration.
+    pub trg: TrgConfig,
+    /// Profiling configuration.
+    pub profile: ProfileConfig,
+}
+
+impl PipelineParams {
+    /// The paper's default parameters for the given granularity.
+    ///
+    /// The TRG model assumes a uniform code-block size (§II-C: the compiler
+    /// has no binary sizes); a typical function is ~1 KB, a typical basic
+    /// block ~64 B — which sets the slot count and the 2C window.
+    pub fn for_granularity(granularity: Granularity) -> PipelineParams {
+        let assumed_block_bytes = match granularity {
+            Granularity::BasicBlock => 64,
+            Granularity::Function => 1024,
+        };
+        PipelineParams {
+            affinity: AffinityConfig::default(),
+            trg: TrgConfig::from_cache(32 * 1024, 4, 64, assumed_block_bytes),
+            profile: ProfileConfig::default(),
+        }
+    }
+}
+
+/// Builds a [`Pipeline`] from parameters.
+pub type PipelineBuilder = Box<dyn Fn(&PipelineParams) -> Pipeline + Send + Sync>;
+
+/// A name → pipeline-builder table.
+#[derive(Default)]
+pub struct PipelineRegistry {
+    entries: Vec<(String, PipelineBuilder)>,
+}
+
+impl PipelineRegistry {
+    /// An empty registry.
+    pub fn new() -> PipelineRegistry {
+        PipelineRegistry::default()
+    }
+
+    /// A registry pre-populated with the paper's four optimizers.
+    pub fn with_paper_pipelines() -> PipelineRegistry {
+        let mut reg = PipelineRegistry::new();
+        let combos: [(&str, bool); 4] = [
+            ("function-affinity", false),
+            ("bb-affinity", true),
+            ("function-trg", false),
+            ("bb-trg", true),
+        ];
+        for (name, is_bb) in combos {
+            let is_affinity = name.ends_with("affinity");
+            reg.register(name, move |p: &PipelineParams| {
+                let model: Arc<dyn LocalityModel> = if is_affinity {
+                    Arc::new(WWindowAffinity { config: p.affinity })
+                } else {
+                    Arc::new(TrgModel { config: p.trg })
+                };
+                let transform: Arc<dyn Transform> = if is_bb {
+                    Arc::new(BbReorder)
+                } else {
+                    Arc::new(FunctionReorder)
+                };
+                Pipeline::new(model, transform, p.profile)
+            });
+        }
+        reg
+    }
+
+    /// Register a builder under `name`, replacing any existing entry.
+    pub fn register(
+        &mut self,
+        name: &str,
+        builder: impl Fn(&PipelineParams) -> Pipeline + Send + Sync + 'static,
+    ) {
+        if let Some(slot) = self.entries.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = Box::new(builder);
+        } else {
+            self.entries.push((name.to_string(), Box::new(builder)));
+        }
+    }
+
+    /// Build the pipeline registered under `name`. The pipeline's recorded
+    /// name is the registry key.
+    pub fn build(&self, name: &str, params: &PipelineParams) -> Option<Pipeline> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(n, b)| {
+            let mut p = b(params);
+            p.name = n.clone();
+            p
+        })
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<String> {
+        self.entries.iter().map(|(n, _)| n.clone()).collect()
+    }
+}
+
+fn global_registry() -> &'static RwLock<PipelineRegistry> {
+    static REGISTRY: OnceLock<RwLock<PipelineRegistry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| RwLock::new(PipelineRegistry::with_paper_pipelines()))
+}
+
+/// Register a pipeline builder in the process-global registry.
+///
+/// This is the extension point for fifth+ models: register once at startup
+/// and every dispatch-by-name site (CLI, experiments, [`crate::Optimizer`])
+/// can build the new pipeline without modification.
+pub fn register_pipeline(
+    name: &str,
+    builder: impl Fn(&PipelineParams) -> Pipeline + Send + Sync + 'static,
+) {
+    global_registry().write().unwrap().register(name, builder);
+}
+
+/// Build a pipeline by name from the process-global registry (the four
+/// paper optimizers plus anything added via [`register_pipeline`]).
+pub fn build_pipeline(name: &str, params: &PipelineParams) -> Option<Pipeline> {
+    global_registry().read().unwrap().build(name, params)
+}
+
+/// Names registered in the process-global registry.
+pub fn registered_pipelines() -> Vec<String> {
+    global_registry().read().unwrap().names()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clop_ir::prelude::*;
+
+    fn small_module() -> Module {
+        let mut b = ModuleBuilder::new("t");
+        b.function("main")
+            .call("c1", 8, "f", "back")
+            .branch("back", 8, CondModel::LoopCounter { trip: 30 }, "c1", "end")
+            .ret("end", 8)
+            .finish();
+        b.function("f").ret("fb", 32).finish();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn paper_registry_has_all_four_names() {
+        let names = registered_pipelines();
+        for name in ["function-affinity", "bb-affinity", "function-trg", "bb-trg"] {
+            assert!(names.iter().any(|n| n == name), "missing {}", name);
+        }
+    }
+
+    #[test]
+    fn built_pipeline_optimizes_and_records_name() {
+        let m = small_module();
+        let params = PipelineParams::for_granularity(Granularity::Function);
+        let pipe = build_pipeline("function-affinity", &params).unwrap();
+        let opt = pipe.optimize(&m).unwrap();
+        assert_eq!(opt.name, "function-affinity");
+        assert!(opt.layout.is_permutation_of(&opt.module));
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        let params = PipelineParams::for_granularity(Granularity::Function);
+        assert!(build_pipeline("no-such-pipeline", &params).is_none());
+    }
+
+    #[test]
+    fn fifth_model_registers_without_touching_dispatch() {
+        // A trivial "reverse hotness" model: place profiled units in
+        // reverse first-touch order. Registering it makes it buildable by
+        // name with zero edits anywhere else.
+        struct ReverseModel;
+        impl LocalityModel for ReverseModel {
+            fn name(&self) -> &str {
+                "reverse"
+            }
+            fn sequence(&self, trace: &TrimmedTrace) -> Vec<BlockId> {
+                let mut seen = Vec::new();
+                for e in trace.iter() {
+                    if !seen.contains(&e) {
+                        seen.push(e);
+                    }
+                }
+                seen.reverse();
+                seen
+            }
+        }
+        register_pipeline("function-reverse", |p| {
+            Pipeline::new(Arc::new(ReverseModel), Arc::new(FunctionReorder), p.profile)
+        });
+        let m = small_module();
+        let params = PipelineParams::for_granularity(Granularity::Function);
+        let opt = build_pipeline("function-reverse", &params)
+            .unwrap()
+            .optimize(&m)
+            .unwrap();
+        assert_eq!(opt.name, "function-reverse");
+        assert!(opt.layout.is_permutation_of(&opt.module));
+    }
+
+    #[test]
+    fn transforms_report_granularity() {
+        assert_eq!(FunctionReorder.granularity(), Granularity::Function);
+        assert_eq!(BbReorder.granularity(), Granularity::BasicBlock);
+        assert_eq!(FunctionReorder.name(), "function");
+        assert_eq!(BbReorder.name(), "bb");
+    }
+
+    #[test]
+    fn pipeline_debug_is_compact() {
+        let params = PipelineParams::for_granularity(Granularity::Function);
+        let pipe = build_pipeline("function-trg", &params).unwrap();
+        let dbg = format!("{:?}", pipe);
+        assert!(dbg.contains("function-trg") && dbg.contains("trg"));
+    }
+}

@@ -96,13 +96,7 @@ mod tests {
         b.function("main")
             .call("c1", 8, "x", "c2")
             .call("c2", 8, "y", "back")
-            .branch(
-                "back",
-                8,
-                CondModel::LoopCounter { trip: 20 },
-                "c1",
-                "end",
-            )
+            .branch("back", 8, CondModel::LoopCounter { trip: 20 }, "c1", "end")
             .ret("end", 8)
             .finish();
         b.function("x").ret("xb", 8).finish();
@@ -134,8 +128,10 @@ mod tests {
 
     #[test]
     fn pruning_reports_retention() {
-        let mut cfg = ProfileConfig::default();
-        cfg.prune = Some(Pruner::new(3));
+        let cfg = ProfileConfig {
+            prune: Some(Pruner::new(3)),
+            ..Default::default()
+        };
         let p = Profile::collect(&two_function_loop(), &cfg);
         assert!(p.prune_retention > 0.0 && p.prune_retention <= 1.0);
         assert!(p.bb_trace.num_distinct() <= 3);
@@ -143,9 +139,11 @@ mod tests {
 
     #[test]
     fn sampling_shrinks_trace() {
-        let mut cfg = ProfileConfig::default();
-        cfg.sample = Some(IntervalSampler::new(2, 6));
-        cfg.prune = None;
+        let cfg = ProfileConfig {
+            sample: Some(IntervalSampler::new(2, 6)),
+            prune: None,
+            ..Default::default()
+        };
         let full = Profile::collect(&two_function_loop(), &ProfileConfig::default());
         let sampled = Profile::collect(&two_function_loop(), &cfg);
         assert!(sampled.bb_trace.len() < full.bb_trace.len());

@@ -97,13 +97,12 @@ impl OptimizationReport {
         };
         let base_model = CompositionModel::measure(&to_trimmed(&base.lines()), 2 * capacity);
         let opt_model = CompositionModel::measure(&to_trimmed(&opt.lines()), 2 * capacity);
-        let d_base =
-            clop_cachesim::model::defensiveness(&base_model, &base_model, capacity);
+        let d_base = clop_cachesim::model::defensiveness(&base_model, &base_model, capacity);
         let d_opt = clop_cachesim::model::defensiveness(&opt_model, &base_model, capacity);
 
         OptimizationReport {
             program: module.name.clone(),
-            optimizer: optimized.kind.to_string(),
+            optimizer: optimized.name.clone(),
             baseline: b,
             optimized: o,
             miss_reduction,
@@ -172,7 +171,13 @@ mod tests {
         b.function("main")
             .call("c1", 32, "hot_a", "c2")
             .call("c2", 32, "hot_b", "back")
-            .branch("back", 32, CondModel::LoopCounter { trip: 800 }, "c1", "end")
+            .branch(
+                "back",
+                32,
+                CondModel::LoopCounter { trip: 800 },
+                "c1",
+                "end",
+            )
             .ret("end", 16)
             .finish();
         for i in 0..12 {
@@ -209,7 +214,9 @@ mod tests {
     #[test]
     fn bb_report_shows_image_growth() {
         let m = victim();
-        let opt = Optimizer::new(OptimizerKind::BbAffinity).optimize(&m).unwrap();
+        let opt = Optimizer::new(OptimizerKind::BbAffinity)
+            .optimize(&m)
+            .unwrap();
         let r = OptimizationReport::build(&m, &opt, &eval());
         assert!(
             r.optimized.image_bytes > r.baseline.image_bytes,
@@ -239,7 +246,9 @@ mod tests {
     #[test]
     fn touched_lines_positive_for_real_runs() {
         let m = victim();
-        let opt = Optimizer::new(OptimizerKind::FunctionTrg).optimize(&m).unwrap();
+        let opt = Optimizer::new(OptimizerKind::FunctionTrg)
+            .optimize(&m)
+            .unwrap();
         let r = OptimizationReport::build(&m, &opt, &eval());
         assert!(r.baseline.touched_lines > 0);
         assert!(r.optimized.touched_lines > 0);

@@ -59,9 +59,10 @@ pub fn exhaustive_best_function_order(
 
     // Heap's algorithm, iterative.
     let mut c = vec![0usize; n];
-    let consider = |order: &[u32], evaluated: &mut u64,
-                        best: &mut Option<CacheStats>,
-                        best_order: &mut Vec<u32>| {
+    let consider = |order: &[u32],
+                    evaluated: &mut u64,
+                    best: &mut Option<CacheStats>,
+                    best_order: &mut Vec<u32>| {
         let layout = Layout::FunctionOrder(order.iter().map(|&f| FuncId(f)).collect());
         let stats = misses_of(module, &layout, config);
         *evaluated += 1;
@@ -75,7 +76,7 @@ pub fn exhaustive_best_function_order(
     let mut i = 0usize;
     while i < n {
         if c[i] < i {
-            if i % 2 == 0 {
+            if i.is_multiple_of(2) {
                 order.swap(0, i);
             } else {
                 order.swap(c[i], i);
@@ -123,7 +124,7 @@ pub fn exhaustive_function_order_distribution(
     let mut i = 0usize;
     while i < n {
         if c[i] < i {
-            if i % 2 == 0 {
+            if i.is_multiple_of(2) {
                 order.swap(0, i);
             } else {
                 order.swap(c[i], i);
@@ -191,7 +192,13 @@ mod tests {
         b.function("main")
             .call("c1", 32, "f", "c2")
             .call("c2", 32, "g", "back")
-            .branch("back", 32, CondModel::LoopCounter { trip: 300 }, "c1", "end")
+            .branch(
+                "back",
+                32,
+                CondModel::LoopCounter { trip: 300 },
+                "c1",
+                "end",
+            )
             .ret("end", 16)
             .finish();
         b.function("pad").ret("x", 2048).finish();
@@ -227,9 +234,10 @@ mod tests {
         let rand = random_search_function_order(&m, &cfg, 20, 7);
         assert!(best.stats.misses <= rand.stats.misses);
         // And the model-driven optimizer cannot beat the true optimum.
-        let opt = crate::optimizer::Optimizer::new(crate::optimizer::OptimizerKind::FunctionAffinity)
-            .optimize(&m)
-            .unwrap();
+        let opt =
+            crate::optimizer::Optimizer::new(crate::optimizer::OptimizerKind::FunctionAffinity)
+                .optimize(&m)
+                .unwrap();
         let model = misses_of(&opt.module, &opt.layout, &cfg);
         assert!(best.stats.misses <= model.misses);
     }

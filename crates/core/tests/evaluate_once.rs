@@ -1,0 +1,50 @@
+//! Acceptance guard for the single-execution evaluation contract: one
+//! `ProgramRun::evaluate` call drives the interpreter exactly once, and the
+//! memoizing `Engine` drives it zero times on a cache hit.
+//!
+//! The run counter is process-global, so this file holds a single test —
+//! integration tests run in their own process, making the counts exact.
+
+use clop_core::{Engine, EvalConfig, ProgramRun};
+use clop_ir::prelude::*;
+
+fn module() -> Module {
+    let mut b = ModuleBuilder::new("once");
+    b.function("main")
+        .call("c1", 8, "f", "back")
+        .branch("back", 8, CondModel::LoopCounter { trip: 50 }, "c1", "end")
+        .ret("end", 8)
+        .finish();
+    b.function("f").ret("fb", 48).finish();
+    b.build().unwrap()
+}
+
+#[test]
+fn evaluate_executes_the_interpreter_exactly_once() {
+    let m = module();
+    let cfg = EvalConfig::default();
+
+    let before = clop_ir::interpreter_run_count();
+    let run = ProgramRun::evaluate(&m, &Layout::original(&m), &cfg);
+    assert!(!run.stream.is_empty());
+    assert_eq!(
+        clop_ir::interpreter_run_count() - before,
+        1,
+        "ProgramRun::evaluate must execute the module exactly once"
+    );
+
+    // A second evaluation under a different layout is again exactly one run.
+    let rev = Layout::FunctionOrder((0..m.num_functions() as u32).rev().map(FuncId).collect());
+    let before = clop_ir::interpreter_run_count();
+    let _ = ProgramRun::evaluate(&m, &rev, &cfg);
+    assert_eq!(clop_ir::interpreter_run_count() - before, 1);
+
+    // Through the engine: one run on a miss, zero on a hit.
+    let engine = Engine::new();
+    let before = clop_ir::interpreter_run_count();
+    let _ = engine.evaluate(&m, &Layout::original(&m), &cfg);
+    assert_eq!(clop_ir::interpreter_run_count() - before, 1, "engine miss");
+    let before = clop_ir::interpreter_run_count();
+    let _ = engine.evaluate(&m, &Layout::original(&m), &cfg);
+    assert_eq!(clop_ir::interpreter_run_count() - before, 0, "engine hit");
+}

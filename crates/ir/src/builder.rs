@@ -86,12 +86,7 @@ impl<'m> FunctionBuilder<'m> {
     }
 
     /// Add a block ending in an N-way weighted switch.
-    pub fn switch(
-        &mut self,
-        name: &str,
-        size: u32,
-        targets: &[(&str, f64)],
-    ) -> &mut Self {
+    pub fn switch(&mut self, name: &str, size: u32, targets: &[(&str, f64)]) -> &mut Self {
         self.push(PendingBlock {
             name: name.into(),
             size_bytes: size,
@@ -224,9 +219,9 @@ impl ModuleBuilder {
                 .map(|(i, b)| (b.name.as_str(), LocalBlockId(i as u32)))
                 .collect();
             let resolve_block = |n: &str| -> LocalBlockId {
-                *block_ids.get(n).unwrap_or_else(|| {
-                    panic!("function `{}`: unknown block `{}`", fname, n)
-                })
+                *block_ids
+                    .get(n)
+                    .unwrap_or_else(|| panic!("function `{}`: unknown block `{}`", fname, n))
             };
             let resolve_func = |n: &str| -> FuncId {
                 *func_ids
@@ -309,13 +304,7 @@ mod tests {
     fn branch_and_switch_resolve() {
         let mut b = ModuleBuilder::new("t");
         b.function("main")
-            .branch(
-                "head",
-                8,
-                CondModel::Bernoulli(0.5),
-                "left",
-                "right",
-            )
+            .branch("head", 8, CondModel::Bernoulli(0.5), "left", "right")
             .jump("left", 8, "join")
             .switch("right", 8, &[("join", 1.0), ("left", 3.0)])
             .ret("join", 8)
@@ -354,12 +343,13 @@ mod tests {
             .instrs(42)
             .finish();
         let m = b.build().unwrap();
-        let blk = m.function(FuncId(0)).unwrap().block(LocalBlockId(0)).unwrap();
+        let blk = m
+            .function(FuncId(0))
+            .unwrap()
+            .block(LocalBlockId(0))
+            .unwrap();
         assert_eq!(blk.instr_count, 42);
-        assert_eq!(
-            blk.effects,
-            vec![Effect::SetGlobal { var: v, value: 7 }]
-        );
+        assert_eq!(blk.effects, vec![Effect::SetGlobal { var: v, value: 7 }]);
     }
 
     #[test]

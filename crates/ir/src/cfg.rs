@@ -131,7 +131,7 @@ impl CallGraph {
     pub fn uncalled(&self, module: &Module) -> Vec<FuncId> {
         let mut called = vec![false; module.num_functions()];
         called[module.entry.index()] = true;
-        for (&(_, callee), _) in &self.edges {
+        for &(_, callee) in self.edges.keys() {
             if (callee as usize) < called.len() {
                 called[callee as usize] = true;
             }
@@ -303,15 +303,17 @@ mod tests {
     fn edge_profile_of_short_traces() {
         assert!(EdgeProfile::measure(&TrimmedTrace::from_indices([7])).is_empty());
         assert!(
-            EdgeProfile::measure(&TrimmedTrace::from_indices(std::iter::empty::<u32>()))
-                .is_empty()
+            EdgeProfile::measure(&TrimmedTrace::from_indices(std::iter::empty::<u32>())).is_empty()
         );
     }
 
     #[test]
     fn whole_program_reachability_follows_calls() {
         let mut b = ModuleBuilder::new("t");
-        b.function("main").call("c", 8, "used", "end").ret("end", 8).finish();
+        b.function("main")
+            .call("c", 8, "used", "end")
+            .ret("end", 8)
+            .finish();
         b.function("used").ret("x", 8).finish();
         b.function("unused").ret("x", 8).finish();
         let m = b.build().unwrap();

@@ -13,9 +13,21 @@ use crate::block::{CondModel, Effect, Terminator};
 use crate::ids::{FuncId, GlobalBlockId, LocalBlockId};
 use crate::module::Module;
 use clop_trace::{BlockId, Trace};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use clop_util::Rng;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of [`Interpreter::run`] invocations.
+///
+/// Test instrumentation: the evaluation layer promises to execute a module
+/// exactly once per evaluation, and its tests verify that promise by
+/// sampling this counter around an evaluation.
+static RUN_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// How many times [`Interpreter::run`] has executed in this process.
+pub fn interpreter_run_count() -> u64 {
+    RUN_COUNT.load(Ordering::Relaxed)
+}
 
 /// Interpreter configuration.
 #[derive(Clone, Copy, Debug)]
@@ -105,7 +117,8 @@ impl Interpreter {
     /// The module must be valid (see [`Module::validate`]); invalid modules
     /// may panic.
     pub fn run(&self, module: &Module) -> ExecOutcome {
-        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        RUN_COUNT.fetch_add(1, Ordering::Relaxed);
+        let mut rng = Rng::seed_from_u64(self.config.seed);
         let mut globals = module.globals.clone();
         // Module-wide counters for Alternating conditions, keyed by global
         // block id.
@@ -179,7 +192,7 @@ impl Interpreter {
                 }
                 Terminator::Switch { targets, weights } => {
                     let total: f64 = weights.iter().sum();
-                    let mut x = rng.gen_range(0.0..total);
+                    let mut x = rng.gen_range_f64(0.0, total);
                     let mut chosen = targets[targets.len() - 1];
                     for (t, w) in targets.iter().zip(weights) {
                         if x < *w {
@@ -239,10 +252,7 @@ mod tests {
     fn straight_line_trace() {
         let out = Interpreter::default().run(&straight_line());
         assert!(out.completed);
-        assert_eq!(
-            out.bb_trace.events(),
-            &[BlockId(0), BlockId(1), BlockId(2)]
-        );
+        assert_eq!(out.bb_trace.events(), &[BlockId(0), BlockId(1), BlockId(2)]);
         assert_eq!(out.func_trace.events(), &[BlockId(0)]);
         assert_eq!(out.instructions, 6); // 8-byte blocks → 2 instrs each
     }
@@ -251,13 +261,7 @@ mod tests {
     fn deterministic_given_seed() {
         let mut b = ModuleBuilder::new("t");
         b.function("main")
-            .branch(
-                "h",
-                8,
-                crate::block::CondModel::Bernoulli(0.5),
-                "l",
-                "r",
-            )
+            .branch("h", 8, crate::block::CondModel::Bernoulli(0.5), "l", "r")
             .jump("l", 8, "back")
             .jump("r", 8, "back")
             .branch(
@@ -368,13 +372,7 @@ mod tests {
             .ret("end", 8)
             .finish();
         b.function("x")
-            .branch(
-                "X1",
-                8,
-                crate::block::CondModel::Bernoulli(1.0),
-                "X2",
-                "X3",
-            )
+            .branch("X1", 8, crate::block::CondModel::Bernoulli(1.0), "X2", "X3")
             .ret("X2", 8)
             .effect(Effect::SetGlobal { var: v, value: 1 })
             .ret("X3", 8)
@@ -396,13 +394,7 @@ mod tests {
         // X always takes X2 (p=1.0) → b==1 → Y always takes Y2; Y3 never runs.
         let y3 = m.global_id(FuncId(2), LocalBlockId(2));
         let y2 = m.global_id(FuncId(2), LocalBlockId(1));
-        let count = |g: GlobalBlockId| {
-            out.bb_trace
-                .events()
-                .iter()
-                .filter(|b| b.0 == g.0)
-                .count()
-        };
+        let count = |g: GlobalBlockId| out.bb_trace.events().iter().filter(|b| b.0 == g.0).count();
         assert_eq!(count(y3), 0);
         assert_eq!(count(y2), 100);
     }
@@ -423,7 +415,10 @@ mod tests {
     #[test]
     fn recursion_depth_capped() {
         let mut b = ModuleBuilder::new("t");
-        b.function("main").call("rec", 8, "main", "done").ret("done", 8).finish();
+        b.function("main")
+            .call("rec", 8, "main", "done")
+            .ret("done", 8)
+            .finish();
         let m = b.build().unwrap();
         let cfg = ExecConfig {
             max_call_depth: 8,
@@ -445,7 +440,10 @@ mod tests {
             .ret("end", 8)
             .finish();
         b.function("f").ret("fb", 8).finish();
-        b.function("g").call("gb", 8, "f", "gend").ret("gend", 8).finish();
+        b.function("g")
+            .call("gb", 8, "f", "gend")
+            .ret("gend", 8)
+            .finish();
         let m = b.build().unwrap();
         let out = Interpreter::default().run(&m);
         // main, f, g, f

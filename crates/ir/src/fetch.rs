@@ -24,7 +24,10 @@ pub struct FetchStats {
 /// vector holds *line indices* (`address / line_size`), ready to feed to the
 /// cache simulator's set indexing.
 pub fn line_trace(trace: &Trace, image: &LinkedImage, line_size: u64) -> Vec<u64> {
-    assert!(line_size.is_power_of_two(), "line size must be a power of two");
+    assert!(
+        line_size.is_power_of_two(),
+        "line size must be a power of two"
+    );
     let mut out = Vec::with_capacity(trace.len() * 2);
     for &b in trace.events() {
         let gid = crate::ids::GlobalBlockId(b.0);
@@ -44,7 +47,10 @@ pub fn for_each_line<F: FnMut(u64)>(
     line_size: u64,
     mut f: F,
 ) -> FetchStats {
-    assert!(line_size.is_power_of_two(), "line size must be a power of two");
+    assert!(
+        line_size.is_power_of_two(),
+        "line size must be a power of two"
+    );
     let mut stats = FetchStats::default();
     for &b in trace.events() {
         let gid = crate::ids::GlobalBlockId(b.0);

@@ -178,10 +178,7 @@ mod tests {
 
     fn sample_module() -> Module {
         let mut b = ModuleBuilder::new("t");
-        b.function("main")
-            .jump("a", 10, "b")
-            .ret("b", 6)
-            .finish();
+        b.function("main").jump("a", 10, "b").ret("b", 6).finish();
         b.function("leaf").ret("x", 20).finish();
         b.build().unwrap()
     }
@@ -211,11 +208,7 @@ mod tests {
     #[test]
     fn block_order_interleaves_functions() {
         let m = sample_module();
-        let layout = Layout::BlockOrder(vec![
-            GlobalBlockId(2),
-            GlobalBlockId(0),
-            GlobalBlockId(1),
-        ]);
+        let layout = Layout::BlockOrder(vec![GlobalBlockId(2), GlobalBlockId(0), GlobalBlockId(1)]);
         let img = LinkedImage::link(&m, &layout, LinkOptions::default());
         let base = LinkOptions::default().base_address;
         assert_eq!(img.address(GlobalBlockId(2)), base);

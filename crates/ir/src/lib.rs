@@ -42,7 +42,7 @@ pub mod text;
 pub use block::{BasicBlock, CondModel, Effect, Terminator};
 pub use builder::{FunctionBuilder, ModuleBuilder};
 pub use cfg::{CallGraph, Cfg, EdgeProfile};
-pub use exec::{ExecConfig, ExecOutcome, Interpreter};
+pub use exec::{interpreter_run_count, ExecConfig, ExecOutcome, Interpreter};
 pub use fetch::{line_trace, FetchStats};
 pub use function::Function;
 pub use ids::{FuncId, GlobalBlockId, LocalBlockId, VarId};

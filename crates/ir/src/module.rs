@@ -175,9 +175,7 @@ impl Module {
     }
 
     /// Iterate all blocks in (function, local) order with their global ids.
-    pub fn iter_global_blocks(
-        &self,
-    ) -> impl Iterator<Item = (GlobalBlockId, FuncId, &BasicBlock)> {
+    pub fn iter_global_blocks(&self) -> impl Iterator<Item = (GlobalBlockId, FuncId, &BasicBlock)> {
         self.functions.iter().enumerate().flat_map(move |(fi, f)| {
             let base = self.block_base[fi];
             f.blocks
@@ -222,13 +220,11 @@ impl Module {
                     }
                 }
                 match &b.terminator {
-                    Terminator::Call { callee, .. } => {
-                        if callee.index() >= self.functions.len() {
-                            return Err(IrError::BadCallee {
-                                func: fid,
-                                block: bid,
-                            });
-                        }
+                    Terminator::Call { callee, .. } if callee.index() >= self.functions.len() => {
+                        return Err(IrError::BadCallee {
+                            func: fid,
+                            block: bid,
+                        });
                     }
                     Terminator::Switch { targets, weights } => {
                         let ok = !targets.is_empty()
@@ -317,7 +313,10 @@ mod tests {
                 BasicBlock::new("exit", 8, Terminator::Return),
             ],
         );
-        let leaf = Function::new("leaf", vec![BasicBlock::new("body", 32, Terminator::Return)]);
+        let leaf = Function::new(
+            "leaf",
+            vec![BasicBlock::new("body", 32, Terminator::Return)],
+        );
         Module::new("m", vec![main, leaf], vec![], FuncId(0))
     }
 

@@ -106,8 +106,14 @@ pub fn print(module: &Module) -> String {
                         }
                         CondModel::LoopCounter { trip } => format!("loop({})", trip),
                     };
-                    writeln!(out, "    branch {} {} {}", c, name_of(*taken), name_of(*not_taken))
-                        .unwrap();
+                    writeln!(
+                        out,
+                        "    branch {} {} {}",
+                        c,
+                        name_of(*taken),
+                        name_of(*not_taken)
+                    )
+                    .unwrap();
                 }
                 Terminator::Switch { targets, weights } => {
                     let arms: Vec<String> = targets
@@ -181,13 +187,14 @@ pub fn parse(text: &str) -> Result<Module, ParseError> {
                 if words.next() != Some("=") {
                     return err(lineno, "expected `= <init>` after global name");
                 }
-                let init: i64 = words
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or_else(|| ParseError {
-                        line: lineno,
-                        message: "global needs an integer initializer".into(),
-                    })?;
+                let init: i64 =
+                    words
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| ParseError {
+                            line: lineno,
+                            message: "global needs an integer initializer".into(),
+                        })?;
                 globals.push((name, init));
             }
             "func" => {
@@ -270,17 +277,24 @@ pub fn parse(text: &str) -> Result<Module, ParseError> {
                 // `set gN = v` | `add gN += v`
                 let var = words.next().unwrap_or("");
                 let op = words.next().unwrap_or("");
-                let val: i64 = words
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or_else(|| ParseError {
-                        line: lineno,
-                        message: "effect needs an integer value".into(),
-                    })?;
+                let val: i64 =
+                    words
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| ParseError {
+                            line: lineno,
+                            message: "effect needs an integer value".into(),
+                        })?;
                 let vid = parse_global_ref(var, &globals, lineno)?;
                 match (head, op) {
-                    ("set", "=") => b.effects.push(Effect::SetGlobal { var: vid, value: val }),
-                    ("add", "+=") => b.effects.push(Effect::AddGlobal { var: vid, delta: val }),
+                    ("set", "=") => b.effects.push(Effect::SetGlobal {
+                        var: vid,
+                        value: val,
+                    }),
+                    ("add", "+=") => b.effects.push(Effect::AddGlobal {
+                        var: vid,
+                        delta: val,
+                    }),
                     _ => return err(lineno, "malformed effect"),
                 }
             }
@@ -294,7 +308,10 @@ pub fn parse(text: &str) -> Result<Module, ParseError> {
                     message: "terminator before any block".into(),
                 })?;
                 if b.terminator.is_some() {
-                    return err(lineno, format!("block `{}` already has a terminator", b.name));
+                    return err(
+                        lineno,
+                        format!("block `{}` already has a terminator", b.name),
+                    );
                 }
                 b.terminator = Some((lineno, line.to_string()));
             }
@@ -328,7 +345,10 @@ pub fn parse(text: &str) -> Result<Module, ParseError> {
             .map(|(i, b)| (b.name.as_str(), LocalBlockId(i as u32)))
             .collect();
         if block_ids.len() != f.blocks.len() {
-            return err(f.line, format!("duplicate block names in func `{}`", f.name));
+            return err(
+                f.line,
+                format!("duplicate block names in func `{}`", f.name),
+            );
         }
         let resolve = |n: &str, line: usize| -> Result<LocalBlockId, ParseError> {
             block_ids.get(n).copied().ok_or(ParseError {
@@ -558,8 +578,7 @@ mod tests {
 
     #[test]
     fn parses_minimal_module() {
-        let m = parse("module tiny\nfunc main {\n  block only size=8:\n    return\n}\n")
-            .unwrap();
+        let m = parse("module tiny\nfunc main {\n  block only size=8:\n    return\n}\n").unwrap();
         assert_eq!(m.name, "tiny");
         assert_eq!(m.num_blocks(), 1);
     }
@@ -594,8 +613,7 @@ mod tests {
 
     #[test]
     fn rejects_double_terminator() {
-        let text =
-            "module t\nfunc main {\n  block x size=8:\n    return\n    return\n}\n";
+        let text = "module t\nfunc main {\n  block x size=8:\n    return\n    return\n}\n";
         let e = parse(text).unwrap_err();
         assert!(e.message.contains("already has a terminator"));
     }
@@ -618,7 +636,11 @@ mod tests {
     fn effects_round_trip() {
         let text = "module t\nglobal counter = 5\nfunc main {\n  block x size=8:\n    add g0 += 3\n    set g0 = 9\n    return\n}\n";
         let m = parse(text).unwrap();
-        let b = m.function(FuncId(0)).unwrap().block(LocalBlockId(0)).unwrap();
+        let b = m
+            .function(FuncId(0))
+            .unwrap()
+            .block(LocalBlockId(0))
+            .unwrap();
         assert_eq!(b.effects.len(), 2);
         assert_eq!(m.globals, vec![5]);
         let again = parse(&print(&m)).unwrap();
@@ -629,7 +651,11 @@ mod tests {
     fn globals_referable_by_name() {
         let text = "module t\nglobal mode = 0\nfunc main {\n  block x size=8:\n    set mode = 2\n    return\n}\n";
         let m = parse(text).unwrap();
-        let b = m.function(FuncId(0)).unwrap().block(LocalBlockId(0)).unwrap();
+        let b = m
+            .function(FuncId(0))
+            .unwrap()
+            .block(LocalBlockId(0))
+            .unwrap();
         assert_eq!(
             b.effects,
             vec![Effect::SetGlobal {

@@ -1,109 +1,132 @@
 //! Property-based tests over randomly generated modules: validation,
 //! execution, layout/linking and the text format must hold together for
-//! arbitrary well-formed programs.
+//! arbitrary well-formed programs. Driven by the seeded
+//! `clop_util::check` harness.
 
 use clop_ir::prelude::*;
-use proptest::prelude::*;
+use clop_util::check::check_n;
+use clop_util::Rng;
 
-/// Strategy: a random well-formed module with `nf` functions of up to
-/// `nb` blocks each. Control flow only references existing blocks and
-/// functions; probabilities stay in range; sizes are positive.
-fn module_strategy() -> impl Strategy<Value = Module> {
-    // Per function: a vector of block descriptors. Terminator choice per
-    // block: 0=jump,1=branch,2=switch,3=call,4=return; targets are chosen
-    // modulo the function's block count at build time.
-    let block = (1u32..600, 0u8..5, any::<u32>(), any::<u32>(), 0.0f64..1.0);
-    let func = proptest::collection::vec(block, 1..6);
-    (proptest::collection::vec(func, 1..6), 0u32..3).prop_map(|(funcs, nglobals)| {
-        let mut b = ModuleBuilder::new("prop");
-        for g in 0..nglobals {
-            b.global(&format!("g{}", g), g as i64);
-        }
-        let nf = funcs.len();
-        for (fi, blocks) in funcs.iter().enumerate() {
-            let nb = blocks.len();
-            let name = |bi: usize| format!("b{}", bi);
-            let mut fb = b.function(&format!("f{}", fi));
-            for (bi, &(size, kind, t1, t2, p)) in blocks.iter().enumerate() {
-                let bn = name(bi);
-                let target1 = name(t1 as usize % nb);
-                let target2 = name(t2 as usize % nb);
-                // The last block always returns so every function can
-                // terminate.
-                let kind = if bi == nb - 1 { 4 } else { kind };
-                match kind {
-                    0 => {
-                        fb.jump(&bn, size, &target1);
-                    }
-                    1 => {
-                        let cond = if nglobals > 0 && p < 0.3 {
-                            CondModel::GlobalEq {
-                                var: VarId(t1 % nglobals),
-                                value: (t2 % 3) as i64,
-                            }
-                        } else if p < 0.6 {
-                            CondModel::LoopCounter { trip: t1 % 8 }
-                        } else {
-                            CondModel::Bernoulli(p)
-                        };
-                        fb.branch(&bn, size, cond, &target1, &target2);
-                    }
-                    2 => {
-                        fb.switch(&bn, size, &[(&target1, 1.0 + p), (&target2, 1.0)]);
-                    }
-                    3 => {
-                        let callee = format!("f{}", t1 as usize % nf);
-                        fb.call(&bn, size, &callee, &target2);
-                    }
-                    _ => {
-                        fb.ret(&bn, size);
-                    }
+/// A random well-formed module with up to 5 functions of up to 5 blocks
+/// each. Control flow only references existing blocks and functions;
+/// probabilities stay in range; sizes are positive.
+fn random_module(rng: &mut Rng) -> Module {
+    let nglobals = rng.gen_range_u32(0, 3);
+    let nf = rng.gen_index(5) + 1;
+    // Per function: block descriptors (size, terminator kind, two targets,
+    // probability). Terminator choice per block: 0=jump, 1=branch,
+    // 2=switch, 3=call, 4=return; targets are chosen modulo the function's
+    // block count.
+    type BlockDesc = (u32, u8, u32, u32, f64);
+    let funcs: Vec<Vec<BlockDesc>> = (0..nf)
+        .map(|_| {
+            let nb = rng.gen_index(5) + 1;
+            (0..nb)
+                .map(|_| {
+                    (
+                        rng.gen_range_u32(1, 600),
+                        rng.gen_range_u32(0, 5) as u8,
+                        rng.next_u64() as u32,
+                        rng.next_u64() as u32,
+                        rng.gen_f64(),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut b = ModuleBuilder::new("prop");
+    for g in 0..nglobals {
+        b.global(&format!("g{}", g), g as i64);
+    }
+    for (fi, blocks) in funcs.iter().enumerate() {
+        let nb = blocks.len();
+        let name = |bi: usize| format!("b{}", bi);
+        let mut fb = b.function(&format!("f{}", fi));
+        for (bi, &(size, kind, t1, t2, p)) in blocks.iter().enumerate() {
+            let bn = name(bi);
+            let target1 = name(t1 as usize % nb);
+            let target2 = name(t2 as usize % nb);
+            // The last block always returns so every function can
+            // terminate.
+            let kind = if bi == nb - 1 { 4 } else { kind };
+            match kind {
+                0 => {
+                    fb.jump(&bn, size, &target1);
                 }
-                if nglobals > 0 && p > 0.8 {
-                    fb.effect(Effect::AddGlobal {
-                        var: VarId(t2 % nglobals),
-                        delta: 1,
-                    });
+                1 => {
+                    let cond = if nglobals > 0 && p < 0.3 {
+                        CondModel::GlobalEq {
+                            var: VarId(t1 % nglobals),
+                            value: (t2 % 3) as i64,
+                        }
+                    } else if p < 0.6 {
+                        CondModel::LoopCounter { trip: t1 % 8 }
+                    } else {
+                        CondModel::Bernoulli(p)
+                    };
+                    fb.branch(&bn, size, cond, &target1, &target2);
+                }
+                2 => {
+                    fb.switch(&bn, size, &[(&target1, 1.0 + p), (&target2, 1.0)]);
+                }
+                3 => {
+                    let callee = format!("f{}", t1 as usize % nf);
+                    fb.call(&bn, size, &callee, &target2);
+                }
+                _ => {
+                    fb.ret(&bn, size);
                 }
             }
-            fb.finish();
+            if nglobals > 0 && p > 0.8 {
+                fb.effect(Effect::AddGlobal {
+                    var: VarId(t2 % nglobals),
+                    delta: 1,
+                });
+            }
         }
-        b.build().expect("strategy builds well-formed modules")
-    })
+        fb.finish();
+    }
+    b.build().expect("generator builds well-formed modules")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every generated module validates (the strategy's contract) and
-    /// executes deterministically within fuel.
-    #[test]
-    fn generated_modules_execute_deterministically(m in module_strategy()) {
-        prop_assert!(m.validate().is_ok());
+/// Every generated module validates (the generator's contract) and
+/// executes deterministically within fuel.
+#[test]
+fn generated_modules_execute_deterministically() {
+    check_n("generated_modules_execute_deterministically", 64, |rng| {
+        let m = random_module(rng);
+        assert!(m.validate().is_ok());
         let cfg = ExecConfig::with_fuel(2_000).seeded(42);
         let a = Interpreter::new(cfg).run(&m);
         let b = Interpreter::new(cfg).run(&m);
-        prop_assert!(a.num_events() <= 2_000);
-        prop_assert_eq!(a.instructions, b.instructions);
-        prop_assert_eq!(a.bb_trace, b.bb_trace);
-    }
+        assert!(a.num_events() <= 2_000);
+        assert_eq!(a.instructions, b.instructions);
+        assert_eq!(a.bb_trace, b.bb_trace);
+    });
+}
 
-    /// Every trace event is a valid global block id of the module.
-    #[test]
-    fn trace_events_are_valid_blocks(m in module_strategy()) {
+/// Every trace event is a valid global block id of the module.
+#[test]
+fn trace_events_are_valid_blocks() {
+    check_n("trace_events_are_valid_blocks", 64, |rng| {
+        let m = random_module(rng);
         let out = Interpreter::new(ExecConfig::with_fuel(1_000)).run(&m);
         for &e in out.bb_trace.events() {
-            prop_assert!(m.locate(GlobalBlockId(e.0)).is_some());
+            assert!(m.locate(GlobalBlockId(e.0)).is_some());
         }
         for &f in out.func_trace.events() {
-            prop_assert!((f.0 as usize) < m.num_functions());
+            assert!((f.0 as usize) < m.num_functions());
         }
-    }
+    });
+}
 
-    /// Linking any valid layout covers every block with non-overlapping
-    /// address ranges.
-    #[test]
-    fn linked_blocks_never_overlap(m in module_strategy()) {
+/// Linking any valid layout covers every block with non-overlapping
+/// address ranges.
+#[test]
+fn linked_blocks_never_overlap() {
+    check_n("linked_blocks_never_overlap", 64, |rng| {
+        let m = random_module(rng);
         let img = LinkedImage::link(&m, &Layout::original(&m), LinkOptions::default());
         let mut ranges: Vec<(u64, u64)> = (0..m.num_blocks() as u32)
             .map(|g| {
@@ -113,55 +136,67 @@ proptest! {
             .collect();
         ranges.sort_unstable();
         for w in ranges.windows(2) {
-            prop_assert!(w[0].1 <= w[1].0, "blocks overlap: {:?}", w);
+            assert!(w[0].1 <= w[1].0, "blocks overlap: {:?}", w);
         }
-        prop_assert!(img.image_size() >= m.size_bytes());
-    }
+        assert!(img.image_size() >= m.size_bytes());
+    });
+}
 
-    /// Reversed function order still links with identical total size when
-    /// alignment is 1.
-    #[test]
-    fn layout_permutation_preserves_size(m in module_strategy()) {
-        let opts = LinkOptions { function_align: 1, base_address: 0 };
+/// Reversed function order still links with identical total size when
+/// alignment is 1.
+#[test]
+fn layout_permutation_preserves_size() {
+    check_n("layout_permutation_preserves_size", 64, |rng| {
+        let m = random_module(rng);
+        let opts = LinkOptions {
+            function_align: 1,
+            base_address: 0,
+        };
         let orig = LinkedImage::link(&m, &Layout::original(&m), opts);
-        let rev = Layout::FunctionOrder(
-            (0..m.num_functions() as u32).rev().map(FuncId).collect(),
-        );
+        let rev = Layout::FunctionOrder((0..m.num_functions() as u32).rev().map(FuncId).collect());
         let revd = LinkedImage::link(&m, &rev, opts);
-        prop_assert_eq!(orig.image_size(), revd.image_size());
-    }
+        assert_eq!(orig.image_size(), revd.image_size());
+    });
+}
 
-    /// The text format round-trips every generated module.
-    #[test]
-    fn text_round_trip(m in module_strategy()) {
+/// The text format round-trips every generated module.
+#[test]
+fn text_round_trip() {
+    check_n("text_round_trip", 64, |rng| {
+        let m = random_module(rng);
         let printed = clop_ir::text::print(&m);
-        let back = clop_ir::text::parse(&printed)
-            .map_err(|e| TestCaseError::fail(format!("parse failed: {}", e)))?;
-        prop_assert_eq!(m, back);
-    }
+        let back = clop_ir::text::parse(&printed).expect("parse printed module");
+        assert_eq!(m, back);
+    });
+}
 
-    /// Execution is invariant under pretty-print + re-parse.
-    #[test]
-    fn execution_survives_text_round_trip(m in module_strategy()) {
+/// Execution is invariant under pretty-print + re-parse.
+#[test]
+fn execution_survives_text_round_trip() {
+    check_n("execution_survives_text_round_trip", 64, |rng| {
+        let m = random_module(rng);
         let back = clop_ir::text::parse(&clop_ir::text::print(&m)).unwrap();
         let cfg = ExecConfig::with_fuel(1_000).seeded(7);
         let a = Interpreter::new(cfg).run(&m);
         let b = Interpreter::new(cfg).run(&back);
-        prop_assert_eq!(a.bb_trace, b.bb_trace);
-    }
+        assert_eq!(a.bb_trace, b.bb_trace);
+    });
+}
 
-    /// CFG reachability never exceeds the block count and always includes
-    /// the entry.
-    #[test]
-    fn cfg_reachability_sane(m in module_strategy()) {
+/// CFG reachability never exceeds the block count and always includes
+/// the entry.
+#[test]
+fn cfg_reachability_sane() {
+    check_n("cfg_reachability_sane", 64, |rng| {
+        let m = random_module(rng);
         for f in &m.functions {
             let cfg = clop_ir::cfg::Cfg::of(f);
             let r = cfg.reachable();
-            prop_assert!(r[f.entry.index()]);
-            prop_assert_eq!(r.len(), f.blocks.len());
+            assert!(r[f.entry.index()]);
+            assert_eq!(r.len(), f.blocks.len());
         }
         let blocks = clop_ir::cfg::reachable_blocks(&m);
-        prop_assert!(blocks.len() <= m.num_blocks());
-        prop_assert!(!blocks.is_empty());
-    }
+        assert!(blocks.len() <= m.num_blocks());
+        assert!(!blocks.is_empty());
+    });
 }

@@ -35,11 +35,7 @@ pub fn footprint_between(trace: &TrimmedTrace, from: usize, to: usize) -> usize 
 /// whether *some* occurrence of `y` lies within a footprint-`w` window; this
 /// helper returns the minimum such footprint over all pairs, which is what a
 /// single query usually wants.
-pub fn min_footprint_between_blocks(
-    trace: &TrimmedTrace,
-    x: BlockId,
-    y: BlockId,
-) -> Option<usize> {
+pub fn min_footprint_between_blocks(trace: &TrimmedTrace, x: BlockId, y: BlockId) -> Option<usize> {
     let xs = trace.occurrences(x);
     let ys = trace.occurrences(y);
     if xs.is_empty() || ys.is_empty() {
@@ -201,20 +197,20 @@ impl FootprintCurve {
         // Interpolate.
         let mut prev = (0usize, 0.0f64);
         let mut pi = 0usize;
-        for w in 1..=max_window {
+        for (w, v) in values.iter_mut().enumerate().take(max_window + 1).skip(1) {
             while pi < pts.len() && pts[pi].0 < w {
                 prev = pts[pi];
                 pi += 1;
             }
             if pi < pts.len() && pts[pi].0 == w {
-                values[w] = pts[pi].1;
+                *v = pts[pi].1;
             } else if pi < pts.len() {
                 let (x0, y0) = prev;
                 let (x1, y1) = pts[pi];
                 let t = (w - x0) as f64 / (x1 - x0) as f64;
-                values[w] = y0 + t * (y1 - y0);
+                *v = y0 + t * (y1 - y0);
             } else {
-                values[w] = total_distinct as f64;
+                *v = total_distinct as f64;
             }
         }
         FootprintCurve {

@@ -93,9 +93,7 @@ pub fn read_trace<R: Read>(r: &mut R) -> io::Result<Trace> {
         let cur = prev
             .checked_add(delta)
             .filter(|&v| (0..=u32::MAX as i64).contains(&v))
-            .ok_or_else(|| {
-                io::Error::new(io::ErrorKind::InvalidData, "trace id out of range")
-            })?;
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "trace id out of range"))?;
         trace.push(BlockId(cur as u32));
         prev = cur;
     }

@@ -66,8 +66,7 @@ impl Pruner {
             kept_occurrences += c;
         }
 
-        let pruned =
-            TrimmedTrace::from_events(trace.iter().filter(|b| keep_mask[b.index()]));
+        let pruned = TrimmedTrace::from_events(trace.iter().filter(|b| keep_mask[b.index()]));
         let original_len = trace.len();
         let retention = if original_len == 0 {
             1.0
@@ -97,7 +96,10 @@ mod tests {
         let t = TrimmedTrace::from_indices([1, 2, 1, 2, 1, 3, 2, 1]);
         let r = Pruner::new(2).prune(&t);
         assert_eq!(r.kept, vec![b(1), b(2)]);
-        assert_eq!(r.trace.events(), &[b(1), b(2), b(1), b(2), b(1), b(2), b(1)]);
+        assert_eq!(
+            r.trace.events(),
+            &[b(1), b(2), b(1), b(2), b(1), b(2), b(1)]
+        );
     }
 
     #[test]
@@ -151,8 +153,8 @@ mod tests {
         let mut ids = Vec::new();
         for i in 0..10_000u32 {
             let block = match i % 100 {
-                0..=93 => i % 8,        // 94%: 8 hot blocks
-                _ => 100 + (i % 500),   // 6%: long cold tail
+                0..=93 => i % 8,      // 94%: 8 hot blocks
+                _ => 100 + (i % 500), // 6%: long cold tail
             };
             ids.push(block);
         }

@@ -1,114 +1,147 @@
-//! Property-based tests for the trace crate's core data structures.
+//! Property-based tests for the trace crate's core data structures,
+//! driven by the seeded `clop_util::check` harness.
 
 use clop_trace::footprint::{footprint_between, FootprintCurve};
 use clop_trace::io;
 use clop_trace::{BlockId, LruStack, ReuseHistogram, Trace, TrimmedTrace};
-use proptest::prelude::*;
+use clop_util::check::{check, vec_of_indices};
 
-fn ids(max_block: u32, len: usize) -> impl Strategy<Value = Vec<u32>> {
-    proptest::collection::vec(0..max_block, 0..len)
-}
-
-proptest! {
-    /// Footprints are symmetric in their endpoints and bounded by the
-    /// window length and the number of distinct blocks.
-    #[test]
-    fn footprint_bounds(v in ids(8, 60)) {
+/// Footprints are symmetric in their endpoints and bounded by the window
+/// length and the number of distinct blocks.
+#[test]
+fn footprint_bounds() {
+    check("footprint_bounds", |rng| {
+        let v = vec_of_indices(rng, 60, 8);
         let t = Trace::from_indices(v).trim();
-        if t.len() < 2 { return Ok(()); }
+        if t.len() < 2 {
+            return;
+        }
         let n = t.len();
         for a in (0..n).step_by(3) {
             for b in (a..n).step_by(5) {
                 let fp = footprint_between(&t, a, b);
-                prop_assert_eq!(fp, footprint_between(&t, b, a));
-                prop_assert!(fp >= 1);
-                prop_assert!(fp <= b - a + 1);
-                prop_assert!(fp <= t.num_distinct());
+                assert_eq!(fp, footprint_between(&t, b, a));
+                assert!(fp >= 1);
+                assert!(fp <= b - a + 1);
+                assert!(fp <= t.num_distinct());
             }
         }
-    }
+    });
+}
 
-    /// Footprints are monotone under window extension.
-    #[test]
-    fn footprint_monotone(v in ids(8, 60)) {
+/// Footprints are monotone under window extension.
+#[test]
+fn footprint_monotone() {
+    check("footprint_monotone", |rng| {
+        let v = vec_of_indices(rng, 60, 8);
         let t = Trace::from_indices(v).trim();
-        if t.len() < 3 { return Ok(()); }
+        if t.len() < 3 {
+            return;
+        }
         let n = t.len();
         for a in 0..n.saturating_sub(2) {
             let f1 = footprint_between(&t, a, a + 1);
             let f2 = footprint_between(&t, a, a + 2);
-            prop_assert!(f2 >= f1);
+            assert!(f2 >= f1);
         }
-    }
+    });
+}
 
-    /// The footprint curve is monotone non-decreasing and bounded by the
-    /// distinct-block count; fp(1) is exactly 1 for non-empty traces.
-    #[test]
-    fn footprint_curve_shape(v in ids(10, 120)) {
+/// The footprint curve is monotone non-decreasing and bounded by the
+/// distinct-block count; fp(1) is exactly 1 for non-empty traces.
+#[test]
+fn footprint_curve_shape() {
+    check("footprint_curve_shape", |rng| {
+        let v = vec_of_indices(rng, 120, 10);
         let t = Trace::from_indices(v).trim();
-        let w_max = t.len().min(20).max(1);
+        let w_max = t.len().clamp(1, 20);
         let c = FootprintCurve::measure(&t, w_max);
         if !t.is_empty() {
-            prop_assert!((c.at(1) - 1.0).abs() < 1e-12);
+            assert!((c.at(1) - 1.0).abs() < 1e-12);
         }
         for w in 1..w_max {
-            prop_assert!(c.at(w + 1) + 1e-12 >= c.at(w));
-            prop_assert!(c.at(w) <= t.num_distinct() as f64 + 1e-12);
+            assert!(c.at(w + 1) + 1e-12 >= c.at(w));
+            assert!(c.at(w) <= t.num_distinct() as f64 + 1e-12);
         }
-    }
+    });
+}
 
-    /// The sampled curve interpolates between exact ladder points, so each
-    /// value lies within the exact values at the bracketing powers of two
-    /// (and matches exactly on the ladder itself).
-    #[test]
-    fn sampled_curve_brackets_exact(v in ids(12, 200)) {
+/// The sampled curve interpolates between exact ladder points, so each
+/// value lies within the exact values at the bracketing powers of two
+/// (and matches exactly on the ladder itself).
+#[test]
+fn sampled_curve_brackets_exact() {
+    check("sampled_curve_brackets_exact", |rng| {
+        let v = vec_of_indices(rng, 200, 12);
         let t = Trace::from_indices(v).trim();
-        if t.len() < 8 { return Ok(()); }
+        if t.len() < 8 {
+            return;
+        }
         let w_max = t.len().min(32);
         let exact = FootprintCurve::measure(&t, w_max);
         let sampled = FootprintCurve::measure_sampled(&t, w_max);
         // Exact on ladder points.
         let mut w = 1usize;
         while w < w_max {
-            prop_assert!((sampled.at(w) - exact.at(w)).abs() < 1e-9, "ladder w={}", w);
+            assert!((sampled.at(w) - exact.at(w)).abs() < 1e-9, "ladder w={}", w);
             w *= 2;
         }
-        prop_assert!((sampled.at(w_max) - exact.at(w_max)).abs() < 1e-9);
+        assert!((sampled.at(w_max) - exact.at(w_max)).abs() < 1e-9);
         // Between ladder points: bracketed by the exact (monotone) values
         // at the surrounding ladder points.
         for w in 2..w_max {
             let lo = 1usize << (31 - (w as u32).leading_zeros());
             let hi = (lo * 2).min(w_max);
-            prop_assert!(sampled.at(w) >= exact.at(lo) - 1e-9,
-                "w={} below bracket [{}, {}]", w, lo, hi);
-            prop_assert!(sampled.at(w) <= exact.at(hi) + 1e-9,
-                "w={} above bracket [{}, {}]", w, lo, hi);
+            assert!(
+                sampled.at(w) >= exact.at(lo) - 1e-9,
+                "w={} below bracket [{}, {}]",
+                w,
+                lo,
+                hi
+            );
+            assert!(
+                sampled.at(w) <= exact.at(hi) + 1e-9,
+                "w={} above bracket [{}, {}]",
+                w,
+                lo,
+                hi
+            );
         }
-    }
+    });
+}
 
-    /// Reuse histogram totals are conserved.
-    #[test]
-    fn histogram_conservation(v in ids(16, 200)) {
+/// Reuse histogram totals are conserved.
+#[test]
+fn histogram_conservation() {
+    check("histogram_conservation", |rng| {
+        let v = vec_of_indices(rng, 200, 16);
         let t = Trace::from_indices(v).trim();
         let h = ReuseHistogram::measure(&t);
-        prop_assert_eq!(h.total(), t.len() as u64);
-        prop_assert_eq!(h.cold(), t.num_distinct() as u64);
+        assert_eq!(h.total(), t.len() as u64);
+        assert_eq!(h.cold(), t.num_distinct() as u64);
         let finite: u64 = (0..t.len()).map(|d| h.count_at(d)).sum();
-        prop_assert_eq!(finite + h.cold(), h.total());
-    }
+        assert_eq!(finite + h.cold(), h.total());
+    });
+}
 
-    /// Trace IO round-trips arbitrary traces.
-    #[test]
-    fn trace_io_round_trip(v in ids(1000, 300)) {
+/// Trace IO round-trips arbitrary traces.
+#[test]
+fn trace_io_round_trip() {
+    check("trace_io_round_trip", |rng| {
+        let v = vec_of_indices(rng, 300, 1000);
         let t = Trace::from_indices(v);
         let mut buf = Vec::new();
         io::write_trace(&mut buf, &t).unwrap();
-        prop_assert_eq!(io::read_trace(&mut buf.as_slice()).unwrap(), t);
-    }
+        assert_eq!(io::read_trace(&mut buf.as_slice()).unwrap(), t);
+    });
+}
 
-    /// Stack `top(w)` never repeats a block and respects the stack size.
-    #[test]
-    fn stack_top_is_distinct(v in ids(12, 150), w in 1usize..15) {
+/// Stack `top(w)` never repeats a block and respects the stack size.
+#[test]
+fn stack_top_is_distinct() {
+    check("stack_top_is_distinct", |rng| {
+        let v = vec_of_indices(rng, 150, 12);
+        let w = rng.gen_index(14) + 1;
         let mut s = LruStack::new(12);
         for &x in &v {
             s.access(BlockId(x));
@@ -117,23 +150,26 @@ proptest! {
         let mut dedup = top.clone();
         dedup.sort_unstable();
         dedup.dedup();
-        prop_assert_eq!(top.len(), dedup.len());
-        prop_assert!(top.len() <= w.min(s.len()));
-    }
+        assert_eq!(top.len(), dedup.len());
+        assert!(top.len() <= w.min(s.len()));
+    });
+}
 
-    /// The trimmed trace is never longer than the raw trace and preserves
-    /// the multiset of blocks (as a set).
-    #[test]
-    fn trim_preserves_blocks(v in ids(10, 120)) {
+/// The trimmed trace is never longer than the raw trace and preserves
+/// the multiset of blocks (as a set).
+#[test]
+fn trim_preserves_blocks() {
+    check("trim_preserves_blocks", |rng| {
+        let v = vec_of_indices(rng, 120, 10);
         let raw = Trace::from_indices(v.clone());
         let t = raw.trim();
-        prop_assert!(t.len() <= raw.len());
+        assert!(t.len() <= raw.len());
         let mut raw_set: Vec<u32> = v;
         raw_set.sort_unstable();
         raw_set.dedup();
         let trimmed_set: Vec<u32> = t.distinct_blocks().iter().map(|b| b.0).collect();
-        prop_assert_eq!(raw_set, trimmed_set);
-    }
+        assert_eq!(raw_set, trimmed_set);
+    });
 }
 
 #[test]

@@ -51,9 +51,16 @@ impl TrgConfig {
     ///
     /// `cache_bytes` is the *actual* cache size `C`; the doubling advice is
     /// applied here.
-    pub fn from_cache(cache_bytes: u64, associativity: u32, line_bytes: u64, block_bytes: u64) -> Self {
+    pub fn from_cache(
+        cache_bytes: u64,
+        associativity: u32,
+        line_bytes: u64,
+        block_bytes: u64,
+    ) -> Self {
         let sets = cache_bytes / (associativity as u64 * line_bytes);
-        let sets_per_block = block_bytes.div_ceil(associativity as u64 * line_bytes).max(1);
+        let sets_per_block = block_bytes
+            .div_ceil(associativity as u64 * line_bytes)
+            .max(1);
         let slots = (sets / sets_per_block).max(1) as usize;
         let window = ((2 * cache_bytes) / block_bytes.max(1)).max(1) as usize;
         TrgConfig { window, slots }
@@ -99,7 +106,13 @@ mod tests {
     #[test]
     fn layout_is_permutation() {
         let t = TrimmedTrace::from_indices([0, 1, 2, 0, 2, 1, 3, 0, 1, 2, 3, 0]);
-        let layout = trg_layout(&t, TrgConfig { window: 8, slots: 3 });
+        let layout = trg_layout(
+            &t,
+            TrgConfig {
+                window: 8,
+                slots: 3,
+            },
+        );
         let mut sorted: Vec<u32> = layout.iter().map(|b| b.0).collect();
         sorted.sort_unstable();
         assert_eq!(sorted, vec![0, 1, 2, 3]);

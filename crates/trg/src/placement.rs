@@ -107,7 +107,9 @@ impl PaddedPlacement {
         }
         let mut out = Vec::with_capacity(trace.len() * 2);
         for b in trace.iter() {
-            let Some(&off) = offsets.get(&b) else { continue };
+            let Some(&off) = offsets.get(&b) else {
+                continue;
+            };
             let size = block_size(b).max(1);
             let first = off / line_size;
             let last = (off + size - 1) / line_size;

@@ -83,13 +83,15 @@ pub fn reduce(trg: &Trg, k: usize, trace: &TrimmedTrace) -> SlotAssignment {
         // any (Block, _) edge qualifies).
         let best = weights
             .iter()
-            .filter(|((a, b), _)| {
-                matches!(a, Ent::Block(_)) || matches!(b, Ent::Block(_))
-            })
+            .filter(|((a, b), _)| matches!(a, Ent::Block(_)) || matches!(b, Ent::Block(_)))
             .max_by(|((a1, b1), w1), ((a2, b2), w2)| {
                 w1.cmp(w2)
-                    .then_with(|| (rank_of(a2).min(rank_of(b2))).cmp(&(rank_of(a1).min(rank_of(b1)))))
-                    .then_with(|| (rank_of(a2).max(rank_of(b2))).cmp(&(rank_of(a1).max(rank_of(b1)))))
+                    .then_with(|| {
+                        (rank_of(a2).min(rank_of(b2))).cmp(&(rank_of(a1).min(rank_of(b1))))
+                    })
+                    .then_with(|| {
+                        (rank_of(a2).max(rank_of(b2))).cmp(&(rank_of(a1).max(rank_of(b1))))
+                    })
             })
             .map(|((a, b), _)| (*a, *b));
         let Some((a, b)) = best else { break };
@@ -103,14 +105,7 @@ pub fn reduce(trg: &Trg, k: usize, trace: &TrimmedTrace) -> SlotAssignment {
             if placed.contains_key(&x) {
                 continue;
             }
-            place_block(
-                x,
-                &mut weights,
-                &mut adj,
-                &mut slots,
-                &mut placed,
-                &rank,
-            );
+            place_block(x, &mut weights, &mut adj, &mut slots, &mut placed, &rank);
         }
     }
 

@@ -1,0 +1,100 @@
+//! A minimal micro-benchmark harness for `harness = false` bench targets.
+//!
+//! Replaces the external criterion dependency in the offline build. Each
+//! bench target constructs a [`Runner`] from the process arguments and
+//! registers closures by name; the runner times each one adaptively
+//! (doubling the iteration count until a wall-clock budget is met) and
+//! prints a `ns/iter` line. A positional argument filters benchmarks by
+//! substring, matching `cargo bench <filter>` behaviour; the `--bench` /
+//! `--test` flags cargo passes are ignored.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Runs and reports micro-benchmarks.
+pub struct Runner {
+    filter: Option<String>,
+    budget: Duration,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner {
+            filter: None,
+            budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Runner {
+    /// Build a runner from the process arguments: the first non-flag
+    /// argument becomes the name filter.
+    pub fn from_args() -> Self {
+        Runner {
+            filter: std::env::args().skip(1).find(|a| !a.starts_with('-')),
+            ..Default::default()
+        }
+    }
+
+    /// Time `f`, printing `name`, mean ns/iter and throughput derived from
+    /// `elements` (work items per call) when provided.
+    pub fn bench_with_elements<R>(
+        &self,
+        name: &str,
+        elements: Option<u64>,
+        mut f: impl FnMut() -> R,
+    ) {
+        if let Some(fl) = &self.filter {
+            if !name.contains(fl.as_str()) {
+                return;
+            }
+        }
+        black_box(f()); // warm-up, excluded from timing
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = start.elapsed();
+            if dt >= self.budget || iters >= 1 << 24 {
+                let per_iter = dt.as_nanos() as f64 / iters as f64;
+                let rate = elements
+                    .map(|n| {
+                        let per_sec = n as f64 / (per_iter / 1e9);
+                        format!("  {:>10.2} Melem/s", per_sec / 1e6)
+                    })
+                    .unwrap_or_default();
+                println!("{:<44} {:>14.0} ns/iter{}", name, per_iter, rate);
+                return;
+            }
+            // Grow toward the budget without overshooting wildly.
+            let ratio = self.budget.as_secs_f64() / dt.as_secs_f64().max(1e-9);
+            iters = (iters as f64 * ratio.clamp(1.5, 10.0)).ceil() as u64;
+        }
+    }
+
+    /// Time `f` and print its mean ns/iter.
+    pub fn bench<R>(&self, name: &str, f: impl FnMut() -> R) {
+        self.bench_with_elements(name, None, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_respects_filter() {
+        let mut calls = 0u32;
+        let r = Runner {
+            filter: Some("yes".to_string()),
+            budget: Duration::from_micros(50),
+        };
+        r.bench("yes_this_one", || calls += 1);
+        assert!(calls >= 2, "warm-up plus at least one timed iteration");
+        let before = calls;
+        r.bench("not_matching", || calls += 1);
+        assert_eq!(calls, before, "filtered benchmark must not run");
+    }
+}

@@ -1,0 +1,115 @@
+//! A seeded property-test harness.
+//!
+//! [`check`] runs a property closure against a series of deterministic
+//! random generators. Seeds are derived from the property name, so every
+//! run (and every machine) exercises identical inputs and a failure
+//! reproduces immediately; the panic message names the failing case so a
+//! `check_case` call can replay it under a debugger.
+//!
+//! Properties express their invariants with plain `assert!`/`assert_eq!`.
+
+use crate::rng::Rng;
+
+/// Default number of cases per property.
+pub const DEFAULT_CASES: u32 = 32;
+
+/// Run `property` against [`DEFAULT_CASES`] deterministic random cases.
+pub fn check<F: FnMut(&mut Rng)>(name: &str, property: F) {
+    check_n(name, DEFAULT_CASES, property);
+}
+
+/// Run `property` against `cases` deterministic random cases.
+pub fn check_n<F: FnMut(&mut Rng)>(name: &str, cases: u32, mut property: F) {
+    for case in 0..cases {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut rng = case_rng(name, case);
+            property(&mut rng);
+        }));
+        if let Err(payload) = result {
+            eprintln!(
+                "property {:?} failed on case {}/{} (replay: check_case({:?}, {}, ..))",
+                name, case, cases, name, case
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Replay a single case of a property (by the index reported on failure).
+pub fn check_case<F: FnMut(&mut Rng)>(name: &str, case: u32, mut property: F) {
+    let mut rng = case_rng(name, case);
+    property(&mut rng);
+}
+
+fn case_rng(name: &str, case: u32) -> Rng {
+    // FNV-1a over the name, mixed with the case index.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    Rng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+}
+
+/// A random vector with `0..=max_len` elements drawn from `gen`.
+pub fn vec_of<T>(rng: &mut Rng, max_len: usize, mut gen: impl FnMut(&mut Rng) -> T) -> Vec<T> {
+    let len = rng.gen_index(max_len + 1);
+    (0..len).map(|_| gen(rng)).collect()
+}
+
+/// A random vector of `0..=max_len` indices below `bound`.
+pub fn vec_of_indices(rng: &mut Rng, max_len: usize, bound: u32) -> Vec<u32> {
+    vec_of(rng, max_len, |r| r.gen_range_u32(0, bound))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn properties_see_deterministic_inputs() {
+        let mut first: Vec<u64> = Vec::new();
+        check_n("det", 8, |rng| first.push(rng.next_u64()));
+        let mut second: Vec<u64> = Vec::new();
+        check_n("det", 8, |rng| second.push(rng.next_u64()));
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn different_names_give_different_inputs() {
+        let mut a = Vec::new();
+        check_n("name-a", 4, |rng| a.push(rng.next_u64()));
+        let mut b = Vec::new();
+        check_n("name-b", 4, |rng| b.push(rng.next_u64()));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn failing_property_panics() {
+        let result = std::panic::catch_unwind(|| {
+            check_n("always-fails", 4, |_rng| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn check_case_replays_one_case() {
+        let mut seen = Vec::new();
+        check_n("replay", 4, |rng| seen.push(rng.next_u64()));
+        let mut replayed = 0;
+        check_case("replay", 2, |rng| {
+            assert_eq!(rng.next_u64(), seen[2]);
+            replayed += 1;
+        });
+        assert_eq!(replayed, 1);
+    }
+
+    #[test]
+    fn vec_helpers_respect_bounds() {
+        check_n("vec-bounds", 16, |rng| {
+            let v = vec_of_indices(rng, 40, 7);
+            assert!(v.len() <= 40);
+            assert!(v.iter().all(|&x| x < 7));
+        });
+    }
+}

@@ -1,0 +1,24 @@
+//! Dependency-free utilities shared across the workspace.
+//!
+//! The build environment is fully offline, so everything that would
+//! normally come from crates.io lives here instead:
+//!
+//! - [`rng`]: a small, fast, deterministic PRNG (xoshiro256++ seeded via
+//!   SplitMix64) with the handful of sampling helpers the workloads and
+//!   interpreter need.
+//! - [`json`]: a JSON value type with a pretty printer and a parser —
+//!   enough for experiment result emission and golden-file comparison.
+//! - [`check`]: a seeded property-test harness (randomized inputs, fixed
+//!   seeds, reproducible failures) replacing an external proptest
+//!   dependency.
+//! - [`bench`]: a micro-benchmark runner for `harness = false` bench
+//!   targets, replacing an external criterion dependency.
+
+pub mod bench;
+pub mod check;
+pub mod json;
+pub mod rng;
+
+pub use check::check;
+pub use json::{Json, ToJson};
+pub use rng::Rng;

@@ -1,0 +1,210 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! xoshiro256++ (Blackman & Vigna) seeded through SplitMix64, the standard
+//! pairing: SplitMix64 decorrelates arbitrary user seeds (including 0 and
+//! small integers) into full-entropy state words. Every generator in this
+//! workspace is explicitly seeded, so results are reproducible across runs
+//! and platforms.
+
+/// A small, fast, deterministic PRNG (xoshiro256++).
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Seed from a single `u64`. Any value (including 0) is fine.
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        let mut sm = seed;
+        let mut next = || {
+            // SplitMix64.
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        Rng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` using the top 53 bits.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        self.gen_f64() < p
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi, "empty range {}..{}", lo, hi);
+        lo + self.gen_f64() * (hi - lo)
+    }
+
+    /// Uniform `u64` in `[0, n)` via Lemire's multiply-shift with rejection
+    /// (unbiased).
+    pub fn gen_below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "gen_below(0)");
+        // Rejection zone keeps the mapping unbiased.
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (n as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `u64` in the half-open range `[lo, hi)`.
+    pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi, "empty range {}..{}", lo, hi);
+        lo + self.gen_below(hi - lo)
+    }
+
+    /// Uniform `u32` in the half-open range `[lo, hi)`.
+    pub fn gen_range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.gen_range_u64(lo as u64, hi as u64) as u32
+    }
+
+    /// Uniform `u32` in the closed range `[lo, hi]`.
+    pub fn gen_range_u32_incl(&mut self, lo: u32, hi: u32) -> u32 {
+        self.gen_range_u64(lo as u64, hi as u64 + 1) as u32
+    }
+
+    /// Uniform index in `[0, n)`.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        self.gen_below(n as u64) as usize
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            items.swap(i, self.gen_index(i + 1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = Rng::seed_from_u64(0);
+        let distinct: std::collections::HashSet<u64> = (0..32).map(|_| r.next_u64()).collect();
+        assert!(distinct.len() >= 31);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_near_half() {
+        let mut r = Rng::seed_from_u64(9);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.gen_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {}", mean);
+    }
+
+    #[test]
+    fn gen_bool_frequency_tracks_p() {
+        let mut r = Rng::seed_from_u64(11);
+        for &p in &[0.1, 0.5, 0.9] {
+            let n = 20_000;
+            let hits = (0..n).filter(|_| r.gen_bool(p)).count();
+            let freq = hits as f64 / n as f64;
+            assert!((freq - p).abs() < 0.02, "p={} freq={}", p, freq);
+        }
+        assert!(r.gen_bool(1.0));
+        assert!(!r.gen_bool(0.0));
+    }
+
+    #[test]
+    fn gen_below_covers_range_uniformly() {
+        let mut r = Rng::seed_from_u64(13);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[r.gen_below(10) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((800..1200).contains(&c), "bucket {} count {}", i, c);
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = Rng::seed_from_u64(17);
+        for _ in 0..1000 {
+            let x = r.gen_range_u32_incl(3, 7);
+            assert!((3..=7).contains(&x));
+            let y = r.gen_range_u64(10, 20);
+            assert!((10..20).contains(&y));
+            let z = r.gen_range_f64(0.5, 0.95);
+            assert!((0.5..0.95).contains(&z));
+        }
+        // Inclusive range with lo == hi is a constant.
+        assert_eq!(r.gen_range_u32_incl(5, 5), 5);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::seed_from_u64(19);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+}

@@ -25,8 +25,7 @@
 //!   suboptimal baseline the optimizers improve on.
 
 use clop_ir::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use clop_util::Rng;
 
 /// Specification of a synthetic workload.
 #[derive(Clone, Debug, PartialEq)]
@@ -124,7 +123,7 @@ impl WorkloadSpec {
             self.funcs_per_phase >= 1 && self.funcs_per_phase <= self.hot_funcs,
             "phase working set must be within the hot function list"
         );
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let mut b = ModuleBuilder::new(self.name.clone());
         let phase_var = b.global("phase", 0);
 
@@ -169,10 +168,7 @@ impl WorkloadSpec {
             .chain(dispatcher.into_iter().map(Def::Dispatch))
             .collect();
         // Fisher–Yates with the structure RNG.
-        for i in (1..defs.len()).rev() {
-            let j = rng.gen_range(0..=i);
-            defs.swap(i, j);
-        }
+        rng.shuffle(&mut defs);
         for d in defs {
             match d {
                 Def::Hot(h) => h.emit(&mut b),
@@ -191,7 +187,7 @@ impl WorkloadSpec {
         }
     }
 
-    fn build_main(&self, b: &mut ModuleBuilder, phase_var: VarId, rng: &mut StdRng) {
+    fn build_main(&self, b: &mut ModuleBuilder, phase_var: VarId, rng: &mut Rng) {
         // Phase p calls hot functions [start_p, start_p + funcs_per_phase)
         // (wrapping), where start_p slides by about half a window per
         // phase: overlapping working sets.
@@ -200,10 +196,11 @@ impl WorkloadSpec {
         for p in 0..self.phases {
             let set_name = format!("phase{}_set", p);
             let first_call = format!("p{}c0", p);
-            fb.jump(&set_name, 16, &first_call).effect(Effect::SetGlobal {
-                var: phase_var,
-                value: p as i64,
-            });
+            fb.jump(&set_name, 16, &first_call)
+                .effect(Effect::SetGlobal {
+                    var: phase_var,
+                    value: p as i64,
+                });
             let start = (p * stride) % self.hot_funcs;
             for k in 0..self.funcs_per_phase {
                 let f = (start + k) % self.hot_funcs;
@@ -276,7 +273,7 @@ impl WorkloadSpec {
         fb.finish();
     }
 
-    fn hot_function_def(&self, name: &str, phase_var: VarId, rng: &mut StdRng) -> HotDef {
+    fn hot_function_def(&self, name: &str, phase_var: VarId, rng: &mut Rng) -> HotDef {
         // Split the byte budget over entry + diamonds (branch, two arms)
         // + exit.
         let d = self.diamonds_per_func.max(1);
@@ -285,16 +282,19 @@ impl WorkloadSpec {
         for _ in 0..d {
             let style = if rng.gen_bool(self.loop_fraction) {
                 DiamondStyle::InnerLoop {
-                    trip: rng.gen_range(self.loop_trips.0..=self.loop_trips.1.max(self.loop_trips.0)),
+                    trip: rng.gen_range_u32_incl(
+                        self.loop_trips.0,
+                        self.loop_trips.1.max(self.loop_trips.0),
+                    ),
                 }
             } else if rng.gen_bool(self.phase_correlation) {
                 DiamondStyle::PhaseCorrelated {
                     var: phase_var,
-                    value: rng.gen_range(0..self.phases.max(1)) as i64,
+                    value: rng.gen_index(self.phases.max(1)) as i64,
                 }
             } else {
                 DiamondStyle::Coin {
-                    p: rng.gen_range(0.5..0.95),
+                    p: rng.gen_range_f64(0.5, 0.95),
                 }
             };
             diamonds.push(Diamond {
@@ -312,20 +312,20 @@ impl WorkloadSpec {
         }
     }
 
-    fn dispatcher_def(&self, rng: &mut StdRng) -> DispatchDef {
+    fn dispatcher_def(&self, rng: &mut Rng) -> DispatchDef {
         DispatchDef {
             width: self.dispatch_width,
             op_bytes: (0..self.dispatch_width)
-                .map(|_| rng.gen_range(48..192))
+                .map(|_| rng.gen_range_u32(48, 192))
                 .collect(),
         }
     }
 }
 
-fn jitter(unit: u32, rng: &mut StdRng) -> u32 {
+fn jitter(unit: u32, rng: &mut Rng) -> u32 {
     let lo = (unit as f64 * 0.6) as u32;
     let hi = (unit as f64 * 1.4) as u32;
-    rng.gen_range(lo.max(8)..=hi.max(9))
+    rng.gen_range_u32_incl(lo.max(8), hi.max(9))
 }
 
 enum DiamondStyle {
@@ -369,7 +369,13 @@ impl HotDef {
             };
             match &d.style {
                 DiamondStyle::Coin { p } => {
-                    fb.branch(&head, d.branch_bytes, CondModel::Bernoulli(*p), &left, &right);
+                    fb.branch(
+                        &head,
+                        d.branch_bytes,
+                        CondModel::Bernoulli(*p),
+                        &left,
+                        &right,
+                    );
                     fb.jump(&left, d.left_bytes, &next);
                     fb.jump(&right, d.right_bytes, &next);
                 }
@@ -491,11 +497,7 @@ mod tests {
         assert!(out.num_events() > 1000);
         // Every phase-0 hot function appears in the function trace.
         let hot0 = w.module.function_by_name("hot000").unwrap();
-        assert!(out
-            .func_trace
-            .events()
-            .iter()
-            .any(|e| e.0 == hot0.0));
+        assert!(out.func_trace.events().iter().any(|e| e.0 == hot0.0));
     }
 
     #[test]
@@ -511,10 +513,7 @@ mod tests {
         let w = spec.generate();
         let actual: u64 = (0..10)
             .map(|i| {
-                let f = w
-                    .module
-                    .function_by_name(&format!("hot{:03}", i))
-                    .unwrap();
+                let f = w.module.function_by_name(&format!("hot{:03}", i)).unwrap();
                 w.module.function(f).unwrap().size_bytes()
             })
             .sum();
@@ -545,15 +544,14 @@ mod tests {
 
     #[test]
     fn cold_functions_mostly_unexecuted() {
-        let mut spec = WorkloadSpec::default();
-        spec.cold_call_prob = 0.0;
+        let spec = WorkloadSpec {
+            cold_call_prob: 0.0,
+            ..Default::default()
+        };
         let w = spec.generate();
         let out = Interpreter::new(w.test_exec).run(&w.module);
         for i in 0..spec.cold_funcs {
-            let f = w
-                .module
-                .function_by_name(&format!("cold{:03}", i))
-                .unwrap();
+            let f = w.module.function_by_name(&format!("cold{:03}", i)).unwrap();
             assert!(
                 !out.func_trace.events().iter().any(|e| e.0 == f.0),
                 "cold{:03} executed with cold_call_prob = 0",

@@ -245,7 +245,11 @@ mod tests {
     use clop_ir::{line_trace, Interpreter, Layout, LinkOptions, LinkedImage};
 
     fn solo_lines(w: &Workload) -> Vec<u64> {
-        let img = LinkedImage::link(&w.module, &Layout::original(&w.module), LinkOptions::default());
+        let img = LinkedImage::link(
+            &w.module,
+            &Layout::original(&w.module),
+            LinkOptions::default(),
+        );
         let out = Interpreter::new(w.ref_exec).run(&w.module);
         line_trace(&out.bb_trace, &img, 64)
     }
@@ -299,12 +303,7 @@ mod tests {
         let tiny = solo_lines(&entry_by_name("470.lbm").workload());
         let mh = simulate_solo_lines(&heavy, cache).miss_ratio();
         let mt = simulate_solo_lines(&tiny, cache).miss_ratio();
-        assert!(
-            mh > mt * 3.0,
-            "code-heavy {} should dwarf tiny {}",
-            mh,
-            mt
-        );
+        assert!(mh > mt * 3.0, "code-heavy {} should dwarf tiny {}", mh, mt);
         assert!(mh > 0.005, "code-heavy solo miss ratio {} non-trivial", mh);
         assert!(mt < 0.01, "tiny solo miss ratio {} trivial", mt);
     }

@@ -1,103 +1,109 @@
 //! Property-based tests for the workload generator: any spec within the
 //! sane parameter envelope must produce a valid, executable, deterministic
-//! program.
+//! program. Driven by the seeded `clop_util::check` harness.
 
 use clop_ir::{ExecConfig, Interpreter};
+use clop_util::check::check_n;
+use clop_util::Rng;
 use clop_workloads::WorkloadSpec;
-use proptest::prelude::*;
 
-fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
-    (
-        1u64..1000,          // seed
-        1usize..20,          // hot_funcs
-        64u32..2000,         // hot_func_bytes
-        1usize..6,           // diamonds
-        0.0f64..1.0,         // phase_correlation
-        0.0f64..1.0,         // loop_fraction
-        1usize..5,           // phases
-        1u32..50,            // phase_trips
-        0usize..20,          // cold funcs
-        0.0f64..0.2,         // cold_call_prob
-        prop_oneof![Just(0usize), Just(4), Just(16)], // dispatch
-    )
-        .prop_map(
-            |(seed, hot, bytes, diamonds, corr, loops, phases, trips, cold, ccp, disp)| {
-                WorkloadSpec {
-                    name: format!("prop{}", seed),
-                    seed,
-                    hot_funcs: hot,
-                    hot_func_bytes: bytes,
-                    diamonds_per_func: diamonds,
-                    phase_correlation: corr,
-                    loop_fraction: loops,
-                    loop_trips: (2, 8),
-                    phases,
-                    funcs_per_phase: hot.min(8).max(1),
-                    phase_trips: trips,
-                    cold_funcs: cold,
-                    cold_func_bytes: 512,
-                    cold_call_prob: if cold == 0 { 0.0 } else { ccp },
-                    dispatch_width: disp,
-                    test_fuel: 5_000,
-                    ref_fuel: 10_000,
-                }
-            },
-        )
+fn random_spec(rng: &mut Rng) -> WorkloadSpec {
+    let seed = rng.gen_range_u64(1, 1000);
+    let hot = rng.gen_index(19) + 1;
+    let cold = rng.gen_index(20);
+    let ccp = rng.gen_range_f64(0.0, 0.2);
+    WorkloadSpec {
+        name: format!("prop{}", seed),
+        seed,
+        hot_funcs: hot,
+        hot_func_bytes: rng.gen_range_u32(64, 2000),
+        diamonds_per_func: rng.gen_index(5) + 1,
+        phase_correlation: rng.gen_f64(),
+        loop_fraction: rng.gen_f64(),
+        loop_trips: (2, 8),
+        phases: rng.gen_index(4) + 1,
+        funcs_per_phase: hot.clamp(1, 8),
+        phase_trips: rng.gen_range_u32(1, 50),
+        cold_funcs: cold,
+        cold_func_bytes: 512,
+        cold_call_prob: if cold == 0 { 0.0 } else { ccp },
+        dispatch_width: [0usize, 4, 16][rng.gen_index(3)],
+        test_fuel: 5_000,
+        ref_fuel: 10_000,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every generated module validates and executes within fuel.
-    #[test]
-    fn specs_generate_valid_programs(spec in spec_strategy()) {
+/// Every generated module validates and executes within fuel.
+#[test]
+fn specs_generate_valid_programs() {
+    check_n("specs_generate_valid_programs", 48, |rng| {
+        let spec = random_spec(rng);
         let w = spec.generate();
-        prop_assert!(w.module.validate().is_ok());
+        assert!(w.module.validate().is_ok());
         let out = Interpreter::new(w.test_exec).run(&w.module);
-        prop_assert!(out.num_events() > 0);
-        prop_assert!(out.num_events() <= 5_000);
-    }
+        assert!(out.num_events() > 0);
+        assert!(out.num_events() <= 5_000);
+    });
+}
 
-    /// Generation is a pure function of the spec.
-    #[test]
-    fn generation_deterministic(spec in spec_strategy()) {
+/// Generation is a pure function of the spec.
+#[test]
+fn generation_deterministic() {
+    check_n("generation_deterministic", 48, |rng| {
+        let spec = random_spec(rng);
         let a = spec.generate();
         let b = spec.generate();
-        prop_assert_eq!(a.module, b.module);
-    }
+        assert_eq!(a.module, b.module);
+    });
+}
 
-    /// Executions with the same config match; different seeds (almost
-    /// always) differ when the program has random branches.
-    #[test]
-    fn execution_deterministic(spec in spec_strategy()) {
+/// Executions with the same config match; different seeds (almost
+/// always) differ when the program has random branches.
+#[test]
+fn execution_deterministic() {
+    check_n("execution_deterministic", 48, |rng| {
+        let spec = random_spec(rng);
         let w = spec.generate();
         let cfg = ExecConfig::with_fuel(3_000).seeded(5);
         let a = Interpreter::new(cfg).run(&w.module);
         let b = Interpreter::new(cfg).run(&w.module);
-        prop_assert_eq!(a.bb_trace, b.bb_trace);
-    }
+        assert_eq!(a.bb_trace, b.bb_trace);
+    });
+}
 
-    /// The module's static size tracks the spec's code budget within a
-    /// small factor (jitter + structure overhead).
-    #[test]
-    fn size_tracks_budget(spec in spec_strategy()) {
+/// The module's static size tracks the spec's code budget within a
+/// small factor (jitter + structure overhead).
+#[test]
+fn size_tracks_budget() {
+    check_n("size_tracks_budget", 48, |rng| {
+        let spec = random_spec(rng);
         let w = spec.generate();
-        let nominal = spec.hot_bytes()
-            + spec.cold_funcs as u64 * spec.cold_func_bytes as u64;
+        let nominal = spec.hot_bytes() + spec.cold_funcs as u64 * spec.cold_func_bytes as u64;
         let actual = w.module.size_bytes();
-        prop_assert!(actual as f64 >= nominal as f64 * 0.3,
-            "actual {} vs nominal {}", actual, nominal);
-        prop_assert!(actual as f64 <= nominal as f64 * 3.0 + 50_000.0,
-            "actual {} vs nominal {}", actual, nominal);
-    }
+        assert!(
+            actual as f64 >= nominal as f64 * 0.3,
+            "actual {} vs nominal {}",
+            actual,
+            nominal
+        );
+        assert!(
+            actual as f64 <= nominal as f64 * 3.0 + 50_000.0,
+            "actual {} vs nominal {}",
+            actual,
+            nominal
+        );
+    });
+}
 
-    /// Dispatchers appear exactly when requested.
-    #[test]
-    fn dispatcher_presence(spec in spec_strategy()) {
+/// Dispatchers appear exactly when requested.
+#[test]
+fn dispatcher_presence() {
+    check_n("dispatcher_presence", 48, |rng| {
+        let spec = random_spec(rng);
         let w = spec.generate();
-        prop_assert_eq!(
+        assert_eq!(
             w.module.function_by_name("dispatch").is_some(),
             spec.dispatch_width > 0
         );
-    }
+    });
 }

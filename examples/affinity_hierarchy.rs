@@ -27,7 +27,10 @@ fn main() {
         println!("w = {}: {}", level.w(), groups.join(" "));
     }
     let layout: Vec<String> = h.layout().iter().map(|b| format!("B{}", b.0)).collect();
-    println!("output sequence: {}   (paper: B1 B4 B2 B3 B5)\n", layout.join(" "));
+    println!(
+        "output sequence: {}   (paper: B1 B4 B2 B3 B5)\n",
+        layout.join(" ")
+    );
 
     // ---- Part 2: the function-affinity hierarchy of a profiled program.
     println!("== Function affinity hierarchy of 458.sjeng-like ==\n");

@@ -31,15 +31,24 @@ fn figure3_program() -> Module {
     b.function("X")
         .branch("X1", 64, CondModel::Bernoulli(0.5), "X2", "X3")
         .ret("X2", 256)
-        .effect(Effect::SetGlobal { var: flag, value: 1 })
+        .effect(Effect::SetGlobal {
+            var: flag,
+            value: 1,
+        })
         .ret("X3", 256)
-        .effect(Effect::SetGlobal { var: flag, value: 2 })
+        .effect(Effect::SetGlobal {
+            var: flag,
+            value: 2,
+        })
         .finish();
     b.function("Y")
         .branch(
             "Y1",
             64,
-            CondModel::GlobalEq { var: flag, value: 1 },
+            CondModel::GlobalEq {
+                var: flag,
+                value: 1,
+            },
             "Y2",
             "Y3",
         )
@@ -77,14 +86,20 @@ fn main() {
             a,
             b,
             (pa - pb).abs(),
-            if (pa - pb).abs() <= 2 { "  ✓ grouped" } else { "" }
+            if (pa - pb).abs() <= 2 {
+                "  ✓ grouped"
+            } else {
+                ""
+            }
         );
     }
 
     // Measure the layout effect: shrink the cache to make the working set
     // matter (the toy program is tiny), then compare miss ratios.
-    let mut cfg = EvalConfig::default();
-    cfg.cache = code_layout_opt::cachesim::CacheConfig::new(1024, 2, 64);
+    let cfg = EvalConfig {
+        cache: code_layout_opt::cachesim::CacheConfig::new(1024, 2, 64),
+        ..Default::default()
+    };
     let base = ProgramRun::evaluate(&module, &Layout::original(&module), &cfg);
     let opt = ProgramRun::evaluate(&optimized.module, &optimized.layout, &cfg);
     println!(

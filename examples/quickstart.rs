@@ -8,7 +8,9 @@
 use code_layout_opt::cachesim::TimingConfig;
 use code_layout_opt::core::{EvalConfig, Optimizer, OptimizerKind, ProfileConfig, ProgramRun};
 use code_layout_opt::ir::Layout;
-use code_layout_opt::workloads::{primary_program, probe_program, PrimaryBenchmark, ProbeBenchmark};
+use code_layout_opt::workloads::{
+    primary_program, probe_program, PrimaryBenchmark, ProbeBenchmark,
+};
 
 fn main() {
     // A gobmk-like workload: hot code beyond the 32 KB L1I.
@@ -41,8 +43,12 @@ fn main() {
     let opt = ProgramRun::evaluate(&optimized.module, &optimized.layout, &cfg);
 
     let (mb, mo) = (base.solo_sim().miss_ratio(), opt.solo_sim().miss_ratio());
-    println!("\nsolo L1I miss ratio: baseline {:.2}% → optimized {:.2}% ({:+.1}% reduction)",
-        100.0 * mb, 100.0 * mo, 100.0 * (mb - mo) / mb);
+    println!(
+        "\nsolo L1I miss ratio: baseline {:.2}% → optimized {:.2}% ({:+.1}% reduction)",
+        100.0 * mb,
+        100.0 * mo,
+        100.0 * (mb - mo) / mb
+    );
 
     // Co-run against a code-heavy peer on the timed SMT model.
     let peer_w = probe_program(ProbeBenchmark::Gcc);

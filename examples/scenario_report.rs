@@ -5,7 +5,9 @@
 //! cargo run --release --example scenario_report
 //! ```
 
-use code_layout_opt::core::{EvalConfig, OptimizationReport, Optimizer, OptimizerKind, ProfileConfig};
+use code_layout_opt::core::{
+    EvalConfig, OptimizationReport, Optimizer, OptimizerKind, ProfileConfig,
+};
 use code_layout_opt::workloads::scenarios;
 
 fn main() {
@@ -26,14 +28,18 @@ fn main() {
                 println!("bb-affinity unavailable ({}); falling back", e);
                 let mut fo = Optimizer::new(OptimizerKind::FunctionAffinity);
                 fo.profile = ProfileConfig::with_exec(w.test_exec);
-                fo.optimize(&w.module).expect("function reordering always applies")
+                fo.optimize(&w.module)
+                    .expect("function reordering always applies")
             }
         };
         let eval = EvalConfig {
             exec: w.ref_exec,
             ..Default::default()
         };
-        print!("{}", OptimizationReport::build(&w.module, &optimized, &eval));
+        print!(
+            "{}",
+            OptimizationReport::build(&w.module, &optimized, &eval)
+        );
         println!();
     }
 }

@@ -66,8 +66,8 @@ optimizers: function-affinity | bb-affinity | function-trg | bb-trg
 ";
 
 fn load_module(path: &str) -> Result<Module, String> {
-    let src = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read `{}`: {}", path, e))?;
+    let src =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{}`: {}", path, e))?;
     text::parse(&src).map_err(|e| format!("{}: {}", path, e))
 }
 
@@ -289,7 +289,10 @@ func ballast {
 }
 ";
     std::fs::write(out, demo).map_err(|e| format!("cannot write `{}`: {}", out, e))?;
-    println!("wrote {} — try: clop optimize {} --optimizer bb-affinity", out, out);
+    println!(
+        "wrote {} — try: clop optimize {} --optimizer bb-affinity",
+        out, out
+    );
     Ok(())
 }
 

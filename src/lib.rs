@@ -51,6 +51,7 @@ pub use clop_core as core;
 pub use clop_ir as ir;
 pub use clop_trace as trace;
 pub use clop_trg as trg;
+pub use clop_util as util;
 pub use clop_workloads as workloads;
 
 /// Convenient glob-import surface for examples and downstream users.

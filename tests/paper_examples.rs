@@ -26,13 +26,7 @@ fn figure1_hierarchy_and_layout() {
 fn figure2_trg_reduction() {
     // A=1, B=2, C=3, E=4, F=5.
     let trace = TrimmedTrace::from_indices([1, 2, 3, 4, 5]);
-    let trg = Trg::from_edges(&[
-        (1, 2, 40),
-        (4, 5, 30),
-        (4, 3, 25),
-        (5, 2, 15),
-        (5, 1, 10),
-    ]);
+    let trg = Trg::from_edges(&[(1, 2, 40), (4, 5, 30), (4, 3, 25), (5, 2, 15), (5, 1, 10)]);
     let seq: Vec<u32> = reduce(&trg, 3, &trace)
         .sequence
         .iter()
@@ -62,15 +56,24 @@ fn figure3_interprocedural_grouping() {
     b.function("X")
         .branch("X1", 64, CondModel::Bernoulli(0.5), "X2", "X3")
         .ret("X2", 256)
-        .effect(Effect::SetGlobal { var: flag, value: 1 })
+        .effect(Effect::SetGlobal {
+            var: flag,
+            value: 1,
+        })
         .ret("X3", 256)
-        .effect(Effect::SetGlobal { var: flag, value: 2 })
+        .effect(Effect::SetGlobal {
+            var: flag,
+            value: 2,
+        })
         .finish();
     b.function("Y")
         .branch(
             "Y1",
             64,
-            CondModel::GlobalEq { var: flag, value: 1 },
+            CondModel::GlobalEq {
+                var: flag,
+                value: 1,
+            },
             "Y2",
             "Y3",
         )

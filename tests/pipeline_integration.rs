@@ -17,7 +17,13 @@ fn victim() -> Module {
         .call("c1", 32, "hot_a", "c2")
         .call("c2", 32, "hot_b", "c3")
         .call("c3", 32, "hot_c", "back")
-        .branch("back", 32, CondModel::LoopCounter { trip: 3000 }, "c1", "end")
+        .branch(
+            "back",
+            32,
+            CondModel::LoopCounter { trip: 3000 },
+            "c1",
+            "end",
+        )
         .ret("end", 16)
         .finish();
     let hot = ["hot_a", "hot_b", "hot_c"];
@@ -73,7 +79,9 @@ fn function_affinity_beats_original_layout_on_victim() {
 fn bb_affinity_beats_original_layout_on_victim() {
     let m = victim();
     let base = ProgramRun::evaluate(&m, &Layout::original(&m), &eval());
-    let opt = Optimizer::new(OptimizerKind::BbAffinity).optimize(&m).unwrap();
+    let opt = Optimizer::new(OptimizerKind::BbAffinity)
+        .optimize(&m)
+        .unwrap();
     let run = ProgramRun::evaluate(&opt.module, &opt.layout, &eval());
     let (b, o) = (base.solo_sim().miss_ratio(), run.solo_sim().miss_ratio());
     assert!(o < b, "optimized {} vs baseline {}", o, b);
@@ -84,7 +92,9 @@ fn optimization_preserves_execution_semantics() {
     // The transformed module must execute the same work: same function
     // activation sequence and same dynamic instructions modulo stubs.
     let m = victim();
-    let opt = Optimizer::new(OptimizerKind::BbAffinity).optimize(&m).unwrap();
+    let opt = Optimizer::new(OptimizerKind::BbAffinity)
+        .optimize(&m)
+        .unwrap();
     let cfg = ExecConfig::default().seeded(123);
     let orig = Interpreter::new(cfg).run(&m);
     let tran = Interpreter::new(cfg).run(&opt.module);

@@ -1,0 +1,119 @@
+//! The enum-keyed compatibility path (`Optimizer::optimize`) and the
+//! name-keyed pipeline registry must be two doors into the same machine:
+//! for every `OptimizerKind` and every example program, both must produce
+//! the identical `Layout` (or fail identically on the paper's N/A cases).
+
+use code_layout_opt::core::{
+    build_pipeline, registered_pipelines, Optimizer, OptimizerKind, PipelineParams, ProfileConfig,
+};
+use code_layout_opt::ir::prelude::*;
+use code_layout_opt::workloads::{primary_program, PrimaryBenchmark};
+
+/// The inter-procedural example program of Figure 3 (see
+/// `examples/interprocedural_bb.rs`).
+fn figure3_program() -> Module {
+    let mut b = ModuleBuilder::new("fig3");
+    let flag = b.global("b", 0);
+    b.function("main")
+        .call("callx", 16, "X", "cally")
+        .call("cally", 16, "Y", "loop")
+        .branch(
+            "loop",
+            16,
+            CondModel::LoopCounter { trip: 5000 },
+            "callx",
+            "end",
+        )
+        .ret("end", 16)
+        .finish();
+    b.function("X")
+        .branch("X1", 64, CondModel::Bernoulli(0.5), "X2", "X3")
+        .ret("X2", 256)
+        .effect(Effect::SetGlobal {
+            var: flag,
+            value: 1,
+        })
+        .ret("X3", 256)
+        .effect(Effect::SetGlobal {
+            var: flag,
+            value: 2,
+        })
+        .finish();
+    b.function("Y")
+        .branch("Y1", 64, CondModel::Bernoulli(0.5), "Y2", "Y3")
+        .ret("Y2", 256)
+        .ret("Y3", 256)
+        .finish();
+    b.build().unwrap()
+}
+
+fn assert_paths_agree(module: &Module, profile: Option<ProfileConfig>) {
+    for kind in OptimizerKind::ALL {
+        let mut opt = Optimizer::new(kind);
+        if let Some(p) = &profile {
+            opt.profile = *p;
+        }
+        let via_enum = opt.optimize(module);
+        let pipeline = build_pipeline(&kind.to_string(), &opt.params())
+            .expect("all four paper pipelines are registered");
+        let via_registry = pipeline.optimize(module);
+        match (via_enum, via_registry) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.layout, b.layout, "layouts diverge for {}", kind);
+                assert_eq!(a.module, b.module, "modules diverge for {}", kind);
+                assert_eq!(a.name, b.name, "pipeline names diverge for {}", kind);
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b, "errors diverge for {}", kind),
+            (a, b) => panic!(
+                "paths disagree for {}: enum={:?} registry={:?}",
+                kind,
+                a.map(|o| o.layout),
+                b.map(|o| o.layout)
+            ),
+        }
+    }
+}
+
+#[test]
+fn all_four_kinds_are_registered() {
+    let names = registered_pipelines();
+    for kind in OptimizerKind::ALL {
+        assert!(
+            names.contains(&kind.to_string()),
+            "{} missing from registry {:?}",
+            kind,
+            names
+        );
+    }
+}
+
+#[test]
+fn figure3_example_agrees_across_paths() {
+    assert_paths_agree(&figure3_program(), None);
+}
+
+#[test]
+fn quickstart_example_program_agrees_across_paths() {
+    // The quickstart example optimizes 445.gobmk with the workload's test
+    // input as the profiling run.
+    let w = primary_program(PrimaryBenchmark::Gobmk);
+    assert_paths_agree(&w.module, Some(ProfileConfig::with_exec(w.test_exec)));
+}
+
+#[test]
+fn defensive_corun_example_programs_agree_across_paths() {
+    for b in [PrimaryBenchmark::Mcf, PrimaryBenchmark::Sjeng] {
+        let w = primary_program(b);
+        assert_paths_agree(&w.module, Some(ProfileConfig::with_exec(w.test_exec)));
+    }
+}
+
+#[test]
+fn default_params_match_kind_granularity() {
+    for kind in OptimizerKind::ALL {
+        let from_kind = Optimizer::new(kind).params();
+        let from_granularity = PipelineParams::for_granularity(kind.granularity());
+        assert_eq!(from_kind.affinity, from_granularity.affinity);
+        assert_eq!(from_kind.trg, from_granularity.trg);
+    }
+}

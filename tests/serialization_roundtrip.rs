@@ -66,8 +66,7 @@ fn mapping_file_names_every_traced_block() {
 
     let mut buf = Vec::new();
     trace_io::write_mapping(&mut buf, &map).unwrap();
-    let reloaded =
-        trace_io::read_mapping(&mut std::io::BufReader::new(buf.as_slice())).unwrap();
+    let reloaded = trace_io::read_mapping(&mut std::io::BufReader::new(buf.as_slice())).unwrap();
     assert_eq!(reloaded.len(), module.num_blocks());
 
     // Every traced event resolves to a name.
