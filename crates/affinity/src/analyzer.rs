@@ -11,7 +11,9 @@
 //! The analysis is two LRU-stack passes over the trace, following the
 //! paper's §II-B recipe ("we run a stack simulation of the trace; at each
 //! step we see all basic blocks that occur in a w-window with the accessed
-//! block") plus the §II-F stack machinery (hash map + linked list):
+//! block") on top of the §II-F stack machinery — now the Olken/Fenwick
+//! engine of `clop_trace::stack`, so each promotion costs O(log B) instead
+//! of a walk to the accessed block's depth:
 //!
 //! 1. **Discovery** — any pair that is ever co-resident in a window of
 //!    footprint ≤ `w_max` shows up as a (accessed block, stack-depth < w_max)
@@ -26,12 +28,13 @@
 //!    `w_max` are exact kills: a window only grows, so a pending that misses
 //!    the bound at its first partner access can never be covered later.
 //!
-//! Cost is O(N·w_max) stack work plus pair maintenance proportional to the
-//! co-occurrence structure — the paper's O(W·N·B) bound with the dense `B`
-//! factor replaced by actual partner counts.
+//! Cost is O(N·(w_max + log B)) stack work plus pair maintenance
+//! proportional to the co-occurrence structure — the paper's O(W·N·B)
+//! bound with the dense `B` factor replaced by actual partner counts and
+//! the unbounded promotion walks replaced by Fenwick queries.
 
 use clop_trace::{BlockId, LruStack, TrimmedTrace};
-use std::collections::{HashMap, HashSet};
+use clop_util::{FxHashMap, FxHashSet};
 
 const INF: u32 = u32::MAX;
 
@@ -56,7 +59,7 @@ struct PairData {
 /// Pairwise affinity thresholds up to a window bound.
 #[derive(Clone, Debug)]
 pub struct PairThresholds {
-    map: HashMap<(u32, u32), u32>,
+    map: FxHashMap<(u32, u32), u32>,
     w_max: u32,
 }
 
@@ -73,7 +76,7 @@ impl PairThresholds {
 
         // ---- Pass 1: candidate discovery. ----
         let mut stack = LruStack::new(cap);
-        let mut candidates: HashSet<(u32, u32)> = HashSet::new();
+        let mut candidates: FxHashSet<(u32, u32)> = FxHashSet::default();
         for &a in trace.events() {
             stack.access(a);
             let mut depth = 0u32;
@@ -88,7 +91,7 @@ impl PairThresholds {
 
         // ---- Pass 2: exact per-occurrence resolution. ----
         let mut partners: Vec<Vec<u32>> = vec![Vec::new(); cap];
-        let mut pairs: HashMap<(u32, u32), PairData> = HashMap::new();
+        let mut pairs: FxHashMap<(u32, u32), PairData> = FxHashMap::default();
         for &(x, y) in &candidates {
             partners[x as usize].push(y);
             partners[y as usize].push(x);
@@ -182,7 +185,7 @@ impl PairThresholds {
 
         // End of trace: unresolved pendings fall back to their backward
         // witness (there is no further partner occurrence).
-        let mut map = HashMap::new();
+        let mut map = FxHashMap::default();
         for (key, data) in pairs {
             let finish = |mut thr: u32, pend: &[Pending]| -> u32 {
                 for p in pend {

@@ -5,7 +5,7 @@
 
 use clop_affinity::{affinity_layout, naive, AffinityConfig, PairThresholds};
 use clop_trace::{BlockId, TrimmedTrace};
-use clop_util::bench::Runner;
+use clop_util::bench::{quick, Runner};
 
 /// A phase-structured synthetic trace over `blocks` blocks.
 fn synthetic_trace(len: usize, blocks: u32) -> TrimmedTrace {
@@ -28,9 +28,11 @@ fn synthetic_trace(len: usize, blocks: u32) -> TrimmedTrace {
 
 fn main() {
     let r = Runner::from_args();
+    // Smoke mode: tiny traces, every benchmark body still runs.
+    let scale = if quick() { 50 } else { 1 };
 
     for len in [10_000usize, 50_000, 200_000] {
-        let trace = synthetic_trace(len, 256);
+        let trace = synthetic_trace(len / scale, 256);
         r.bench_with_elements(
             &format!("affinity/efficient/{}", len),
             Some(trace.len() as u64),
@@ -40,7 +42,7 @@ fn main() {
 
     // Keep the quadratic reference to small sizes.
     for len in [200usize, 500] {
-        let trace = synthetic_trace(len, 16);
+        let trace = synthetic_trace(len / scale.min(10), 16);
         r.bench(&format!("affinity/naive_pairs/{}", len), || {
             let mut total = 0usize;
             for x in 0..16u32 {
@@ -54,7 +56,7 @@ fn main() {
         });
     }
 
-    let trace = synthetic_trace(50_000, 256);
+    let trace = synthetic_trace(50_000 / scale, 256);
     for w in [4u32, 10, 20, 40] {
         r.bench(&format!("affinity/w_max/{}", w), || {
             affinity_layout(&trace, AffinityConfig::up_to(w))

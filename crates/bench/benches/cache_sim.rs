@@ -5,7 +5,7 @@ use clop_cachesim::{
     simulate_corun_lines, simulate_solo_lines, CacheConfig, NextLinePrefetchCache, SmtSimulator,
     TimingConfig,
 };
-use clop_util::bench::Runner;
+use clop_util::bench::{quick, Runner};
 
 fn synthetic_lines(len: usize, span: u64) -> Vec<u64> {
     let mut state = 0xA0761D6478BD642Fu64;
@@ -30,19 +30,23 @@ fn synthetic_lines(len: usize, span: u64) -> Vec<u64> {
 fn main() {
     let r = Runner::from_args();
     let cfg = CacheConfig::paper_l1i();
+    // Smoke mode: tiny streams, every benchmark body still runs.
+    let scale = if quick() { 100 } else { 1 };
 
     for len in [100_000usize, 1_000_000] {
-        let lines = synthetic_lines(len, 2048);
-        r.bench_with_elements(&format!("cachesim/solo/{}", len), Some(len as u64), || {
-            simulate_solo_lines(&lines, cfg)
-        });
+        let lines = synthetic_lines(len / scale, 2048);
+        r.bench_with_elements(
+            &format!("cachesim/solo/{}", len),
+            Some((len / scale) as u64),
+            || simulate_solo_lines(&lines, cfg),
+        );
     }
 
-    let a = synthetic_lines(500_000, 2048);
-    let b = synthetic_lines(500_000, 1024);
+    let a = synthetic_lines(500_000 / scale, 2048);
+    let b = synthetic_lines(500_000 / scale, 1024);
     r.bench("cachesim/corun_1m", || simulate_corun_lines(&a, &b, cfg));
 
-    let lines = synthetic_lines(500_000, 2048);
+    let lines = synthetic_lines(500_000 / scale, 2048);
     r.bench("cachesim/prefetch_500k", || {
         let mut cache = NextLinePrefetchCache::new(CacheConfig::paper_l1i());
         for &l in &lines {
@@ -51,7 +55,7 @@ fn main() {
         cache.stats()
     });
 
-    let stream: Vec<(u64, u32)> = synthetic_lines(200_000, 2048)
+    let stream: Vec<(u64, u32)> = synthetic_lines(200_000 / scale, 2048)
         .into_iter()
         .map(|l| (l, 12))
         .collect();

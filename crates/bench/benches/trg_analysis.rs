@@ -4,7 +4,7 @@
 
 use clop_trace::TrimmedTrace;
 use clop_trg::{reduce, Trg, TrgConfig};
-use clop_util::bench::Runner;
+use clop_util::bench::{quick, Runner};
 
 fn synthetic_trace(len: usize, blocks: u32) -> TrimmedTrace {
     let mut state = 0xD1B54A32D192ED03u64;
@@ -19,15 +19,19 @@ fn synthetic_trace(len: usize, blocks: u32) -> TrimmedTrace {
 
 fn main() {
     let r = Runner::from_args();
+    // Smoke mode: tiny traces, every benchmark body still runs.
+    let scale = if quick() { 50 } else { 1 };
 
     for len in [10_000usize, 50_000, 200_000] {
-        let trace = synthetic_trace(len, 128);
-        r.bench_with_elements(&format!("trg/build/{}", len), Some(len as u64), || {
-            Trg::build(&trace, 256)
-        });
+        let trace = synthetic_trace(len / scale, 128);
+        r.bench_with_elements(
+            &format!("trg/build/{}", len),
+            Some((len / scale) as u64),
+            || Trg::build(&trace, 256),
+        );
     }
 
-    let trace = synthetic_trace(50_000, 128);
+    let trace = synthetic_trace(50_000 / scale, 128);
     for q in [32usize, 128, 512] {
         r.bench(&format!("trg/window/{}", q), || Trg::build(&trace, q));
     }

@@ -12,10 +12,10 @@
 //! (a scoped-thread pool with deterministic, input-ordered results), so
 //! `--jobs N` output is byte-identical to `--jobs 1`.
 
-use crate::pool::{default_jobs, parallel_map};
 use crate::{eval_config, optimizer_for, write_json};
 use clop_core::{Engine, OptError, OptimizedProgram, Optimizer, OptimizerKind, ProgramRun};
 use clop_ir::{Layout, Module};
+use clop_util::pool::{default_jobs, parallel_map};
 use clop_util::Json;
 use clop_workloads::Workload;
 use std::sync::Arc;

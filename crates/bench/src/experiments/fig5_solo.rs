@@ -16,12 +16,13 @@ use clop_util::{Json, ToJson};
 use clop_workloads::{primary_program, PrimaryBenchmark};
 use std::fmt::Write as _;
 
-struct Row {
-    name: String,
-    fn_speedup: f64,
-    fn_miss_reduction: f64,
-    bb_speedup: Option<f64>,
-    bb_miss_reduction: Option<f64>,
+/// One program's solo-run optimizer effects.
+pub struct Row {
+    pub name: String,
+    pub fn_speedup: f64,
+    pub fn_miss_reduction: f64,
+    pub bb_speedup: Option<f64>,
+    pub bb_miss_reduction: Option<f64>,
 }
 
 impl ToJson for Row {
@@ -36,9 +37,11 @@ impl ToJson for Row {
     }
 }
 
-pub fn run(ctx: &ExperimentCtx) -> ExperimentResult {
+/// The Figure 5 measurement over an explicit program subset. The
+/// golden-regression test runs this on a reduced pair of programs.
+pub fn rows_for(ctx: &ExperimentCtx, programs: Vec<PrimaryBenchmark>) -> Vec<Row> {
     let timing = timing_hw();
-    let rows = ctx.map(PrimaryBenchmark::ALL.to_vec(), |_, b| {
+    ctx.map(programs, |_, b| {
         let w = primary_program(b);
         let base = ctx.baseline(&w);
         let base_t = base.solo_timed(timing);
@@ -60,7 +63,11 @@ pub fn run(ctx: &ExperimentCtx) -> ExperimentResult {
             bb_speedup: bb.map(|x| x.0),
             bb_miss_reduction: bb.map(|x| x.1),
         }
-    });
+    })
+}
+
+pub fn run(ctx: &ExperimentCtx) -> ExperimentResult {
+    let rows = rows_for(ctx, PrimaryBenchmark::ALL.to_vec());
 
     let table: Vec<Vec<String>> = rows
         .iter()

@@ -22,11 +22,12 @@ use clop_workloads::{primary_program, PrimaryBenchmark};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-struct PairRow {
-    pair: String,
-    baseline_gain: f64,
-    optimized_gain: f64,
-    magnification: f64,
+/// One co-run pair's throughput gains and magnification.
+pub struct PairRow {
+    pub pair: String,
+    pub baseline_gain: f64,
+    pub optimized_gain: f64,
+    pub magnification: f64,
 }
 
 impl ToJson for PairRow {
@@ -40,17 +41,10 @@ impl ToJson for PairRow {
     }
 }
 
-pub fn run(ctx: &ExperimentCtx) -> ExperimentResult {
-    // Figure 7's seven programs (gobmk excluded, as in the paper's axis).
-    let progs = [
-        PrimaryBenchmark::Perlbench,
-        PrimaryBenchmark::Gcc,
-        PrimaryBenchmark::Mcf,
-        PrimaryBenchmark::Povray,
-        PrimaryBenchmark::Sjeng,
-        PrimaryBenchmark::Omnetpp,
-        PrimaryBenchmark::Xalancbmk,
-    ];
+/// The Figure 7 measurement over an explicit program set: all unordered
+/// pairs (with repetition) of `progs`, each paired co-run against the
+/// solo baselines. The golden-regression test runs this on two programs.
+pub fn rows_for(ctx: &ExperimentCtx, progs: &[PrimaryBenchmark]) -> Vec<PairRow> {
     let short = |b: PrimaryBenchmark| b.name().split('.').next().unwrap().to_string();
 
     let timing = timing_hw();
@@ -80,7 +74,7 @@ pub fn run(ctx: &ExperimentCtx) -> ExperimentResult {
             pairs_idx.push((i, j));
         }
     }
-    let rows: Vec<PairRow> = ctx.map(pairs_idx, |_, (i, j)| {
+    ctx.map(pairs_idx, |_, (i, j)| {
         // Baseline-baseline co-run (thread0 = program i).
         let bb = prepared[i].base.corun_timed(&prepared[j].base, timing);
         let base_gain =
@@ -98,7 +92,21 @@ pub fn run(ctx: &ExperimentCtx) -> ExperimentResult {
             optimized_gain: opt_gain,
             magnification: opt_gain / base_gain - 1.0,
         }
-    });
+    })
+}
+
+pub fn run(ctx: &ExperimentCtx) -> ExperimentResult {
+    // Figure 7's seven programs (gobmk excluded, as in the paper's axis).
+    let progs = [
+        PrimaryBenchmark::Perlbench,
+        PrimaryBenchmark::Gcc,
+        PrimaryBenchmark::Mcf,
+        PrimaryBenchmark::Povray,
+        PrimaryBenchmark::Sjeng,
+        PrimaryBenchmark::Omnetpp,
+        PrimaryBenchmark::Xalancbmk,
+    ];
+    let rows = rows_for(ctx, &progs);
 
     let table: Vec<Vec<String>> = rows
         .iter()

@@ -10,7 +10,9 @@
 pub mod corun;
 pub mod experiment;
 pub mod experiments;
-pub mod pool;
+/// Worker pool, re-exported from `clop-util` (moved there so analysis
+/// crates can shard work through the same pool).
+pub use clop_util::pool;
 
 use clop_cachesim::{CacheConfig, TimingConfig};
 use clop_core::{EvalConfig, OptError, Optimizer, OptimizerKind, ProfileConfig, ProgramRun};

@@ -16,7 +16,7 @@
 //! ```
 
 use clop_bench::experiment::ExperimentCtx;
-use clop_bench::experiments::{fig4_miss_ratios, table2_corun};
+use clop_bench::experiments::{fig4_miss_ratios, fig5_solo, fig7_throughput, table2_corun};
 use clop_util::{Json, ToJson};
 use clop_workloads::{full_suite, PrimaryBenchmark};
 use std::path::PathBuf;
@@ -76,4 +76,25 @@ fn reduced_table2_matches_golden() {
     let probes = [PrimaryBenchmark::Gcc];
     let rows = table2_corun::rows_for(&ctx, &subjects, &probes);
     check_golden("table2_reduced", &rows.to_json());
+}
+
+#[test]
+fn reduced_fig5_matches_golden() {
+    // Solo miss-ratio reductions and speedups for both affinity
+    // optimizers on two programs: pins the reuse-distance engine, the
+    // affinity analyzers and the timing model end to end.
+    let ctx = ExperimentCtx::new(2);
+    let rows = fig5_solo::rows_for(&ctx, vec![PrimaryBenchmark::Gobmk, PrimaryBenchmark::Sjeng]);
+    check_golden("fig5_reduced", &rows.to_json());
+}
+
+#[test]
+fn reduced_fig7_matches_golden() {
+    // Co-run throughput magnification over the 3 unordered pairs of two
+    // programs: pins the co-run protocol and the optimizer pipeline.
+    let ctx = ExperimentCtx::new(2);
+    let progs = [PrimaryBenchmark::Mcf, PrimaryBenchmark::Sjeng];
+    let rows = fig7_throughput::rows_for(&ctx, &progs);
+    assert_eq!(rows.len(), 3, "pairs with repetition of two programs");
+    check_golden("fig7_reduced", &rows.to_json());
 }

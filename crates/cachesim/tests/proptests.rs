@@ -5,7 +5,7 @@ use clop_cachesim::{
     interleave_round_robin, simulate_corun_lines, simulate_solo_lines, simulate_with_policy,
     tag_line, CacheConfig, ReplacementPolicy, SetAssocCache, SmtSimulator, TimingConfig,
 };
-use clop_util::check::{check, vec_of};
+use clop_util::check::{check, check_n, vec_of};
 use clop_util::Rng;
 
 fn lines(rng: &mut Rng, span: u64, max_len: usize) -> Vec<u64> {
@@ -180,5 +180,48 @@ fn probe_is_pure() {
             c.probe(l);
         }
         assert_eq!(c.stats(), before);
+    });
+}
+
+/// Mattson's stack-distance equivalence: on a fully-associative LRU cache
+/// of `C` lines, an access misses iff its LRU stack distance is `>= C`
+/// (cold accesses count as infinite distance). The simulator's miss count
+/// must therefore equal the reuse-distance histogram's tail mass — this
+/// ties the set-associative simulator to the Olken/Fenwick stack engine
+/// through an independent definition of the same quantity.
+///
+/// The histogram is measured over the *trimmed* line stream (consecutive
+/// duplicates removed); a consecutive duplicate always hits for any
+/// capacity >= 1, so the raw-stream and trimmed-stream miss counts agree.
+#[test]
+fn fully_assoc_lru_misses_equal_histogram_tail() {
+    use clop_trace::{ReuseHistogram, TrimmedTrace};
+    check_n("fa_lru_misses_equal_histogram_tail", 120, |rng| {
+        let span = rng.gen_below(96) + 2;
+        let v = lines(rng, span, 400);
+        // Power-of-two line count keeps the geometry assertions happy.
+        let cap_lines = 1u64 << rng.gen_below(6); // 1, 2, ..., 32 lines
+        let cfg = CacheConfig::new(cap_lines * 64, cap_lines as u32, 64);
+        assert_eq!(cfg.num_sets(), 1, "fully associative by construction");
+        let sim = simulate_solo_lines(&v, cfg);
+
+        let t = TrimmedTrace::from_indices(v.iter().map(|&l| l as u32));
+        let h = ReuseHistogram::measure(&t);
+        let hits: u64 = (0..cap_lines as usize).map(|d| h.count_at(d)).sum();
+        let expected_misses = h.total() - hits;
+        // Raw accesses beyond the trimmed length are consecutive
+        // duplicates: guaranteed hits, absent from both counts.
+        assert_eq!(
+            sim.misses,
+            expected_misses,
+            "cap {cap_lines} lines over {} raw / {} trimmed accesses",
+            v.len(),
+            t.len()
+        );
+        // Cross-check against the histogram's own miss-ratio projection.
+        let ratio = expected_misses as f64 / (h.total().max(1)) as f64;
+        if h.total() > 0 {
+            assert!((h.miss_ratio(cap_lines as usize) - ratio).abs() < 1e-12);
+        }
     });
 }

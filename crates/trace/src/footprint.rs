@@ -12,7 +12,7 @@
 //! in `clop-cachesim`.
 
 use crate::trace::{BlockId, TrimmedTrace};
-use std::collections::HashMap;
+use clop_util::pool::{default_jobs, parallel_map};
 
 /// The footprint `fp<a,b>` of the closed window between positions `from` and
 /// `to` (inclusive): the number of distinct blocks occurring in it.
@@ -89,13 +89,64 @@ pub struct FootprintCurve {
     total_distinct: usize,
 }
 
+/// The exact average footprint of all length-`w` windows of `trace`
+/// (`1 <= w <= trace.len()`): one sliding-window pass with dense per-block
+/// occurrence counts — the distinct count changes only when a block enters
+/// from 0 or leaves to 0. O(N) per call, no allocation beyond the counts.
+fn average_window_footprint(trace: &TrimmedTrace, w: usize) -> f64 {
+    let ev = trace.events();
+    let n = ev.len();
+    debug_assert!(w >= 1 && w <= n);
+    let cap = ev.iter().map(|b| b.index() + 1).max().unwrap_or(0);
+    let mut counts = vec![0u32; cap];
+    let mut distinct = 0usize;
+    let mut sum = 0u64;
+    for (i, &e) in ev.iter().enumerate() {
+        let c = &mut counts[e.index()];
+        if *c == 0 {
+            distinct += 1;
+        }
+        *c += 1;
+        if i + 1 >= w {
+            sum += distinct as u64;
+            let c = &mut counts[ev[i + 1 - w].index()];
+            *c -= 1;
+            if *c == 0 {
+                distinct -= 1;
+            }
+        }
+    }
+    sum as f64 / (n - w + 1) as f64
+}
+
+/// Worker count for sharding `passes` O(N) window passes over a trace of
+/// `events` events: inline below a small work threshold (thread spin-up
+/// would dominate), the machine's parallelism above it. Each pass is pure
+/// and results merge in input order, so the curve is bit-identical for any
+/// worker count.
+fn auto_jobs(events: usize, passes: usize) -> usize {
+    if events.saturating_mul(passes) < 1 << 15 {
+        1
+    } else {
+        default_jobs()
+    }
+}
+
 impl FootprintCurve {
     /// Compute the exact average footprint for every window length
-    /// `1..=max_window` by a single sliding-window pass per length.
+    /// `1..=max_window` by a single sliding-window pass per length, with
+    /// the per-length passes sharded over the worker pool.
     ///
-    /// Cost is `O(max_window · N)`; for the all-window curve of a long trace
-    /// prefer [`FootprintCurve::measure_sampled`].
+    /// Cost is `O(max_window · N)` work; for the all-window curve of a long
+    /// trace prefer [`FootprintCurve::measure_sampled`].
     pub fn measure(trace: &TrimmedTrace, max_window: usize) -> Self {
+        Self::measure_jobs(trace, max_window, auto_jobs(trace.len(), max_window))
+    }
+
+    /// [`FootprintCurve::measure`] with an explicit worker count. The
+    /// result is bit-identical for any `jobs` value (per-length passes are
+    /// independent and merged in input order).
+    pub fn measure_jobs(trace: &TrimmedTrace, max_window: usize, jobs: usize) -> Self {
         let n = trace.len();
         let total_distinct = trace.num_distinct();
         let mut values = vec![0.0; max_window + 1];
@@ -105,36 +156,15 @@ impl FootprintCurve {
                 total_distinct,
             };
         }
-        for w in 1..=max_window {
+        let ws: Vec<usize> = (1..=max_window).collect();
+        let measured = parallel_map(jobs, ws, |_, w| {
             if w > n {
-                values[w] = total_distinct as f64;
-                continue;
+                total_distinct as f64
+            } else {
+                average_window_footprint(trace, w)
             }
-            // Sliding window with occurrence counts: distinct count changes
-            // only when a block enters from 0 or leaves to 0.
-            let mut counts: HashMap<BlockId, u32> = HashMap::new();
-            let ev = trace.events();
-            let mut distinct = 0usize;
-            let mut sum = 0u64;
-            for (i, &e) in ev.iter().enumerate() {
-                let c = counts.entry(e).or_insert(0);
-                if *c == 0 {
-                    distinct += 1;
-                }
-                *c += 1;
-                if i + 1 >= w {
-                    sum += distinct as u64;
-                    let out = ev[i + 1 - w];
-                    let c = counts.get_mut(&out).expect("in window");
-                    *c -= 1;
-                    if *c == 0 {
-                        distinct -= 1;
-                    }
-                }
-            }
-            let windows = (n - w + 1) as f64;
-            values[w] = sum as f64 / windows;
-        }
+        });
+        values[1..=max_window].copy_from_slice(&measured);
         FootprintCurve {
             values,
             total_distinct,
@@ -142,9 +172,18 @@ impl FootprintCurve {
     }
 
     /// Approximate the curve by measuring only a geometric ladder of window
-    /// lengths and interpolating linearly in between. This is the practical
-    /// variant used on multi-million-event traces.
+    /// lengths and interpolating linearly in between, with the ladder
+    /// passes sharded over the worker pool. This is the practical variant
+    /// used on multi-million-event traces.
     pub fn measure_sampled(trace: &TrimmedTrace, max_window: usize) -> Self {
+        // The ladder has ~log2(max_window) + 1 rungs.
+        let rungs = usize::BITS as usize - max_window.leading_zeros() as usize + 1;
+        Self::measure_sampled_jobs(trace, max_window, auto_jobs(trace.len(), rungs))
+    }
+
+    /// [`FootprintCurve::measure_sampled`] with an explicit worker count.
+    /// The result is bit-identical for any `jobs` value.
+    pub fn measure_sampled_jobs(trace: &TrimmedTrace, max_window: usize, jobs: usize) -> Self {
         let n = trace.len();
         let total_distinct = trace.num_distinct();
         let mut values = vec![0.0; max_window + 1];
@@ -163,37 +202,13 @@ impl FootprintCurve {
         }
         ladder.push(max_window);
 
-        let exact = |w: usize| -> f64 {
+        let pts: Vec<(usize, f64)> = parallel_map(jobs, ladder, |_, w| {
             if w > n {
-                return total_distinct as f64;
+                (w, total_distinct as f64)
+            } else {
+                (w, average_window_footprint(trace, w))
             }
-            let mut counts: HashMap<BlockId, u32> = HashMap::new();
-            let ev = trace.events();
-            let mut distinct = 0usize;
-            let mut sum = 0u64;
-            for (i, &e) in ev.iter().enumerate() {
-                let c = counts.entry(e).or_insert(0);
-                if *c == 0 {
-                    distinct += 1;
-                }
-                *c += 1;
-                if i + 1 >= w {
-                    sum += distinct as u64;
-                    let out = ev[i + 1 - w];
-                    let c = counts.get_mut(&out).expect("in window");
-                    *c -= 1;
-                    if *c == 0 {
-                        distinct -= 1;
-                    }
-                }
-            }
-            sum as f64 / (n - w + 1) as f64
-        };
-
-        let mut pts: Vec<(usize, f64)> = Vec::with_capacity(ladder.len());
-        for &w in &ladder {
-            pts.push((w, exact(w)));
-        }
+        });
         // Interpolate.
         let mut prev = (0usize, 0.0f64);
         let mut pi = 0usize;

@@ -13,8 +13,10 @@
 //! * [`prune`] — hot-block trace pruning (the paper keeps the 10,000 most
 //!   frequently executed blocks, retaining >90% of occurrences),
 //! * [`sample`] — interval trace sampling,
-//! * [`stack`] — LRU stack processing (hash map + intrusive doubly-linked
-//!   list, the paper's §II-F "Stack Processing") producing reuse distances,
+//! * [`stack`] — LRU stack processing (the paper's §II-F "Stack
+//!   Processing") producing reuse distances in O(log B) per access via an
+//!   Olken-style stamp + Fenwick-tree engine, with the paper's literal
+//!   walk-based structure retained as the [`stack::naive`] test oracle,
 //! * [`histogram`] — reuse-distance histograms and miss-ratio projection.
 
 pub mod footprint;

@@ -3,43 +3,123 @@
 //! Both locality models maintain a recency stack while scanning the trace
 //! (the paper's §II-F "Stack Processing"). The paper implements the stack as
 //! a linked list with a hash table for O(1) lookup, modelled on the Linux
-//! kernel's page bookkeeping. [`LruStack`] is that structure: an intrusive
-//! doubly-linked list over a dense node arena, plus a dense id→node index,
-//! supporting
+//! kernel's page bookkeeping — which makes every *distance query* a linear
+//! walk. [`LruStack`] keeps that linked list (it is what makes recency
+//! iteration — the "w-window" of the affinity analyzer and the 2C window of
+//! TRG construction — O(w)), but answers distance queries with an
+//! Olken-style engine instead of a walk:
+//!
+//! * a dense id → *stamp* index maps every resident block to the timestamp
+//!   slot of its most recent access, and
+//! * a Fenwick (binary indexed) tree over stamp slots counts resident
+//!   blocks per slot, so the number of distinct blocks accessed since a
+//!   block's previous access — Mattson's reuse distance over a trimmed
+//!   trace — is one prefix-sum query.
+//!
+//! Stamps grow with the trace, not with the block universe, so the engine
+//! *compacts*: when the stamp space is exhausted it renumbers the resident
+//! blocks `len-1..0` in recency order (one walk of the linked list) and
+//! rebuilds the tree. The stamp space is sized at twice the block capacity,
+//! so compaction runs at most once per `capacity` accesses and the
+//! amortized cost per access stays O(log B) for B distinct blocks.
+//!
+//! The previous walk-based implementation is retained, bit-for-bit
+//! compatible, as [`naive::NaiveLruStack`]: it is the oracle for the
+//! differential test harness (`crates/trace/tests/differential.rs`).
+//!
+//! Supported queries:
 //!
 //! * `access(block)` → the block's LRU *stack distance* (the number of
-//!   distinct blocks touched since its previous access, i.e. Mattson's reuse
-//!   distance over a trimmed trace), while moving the block to the top,
-//! * iteration over the top `w` entries (the "w-window" of the affinity
-//!   analyzer, and the 2C window of TRG construction).
+//!   distinct blocks touched since its previous access), while moving the
+//!   block to the top — O(log B),
+//! * `depth(block)` → the same count without promoting — O(log B),
+//! * iteration over the top `w` entries in recency order — O(w).
 
 use crate::trace::BlockId;
 
+pub mod naive;
+
 const NIL: u32 = u32::MAX;
+
+/// Stamp sentinel for blocks not currently on the stack.
+const NO_STAMP: usize = usize::MAX;
 
 #[derive(Clone, Copy, Debug)]
 struct Node {
     prev: u32,
     next: u32,
-    /// Whether this block is currently present on the stack.
-    live: bool,
 }
 
-/// An LRU (recency) stack over dense block ids.
+/// A Fenwick (binary indexed) tree counting occupied stamp slots; all
+/// operations are O(log slots).
+#[derive(Clone, Debug)]
+struct StampTree {
+    /// 1-based partial sums; `sums[0]` is unused.
+    sums: Vec<u32>,
+}
+
+impl StampTree {
+    fn new(slots: usize) -> Self {
+        StampTree {
+            sums: vec![0; slots + 1],
+        }
+    }
+
+    /// Number of stamp slots.
+    fn slots(&self) -> usize {
+        self.sums.len() - 1
+    }
+
+    /// Add `delta` (±1) to `slot`.
+    fn add(&mut self, slot: usize, delta: i32) {
+        let mut i = slot + 1;
+        while i < self.sums.len() {
+            self.sums[i] = (self.sums[i] as i64 + delta as i64) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Number of occupied slots in `0..=slot`.
+    fn prefix(&self, slot: usize) -> usize {
+        let mut i = slot + 1;
+        let mut sum = 0usize;
+        while i > 0 {
+            sum += self.sums[i] as usize;
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    fn clear(&mut self) {
+        self.sums.fill(0);
+    }
+}
+
+/// An LRU (recency) stack over dense block ids with O(log B) distance
+/// queries (Olken's algorithm: last-access stamps + a Fenwick tree).
 ///
-/// Every operation is O(1) except [`LruStack::top`], which walks the
-/// requested prefix. `access` returns the *infinite* distance
-/// ([`LruStack::INFINITE`]) on a cold (first) access.
+/// `access` and `depth` are O(log B); [`LruStack::top`] /
+/// [`LruStack::for_each_top`] walk the requested prefix of the recency
+/// list. `access` returns the *infinite* distance ([`LruStack::INFINITE`])
+/// on a cold (first) access.
 #[derive(Clone, Debug)]
 pub struct LruStack {
+    /// Intrusive doubly-linked recency list (most recent at `head`).
     nodes: Vec<Node>,
     head: u32,
     len: usize,
-    /// Dense per-block recency rank maintenance is not free; distances are
-    /// instead computed by walking from the head, but bounded walks keep the
-    /// analyzer at O(W) per access in practice. For the *unbounded* exact
-    /// distance we count during the walk.
-    max_walk: usize,
+    /// Distances above this bound are reported as [`LruStack::INFINITE`]
+    /// (the affinity analyzer's w-window and TRG's 2C window semantics).
+    distance_bound: usize,
+    /// Per-block stamp slot of the most recent access; `NO_STAMP` when the
+    /// block is not resident.
+    stamp: Vec<usize>,
+    /// Fenwick tree over stamp slots: 1 where a resident block's current
+    /// stamp lives. Invariant: exactly `len` slots are occupied, all below
+    /// `next_stamp`.
+    tree: StampTree,
+    /// Next stamp slot to assign; compaction resets it to `len`.
+    next_stamp: usize,
 }
 
 impl LruStack {
@@ -52,23 +132,28 @@ impl LruStack {
             nodes: vec![
                 Node {
                     prev: NIL,
-                    next: NIL,
-                    live: false
+                    next: NIL
                 };
                 capacity
             ],
             head: NIL,
             len: 0,
-            max_walk: usize::MAX,
+            distance_bound: usize::MAX,
+            stamp: vec![NO_STAMP; capacity],
+            // Twice the capacity bounds compaction frequency: at least
+            // `capacity` accesses pass between rebuilds.
+            tree: StampTree::new((capacity * 2).max(1)),
+            next_stamp: 0,
         }
     }
 
-    /// Bound distance walks at `w`: accesses deeper than `w` report
-    /// [`LruStack::INFINITE`]. This is what makes the affinity analyzer
-    /// O(W·N) instead of O(N·B).
+    /// Bound distance reporting at `w`: accesses deeper than `w` report
+    /// [`LruStack::INFINITE`]. With the Fenwick engine the query cost no
+    /// longer depends on the bound; this only preserves the analyzers'
+    /// windowed semantics.
     pub fn with_walk_bound(capacity: usize, w: usize) -> Self {
         let mut s = Self::new(capacity);
-        s.max_walk = w;
+        s.distance_bound = w;
         s
     }
 
@@ -107,11 +192,42 @@ impl LruStack {
         self.head = i;
     }
 
+    /// Renumber resident blocks' stamps to `len-1..=0` in recency order and
+    /// rebuild the tree. O(len · log slots); runs at most once per
+    /// `capacity` accesses, so the amortized cost per access is O(log B).
+    fn compact(&mut self) {
+        self.tree.clear();
+        let mut next = self.len;
+        let mut cur = self.head;
+        while cur != NIL {
+            next -= 1;
+            self.stamp[cur as usize] = next;
+            self.tree.add(next, 1);
+            cur = self.nodes[cur as usize].next;
+        }
+        debug_assert_eq!(next, 0, "list length must equal len");
+        self.next_stamp = self.len;
+    }
+
+    /// Give the block at the head of the list (just promoted) the newest
+    /// stamp, compacting first if the stamp space is exhausted.
+    fn stamp_front(&mut self, idx: usize) {
+        if self.next_stamp == self.tree.slots() {
+            // Compaction stamps every resident block, including `idx`
+            // (already at the head), so nothing more to do.
+            self.compact();
+            return;
+        }
+        self.stamp[idx] = self.next_stamp;
+        self.tree.add(self.next_stamp, 1);
+        self.next_stamp += 1;
+    }
+
     /// Record an access to `block`: return its stack distance (number of
-    /// distinct blocks accessed since its previous access, the accessed block
-    /// excluded) and move it to the top of the stack.
+    /// distinct blocks accessed since its previous access, the accessed
+    /// block excluded) and move it to the top of the stack.
     ///
-    /// Cold accesses and accesses deeper than the walk bound return
+    /// Cold accesses and accesses deeper than the distance bound return
     /// [`LruStack::INFINITE`].
     pub fn access(&mut self, block: BlockId) -> usize {
         let i = block.0;
@@ -121,30 +237,38 @@ impl LruStack {
             i,
             self.nodes.len()
         );
-        if !self.nodes[i as usize].live {
-            self.nodes[i as usize].live = true;
+        let idx = i as usize;
+        if self.stamp[idx] == NO_STAMP {
             self.len += 1;
             self.push_front(i);
+            self.stamp_front(idx);
             return Self::INFINITE;
         }
-        // Walk from the head counting blocks above `block`.
-        let mut cur = self.head;
-        let mut depth = 0usize;
-        let limit = self.max_walk;
-        while cur != NIL && cur != i {
-            depth += 1;
-            if depth > limit {
-                // Too deep: still promote to the top, but report overflow.
-                self.unlink(i);
-                self.push_front(i);
-                return Self::INFINITE;
-            }
-            cur = self.nodes[cur as usize].next;
-        }
-        debug_assert_eq!(cur, i, "live block must be on the list");
+        // Reuse: blocks above `block` are exactly the residents whose stamp
+        // is newer than its last one.
+        let d = self.len - self.tree.prefix(self.stamp[idx]);
+        self.tree.add(self.stamp[idx], -1);
+        self.stamp[idx] = NO_STAMP;
         self.unlink(i);
         self.push_front(i);
-        depth
+        self.stamp_front(idx);
+        if d > self.distance_bound {
+            Self::INFINITE
+        } else {
+            d
+        }
+    }
+
+    /// The current depth of `block` (number of blocks above it on the
+    /// stack) *without* promoting it, or `None` when the block is not
+    /// resident. O(log B). Unlike [`LruStack::access`], the distance bound
+    /// does not apply.
+    pub fn depth(&self, block: BlockId) -> Option<usize> {
+        let s = *self.stamp.get(block.index())?;
+        if s == NO_STAMP {
+            return None;
+        }
+        Some(self.len - self.tree.prefix(s))
     }
 
     /// The top `w` blocks in recency order (most recent first). Shorter if
@@ -173,10 +297,12 @@ impl LruStack {
     /// Remove everything from the stack.
     pub fn clear(&mut self) {
         for n in &mut self.nodes {
-            n.live = false;
             n.prev = NIL;
             n.next = NIL;
         }
+        self.stamp.fill(NO_STAMP);
+        self.tree.clear();
+        self.next_stamp = 0;
         self.head = NIL;
         self.len = 0;
     }
@@ -249,6 +375,25 @@ mod tests {
     }
 
     #[test]
+    fn depth_reports_without_promoting() {
+        let mut s = LruStack::new(5);
+        for i in 0..4 {
+            s.access(b(i));
+        }
+        assert_eq!(s.depth(b(3)), Some(0));
+        assert_eq!(s.depth(b(0)), Some(3));
+        assert_eq!(s.depth(b(4)), None);
+        // Querying must not promote: order is unchanged.
+        assert_eq!(s.top(4), vec![b(3), b(2), b(1), b(0)]);
+        // depth ignores the distance bound, unlike access.
+        let mut t = LruStack::with_walk_bound(5, 1);
+        for i in 0..4 {
+            t.access(b(i));
+        }
+        assert_eq!(t.depth(b(0)), Some(3));
+    }
+
+    #[test]
     fn for_each_top_matches_top() {
         let mut s = LruStack::new(8);
         for i in [5u32, 2, 7, 2, 5] {
@@ -293,9 +438,34 @@ mod tests {
     }
 
     #[test]
+    fn compaction_preserves_distances() {
+        // Small capacity + long trace forces many compactions (stamp space
+        // is 2 * capacity = 8): distances must stay exact throughout.
+        let mut s = LruStack::new(4);
+        let mut n = naive::NaiveLruStack::new(4);
+        let mut state = 0x853C49E6748FEA9Bu64;
+        for i in 0..10_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let x = (state >> 33) as u32 % 4;
+            assert_eq!(s.access(b(x)), n.access(b(x)), "event {}", i);
+        }
+        assert_eq!(s.top(4), n.top(4));
+    }
+
+    #[test]
     #[should_panic(expected = "beyond stack capacity")]
     fn out_of_capacity_panics() {
         let mut s = LruStack::new(2);
         s.access(b(2));
+    }
+
+    #[test]
+    fn zero_capacity_stack_is_inert() {
+        let s = LruStack::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.top(3), Vec::<BlockId>::new());
+        assert_eq!(s.depth(b(0)), None);
     }
 }

@@ -7,17 +7,21 @@
 //! not contend for the same cache residency (the Gloy–Smith windowing; the
 //! paper notes the original uses a stack of size 2C).
 //!
-//! The construction uses the same hash-map + linked-list stack as the rest
-//! of the system, giving the paper's O(N·Q) time for window `Q`.
+//! The construction uses the same Olken/Fenwick LRU stack as the rest of
+//! the system: each access resolves its reuse distance in O(log B), and
+//! only actual conflicts are enumerated (one list step per emitted edge
+//! increment), improving on the paper's O(N·Q) bound for window `Q` —
+//! the window now only gates *which* reuses count, not the per-access
+//! scan cost.
 
 use clop_trace::{BlockId, LruStack, TrimmedTrace};
-use std::collections::HashMap;
+use clop_util::FxHashMap;
 
 /// A temporal relationship graph: weighted undirected conflict edges over
 /// code blocks.
 #[derive(Clone, Debug, Default)]
 pub struct Trg {
-    edges: HashMap<(u32, u32), u64>,
+    edges: FxHashMap<(u32, u32), u64>,
     nodes: Vec<BlockId>,
 }
 
@@ -31,8 +35,8 @@ impl Trg {
             .map(|b| b.index() + 1)
             .max()
             .unwrap_or(0);
-        let mut stack = LruStack::with_walk_bound(cap, window);
-        let mut edges: HashMap<(u32, u32), u64> = HashMap::new();
+        let mut stack = LruStack::new(cap);
+        let mut edges: FxHashMap<(u32, u32), u64> = FxHashMap::default();
         let mut seen = vec![false; cap];
         let mut nodes = Vec::new();
 
@@ -41,37 +45,23 @@ impl Trg {
                 seen[a.index()] = true;
                 nodes.push(a);
             }
-            // Snapshot of the blocks above `a` before promoting it: we need
-            // the distance first.
-            let d = {
-                // Peek depth by a bounded walk; LruStack::access also
-                // promotes, so read the interleaved set off the stack top
-                // after asking for the distance.
-                let mut depth_of_a = None;
-                let mut depth = 0usize;
-                stack.for_each_top(window, |b| {
-                    if b == a && depth_of_a.is_none() {
-                        depth_of_a = Some(depth);
-                    }
-                    depth += 1;
-                });
-                depth_of_a
-            };
-            if let Some(d) = d {
-                if d > 0 {
-                    // Blocks at depths 0..d were accessed since `a`'s last
-                    // occurrence: one conflict each.
-                    let mut idx = 0usize;
-                    stack.for_each_top(d, |b| {
+            // Resolve the reuse distance (O(log B)) while promoting; a
+            // reuse at depth d within the window means the d blocks that
+            // interleaved — now at depths 1..=d, just below the promoted
+            // `a` — conflict with `a` once each.
+            let d = stack.access(a);
+            if d != LruStack::INFINITE && d > 0 && d < window {
+                let mut idx = 0usize;
+                stack.for_each_top(d + 1, |b| {
+                    if idx > 0 {
                         debug_assert_ne!(b, a);
                         let key = (a.0.min(b.0), a.0.max(b.0));
                         *edges.entry(key).or_insert(0) += 1;
-                        idx += 1;
-                    });
-                    debug_assert_eq!(idx, d);
-                }
+                    }
+                    idx += 1;
+                });
+                debug_assert_eq!(idx, d + 1);
             }
-            stack.access(a);
         }
 
         Trg { edges, nodes }
@@ -80,7 +70,7 @@ impl Trg {
     /// Build directly from explicit edges (used by tests mirroring the
     /// paper's Figure 2, where the graph is given, not derived).
     pub fn from_edges(edges: &[(u32, u32, u64)]) -> Self {
-        let mut map = HashMap::new();
+        let mut map = FxHashMap::default();
         let mut nodes: Vec<BlockId> = Vec::new();
         let mut seen = std::collections::HashSet::new();
         for &(x, y, w) in edges {

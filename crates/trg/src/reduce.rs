@@ -19,7 +19,7 @@
 
 use crate::graph::Trg;
 use clop_trace::{BlockId, TrimmedTrace};
-use std::collections::HashMap;
+use clop_util::FxHashMap;
 
 /// Result of a TRG reduction.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -43,7 +43,7 @@ pub fn reduce(trg: &Trg, k: usize, trace: &TrimmedTrace) -> SlotAssignment {
     let k = k.max(1);
 
     // First-appearance rank for deterministic tie-breaking.
-    let mut rank: HashMap<u32, usize> = HashMap::new();
+    let mut rank: FxHashMap<u32, usize> = FxHashMap::default();
     for b in trace.iter() {
         let next = rank.len();
         rank.entry(b.0).or_insert(next);
@@ -63,8 +63,8 @@ pub fn reduce(trg: &Trg, k: usize, trace: &TrimmedTrace) -> SlotAssignment {
     };
 
     // Working graph over entities.
-    let mut weights: HashMap<(Ent, Ent), u64> = HashMap::new();
-    let mut adj: HashMap<Ent, Vec<Ent>> = HashMap::new();
+    let mut weights: FxHashMap<(Ent, Ent), u64> = FxHashMap::default();
+    let mut adj: FxHashMap<Ent, Vec<Ent>> = FxHashMap::default();
     let key = |a: Ent, b: Ent| if a <= b { (a, b) } else { (b, a) };
     for (x, y, w) in trg.edges() {
         let (a, b) = (Ent::Block(x.0), Ent::Block(y.0));
@@ -74,7 +74,7 @@ pub fn reduce(trg: &Trg, k: usize, trace: &TrimmedTrace) -> SlotAssignment {
     }
 
     let mut slots: Vec<Vec<BlockId>> = vec![Vec::new(); k];
-    let mut placed: HashMap<u32, u32> = HashMap::new(); // block → slot
+    let mut placed: FxHashMap<u32, u32> = FxHashMap::default(); // block → slot
 
     // Heaviest-first edge processing with deterministic tie-breaks.
     loop {
@@ -158,11 +158,11 @@ pub fn reduce(trg: &Trg, k: usize, trace: &TrimmedTrace) -> SlotAssignment {
 /// Place one block per Algorithm 2 steps 4–22.
 fn place_block(
     x: u32,
-    weights: &mut HashMap<(Ent, Ent), u64>,
-    adj: &mut HashMap<Ent, Vec<Ent>>,
+    weights: &mut FxHashMap<(Ent, Ent), u64>,
+    adj: &mut FxHashMap<Ent, Vec<Ent>>,
     slots: &mut [Vec<BlockId>],
-    placed: &mut HashMap<u32, u32>,
-    _rank: &HashMap<u32, usize>,
+    placed: &mut FxHashMap<u32, u32>,
+    _rank: &FxHashMap<u32, usize>,
 ) {
     let e = Ent::Block(x);
     let key = |a: Ent, b: Ent| if a <= b { (a, b) } else { (b, a) };

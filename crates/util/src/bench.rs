@@ -7,33 +7,85 @@
 //! prints a `ns/iter` line. A positional argument filters benchmarks by
 //! substring, matching `cargo bench <filter>` behaviour; the `--bench` /
 //! `--test` flags cargo passes are ignored.
+//!
+//! Two environment variables adjust the harness without touching the
+//! targets:
+//!
+//! - `CLOP_BENCH_JSON=<path>`: besides the human-readable lines, append
+//!   every measurement as a record to a machine-readable JSON file
+//!   (`{"benchmarks": [{"name", "ns_per_iter", "melem_per_s"?}, ...]}`),
+//!   written when the runner is dropped. Multiple bench targets pointed
+//!   at the same path merge into one document.
+//! - `CLOP_BENCH_QUICK=1`: smoke mode for CI — a tiny timing budget so
+//!   every benchmark body is exercised in `--release` without spending
+//!   minutes measuring. Targets consult [`Runner::quick`] to also shrink
+//!   their input sizes.
 
+use crate::json::{Json, ToJson};
+use std::cell::RefCell;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
+
+/// One completed measurement.
+#[derive(Clone, Debug)]
+struct Record {
+    name: String,
+    ns_per_iter: f64,
+    melem_per_s: Option<f64>,
+}
+
+impl ToJson for Record {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("name", self.name.to_json()),
+            ("ns_per_iter", self.ns_per_iter.to_json()),
+        ];
+        if let Some(rate) = self.melem_per_s {
+            fields.push(("melem_per_s", rate.to_json()));
+        }
+        Json::obj(fields)
+    }
+}
 
 /// Runs and reports micro-benchmarks.
 pub struct Runner {
     filter: Option<String>,
     budget: Duration,
+    json_path: Option<String>,
+    records: RefCell<Vec<Record>>,
 }
 
 impl Default for Runner {
     fn default() -> Self {
         Runner {
             filter: None,
-            budget: Duration::from_millis(300),
+            budget: if quick() {
+                Duration::from_millis(20)
+            } else {
+                Duration::from_millis(300)
+            },
+            json_path: std::env::var("CLOP_BENCH_JSON")
+                .ok()
+                .filter(|p| !p.is_empty()),
+            records: RefCell::new(Vec::new()),
         }
     }
+}
+
+/// True when `CLOP_BENCH_QUICK` requests smoke-test sizing: bench targets
+/// should scale their inputs down so a full `--release` run completes in
+/// seconds while still executing every benchmark body.
+pub fn quick() -> bool {
+    std::env::var("CLOP_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
 impl Runner {
     /// Build a runner from the process arguments: the first non-flag
     /// argument becomes the name filter.
     pub fn from_args() -> Self {
-        Runner {
-            filter: std::env::args().skip(1).find(|a| !a.starts_with('-')),
-            ..Default::default()
-        }
+        let mut r = Runner::default();
+        r.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        r
     }
 
     /// Time `f`, printing `name`, mean ns/iter and throughput derived from
@@ -59,13 +111,16 @@ impl Runner {
             let dt = start.elapsed();
             if dt >= self.budget || iters >= 1 << 24 {
                 let per_iter = dt.as_nanos() as f64 / iters as f64;
-                let rate = elements
-                    .map(|n| {
-                        let per_sec = n as f64 / (per_iter / 1e9);
-                        format!("  {:>10.2} Melem/s", per_sec / 1e6)
-                    })
+                let melem = elements.map(|n| n as f64 / (per_iter / 1e9) / 1e6);
+                let rate = melem
+                    .map(|m| format!("  {:>10.2} Melem/s", m))
                     .unwrap_or_default();
                 println!("{:<44} {:>14.0} ns/iter{}", name, per_iter, rate);
+                self.records.borrow_mut().push(Record {
+                    name: name.to_string(),
+                    ns_per_iter: per_iter,
+                    melem_per_s: melem,
+                });
                 return;
             }
             // Grow toward the budget without overshooting wildly.
@@ -78,23 +133,104 @@ impl Runner {
     pub fn bench<R>(&self, name: &str, f: impl FnMut() -> R) {
         self.bench_with_elements(name, None, f)
     }
+
+    /// Write accumulated records to the `CLOP_BENCH_JSON` file, merging
+    /// with any records already present (bench targets run as separate
+    /// processes against the same path).
+    fn flush_json(&self) {
+        let Some(path) = &self.json_path else { return };
+        let mut merged: Vec<Json> = std::fs::read_to_string(path)
+            .ok()
+            .and_then(|s| Json::parse(&s).ok())
+            .and_then(|doc| match doc.get("benchmarks") {
+                Some(Json::Arr(items)) => Some(items.clone()),
+                _ => None,
+            })
+            .unwrap_or_default();
+        for rec in self.records.borrow().iter() {
+            // Re-running a benchmark replaces its previous record.
+            merged.retain(|j| j.get("name").and_then(|n| n.as_str()) != Some(rec.name.as_str()));
+            merged.push(rec.to_json());
+        }
+        let doc = Json::obj(vec![("benchmarks", Json::Arr(merged))]);
+        if let Err(e) = std::fs::write(path, doc.pretty()) {
+            eprintln!("warning: failed to write {}: {}", path, e);
+        }
+    }
+}
+
+impl Drop for Runner {
+    fn drop(&mut self) {
+        self.flush_json();
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn test_runner(filter: Option<&str>, json_path: Option<String>) -> Runner {
+        Runner {
+            filter: filter.map(str::to_string),
+            budget: Duration::from_micros(50),
+            json_path,
+            records: RefCell::new(Vec::new()),
+        }
+    }
+
     #[test]
     fn bench_runs_and_respects_filter() {
         let mut calls = 0u32;
-        let r = Runner {
-            filter: Some("yes".to_string()),
-            budget: Duration::from_micros(50),
-        };
+        let r = test_runner(Some("yes"), None);
         r.bench("yes_this_one", || calls += 1);
         assert!(calls >= 2, "warm-up plus at least one timed iteration");
         let before = calls;
         r.bench("not_matching", || calls += 1);
         assert_eq!(calls, before, "filtered benchmark must not run");
+    }
+
+    #[test]
+    fn json_records_written_and_merged_on_drop() {
+        let path =
+            std::env::temp_dir().join(format!("clop_bench_json_test_{}.json", std::process::id()));
+        let path_str = path.to_string_lossy().into_owned();
+        let _ = std::fs::remove_file(&path);
+
+        {
+            let r = test_runner(None, Some(path_str.clone()));
+            r.bench_with_elements("first/one", Some(1000), || 1 + 1);
+        }
+        {
+            // Second "process": merges with the existing file and
+            // replaces same-name records rather than duplicating them.
+            let r = test_runner(None, Some(path_str.clone()));
+            r.bench("second/two", || 2 + 2);
+            r.bench("first/one", || 3 + 3);
+        }
+
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let Some(Json::Arr(items)) = doc.get("benchmarks") else {
+            panic!("missing benchmarks array");
+        };
+        let names: Vec<&str> = items
+            .iter()
+            .filter_map(|j| j.get("name").and_then(|n| n.as_str()))
+            .collect();
+        assert_eq!(names, vec!["second/two", "first/one"]);
+        for j in items {
+            assert!(j.get("ns_per_iter").and_then(|v| v.as_f64()).unwrap() >= 0.0);
+        }
+        // Throughput only on the record benched with elements — replaced
+        // by the later elements-free run, so absent from both here.
+        assert!(items.iter().all(|j| j.get("melem_per_s").is_none()));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn quick_reads_env() {
+        // Cannot mutate the process env safely in tests; just assert the
+        // current value is consistent with the variable.
+        let expect = std::env::var("CLOP_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+        assert_eq!(quick(), expect);
     }
 }

@@ -13,12 +13,21 @@
 //!   dependency.
 //! - [`bench`]: a micro-benchmark runner for `harness = false` bench
 //!   targets, replacing an external criterion dependency.
+//! - [`pool`]: a scoped-thread worker pool with deterministic,
+//!   input-ordered results, shared by the experiment harness and the
+//!   trace analyses.
+//! - [`fxhash`]: a fast deterministic hasher for the integer-keyed maps
+//!   on the analysis hot paths, replacing an external rustc-hash
+//!   dependency.
 
 pub mod bench;
 pub mod check;
+pub mod fxhash;
 pub mod json;
+pub mod pool;
 pub mod rng;
 
 pub use check::check;
+pub use fxhash::{FxHashMap, FxHashSet};
 pub use json::{Json, ToJson};
 pub use rng::Rng;

@@ -1,5 +1,4 @@
-//! A std-only scoped-thread worker pool for embarrassingly-parallel
-//! experiment work.
+//! A std-only scoped-thread worker pool for embarrassingly-parallel work.
 //!
 //! [`parallel_map`] fans a work list out over `jobs` scoped threads and
 //! returns results **in input order** regardless of completion order, so
@@ -7,6 +6,10 @@
 //! Work distribution is a single atomic cursor: threads pull the next
 //! index until the list is drained, which load-balances uneven item costs
 //! without any channel machinery.
+//!
+//! Originally private to the experiment harness (`clop-bench`); it lives
+//! here so analysis crates (e.g. the footprint ladder in `clop-trace`) can
+//! shard independent passes through the same pool.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
