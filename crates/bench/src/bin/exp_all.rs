@@ -6,25 +6,40 @@
 //! pool returns results in input order, so the emitted text and
 //! `results/*.json` are identical for every jobs count.
 //!
+//! Each experiment runs supervised (see [`clop_bench::runner`]): a panic
+//! or a `CLOP_EXP_TIMEOUT` watchdog expiry is recorded and the remaining
+//! experiments still run. Completed experiments checkpoint under
+//! `<results>/.checkpoint/`; with `CLOP_RESUME=1` a batch killed mid-run
+//! re-executes only unfinished experiments. Exits nonzero (with a summary
+//! table) when any experiment failed.
+//!
 //! [`Engine`]: clop_core::Engine
 
-use clop_bench::experiment::{all, jobs_from_args, run_and_write, ExperimentCtx};
+use clop_bench::experiment::{all, jobs_from_args, ExperimentCtx};
+use clop_bench::runner::{run_suite, SuiteOptions};
+use std::sync::Arc;
 
 fn main() {
-    let ctx = ExperimentCtx::new(jobs_from_args());
+    let ctx = Arc::new(ExperimentCtx::new(jobs_from_args()));
+    let opts = SuiteOptions::from_env();
     eprintln!(
-        "running {} experiments with --jobs {}",
+        "running {} experiments with --jobs {}{}{}",
         all().len(),
-        ctx.jobs
+        ctx.jobs,
+        if opts.resume { " (resume)" } else { "" },
+        opts.timeout
+            .map(|t| format!(" (timeout {:.0}s)", t.as_secs_f64()))
+            .unwrap_or_default(),
     );
-    for exp in all() {
-        println!("=== {} ===", exp.name);
-        run_and_write(&exp, &ctx);
-        println!();
-    }
+    let report = run_suite(&ctx, &opts);
     let stats = ctx.engine.stats();
     eprintln!(
         "engine: {} evaluations ({} memoized), {} optimizations ({} memoized)",
         stats.eval_misses, stats.eval_hits, stats.opt_misses, stats.opt_hits
     );
+    eprintln!();
+    eprint!("{}", report.summary_table());
+    if !report.all_ok() {
+        std::process::exit(1);
+    }
 }

@@ -98,6 +98,7 @@ impl ExperimentCtx {
 
 /// What one experiment produces: the rendered report and the JSON record
 /// written to `results/<name>.json`.
+#[derive(Clone, Debug)]
 pub struct ExperimentResult {
     /// Human-readable report (tables, headline statistics, paper notes).
     pub text: String,
@@ -258,11 +259,29 @@ fn parse_jobs(v: &str) -> usize {
 }
 
 /// Entry point for the thin `exp_*` binaries: run the named experiment
-/// with `--jobs` from the CLI.
+/// with `--jobs` from the CLI, under the same panic isolation and
+/// `CLOP_EXP_TIMEOUT` watchdog as `exp_all`. Exits nonzero on failure.
 pub fn cli_main(name: &str) {
-    let exp = find(name).unwrap_or_else(|| panic!("unknown experiment {:?}", name));
-    let ctx = ExperimentCtx::new(jobs_from_args());
-    run_and_write(&exp, &ctx);
+    let Some(exp) = find(name) else {
+        eprintln!("unknown experiment {:?}", name);
+        eprintln!("known experiments:");
+        for e in all() {
+            eprintln!("  {:<24} {}", e.name, e.title);
+        }
+        std::process::exit(2);
+    };
+    let ctx = std::sync::Arc::new(ExperimentCtx::new(jobs_from_args()));
+    let opts = crate::runner::SuiteOptions::from_env();
+    match crate::runner::run_supervised(&exp, &ctx, opts.timeout) {
+        Ok(result) => {
+            print!("{}", result.text);
+            write_json(exp.name, &result.json);
+        }
+        Err(e) => {
+            eprintln!("experiment `{}` failed: {}", name, e);
+            std::process::exit(1);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 pub mod corun;
 pub mod experiment;
 pub mod experiments;
+pub mod runner;
 /// Worker pool, re-exported from `clop-util` (moved there so analysis
 /// crates can shard work through the same pool).
 pub use clop_util::pool;
@@ -17,10 +18,9 @@ pub use clop_util::pool;
 use clop_cachesim::{CacheConfig, TimingConfig};
 use clop_core::{EvalConfig, OptError, Optimizer, OptimizerKind, ProfileConfig, ProgramRun};
 use clop_ir::Layout;
-use clop_util::Json;
+use clop_util::{ClopError, Json};
 use clop_workloads::Workload;
-use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Standard evaluation config for a workload: link with the paper cache,
 /// run the *reference* input.
@@ -74,25 +74,41 @@ pub fn timing_hw() -> TimingConfig {
     TimingConfig::hw_like()
 }
 
-/// Where experiment artifacts are written.
-pub fn results_dir() -> PathBuf {
+/// Where experiment artifacts are written (`CLOP_RESULTS_DIR`, default
+/// `results/`), created on demand.
+pub fn try_results_dir() -> Result<PathBuf, ClopError> {
     let dir = std::env::var("CLOP_RESULTS_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|_| PathBuf::from("results"));
-    std::fs::create_dir_all(&dir).expect("create results dir");
-    dir
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| ClopError::io(format!("create results dir {}", dir.display()), &e))?;
+    Ok(dir)
 }
 
-/// Write a JSON result under `results/<name>.json`.
-pub fn write_json(name: &str, value: &Json) {
-    let path = results_dir().join(format!("{}.json", name));
-    let file = std::fs::File::create(&path).expect("create result file");
-    let mut w = std::io::BufWriter::new(file);
-    w.write_all(value.pretty().as_bytes())
-        .expect("write result");
-    w.write_all(b"\n").expect("write result");
-    w.flush().expect("flush result");
+/// Where experiment artifacts are written.
+///
+/// Panicking convenience wrapper around [`try_results_dir`] for callers
+/// with no error channel.
+pub fn results_dir() -> PathBuf {
+    try_results_dir().unwrap_or_else(|e| panic!("{}", e))
+}
+
+/// Atomically write a JSON result as `<dir>/<name>.json`: the file is
+/// staged as a temp sibling and renamed into place, so a crash mid-write
+/// never leaves a torn artifact.
+pub fn write_json_to(dir: &Path, name: &str, value: &Json) -> Result<(), ClopError> {
+    let path = dir.join(format!("{}.json", name));
+    clop_util::atomic_write(&path, (value.pretty() + "\n").as_bytes())
+        .map_err(|e| ClopError::io(format!("write {}", path.display()), &e))?;
     eprintln!("wrote {}", path.display());
+    Ok(())
+}
+
+/// Write a JSON result under `results/<name>.json` (atomic).
+pub fn write_json(name: &str, value: &Json) {
+    try_results_dir()
+        .and_then(|dir| write_json_to(&dir, name, value))
+        .unwrap_or_else(|e| panic!("{}", e))
 }
 
 /// Render an aligned text table: header row plus data rows.

@@ -20,7 +20,14 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Lock a cache mutex, tolerating poison: a supervised experiment job that
+/// panicked mid-insert leaves the map in a consistent state (inserts are
+/// single statements), so the cache stays usable for the remaining jobs.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Cache statistics of an [`Engine`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -61,7 +68,7 @@ impl Engine {
         config: &EvalConfig,
     ) -> Arc<ProgramRun> {
         let key = run_key(module, layout, config);
-        if let Some(cached) = self.runs.lock().unwrap().get(&key) {
+        if let Some(cached) = lock(&self.runs).get(&key) {
             self.eval_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(cached);
         }
@@ -71,13 +78,15 @@ impl Engine {
         // wins and both share it afterwards.
         let run = Arc::new(ProgramRun::evaluate(module, layout, config));
         self.eval_misses.fetch_add(1, Ordering::Relaxed);
-        Arc::clone(self.runs.lock().unwrap().entry(key).or_insert(run))
+        Arc::clone(lock(&self.runs).entry(key).or_insert(run))
     }
 
     /// Build and run the named pipeline on `module`, memoized (including
     /// failures — the paper's "N/A" cases are cached too).
     ///
-    /// Panics if `name` is not in the pipeline registry.
+    /// An unregistered `name` returns [`OptError::UnknownPipeline`]; that
+    /// outcome is *not* cached, so a pipeline registered later (via
+    /// [`crate::pipeline::register_pipeline`]) becomes visible.
     pub fn optimize(
         &self,
         module: &Module,
@@ -85,20 +94,16 @@ impl Engine {
         params: &PipelineParams,
     ) -> Result<Arc<OptimizedProgram>, OptError> {
         let key = opt_key(module, name, params);
-        if let Some(cached) = self.opts.lock().unwrap().get(&key) {
+        if let Some(cached) = lock(&self.opts).get(&key) {
             self.opt_hits.fetch_add(1, Ordering::Relaxed);
             return cached.clone();
         }
-        let pipeline = build_pipeline(name, params)
-            .unwrap_or_else(|| panic!("pipeline {:?} is not registered", name));
+        let Some(pipeline) = build_pipeline(name, params) else {
+            return Err(OptError::UnknownPipeline(name.to_string()));
+        };
         let result = pipeline.optimize(module).map(Arc::new);
         self.opt_misses.fetch_add(1, Ordering::Relaxed);
-        self.opts
-            .lock()
-            .unwrap()
-            .entry(key)
-            .or_insert(result)
-            .clone()
+        lock(&self.opts).entry(key).or_insert(result).clone()
     }
 
     /// Current cache statistics.
@@ -113,8 +118,8 @@ impl Engine {
 
     /// Drop all cached results (statistics are kept).
     pub fn clear(&self) {
-        self.runs.lock().unwrap().clear();
-        self.opts.lock().unwrap().clear();
+        lock(&self.runs).clear();
+        lock(&self.opts).clear();
     }
 }
 

@@ -93,6 +93,8 @@ pub enum OptError {
     /// BB reordering could not transform this program (the paper's "N/A"
     /// cases).
     BbReorder(BbReorderError),
+    /// The requested pipeline name is not in the registry.
+    UnknownPipeline(String),
 }
 
 impl fmt::Display for OptError {
@@ -100,6 +102,9 @@ impl fmt::Display for OptError {
         match self {
             OptError::EmptyProfile => write!(f, "profiling produced an empty trace"),
             OptError::BbReorder(e) => write!(f, "basic-block reordering failed: {}", e),
+            OptError::UnknownPipeline(name) => {
+                write!(f, "pipeline `{}` is not registered", name)
+            }
         }
     }
 }
@@ -109,6 +114,19 @@ impl std::error::Error for OptError {}
 impl From<BbReorderError> for OptError {
     fn from(e: BbReorderError) -> Self {
         OptError::BbReorder(e)
+    }
+}
+
+impl From<OptError> for clop_util::ClopError {
+    fn from(e: OptError) -> Self {
+        let pipeline = match &e {
+            OptError::UnknownPipeline(name) => name.clone(),
+            _ => String::new(),
+        };
+        clop_util::ClopError::Pipeline {
+            pipeline,
+            detail: e.to_string(),
+        }
     }
 }
 
@@ -171,8 +189,9 @@ impl Optimizer {
     /// Run the pipeline on a module. Dispatches through the name-keyed
     /// pipeline registry; the enum is purely a name.
     pub fn optimize(&self, module: &Module) -> Result<OptimizedProgram, OptError> {
-        build_pipeline(&self.kind.to_string(), &self.params())
-            .expect("paper pipelines are always registered")
+        let name = self.kind.to_string();
+        build_pipeline(&name, &self.params())
+            .ok_or(OptError::UnknownPipeline(name))?
             .optimize(module)
     }
 }

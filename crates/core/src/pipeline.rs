@@ -346,18 +346,30 @@ pub fn register_pipeline(
     name: &str,
     builder: impl Fn(&PipelineParams) -> Pipeline + Send + Sync + 'static,
 ) {
-    global_registry().write().unwrap().register(name, builder);
+    // Poison-tolerant: a panic in a supervised experiment job between
+    // lock and unlock cannot leave the registry in a torn state (every
+    // mutation is a single Vec operation), so keep serving it.
+    global_registry()
+        .write()
+        .unwrap_or_else(|e| e.into_inner())
+        .register(name, builder);
 }
 
 /// Build a pipeline by name from the process-global registry (the four
 /// paper optimizers plus anything added via [`register_pipeline`]).
 pub fn build_pipeline(name: &str, params: &PipelineParams) -> Option<Pipeline> {
-    global_registry().read().unwrap().build(name, params)
+    global_registry()
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .build(name, params)
 }
 
 /// Names registered in the process-global registry.
 pub fn registered_pipelines() -> Vec<String> {
-    global_registry().read().unwrap().names()
+    global_registry()
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .names()
 }
 
 #[cfg(test)]

@@ -44,6 +44,7 @@ pub struct FunctionBuilder<'m> {
     module: &'m mut ModuleBuilder,
     name: String,
     blocks: Vec<PendingBlock>,
+    misuse: Option<String>,
 }
 
 impl<'m> FunctionBuilder<'m> {
@@ -125,28 +126,44 @@ impl<'m> FunctionBuilder<'m> {
     }
 
     /// Attach a global-variable effect to the most recently added block.
+    ///
+    /// Calling this before any block is recorded as misuse and surfaces as
+    /// [`IrError::BuilderMisuse`] from [`ModuleBuilder::build`].
     pub fn effect(&mut self, e: Effect) -> &mut Self {
-        self.blocks
-            .last_mut()
-            .expect("effect() requires a block")
-            .effects
-            .push(e);
+        match self.blocks.last_mut() {
+            Some(b) => b.effects.push(e),
+            None => self.note_misuse("effect() called before any block"),
+        }
         self
     }
 
     /// Override the instruction count of the most recently added block.
+    ///
+    /// Calling this before any block is recorded as misuse and surfaces as
+    /// [`IrError::BuilderMisuse`] from [`ModuleBuilder::build`].
     pub fn instrs(&mut self, n: u32) -> &mut Self {
-        self.blocks
-            .last_mut()
-            .expect("instrs() requires a block")
-            .instr_count = Some(n);
+        match self.blocks.last_mut() {
+            Some(b) => b.instr_count = Some(n),
+            None => self.note_misuse("instrs() called before any block"),
+        }
         self
+    }
+
+    fn note_misuse(&mut self, detail: &str) {
+        if self.misuse.is_none() {
+            self.misuse = Some(format!("function `{}`: {}", self.name, detail));
+        }
     }
 
     /// Finish the function and return to the module builder.
     pub fn finish(&mut self) -> &mut ModuleBuilder {
         let pending = std::mem::take(&mut self.blocks);
         let name = std::mem::take(&mut self.name);
+        if let Some(m) = self.misuse.take() {
+            if self.module.misuse.is_none() {
+                self.module.misuse = Some(m);
+            }
+        }
         self.module.pending_functions.push((name, pending));
         self.module
     }
@@ -170,6 +187,7 @@ pub struct ModuleBuilder {
     name: String,
     globals: Vec<(String, i64)>,
     pending_functions: Vec<(String, Vec<PendingBlock>)>,
+    misuse: Option<String>,
 }
 
 impl ModuleBuilder {
@@ -179,6 +197,7 @@ impl ModuleBuilder {
             name: name.into(),
             globals: Vec::new(),
             pending_functions: Vec::new(),
+            misuse: None,
         }
     }
 
@@ -195,15 +214,23 @@ impl ModuleBuilder {
             module: self,
             name: name.into(),
             blocks: Vec::new(),
+            misuse: None,
         }
     }
 
     /// Resolve names and produce a validated [`Module`].
     ///
-    /// Fails with a panic message naming the unresolved reference on a typo
-    /// (builder misuse is a programming error, not a runtime condition) and
-    /// returns `Err` for structural problems [`Module::validate`] detects.
+    /// Returns [`IrError::UnknownBlockName`] / [`IrError::UnknownFunctionName`]
+    /// when a terminator references a name that was never added,
+    /// [`IrError::BuilderMisuse`] when a builder method was called out of
+    /// sequence, and whatever structural problems [`Module::validate`]
+    /// detects. Never panics.
     pub fn build(&self) -> Result<Module, IrError> {
+        if let Some(detail) = &self.misuse {
+            return Err(IrError::BuilderMisuse {
+                detail: detail.clone(),
+            });
+        }
         let func_ids: HashMap<&str, FuncId> = self
             .pending_functions
             .iter()
@@ -218,36 +245,46 @@ impl ModuleBuilder {
                 .enumerate()
                 .map(|(i, b)| (b.name.as_str(), LocalBlockId(i as u32)))
                 .collect();
-            let resolve_block = |n: &str| -> LocalBlockId {
-                *block_ids
+            let resolve_block = |n: &str| -> Result<LocalBlockId, IrError> {
+                block_ids
                     .get(n)
-                    .unwrap_or_else(|| panic!("function `{}`: unknown block `{}`", fname, n))
+                    .copied()
+                    .ok_or_else(|| IrError::UnknownBlockName {
+                        func: fname.clone(),
+                        block: n.to_string(),
+                    })
             };
-            let resolve_func = |n: &str| -> FuncId {
-                *func_ids
+            let resolve_func = |n: &str| -> Result<FuncId, IrError> {
+                func_ids
                     .get(n)
-                    .unwrap_or_else(|| panic!("unknown function `{}`", n))
+                    .copied()
+                    .ok_or_else(|| IrError::UnknownFunctionName {
+                        name: n.to_string(),
+                    })
             };
             let mut blocks = Vec::with_capacity(pending.len());
             for p in pending {
                 let terminator = match &p.terminator {
-                    PendingTerminator::Jump(t) => Terminator::Jump(resolve_block(t)),
+                    PendingTerminator::Jump(t) => Terminator::Jump(resolve_block(t)?),
                     PendingTerminator::Branch {
                         cond,
                         taken,
                         not_taken,
                     } => Terminator::Branch {
                         cond: cond.clone(),
-                        taken: resolve_block(taken),
-                        not_taken: resolve_block(not_taken),
+                        taken: resolve_block(taken)?,
+                        not_taken: resolve_block(not_taken)?,
                     },
                     PendingTerminator::Switch { targets, weights } => Terminator::Switch {
-                        targets: targets.iter().map(|t| resolve_block(t)).collect(),
+                        targets: targets
+                            .iter()
+                            .map(|t| resolve_block(t))
+                            .collect::<Result<Vec<_>, _>>()?,
                         weights: weights.clone(),
                     },
                     PendingTerminator::Call { callee, ret_to } => Terminator::Call {
-                        callee: resolve_func(callee),
-                        ret_to: resolve_block(ret_to),
+                        callee: resolve_func(callee)?,
+                        ret_to: resolve_block(ret_to)?,
                     },
                     PendingTerminator::Return => Terminator::Return,
                 };
@@ -318,19 +355,57 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown block")]
-    fn unknown_block_panics() {
+    fn unknown_block_is_a_structured_error() {
         let mut b = ModuleBuilder::new("t");
         b.function("main").jump("a", 8, "nowhere").finish();
-        let _ = b.build();
+        let e = b.build().unwrap_err();
+        assert_eq!(
+            e,
+            IrError::UnknownBlockName {
+                func: "main".into(),
+                block: "nowhere".into()
+            }
+        );
+        assert!(e.to_string().contains("nowhere"));
     }
 
     #[test]
-    #[should_panic(expected = "unknown function")]
-    fn unknown_function_panics() {
+    fn unknown_function_is_a_structured_error() {
         let mut b = ModuleBuilder::new("t");
         b.function("main").call("a", 8, "ghost", "a").finish();
-        let _ = b.build();
+        let e = b.build().unwrap_err();
+        assert_eq!(
+            e,
+            IrError::UnknownFunctionName {
+                name: "ghost".into()
+            }
+        );
+    }
+
+    #[test]
+    fn premature_effect_is_builder_misuse() {
+        let mut b = ModuleBuilder::new("t");
+        b.function("main")
+            .effect(Effect::SetGlobal {
+                var: VarId(0),
+                value: 1,
+            })
+            .ret("x", 8)
+            .finish();
+        let e = b.build().unwrap_err();
+        assert!(matches!(e, IrError::BuilderMisuse { .. }), "{:?}", e);
+        assert!(e.to_string().contains("effect()"));
+    }
+
+    #[test]
+    fn ir_error_converts_to_clop_error() {
+        let mut b = ModuleBuilder::new("t");
+        b.function("main").jump("a", 8, "nowhere").finish();
+        let e: clop_util::ClopError = b.build().unwrap_err().into();
+        match e {
+            clop_util::ClopError::IrBuild { detail } => assert!(detail.contains("nowhere")),
+            other => panic!("wrong variant: {:?}", other),
+        }
     }
 
     #[test]

@@ -114,8 +114,9 @@ impl Interpreter {
 
     /// Execute `module` from its entry function.
     ///
-    /// The module must be valid (see [`Module::validate`]); invalid modules
-    /// may panic.
+    /// The module should be valid (see [`Module::validate`]). A module whose
+    /// entry function is out of range yields an empty run rather than a
+    /// panic, which downstream analyses report as an empty profile.
     pub fn run(&self, module: &Module) -> ExecOutcome {
         RUN_COUNT.fetch_add(1, Ordering::Relaxed);
         let mut rng = Rng::seed_from_u64(self.config.seed);
@@ -129,7 +130,16 @@ impl Interpreter {
         let mut instructions = 0u64;
 
         let mut stack: Vec<Frame> = Vec::new();
-        let entry_fn = module.function(module.entry).expect("valid entry");
+        // Degrade gracefully on an invalid entry (an unvalidated module):
+        // an empty run, which downstream surfaces as an empty profile.
+        let Some(entry_fn) = module.function(module.entry) else {
+            return ExecOutcome {
+                bb_trace,
+                func_trace,
+                instructions: 0,
+                completed: true,
+            };
+        };
         stack.push(Frame {
             func: module.entry,
             block: entry_fn.entry,

@@ -116,7 +116,9 @@ impl LinkedImage {
                 for &f in order {
                     let align = opts.function_align.max(1) as u64;
                     cursor = cursor.div_ceil(align) * align;
-                    let func = module.function(f).expect("validated");
+                    // Precondition: layouts come from a validated module,
+                    // so every function id is in range.
+                    let func = &module.functions[f.index()];
                     for (bi, b) in func.blocks.iter().enumerate() {
                         let gid = module.global_id(f, crate::ids::LocalBlockId(bi as u32));
                         addresses[gid.index()] = cursor;

@@ -27,6 +27,16 @@
 //! are reproducible: the same module, seed and fuel always produce the same
 //! trace, regardless of layout. This mirrors reality — code layout does not
 //! change control flow, only addresses.
+//!
+//! Library paths are panic-free on hostile input: the textual parser
+//! reports [`text::ParseError`]s with line/column positions, the builder
+//! returns structured [`IrError`]s for unresolved names and misuse, and
+//! both convert into [`clop_util::ClopError`]. Enforced by
+//! `clippy::unwrap_used`/`expect_used` on non-test code and the
+//! fault-injection suite in `tests/fault_injection.rs`.
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod block;
 pub mod builder;

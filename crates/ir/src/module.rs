@@ -33,6 +33,12 @@ pub enum IrError {
     BadProbability { func: FuncId, block: LocalBlockId },
     /// A block has zero size (the linker requires positive sizes).
     ZeroSizeBlock { func: FuncId, block: LocalBlockId },
+    /// A builder terminator referenced a block name that was never added.
+    UnknownBlockName { func: String, block: String },
+    /// A builder call referenced a function name that was never added.
+    UnknownFunctionName { name: String },
+    /// A builder method was called in an invalid sequence.
+    BuilderMisuse { detail: String },
 }
 
 impl fmt::Display for IrError {
@@ -66,11 +72,26 @@ impl fmt::Display for IrError {
             IrError::ZeroSizeBlock { func, block } => {
                 write!(f, "block {}/{} has zero size", func, block)
             }
+            IrError::UnknownBlockName { func, block } => {
+                write!(f, "function `{}`: unknown block `{}`", func, block)
+            }
+            IrError::UnknownFunctionName { name } => {
+                write!(f, "unknown function `{}`", name)
+            }
+            IrError::BuilderMisuse { detail } => write!(f, "builder misuse: {}", detail),
         }
     }
 }
 
 impl std::error::Error for IrError {}
+
+impl From<IrError> for clop_util::ClopError {
+    fn from(e: IrError) -> Self {
+        clop_util::ClopError::IrBuild {
+            detail: e.to_string(),
+        }
+    }
+}
 
 /// A whole program: functions, globals, and an entry point.
 ///

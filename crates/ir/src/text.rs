@@ -24,75 +24,110 @@
 //! }
 //! ```
 //!
-//! Parsing reports errors with line numbers. `parse(print(m)) == m` holds
-//! for every valid module (property-tested below).
+//! Parsing reports errors with 1-based line *and column* positions and
+//! never panics, no matter how mangled the input: every malformed
+//! construct is a structured [`ParseError`] (convertible to
+//! [`ClopError::IrParse`]). `parse(print(m)) == m` holds for every valid
+//! module (property-tested below); hostile inputs are covered by the
+//! fault-injection suite in `tests/fault_injection.rs`.
 
 use crate::block::{BasicBlock, CondModel, Effect, Terminator};
 use crate::function::Function;
 use crate::ids::{FuncId, LocalBlockId, VarId};
 use crate::module::{IrError, Module};
+use clop_util::ClopError;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
-/// A parse failure, with a 1-based line number.
+/// A parse failure, with a 1-based line and column.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
     /// 1-based line where the problem was found (0 for end-of-input).
     pub line: usize,
+    /// 1-based column of the offending token (0 when the problem is the
+    /// absence of a token, e.g. a missing argument at end of line).
+    pub col: usize,
     /// What went wrong.
     pub message: String,
 }
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        if self.col > 0 {
+            write!(f, "line {}, col {}: {}", self.line, self.col, self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
     }
 }
 
 impl std::error::Error for ParseError {}
 
-fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+impl From<ParseError> for ClopError {
+    fn from(e: ParseError) -> Self {
+        ClopError::IrParse {
+            line: e.line,
+            col: e.col,
+            detail: e.message,
+        }
+    }
+}
+
+fn err<T>(line: usize, col: usize, message: impl Into<String>) -> Result<T, ParseError> {
     Err(ParseError {
         line,
+        col,
         message: message.into(),
     })
 }
 
+/// Append a line to the output; writing to a `String` cannot fail.
+macro_rules! w {
+    ($dst:expr, $($arg:tt)*) => { let _ = writeln!($dst, $($arg)*); };
+}
+
 /// Render a module to the textual format.
+///
+/// Precondition: the module is structurally valid (block and function
+/// references in range), as produced by the builder, the parser, or any
+/// validated constructor.
 pub fn print(module: &Module) -> String {
     let mut out = String::new();
-    writeln!(out, "module {}", module.name).unwrap();
+    w!(out, "module {}", module.name);
     for (i, init) in module.globals.iter().enumerate() {
-        writeln!(out, "global g{} = {}", i, init).unwrap();
+        w!(out, "global g{} = {}", i, init);
     }
-    for (fi, f) in module.functions.iter().enumerate() {
-        writeln!(out).unwrap();
+    for f in module.functions.iter() {
+        w!(out, "");
         let entry_note = if f.entry.0 != 0 {
             format!(" entry={}", f.blocks[f.entry.index()].name)
         } else {
             String::new()
         };
-        writeln!(out, "func {}{} {{", f.name, entry_note).unwrap();
+        w!(out, "func {}{} {{", f.name, entry_note);
         for b in &f.blocks {
-            writeln!(
+            w!(
                 out,
                 "  block {} size={} instrs={}:",
-                b.name, b.size_bytes, b.instr_count
-            )
-            .unwrap();
+                b.name,
+                b.size_bytes,
+                b.instr_count
+            );
             for e in &b.effects {
                 match e {
                     Effect::SetGlobal { var, value } => {
-                        writeln!(out, "    set g{} = {}", var.0, value).unwrap()
+                        w!(out, "    set g{} = {}", var.0, value);
                     }
                     Effect::AddGlobal { var, delta } => {
-                        writeln!(out, "    add g{} += {}", var.0, delta).unwrap()
+                        w!(out, "    add g{} += {}", var.0, delta);
                     }
                 }
             }
             let name_of = |l: LocalBlockId| f.blocks[l.index()].name.clone();
             match &b.terminator {
-                Terminator::Jump(t) => writeln!(out, "    jump {}", name_of(*t)).unwrap(),
+                Terminator::Jump(t) => {
+                    w!(out, "    jump {}", name_of(*t));
+                }
                 Terminator::Branch {
                     cond,
                     taken,
@@ -106,14 +141,13 @@ pub fn print(module: &Module) -> String {
                         }
                         CondModel::LoopCounter { trip } => format!("loop({})", trip),
                     };
-                    writeln!(
+                    w!(
                         out,
                         "    branch {} {} {}",
                         c,
                         name_of(*taken),
                         name_of(*not_taken)
-                    )
-                    .unwrap();
+                    );
                 }
                 Terminator::Switch { targets, weights } => {
                     let arms: Vec<String> = targets
@@ -121,22 +155,83 @@ pub fn print(module: &Module) -> String {
                         .zip(weights)
                         .map(|(t, w)| format!("{}:{}", name_of(*t), w))
                         .collect();
-                    writeln!(out, "    switch {}", arms.join(" ")).unwrap();
+                    w!(out, "    switch {}", arms.join(" "));
                 }
-                Terminator::Call { callee, ret_to } => writeln!(
-                    out,
-                    "    call {} ret {}",
-                    module.functions[callee.index()].name,
-                    name_of(*ret_to)
-                )
-                .unwrap(),
-                Terminator::Return => writeln!(out, "    return").unwrap(),
+                Terminator::Call { callee, ret_to } => {
+                    w!(
+                        out,
+                        "    call {} ret {}",
+                        module.functions[callee.index()].name,
+                        name_of(*ret_to)
+                    );
+                }
+                Terminator::Return => {
+                    w!(out, "    return");
+                }
             }
         }
-        writeln!(out, "}}").unwrap();
-        let _ = fi;
+        w!(out, "}}");
     }
     out
+}
+
+/// The whitespace-separated tokens of a line, each with its 1-based
+/// starting column.
+fn tokens(line: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut start: Option<usize> = None;
+    for (i, c) in line.char_indices() {
+        if c.is_whitespace() {
+            if let Some(s) = start.take() {
+                out.push((s + 1, &line[s..i]));
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        out.push((s + 1, &line[s..]));
+    }
+    out
+}
+
+/// A cursor over one line's tokens, tracking columns for error reports.
+struct Cursor<'a> {
+    line: usize,
+    toks: Vec<(usize, &'a str)>,
+    i: usize,
+    /// Column just past the end of the line (for "missing token" errors).
+    end_col: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(lineno: usize, raw: &'a str) -> Self {
+        let toks = tokens(raw);
+        Cursor {
+            line: lineno,
+            toks,
+            i: 0,
+            end_col: raw.len() + 1,
+        }
+    }
+
+    /// The next token, if any.
+    fn next(&mut self) -> Option<(usize, &'a str)> {
+        let t = self.toks.get(self.i).copied();
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    /// The next token, or an error naming what was expected.
+    fn expect(&mut self, what: &str) -> Result<(usize, &'a str), ParseError> {
+        self.next().ok_or(ParseError {
+            line: self.line,
+            col: self.end_col,
+            message: format!("expected {}", what),
+        })
+    }
 }
 
 /// Parse the textual format back into a validated module.
@@ -146,7 +241,8 @@ pub fn parse(text: &str) -> Result<Module, ParseError> {
         size: u32,
         instrs: Option<u32>,
         effects: Vec<Effect>,
-        terminator: Option<(usize, String)>, // (line, raw text)
+        /// (line number, raw line) of the terminator, resolved in pass 2.
+        terminator: Option<(usize, String)>,
     }
     struct PendingFunc {
         name: String,
@@ -162,57 +258,49 @@ pub fn parse(text: &str) -> Result<Module, ParseError> {
 
     for (ln, raw) in text.lines().enumerate() {
         let lineno = ln + 1;
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
+        let mut c = Cursor::new(lineno, raw);
+        let Some((head_col, head)) = c.next() else {
+            continue; // blank line
+        };
+        if head.starts_with('#') {
+            continue; // comment
         }
-        let mut words = line.split_whitespace();
-        let head = words.next().unwrap_or("");
         match head {
             "module" => {
-                let name = words.next().ok_or(ParseError {
-                    line: lineno,
-                    message: "module needs a name".into(),
-                })?;
+                let (_, name) = c.expect("a module name")?;
                 module_name = Some(name.to_string());
             }
             "global" => {
-                let name = words
-                    .next()
-                    .ok_or_else(|| ParseError {
-                        line: lineno,
-                        message: "global needs a name".into(),
-                    })?
-                    .to_string();
-                if words.next() != Some("=") {
-                    return err(lineno, "expected `= <init>` after global name");
+                let (_, name) = c.expect("a global name")?;
+                let (eq_col, eq) = c.expect("`= <init>` after the global name")?;
+                if eq != "=" {
+                    return err(lineno, eq_col, "expected `= <init>` after the global name");
                 }
-                let init: i64 =
-                    words
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .ok_or_else(|| ParseError {
-                            line: lineno,
-                            message: "global needs an integer initializer".into(),
-                        })?;
-                globals.push((name, init));
+                let (init_col, init) = c.expect("an integer initializer")?;
+                let init: i64 = init.parse().map_err(|_| ParseError {
+                    line: lineno,
+                    col: init_col,
+                    message: format!("bad integer initializer `{}`", init),
+                })?;
+                globals.push((name.to_string(), init));
             }
             "func" => {
                 if cur.is_some() {
-                    return err(lineno, "nested `func` (missing `}`?)");
+                    return err(lineno, head_col, "nested `func` (missing `}`?)");
                 }
-                let name = words.next().ok_or(ParseError {
-                    line: lineno,
-                    message: "func needs a name".into(),
-                })?;
+                let (_, name) = c.expect("a function name")?;
                 let mut entry_name = None;
-                for w in words.by_ref() {
+                while let Some((col, w)) = c.next() {
                     if let Some(e) = w.strip_prefix("entry=") {
                         entry_name = Some(e.to_string());
                     } else if w == "{" {
                         break;
                     } else {
-                        return err(lineno, format!("unexpected token `{}` in func header", w));
+                        return err(
+                            lineno,
+                            col,
+                            format!("unexpected token `{}` in func header", w),
+                        );
                     }
                 }
                 cur = Some(PendingFunc {
@@ -225,6 +313,7 @@ pub fn parse(text: &str) -> Result<Module, ParseError> {
             "}" => {
                 let f = cur.take().ok_or(ParseError {
                     line: lineno,
+                    col: head_col,
                     message: "stray `}`".into(),
                 })?;
                 funcs.push(f);
@@ -232,33 +321,41 @@ pub fn parse(text: &str) -> Result<Module, ParseError> {
             "block" => {
                 let f = cur.as_mut().ok_or(ParseError {
                     line: lineno,
+                    col: head_col,
                     message: "`block` outside a func".into(),
                 })?;
-                let name = words
-                    .next()
-                    .ok_or_else(|| ParseError {
-                        line: lineno,
-                        message: "block needs a name".into(),
-                    })?
-                    .to_string();
+                let (_, name) = c.expect("a block name")?;
                 let mut size = None;
                 let mut instrs = None;
-                for w in words {
-                    let w = w.trim_end_matches(':');
-                    if let Some(v) = w.strip_prefix("size=") {
-                        size = v.parse().ok();
-                    } else if let Some(v) = w.strip_prefix("instrs=") {
-                        instrs = v.parse().ok();
-                    } else if !w.is_empty() {
-                        return err(lineno, format!("unexpected token `{}` in block header", w));
+                while let Some((col, wtok)) = c.next() {
+                    let wtok = wtok.trim_end_matches(':');
+                    if let Some(v) = wtok.strip_prefix("size=") {
+                        size = Some(v.parse::<u32>().map_err(|_| ParseError {
+                            line: lineno,
+                            col,
+                            message: format!("bad block size `{}`", v),
+                        })?);
+                    } else if let Some(v) = wtok.strip_prefix("instrs=") {
+                        instrs = Some(v.parse::<u32>().map_err(|_| ParseError {
+                            line: lineno,
+                            col,
+                            message: format!("bad instruction count `{}`", v),
+                        })?);
+                    } else if !wtok.is_empty() {
+                        return err(
+                            lineno,
+                            col,
+                            format!("unexpected token `{}` in block header", wtok),
+                        );
                     }
                 }
                 let size = size.ok_or(ParseError {
                     line: lineno,
+                    col: c.end_col,
                     message: "block needs size=<bytes>".into(),
                 })?;
                 f.blocks.push(PendingBlock {
-                    name,
+                    name: name.to_string(),
                     size,
                     instrs,
                     effects: Vec::new(),
@@ -268,24 +365,24 @@ pub fn parse(text: &str) -> Result<Module, ParseError> {
             "set" | "add" => {
                 let f = cur.as_mut().ok_or(ParseError {
                     line: lineno,
+                    col: head_col,
                     message: "effect outside a func".into(),
                 })?;
                 let b = f.blocks.last_mut().ok_or(ParseError {
                     line: lineno,
+                    col: head_col,
                     message: "effect before any block".into(),
                 })?;
                 // `set gN = v` | `add gN += v`
-                let var = words.next().unwrap_or("");
-                let op = words.next().unwrap_or("");
-                let val: i64 =
-                    words
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .ok_or_else(|| ParseError {
-                            line: lineno,
-                            message: "effect needs an integer value".into(),
-                        })?;
-                let vid = parse_global_ref(var, &globals, lineno)?;
+                let (var_col, var) = c.expect("a global reference")?;
+                let (op_col, op) = c.expect("an effect operator")?;
+                let (val_col, val) = c.expect("an integer value")?;
+                let val: i64 = val.parse().map_err(|_| ParseError {
+                    line: lineno,
+                    col: val_col,
+                    message: format!("bad integer value `{}`", val),
+                })?;
+                let vid = parse_global_ref(var, &globals, lineno, var_col)?;
                 match (head, op) {
                     ("set", "=") => b.effects.push(Effect::SetGlobal {
                         var: vid,
@@ -295,34 +392,44 @@ pub fn parse(text: &str) -> Result<Module, ParseError> {
                         var: vid,
                         delta: val,
                     }),
-                    _ => return err(lineno, "malformed effect"),
+                    _ => return err(lineno, op_col, "malformed effect"),
                 }
             }
             "jump" | "branch" | "switch" | "call" | "return" => {
                 let f = cur.as_mut().ok_or(ParseError {
                     line: lineno,
+                    col: head_col,
                     message: "terminator outside a func".into(),
                 })?;
                 let b = f.blocks.last_mut().ok_or(ParseError {
                     line: lineno,
+                    col: head_col,
                     message: "terminator before any block".into(),
                 })?;
                 if b.terminator.is_some() {
                     return err(
                         lineno,
+                        head_col,
                         format!("block `{}` already has a terminator", b.name),
                     );
                 }
-                b.terminator = Some((lineno, line.to_string()));
+                b.terminator = Some((lineno, raw.to_string()));
             }
-            other => return err(lineno, format!("unknown directive `{}`", other)),
+            other => {
+                return err(lineno, head_col, format!("unknown directive `{}`", other));
+            }
         }
     }
-    if cur.is_some() {
-        return err(0, "unterminated func at end of input");
+    if let Some(f) = &cur {
+        return err(
+            0,
+            0,
+            format!("unterminated func `{}` at end of input", f.name),
+        );
     }
     let module_name = module_name.ok_or(ParseError {
         line: 0,
+        col: 0,
         message: "missing `module <name>` header".into(),
     })?;
 
@@ -333,7 +440,7 @@ pub fn parse(text: &str) -> Result<Module, ParseError> {
         .map(|(i, f)| (f.name.as_str(), FuncId(i as u32)))
         .collect();
     if func_ids.len() != funcs.len() {
-        return err(0, "duplicate function names");
+        return err(0, 0, "duplicate function names");
     }
 
     let mut functions = Vec::with_capacity(funcs.len());
@@ -347,12 +454,14 @@ pub fn parse(text: &str) -> Result<Module, ParseError> {
         if block_ids.len() != f.blocks.len() {
             return err(
                 f.line,
+                0,
                 format!("duplicate block names in func `{}`", f.name),
             );
         }
-        let resolve = |n: &str, line: usize| -> Result<LocalBlockId, ParseError> {
+        let resolve = |n: &str, line: usize, col: usize| -> Result<LocalBlockId, ParseError> {
             block_ids.get(n).copied().ok_or(ParseError {
                 line,
+                col,
                 message: format!("unknown block `{}` in func `{}`", n, f.name),
             })
         };
@@ -360,76 +469,63 @@ pub fn parse(text: &str) -> Result<Module, ParseError> {
         for pb in &f.blocks {
             let (tline, traw) = pb.terminator.clone().ok_or(ParseError {
                 line: f.line,
+                col: 0,
                 message: format!("block `{}` has no terminator", pb.name),
             })?;
-            let mut w = traw.split_whitespace();
-            let kind = w.next().unwrap_or("");
+            let mut t = Cursor::new(tline, &traw);
+            let (_, kind) = t.expect("a terminator")?;
             let terminator = match kind {
                 "return" => Terminator::Return,
                 "jump" => {
-                    let t = w.next().ok_or(ParseError {
-                        line: tline,
-                        message: "jump needs a target".into(),
-                    })?;
-                    Terminator::Jump(resolve(t, tline)?)
+                    let (col, target) = t.expect("a jump target")?;
+                    Terminator::Jump(resolve(target, tline, col)?)
                 }
                 "call" => {
-                    let callee = w.next().ok_or(ParseError {
-                        line: tline,
-                        message: "call needs a callee".into(),
-                    })?;
-                    if w.next() != Some("ret") {
-                        return err(tline, "call syntax: `call <func> ret <block>`");
+                    let (callee_col, callee) = t.expect("a callee")?;
+                    let (ret_col, ret_kw) = t.expect("`ret <block>`")?;
+                    if ret_kw != "ret" {
+                        return err(tline, ret_col, "call syntax: `call <func> ret <block>`");
                     }
-                    let ret_to = w.next().ok_or(ParseError {
-                        line: tline,
-                        message: "call needs a ret block".into(),
-                    })?;
+                    let (rb_col, ret_to) = t.expect("a ret block")?;
                     let fid = func_ids.get(callee).copied().ok_or(ParseError {
                         line: tline,
+                        col: callee_col,
                         message: format!("unknown function `{}`", callee),
                     })?;
                     Terminator::Call {
                         callee: fid,
-                        ret_to: resolve(ret_to, tline)?,
+                        ret_to: resolve(ret_to, tline, rb_col)?,
                     }
                 }
                 "branch" => {
-                    let cond = w.next().ok_or(ParseError {
-                        line: tline,
-                        message: "branch needs a condition".into(),
-                    })?;
-                    let taken = w.next().ok_or(ParseError {
-                        line: tline,
-                        message: "branch needs a taken target".into(),
-                    })?;
-                    let not_taken = w.next().ok_or(ParseError {
-                        line: tline,
-                        message: "branch needs a not-taken target".into(),
-                    })?;
+                    let (cond_col, cond) = t.expect("a branch condition")?;
+                    let (taken_col, taken) = t.expect("a taken target")?;
+                    let (nt_col, not_taken) = t.expect("a not-taken target")?;
                     Terminator::Branch {
-                        cond: parse_cond(cond, &globals, tline)?,
-                        taken: resolve(taken, tline)?,
-                        not_taken: resolve(not_taken, tline)?,
+                        cond: parse_cond(cond, &globals, tline, cond_col)?,
+                        taken: resolve(taken, tline, taken_col)?,
+                        not_taken: resolve(not_taken, tline, nt_col)?,
                     }
                 }
                 "switch" => {
                     let mut targets = Vec::new();
                     let mut weights = Vec::new();
-                    for arm in w {
-                        let (t, wt) = arm.split_once(':').ok_or(ParseError {
+                    while let Some((col, arm)) = t.next() {
+                        let (target, wt) = arm.split_once(':').ok_or(ParseError {
                             line: tline,
+                            col,
                             message: format!("switch arm `{}` needs `target:weight`", arm),
                         })?;
-                        targets.push(resolve(t, tline)?);
+                        targets.push(resolve(target, tline, col)?);
                         weights.push(wt.parse().map_err(|_| ParseError {
                             line: tline,
+                            col,
                             message: format!("bad switch weight `{}`", wt),
                         })?);
                     }
                     Terminator::Switch { targets, weights }
                 }
-                _ => return err(tline, format!("unknown terminator `{}`", kind)),
+                _ => return err(tline, 0, format!("unknown terminator `{}`", kind)),
             };
             let mut block = BasicBlock::new(pb.name.clone(), pb.size, terminator);
             if let Some(n) = pb.instrs {
@@ -440,7 +536,7 @@ pub fn parse(text: &str) -> Result<Module, ParseError> {
         }
         let mut func = Function::new(f.name.clone(), blocks);
         if let Some(e) = &f.entry_name {
-            func.entry = resolve(e, f.line)?;
+            func.entry = resolve(e, f.line, 0)?;
         }
         functions.push(func);
     }
@@ -453,6 +549,7 @@ pub fn parse(text: &str) -> Result<Module, ParseError> {
     );
     module.validate().map_err(|e: IrError| ParseError {
         line: 0,
+        col: 0,
         message: format!("validation failed: {}", e),
     })?;
     Ok(module)
@@ -462,6 +559,7 @@ fn parse_global_ref(
     token: &str,
     globals: &[(String, i64)],
     line: usize,
+    col: usize,
 ) -> Result<VarId, ParseError> {
     // Accept `gN` (printer form) or a declared global's name.
     if let Some(n) = token.strip_prefix('g') {
@@ -477,6 +575,7 @@ fn parse_global_ref(
         .map(|i| VarId(i as u32))
         .ok_or(ParseError {
             line,
+            col,
             message: format!("unknown global `{}`", token),
         })
 }
@@ -485,13 +584,16 @@ fn parse_cond(
     token: &str,
     globals: &[(String, i64)],
     line: usize,
+    col: usize,
 ) -> Result<CondModel, ParseError> {
     let (kind, args) = token.split_once('(').ok_or(ParseError {
         line,
+        col,
         message: format!("malformed condition `{}`", token),
     })?;
     let args = args.strip_suffix(')').ok_or(ParseError {
         line,
+        col,
         message: format!("unclosed condition `{}`", token),
     })?;
     match kind {
@@ -500,6 +602,7 @@ fn parse_cond(
             .map(CondModel::Bernoulli)
             .map_err(|_| ParseError {
                 line,
+                col,
                 message: format!("bad probability `{}`", args),
             }),
         "alternating" => args
@@ -507,6 +610,7 @@ fn parse_cond(
             .map(CondModel::Alternating)
             .map_err(|_| ParseError {
                 line,
+                col,
                 message: format!("bad period `{}`", args),
             }),
         "loop" => args
@@ -514,22 +618,25 @@ fn parse_cond(
             .map(|trip| CondModel::LoopCounter { trip })
             .map_err(|_| ParseError {
                 line,
+                col,
                 message: format!("bad trip count `{}`", args),
             }),
         "globaleq" => {
             let (var, val) = args.split_once(',').ok_or(ParseError {
                 line,
+                col,
                 message: "globaleq needs `(gN,value)`".into(),
             })?;
             Ok(CondModel::GlobalEq {
-                var: parse_global_ref(var, globals, line)?,
+                var: parse_global_ref(var, globals, line, col)?,
                 value: val.parse().map_err(|_| ParseError {
                     line,
+                    col,
                     message: format!("bad value `{}`", val),
                 })?,
             })
         }
-        _ => err(line, format!("unknown condition kind `{}`", kind)),
+        _ => err(line, col, format!("unknown condition kind `{}`", kind)),
     }
 }
 
@@ -595,6 +702,30 @@ mod tests {
         let e = parse(text).unwrap_err();
         assert_eq!(e.line, 4);
         assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn error_reports_columns() {
+        // `nowhere` starts at column 10 of "    jump nowhere".
+        let text = "module t\nfunc main {\n  block x size=8:\n    jump nowhere\n}\n";
+        let e = parse(text).unwrap_err();
+        assert_eq!((e.line, e.col), (4, 10));
+        // A bad block size points at the `size=` token (column 11).
+        let text = "module t\nfunc main {\n  block x size=zap:\n    return\n}\n";
+        let e = parse(text).unwrap_err();
+        assert_eq!((e.line, e.col), (3, 11));
+        assert!(e.message.contains("zap"));
+        // Display includes both coordinates.
+        assert!(e.to_string().starts_with("line 3, col 11:"));
+    }
+
+    #[test]
+    fn missing_token_points_past_line_end() {
+        let text = "module t\nfunc main {\n  block x size=8:\n    jump\n}\n";
+        let e = parse(text).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert_eq!(e.col, "    jump".len() + 1);
+        assert!(e.message.contains("jump target"));
     }
 
     #[test]
@@ -681,6 +812,19 @@ mod tests {
         let text = "module t\nfunc main {\n  block x size=0:\n    return\n}\n";
         let e = parse(text).unwrap_err();
         assert!(e.message.contains("validation failed"));
+    }
+
+    #[test]
+    fn parse_error_converts_to_clop_error() {
+        let text = "module t\nfunc main {\n  block x size=8:\n    jump nowhere\n}\n";
+        let e: ClopError = parse(text).unwrap_err().into();
+        match e {
+            ClopError::IrParse { line, col, detail } => {
+                assert_eq!((line, col), (4, 10));
+                assert!(detail.contains("nowhere"));
+            }
+            other => panic!("wrong variant: {:?}", other),
+        }
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Fault-injection suite for the textual IR parser.
+//!
+//! Contract: `clop_ir::text::parse` never panics, for any input — every
+//! rejection is a [`ParseError`] whose line/column point inside the input
+//! (or are 0, the documented "end of input / no token" sentinel). Like the
+//! trace harness, this file is deliberately `catch_unwind`-free: a panic
+//! anywhere in the parser fails the test outright.
+
+use clop_ir::prelude::*;
+use clop_ir::text::{self, ParseError};
+use clop_util::fault::corrupt_text;
+use clop_util::ClopError;
+
+/// A representative module exercising every construct the printer emits:
+/// globals, multiple functions, all five terminators, effects, instrs.
+fn sample_text() -> String {
+    let mut b = ModuleBuilder::new("fault");
+    let mode = b.global("mode", 0);
+    let ticks = b.global("ticks", 3);
+    let mut f = b.function("main");
+    f.call("entry", 16, "work", "spin").instrs(4);
+    f.branch(
+        "spin",
+        8,
+        CondModel::GlobalEq {
+            var: mode,
+            value: 0,
+        },
+        "entry",
+        "exit",
+    )
+    .effect(Effect::AddGlobal {
+        var: ticks,
+        delta: 1,
+    });
+    f.ret("exit", 24);
+    let b = f.finish();
+    let mut f = b.function("work");
+    f.branch("body", 512, CondModel::Bernoulli(0.75), "hot", "cold");
+    f.jump("hot", 64, "cold");
+    f.switch("cold", 32, &[("body", 0.5), ("done", 0.5)]);
+    f.ret("done", 8);
+    let b = f.finish();
+    let module = b.build().expect("sample module is well-formed");
+    text::print(&module)
+}
+
+/// A parse failure must carry a position that points inside the input:
+/// 1-based line within the text's line count (0 = end of input), and a
+/// non-empty message. Columns are checked loosely — insertion corruptions
+/// can produce very long lines, so only the 0-sentinel convention is
+/// enforced alongside line sanity.
+fn assert_sane_position(e: &ParseError, input: &str, what: &str) {
+    let nlines = input.lines().count();
+    assert!(
+        e.line <= nlines.max(1),
+        "{}: line {} out of range (input has {} lines)",
+        what,
+        e.line,
+        nlines
+    );
+    assert!(!e.message.is_empty(), "{}: empty message", what);
+    // Display must render without panicking and mention the line.
+    let shown = e.to_string();
+    assert!(
+        shown.contains("line"),
+        "{}: odd rendering {:?}",
+        what,
+        shown
+    );
+}
+
+#[test]
+fn sample_round_trips_before_corruption() {
+    let t = sample_text();
+    let m = text::parse(&t).expect("pristine sample must parse");
+    assert_eq!(text::print(&m), t, "print/parse must be a fixed point");
+}
+
+#[test]
+fn corrupted_ir_text_never_panics_and_errors_point_into_input() {
+    let t = sample_text();
+    let mut rejected = 0usize;
+    let mut accepted = 0usize;
+    for (desc, corrupted) in corrupt_text(0x1A7E, &t, 300) {
+        match text::parse(&corrupted) {
+            Ok(m) => {
+                // A corruption that stays well-formed must still print —
+                // the module it produced is structurally valid.
+                let _ = text::print(&m);
+                accepted += 1;
+            }
+            Err(e) => {
+                assert_sane_position(&e, &corrupted, &desc);
+                rejected += 1;
+            }
+        }
+    }
+    // The matrix must exercise the failure path heavily; a few survivors
+    // are fine (e.g. a corruption inside a probability literal).
+    assert!(rejected >= 100, "only {} rejections", rejected);
+    assert!(rejected + accepted == 300);
+}
+
+#[test]
+fn hostile_handcrafted_inputs_are_structured_rejections() {
+    let cases: &[(&str, &str)] = &[
+        ("empty", ""),
+        ("whitespace only", "   \n\t\n  "),
+        ("no module header", "func main {\n}\n"),
+        ("module without name", "module\n"),
+        ("unclosed function", "module m\nfunc f {\n  block b size=4:\n    return\n"),
+        ("block outside function", "module m\nblock b size=4:\n  return\n"),
+        ("duplicate function", "module m\nfunc f {\n  block b size=4:\n    return\n}\nfunc f {\n  block b size=4:\n    return\n}\n"),
+        ("duplicate block", "module m\nfunc f {\n  block b size=4:\n    return\n  block b size=4:\n    return\n}\n"),
+        ("jump to nowhere", "module m\nfunc f {\n  block b size=4:\n    jump nowhere\n}\n"),
+        ("call to nowhere", "module m\nfunc f {\n  block b size=4:\n    call ghost ret b\n}\n"),
+        ("negative size", "module m\nfunc f {\n  block b size=-4:\n    return\n}\n"),
+        ("probability > 1", "module m\nfunc f {\n  block a size=4:\n    branch bernoulli(1.5) a a\n}\n"),
+        ("missing terminator", "module m\nfunc f {\n  block b size=4:\n}\n"),
+        ("garbage directive", "module m\nfunc f {\n  block b size=4:\n    explode\n}\n"),
+        ("set of unknown global", "module m\nfunc f {\n  block b size=4:\n    set ghost = 1\n    return\n}\n"),
+        ("trailing garbage", "module m\nfunc f {\n  block b size=4:\n    return\n}\nlorem ipsum\n"),
+        ("nul bytes", "module m\0\nfunc \0 {\n}\n"),
+        ("very deep nesting tokens", "module m\nfunc f { { { {\n}\n"),
+    ];
+    for (what, input) in cases {
+        match text::parse(input) {
+            Err(e) => assert_sane_position(&e, input, what),
+            Ok(_) => panic!("{}: hostile input unexpectedly accepted", what),
+        }
+    }
+}
+
+#[test]
+fn parse_errors_convert_to_clop_errors_with_positions() {
+    let e = text::parse("module m\nfunc f {\n  block b size=4:\n    jump nowhere\n}\n")
+        .expect_err("unknown jump target");
+    let c: ClopError = e.clone().into();
+    match c {
+        ClopError::IrParse { line, col, detail } => {
+            assert_eq!(line, e.line);
+            assert_eq!(col, e.col);
+            assert_eq!(detail, e.message);
+        }
+        other => panic!("unexpected variant {:?}", other),
+    }
+}

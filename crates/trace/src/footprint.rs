@@ -61,16 +61,12 @@ pub fn min_footprint_from_position(
     pos: usize,
     other: BlockId,
 ) -> Option<usize> {
-    let os = trace.occurrences(other);
-    if os.is_empty() {
-        return None;
-    }
-    Some(
-        os.iter()
-            .map(|&o| footprint_between(trace, pos, o))
-            .min()
-            .expect("non-empty"),
-    )
+    // `min()` on an empty occurrence list is the `None` case.
+    trace
+        .occurrences(other)
+        .iter()
+        .map(|&o| footprint_between(trace, pos, o))
+        .min()
 }
 
 /// The average-footprint curve of a trimmed trace.

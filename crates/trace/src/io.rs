@@ -9,14 +9,51 @@
 //!   loops that dominate real traces),
 //! * a line-oriented text mapping format (`<index> <name>`).
 //!
-//! Both round-trip exactly and fail loudly on corruption.
+//! # The versioned trace container (v1)
+//!
+//! Profile files live on disk between the instrumentation run and the
+//! analysis run, so bit-rot and torn writes are routine inputs, not
+//! exceptional ones. The current container makes both *detectable*:
+//!
+//! ```text
+//! magic    "CLTC"        4 bytes
+//! version  u8            currently 1; readers reject anything newer
+//! paylen   varint        payload size in bytes
+//! crc32    u32 LE        IEEE CRC-32 of the payload bytes
+//! payload  count varint, then zigzag-varint deltas
+//! ```
+//!
+//! Every decode failure is a structured [`ClopError::TraceDecode`] with
+//! the byte offset where decoding stopped. The decoder hardens against
+//! hostile headers: event counts and payload lengths are *bounds checked
+//! against bytes actually present*, never trusted for preallocation, so a
+//! header claiming 2^60 events fails with an error after reading at most
+//! one byte per claimed event — memory use is always proportional to the
+//! input actually supplied. CRC-32 detects all single-bit errors, so any
+//! seeded bit-flip in a v1 file surfaces as a checksum or decode error.
+//!
+//! Files written by the original format (magic `CLT1`, no version, no
+//! checksum) remain readable through a v0 fallback path.
+//!
+//! [`read_trace_repaired`] additionally supports *salvage*: it keeps the
+//! longest cleanly decodable event prefix of a damaged payload and
+//! reports what was dropped, for pipelines that prefer a partial profile
+//! over none.
 
 use crate::mapping::BlockMap;
 use crate::trace::{BlockId, Trace, TrimmedTrace};
+use clop_util::crc32::Crc32;
+use clop_util::{ClopError, ClopResult};
 use std::io::{self, BufRead, Read, Write};
 
-/// Magic bytes identifying a trace file.
-const MAGIC: &[u8; 4] = b"CLT1";
+/// Magic bytes of the versioned container.
+const MAGIC: &[u8; 4] = b"CLTC";
+
+/// Magic bytes of the legacy (v0) format: count + deltas, no checksum.
+const MAGIC_V0: &[u8; 4] = b"CLT1";
+
+/// Container format version written by [`write_trace`].
+const FORMAT_VERSION: u8 = 1;
 
 /// Encode an unsigned LEB128 varint.
 fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
@@ -30,27 +67,6 @@ fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
     }
 }
 
-/// Decode an unsigned LEB128 varint.
-fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
-    let mut v = 0u64;
-    let mut shift = 0u32;
-    loop {
-        let mut byte = [0u8; 1];
-        r.read_exact(&mut byte)?;
-        if shift >= 63 && byte[0] > 1 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "varint overflow",
-            ));
-        }
-        v |= u64::from(byte[0] & 0x7f) << shift;
-        if byte[0] & 0x80 == 0 {
-            return Ok(v);
-        }
-        shift += 7;
-    }
-}
-
 /// Zigzag-encode a signed delta.
 fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
@@ -61,43 +77,318 @@ fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
-/// Write a trace in the binary format: magic, event count, then
-/// delta-encoded ids.
+/// A reader wrapper that tracks the byte offset (for error reporting) and
+/// optionally accumulates a CRC-32 over everything read (for payload
+/// verification).
+struct Decoder<'a, R: Read> {
+    r: &'a mut R,
+    offset: u64,
+    crc: Option<Crc32>,
+}
+
+impl<'a, R: Read> Decoder<'a, R> {
+    fn new(r: &'a mut R) -> Self {
+        Decoder {
+            r,
+            offset: 0,
+            crc: None,
+        }
+    }
+
+    /// Start accumulating a CRC over subsequent reads.
+    fn begin_crc(&mut self) {
+        self.crc = Some(Crc32::new());
+    }
+
+    /// The CRC accumulated since [`Decoder::begin_crc`].
+    fn crc(&self) -> Option<u32> {
+        self.crc.as_ref().map(Crc32::finish)
+    }
+
+    fn read_exact(&mut self, buf: &mut [u8], what: &str) -> ClopResult<()> {
+        match self.r.read_exact(buf) {
+            Ok(()) => {
+                if let Some(crc) = &mut self.crc {
+                    crc.update(buf);
+                }
+                self.offset += buf.len() as u64;
+                Ok(())
+            }
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Err(ClopError::trace_decode(
+                self.offset,
+                format!("unexpected end of data while reading {}", what),
+            )),
+            Err(e) => Err(ClopError::io(format!("read {}", what), &e)),
+        }
+    }
+
+    fn read_byte(&mut self, what: &str) -> ClopResult<u8> {
+        let mut b = [0u8; 1];
+        self.read_exact(&mut b, what)?;
+        Ok(b[0])
+    }
+
+    /// Decode an unsigned LEB128 varint.
+    fn varint(&mut self, what: &str) -> ClopResult<u64> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.read_byte(what)?;
+            if shift >= 63 && byte > 1 {
+                return Err(ClopError::trace_decode(
+                    self.offset - 1,
+                    format!("varint overflow in {}", what),
+                ));
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+}
+
+/// Write a trace in the versioned container: magic, version, payload
+/// length, CRC-32, then the delta-encoded payload.
 pub fn write_trace<W: Write>(w: &mut W, trace: &Trace) -> io::Result<()> {
+    let payload = encode_payload(trace);
     w.write_all(MAGIC)?;
-    write_varint(w, trace.len() as u64)?;
+    w.write_all(&[FORMAT_VERSION])?;
+    write_varint(w, payload.len() as u64)?;
+    w.write_all(&clop_util::crc32(&payload).to_le_bytes())?;
+    w.write_all(&payload)
+}
+
+/// The payload section: event count, then zigzag deltas.
+fn encode_payload(trace: &Trace) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(trace.len() + 8);
+    // Writing to a Vec cannot fail.
+    let _ = write_varint(&mut payload, trace.len() as u64);
     let mut prev = 0i64;
     for &e in trace.events() {
         let cur = e.0 as i64;
-        write_varint(w, zigzag(cur - prev))?;
+        let _ = write_varint(&mut payload, zigzag(cur - prev));
         prev = cur;
     }
-    Ok(())
+    payload
 }
 
-/// Read a trace written by [`write_trace`].
-pub fn read_trace<R: Read>(r: &mut R) -> io::Result<Trace> {
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "not a CLT1 trace file",
-        ));
-    }
-    let n = read_varint(r)? as usize;
+/// Write a trace in the legacy v0 format (magic `CLT1`, no checksum).
+/// Exists so the v0 fallback path stays exercised by tests and tools that
+/// need to produce old-format files.
+pub fn write_trace_v0<W: Write>(w: &mut W, trace: &Trace) -> io::Result<()> {
+    w.write_all(MAGIC_V0)?;
+    w.write_all(&encode_payload(trace))
+}
+
+/// Decode up to `n` delta-encoded events. In strict mode a decode failure
+/// aborts; in repair mode it ends the trace at the last good event. The
+/// trace is grown incrementally — the declared count is never trusted for
+/// allocation.
+fn decode_events<R: Read>(
+    d: &mut Decoder<'_, R>,
+    n: u64,
+    repair: bool,
+) -> Result<Trace, (Trace, ClopError)> {
     let mut trace = Trace::new();
     let mut prev = 0i64;
-    for _ in 0..n {
-        let delta = unzigzag(read_varint(r)?);
-        let cur = prev
+    for i in 0..n {
+        let delta = match d.varint("event delta") {
+            Ok(v) => unzigzag(v),
+            Err(e) if repair => return Err((trace, e)),
+            Err(e) => return Err((Trace::new(), e)),
+        };
+        let cur = match prev
             .checked_add(delta)
             .filter(|&v| (0..=u32::MAX as i64).contains(&v))
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "trace id out of range"))?;
+        {
+            Some(v) => v,
+            None => {
+                let e = ClopError::trace_decode(
+                    d.offset,
+                    format!("event {} id out of range (delta {})", i, delta),
+                );
+                return Err(if repair {
+                    (trace, e)
+                } else {
+                    (Trace::new(), e)
+                });
+            }
+        };
         trace.push(BlockId(cur as u32));
         prev = cur;
     }
     Ok(trace)
+}
+
+/// The parsed container header: everything before the payload.
+enum Header {
+    V0,
+    V1 { payload_len: u64, crc: u32 },
+}
+
+fn read_header<R: Read>(d: &mut Decoder<'_, R>) -> ClopResult<Header> {
+    let mut magic = [0u8; 4];
+    d.read_exact(&mut magic, "magic")?;
+    if &magic == MAGIC_V0 {
+        return Ok(Header::V0);
+    }
+    if &magic != MAGIC {
+        return Err(ClopError::trace_format(format!(
+            "not a clop trace file (magic {:02x?})",
+            magic
+        )));
+    }
+    let version = d.read_byte("format version")?;
+    if version != FORMAT_VERSION {
+        return Err(ClopError::trace_format(format!(
+            "unsupported trace format version {} (this build reads up to {})",
+            version, FORMAT_VERSION
+        )));
+    }
+    let payload_len = d.varint("payload length")?;
+    let mut crc_bytes = [0u8; 4];
+    d.read_exact(&mut crc_bytes, "payload checksum")?;
+    Ok(Header::V1 {
+        payload_len,
+        crc: u32::from_le_bytes(crc_bytes),
+    })
+}
+
+/// Read a trace written by [`write_trace`] (or, via the v0 fallback, by
+/// the legacy format). Any corruption — truncation, bit-rot, hostile
+/// varints or counts — yields a structured error, never a panic, and
+/// memory use is bounded by the input actually read.
+pub fn read_trace<R: Read>(r: &mut R) -> ClopResult<Trace> {
+    let mut d = Decoder::new(r);
+    match read_header(&mut d)? {
+        Header::V0 => {
+            let n = d.varint("event count")?;
+            decode_events(&mut d, n, false).map_err(|(_, e)| e)
+        }
+        Header::V1 { payload_len, crc } => {
+            d.begin_crc();
+            let payload_start = d.offset;
+            let n = d.varint("event count")?;
+            // Each event takes at least one payload byte, so a count
+            // exceeding the payload length is corrupt — reject before
+            // decoding (and before any allocation proportional to it).
+            if n > payload_len {
+                return Err(ClopError::trace_decode(
+                    d.offset,
+                    format!(
+                        "event count {} exceeds payload size {} bytes",
+                        n, payload_len
+                    ),
+                ));
+            }
+            let trace = decode_events(&mut d, n, false).map_err(|(_, e)| e)?;
+            let consumed = d.offset - payload_start;
+            if consumed != payload_len {
+                return Err(ClopError::trace_decode(
+                    d.offset,
+                    format!(
+                        "payload length mismatch: header declares {} bytes, events span {}",
+                        payload_len, consumed
+                    ),
+                ));
+            }
+            let computed = d.crc().unwrap_or(0);
+            if computed != crc {
+                return Err(ClopError::trace_decode(
+                    d.offset,
+                    format!(
+                        "payload checksum mismatch: stored {:08x}, computed {:08x}",
+                        crc, computed
+                    ),
+                ));
+            }
+            Ok(trace)
+        }
+    }
+}
+
+/// What [`read_trace_repaired`] salvaged from a damaged container.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RepairReport {
+    /// Events the header declared.
+    pub declared: u64,
+    /// Events cleanly decoded (the salvaged prefix).
+    pub decoded: u64,
+    /// `declared - decoded`: records dropped by the decoder.
+    pub dropped: u64,
+    /// Whether the payload checksum verified. `None` for v0 files (no
+    /// checksum) and for payloads whose decode stopped early.
+    pub crc_ok: Option<bool>,
+    /// The decode error that ended salvage, if any.
+    pub error: Option<ClopError>,
+}
+
+impl RepairReport {
+    /// True when nothing was dropped and the checksum (if present) held.
+    pub fn is_clean(&self) -> bool {
+        self.dropped == 0 && self.error.is_none() && self.crc_ok != Some(false)
+    }
+}
+
+/// Read a trace, salvaging the longest cleanly decodable event prefix of
+/// a damaged payload instead of failing outright.
+///
+/// The container header must still be intact (otherwise the payload
+/// cannot even be located — that returns `Err` as usual). Payload damage
+/// — a mid-stream decode error, a short payload, a checksum mismatch —
+/// ends the salvage and is recorded in the [`RepairReport`].
+pub fn read_trace_repaired<R: Read>(r: &mut R) -> ClopResult<(Trace, RepairReport)> {
+    let mut d = Decoder::new(r);
+    let header = read_header(&mut d)?;
+    let (is_v1, payload_len, stored_crc) = match header {
+        Header::V0 => (false, u64::MAX, 0),
+        Header::V1 { payload_len, crc } => (true, payload_len, crc),
+    };
+    if is_v1 {
+        d.begin_crc();
+    }
+    let payload_start = d.offset;
+    let declared = match d.varint("event count") {
+        Ok(n) => n,
+        Err(e) => {
+            // No count ⇒ nothing salvageable.
+            return Ok((
+                Trace::new(),
+                RepairReport {
+                    declared: 0,
+                    decoded: 0,
+                    dropped: 0,
+                    crc_ok: None,
+                    error: Some(e),
+                },
+            ));
+        }
+    };
+    let (trace, error) = match decode_events(&mut d, declared, true) {
+        Ok(t) => (t, None),
+        Err((t, e)) => (t, Some(e)),
+    };
+    let decoded = trace.len() as u64;
+    let consumed = d.offset - payload_start;
+    let crc_ok = if !is_v1 || error.is_some() {
+        None
+    } else if consumed != payload_len {
+        Some(false)
+    } else {
+        Some(d.crc().unwrap_or(0) == stored_crc)
+    };
+    Ok((
+        trace,
+        RepairReport {
+            declared,
+            decoded,
+            dropped: declared.saturating_sub(decoded),
+            crc_ok,
+            error,
+        },
+    ))
 }
 
 /// Convenience: serialize a trimmed trace (stored as a plain trace; the
@@ -111,7 +402,7 @@ pub fn write_trimmed<W: Write>(w: &mut W, trace: &TrimmedTrace) -> io::Result<()
 }
 
 /// Read a trace and trim it.
-pub fn read_trimmed<R: Read>(r: &mut R) -> io::Result<TrimmedTrace> {
+pub fn read_trimmed<R: Read>(r: &mut R) -> ClopResult<TrimmedTrace> {
     Ok(read_trace(r)?.trim())
 }
 
@@ -124,36 +415,27 @@ pub fn write_mapping<W: Write>(w: &mut W, map: &BlockMap) -> io::Result<()> {
 }
 
 /// Read a mapping file. Indices must be dense and in order (the writer's
-/// format); names may contain spaces.
-pub fn read_mapping<R: BufRead>(r: &mut R) -> io::Result<BlockMap> {
+/// format); names may contain spaces. Malformed lines yield structured
+/// [`ClopError::MappingParse`] errors with the offending line number.
+pub fn read_mapping<R: BufRead>(r: &mut R) -> ClopResult<BlockMap> {
     let mut map = BlockMap::new();
     for (lineno, line) in r.lines().enumerate() {
-        let line = line?;
+        let lineno = lineno + 1;
+        let line = line.map_err(|e| ClopError::io(format!("read mapping line {}", lineno), &e))?;
         if line.trim().is_empty() {
             continue;
         }
-        let (idx, name) = line.split_once(' ').ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("mapping line {} lacks a name", lineno + 1),
-            )
-        })?;
-        let idx: u32 = idx.parse().map_err(|_| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("mapping line {} has a bad index", lineno + 1),
-            )
-        })?;
+        let (idx, name) = line
+            .split_once(' ')
+            .ok_or_else(|| ClopError::mapping(lineno, "line lacks a name"))?;
+        let idx: u32 = idx
+            .parse()
+            .map_err(|_| ClopError::mapping(lineno, format!("bad index `{}`", idx)))?;
         let got = map.intern(name);
         if got.0 != idx {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "mapping line {}: expected dense index {}, found {}",
-                    lineno + 1,
-                    got.0,
-                    idx
-                ),
+            return Err(ClopError::mapping(
+                lineno,
+                format!("expected dense index {}, found {}", got.0, idx),
             ));
         }
     }
@@ -169,7 +451,9 @@ mod tests {
         for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
             let mut buf = Vec::new();
             write_varint(&mut buf, v).unwrap();
-            assert_eq!(read_varint(&mut buf.as_slice()).unwrap(), v);
+            let mut slice = buf.as_slice();
+            let mut d = Decoder::new(&mut slice);
+            assert_eq!(d.varint("test").unwrap(), v);
         }
     }
 
@@ -195,7 +479,17 @@ mod tests {
         let mut buf = Vec::new();
         write_trace(&mut buf, &t).unwrap();
         assert_eq!(read_trace(&mut buf.as_slice()).unwrap(), t);
-        assert_eq!(buf.len(), 5); // magic + one varint
+        // magic + version + paylen varint + crc + one payload varint
+        assert_eq!(buf.len(), 11);
+    }
+
+    #[test]
+    fn legacy_v0_files_still_read() {
+        let t = Trace::from_indices([5, 5, 9, 0, 1_000_000, 3, 3, 3]);
+        let mut buf = Vec::new();
+        write_trace_v0(&mut buf, &t).unwrap();
+        assert_eq!(&buf[..4], MAGIC_V0);
+        assert_eq!(read_trace(&mut buf.as_slice()).unwrap(), t);
     }
 
     #[test]
@@ -204,23 +498,127 @@ mod tests {
         let t = Trace::from_indices((0..1000).map(|i| 100 + (i % 2)));
         let mut buf = Vec::new();
         write_trace(&mut buf, &t).unwrap();
-        assert!(buf.len() < 1010, "compressed size {}", buf.len());
+        assert!(buf.len() < 1020, "compressed size {}", buf.len());
     }
 
     #[test]
     fn rejects_bad_magic() {
         let buf = b"NOPE\x00".to_vec();
         let err = read_trace(&mut buf.as_slice()).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(err, ClopError::TraceDecode { .. }), "{err}");
+        assert!(err.to_string().contains("magic"));
     }
 
     #[test]
-    fn rejects_truncation() {
+    fn rejects_unsupported_version() {
         let t = Trace::from_indices([1, 2, 3]);
         let mut buf = Vec::new();
         write_trace(&mut buf, &t).unwrap();
-        buf.pop();
-        assert!(read_trace(&mut buf.as_slice()).is_err());
+        buf[4] = 9; // future version
+        let err = read_trace(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version 9"), "{err}");
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_boundary() {
+        let t = Trace::from_indices([1, 2, 3, 1_000_000]);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        for k in 0..buf.len() {
+            let err = read_trace(&mut &buf[..k]).unwrap_err();
+            assert!(
+                matches!(err, ClopError::TraceDecode { .. } | ClopError::Io { .. }),
+                "prefix {}: {}",
+                k,
+                err
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_every_single_bit_flip() {
+        let t = Trace::from_indices([7, 3, 3, 900, 7]);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        for byte in 0..buf.len() {
+            for bit in 0..8 {
+                let mut bad = buf.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    read_trace(&mut bad.as_slice()).is_err(),
+                    "flip at {}:{} went undetected",
+                    byte,
+                    bit
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_event_count_fails_without_allocation() {
+        // A v1 header declaring 2^60 events in a 1-byte payload must fail
+        // on the count check, not attempt to decode (or allocate).
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(FORMAT_VERSION);
+        let mut payload = Vec::new();
+        write_varint(&mut payload, 1u64 << 60).unwrap();
+        write_varint(&mut buf, payload.len() as u64).unwrap();
+        buf.extend_from_slice(&clop_util::crc32(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        let err = read_trace(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("exceeds payload size"), "{err}");
+    }
+
+    #[test]
+    fn hostile_v0_count_fails_at_eof() {
+        // The legacy path has no payload length; a huge count simply hits
+        // end-of-data after the bytes that exist, without preallocating.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC_V0);
+        write_varint(&mut buf, u64::MAX >> 1).unwrap();
+        buf.extend_from_slice(&[0x02, 0x02, 0x02]); // three real events
+        let err = read_trace(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("end of data"), "{err}");
+    }
+
+    #[test]
+    fn repaired_read_salvages_prefix() {
+        let t = Trace::from_indices([4, 9, 2, 2, 7, 100, 3]);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        // Chop off the last two payload bytes: header intact, payload torn.
+        buf.truncate(buf.len() - 2);
+        let (salvaged, report) = read_trace_repaired(&mut buf.as_slice()).unwrap();
+        assert!(report.dropped > 0);
+        assert!(!report.is_clean());
+        assert_eq!(report.decoded as usize, salvaged.len());
+        // The salvaged events are a prefix of the original.
+        let orig: Vec<BlockId> = t.events().to_vec();
+        assert_eq!(&orig[..salvaged.len()], salvaged.events());
+    }
+
+    #[test]
+    fn repaired_read_of_clean_file_is_clean() {
+        let t = Trace::from_indices([1, 5, 1]);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let (salvaged, report) = read_trace_repaired(&mut buf.as_slice()).unwrap();
+        assert_eq!(salvaged, t);
+        assert!(report.is_clean());
+        assert_eq!(report.crc_ok, Some(true));
+        assert_eq!(report.dropped, 0);
+    }
+
+    #[test]
+    fn repaired_read_flags_crc_damage() {
+        let t = Trace::from_indices([1, 5, 1, 9]);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01; // flip a payload bit that still decodes
+        let (_, report) = read_trace_repaired(&mut buf.as_slice()).unwrap();
+        assert!(!report.is_clean());
     }
 
     #[test]
@@ -248,11 +646,13 @@ mod tests {
         let text = "0 a\n2 b\n";
         let err = read_mapping(&mut io::BufReader::new(text.as_bytes())).unwrap_err();
         assert!(err.to_string().contains("dense"));
+        assert!(matches!(err, ClopError::MappingParse { line: 2, .. }));
     }
 
     #[test]
     fn mapping_rejects_missing_name() {
         let text = "0\n";
-        assert!(read_mapping(&mut io::BufReader::new(text.as_bytes())).is_err());
+        let err = read_mapping(&mut io::BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(matches!(err, ClopError::MappingParse { line: 1, .. }));
     }
 }

@@ -18,6 +18,14 @@
 //!   Olken-style stamp + Fenwick-tree engine, with the paper's literal
 //!   walk-based structure retained as the [`stack::naive`] test oracle,
 //! * [`histogram`] — reuse-distance histograms and miss-ratio projection.
+//!
+//! Library paths are panic-free on hostile input: decoders return
+//! structured [`clop_util::ClopError`]s (enforced by
+//! `clippy::unwrap_used`/`expect_used` on the non-test code and by the
+//! fault-injection suite in `tests/fault_injection.rs`).
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod footprint;
 pub mod histogram;
@@ -30,6 +38,7 @@ pub mod stack;
 pub mod trace;
 
 pub use histogram::ReuseHistogram;
+pub use io::{read_trace, read_trace_repaired, read_trimmed, write_trace, RepairReport};
 pub use mapping::{BlockMap, Granularity};
 pub use prune::{PruneReport, Pruner};
 pub use stack::LruStack;

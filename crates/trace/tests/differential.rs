@@ -194,6 +194,55 @@ fn compaction_stress_matches_naive() {
     });
 }
 
+/// Traces that survive container corruption (via the repair reader) are
+/// ordinary traces: the Fenwick engine and the naive oracle must agree on
+/// them exactly, just as they do on cleanly generated inputs. Corrupted
+/// payloads can decode to arbitrary block ids, so salvaged traces whose
+/// id space would blow up the engines' dense capacity are skipped.
+#[test]
+fn repaired_corrupted_traces_keep_engines_in_agreement() {
+    use clop_trace::{io, Trace};
+    use clop_util::fault::seeded_corruptions;
+
+    let mut exercised = 0usize;
+    check_n("diff/repaired_corruption", 120, |rng| {
+        let ids = vec_of_indices(rng, 250, 48);
+        let t = Trace::from_indices(ids);
+        let mut buf = Vec::new();
+        io::write_trace(&mut buf, &t).unwrap();
+        let seed = rng.next_u64();
+        for c in seeded_corruptions(seed, &buf, 4) {
+            let Ok((salvaged, report)) = io::read_trace_repaired(&mut c.data.as_slice()) else {
+                continue; // header destroyed; nothing to salvage
+            };
+            assert_eq!(salvaged.len() as u64, report.decoded, "{}", c.description);
+            let trimmed = salvaged.trim();
+            let max_id = trimmed
+                .distinct_blocks()
+                .iter()
+                .map(|b| b.0)
+                .max()
+                .unwrap_or(0);
+            if max_id >= 1 << 20 {
+                continue; // corrupted ids would demand a pathological capacity
+            }
+            let blocks = max_id as usize + 1;
+            let mut fast = LruStack::new(blocks);
+            let mut slow = NaiveLruStack::new(blocks);
+            for b in trimmed.iter() {
+                assert_eq!(fast.access(b), slow.access(b), "{}", c.description);
+            }
+            assert_eq!(fast.top(blocks), slow.top(blocks), "{}", c.description);
+            exercised += 1;
+        }
+    });
+    assert!(
+        exercised >= 100,
+        "only {} salvaged traces reached the engines",
+        exercised
+    );
+}
+
 #[test]
 fn interleaved_clear_keeps_engines_in_lockstep() {
     check_n("diff/interleaved_clear", 60, |rng| {

@@ -1,0 +1,178 @@
+//! Fault-injection suite for the trace container.
+//!
+//! The robustness contract: **no input, however mangled, makes a trace
+//! decoder panic or allocate unboundedly** — every failure is a
+//! structured [`clop_util::ClopError`]. This harness is deliberately
+//! `catch_unwind`-free: a panic anywhere in a decoder fails the test
+//! outright, so the guarantee is enforced by construction rather than
+//! filtered after the fact.
+//!
+//! Coverage: >500 seeded corruptions (bit flips, byte rewrites, span
+//! duplication/deletion/zeroing, garbage insertion/appends) plus
+//! truncation at *every* byte boundary, applied to v1 and legacy-v0
+//! containers of representative traces, driven through `read_trace`,
+//! `read_trimmed` and `read_trace_repaired`; hostile handcrafted headers
+//! (astronomical counts, lying lengths) round it out.
+
+use clop_trace::io::{
+    read_mapping, read_trace, read_trace_repaired, read_trimmed, write_trace, write_trace_v0,
+};
+use clop_trace::{BlockMap, Trace};
+use clop_util::fault::{all_truncations, seeded_corruptions};
+use clop_util::ClopError;
+
+/// Representative traces: empty, single event, trimmed-run, mid-size
+/// random-ish, and large sparse ids (multi-byte varints + zigzag deltas).
+fn sample_traces() -> Vec<Trace> {
+    let mut mid = Vec::new();
+    let mut x = 7u32;
+    for _ in 0..400 {
+        x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+        mid.push(x % 97);
+    }
+    vec![
+        Trace::new(),
+        Trace::from_indices([0]),
+        Trace::from_indices([5, 5, 5, 2, 2, 9]),
+        Trace::from_indices(mid),
+        Trace::from_indices([0, 1 << 30, 3, u32::MAX - 7, 1 << 20, 2]),
+    ]
+}
+
+/// Drive one corrupted byte string through every read entry point. The
+/// decoders may accept (a corruption can be a no-op for v0, which has no
+/// checksum) or reject — but rejection must be a structured error, and
+/// nothing may panic.
+fn exercise(data: &[u8], what: &str) {
+    if let Err(e) = read_trace(&mut &data[..]) {
+        assert_structured(&e, what);
+    }
+    if let Err(e) = read_trimmed(&mut &data[..]) {
+        assert_structured(&e, what);
+    }
+    match read_trace_repaired(&mut &data[..]) {
+        Ok((trace, report)) => {
+            // Salvage accounting must be internally consistent.
+            assert_eq!(trace.len() as u64, report.decoded, "{}", what);
+            assert_eq!(
+                report.dropped,
+                report.declared.saturating_sub(report.decoded),
+                "{}",
+                what
+            );
+        }
+        Err(e) => assert_structured(&e, what),
+    }
+}
+
+/// Every decoder failure must be a trace-decode ClopError, and its
+/// rendering must be non-empty (the CLI prints these verbatim).
+fn assert_structured(e: &ClopError, what: &str) {
+    match e {
+        ClopError::TraceDecode { detail, .. } => {
+            assert!(!detail.is_empty(), "{}: empty error detail", what)
+        }
+        other => panic!("{}: unexpected error variant {:?}", what, other),
+    }
+}
+
+#[test]
+fn corruption_storm_returns_structured_errors_only() {
+    let mut cases = 0usize;
+    for (ti, trace) in sample_traces().into_iter().enumerate() {
+        for v0 in [false, true] {
+            let mut buf = Vec::new();
+            if v0 {
+                write_trace_v0(&mut buf, &trace).unwrap();
+            } else {
+                write_trace(&mut buf, &trace).unwrap();
+            }
+            let seed = 0xC10F_0000 + ti as u64 * 2 + v0 as u64;
+            for c in seeded_corruptions(seed, &buf, 40) {
+                exercise(&c.data, &c.description);
+                cases += 1;
+            }
+            for c in all_truncations(&buf) {
+                exercise(&c.data, &c.description);
+                cases += 1;
+            }
+        }
+    }
+    assert!(
+        cases >= 500,
+        "fault matrix shrank to {} cases; keep it above the 500 floor",
+        cases
+    );
+}
+
+#[test]
+fn every_truncation_of_a_v1_container_is_rejected() {
+    // Stronger than "no panic": a v1 container is length- and
+    // checksum-framed, so *every* proper prefix must be rejected outright.
+    let t = Trace::from_indices([3, 1, 4, 1, 5, 9, 2, 6, 1 << 24]);
+    let mut buf = Vec::new();
+    write_trace(&mut buf, &t).unwrap();
+    for c in all_truncations(&buf) {
+        let e = read_trace(&mut &c.data[..]).unwrap_err();
+        assert_structured(&e, &c.description);
+    }
+}
+
+#[test]
+fn hostile_headers_fail_fast_without_allocation() {
+    // A v0 header claiming 2^60 events over an empty body: the decoder
+    // must fail at EOF, not preallocate. (Completing at all is the
+    // allocation proof — 2^60 events would be an 8 EB Vec.)
+    let mut hostile = b"CLT1".to_vec();
+    hostile.extend([0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x10]);
+    let e = read_trace(&mut &hostile[..]).unwrap_err();
+    assert_structured(&e, "v0 with 2^60 count");
+
+    // A v1 header whose payload length lies (tiny payload, huge count).
+    let mut lying = b"CLTC\x01".to_vec();
+    lying.push(3); // payload_len = 3
+    lying.extend([0, 0, 0, 0]); // crc
+    lying.extend([0xFF, 0xFF, 0x40]); // count varint ≈ 2^20, payload is done
+    let e = read_trace(&mut &lying[..]).unwrap_err();
+    assert_structured(&e, "v1 count exceeding payload");
+}
+
+#[test]
+fn garbage_magic_is_rejected_not_misparsed() {
+    for garbage in [
+        &b""[..],
+        b"\x00\x00\x00\x00",
+        b"CLT2\x01\x00",
+        b"JSON{\"a\":1}",
+        b"CLTC",             // magic only, no version
+        b"CLTC\x07\x00\x00", // unknown version
+    ] {
+        let e = read_trace(&mut &garbage[..]).unwrap_err();
+        assert_structured(&e, "garbage magic");
+    }
+}
+
+#[test]
+fn corrupted_mappings_return_line_errors() {
+    let mut map = BlockMap::new();
+    map.intern("main");
+    map.intern("helper");
+    let mut buf = Vec::new();
+    clop_trace::io::write_mapping(&mut buf, &map).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    let mut checked = 0usize;
+    for (desc, corrupted) in clop_util::fault::corrupt_text(0xAB5E, &text, 60) {
+        match read_mapping(&mut corrupted.as_bytes()) {
+            Ok(_) => {} // some corruptions keep the mapping well-formed
+            Err(ClopError::MappingParse { line, detail }) => {
+                assert!(line >= 1, "{}", desc);
+                assert!(!detail.is_empty(), "{}", desc);
+                checked += 1;
+            }
+            Err(ClopError::Io { .. }) => {}
+            Err(other) => panic!("{}: unexpected variant {:?}", desc, other),
+        }
+    }
+    // The matrix must actually exercise the failure path, not just no-ops.
+    assert!(checked > 0, "no corruption produced a mapping error");
+}

@@ -172,6 +172,35 @@ fn trim_preserves_blocks() {
     });
 }
 
+/// Every proper prefix of a serialized trace is rejected with a
+/// structured error — never a panic, never an over-allocation. The v1
+/// container frames the payload with an explicit length and checksum, so
+/// a torn write at *any* byte boundary is detectable; decode memory stays
+/// proportional to the bytes actually present (the decoder grows the
+/// trace incrementally instead of trusting the declared event count).
+#[test]
+fn truncated_prefixes_always_fail_structurally() {
+    check("truncation_prefix", |rng| {
+        let v = vec_of_indices(rng, 120, 1_000_000);
+        let t = Trace::from_indices(v);
+        let mut buf = Vec::new();
+        io::write_trace(&mut buf, &t).unwrap();
+        for k in 0..buf.len() {
+            let err = io::read_trace(&mut &buf[..k])
+                .expect_err("proper prefix must not decode as a whole trace");
+            assert!(
+                matches!(err, clop_util::ClopError::TraceDecode { .. }),
+                "prefix {}: unexpected variant {:?}",
+                k,
+                err
+            );
+        }
+        // The full buffer still round-trips — the property above is about
+        // proper prefixes only.
+        assert_eq!(io::read_trace(&mut buf.as_slice()).unwrap(), t);
+    });
+}
+
 #[test]
 fn trimmed_io_restores_invariant_even_for_untrimmed_bytes() {
     // Write an untrimmed trace through the plain writer, read via

@@ -1,0 +1,91 @@
+//! Atomic file writes: temp file + fsync + rename.
+//!
+//! Experiment artifacts (`results/*.json`, `BENCH_trace.json`, checkpoint
+//! records) must never be observable in a torn state — a batch killed
+//! mid-write has to leave either the old content or the new content, not a
+//! prefix. [`atomic_write`] provides the standard recipe: write the full
+//! payload to a uniquely named temporary sibling, `fsync` it, then
+//! `rename` over the destination (atomic on POSIX within a filesystem).
+
+use std::io::{self, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Write `bytes` to `path` atomically.
+///
+/// The temporary sibling lives in the destination's directory (renames
+/// across filesystems are not atomic) and embeds the pid plus a process
+/// counter, so concurrent writers never collide. The temp file is cleaned
+/// up on any failure.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let tmp_name = format!(
+        ".{}.tmp-{}-{}",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    );
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("clop-atomicio-{}-{}", std::process::id(), name));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let d = tmpdir("replace");
+        let p = d.join("artifact.json");
+        atomic_write(&p, b"first").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"first");
+        atomic_write(&p, b"second").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"second");
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn leaves_no_temp_files_behind() {
+        let d = tmpdir("clean");
+        let p = d.join("artifact.json");
+        for i in 0..5 {
+            atomic_write(&p, format!("run {}", i).as_bytes()).unwrap();
+        }
+        let names: Vec<String> = std::fs::read_dir(&d)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["artifact.json".to_string()], "{:?}", names);
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_errors_cleanly() {
+        let p = std::path::Path::new("/nonexistent-clop-dir/x.json");
+        assert!(atomic_write(p, b"x").is_err());
+    }
+}

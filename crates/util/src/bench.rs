@@ -153,7 +153,11 @@ impl Runner {
             merged.push(rec.to_json());
         }
         let doc = Json::obj(vec![("benchmarks", Json::Arr(merged))]);
-        if let Err(e) = std::fs::write(path, doc.pretty()) {
+        // Atomic replace: a run killed mid-flush leaves the previous
+        // document intact rather than a torn JSON file.
+        if let Err(e) =
+            crate::atomicio::atomic_write(std::path::Path::new(path), doc.pretty().as_bytes())
+        {
             eprintln!("warning: failed to write {}: {}", path, e);
         }
     }

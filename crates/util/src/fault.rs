@@ -1,0 +1,219 @@
+//! Deterministic fault injection: seeded corruptions of serialized
+//! artifacts.
+//!
+//! The robustness contract of the workspace is *no panic on hostile
+//! input*: every decoder (`clop-trace`'s binary container and mapping
+//! files, `clop-ir`'s text format) must turn arbitrary corruption into a
+//! structured `ClopError`. This module generates the corruption — seeded,
+//! reproducible, and enumerable — so the fault-injection suites can drive
+//! hundreds of distinct corrupt inputs through every decoder and assert
+//! the contract without ever wrapping calls in `catch_unwind`.
+//!
+//! Generators:
+//!
+//! * [`all_truncations`] — every proper prefix of the input, the
+//!   exhaustive torn-write model.
+//! * [`seeded_corruptions`] — a deterministic stream of single-bit flips,
+//!   byte rewrites, span duplications/deletions/zeroing, garbage
+//!   insertions, and garbage tails, cycling through kinds so a small
+//!   `count` still covers every category.
+//! * [`corrupt_text`] — the same stream projected onto text inputs
+//!   (lossy-UTF-8 repair keeps the result a `&str`-compatible `String`).
+
+use crate::rng::Rng;
+
+/// One corrupted variant of an input, with a reproducible description.
+#[derive(Clone, Debug)]
+pub struct Corruption {
+    /// Human-readable description ("bit flip at 17:3", "truncate to 9").
+    pub description: String,
+    /// The corrupted bytes.
+    pub data: Vec<u8>,
+}
+
+/// Every proper prefix of `bytes`, shortest first: the exhaustive model of
+/// a write torn at an arbitrary byte boundary. (The full-length prefix is
+/// excluded — it is not a corruption.)
+pub fn all_truncations(bytes: &[u8]) -> impl Iterator<Item = Corruption> + '_ {
+    (0..bytes.len()).map(move |k| Corruption {
+        description: format!("truncate to {} of {} bytes", k, bytes.len()),
+        data: bytes[..k].to_vec(),
+    })
+}
+
+/// `count` deterministic corruptions of `bytes` derived from `seed`.
+///
+/// Cycles through seven corruption kinds so every category appears even
+/// for small counts. Identical `(seed, bytes, count)` always produces the
+/// identical corruption list. Inputs shorter than a span operation needs
+/// fall back to garbage appends, so the generator never returns fewer
+/// than `count` variants.
+pub fn seeded_corruptions(seed: u64, bytes: &[u8], count: usize) -> Vec<Corruption> {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        out.push(corrupt_once(&mut rng, bytes, i));
+    }
+    out
+}
+
+fn corrupt_once(rng: &mut Rng, bytes: &[u8], case: usize) -> Corruption {
+    let n = bytes.len();
+    // Kinds that need existing bytes degrade to appends on empty input.
+    let kind = if n == 0 { 6 } else { case % 7 };
+    let mut data = bytes.to_vec();
+    match kind {
+        0 => {
+            let at = rng.gen_index(n);
+            let bit = rng.gen_index(8) as u8;
+            data[at] ^= 1 << bit;
+            Corruption {
+                description: format!("bit flip at {}:{}", at, bit),
+                data,
+            }
+        }
+        1 => {
+            let at = rng.gen_index(n);
+            // XOR with a nonzero mask guarantees the byte actually changes.
+            let new = data[at] ^ (1 + (rng.next_u64() % 255) as u8);
+            data[at] = new;
+            Corruption {
+                description: format!("byte rewrite at {} to 0x{:02x}", at, new),
+                data,
+            }
+        }
+        2 => {
+            // Duplicate a span in place (duplicated/stuttered records).
+            let start = rng.gen_index(n);
+            let len = 1 + rng.gen_index((n - start).min(8));
+            let span = data[start..start + len].to_vec();
+            data.splice(start..start, span);
+            Corruption {
+                description: format!("duplicate span {}..{}", start, start + len),
+                data,
+            }
+        }
+        3 => {
+            // Delete a span (dropped records).
+            let start = rng.gen_index(n);
+            let len = 1 + rng.gen_index((n - start).min(8));
+            data.drain(start..start + len);
+            Corruption {
+                description: format!("delete span {}..{}", start, start + len),
+                data,
+            }
+        }
+        4 => {
+            // Zero a span (zero-filled sectors).
+            let start = rng.gen_index(n);
+            let len = 1 + rng.gen_index((n - start).min(16));
+            for b in &mut data[start..start + len] {
+                *b = 0;
+            }
+            if data == bytes {
+                // Span was already zero; guarantee an actual change.
+                data[start] = 0xFF;
+            }
+            Corruption {
+                description: format!("zero span {}..{}", start, start + len),
+                data,
+            }
+        }
+        5 => {
+            // Insert garbage mid-stream.
+            let at = rng.gen_index(n + 1);
+            let len = 1 + rng.gen_index(8);
+            let garbage: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+            data.splice(at..at, garbage);
+            Corruption {
+                description: format!("insert {} garbage bytes at {}", len, at),
+                data,
+            }
+        }
+        _ => {
+            // Append a garbage tail (trailing junk / partial next record).
+            let len = 1 + rng.gen_index(16);
+            data.extend((0..len).map(|_| (rng.next_u64() & 0xFF) as u8));
+            Corruption {
+                description: format!("append {} garbage bytes", len),
+                data,
+            }
+        }
+    }
+}
+
+/// `count` deterministic corruptions of a text input. Byte-level
+/// corruption followed by lossy UTF-8 repair, so results remain valid
+/// `String`s while still exercising arbitrary damage.
+pub fn corrupt_text(seed: u64, text: &str, count: usize) -> Vec<(String, String)> {
+    seeded_corruptions(seed, text.as_bytes(), count)
+        .into_iter()
+        .map(|c| {
+            let repaired = String::from_utf8_lossy(&c.data).into_owned();
+            (c.description, repaired)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncations_cover_every_prefix() {
+        let data = [1u8, 2, 3, 4, 5];
+        let ts: Vec<Corruption> = all_truncations(&data).collect();
+        assert_eq!(ts.len(), 5);
+        for (k, t) in ts.iter().enumerate() {
+            assert_eq!(t.data, data[..k]);
+        }
+    }
+
+    #[test]
+    fn seeded_corruptions_are_deterministic() {
+        let data: Vec<u8> = (0..64).collect();
+        let a = seeded_corruptions(7, &data, 50);
+        let b = seeded_corruptions(7, &data, 50);
+        assert_eq!(a.len(), 50);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.description, y.description);
+            assert_eq!(x.data, y.data);
+        }
+        // A different seed diverges somewhere.
+        let c = seeded_corruptions(8, &data, 50);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.data != y.data));
+    }
+
+    #[test]
+    fn every_kind_appears_and_differs_from_input() {
+        let data: Vec<u8> = (0..32).collect();
+        let cs = seeded_corruptions(3, &data, 14);
+        // Two full cycles of the seven kinds.
+        let kinds: std::collections::BTreeSet<&str> = cs
+            .iter()
+            .map(|c| c.description.split(' ').next().unwrap())
+            .collect();
+        assert!(kinds.len() >= 6, "kinds seen: {:?}", kinds);
+        for c in &cs {
+            assert_ne!(c.data, data, "{} left input unchanged", c.description);
+        }
+    }
+
+    #[test]
+    fn empty_input_still_yields_corruptions() {
+        let cs = seeded_corruptions(1, &[], 10);
+        assert_eq!(cs.len(), 10);
+        for c in &cs {
+            assert!(!c.data.is_empty());
+        }
+    }
+
+    #[test]
+    fn text_corruptions_are_valid_strings() {
+        let text = "module t\nfunc main {\n  block x size=8:\n    return\n}\n";
+        let cs = corrupt_text(11, text, 40);
+        assert_eq!(cs.len(), 40);
+        // At least some corruption must actually change the text.
+        assert!(cs.iter().any(|(_, t)| t != text));
+    }
+}

@@ -19,15 +19,32 @@
 //! - [`fxhash`]: a fast deterministic hasher for the integer-keyed maps
 //!   on the analysis hot paths, replacing an external rustc-hash
 //!   dependency.
+//! - [`error`]: the workspace-wide [`ClopError`] hierarchy — every
+//!   recoverable failure (trace decode, IR parse/build, pipeline,
+//!   experiment supervision, I/O) as a structured value instead of a
+//!   panic.
+//! - [`crc32`]: IEEE CRC-32 for the versioned trace container's payload
+//!   checksum.
+//! - [`atomicio`]: temp-file + fsync + rename writes, so interrupted runs
+//!   never leave torn artifacts.
+//! - [`fault`]: deterministic, seeded corruption generators driving the
+//!   fault-injection suites.
 
+pub mod atomicio;
 pub mod bench;
 pub mod check;
+pub mod crc32;
+pub mod error;
+pub mod fault;
 pub mod fxhash;
 pub mod json;
 pub mod pool;
 pub mod rng;
 
+pub use atomicio::atomic_write;
 pub use check::check;
+pub use crc32::crc32;
+pub use error::{ClopError, ClopResult, FailureKind};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use json::{Json, ToJson};
 pub use rng::Rng;

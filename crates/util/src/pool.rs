@@ -45,13 +45,15 @@ where
                 if i >= n {
                     break;
                 }
+                // Poison-tolerant: each slot is touched by exactly one
+                // worker, so a panic elsewhere cannot tear this state.
                 let item = work[i]
                     .lock()
-                    .unwrap()
+                    .unwrap_or_else(|e| e.into_inner())
                     .take()
                     .expect("each index taken once");
                 let r = f(i, item);
-                *results[i].lock().unwrap() = Some(r);
+                *results[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
             });
         }
     });
