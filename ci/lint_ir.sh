@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# lint-ir CI job.
+#
+# Gates the tree on the static verifier: `clop-lint` must pass over every
+# module in the examples/ir corpus and its golden layout orders, must
+# *reject* the intentionally broken corpus, and the pipeline-verification +
+# conflict cross-validation suite must pass.
+#
+# Usage: ci/lint_ir.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== building clop-lint (release) =="
+cargo build --release --bin clop-lint
+LINT=target/release/clop-lint
+
+echo "== linting examples/ir and golden layouts =="
+fail=0
+for f in examples/ir/*.clop; do
+    stem="${f%.clop}"
+    args=("$f")
+    # Golden layouts: `.order` is a whole-program block order, `.fnorder`
+    # a function order; lint whichever the example ships.
+    if [[ -f "$stem.order" ]]; then
+        args+=(--layout "$stem.order")
+    elif [[ -f "$stem.fnorder" ]]; then
+        args+=(--layout "$stem.fnorder")
+    fi
+    echo "lint ${args[*]}"
+    "$LINT" "${args[@]}" || fail=1
+done
+if [[ "$fail" -ne 0 ]]; then
+    echo "FAIL: diagnostics in examples/ir" >&2
+    exit 1
+fi
+
+echo "== negative check: the hostile corpus must be rejected =="
+for f in examples/ir/bad/*.clop; do
+    if "$LINT" "$f" >/dev/null 2>&1; then
+        echo "FAIL: $f linted clean but is intentionally broken" >&2
+        exit 1
+    fi
+    echo "rejected $f (as intended)"
+done
+
+echo "== pipeline verification + conflict cross-validation suite =="
+cargo test --release -p clop-bench --test verify_pipelines
+
+echo "PASS: lint-ir"

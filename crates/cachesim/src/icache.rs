@@ -24,6 +24,8 @@ pub struct SetAssocCache {
     ways: Vec<Way>,
     clock: u64,
     stats: CacheStats,
+    /// Demand misses per set (prefetch installs excluded). Indexed by set.
+    misses_by_set: Vec<u64>,
 }
 
 impl SetAssocCache {
@@ -42,6 +44,7 @@ impl SetAssocCache {
             ],
             clock: 0,
             stats: CacheStats::default(),
+            misses_by_set: vec![0; config.num_sets() as usize],
         }
     }
 
@@ -55,9 +58,17 @@ impl SetAssocCache {
         self.stats
     }
 
+    /// Demand-miss counts per set, indexed by set number. Used by the
+    /// static conflict analyzer's cross-validation: the per-set ranking of
+    /// simulated misses is compared against statically predicted pressure.
+    pub fn misses_by_set(&self) -> &[u64] {
+        &self.misses_by_set
+    }
+
     /// Reset statistics (cache contents are kept). Useful for warm-up.
     pub fn reset_stats(&mut self) {
         self.stats = CacheStats::default();
+        self.misses_by_set.fill(0);
     }
 
     /// Empty the cache and reset statistics.
@@ -67,6 +78,7 @@ impl SetAssocCache {
         }
         self.clock = 0;
         self.stats = CacheStats::default();
+        self.misses_by_set.fill(0);
     }
 
     /// Access a line; returns `true` on hit. Misses install the line,
@@ -75,6 +87,9 @@ impl SetAssocCache {
         self.clock += 1;
         let hit = self.touch(line);
         self.stats.record(hit);
+        if !hit {
+            self.misses_by_set[self.config.set_of_line(line) as usize] += 1;
+        }
         hit
     }
 
@@ -220,6 +235,32 @@ mod tests {
         c.flush();
         assert!(!c.probe(0));
         assert_eq!(c.stats().accesses, 0);
+    }
+
+    #[test]
+    fn per_set_misses_attribute_to_the_conflicting_set() {
+        let mut c = tiny();
+        // Thrash set 0 (lines 0, 2, 4); touch set 1 once (line 1).
+        for _ in 0..5 {
+            for line in [0u64, 2, 4] {
+                c.access(line);
+            }
+        }
+        c.access(1);
+        let per_set = c.misses_by_set();
+        assert_eq!(per_set.len(), 2);
+        assert_eq!(per_set[0], 15, "every set-0 access misses");
+        assert_eq!(per_set[1], 1, "set 1 sees only its cold miss");
+        assert_eq!(per_set.iter().sum::<u64>(), c.stats().misses);
+        c.flush();
+        assert!(c.misses_by_set().iter().all(|&m| m == 0));
+    }
+
+    #[test]
+    fn install_does_not_count_per_set_misses() {
+        let mut c = tiny();
+        c.install(0);
+        assert_eq!(c.misses_by_set().iter().sum::<u64>(), 0);
     }
 
     #[test]

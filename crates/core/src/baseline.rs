@@ -51,8 +51,15 @@ pub fn pettis_hansen_function_order(module: &Module, func_trace: &TrimmedTrace) 
         if ca == cb {
             continue;
         }
-        let mut left = chains[ca].take().expect("live chain");
-        let mut right = chains[cb].take().expect("live chain");
+        // Both chains are live by the chain_of invariant; recover rather
+        // than panic if it is ever broken.
+        let Some(mut left) = chains[ca].take() else {
+            continue;
+        };
+        let Some(mut right) = chains[cb].take() else {
+            chains[ca] = Some(left);
+            continue;
+        };
         // Closest is best: orient so `a` sits at the end of `left` and `b`
         // at the start of `right`.
         if left.first() == Some(&a) && left.len() > 1 {

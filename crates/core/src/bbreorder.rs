@@ -151,19 +151,17 @@ pub fn preprocess_for_bb_reordering(module: &Module) -> Result<Module, BbReorder
     Ok(out)
 }
 
-/// Post-processing sanity check (§II-E step 3): the layout must be a
-/// permutation of the transformed module's blocks and the module must still
-/// validate.
+/// Post-processing sanity check (§II-E step 3), delegated to the reusable
+/// static passes in `clop-verify`: the module must be well-formed and the
+/// layout a permutation of its blocks. Unlike the ad-hoc predecessor this
+/// replaced, the underlying passes report *every* violation; the combined
+/// report is flattened into the error message.
 pub fn postprocess_check(module: &Module, layout: &clop_ir::Layout) -> Result<(), BbReorderError> {
-    module
-        .validate()
-        .map_err(|e| BbReorderError::SanityCheckFailed(e.to_string()))?;
-    if !layout.is_permutation_of(module) {
-        return Err(BbReorderError::SanityCheckFailed(
-            "layout is not a permutation of the module's blocks".into(),
-        ));
-    }
-    Ok(())
+    let mut report = clop_verify::verify_module(module);
+    report.extend(clop_verify::check_layout(module, layout));
+    report
+        .into_result()
+        .map_err(|r| BbReorderError::SanityCheckFailed(r.to_string()))
 }
 
 #[cfg(test)]
@@ -258,6 +256,88 @@ mod tests {
             BbReorderError::UnsupportedDispatch { targets: 20, .. }
         ));
         assert!(err.to_string().contains("20-way"));
+    }
+
+    #[test]
+    fn boundary_dispatch_width_is_accepted() {
+        // Exactly MAX_SWITCH_TARGETS is still relocatable.
+        let mut b = ModuleBuilder::new("edge");
+        let names: Vec<String> = (0..MAX_SWITCH_TARGETS)
+            .map(|i| format!("op{}", i))
+            .collect();
+        {
+            let mut fb = b.function("main");
+            let t: Vec<(&str, f64)> = names.iter().map(|s| (s.as_str(), 1.0)).collect();
+            fb.switch("dispatch", 64, &t);
+            for s in &names {
+                fb.ret(s, 8);
+            }
+            fb.finish();
+        }
+        let m = b.build().unwrap();
+        assert!(preprocess_for_bb_reordering(&m).is_ok());
+    }
+
+    #[test]
+    fn wide_dispatch_in_helper_function_names_the_culprit() {
+        let mut b = ModuleBuilder::new("t");
+        b.function("main")
+            .call("c", 8, "interp", "end")
+            .ret("end", 8)
+            .finish();
+        let names: Vec<String> = (0..15).map(|i| format!("op{}", i)).collect();
+        {
+            let mut fb = b.function("interp");
+            let t: Vec<(&str, f64)> = names.iter().map(|s| (s.as_str(), 1.0)).collect();
+            fb.switch("dispatch", 64, &t);
+            for s in &names {
+                fb.ret(s, 8);
+            }
+            fb.finish();
+        }
+        let m = b.build().unwrap();
+        let err = preprocess_for_bb_reordering(&m).unwrap_err();
+        let BbReorderError::UnsupportedDispatch { function, targets } = err else {
+            panic!("expected UnsupportedDispatch");
+        };
+        assert_eq!(function, "interp");
+        assert_eq!(targets, 15);
+    }
+
+    #[test]
+    fn preprocessing_invalid_module_fails_sanity_check() {
+        // A dangling branch target stays dangling after the index shift;
+        // the pre-processor must refuse the result rather than emit it.
+        let f = clop_ir::Function::new(
+            "f",
+            vec![BasicBlock::new("a", 8, Terminator::Jump(LocalBlockId(9)))],
+        );
+        let m = Module::new("m", vec![f], vec![], clop_ir::FuncId(0));
+        let err = preprocess_for_bb_reordering(&m).unwrap_err();
+        assert!(matches!(err, BbReorderError::SanityCheckFailed(_)));
+    }
+
+    #[test]
+    fn postprocess_reports_all_violations_batch_style() {
+        // Invalid module (zero-size block) AND a non-permutation layout:
+        // the delegated clop-verify passes surface both in one message.
+        let f = clop_ir::Function::new(
+            "f",
+            vec![
+                BasicBlock::new("a", 0, Terminator::Jump(LocalBlockId(1))),
+                BasicBlock::new("b", 8, Terminator::Return),
+            ],
+        );
+        let m = Module::new("m", vec![f], vec![], clop_ir::FuncId(0));
+        let layout =
+            clop_ir::Layout::BlockOrder(vec![clop_ir::GlobalBlockId(0), clop_ir::GlobalBlockId(0)]);
+        let err = postprocess_check(&m, &layout).unwrap_err();
+        let BbReorderError::SanityCheckFailed(msg) = err else {
+            panic!("expected SanityCheckFailed");
+        };
+        assert!(msg.contains("zero size"), "{}", msg);
+        assert!(msg.contains("twice"), "{}", msg);
+        assert!(msg.contains("never places"), "{}", msg);
     }
 
     #[test]

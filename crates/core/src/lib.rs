@@ -31,6 +31,15 @@
 //!
 //! [`optimizer::OptimizerKind`] survives as a compatibility alias whose
 //! four names dispatch through the registry.
+//!
+//! Every pipeline run is machine-checked by `clop-verify` before it is
+//! returned (well-formedness of the prepared module plus semantic
+//! equivalence of the transform); set `CLOP_VERIFY=0` to skip the stage.
+//! Library paths are panic-free on hostile input, enforced by
+//! `clippy::unwrap_used`/`expect_used` on non-test code.
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod baseline;
 pub mod bbreorder;

@@ -95,6 +95,10 @@ pub enum OptError {
     BbReorder(BbReorderError),
     /// The requested pipeline name is not in the registry.
     UnknownPipeline(String),
+    /// The static verifier rejected the pipeline's output (always a bug in
+    /// a model or transform; see `clop-verify`). Skipped when
+    /// `CLOP_VERIFY=0`.
+    Verify(clop_verify::VerifyReport),
 }
 
 impl fmt::Display for OptError {
@@ -104,6 +108,9 @@ impl fmt::Display for OptError {
             OptError::BbReorder(e) => write!(f, "basic-block reordering failed: {}", e),
             OptError::UnknownPipeline(name) => {
                 write!(f, "pipeline `{}` is not registered", name)
+            }
+            OptError::Verify(report) => {
+                write!(f, "static verification rejected the result: {}", report)
             }
         }
     }

@@ -208,6 +208,12 @@ impl Pipeline {
     }
 
     /// Run the full pipeline of §II-F on a module.
+    ///
+    /// Unless `CLOP_VERIFY=0`, the result passes through the static
+    /// verification stage before it is returned: the prepared module must
+    /// be well-formed and the (layout, transform) pair semantically
+    /// equivalent to the input (see `clop-verify`). A rejection is always
+    /// a bug in a model or transform and surfaces as [`OptError::Verify`].
     pub fn optimize(&self, module: &Module) -> Result<OptimizedProgram, OptError> {
         let prepared = self.transform.prepare(module)?;
         let profile = Profile::collect(&prepared, &self.profile);
@@ -217,6 +223,18 @@ impl Pipeline {
         }
         let hot = self.model.sequence(trace);
         let layout = self.transform.realize(&prepared, &hot)?;
+        if clop_verify::verify_enabled() {
+            let mut report = clop_verify::verify_module(&prepared);
+            report.extend(clop_verify::check_transform(
+                module,
+                &prepared,
+                &layout,
+                bbreorder::JUMP_BYTES,
+            ));
+            if !report.is_ok() {
+                return Err(OptError::Verify(report));
+            }
+        }
         Ok(OptimizedProgram {
             module: prepared,
             layout,

@@ -92,7 +92,7 @@ pub fn exhaustive_best_function_order(
 
     SearchOutcome {
         layout: Layout::FunctionOrder(best_order.into_iter().map(FuncId).collect()),
-        stats: best.expect("at least one layout evaluated"),
+        stats: best.unwrap_or_default(),
         evaluated,
     }
 }

@@ -23,14 +23,21 @@ pub struct Cfg {
 
 impl Cfg {
     /// Build the CFG of a function.
+    ///
+    /// Best-effort on malformed input: out-of-range successor targets
+    /// (which `Module::validate` and `clop-verify` report as errors) are
+    /// dropped from the adjacency rather than panicking, so structural
+    /// queries stay usable while diagnosing a broken module.
     pub fn of(func: &Function) -> Cfg {
         let n = func.blocks.len();
         let mut succs = vec![Vec::new(); n];
         let mut preds = vec![Vec::new(); n];
         for (i, b) in func.blocks.iter().enumerate() {
             for s in b.local_successors() {
-                succs[i].push(s);
-                preds[s.index()].push(LocalBlockId(i as u32));
+                if s.index() < n {
+                    succs[i].push(s);
+                    preds[s.index()].push(LocalBlockId(i as u32));
+                }
             }
         }
         Cfg {
@@ -65,10 +72,12 @@ impl Cfg {
         self.succs.is_empty()
     }
 
-    /// Blocks reachable from the entry, as a dense bitmask.
+    /// Blocks reachable from the entry, as a dense bitmask. All-false for
+    /// an empty function or an out-of-range entry (no block is reachable
+    /// from a nonexistent entry).
     pub fn reachable(&self) -> Vec<bool> {
         let mut seen = vec![false; self.len()];
-        if self.is_empty() {
+        if self.is_empty() || self.entry.index() >= self.len() {
             return seen;
         }
         let mut stack = vec![self.entry];
@@ -267,6 +276,64 @@ mod tests {
         let r = cfg.reachable();
         assert_eq!(r, vec![true, true, true, true, false]);
         assert_eq!(cfg.dead_blocks(), vec![lb(4)]);
+    }
+
+    #[test]
+    fn empty_function_has_no_reachable_or_dead_blocks() {
+        let cfg = Cfg::of(&Function::new("e", vec![]));
+        assert!(cfg.is_empty());
+        assert_eq!(cfg.len(), 0);
+        assert!(cfg.reachable().is_empty());
+        assert!(cfg.dead_blocks().is_empty());
+    }
+
+    #[test]
+    fn entry_only_function_is_fully_reachable() {
+        let cfg = Cfg::of(&Function::new(
+            "one",
+            vec![BasicBlock::new("only", 8, Terminator::Return)],
+        ));
+        assert_eq!(cfg.reachable(), vec![true]);
+        assert!(cfg.dead_blocks().is_empty());
+    }
+
+    #[test]
+    fn self_loop_entry_terminates_and_reaches_itself() {
+        // A single block jumping to itself: reachability must not spin and
+        // must not report the entry dead.
+        let cfg = Cfg::of(&Function::new(
+            "spin",
+            vec![BasicBlock::new("loop", 8, Terminator::Jump(lb(0)))],
+        ));
+        assert_eq!(cfg.reachable(), vec![true]);
+        assert_eq!(cfg.successors(lb(0)), &[lb(0)]);
+        assert_eq!(cfg.predecessors(lb(0)), &[lb(0)]);
+        assert!(cfg.dead_blocks().is_empty());
+    }
+
+    #[test]
+    fn out_of_range_entry_reaches_nothing() {
+        let mut f = Function::new("bad", vec![BasicBlock::new("a", 8, Terminator::Return)]);
+        f.entry = lb(7);
+        let cfg = Cfg::of(&f);
+        assert_eq!(cfg.reachable(), vec![false]);
+        assert_eq!(cfg.dead_blocks(), vec![lb(0)]);
+    }
+
+    #[test]
+    fn dangling_successors_are_dropped_not_panicked() {
+        // bb0 jumps to a nonexistent bb9: the CFG stays queryable and the
+        // bogus edge simply does not exist.
+        let cfg = Cfg::of(&Function::new(
+            "dangle",
+            vec![
+                BasicBlock::new("a", 8, Terminator::Jump(lb(9))),
+                BasicBlock::new("b", 8, Terminator::Return),
+            ],
+        ));
+        assert!(cfg.successors(lb(0)).is_empty());
+        assert_eq!(cfg.reachable(), vec![true, false]);
+        assert_eq!(cfg.dead_blocks(), vec![lb(1)]);
     }
 
     #[test]

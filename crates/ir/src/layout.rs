@@ -284,6 +284,90 @@ mod tests {
     }
 
     #[test]
+    fn linked_ranges_never_overlap_and_respect_alignment() {
+        // Property: for random modules, random layouts of either kind, and
+        // random link options, every block's [address, address+size) range
+        // is disjoint from every other, function starts honor the
+        // alignment, and nothing is placed below the base address.
+        use clop_util::check::check_n;
+        use clop_util::rng::Rng;
+
+        fn random_module(rng: &mut Rng) -> Module {
+            let nf = rng.gen_range_u32(1, 6) as usize;
+            let functions = (0..nf)
+                .map(|fi| {
+                    let nb = rng.gen_range_u32(1, 5);
+                    let blocks = (0..nb)
+                        .map(|bi| {
+                            let size = rng.gen_range_u32(1, 200);
+                            let term = if bi + 1 < nb {
+                                crate::block::Terminator::Jump(LocalBlockId(bi + 1))
+                            } else {
+                                crate::block::Terminator::Return
+                            };
+                            crate::block::BasicBlock::new(format!("b{}", bi), size, term)
+                        })
+                        .collect();
+                    crate::function::Function::new(format!("f{}", fi), blocks)
+                })
+                .collect();
+            Module::new("prop", functions, vec![], FuncId(0))
+        }
+
+        check_n("linked-image-ranges", 64, |rng| {
+            let m = random_module(rng);
+            let opts = LinkOptions {
+                function_align: [1u32, 1, 4, 16, 64][rng.gen_index(5)],
+                base_address: [0u64, 0x1000, 0x40_0000][rng.gen_index(3)],
+            };
+            let layout = if rng.gen_bool(0.5) {
+                let mut order: Vec<FuncId> = (0..m.num_functions() as u32).map(FuncId).collect();
+                rng.shuffle(&mut order);
+                Layout::FunctionOrder(order)
+            } else {
+                let mut order: Vec<GlobalBlockId> =
+                    (0..m.num_blocks() as u32).map(GlobalBlockId).collect();
+                rng.shuffle(&mut order);
+                Layout::BlockOrder(order)
+            };
+            let img = LinkedImage::link(&m, &layout, opts);
+
+            let mut ranges: Vec<(u64, u64)> = (0..m.num_blocks() as u32)
+                .map(|g| {
+                    let gid = GlobalBlockId(g);
+                    (img.address(gid), img.address(gid) + img.size(gid) as u64)
+                })
+                .collect();
+            ranges.sort_unstable();
+            assert!(ranges[0].0 >= opts.base_address, "block below base");
+            for w in ranges.windows(2) {
+                assert!(
+                    w[0].1 <= w[1].0,
+                    "overlapping block ranges {:?} and {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+            if let Layout::FunctionOrder(order) = &layout {
+                for &f in order {
+                    let entry = m.global_id(f, LocalBlockId(0));
+                    assert_eq!(
+                        img.address(entry) % opts.function_align.max(1) as u64,
+                        0,
+                        "function start not aligned"
+                    );
+                }
+            }
+            // The image spans at least the code and at most code plus the
+            // worst-case alignment padding.
+            let code: u64 = m.size_bytes();
+            let max_pad = (opts.function_align.max(1) as u64 - 1) * m.num_functions() as u64;
+            assert!(img.image_size() >= code);
+            assert!(img.image_size() <= code + max_pad);
+        });
+    }
+
+    #[test]
     fn locate_blocks_via_module_round_trip() {
         let m = sample_module();
         assert_eq!(

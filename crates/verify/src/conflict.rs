@@ -1,0 +1,319 @@
+//! Static cache-set conflict analysis.
+//!
+//! Maps a [`LinkedImage`] onto a set-associative geometry and predicts,
+//! without running the simulator, where conflict misses will concentrate:
+//! each cache line of the image carries the execution weight of the blocks
+//! that span it, each cache set accumulates its *hot* lines (weight at or
+//! above a threshold), and a set whose hot-line count exceeds the
+//! associativity is flagged as overloaded — those lines cannot co-reside,
+//! so every revisit risks a conflict miss. The per-set predicted-miss score
+//! is the quantity cross-validated against `clop-cachesim`'s measured
+//! per-set misses.
+//!
+//! The report also carries the hot-footprint line count, a static proxy for
+//! the paper's Eq 1 footprint `v(T)`: fewer hot lines means a smaller
+//! window footprint, which simultaneously lowers self-conflict
+//! (defensiveness) and the cache share taken from a co-runner (politeness).
+
+use clop_cachesim::CacheConfig;
+use clop_ir::{EdgeProfile, LinkedImage, Module};
+
+/// Configuration of the static conflict analysis.
+#[derive(Clone, Copy, Debug)]
+pub struct ConflictConfig {
+    /// Cache geometry to map the image onto.
+    pub cache: CacheConfig,
+    /// Minimum accumulated line weight for a line to count as hot.
+    pub hot_line_min_weight: u64,
+}
+
+impl Default for ConflictConfig {
+    fn default() -> Self {
+        ConflictConfig {
+            cache: CacheConfig::paper_l1i(),
+            hot_line_min_weight: 1,
+        }
+    }
+}
+
+/// Pressure on one cache set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SetPressure {
+    /// The set index.
+    pub set: u64,
+    /// Distinct image lines mapping to this set.
+    pub total_lines: usize,
+    /// Hot lines (weight ≥ threshold) mapping to this set.
+    pub hot_lines: usize,
+    /// Total execution weight of the set's hot lines.
+    pub weight: u64,
+    /// Predicted miss score: with the hot working set within the
+    /// associativity only cold misses remain (one per hot line); beyond it
+    /// the lines thrash, so the score escalates to the full revisit weight.
+    pub predicted_misses: u64,
+}
+
+/// The static conflict report for one (module, image) pair.
+#[derive(Clone, Debug)]
+pub struct ConflictReport {
+    /// The geometry analyzed.
+    pub cache: CacheConfig,
+    /// Per-set pressure, indexed by set.
+    pub sets: Vec<SetPressure>,
+    /// Distinct hot lines across the image — the static footprint upper
+    /// bound (Eq 1 proxy).
+    pub footprint_lines: usize,
+    /// Distinct lines the image occupies in total.
+    pub image_lines: usize,
+}
+
+impl ConflictReport {
+    /// Sets whose hot working set exceeds the associativity.
+    pub fn overloaded(&self) -> Vec<u64> {
+        self.sets
+            .iter()
+            .filter(|s| s.hot_lines > self.cache.associativity as usize)
+            .map(|s| s.set)
+            .collect()
+    }
+
+    /// Per-set predicted miss scores, indexed by set (the ranking signal
+    /// the cross-validation suite compares against the simulator).
+    pub fn predicted_by_set(&self) -> Vec<f64> {
+        self.sets
+            .iter()
+            .map(|s| s.predicted_misses as f64)
+            .collect()
+    }
+
+    /// Render the hottest sets as an aligned text table.
+    pub fn render(&self, top: usize) -> String {
+        let mut rows: Vec<&SetPressure> = self.sets.iter().collect();
+        rows.sort_by(|a, b| {
+            b.predicted_misses
+                .cmp(&a.predicted_misses)
+                .then(a.set.cmp(&b.set))
+        });
+        let mut out = String::new();
+        out.push_str(&format!(
+            "cache: {} sets x {}-way, {}-byte lines; image {} lines, hot footprint {} lines, {} overloaded set(s)\n",
+            self.cache.num_sets(),
+            self.cache.associativity,
+            self.cache.line_size,
+            self.image_lines,
+            self.footprint_lines,
+            self.overloaded().len()
+        ));
+        out.push_str("  set  lines  hot  weight      predicted\n");
+        for s in rows.iter().take(top) {
+            out.push_str(&format!(
+                "  {:>4} {:>5} {:>4} {:>11} {:>10}{}\n",
+                s.set,
+                s.total_lines,
+                s.hot_lines,
+                s.weight,
+                s.predicted_misses,
+                if s.hot_lines > self.cache.associativity as usize {
+                    "  OVERLOADED"
+                } else {
+                    ""
+                }
+            ));
+        }
+        out
+    }
+}
+
+/// Per-block execution weight from an edge profile: the incoming transition
+/// mass of each global block (how often control entered it), the signal the
+/// edge profile can answer without re-running the program.
+pub fn block_weights(profile: &EdgeProfile, num_blocks: usize) -> Vec<u64> {
+    let mut w = vec![0u64; num_blocks];
+    for (_, to, n) in profile.edges() {
+        if let Some(slot) = w.get_mut(to as usize) {
+            *slot += n;
+        }
+    }
+    w
+}
+
+/// Analyze the static set-conflict structure of a linked image.
+///
+/// `weights[g]` is the execution weight of global block `g` (e.g. from
+/// [`block_weights`]); blocks with zero weight contribute to the image
+/// footprint but not to hot-line pressure.
+pub fn analyze_conflicts(
+    module: &Module,
+    image: &LinkedImage,
+    weights: &[u64],
+    config: &ConflictConfig,
+) -> ConflictReport {
+    // Accumulate per-line weight: each block spreads its weight over every
+    // line it spans (a fetch of the block touches all of them).
+    let mut line_weight: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    for (gid, _, _) in module.iter_global_blocks() {
+        let (first, last) = image.line_span(gid, config.cache.line_size);
+        let w = weights.get(gid.index()).copied().unwrap_or(0);
+        for line in first..=last {
+            *line_weight.entry(line).or_insert(0) += w;
+        }
+    }
+    let num_sets = config.cache.num_sets();
+    let mut sets: Vec<SetPressure> = (0..num_sets)
+        .map(|set| SetPressure {
+            set,
+            total_lines: 0,
+            hot_lines: 0,
+            weight: 0,
+            predicted_misses: 0,
+        })
+        .collect();
+    let mut footprint_lines = 0usize;
+    for (&line, &w) in &line_weight {
+        let s = &mut sets[config.cache.set_of_line(line) as usize];
+        s.total_lines += 1;
+        if w >= config.hot_line_min_weight {
+            s.hot_lines += 1;
+            s.weight += w;
+            footprint_lines += 1;
+        }
+    }
+    for s in &mut sets {
+        s.predicted_misses = if s.hot_lines <= config.cache.associativity as usize {
+            // The hot working set fits: cold misses only.
+            s.hot_lines as u64
+        } else {
+            // Thrashing: every revisit of a hot line risks an eviction.
+            s.weight
+        };
+    }
+    ConflictReport {
+        cache: config.cache,
+        sets,
+        footprint_lines,
+        image_lines: line_weight.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clop_ir::{BasicBlock, FuncId, Function, Layout, LinkOptions, Module, Terminator};
+
+    /// `n` single-block functions of exactly one line each, linked at base
+    /// zero so block `i` occupies line `i`.
+    fn line_module(n: usize, line: u64) -> (Module, LinkedImage) {
+        let functions = (0..n)
+            .map(|i| {
+                Function::new(
+                    format!("f{}", i),
+                    vec![BasicBlock::new("b", line as u32, Terminator::Return)],
+                )
+            })
+            .collect();
+        let m = Module::new("m", functions, vec![], FuncId(0));
+        let img = LinkedImage::link(
+            &m,
+            &Layout::original(&m),
+            LinkOptions {
+                function_align: 1,
+                base_address: 0,
+            },
+        );
+        (m, img)
+    }
+
+    fn tiny_cache() -> CacheConfig {
+        // 2 sets x 2 ways x 64-byte lines.
+        CacheConfig::new(256, 2, 64)
+    }
+
+    #[test]
+    fn pressure_within_associativity_predicts_cold_misses() {
+        let (m, img) = line_module(4, 64);
+        let cfg = ConflictConfig {
+            cache: tiny_cache(),
+            hot_line_min_weight: 1,
+        };
+        // All four blocks hot: 2 hot lines per set == associativity.
+        let r = analyze_conflicts(&m, &img, &[10, 10, 10, 10], &cfg);
+        assert_eq!(r.sets.len(), 2);
+        for s in &r.sets {
+            assert_eq!(s.hot_lines, 2);
+            assert_eq!(s.predicted_misses, 2);
+        }
+        assert!(r.overloaded().is_empty());
+        assert_eq!(r.footprint_lines, 4);
+        assert_eq!(r.image_lines, 4);
+    }
+
+    #[test]
+    fn overloaded_set_escalates_to_weight() {
+        // 6 one-line blocks: lines 0,2,4 map to set 0 — 3 hot lines in a
+        // 2-way set.
+        let (m, img) = line_module(6, 64);
+        let cfg = ConflictConfig {
+            cache: tiny_cache(),
+            hot_line_min_weight: 1,
+        };
+        let r = analyze_conflicts(&m, &img, &[5, 0, 7, 0, 9, 0], &cfg);
+        let s0 = &r.sets[0];
+        assert_eq!(s0.hot_lines, 3);
+        assert_eq!(s0.total_lines, 3);
+        assert_eq!(s0.predicted_misses, 5 + 7 + 9);
+        assert_eq!(r.overloaded(), vec![0]);
+        // Set 1 has no hot lines at all.
+        assert_eq!(r.sets[1].hot_lines, 0);
+        assert_eq!(r.sets[1].predicted_misses, 0);
+        assert_eq!(r.footprint_lines, 3);
+        assert_eq!(r.image_lines, 6);
+    }
+
+    #[test]
+    fn cold_blocks_count_toward_image_but_not_footprint() {
+        let (m, img) = line_module(4, 64);
+        let cfg = ConflictConfig {
+            cache: tiny_cache(),
+            hot_line_min_weight: 3,
+        };
+        let r = analyze_conflicts(&m, &img, &[10, 2, 0, 4], &cfg);
+        assert_eq!(r.footprint_lines, 2); // weights 10 and 4 pass the bar
+        assert_eq!(r.image_lines, 4);
+    }
+
+    #[test]
+    fn multi_line_blocks_spread_weight() {
+        // One 128-byte block spans two lines; both get its weight.
+        let (m, img) = line_module(1, 128);
+        let cfg = ConflictConfig {
+            cache: tiny_cache(),
+            hot_line_min_weight: 1,
+        };
+        let r = analyze_conflicts(&m, &img, &[6], &cfg);
+        assert_eq!(r.image_lines, 2);
+        assert_eq!(r.sets[0].weight, 6);
+        assert_eq!(r.sets[1].weight, 6);
+    }
+
+    #[test]
+    fn block_weights_sum_incoming_edges() {
+        use clop_trace::TrimmedTrace;
+        let t = TrimmedTrace::from_indices([0u32, 1, 2, 1, 2]);
+        let p = EdgeProfile::measure(&t);
+        let w = block_weights(&p, 3);
+        assert_eq!(w, vec![0, 2, 2]);
+    }
+
+    #[test]
+    fn render_marks_overloaded_sets() {
+        let (m, img) = line_module(6, 64);
+        let cfg = ConflictConfig {
+            cache: tiny_cache(),
+            hot_line_min_weight: 1,
+        };
+        let r = analyze_conflicts(&m, &img, &[5, 0, 7, 0, 9, 0], &cfg);
+        let text = r.render(2);
+        assert!(text.contains("OVERLOADED"));
+        assert!(text.contains("hot footprint 3 lines"));
+    }
+}

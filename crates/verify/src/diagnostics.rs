@@ -1,0 +1,430 @@
+//! Typed, batch-style verification diagnostics.
+//!
+//! Every analysis in this crate reports *all* violations it finds, not the
+//! first one: a [`VerifyReport`] collects [`VerifyError`]s with full
+//! function/block provenance, so a single run of the verifier over a broken
+//! module or layout shows the whole damage at once (the behaviour expected
+//! of a linter, not of a validator that stops on first failure).
+
+use clop_ir::{FuncId, GlobalBlockId, LocalBlockId, VarId};
+use std::fmt;
+
+/// Where a diagnostic was found: function and block, with the human names
+/// carried so messages stay readable after IDs shift.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Site {
+    /// The owning function.
+    pub func: FuncId,
+    /// The owning function's name.
+    pub func_name: String,
+    /// The block within the function.
+    pub block: LocalBlockId,
+    /// The block's name.
+    pub block_name: String,
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}.{} ({}/{})",
+            self.func_name, self.block_name, self.func, self.block
+        )
+    }
+}
+
+/// One verification failure, with provenance.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VerifyError {
+    // ---- module well-formedness ----
+    /// The module has no functions.
+    EmptyModule,
+    /// The module entry function is out of range.
+    BadModuleEntry {
+        /// The claimed entry.
+        entry: FuncId,
+        /// How many functions exist.
+        num_functions: usize,
+    },
+    /// A function has no blocks.
+    EmptyFunction {
+        /// The function.
+        func: FuncId,
+        /// Its name.
+        name: String,
+    },
+    /// A function's entry block is out of range.
+    BadEntry {
+        /// The function.
+        func: FuncId,
+        /// Its name.
+        name: String,
+        /// The claimed entry block.
+        entry: LocalBlockId,
+        /// How many blocks the function has.
+        num_blocks: usize,
+    },
+    /// A terminator targets a block outside its function.
+    DanglingTarget {
+        /// The offending block.
+        site: Site,
+        /// The out-of-range target.
+        target: LocalBlockId,
+    },
+    /// A call targets a function outside the module.
+    DanglingCallee {
+        /// The offending block.
+        site: Site,
+        /// The out-of-range callee.
+        callee: FuncId,
+    },
+    /// A block has zero size (the linker requires positive sizes).
+    ZeroSizeBlock {
+        /// The offending block.
+        site: Site,
+    },
+    /// A switch has empty targets, mismatched weights, or an invalid
+    /// weight vector.
+    BadSwitch {
+        /// The offending block.
+        site: Site,
+        /// What exactly is wrong.
+        detail: String,
+    },
+    /// A branch probability or period is invalid.
+    BadProbability {
+        /// The offending block.
+        site: Site,
+        /// What exactly is wrong.
+        detail: String,
+    },
+    /// A behaviour model or effect references an undeclared global.
+    BadGlobalRef {
+        /// The offending block.
+        site: Site,
+        /// The undeclared variable.
+        var: VarId,
+    },
+    /// The module's global block numbering is not a dense bijection.
+    IdAliasing {
+        /// The global id that fails to round-trip.
+        global: GlobalBlockId,
+        /// What exactly is wrong.
+        detail: String,
+    },
+
+    // ---- layout permutation ----
+    /// The layout has the wrong number of units.
+    LayoutLengthMismatch {
+        /// Units the module has.
+        expected: usize,
+        /// Units the layout lists.
+        got: usize,
+    },
+    /// The layout lists a unit outside the module.
+    LayoutOutOfRange {
+        /// The out-of-range unit id.
+        unit: u32,
+        /// The exclusive bound.
+        bound: u32,
+    },
+    /// The layout lists a unit more than once.
+    LayoutDuplicate {
+        /// The duplicated unit id.
+        unit: u32,
+    },
+    /// The layout never places a unit of the module.
+    LayoutMissing {
+        /// The missing unit id.
+        unit: u32,
+    },
+
+    // ---- transform semantic equivalence ----
+    /// The transform changed the number of functions.
+    FunctionCountChanged {
+        /// Functions before.
+        original: usize,
+        /// Functions after.
+        transformed: usize,
+    },
+    /// A function-order transform altered the module (it must be the
+    /// identity on module contents).
+    ModuleChanged {
+        /// What exactly differs.
+        detail: String,
+    },
+    /// A basic-block transform scattered a function's blocks without
+    /// inserting the entry stub that keeps the entry addressable.
+    MissingStub {
+        /// The function.
+        func: FuncId,
+        /// Its name.
+        name: String,
+        /// What exactly is wrong.
+        detail: String,
+    },
+    /// A transformed block is not structurally isomorphic to its original.
+    StructureMismatch {
+        /// The transformed block.
+        site: Site,
+        /// What exactly differs.
+        detail: String,
+    },
+    /// An implicit fall-through edge is neither preserved adjacent in the
+    /// layout nor materialized as an explicit jump.
+    FallThroughBroken {
+        /// The source block (in the transformed module).
+        site: Site,
+        /// The fall-through successor that is no longer adjacent.
+        successor: LocalBlockId,
+    },
+    /// A block's reachability from the function entry changed.
+    ReachabilityChanged {
+        /// The function.
+        func: FuncId,
+        /// Its name.
+        name: String,
+        /// What exactly changed.
+        detail: String,
+    },
+    /// A block's dominator set changed.
+    DominanceChanged {
+        /// The function.
+        func: FuncId,
+        /// Its name.
+        name: String,
+        /// What exactly changed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use VerifyError::*;
+        match self {
+            EmptyModule => write!(f, "module has no functions"),
+            BadModuleEntry {
+                entry,
+                num_functions,
+            } => write!(
+                f,
+                "module entry {} out of range ({} functions)",
+                entry, num_functions
+            ),
+            EmptyFunction { func, name } => {
+                write!(f, "function `{}` ({}) has no blocks", name, func)
+            }
+            BadEntry {
+                func,
+                name,
+                entry,
+                num_blocks,
+            } => write!(
+                f,
+                "function `{}` ({}) entry {} out of range ({} blocks)",
+                name, func, entry, num_blocks
+            ),
+            DanglingTarget { site, target } => {
+                write!(f, "{}: terminator targets out-of-range {}", site, target)
+            }
+            DanglingCallee { site, callee } => {
+                write!(f, "{}: call targets out-of-range {}", site, callee)
+            }
+            ZeroSizeBlock { site } => write!(f, "{}: block has zero size", site),
+            BadSwitch { site, detail } => write!(f, "{}: invalid switch: {}", site, detail),
+            BadProbability { site, detail } => {
+                write!(f, "{}: invalid probability: {}", site, detail)
+            }
+            BadGlobalRef { site, var } => {
+                write!(f, "{}: references undeclared global {}", site, var)
+            }
+            IdAliasing { global, detail } => {
+                write!(f, "global block id {} aliases: {}", global, detail)
+            }
+            LayoutLengthMismatch { expected, got } => {
+                write!(f, "layout lists {} units, module has {}", got, expected)
+            }
+            LayoutOutOfRange { unit, bound } => {
+                write!(
+                    f,
+                    "layout places out-of-range unit {} (bound {})",
+                    unit, bound
+                )
+            }
+            LayoutDuplicate { unit } => write!(f, "layout places unit {} twice", unit),
+            LayoutMissing { unit } => write!(f, "layout never places unit {}", unit),
+            FunctionCountChanged {
+                original,
+                transformed,
+            } => write!(
+                f,
+                "transform changed function count: {} -> {}",
+                original, transformed
+            ),
+            ModuleChanged { detail } => {
+                write!(f, "function-order transform altered the module: {}", detail)
+            }
+            MissingStub { func, name, detail } => {
+                write!(
+                    f,
+                    "function `{}` ({}): missing entry stub: {}",
+                    name, func, detail
+                )
+            }
+            StructureMismatch { site, detail } => {
+                write!(f, "{}: structure mismatch: {}", site, detail)
+            }
+            FallThroughBroken { site, successor } => write!(
+                f,
+                "{}: fall-through edge to {} neither adjacent in layout nor \
+                 materialized as an explicit jump",
+                site, successor
+            ),
+            ReachabilityChanged { func, name, detail } => {
+                write!(
+                    f,
+                    "function `{}` ({}): reachability changed: {}",
+                    name, func, detail
+                )
+            }
+            DominanceChanged { func, name, detail } => {
+                write!(
+                    f,
+                    "function `{}` ({}): dominance changed: {}",
+                    name, func, detail
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// All violations one verification pass found.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct VerifyReport {
+    /// The violations, in discovery order.
+    pub errors: Vec<VerifyError>,
+}
+
+impl VerifyReport {
+    /// An empty (passing) report.
+    pub fn new() -> VerifyReport {
+        VerifyReport::default()
+    }
+
+    /// True when no violation was found.
+    pub fn is_ok(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Number of violations.
+    pub fn len(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// True when no violation was found (mirror of [`VerifyReport::is_ok`],
+    /// for iterator-style call sites).
+    pub fn is_empty(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Record one violation.
+    pub fn push(&mut self, e: VerifyError) {
+        self.errors.push(e);
+    }
+
+    /// Absorb another report's violations.
+    pub fn extend(&mut self, other: VerifyReport) {
+        self.errors.extend(other.errors);
+    }
+
+    /// `Ok(())` when passing, `Err(self)` otherwise.
+    pub fn into_result(self) -> Result<(), VerifyReport> {
+        if self.is_ok() {
+            Ok(())
+        } else {
+            Err(self)
+        }
+    }
+
+    /// True if any error matches the predicate.
+    pub fn any(&self, pred: impl Fn(&VerifyError) -> bool) -> bool {
+        self.errors.iter().any(pred)
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_ok() {
+            return write!(f, "verification passed");
+        }
+        writeln!(f, "{} verification error(s):", self.errors.len())?;
+        for e in &self.errors {
+            writeln!(f, "  - {}", e)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site() -> Site {
+        Site {
+            func: FuncId(1),
+            func_name: "worker".into(),
+            block: LocalBlockId(2),
+            block_name: "body".into(),
+        }
+    }
+
+    #[test]
+    fn report_collects_and_displays_all() {
+        let mut r = VerifyReport::new();
+        assert!(r.is_ok());
+        r.push(VerifyError::EmptyModule);
+        r.push(VerifyError::DanglingTarget {
+            site: site(),
+            target: LocalBlockId(9),
+        });
+        assert_eq!(r.len(), 2);
+        let s = r.to_string();
+        assert!(s.contains("2 verification error(s)"));
+        assert!(s.contains("no functions"));
+        assert!(s.contains("worker.body"));
+        assert!(s.contains("bb9"));
+    }
+
+    #[test]
+    fn into_result_round_trips() {
+        assert!(VerifyReport::new().into_result().is_ok());
+        let mut r = VerifyReport::new();
+        r.push(VerifyError::LayoutDuplicate { unit: 3 });
+        let err = r.clone().into_result().unwrap_err();
+        assert_eq!(err, r);
+    }
+
+    #[test]
+    fn extend_merges_in_order() {
+        let mut a = VerifyReport::new();
+        a.push(VerifyError::EmptyModule);
+        let mut b = VerifyReport::new();
+        b.push(VerifyError::LayoutMissing { unit: 7 });
+        a.extend(b);
+        assert_eq!(a.len(), 2);
+        assert!(matches!(
+            a.errors[1],
+            VerifyError::LayoutMissing { unit: 7 }
+        ));
+    }
+
+    #[test]
+    fn any_filters_by_variant() {
+        let mut r = VerifyReport::new();
+        r.push(VerifyError::LayoutDuplicate { unit: 1 });
+        assert!(r.any(|e| matches!(e, VerifyError::LayoutDuplicate { .. })));
+        assert!(!r.any(|e| matches!(e, VerifyError::EmptyModule)));
+    }
+}

@@ -1,0 +1,754 @@
+//! Transform semantic-equivalence checking.
+//!
+//! A layout transform must not change what the program *does*: the layout
+//! must be a permutation of the module's units, a function-order transform
+//! must leave the module untouched, and a basic-block transform must be
+//! exactly the entry-stub pre-processing — same blocks, same behaviour,
+//! indices shifted by one, with every implicit fall-through edge of the
+//! original CFG either kept adjacent in the new layout or materialized as
+//! an explicit jump (the block grew by the jump size). On top of the
+//! structural isomorphism, per-function reachability and dominance sets
+//! must be preserved under the index shift.
+
+use crate::diagnostics::{Site, VerifyError, VerifyReport};
+use clop_ir::{FuncId, Function, Layout, LocalBlockId, Module, Terminator};
+
+/// Check that `layout` is a permutation of `module`'s units, reporting
+/// every violation (wrong length, out-of-range, duplicated, and missing
+/// units — not just the first).
+pub fn check_layout(module: &Module, layout: &Layout) -> VerifyReport {
+    let mut report = VerifyReport::new();
+    let (units, bound): (Vec<u32>, u32) = match layout {
+        Layout::FunctionOrder(order) => (
+            order.iter().map(|f| f.0).collect(),
+            module.num_functions() as u32,
+        ),
+        Layout::BlockOrder(order) => (
+            order.iter().map(|b| b.0).collect(),
+            module.num_blocks() as u32,
+        ),
+    };
+    if units.len() != bound as usize {
+        report.push(VerifyError::LayoutLengthMismatch {
+            expected: bound as usize,
+            got: units.len(),
+        });
+    }
+    let mut count = vec![0u32; bound as usize];
+    for &u in &units {
+        match count.get_mut(u as usize) {
+            Some(c) => *c += 1,
+            None => report.push(VerifyError::LayoutOutOfRange { unit: u, bound }),
+        }
+    }
+    for (u, &c) in count.iter().enumerate() {
+        if c > 1 {
+            report.push(VerifyError::LayoutDuplicate { unit: u as u32 });
+        } else if c == 0 {
+            report.push(VerifyError::LayoutMissing { unit: u as u32 });
+        }
+    }
+    report
+}
+
+/// Check that `(transformed, layout)` is a semantics-preserving layout of
+/// `original`.
+///
+/// `jump_bytes` is the size of one explicit jump instruction (the amount a
+/// fall-through block grows when its edge is materialized;
+/// `clop_core::bbreorder::JUMP_BYTES` in the shipped pipelines).
+pub fn check_transform(
+    original: &Module,
+    transformed: &Module,
+    layout: &Layout,
+    jump_bytes: u32,
+) -> VerifyReport {
+    let mut report = check_layout(transformed, layout);
+    if transformed.num_functions() != original.num_functions() {
+        report.push(VerifyError::FunctionCountChanged {
+            original: original.num_functions(),
+            transformed: transformed.num_functions(),
+        });
+        return report;
+    }
+    if transformed.entry != original.entry {
+        report.push(VerifyError::ModuleChanged {
+            detail: format!(
+                "module entry changed: {} -> {}",
+                original.entry, transformed.entry
+            ),
+        });
+    }
+    if transformed.globals != original.globals {
+        report.push(VerifyError::ModuleChanged {
+            detail: "module globals changed".to_string(),
+        });
+    }
+    match layout {
+        Layout::FunctionOrder(_) => {
+            // Function reordering permutes placement only; the module must
+            // be byte-identical.
+            for (fi, (of, tf)) in original
+                .functions
+                .iter()
+                .zip(transformed.functions.iter())
+                .enumerate()
+            {
+                if of != tf {
+                    report.push(VerifyError::ModuleChanged {
+                        detail: format!(
+                            "function `{}` ({}) was modified by a function-order transform",
+                            of.name,
+                            FuncId(fi as u32)
+                        ),
+                    });
+                }
+            }
+        }
+        Layout::BlockOrder(_) => {
+            // Block adjacency checks need a position index, which only
+            // exists for a valid permutation.
+            let pos = report
+                .is_ok()
+                .then(|| position_index(transformed, layout))
+                .flatten();
+            for fi in 0..original.num_functions() {
+                let fid = FuncId(fi as u32);
+                check_function(
+                    original,
+                    transformed,
+                    fid,
+                    pos.as_deref(),
+                    jump_bytes,
+                    &mut report,
+                );
+            }
+        }
+    }
+    report
+}
+
+/// Position of each global block id within a block-order layout.
+fn position_index(module: &Module, layout: &Layout) -> Option<Vec<usize>> {
+    let Layout::BlockOrder(order) = layout else {
+        return None;
+    };
+    let mut pos = vec![usize::MAX; module.num_blocks()];
+    for (i, g) in order.iter().enumerate() {
+        *pos.get_mut(g.index())? = i;
+    }
+    Some(pos)
+}
+
+fn shift(t: LocalBlockId) -> LocalBlockId {
+    LocalBlockId(t.0 + 1)
+}
+
+fn check_function(
+    original: &Module,
+    transformed: &Module,
+    fid: FuncId,
+    pos: Option<&[usize]>,
+    jump_bytes: u32,
+    report: &mut VerifyReport,
+) {
+    let of = &original.functions[fid.index()];
+    let tf = &transformed.functions[fid.index()];
+    if tf.name != of.name {
+        report.push(VerifyError::StructureMismatch {
+            site: Site {
+                func: fid,
+                func_name: tf.name.clone(),
+                block: tf.entry,
+                block_name: String::new(),
+            },
+            detail: format!("function renamed from `{}`", of.name),
+        });
+    }
+    let n = of.blocks.len();
+    if tf.blocks.len() == n {
+        check_untransformed_function(transformed, fid, of, tf, pos, report);
+        return;
+    }
+    if tf.blocks.len() != n + 1 {
+        report.push(VerifyError::MissingStub {
+            func: fid,
+            name: tf.name.clone(),
+            detail: format!(
+                "expected {} blocks (identity) or {} (entry stub), found {}",
+                n,
+                n + 1,
+                tf.blocks.len()
+            ),
+        });
+        return;
+    }
+    // Stub mode: block 0 must be a pure jump stub to the shifted original
+    // entry, and the function entry must be the stub.
+    let stub = &tf.blocks[0];
+    let stub_ok = tf.entry == LocalBlockId(0)
+        && stub.size_bytes == jump_bytes
+        && stub.effects.is_empty()
+        && stub.terminator == Terminator::Jump(shift(of.entry));
+    if !stub_ok {
+        report.push(VerifyError::MissingStub {
+            func: fid,
+            name: tf.name.clone(),
+            detail: format!(
+                "block 0 `{}` is not a {}-byte jump stub to {} with entry at bb0",
+                stub.name,
+                jump_bytes,
+                shift(of.entry)
+            ),
+        });
+    }
+    for i in 0..n {
+        check_block_pair(transformed, fid, of, tf, i, pos, jump_bytes, report);
+    }
+    check_flow_preserved(of, tf, fid, &tf.name, report);
+}
+
+/// An untransformed (stub-free) function inside a block-order layout is
+/// only sound if its blocks were left in place: contiguous and in original
+/// order, so every implicit fall-through still lands on the next block.
+fn check_untransformed_function(
+    transformed: &Module,
+    fid: FuncId,
+    of: &Function,
+    tf: &Function,
+    pos: Option<&[usize]>,
+    report: &mut VerifyReport,
+) {
+    if tf != of {
+        report.push(VerifyError::StructureMismatch {
+            site: Site {
+                func: fid,
+                func_name: tf.name.clone(),
+                block: tf.entry,
+                block_name: String::new(),
+            },
+            detail: "stub-free function differs from the original".to_string(),
+        });
+        return;
+    }
+    let Some(pos) = pos else { return };
+    for bi in 1..tf.blocks.len() {
+        let prev = transformed.global_id(fid, LocalBlockId(bi as u32 - 1));
+        let here = transformed.global_id(fid, LocalBlockId(bi as u32));
+        if pos[here.index()] != pos[prev.index()] + 1 {
+            report.push(VerifyError::MissingStub {
+                func: fid,
+                name: tf.name.clone(),
+                detail: format!(
+                    "blocks reordered without jump pre-processing (block {} not \
+                     immediately after {})",
+                    LocalBlockId(bi as u32),
+                    LocalBlockId(bi as u32 - 1)
+                ),
+            });
+            return;
+        }
+    }
+}
+
+/// Original block `i` against transformed block `i + 1`: same behaviour,
+/// terminator targets shifted by one, and the fall-through rule on sizes.
+#[allow(clippy::too_many_arguments)]
+fn check_block_pair(
+    transformed: &Module,
+    fid: FuncId,
+    of: &Function,
+    tf: &Function,
+    i: usize,
+    pos: Option<&[usize]>,
+    jump_bytes: u32,
+    report: &mut VerifyReport,
+) {
+    let ob = &of.blocks[i];
+    let tb = &tf.blocks[i + 1];
+    let tid = LocalBlockId(i as u32 + 1);
+    let site = Site {
+        func: fid,
+        func_name: tf.name.clone(),
+        block: tid,
+        block_name: tb.name.clone(),
+    };
+    if tb.instr_count != ob.instr_count || tb.effects != ob.effects || tb.name != ob.name {
+        report.push(VerifyError::StructureMismatch {
+            site: site.clone(),
+            detail: format!(
+                "behaviour differs from original `{}` (instr count, effects, or name)",
+                ob.name
+            ),
+        });
+    }
+    let expected = shifted_terminator(&ob.terminator);
+    if tb.terminator != expected {
+        report.push(VerifyError::StructureMismatch {
+            site: site.clone(),
+            detail: "terminator is not the original shifted by one".to_string(),
+        });
+        return;
+    }
+    // The fall-through rule. Fall-through successors of the *original*
+    // block: the target of a Jump, the not-taken side of a Branch, the
+    // return continuation of a Call.
+    let fall_through = match &ob.terminator {
+        Terminator::Jump(t) => Some(*t),
+        Terminator::Branch { not_taken, .. } => Some(*not_taken),
+        Terminator::Call { ret_to, .. } => Some(*ret_to),
+        Terminator::Switch { .. } | Terminator::Return => None,
+    };
+    match fall_through {
+        None => {
+            if tb.size_bytes != ob.size_bytes {
+                report.push(VerifyError::StructureMismatch {
+                    site,
+                    detail: format!(
+                        "size changed {} -> {} on a block with no fall-through edge",
+                        ob.size_bytes, tb.size_bytes
+                    ),
+                });
+            }
+        }
+        Some(succ) => {
+            if tb.size_bytes == ob.size_bytes + jump_bytes {
+                return; // materialized as an explicit jump: always sound
+            }
+            if tb.size_bytes != ob.size_bytes {
+                report.push(VerifyError::StructureMismatch {
+                    site,
+                    detail: format!(
+                        "size changed {} -> {}; expected unchanged or +{} jump bytes",
+                        ob.size_bytes, tb.size_bytes, jump_bytes
+                    ),
+                });
+                return;
+            }
+            // No jump bytes: the edge must be preserved adjacent.
+            let Some(pos) = pos else { return };
+            let here = transformed.global_id(fid, tid);
+            let there = transformed.global_id(fid, shift(succ));
+            if pos[there.index()] != pos[here.index()] + 1 {
+                report.push(VerifyError::FallThroughBroken {
+                    site,
+                    successor: shift(succ),
+                });
+            }
+        }
+    }
+}
+
+fn shifted_terminator(t: &Terminator) -> Terminator {
+    match t {
+        Terminator::Jump(t) => Terminator::Jump(shift(*t)),
+        Terminator::Branch {
+            cond,
+            taken,
+            not_taken,
+        } => Terminator::Branch {
+            cond: cond.clone(),
+            taken: shift(*taken),
+            not_taken: shift(*not_taken),
+        },
+        Terminator::Switch { targets, weights } => Terminator::Switch {
+            targets: targets.iter().map(|t| shift(*t)).collect(),
+            weights: weights.clone(),
+        },
+        Terminator::Call { callee, ret_to } => Terminator::Call {
+            callee: *callee,
+            ret_to: shift(*ret_to),
+        },
+        Terminator::Return => Terminator::Return,
+    }
+}
+
+/// Reachability and dominance preservation under the stub shift: original
+/// block `i` reachable iff transformed block `i + 1` is, and the dominator
+/// set of `i + 1` is the stub plus the shifted dominator set of `i`.
+fn check_flow_preserved(
+    of: &Function,
+    tf: &Function,
+    fid: FuncId,
+    name: &str,
+    report: &mut VerifyReport,
+) {
+    let reach_o = reachable(of);
+    let reach_t = reachable(tf);
+    if tf.entry == LocalBlockId(0) && !reach_t.first().copied().unwrap_or(false) {
+        report.push(VerifyError::ReachabilityChanged {
+            func: fid,
+            name: name.to_string(),
+            detail: "entry stub unreachable".to_string(),
+        });
+    }
+    for (i, &r) in reach_o.iter().enumerate() {
+        if reach_t.get(i + 1).copied().unwrap_or(false) != r {
+            report.push(VerifyError::ReachabilityChanged {
+                func: fid,
+                name: name.to_string(),
+                detail: format!(
+                    "block {} was {}reachable, its image {} is {}",
+                    LocalBlockId(i as u32),
+                    if r { "" } else { "un" },
+                    LocalBlockId(i as u32 + 1),
+                    if r { "not" } else { "now" }
+                ),
+            });
+            return; // one mismatch implies cascades; report the first
+        }
+    }
+    let dom_o = dominators(of, &reach_o);
+    let dom_t = dominators(tf, &reach_t);
+    for (i, &r) in reach_o.iter().enumerate() {
+        if !r {
+            continue;
+        }
+        // Expected dominators of the image block: the stub (new entry)
+        // plus every original dominator shifted by one.
+        let mut expected = BitSet::new(tf.blocks.len());
+        expected.insert(0);
+        for d in dom_o[i].iter() {
+            expected.insert(d + 1);
+        }
+        if dom_t[i + 1] != expected {
+            report.push(VerifyError::DominanceChanged {
+                func: fid,
+                name: name.to_string(),
+                detail: format!(
+                    "dominator set of {} is not the shifted original set",
+                    LocalBlockId(i as u32 + 1)
+                ),
+            });
+            return;
+        }
+    }
+}
+
+/// Guarded reachability (out-of-range successors are skipped rather than
+/// panicking; the well-formedness pass reports them separately).
+fn reachable(f: &Function) -> Vec<bool> {
+    let n = f.blocks.len();
+    let mut seen = vec![false; n];
+    if n == 0 || f.entry.index() >= n {
+        return seen;
+    }
+    let mut stack = vec![f.entry];
+    seen[f.entry.index()] = true;
+    while let Some(b) = stack.pop() {
+        for s in f.blocks[b.index()].local_successors() {
+            if s.index() < n && !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}
+
+/// A fixed-capacity bitset over block indices.
+#[derive(Clone, PartialEq, Eq)]
+struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    fn new(len: usize) -> BitSet {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    fn full(len: usize) -> BitSet {
+        let mut s = BitSet::new(len);
+        for i in 0..len {
+            s.insert(i);
+        }
+        s
+    }
+
+    fn insert(&mut self, i: usize) {
+        if i < self.len {
+            self.words[i / 64] |= 1 << (i % 64);
+        }
+    }
+
+    fn intersect_with(&mut self, other: &BitSet) {
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(|&i| self.words[i / 64] >> (i % 64) & 1 == 1)
+    }
+}
+
+/// Dominator sets by iterative bitset dataflow over the reachable
+/// subgraph. Unreachable blocks get an empty set.
+fn dominators(f: &Function, reach: &[bool]) -> Vec<BitSet> {
+    let n = f.blocks.len();
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, b) in f.blocks.iter().enumerate() {
+        if !reach[i] {
+            continue;
+        }
+        for s in b.local_successors() {
+            if s.index() < n && reach[s.index()] {
+                preds[s.index()].push(i);
+            }
+        }
+    }
+    let mut dom: Vec<BitSet> = (0..n)
+        .map(|i| {
+            if reach[i] {
+                BitSet::full(n)
+            } else {
+                BitSet::new(n)
+            }
+        })
+        .collect();
+    if n == 0 || f.entry.index() >= n {
+        return dom;
+    }
+    let entry = f.entry.index();
+    dom[entry] = BitSet::new(n);
+    dom[entry].insert(entry);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..n {
+            if !reach[i] || i == entry {
+                continue;
+            }
+            let mut new = BitSet::full(n);
+            for &p in &preds[i] {
+                new.intersect_with(&dom[p]);
+            }
+            new.insert(i);
+            if new != dom[i] {
+                dom[i] = new;
+                changed = true;
+            }
+        }
+    }
+    dom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clop_ir::{BasicBlock, CondModel, GlobalBlockId, Module};
+
+    fn diamond_fn() -> Function {
+        Function::new(
+            "d",
+            vec![
+                BasicBlock::new(
+                    "h",
+                    8,
+                    Terminator::Branch {
+                        cond: CondModel::Bernoulli(0.5),
+                        taken: LocalBlockId(1),
+                        not_taken: LocalBlockId(2),
+                    },
+                ),
+                BasicBlock::new("l", 8, Terminator::Jump(LocalBlockId(3))),
+                BasicBlock::new("r", 8, Terminator::Jump(LocalBlockId(3))),
+                BasicBlock::new("j", 8, Terminator::Return),
+            ],
+        )
+    }
+
+    fn module_of(f: Function) -> Module {
+        Module::new("m", vec![f], vec![], FuncId(0))
+    }
+
+    /// A hand-rolled equivalent of `preprocess_for_bb_reordering` for the
+    /// single-function case (kept local: `clop-core` depends on this crate,
+    /// not vice versa).
+    fn stubbed(m: &Module, jump_bytes: u32) -> Module {
+        let f = &m.functions[0];
+        let mut blocks = vec![BasicBlock::new(
+            format!("{}__stub", f.name),
+            jump_bytes,
+            Terminator::Jump(shift(f.entry)),
+        )];
+        for b in &f.blocks {
+            let mut nb = b.clone();
+            nb.terminator = shifted_terminator(&b.terminator);
+            if matches!(
+                b.terminator,
+                Terminator::Jump(_) | Terminator::Branch { .. } | Terminator::Call { .. }
+            ) {
+                nb.size_bytes += jump_bytes;
+            }
+            blocks.push(nb);
+        }
+        let mut nf = Function::new(f.name.clone(), blocks);
+        nf.entry = LocalBlockId(0);
+        Module::new(m.name.clone(), vec![nf], m.globals.clone(), m.entry)
+    }
+
+    fn rev_layout(m: &Module) -> Layout {
+        Layout::BlockOrder(
+            (0..m.num_blocks() as u32)
+                .rev()
+                .map(GlobalBlockId)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn check_layout_reports_all_defects_at_once() {
+        let m = module_of(diamond_fn());
+        let l = Layout::BlockOrder(vec![GlobalBlockId(0), GlobalBlockId(0), GlobalBlockId(9)]);
+        let r = check_layout(&m, &l);
+        assert!(r.any(|e| matches!(e, VerifyError::LayoutLengthMismatch { .. })));
+        assert!(r.any(|e| matches!(e, VerifyError::LayoutOutOfRange { unit: 9, .. })));
+        assert!(r.any(|e| matches!(e, VerifyError::LayoutDuplicate { unit: 0 })));
+        assert!(r.any(|e| matches!(e, VerifyError::LayoutMissing { unit: 1 })));
+    }
+
+    #[test]
+    fn preprocessed_reversal_passes() {
+        let m = module_of(diamond_fn());
+        let t = stubbed(&m, 5);
+        let r = check_transform(&m, &t, &rev_layout(&t), 5);
+        assert!(r.is_ok(), "{}", r);
+    }
+
+    #[test]
+    fn function_order_identity_passes() {
+        let m = module_of(diamond_fn());
+        let l = Layout::FunctionOrder(vec![FuncId(0)]);
+        assert!(check_transform(&m, &m, &l, 5).is_ok());
+    }
+
+    #[test]
+    fn function_order_transform_must_not_edit_module() {
+        let m = module_of(diamond_fn());
+        let mut t = m.clone();
+        t.functions[0].blocks[1].size_bytes += 1;
+        let l = Layout::FunctionOrder(vec![FuncId(0)]);
+        let r = check_transform(&m, &t, &l, 5);
+        assert!(r.any(|e| matches!(e, VerifyError::ModuleChanged { .. })));
+    }
+
+    #[test]
+    fn scattered_blocks_without_stub_are_caught() {
+        // Mutation: reorder blocks of the *original* module (no
+        // pre-processing) — fall-throughs silently break.
+        let m = module_of(diamond_fn());
+        let r = check_transform(&m, &m, &rev_layout(&m), 5);
+        assert!(
+            r.any(|e| matches!(e, VerifyError::MissingStub { .. })),
+            "{}",
+            r
+        );
+    }
+
+    #[test]
+    fn broken_fall_through_is_caught() {
+        // Mutation: shrink a grown block back to its original size while
+        // its fall-through successor is not adjacent in the layout.
+        let m = module_of(diamond_fn());
+        let mut t = stubbed(&m, 5);
+        t.functions[0].blocks[2].size_bytes -= 5; // "l": Jump, was grown
+        let r = check_transform(&m, &t, &rev_layout(&t), 5);
+        assert!(
+            r.any(|e| matches!(e, VerifyError::FallThroughBroken { .. })),
+            "{}",
+            r
+        );
+    }
+
+    #[test]
+    fn adjacent_fall_through_without_jump_is_accepted() {
+        // The same shrunk block is fine when the layout keeps its successor
+        // right behind it.
+        let m = module_of(diamond_fn());
+        let mut t = stubbed(&m, 5);
+        t.functions[0].blocks[2].size_bytes -= 5; // "l" falls through to "j"
+        let l = Layout::BlockOrder(vec![
+            GlobalBlockId(0),
+            GlobalBlockId(1),
+            GlobalBlockId(3),
+            GlobalBlockId(2), // l ...
+            GlobalBlockId(4), // ... immediately followed by j
+        ]);
+        let r = check_transform(&m, &t, &l, 5);
+        assert!(r.is_ok(), "{}", r);
+    }
+
+    #[test]
+    fn dropped_and_duplicated_blocks_are_caught() {
+        let m = module_of(diamond_fn());
+        let t = stubbed(&m, 5);
+        let mut dropped: Vec<GlobalBlockId> =
+            (0..t.num_blocks() as u32).map(GlobalBlockId).collect();
+        dropped.pop();
+        let r = check_transform(&m, &t, &Layout::BlockOrder(dropped), 5);
+        assert!(r.any(|e| matches!(e, VerifyError::LayoutMissing { .. })));
+
+        let mut dup: Vec<GlobalBlockId> = (0..t.num_blocks() as u32).map(GlobalBlockId).collect();
+        dup[0] = GlobalBlockId(1);
+        let r = check_transform(&m, &t, &Layout::BlockOrder(dup), 5);
+        assert!(r.any(|e| matches!(e, VerifyError::LayoutDuplicate { unit: 1 })));
+        assert!(r.any(|e| matches!(e, VerifyError::LayoutMissing { unit: 0 })));
+    }
+
+    #[test]
+    fn retargeted_terminator_is_caught() {
+        // Mutation: the transform rewired a branch target.
+        let m = module_of(diamond_fn());
+        let mut t = stubbed(&m, 5);
+        t.functions[0].blocks[2].terminator = Terminator::Jump(LocalBlockId(1));
+        let r = check_transform(&m, &t, &rev_layout(&t), 5);
+        assert!(
+            r.any(|e| matches!(e, VerifyError::StructureMismatch { .. })),
+            "{}",
+            r
+        );
+    }
+
+    #[test]
+    fn function_count_change_is_caught() {
+        let m = Module::new(
+            "m",
+            vec![
+                diamond_fn(),
+                Function::new("x", vec![BasicBlock::new("b", 8, Terminator::Return)]),
+            ],
+            vec![],
+            FuncId(0),
+        );
+        let mut t = m.clone();
+        t.functions.pop();
+        let r = check_transform(&m, &t, &Layout::FunctionOrder(vec![FuncId(0)]), 5);
+        assert!(r.any(|e| matches!(e, VerifyError::FunctionCountChanged { .. })));
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        let f = diamond_fn();
+        let reach = reachable(&f);
+        let dom = dominators(&f, &reach);
+        // Join block (3) is dominated by itself and the head only.
+        let d3: Vec<usize> = dom[3].iter().collect();
+        assert_eq!(d3, vec![0, 3]);
+        let d1: Vec<usize> = dom[1].iter().collect();
+        assert_eq!(d1, vec![0, 1]);
+    }
+
+    #[test]
+    fn reachability_guard_handles_degenerate_functions() {
+        let empty = Function::new("e", vec![]);
+        assert!(reachable(&empty).is_empty());
+        let mut bad_entry = diamond_fn();
+        bad_entry.entry = LocalBlockId(40);
+        assert!(reachable(&bad_entry).iter().all(|r| !r));
+    }
+}

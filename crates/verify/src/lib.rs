@@ -1,0 +1,46 @@
+//! `clop-verify`: static analyses over CLOP IR, layouts, and linked images.
+//!
+//! Three analyses, all batch-reporting (every violation, not first-fail):
+//!
+//! 1. **Well-formedness** ([`verify_module`]): every block ends in a valid
+//!    terminator whose targets resolve, entries are in range, probabilities
+//!    and switches are sane, and the module's global block numbering is a
+//!    dense bijection. This is the linting core behind `clop-lint`.
+//! 2. **Transform semantic equivalence** ([`check_transform`],
+//!    [`check_layout`]): statically prove a `Transform` output is a
+//!    permutation of the module, that every implicit fall-through edge of
+//!    the original CFG is either kept adjacent in the layout or was
+//!    materialized as an explicit jump by the BB pre-processing, and that
+//!    per-function reachability and dominance are unchanged.
+//! 3. **Static cache-set conflict analysis** ([`analyze_conflicts`]): map a
+//!    [`clop_ir::LinkedImage`] onto a set-associative geometry, compute
+//!    per-set hot-line pressure from an edge profile, and flag sets whose
+//!    hot working set exceeds the associativity — a simulator-free conflict
+//!    predictor cross-validated against `clop-cachesim`.
+//!
+//! The analyses are pure functions of their inputs and depend only on
+//! `clop-ir`, `clop-trace`, and `clop-cachesim`, so every layer above
+//! (pipelines, the engine, the CLI, CI) can call them without cycles.
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+mod conflict;
+mod diagnostics;
+mod equivalence;
+mod stats;
+mod wellformed;
+
+pub use conflict::{analyze_conflicts, block_weights, ConflictConfig, ConflictReport, SetPressure};
+pub use diagnostics::{Site, VerifyError, VerifyReport};
+pub use equivalence::{check_layout, check_transform};
+pub use stats::spearman;
+pub use wellformed::verify_module;
+
+/// Whether pipeline-integrated verification is enabled. On by default;
+/// disable with `CLOP_VERIFY=0` (any other value keeps it on).
+pub fn verify_enabled() -> bool {
+    std::env::var("CLOP_VERIFY")
+        .map(|v| v != "0")
+        .unwrap_or(true)
+}

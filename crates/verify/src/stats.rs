@@ -1,0 +1,102 @@
+//! Rank statistics for cross-validating the static conflict model against
+//! the cache simulator.
+
+/// Spearman rank correlation between two equal-length samples, with
+/// average ranks for ties (the standard tie correction: Pearson on the
+/// rank vectors).
+///
+/// Returns 0.0 for degenerate inputs: fewer than two points, mismatched
+/// lengths, or a sample with no rank variance (all values equal).
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() != b.len() || a.len() < 2 {
+        return 0.0;
+    }
+    let ra = average_ranks(a);
+    let rb = average_ranks(b);
+    pearson(&ra, &rb)
+}
+
+/// Average (mid) ranks of a sample: ties share the mean of the rank
+/// positions they occupy.
+fn average_ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&i, &j| {
+        xs[i]
+            .partial_cmp(&xs[j])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut ranks = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Positions i..=j (0-based) share the average 1-based rank.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_monotone_agreement_is_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 300.0, 4000.0]; // monotone, not linear
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_reversal_is_minus_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_get_average_ranks() {
+        assert_eq!(average_ranks(&[5.0, 1.0, 5.0]), vec![2.5, 1.0, 2.5]);
+        // All tied in one sample → no variance → 0.
+        assert_eq!(spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_zero() {
+        assert_eq!(spearman(&[], &[]), 0.0);
+        assert_eq!(spearman(&[1.0], &[2.0]), 0.0);
+        assert_eq!(spearman(&[1.0, 2.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn partial_agreement_is_between() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [2.0, 1.0, 3.0, 5.0, 4.0];
+        let r = spearman(&a, &b);
+        assert!(r > 0.5 && r < 1.0, "r = {}", r);
+    }
+}

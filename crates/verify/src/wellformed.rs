@@ -1,0 +1,349 @@
+//! Module/CFG well-formedness: the batch-reporting counterpart of
+//! [`clop_ir::Module::validate`], plus ID-density checks the first-fail
+//! validator does not perform.
+
+use crate::diagnostics::{Site, VerifyError, VerifyReport};
+use clop_ir::{CondModel, Effect, FuncId, GlobalBlockId, LocalBlockId, Module, Terminator};
+
+fn site(module: &Module, func: FuncId, block: LocalBlockId) -> Site {
+    let func_name = module
+        .function(func)
+        .map(|f| f.name.clone())
+        .unwrap_or_default();
+    let block_name = module
+        .function(func)
+        .and_then(|f| f.block(block))
+        .map(|b| b.name.clone())
+        .unwrap_or_default();
+    Site {
+        func,
+        func_name,
+        block,
+        block_name,
+    }
+}
+
+/// Verify a module's structure, reporting *every* violation.
+///
+/// Covers the same ground as [`Module::validate`] (terminator targets,
+/// entries, switches, probabilities, global references, block sizes) and
+/// additionally checks that the whole-program block numbering is a dense
+/// bijection: `locate(global_id(f, b)) == (f, b)` for every block and
+/// `locate` rejects ids at and beyond `num_blocks`.
+pub fn verify_module(module: &Module) -> VerifyReport {
+    let mut report = VerifyReport::new();
+    if module.functions.is_empty() {
+        report.push(VerifyError::EmptyModule);
+        return report;
+    }
+    if module.entry.index() >= module.functions.len() {
+        report.push(VerifyError::BadModuleEntry {
+            entry: module.entry,
+            num_functions: module.functions.len(),
+        });
+    }
+    for (fi, f) in module.functions.iter().enumerate() {
+        let fid = FuncId(fi as u32);
+        if f.blocks.is_empty() {
+            report.push(VerifyError::EmptyFunction {
+                func: fid,
+                name: f.name.clone(),
+            });
+            continue;
+        }
+        if f.entry.index() >= f.blocks.len() {
+            report.push(VerifyError::BadEntry {
+                func: fid,
+                name: f.name.clone(),
+                entry: f.entry,
+                num_blocks: f.blocks.len(),
+            });
+        }
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let bid = LocalBlockId(bi as u32);
+            if b.size_bytes == 0 {
+                report.push(VerifyError::ZeroSizeBlock {
+                    site: site(module, fid, bid),
+                });
+            }
+            for t in b.local_successors() {
+                if t.index() >= f.blocks.len() {
+                    report.push(VerifyError::DanglingTarget {
+                        site: site(module, fid, bid),
+                        target: t,
+                    });
+                }
+            }
+            match &b.terminator {
+                Terminator::Call { callee, .. } if callee.index() >= module.functions.len() => {
+                    report.push(VerifyError::DanglingCallee {
+                        site: site(module, fid, bid),
+                        callee: *callee,
+                    });
+                }
+                Terminator::Switch { targets, weights } => {
+                    let detail = if targets.is_empty() {
+                        Some("no targets".to_string())
+                    } else if targets.len() != weights.len() {
+                        Some(format!(
+                            "{} targets but {} weights",
+                            targets.len(),
+                            weights.len()
+                        ))
+                    } else if !weights.iter().all(|w| w.is_finite() && *w >= 0.0) {
+                        Some("weights must be finite and non-negative".to_string())
+                    } else if weights.iter().sum::<f64>() <= 0.0 {
+                        Some("weights sum to zero".to_string())
+                    } else {
+                        None
+                    };
+                    if let Some(detail) = detail {
+                        report.push(VerifyError::BadSwitch {
+                            site: site(module, fid, bid),
+                            detail,
+                        });
+                    }
+                }
+                Terminator::Branch { cond, .. } => {
+                    check_cond(module, cond, fid, bid, &mut report);
+                }
+                _ => {}
+            }
+            for e in &b.effects {
+                let var = match e {
+                    Effect::SetGlobal { var, .. } => *var,
+                    Effect::AddGlobal { var, .. } => *var,
+                };
+                if var.index() >= module.globals.len() {
+                    report.push(VerifyError::BadGlobalRef {
+                        site: site(module, fid, bid),
+                        var,
+                    });
+                }
+            }
+        }
+    }
+    check_id_density(module, &mut report);
+    report
+}
+
+fn check_cond(
+    module: &Module,
+    cond: &CondModel,
+    func: FuncId,
+    block: LocalBlockId,
+    report: &mut VerifyReport,
+) {
+    match cond {
+        CondModel::Bernoulli(p) => {
+            if !p.is_finite() || !(0.0..=1.0).contains(p) {
+                report.push(VerifyError::BadProbability {
+                    site: site(module, func, block),
+                    detail: format!("Bernoulli probability {} outside [0, 1]", p),
+                });
+            }
+        }
+        CondModel::Alternating(period) => {
+            if *period == 0 {
+                report.push(VerifyError::BadProbability {
+                    site: site(module, func, block),
+                    detail: "Alternating period is zero".to_string(),
+                });
+            }
+        }
+        CondModel::GlobalEq { var, .. } => {
+            if var.index() >= module.globals.len() {
+                report.push(VerifyError::BadGlobalRef {
+                    site: site(module, func, block),
+                    var: *var,
+                });
+            }
+        }
+        CondModel::LoopCounter { .. } => {}
+    }
+}
+
+/// The global block numbering must be a dense bijection over
+/// `0..num_blocks`: every id locates to a (func, block) pair that maps back
+/// to the same id, in (function, local) lexicographic order, and the first
+/// id past the end must not locate.
+fn check_id_density(module: &Module, report: &mut VerifyReport) {
+    let n = module.num_blocks() as u32;
+    let mut expected = Vec::with_capacity(n as usize);
+    for (fi, f) in module.functions.iter().enumerate() {
+        for bi in 0..f.blocks.len() {
+            expected.push((FuncId(fi as u32), LocalBlockId(bi as u32)));
+        }
+    }
+    for g in 0..n {
+        let gid = GlobalBlockId(g);
+        match module.locate(gid) {
+            Some(pair) if pair == expected[g as usize] => {}
+            Some((f, b)) => report.push(VerifyError::IdAliasing {
+                global: gid,
+                detail: format!(
+                    "locates to ({}, {}) but dense order expects ({}, {})",
+                    f, b, expected[g as usize].0, expected[g as usize].1
+                ),
+            }),
+            None => report.push(VerifyError::IdAliasing {
+                global: gid,
+                detail: format!("in-range id fails to locate ({} blocks)", n),
+            }),
+        }
+    }
+    if module.locate(GlobalBlockId(n)).is_some() {
+        report.push(VerifyError::IdAliasing {
+            global: GlobalBlockId(n),
+            detail: "id one past the end locates to a block".to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clop_ir::{BasicBlock, Function};
+
+    fn ret_fn(name: &str) -> Function {
+        Function::new(name, vec![BasicBlock::new("b", 8, Terminator::Return)])
+    }
+
+    #[test]
+    fn valid_module_passes() {
+        let m = Module::new("m", vec![ret_fn("main")], vec![], FuncId(0));
+        assert!(verify_module(&m).is_ok());
+    }
+
+    #[test]
+    fn empty_module_reported() {
+        let m = Module::new("m", vec![], vec![], FuncId(0));
+        let r = verify_module(&m);
+        assert!(r.any(|e| matches!(e, VerifyError::EmptyModule)));
+    }
+
+    #[test]
+    fn batch_reporting_collects_multiple_violations() {
+        // One module, three independent defects: dangling jump target,
+        // zero-size block, out-of-range module entry.
+        let f = Function::new(
+            "f",
+            vec![
+                BasicBlock::new("a", 8, Terminator::Jump(LocalBlockId(9))),
+                BasicBlock::new("z", 0, Terminator::Return),
+            ],
+        );
+        let m = Module::new("m", vec![f], vec![], FuncId(5));
+        let r = verify_module(&m);
+        assert!(r.any(|e| matches!(e, VerifyError::DanglingTarget { .. })));
+        assert!(r.any(|e| matches!(e, VerifyError::ZeroSizeBlock { .. })));
+        assert!(r.any(|e| matches!(e, VerifyError::BadModuleEntry { .. })));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn dangling_callee_reported_with_site() {
+        let f = Function::new(
+            "caller",
+            vec![BasicBlock::new(
+                "c",
+                8,
+                Terminator::Call {
+                    callee: FuncId(7),
+                    ret_to: LocalBlockId(0),
+                },
+            )],
+        );
+        let m = Module::new("m", vec![f], vec![], FuncId(0));
+        let r = verify_module(&m);
+        assert_eq!(r.len(), 1);
+        let s = r.to_string();
+        assert!(s.contains("caller.c") && s.contains("fn7"));
+    }
+
+    #[test]
+    fn bad_switch_and_probability_detail() {
+        let f = Function::new(
+            "f",
+            vec![
+                BasicBlock::new(
+                    "s",
+                    8,
+                    Terminator::Switch {
+                        targets: vec![LocalBlockId(1)],
+                        weights: vec![1.0, 2.0],
+                    },
+                ),
+                BasicBlock::new(
+                    "p",
+                    8,
+                    Terminator::Branch {
+                        cond: CondModel::Bernoulli(f64::NAN),
+                        taken: LocalBlockId(0),
+                        not_taken: LocalBlockId(1),
+                    },
+                ),
+            ],
+        );
+        let m = Module::new("m", vec![f], vec![], FuncId(0));
+        let r = verify_module(&m);
+        assert!(r.any(|e| matches!(e, VerifyError::BadSwitch { .. })));
+        assert!(r.any(|e| matches!(e, VerifyError::BadProbability { .. })));
+    }
+
+    #[test]
+    fn undeclared_global_reported_for_effects_and_conds() {
+        let f = Function::new(
+            "f",
+            vec![
+                BasicBlock::new(
+                    "a",
+                    8,
+                    Terminator::Branch {
+                        cond: CondModel::GlobalEq {
+                            var: clop_ir::VarId(3),
+                            value: 0,
+                        },
+                        taken: LocalBlockId(1),
+                        not_taken: LocalBlockId(1),
+                    },
+                )
+                .with_effect(Effect::AddGlobal {
+                    var: clop_ir::VarId(9),
+                    delta: 1,
+                }),
+                BasicBlock::new("b", 8, Terminator::Return),
+            ],
+        );
+        let m = Module::new("m", vec![f], vec![], FuncId(0));
+        let r = verify_module(&m);
+        let globals = r
+            .errors
+            .iter()
+            .filter(|e| matches!(e, VerifyError::BadGlobalRef { .. }))
+            .count();
+        assert_eq!(globals, 2);
+    }
+
+    #[test]
+    fn id_density_holds_for_multi_function_modules() {
+        let m = Module::new(
+            "m",
+            vec![ret_fn("a"), ret_fn("b"), ret_fn("c")],
+            vec![],
+            FuncId(0),
+        );
+        assert!(verify_module(&m).is_ok());
+    }
+
+    #[test]
+    fn agrees_with_first_fail_validate_on_ok_modules() {
+        let m = Module::new(
+            "m",
+            vec![ret_fn("main"), ret_fn("x")],
+            vec![1, 2],
+            FuncId(0),
+        );
+        assert_eq!(m.validate().is_ok(), verify_module(&m).is_ok());
+    }
+}

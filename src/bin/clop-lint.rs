@@ -1,0 +1,414 @@
+//! `clop-lint` — static verifier for textual IR modules and layout orders.
+//!
+//! Lints `.clop` module files with the `clop-verify` passes and reports
+//! every diagnostic (batch-style, not first-fail):
+//!
+//! * parse errors with 1-based `file:line:col` positions,
+//! * module/CFG well-formedness violations (dangling targets, bad
+//!   probabilities, zero-size blocks, ID aliasing, ...),
+//! * layout-order files checked as permutations of the module
+//!   (`--layout ORDER`), resolving `function` or `function.block` names,
+//! * an optional static cache-set conflict report (`--conflicts`).
+//!
+//! Exits non-zero when any diagnostic is emitted, so CI can gate on a
+//! clean tree (`ci/lint_ir.sh`).
+
+use code_layout_opt::core::{Profile, ProfileConfig};
+use code_layout_opt::ir::{
+    text, EdgeProfile, ExecConfig, GlobalBlockId, Layout, LinkOptions, LinkedImage, Module,
+};
+use code_layout_opt::verify;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(n) => {
+            eprintln!("{} diagnostic(s)", n);
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {}", e);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const HELP: &str = "\
+clop-lint — static verifier for clop textual IR and layout orders
+
+usage:
+  clop-lint <module.clop>... [--layout ORDER] [--conflicts]
+            [--seed N] [--fuel N] [--top K]
+
+checks:
+  * parse errors reported as file:line:col
+  * module/CFG well-formedness (all violations, batch-style)
+  * --layout ORDER   lint an order file against the (single) module:
+                     one unit per line, `name` for a function order or
+                     `func.block` for a whole-program block order; must be
+                     a permutation of the module
+  * --conflicts      profile the module (seeded run) and print the static
+                     cache-set conflict report (informational)
+
+exit status: 0 clean, 1 on any diagnostic or usage error
+";
+
+/// Lint everything the arguments name; returns the number of diagnostics.
+fn run(args: &[String]) -> Result<usize, String> {
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", HELP);
+        return Ok(0);
+    }
+    let files: Vec<&String> = {
+        // Positional arguments: everything not a flag or a flag's value.
+        let mut out = Vec::new();
+        let mut skip = false;
+        for (i, a) in args.iter().enumerate() {
+            if skip {
+                skip = false;
+                continue;
+            }
+            if a.starts_with("--") {
+                skip = matches!(a.as_str(), "--layout" | "--seed" | "--fuel" | "--top")
+                    && i + 1 < args.len();
+                continue;
+            }
+            out.push(a);
+        }
+        out
+    };
+    if files.is_empty() {
+        return Err("no module files given (try `clop-lint --help`)".into());
+    }
+    let layout_path = flag_value(args, "--layout");
+    if layout_path.is_some() && files.len() != 1 {
+        return Err("--layout requires exactly one module file".into());
+    }
+
+    let mut diagnostics = 0usize;
+    for path in &files {
+        let (module, n) = lint_module_file(path);
+        diagnostics += n;
+        let Some(module) = module else { continue };
+
+        let mut layout = None;
+        if let Some(order) = layout_path {
+            let (l, n) = lint_order_file(&module, order)?;
+            diagnostics += n;
+            layout = l;
+        }
+        if args.iter().any(|a| a == "--conflicts") {
+            print_conflicts(&module, layout.as_ref(), args)?;
+        }
+    }
+    if diagnostics == 0 {
+        println!(
+            "ok: {} file(s) clean{}",
+            files.len(),
+            if layout_path.is_some() {
+                " (layout order verified)"
+            } else {
+                ""
+            }
+        );
+    }
+    Ok(diagnostics)
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.windows(2)
+        .find(|w| w[0] == name)
+        .map(|w| w[1].as_str())
+}
+
+/// Parse and verify one module file, printing each diagnostic. Returns the
+/// module (when it parsed) and the diagnostic count.
+fn lint_module_file(path: &str) -> (Option<Module>, usize) {
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{}: error: cannot read: {}", path, e);
+            return (None, 1);
+        }
+    };
+    let module = match text::parse(&src) {
+        Ok(m) => m,
+        Err(e) => {
+            // ParseError carries 1-based line/col (0 = "no position").
+            match (e.line, e.col) {
+                (0, _) => eprintln!("{}: error: {}", path, e.message),
+                (l, 0) => eprintln!("{}:{}: error: {}", path, l, e.message),
+                (l, c) => eprintln!("{}:{}:{}: error: {}", path, l, c, e.message),
+            }
+            return (None, 1);
+        }
+    };
+    let report = verify::verify_module(&module);
+    for err in &report.errors {
+        eprintln!("{}: error: {}", path, err);
+    }
+    (Some(module), report.len())
+}
+
+/// Lint a layout-order file against the module: resolve names, then check
+/// the order is a permutation. `Err` only for I/O problems.
+fn lint_order_file(module: &Module, path: &str) -> Result<(Option<Layout>, usize), String> {
+    let src =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{}`: {}", path, e))?;
+    let mut diagnostics = 0usize;
+    let mut funcs = Vec::new();
+    let mut blocks = Vec::new();
+    let mut block_mode = None;
+    for (ln, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // The first unit decides the granularity: `func.block` lines make
+        // a whole-program block order, bare names a function order.
+        let is_block = *block_mode.get_or_insert_with(|| resolve_block(module, line).is_some());
+        if is_block {
+            match resolve_block(module, line) {
+                Some(g) => blocks.push(g),
+                None => {
+                    eprintln!("{}:{}: error: unknown block `{}`", path, ln + 1, line);
+                    diagnostics += 1;
+                }
+            }
+        } else {
+            match module.function_by_name(line) {
+                Some(f) => funcs.push(f),
+                None => {
+                    eprintln!("{}:{}: error: unknown function `{}`", path, ln + 1, line);
+                    diagnostics += 1;
+                }
+            }
+        }
+    }
+    if diagnostics > 0 {
+        return Ok((None, diagnostics));
+    }
+    let layout = if block_mode == Some(true) {
+        Layout::BlockOrder(blocks)
+    } else {
+        Layout::FunctionOrder(funcs)
+    };
+    let report = verify::check_layout(module, &layout);
+    for err in &report.errors {
+        eprintln!("{}: error: {}", path, err);
+    }
+    let n = report.len();
+    Ok(((n == 0).then_some(layout), n))
+}
+
+/// Resolve a `func.block` unit; tries every dot as the separator so names
+/// containing dots still resolve.
+fn resolve_block(module: &Module, unit: &str) -> Option<GlobalBlockId> {
+    for (i, _) in unit.match_indices('.') {
+        let (fname, bname) = (&unit[..i], &unit[i + 1..]);
+        if let Some(f) = module.function_by_name(fname) {
+            if let Some(b) = module.function(f).and_then(|f| f.block_by_name(bname)) {
+                return Some(module.global_id(f, b));
+            }
+        }
+    }
+    None
+}
+
+/// Profile the module on a seeded run and print the static cache-set
+/// conflict report (informational; never counts as a diagnostic).
+fn print_conflicts(
+    module: &Module,
+    layout: Option<&Layout>,
+    args: &[String],
+) -> Result<(), String> {
+    let mut exec = ExecConfig::with_fuel(200_000);
+    if let Some(s) = flag_value(args, "--seed") {
+        exec.seed = s.parse().map_err(|_| format!("bad --seed `{}`", s))?;
+    }
+    if let Some(s) = flag_value(args, "--fuel") {
+        exec.max_events = s.parse().map_err(|_| format!("bad --fuel `{}`", s))?;
+    }
+    let top: usize = flag_value(args, "--top")
+        .map(|s| s.parse().map_err(|_| format!("bad --top `{}`", s)))
+        .transpose()?
+        .unwrap_or(8);
+
+    let profile = Profile::collect(module, &ProfileConfig::with_exec(exec));
+    let weights = verify::block_weights(
+        &EdgeProfile::measure(&profile.bb_trace),
+        module.num_blocks(),
+    );
+    let original = Layout::original(module);
+    let image = LinkedImage::link(module, layout.unwrap_or(&original), LinkOptions::default());
+    let report =
+        verify::analyze_conflicts(module, &image, &weights, &verify::ConflictConfig::default());
+    println!("static conflict report for {}:", module.name);
+    print!("{}", report.render(top));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn dir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join("clop-lint-test");
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    const GOOD: &str = "\
+module demo
+func main {
+  block entry size=16:
+    call worker ret done
+  block done size=16:
+    return
+}
+func worker {
+  block head size=64:
+    branch bernoulli(0.5) a b
+  block a size=128:
+    jump out
+  block b size=128:
+    jump out
+  block out size=64:
+    return
+}
+";
+
+    #[test]
+    fn clean_module_lints_quietly() {
+        let p = dir().join("good.clop");
+        std::fs::write(&p, GOOD).unwrap();
+        assert_eq!(run(&s(&[p.to_str().unwrap()])), Ok(0));
+    }
+
+    #[test]
+    fn parse_error_counts_as_diagnostic() {
+        let p = dir().join("syntax.clop");
+        std::fs::write(
+            &p,
+            "module m\nfunc f {\n  block b size=zap:\n    return\n}\n",
+        )
+        .unwrap();
+        assert_eq!(run(&s(&[p.to_str().unwrap()])), Ok(1));
+    }
+
+    #[test]
+    fn semantic_violations_are_all_reported() {
+        // Dangling jump target and a zero-size block: two diagnostics.
+        let p = dir().join("bad.clop");
+        std::fs::write(
+            &p,
+            "module m\nfunc f {\n  block a size=8:\n    jump nowhere\n  block nowhere size=8:\n    jump gone\n}\n",
+        )
+        .unwrap();
+        let n = run(&s(&[p.to_str().unwrap()])).unwrap();
+        assert!(n >= 1, "dangling target must be reported");
+    }
+
+    #[test]
+    fn layout_order_roundtrip_function_and_block() {
+        let d = dir();
+        let p = d.join("mod.clop");
+        std::fs::write(&p, GOOD).unwrap();
+        let forder = d.join("f.order");
+        std::fs::write(&forder, "worker\nmain\n").unwrap();
+        assert_eq!(
+            run(&s(&[
+                p.to_str().unwrap(),
+                "--layout",
+                forder.to_str().unwrap()
+            ])),
+            Ok(0)
+        );
+        let border = d.join("b.order");
+        std::fs::write(
+            &border,
+            "# a comment\nworker.head\nworker.a\nworker.out\nworker.b\nmain.entry\nmain.done\n",
+        )
+        .unwrap();
+        assert_eq!(
+            run(&s(&[
+                p.to_str().unwrap(),
+                "--layout",
+                border.to_str().unwrap()
+            ])),
+            Ok(0)
+        );
+    }
+
+    #[test]
+    fn layout_order_defects_are_diagnostics() {
+        let d = dir();
+        let p = d.join("mod2.clop");
+        std::fs::write(&p, GOOD).unwrap();
+        // Unknown name.
+        let bad = d.join("bad.order");
+        std::fs::write(&bad, "worker\nmystery\n").unwrap();
+        assert_eq!(
+            run(&s(&[
+                p.to_str().unwrap(),
+                "--layout",
+                bad.to_str().unwrap()
+            ])),
+            Ok(1)
+        );
+        // Duplicate + missing function: not a permutation.
+        let dup = d.join("dup.order");
+        std::fs::write(&dup, "worker\nworker\n").unwrap();
+        let n = run(&s(&[
+            p.to_str().unwrap(),
+            "--layout",
+            dup.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(
+            n >= 2,
+            "duplicate and missing unit both reported, got {}",
+            n
+        );
+    }
+
+    #[test]
+    fn conflicts_report_is_informational() {
+        let p = dir().join("mod3.clop");
+        std::fs::write(&p, GOOD).unwrap();
+        assert_eq!(
+            run(&s(&[p.to_str().unwrap(), "--conflicts", "--fuel", "5000"])),
+            Ok(0)
+        );
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert_eq!(run(&s(&[])), Ok(0), "bare invocation prints help");
+        let d = dir();
+        let a = d.join("a.clop");
+        let b = d.join("c.clop");
+        std::fs::write(&a, GOOD).unwrap();
+        std::fs::write(&b, GOOD).unwrap();
+        let e = run(&s(&[
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--layout",
+            "x",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("exactly one"));
+        assert_eq!(run(&s(&["--help"])), Ok(0));
+    }
+
+    #[test]
+    fn missing_file_is_a_diagnostic_not_a_crash() {
+        assert_eq!(run(&s(&["/nonexistent/zzz.clop"])), Ok(1));
+    }
+}

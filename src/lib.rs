@@ -17,6 +17,8 @@
 //! * [`trg`] — temporal-relationship-graph construction and reduction,
 //! * [`core`] — the four optimizers (function/BB × affinity/TRG) and the
 //!   end-to-end profile → model → transform pipeline,
+//! * [`verify`] — the static IR/layout verifier and cache-set conflict
+//!   analyzer backing the pipeline verification stage and `clop-lint`,
 //! * [`workloads`] — the synthetic SPEC CPU2006-like benchmark suite.
 //!
 //! ## Quickstart
@@ -52,6 +54,7 @@ pub use clop_ir as ir;
 pub use clop_trace as trace;
 pub use clop_trg as trg;
 pub use clop_util as util;
+pub use clop_verify as verify;
 pub use clop_workloads as workloads;
 
 /// Convenient glob-import surface for examples and downstream users.
