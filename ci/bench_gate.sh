@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Bench regression gate: run the benchmark suite in quick (smoke) mode
+# with JSON output — twice — then compare every named benchmark's
+# best-of-two ns/iter against the committed BENCH_baseline.json. Fails on
+# regressions beyond the tolerance (CLOP_BENCH_TOLERANCE, default 25%,
+# plus a small absolute slack — see crates/bench/src/bin/bench_gate.rs).
+# Two runs because noise only inflates a measurement: a real regression
+# shows up in both, a scheduler hiccup in at most one.
+#
+# Refresh the baseline after an intentional performance change with:
+#   ci/refresh_bench_baseline.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out1="$PWD/target/bench_gate_run1.json"
+out2="$PWD/target/bench_gate_run2.json"
+mkdir -p "$PWD/target"
+rm -f "$out1" "$out2"
+
+CLOP_BENCH_QUICK=1 CLOP_BENCH_JSON="$out1" cargo bench -p clop-bench
+CLOP_BENCH_QUICK=1 CLOP_BENCH_JSON="$out2" cargo bench -p clop-bench
+cargo run -q --release -p clop-bench --bin bench_gate -- BENCH_baseline.json "$out1" "$out2"

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_baseline.json for the bench regression gate.
+#
+# Runs the quick-mode suite three times and keeps each benchmark's
+# fastest record: noise only ever inflates a measurement, so the
+# per-benchmark minimum estimates the machine's noise floor and keeps an
+# unluckily slow baseline from hiding future regressions (or an unluckily
+# fast one from flagging phantom ones). Run after an intentional
+# performance change, then commit the refreshed BENCH_baseline.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p "$PWD/target"
+runs=()
+for i in 1 2 3; do
+  out="$PWD/target/bench_baseline_run$i.json"
+  rm -f "$out"
+  CLOP_BENCH_QUICK=1 CLOP_BENCH_JSON="$out" cargo bench -p clop-bench
+  runs+=("$out")
+done
+
+cargo run -q --release -p clop-bench --bin bench_gate -- \
+  --write-min BENCH_baseline.json "${runs[@]}"

@@ -8,53 +8,41 @@
 //! nearest partner occurrence *before* (backward witness) and the first one
 //! *after* (forward witness).
 //!
-//! The analysis is two LRU-stack passes over the trace, following the
+//! The analysis is a single LRU-stack pass over the trace, following the
 //! paper's §II-B recipe ("we run a stack simulation of the trace; at each
 //! step we see all basic blocks that occur in a w-window with the accessed
-//! block") on top of the §II-F stack machinery — now the Olken/Fenwick
-//! engine of `clop_trace::stack`, so each promotion costs O(log B) instead
-//! of a walk to the accessed block's depth:
+//! block") on top of the §II-F stack machinery — the Olken/Fenwick engine
+//! of `clop_trace::stack`, so each promotion costs O(log B) instead of a
+//! walk to the accessed block's depth. At each access the analyzer reads
+//! the *walk*: the `w_max + 1` most recent distinct blocks with their
+//! last-access positions. Only partners inside the walk can resolve or
+//! witness anything within the bound, so all pair work is confined to
+//! `w_max - 1` partners per access:
 //!
-//! 1. **Discovery** — any pair that is ever co-resident in a window of
-//!    footprint ≤ `w_max` shows up as a (accessed block, stack-depth < w_max)
-//!    encounter; pairs that never do cannot have affinity within the bound.
-//! 2. **Resolution** — with the candidate set known from the start, each
-//!    block access pushes a *pending occurrence* onto all its candidate
-//!    pairs, recording the backward-witness footprint (one more than the
-//!    partner's stack depth, when within the window). A later access of the partner resolves
-//!    every pending at once: the forward footprint of a pending at position
-//!    `p` is the number of distinct blocks accessed in `[p, now]`, read off
-//!    the recency stack (entries with last access ≥ `p`). Resolutions beyond
-//!    `w_max` are exact kills: a window only grows, so a pending that misses
-//!    the bound at its first partner access can never be covered later.
+//! * an access of `a` credits each walk partner `x`'s uncovered
+//!   occurrences, either with the forward footprint `fp<occurrence, now>`
+//!   (entries of the walk at or after the occurrence) when the occurrence
+//!   is still inside the window, or with its recorded backward witness
+//!   when the window has already outgrown the bound (a window only grows,
+//!   so the forward witness is infinite forever);
+//! * the access itself is recorded as a *pending* on every pair it has a
+//!   finite backward witness with (partner depth + 1), and in a per-block
+//!   occurrence queue that later partner accesses resolve lazily.
 //!
-//! Cost is O(N·(w_max + log B)) stack work plus pair maintenance
-//! proportional to the co-occurrence structure — the paper's O(W·N·B)
-//! bound with the dense `B` factor replaced by actual partner counts and
-//! the unbounded promotion walks replaced by Fenwick queries.
+//! Occurrences whose partner never comes within the window are credited
+//! nowhere; pairs survive only when the per-direction credit count equals
+//! the block's trace-wide occurrence count (Definition 3 quantifies over
+//! *every* occurrence). This counting formulation makes per-shard results
+//! mergeable: see [`crate::shard`] for the parallel driver that this
+//! sequential entry point shares its engine with.
+//!
+//! Cost is O(N·(w_max + log B)) stack work plus one credit per
+//! (occurrence, co-resident pair) — the paper's O(W·N·B) bound with the
+//! dense `B` factor replaced by actual co-residence counts and the
+//! unbounded promotion walks replaced by Fenwick queries.
 
-use clop_trace::{BlockId, LruStack, TrimmedTrace};
-use clop_util::{FxHashMap, FxHashSet};
-
-const INF: u32 = u32::MAX;
-
-/// One uncovered occurrence: trace position + best backward witness.
-#[derive(Clone, Copy, Debug)]
-struct Pending {
-    pos: i64,
-    backward_fp: u32,
-}
-
-#[derive(Clone, Debug, Default)]
-struct PairData {
-    /// Pending occurrences of the pair's lower block, oldest first.
-    pend_lo: Vec<Pending>,
-    /// Running threshold (max over resolved occurrences) for the lower
-    /// block's direction.
-    thr_lo: u32,
-    pend_hi: Vec<Pending>,
-    thr_hi: u32,
-}
+use clop_trace::{BlockId, TrimmedTrace};
+use clop_util::FxHashMap;
 
 /// Pairwise affinity thresholds up to a window bound.
 #[derive(Clone, Debug)]
@@ -64,145 +52,22 @@ pub struct PairThresholds {
 }
 
 impl PairThresholds {
-    /// Run the two-pass analysis over a trimmed trace.
+    /// Run the one-pass analysis over a trimmed trace.
     pub fn measure(trace: &TrimmedTrace, w_max: u32) -> Self {
-        let w_max = w_max.max(2);
-        let cap = trace
-            .events()
-            .iter()
-            .map(|b| b.index() + 1)
-            .max()
-            .unwrap_or(0);
+        crate::shard::measure_jobs(trace, w_max, 1)
+    }
 
-        // ---- Pass 1: candidate discovery. ----
-        let mut stack = LruStack::new(cap);
-        let mut candidates: FxHashSet<(u32, u32)> = FxHashSet::default();
-        for &a in trace.events() {
-            stack.access(a);
-            let mut depth = 0u32;
-            stack.for_each_top(w_max as usize, |b| {
-                if depth > 0 {
-                    let key = (a.0.min(b.0), a.0.max(b.0));
-                    candidates.insert(key);
-                }
-                depth += 1;
-            });
-        }
+    /// [`PairThresholds::measure`] with the trace split into up to `jobs`
+    /// shards processed on the worker pool. The result is bit-identical
+    /// for any `jobs` value (window-overlap sharding with an
+    /// order-independent merge; see [`crate::shard`]).
+    pub fn measure_jobs(trace: &TrimmedTrace, w_max: u32, jobs: usize) -> Self {
+        crate::shard::measure_jobs(trace, w_max, jobs)
+    }
 
-        // ---- Pass 2: exact per-occurrence resolution. ----
-        let mut partners: Vec<Vec<u32>> = vec![Vec::new(); cap];
-        let mut pairs: FxHashMap<(u32, u32), PairData> = FxHashMap::default();
-        for &(x, y) in &candidates {
-            partners[x as usize].push(y);
-            partners[y as usize].push(x);
-            pairs.insert((x, y), PairData::default());
-        }
-
-        let mut stack = LruStack::new(cap);
-        let mut last_access = vec![-1i64; cap];
-        // Reused walk buffer: (block id, last-access position), most recent
-        // first. One extra entry beyond w_max keeps forward footprints exact
-        // at the bound.
-        let walk_len = w_max as usize + 1;
-        let mut walk: Vec<(u32, i64)> = Vec::with_capacity(walk_len);
-
-        for (now, &a) in trace.events().iter().enumerate() {
-            let now = now as i64;
-            let ai = a.0;
-            last_access[ai as usize] = now;
-            stack.access(a);
-
-            walk.clear();
-            stack.for_each_top(walk_len, |b| {
-                walk.push((b.0, last_access[b.index()]));
-            });
-
-            // Forward footprint of a window starting at `p`: the number of
-            // distinct blocks accessed in [p, now] = walked entries with
-            // last access ≥ p (timestamps are strictly descending). A full
-            // walk means the window exceeds w_max.
-            let fp_since = |p: i64| -> u32 {
-                let count = walk.partition_point(|&(_, t)| t >= p);
-                if count >= walk_len {
-                    INF
-                } else {
-                    count as u32
-                }
-            };
-            // Backward witness for the current access: partner's depth + 1
-            // when within the window.
-            let backward_fp = |y: u32| -> u32 {
-                walk.iter()
-                    .take(w_max as usize)
-                    .position(|&(b, _)| b == y)
-                    .map(|d| d as u32 + 1)
-                    .filter(|&fp| fp <= w_max)
-                    .unwrap_or(INF)
-            };
-
-            let ps: Vec<u32> = partners[ai as usize].clone();
-            let mut kills: Vec<(u32, u32)> = Vec::new();
-            for y in ps {
-                let key = (ai.min(y), ai.max(y));
-                let Some(data) = pairs.get_mut(&key) else {
-                    continue; // killed earlier
-                };
-                let a_is_lo = ai == key.0;
-                // Resolve the partner side: `a` is the first partner access
-                // after every pending occurrence of `y` in this pair.
-                {
-                    let (pend_y, thr_y) = if a_is_lo {
-                        (&mut data.pend_hi, &mut data.thr_hi)
-                    } else {
-                        (&mut data.pend_lo, &mut data.thr_lo)
-                    };
-                    for p in pend_y.drain(..) {
-                        let resolved = p.backward_fp.min(fp_since(p.pos));
-                        *thr_y = (*thr_y).max(resolved);
-                    }
-                    if *thr_y > w_max {
-                        kills.push(key);
-                        continue;
-                    }
-                }
-                // Push the new occurrence of `a` as pending on its side.
-                let (pend_a,) = if a_is_lo {
-                    (&mut data.pend_lo,)
-                } else {
-                    (&mut data.pend_hi,)
-                };
-                pend_a.push(Pending {
-                    pos: now,
-                    backward_fp: backward_fp(y),
-                });
-            }
-            for key in kills {
-                pairs.remove(&key);
-                partners[key.0 as usize].retain(|&p| p != key.1);
-                partners[key.1 as usize].retain(|&p| p != key.0);
-            }
-        }
-
-        // End of trace: unresolved pendings fall back to their backward
-        // witness (there is no further partner occurrence).
-        let mut map = FxHashMap::default();
-        for (key, data) in pairs {
-            let finish = |mut thr: u32, pend: &[Pending]| -> u32 {
-                for p in pend {
-                    thr = thr.max(p.backward_fp);
-                }
-                thr
-            };
-            let thr_lo = finish(data.thr_lo, &data.pend_lo);
-            let thr_hi = finish(data.thr_hi, &data.pend_hi);
-            let thr = thr_lo.max(thr_hi);
-            // A pair with no resolved occurrence on some side (thr == 0)
-            // cannot happen for candidates: discovery implies both blocks
-            // occur. Guard anyway.
-            if thr >= 2 && thr <= w_max {
-                map.insert(key, thr);
-            }
-        }
+    /// Assemble from a measured map (crate-internal: the shard merge layer
+    /// builds the map).
+    pub(crate) fn from_parts(map: FxHashMap<(u32, u32), u32>, w_max: u32) -> Self {
         PairThresholds { map, w_max }
     }
 

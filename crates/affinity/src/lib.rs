@@ -29,6 +29,7 @@ pub mod analyzer;
 pub mod hierarchy;
 pub mod linkbased;
 pub mod naive;
+pub mod shard;
 
 pub use analyzer::PairThresholds;
 pub use hierarchy::{AffinityHierarchy, AffinityPartition};
@@ -66,7 +67,17 @@ impl AffinityConfig {
 /// End-to-end affinity analysis: compute pairwise thresholds with the
 /// efficient analyzer, build the hierarchy, and return it.
 pub fn analyze(trace: &TrimmedTrace, config: AffinityConfig) -> AffinityHierarchy {
-    let thresholds = PairThresholds::measure(trace, config.w_max);
+    analyze_jobs(trace, config, 1)
+}
+
+/// [`analyze`] with the threshold measurement sharded over up to `jobs`
+/// workers. The hierarchy is bit-identical for any `jobs` value.
+pub fn analyze_jobs(
+    trace: &TrimmedTrace,
+    config: AffinityConfig,
+    jobs: usize,
+) -> AffinityHierarchy {
+    let thresholds = PairThresholds::measure_jobs(trace, config.w_max, jobs);
     AffinityHierarchy::build(trace, &thresholds, config)
 }
 
@@ -74,6 +85,16 @@ pub fn analyze(trace: &TrimmedTrace, config: AffinityConfig) -> AffinityHierarch
 /// analyze and take the bottom-up traversal of the hierarchy.
 pub fn affinity_layout(trace: &TrimmedTrace, config: AffinityConfig) -> Vec<BlockId> {
     analyze(trace, config).layout()
+}
+
+/// [`affinity_layout`] with the measurement sharded over up to `jobs`
+/// workers; bit-identical for any `jobs` value.
+pub fn affinity_layout_jobs(
+    trace: &TrimmedTrace,
+    config: AffinityConfig,
+    jobs: usize,
+) -> Vec<BlockId> {
+    analyze_jobs(trace, config, jobs).layout()
 }
 
 #[cfg(test)]

@@ -40,20 +40,37 @@ fn main() {
         );
     }
 
-    // Keep the quadratic reference to small sizes.
-    for len in [200usize, 500] {
-        let trace = synthetic_trace(len / scale.min(10), 16);
-        r.bench(&format!("affinity/naive_pairs/{}", len), || {
-            let mut total = 0usize;
-            for x in 0..16u32 {
-                for y in (x + 1)..16u32 {
-                    if naive::pair_threshold(&trace, BlockId(x), BlockId(y)).is_some() {
-                        total += 1;
+    // Sharded measurement at explicit worker counts (bit-identical output
+    // for any count; the speedup column is what varies).
+    {
+        let trace = synthetic_trace(200_000 / scale, 256);
+        for jobs in [1usize, 2, 8] {
+            r.bench_with_elements(
+                &format!("affinity/sharded/200000/jobs{}", jobs),
+                Some(trace.len() as u64),
+                || PairThresholds::measure_jobs(&trace, 20, jobs),
+            );
+        }
+    }
+
+    // Quadratic reference, oracle-only: kept to small sizes and skipped in
+    // smoke mode — `CLOP_BENCH_QUICK` CI runs should not pay tens of
+    // ms/iter for a case the differential tests already cover.
+    if !quick() {
+        for len in [200usize, 500] {
+            let trace = synthetic_trace(len, 16);
+            r.bench(&format!("affinity/naive_pairs/{}", len), || {
+                let mut total = 0usize;
+                for x in 0..16u32 {
+                    for y in (x + 1)..16u32 {
+                        if naive::pair_threshold(&trace, BlockId(x), BlockId(y)).is_some() {
+                            total += 1;
+                        }
                     }
                 }
-            }
-            total
-        });
+                total
+            });
+        }
     }
 
     let trace = synthetic_trace(50_000 / scale, 256);

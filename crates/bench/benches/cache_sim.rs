@@ -2,8 +2,8 @@
 //! channel, and the timed core model.
 
 use clop_cachesim::{
-    simulate_corun_lines, simulate_solo_lines, CacheConfig, NextLinePrefetchCache, SmtSimulator,
-    TimingConfig,
+    simulate_corun_lines, simulate_solo_lines, CacheConfig, NextLinePrefetchCache, SetAssocCache,
+    SmtSimulator, TimingConfig,
 };
 use clop_util::bench::{quick, Runner};
 
@@ -39,6 +39,24 @@ fn main() {
             &format!("cachesim/solo/{}", len),
             Some((len / scale) as u64),
             || simulate_solo_lines(&lines, cfg),
+        );
+    }
+
+    // The flat tag/stamp-array cache driven directly (no replay wrapper):
+    // isolates the raw per-access cost of the SoA fast path.
+    {
+        let len = 1_000_000 / scale;
+        let lines = synthetic_lines(len, 2048);
+        r.bench_with_elements(
+            &format!("cachesim/solo_flat/{}", len * scale),
+            Some(len as u64),
+            || {
+                let mut cache = SetAssocCache::new(cfg);
+                for &l in &lines {
+                    cache.access(l);
+                }
+                cache.stats()
+            },
         );
     }
 

@@ -4,7 +4,7 @@
 //! time"; here the baseline is the profiling run itself.
 
 use clop_core::{Optimizer, OptimizerKind, Profile, ProfileConfig};
-use clop_util::bench::Runner;
+use clop_util::bench::{quick, Runner};
 use clop_workloads::{primary_program, PrimaryBenchmark};
 
 fn main() {
@@ -15,11 +15,28 @@ fn main() {
         Profile::collect(&w.module, &ProfileConfig::with_exec(w.test_exec))
     });
 
+    // `--jobs N` shards the locality analyses; the layouts (and therefore
+    // the goldens) are bit-identical for any worker count.
     for kind in OptimizerKind::ALL {
         let mut opt = Optimizer::new(kind);
         opt.profile = ProfileConfig::with_exec(w.test_exec);
+        opt.jobs = r.jobs();
         r.bench(&format!("e2e/optimize/{}", kind), || {
             opt.optimize(&w.module).expect("sjeng supports all four")
         });
+    }
+
+    // Larger profile (the reference input) for the two BB optimizers that
+    // dominate end-to-end time; skipped in smoke mode, which has no input
+    // scaling here.
+    if !quick() {
+        for kind in [OptimizerKind::BbAffinity, OptimizerKind::BbTrg] {
+            let mut opt = Optimizer::new(kind);
+            opt.profile = ProfileConfig::with_exec(w.ref_exec);
+            opt.jobs = r.jobs();
+            r.bench(&format!("e2e/optimize_ref/{}", kind), || {
+                opt.optimize(&w.module).expect("sjeng supports bb kinds")
+            });
+        }
     }
 }

@@ -31,6 +31,19 @@ fn main() {
         );
     }
 
+    // Sharded construction at explicit worker counts (bit-identical graph
+    // for any count).
+    {
+        let trace = synthetic_trace(200_000 / scale, 128);
+        for jobs in [1usize, 2, 8] {
+            r.bench_with_elements(
+                &format!("trg/build_sharded/200000/jobs{}", jobs),
+                Some(trace.len() as u64),
+                || Trg::build_jobs(&trace, 256, jobs),
+            );
+        }
+    }
+
     let trace = synthetic_trace(50_000 / scale, 128);
     for q in [32usize, 128, 512] {
         r.bench(&format!("trg/window/{}", q), || Trg::build(&trace, q));

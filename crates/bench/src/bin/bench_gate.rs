@@ -1,0 +1,213 @@
+//! CI bench regression gate: compare fresh quick-mode benchmark runs
+//! against the committed baseline and fail on ns/iter regressions.
+//!
+//! Usage: `bench_gate [<baseline.json>] [<current.json>...]` (defaults:
+//! `BENCH_baseline.json`, `bench_current.json`). All files are
+//! `CLOP_BENCH_JSON` documents. When several current files are given
+//! (`ci/bench_gate.sh` passes two), each benchmark is gated on its
+//! *minimum* ns/iter across the runs: scheduler and frequency noise only
+//! ever inflates a measurement, so best-of-N keeps one noisy run from
+//! failing the build while a real regression persists in every run.
+//!
+//! A benchmark regresses when its ns/iter exceeds the baseline by more
+//! than the relative tolerance (`CLOP_BENCH_TOLERANCE`, default `0.25`)
+//! *and* by more than an absolute slack (`CLOP_BENCH_ABS_SLACK_NS`,
+//! default `500`) — the slack keeps nanosecond-scale cases from failing
+//! the build on scheduler noise. A benchmark present in the baseline but
+//! missing from every current run fails the gate (a silent rename must
+//! update the baseline); new benchmarks are reported but not gated.
+
+use clop_util::Json;
+use std::collections::BTreeMap;
+
+fn read_measurements(path: &str) -> BTreeMap<String, f64> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {}: {}", path, e);
+            std::process::exit(2);
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench_gate: cannot parse {}: {}", path, e);
+            std::process::exit(2);
+        }
+    };
+    let Some(Json::Arr(items)) = doc.get("benchmarks") else {
+        eprintln!("bench_gate: {} has no `benchmarks` array", path);
+        std::process::exit(2);
+    };
+    items
+        .iter()
+        .filter_map(|j| {
+            Some((
+                j.get("name")?.as_str()?.to_string(),
+                j.get("ns_per_iter")?.as_f64()?,
+            ))
+        })
+        .collect()
+}
+
+/// Read full benchmark records (not just ns/iter) keyed by name.
+fn read_records(path: &str) -> BTreeMap<String, Json> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {}: {}", path, e);
+            std::process::exit(2);
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench_gate: cannot parse {}: {}", path, e);
+            std::process::exit(2);
+        }
+    };
+    let Some(Json::Arr(items)) = doc.get("benchmarks") else {
+        eprintln!("bench_gate: {} has no `benchmarks` array", path);
+        std::process::exit(2);
+    };
+    items
+        .iter()
+        .filter_map(|j| {
+            let name = j.get("name")?.as_str()?.to_string();
+            j.get("ns_per_iter")?.as_f64()?;
+            Some((name, j.clone()))
+        })
+        .collect()
+}
+
+/// `--write-min <out> <in>...`: merge several `CLOP_BENCH_JSON` documents
+/// into one, keeping each benchmark's fastest record — the noise-floor
+/// estimate used to (re)generate `BENCH_baseline.json`.
+fn write_min(out_path: &str, inputs: &[String]) {
+    let ns = |j: &Json| {
+        j.get("ns_per_iter")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::MAX)
+    };
+    let mut best: BTreeMap<String, Json> = BTreeMap::new();
+    for path in inputs {
+        for (name, rec) in read_records(path) {
+            match best.get(&name) {
+                Some(prev) if ns(prev) <= ns(&rec) => {}
+                _ => {
+                    best.insert(name, rec);
+                }
+            }
+        }
+    }
+    let doc = Json::obj(vec![(
+        "benchmarks",
+        Json::Arr(best.into_values().collect()),
+    )]);
+    if let Err(e) = std::fs::write(out_path, doc.pretty().as_bytes()) {
+        eprintln!("bench_gate: cannot write {}: {}", out_path, e);
+        std::process::exit(2);
+    }
+    println!(
+        "bench_gate: wrote best-of-{} baseline to {}",
+        inputs.len(),
+        out_path
+    );
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| v.is_finite() && *v >= 0.0)
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("--write-min") {
+        let Some(out) = args.get(2) else {
+            eprintln!("usage: bench_gate --write-min <out.json> <in.json>...");
+            std::process::exit(2);
+        };
+        if args.len() < 4 {
+            eprintln!("usage: bench_gate --write-min <out.json> <in.json>...");
+            std::process::exit(2);
+        }
+        write_min(out, &args[3..]);
+        return;
+    }
+    let baseline_path = args
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("BENCH_baseline.json");
+    let current_paths: Vec<&str> = if args.len() > 2 {
+        args[2..].iter().map(String::as_str).collect()
+    } else {
+        vec!["bench_current.json"]
+    };
+    let tolerance = env_f64("CLOP_BENCH_TOLERANCE", 0.25);
+    let slack_ns = env_f64("CLOP_BENCH_ABS_SLACK_NS", 500.0);
+
+    let baseline = read_measurements(baseline_path);
+    let mut current: BTreeMap<String, f64> = BTreeMap::new();
+    for path in &current_paths {
+        for (name, ns) in read_measurements(path) {
+            current
+                .entry(name)
+                .and_modify(|best| *best = best.min(ns))
+                .or_insert(ns);
+        }
+    }
+
+    let mut failures = 0usize;
+    println!(
+        "{:<44} {:>14} {:>14} {:>9}",
+        "benchmark", "baseline ns", "current ns", "delta"
+    );
+    for (name, &base) in &baseline {
+        match current.get(name) {
+            Some(&cur) => {
+                let delta = cur / base - 1.0;
+                let regressed = delta > tolerance && cur - base > slack_ns;
+                println!(
+                    "{:<44} {:>14.0} {:>14.0} {:>+8.1}%{}",
+                    name,
+                    base,
+                    cur,
+                    delta * 100.0,
+                    if regressed { "  REGRESSED" } else { "" }
+                );
+                if regressed {
+                    failures += 1;
+                }
+            }
+            None => {
+                println!("{:<44} {:>14.0} {:>14}   MISSING", name, base, "-");
+                failures += 1;
+            }
+        }
+    }
+    for name in current.keys() {
+        if !baseline.contains_key(name) {
+            println!("{:<44} new benchmark (not gated)", name);
+        }
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "bench_gate: {} failure(s) beyond {:.0}% (+{:.0} ns slack) vs {}",
+            failures,
+            tolerance * 100.0,
+            slack_ns,
+            baseline_path
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "bench_gate: OK — {} benchmarks within {:.0}% of {}",
+        baseline.len(),
+        tolerance * 100.0,
+        baseline_path
+    );
+}

@@ -137,6 +137,37 @@ impl CorunLab {
         }
     }
 
+    /// One subject × probe co-run cell for one optimizer. Returns `None`
+    /// when the optimizer failed on the subject (N/A). Cells are
+    /// independent, so callers may fan all (subject, kind, probe) triples
+    /// over the worker pool; reassembling in input order reproduces the
+    /// serial tables byte for byte.
+    pub fn pair_result(
+        &self,
+        subject: PrimaryBenchmark,
+        kind: OptimizerKind,
+        probe: PrimaryBenchmark,
+    ) -> Option<PairResult> {
+        let opt = self.optimized.get(&(subject, kind))?.as_deref()?;
+        let base = self.baselines[&subject].as_ref();
+        let probe_run = self.baselines[&probe].as_ref();
+        let timing = timing_hw();
+        // Timed channel: probe is thread 0, subject thread 1.
+        let orig_pair = probe_run.corun_timed(base, timing);
+        let opt_pair = probe_run.corun_timed(opt, timing);
+        let speedup = orig_pair[1].finish_cycles / opt_pair[1].finish_cycles - 1.0;
+        let miss_reduction_hw = orig_pair[1].stats.reduction_to(&opt_pair[1].stats);
+        // Simulated channel.
+        let orig_sim = probe_run.corun_sim(base).per_thread[1];
+        let opt_sim = probe_run.corun_sim(opt).per_thread[1];
+        let miss_reduction_sim = orig_sim.reduction_to(&opt_sim);
+        Some(PairResult {
+            speedup,
+            miss_reduction_hw,
+            miss_reduction_sim,
+        })
+    }
+
     /// The co-run comparison of `subject` optimized with `kind`, against
     /// every probe. Returns `None` when the optimizer failed on the
     /// subject (N/A).
@@ -146,33 +177,20 @@ impl CorunLab {
         kind: OptimizerKind,
         probes: &[PrimaryBenchmark],
     ) -> Option<SubjectResult> {
-        let opt = self.optimized.get(&(subject, kind))?.as_deref()?;
-        let base = self.baselines[&subject].as_ref();
-        let timing = timing_hw();
-        let mut per_probe = Vec::new();
-        for &probe in probes {
-            let probe_run = self.baselines[&probe].as_ref();
-            // Timed channel: probe is thread 0, subject thread 1.
-            let orig_pair = probe_run.corun_timed(base, timing);
-            let opt_pair = probe_run.corun_timed(opt, timing);
-            let speedup = orig_pair[1].finish_cycles / opt_pair[1].finish_cycles - 1.0;
-            let miss_reduction_hw = orig_pair[1].stats.reduction_to(&opt_pair[1].stats);
-            // Simulated channel.
-            let orig_sim = probe_run.corun_sim(base).per_thread[1];
-            let opt_sim = probe_run.corun_sim(opt).per_thread[1];
-            let miss_reduction_sim = orig_sim.reduction_to(&opt_sim);
-            per_probe.push((
-                probe.name().to_string(),
-                PairResult {
-                    speedup,
-                    miss_reduction_hw,
-                    miss_reduction_sim,
-                },
-            ));
-        }
+        // N/A check up front so an empty probe list still reports N/A.
+        self.optimized.get(&(subject, kind))?.as_deref()?;
+        let per_probe: Option<Vec<(String, PairResult)>> = probes
+            .iter()
+            .map(|&probe| {
+                Some((
+                    probe.name().to_string(),
+                    self.pair_result(subject, kind, probe)?,
+                ))
+            })
+            .collect();
         Some(SubjectResult {
             name: subject.name().to_string(),
-            per_probe,
+            per_probe: per_probe?,
         })
     }
 }

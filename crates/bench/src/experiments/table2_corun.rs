@@ -59,20 +59,54 @@ pub fn rows_for(
     }
     let lab = CorunLab::prepare_subset(ctx, &benches, &KINDS);
 
-    ctx.map(subjects.to_vec(), |_, subject| {
-        let avg = |k: OptimizerKind| {
-            lab.subject_result(subject, k, probes).map(|r| {
-                let a = r.average();
-                (a.speedup, a.miss_reduction_hw, a.miss_reduction_sim)
-            })
-        };
-        Row {
-            name: subject.name().to_string(),
-            fn_aff: avg(OptimizerKind::FunctionAffinity),
-            bb_aff: avg(OptimizerKind::BbAffinity),
-            fn_trg: avg(OptimizerKind::FunctionTrg),
+    // Fan every (subject, optimizer, probe) co-run cell over the pool —
+    // the all-pairs simulation dominates this experiment and the cells are
+    // independent. Results come back in input order, so reassembling rows
+    // below reproduces the serial table byte for byte.
+    let mut cell_idx = Vec::new();
+    for si in 0..subjects.len() {
+        for ki in 0..KINDS.len() {
+            for pi in 0..probes.len() {
+                cell_idx.push((si, ki, pi));
+            }
         }
-    })
+    }
+    let cells = ctx.map(cell_idx, |_, (si, ki, pi)| {
+        lab.pair_result(subjects[si], KINDS[ki], probes[pi])
+    });
+
+    let (nk, np) = (KINDS.len(), probes.len());
+    subjects
+        .iter()
+        .enumerate()
+        .map(|(si, &subject)| {
+            // Average the probe cells of one (subject, optimizer) group;
+            // any N/A cell (failed optimizer) makes the whole entry N/A.
+            let avg = |ki: usize| -> Option<(f64, f64, f64)> {
+                // N/A when the optimizer failed on this subject, even with
+                // an empty probe list (mirrors `subject_result`).
+                lab.optimized.get(&(subject, KINDS[ki]))?.as_ref()?;
+                let group = &cells[(si * nk + ki) * np..(si * nk + ki) * np + np];
+                let per_probe: Option<Vec<(String, crate::corun::PairResult)>> = group
+                    .iter()
+                    .zip(probes)
+                    .map(|(c, p)| Some((p.name().to_string(), (*c)?)))
+                    .collect();
+                let a = crate::corun::SubjectResult {
+                    name: subject.name().to_string(),
+                    per_probe: per_probe?,
+                }
+                .average();
+                Some((a.speedup, a.miss_reduction_hw, a.miss_reduction_sim))
+            };
+            Row {
+                name: subject.name().to_string(),
+                fn_aff: avg(0),
+                bb_aff: avg(1),
+                fn_trg: avg(2),
+            }
+        })
+        .collect()
 }
 
 pub fn run(ctx: &ExperimentCtx) -> ExperimentResult {

@@ -6,22 +6,28 @@
 //! the two programs' lines distinct by offsetting one program's addresses
 //! (a physically tagged cache shared by two processes behaves the same
 //! way — pure capacity/conflict contention, no sharing).
+//!
+//! Storage is structure-of-arrays: one flat `tags` array and one flat
+//! `stamps` array, each `num_sets × associativity`, with stamp `0` meaning
+//! *invalid* (the clock is pre-incremented, so a resident line's stamp is
+//! always `>= 1`). The encoding folds the validity test into LRU
+//! selection: an invalid way's stamp 0 is below every valid stamp, so one
+//! min-scan in way order picks the first invalid way if any, else the true
+//! LRU way — exactly the AoS `min_by_key(if valid { lru } else { 0 })`
+//! victim. A single fused loop per access resolves hit, victim, and
+//! promotion with one set-index computation and ~half the memory traffic
+//! of the array-of-structs layout (no padding, no `valid` byte lanes).
 
 use crate::config::{CacheConfig, CacheStats};
-
-/// One cache way: a tag plus an LRU timestamp.
-#[derive(Clone, Copy, Debug)]
-struct Way {
-    tag: u64,
-    lru: u64,
-    valid: bool,
-}
 
 /// A set-associative cache with true-LRU replacement.
 #[derive(Clone, Debug)]
 pub struct SetAssocCache {
     config: CacheConfig,
-    ways: Vec<Way>,
+    /// Line tags, `associativity` consecutive entries per set.
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags`; `0` marks an invalid way.
+    stamps: Vec<u64>,
     clock: u64,
     stats: CacheStats,
     /// Demand misses per set (prefetch installs excluded). Indexed by set.
@@ -34,14 +40,8 @@ impl SetAssocCache {
         let slots = (config.num_sets() * config.associativity as u64) as usize;
         SetAssocCache {
             config,
-            ways: vec![
-                Way {
-                    tag: 0,
-                    lru: 0,
-                    valid: false
-                };
-                slots
-            ],
+            tags: vec![0; slots],
+            stamps: vec![0; slots],
             clock: 0,
             stats: CacheStats::default(),
             misses_by_set: vec![0; config.num_sets() as usize],
@@ -73,9 +73,7 @@ impl SetAssocCache {
 
     /// Empty the cache and reset statistics.
     pub fn flush(&mut self) {
-        for w in &mut self.ways {
-            w.valid = false;
-        }
+        self.stamps.fill(0);
         self.clock = 0;
         self.stats = CacheStats::default();
         self.misses_by_set.fill(0);
@@ -85,10 +83,11 @@ impl SetAssocCache {
     /// evicting the LRU way of its set.
     pub fn access(&mut self, line: u64) -> bool {
         self.clock += 1;
-        let hit = self.touch(line);
+        let set = self.config.set_of_line(line) as usize;
+        let hit = self.touch_set(set, line);
         self.stats.record(hit);
         if !hit {
-            self.misses_by_set[self.config.set_of_line(line) as usize] += 1;
+            self.misses_by_set[set] += 1;
         }
         hit
     }
@@ -98,16 +97,15 @@ impl SetAssocCache {
     /// accesses.
     pub fn install(&mut self, line: u64) {
         self.clock += 1;
-        self.touch(line);
+        let set = self.config.set_of_line(line) as usize;
+        self.touch_set(set, line);
     }
 
     /// True if the line is currently resident (does not update LRU or
     /// statistics).
     pub fn probe(&self, line: u64) -> bool {
         let (start, assoc) = self.set_range(line);
-        self.ways[start..start + assoc]
-            .iter()
-            .any(|w| w.valid && w.tag == line)
+        (start..start + assoc).any(|i| self.stamps[i] != 0 && self.tags[i] == line)
     }
 
     fn set_range(&self, line: u64) -> (usize, usize) {
@@ -116,24 +114,29 @@ impl SetAssocCache {
         (set * assoc, assoc)
     }
 
-    fn touch(&mut self, line: u64) -> bool {
-        let (start, assoc) = self.set_range(line);
-        let ways = &mut self.ways[start..start + assoc];
-        // Hit?
-        for w in ways.iter_mut() {
-            if w.valid && w.tag == line {
-                w.lru = self.clock;
+    /// Fused hit/victim scan over one set: promote on hit, else fill the
+    /// first way with the minimal stamp (invalid ways stamp 0 sort first,
+    /// then true LRU).
+    fn touch_set(&mut self, set: usize, line: u64) -> bool {
+        let assoc = self.config.associativity as usize;
+        let start = set * assoc;
+        let tags = &mut self.tags[start..start + assoc];
+        let stamps = &mut self.stamps[start..start + assoc];
+        let mut victim = 0usize;
+        let mut victim_stamp = u64::MAX;
+        for i in 0..assoc {
+            let s = stamps[i];
+            if s != 0 && tags[i] == line {
+                stamps[i] = self.clock;
                 return true;
             }
+            if s < victim_stamp {
+                victim_stamp = s;
+                victim = i;
+            }
         }
-        // Miss: fill an invalid way, else evict LRU.
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|w| if w.valid { w.lru } else { 0 })
-            .expect("associativity >= 1");
-        victim.tag = line;
-        victim.lru = self.clock;
-        victim.valid = true;
+        tags[victim] = line;
+        stamps[victim] = self.clock;
         false
     }
 }
@@ -284,5 +287,110 @@ mod tests {
             assert!(c.access(line));
         }
         assert_eq!(c.stats().misses, 512);
+    }
+
+    /// The array-of-structs implementation the flat layout replaced, kept
+    /// as a differential oracle: identical hits, stats, and per-set miss
+    /// attribution on arbitrary access streams.
+    #[derive(Clone, Copy)]
+    struct RefWay {
+        tag: u64,
+        lru: u64,
+        valid: bool,
+    }
+
+    struct RefCache {
+        config: CacheConfig,
+        ways: Vec<RefWay>,
+        clock: u64,
+        stats: CacheStats,
+        misses_by_set: Vec<u64>,
+    }
+
+    impl RefCache {
+        fn new(config: CacheConfig) -> Self {
+            let slots = (config.num_sets() * config.associativity as u64) as usize;
+            RefCache {
+                config,
+                ways: vec![
+                    RefWay {
+                        tag: 0,
+                        lru: 0,
+                        valid: false
+                    };
+                    slots
+                ],
+                clock: 0,
+                stats: CacheStats::default(),
+                misses_by_set: vec![0; config.num_sets() as usize],
+            }
+        }
+
+        fn access(&mut self, line: u64) -> bool {
+            self.clock += 1;
+            let set = self.config.set_of_line(line) as usize;
+            let assoc = self.config.associativity as usize;
+            let ways = &mut self.ways[set * assoc..(set + 1) * assoc];
+            let mut hit = false;
+            for w in ways.iter_mut() {
+                if w.valid && w.tag == line {
+                    w.lru = self.clock;
+                    hit = true;
+                    break;
+                }
+            }
+            if !hit {
+                let victim = ways
+                    .iter_mut()
+                    .min_by_key(|w| if w.valid { w.lru } else { 0 })
+                    .expect("associativity >= 1");
+                victim.tag = line;
+                victim.lru = self.clock;
+                victim.valid = true;
+                self.misses_by_set[set] += 1;
+            }
+            self.stats.record(hit);
+            hit
+        }
+    }
+
+    #[test]
+    fn flat_layout_matches_aos_reference() {
+        for seed in 0..40u64 {
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            // Vary geometry: 1–8 ways × 1–8 sets × 64 B lines.
+            let assoc = 1u64 << (seed % 4);
+            let sets = 1u64 << ((seed / 4) % 4);
+            let bytes = sets * assoc * 64;
+            let cfg = CacheConfig::new(bytes, assoc as u32, 64);
+            let mut flat = SetAssocCache::new(cfg);
+            let mut aos = RefCache::new(cfg);
+            let universe = 4 * bytes / 64; // 4× capacity → plenty of evictions
+            let universe = universe.max(4);
+            for _ in 0..4000 {
+                let line = next() % universe;
+                assert_eq!(
+                    flat.access(line),
+                    aos.access(line),
+                    "seed {} line {}",
+                    seed,
+                    line
+                );
+            }
+            assert_eq!(flat.stats().accesses, aos.stats.accesses, "seed {}", seed);
+            assert_eq!(flat.stats().misses, aos.stats.misses, "seed {}", seed);
+            assert_eq!(
+                flat.misses_by_set(),
+                &aos.misses_by_set[..],
+                "seed {}",
+                seed
+            );
+        }
     }
 }

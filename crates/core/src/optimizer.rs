@@ -164,6 +164,9 @@ pub struct Optimizer {
     pub trg: TrgConfig,
     /// Profiling configuration (test-input run).
     pub profile: ProfileConfig,
+    /// Worker count for the sharded locality analyses; the resulting layout
+    /// is bit-identical for any value (1 = serial).
+    pub jobs: usize,
 }
 
 impl Optimizer {
@@ -181,6 +184,7 @@ impl Optimizer {
             affinity: params.affinity,
             trg: params.trg,
             profile: params.profile,
+            jobs: params.jobs,
         }
     }
 
@@ -190,6 +194,7 @@ impl Optimizer {
             affinity: self.affinity,
             trg: self.trg,
             profile: self.profile,
+            jobs: self.jobs,
         }
     }
 

@@ -17,12 +17,13 @@
 //!   harness both construct pipelines purely by name.
 
 use crate::bbreorder;
+use crate::engine::AnalysisCache;
 use crate::optimizer::{OptError, OptimizedProgram};
 use crate::profile::{Profile, ProfileConfig};
-use clop_affinity::{affinity_layout, AffinityConfig};
+use clop_affinity::{affinity_layout_jobs, AffinityConfig, AffinityHierarchy};
 use clop_ir::{FuncId, GlobalBlockId, Layout, Module};
 use clop_trace::{BlockId, Granularity, TrimmedTrace};
-use clop_trg::{trg_layout, TrgConfig};
+use clop_trg::{trg_layout_jobs, TrgConfig};
 use std::sync::{Arc, OnceLock, RwLock};
 
 /// A locality model: maps a trimmed code-block trace to a hot-unit
@@ -33,12 +34,21 @@ pub trait LocalityModel: Send + Sync {
     fn name(&self) -> &str;
     /// The placement sequence for the profiled units.
     fn sequence(&self, trace: &TrimmedTrace) -> Vec<BlockId>;
+    /// Like [`sequence`](LocalityModel::sequence), but may reuse (and
+    /// populate) memoized analysis intermediates for this trace. Models
+    /// with no cacheable intermediate fall back to the plain path.
+    fn sequence_cached(&self, trace: &TrimmedTrace, _cache: &AnalysisCache) -> Vec<BlockId> {
+        self.sequence(trace)
+    }
 }
 
 /// w-window reference affinity (paper §II-B) as a [`LocalityModel`].
 #[derive(Clone, Copy, Debug)]
 pub struct WWindowAffinity {
     pub config: AffinityConfig,
+    /// Worker count for the sharded threshold measurement; the layout is
+    /// bit-identical for any value (1 = serial).
+    pub jobs: usize,
 }
 
 impl LocalityModel for WWindowAffinity {
@@ -47,7 +57,14 @@ impl LocalityModel for WWindowAffinity {
     }
 
     fn sequence(&self, trace: &TrimmedTrace) -> Vec<BlockId> {
-        affinity_layout(trace, self.config)
+        affinity_layout_jobs(trace, self.config, self.jobs.max(1))
+    }
+
+    fn sequence_cached(&self, trace: &TrimmedTrace, cache: &AnalysisCache) -> Vec<BlockId> {
+        // The expensive intermediate (pairwise thresholds) depends only on
+        // (trace, w_max); the hierarchy build is cheap by comparison.
+        let thresholds = cache.thresholds(trace, self.config.w_max, self.jobs.max(1));
+        AffinityHierarchy::build(trace, &thresholds, self.config).layout()
     }
 }
 
@@ -55,6 +72,9 @@ impl LocalityModel for WWindowAffinity {
 #[derive(Clone, Copy, Debug)]
 pub struct TrgModel {
     pub config: TrgConfig,
+    /// Worker count for the sharded graph construction; the layout is
+    /// bit-identical for any value (1 = serial).
+    pub jobs: usize,
 }
 
 impl LocalityModel for TrgModel {
@@ -63,7 +83,14 @@ impl LocalityModel for TrgModel {
     }
 
     fn sequence(&self, trace: &TrimmedTrace) -> Vec<BlockId> {
-        trg_layout(trace, self.config)
+        trg_layout_jobs(trace, self.config, self.jobs.max(1))
+    }
+
+    fn sequence_cached(&self, trace: &TrimmedTrace, cache: &AnalysisCache) -> Vec<BlockId> {
+        // The expensive intermediate (the graph) depends only on
+        // (trace, window); the slot reduction is cheap by comparison.
+        let trg = cache.trg(trace, self.config.window, self.jobs.max(1));
+        clop_trg::reduce(&trg, self.config.slots, trace).sequence
     }
 }
 
@@ -215,13 +242,27 @@ impl Pipeline {
     /// equivalent to the input (see `clop-verify`). A rejection is always
     /// a bug in a model or transform and surfaces as [`OptError::Verify`].
     pub fn optimize(&self, module: &Module) -> Result<OptimizedProgram, OptError> {
+        self.optimize_with_cache(module, None)
+    }
+
+    /// [`optimize`](Pipeline::optimize), reusing memoized analysis
+    /// intermediates when a cache is supplied (see
+    /// [`AnalysisCache`]); the result is identical either way.
+    pub fn optimize_with_cache(
+        &self,
+        module: &Module,
+        cache: Option<&AnalysisCache>,
+    ) -> Result<OptimizedProgram, OptError> {
         let prepared = self.transform.prepare(module)?;
         let profile = Profile::collect(&prepared, &self.profile);
         let trace = self.transform.trace(&profile);
         if trace.is_empty() {
             return Err(OptError::EmptyProfile);
         }
-        let hot = self.model.sequence(trace);
+        let hot = match cache {
+            Some(c) => self.model.sequence_cached(trace, c),
+            None => self.model.sequence(trace),
+        };
         let layout = self.transform.realize(&prepared, &hot)?;
         if clop_verify::verify_enabled() {
             let mut report = clop_verify::verify_module(&prepared);
@@ -257,6 +298,9 @@ pub struct PipelineParams {
     pub trg: TrgConfig,
     /// Profiling configuration.
     pub profile: ProfileConfig,
+    /// Worker count for the sharded locality analyses. Purely a throughput
+    /// knob: every model result is bit-identical for any value.
+    pub jobs: usize,
 }
 
 impl PipelineParams {
@@ -274,7 +318,14 @@ impl PipelineParams {
             affinity: AffinityConfig::default(),
             trg: TrgConfig::from_cache(32 * 1024, 4, 64, assumed_block_bytes),
             profile: ProfileConfig::default(),
+            jobs: 1,
         }
+    }
+
+    /// This parameter set with the analysis worker count set to `jobs`.
+    pub fn with_jobs(mut self, jobs: usize) -> PipelineParams {
+        self.jobs = jobs.max(1);
+        self
     }
 }
 
@@ -306,9 +357,15 @@ impl PipelineRegistry {
             let is_affinity = name.ends_with("affinity");
             reg.register(name, move |p: &PipelineParams| {
                 let model: Arc<dyn LocalityModel> = if is_affinity {
-                    Arc::new(WWindowAffinity { config: p.affinity })
+                    Arc::new(WWindowAffinity {
+                        config: p.affinity,
+                        jobs: p.jobs,
+                    })
                 } else {
-                    Arc::new(TrgModel { config: p.trg })
+                    Arc::new(TrgModel {
+                        config: p.trg,
+                        jobs: p.jobs,
+                    })
                 };
                 let transform: Arc<dyn Transform> = if is_bb {
                     Arc::new(BbReorder)

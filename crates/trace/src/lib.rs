@@ -34,6 +34,7 @@ pub mod mapping;
 pub mod phases;
 pub mod prune;
 pub mod sample;
+pub mod shard;
 pub mod stack;
 pub mod trace;
 
@@ -41,5 +42,6 @@ pub use histogram::ReuseHistogram;
 pub use io::{read_trace, read_trace_repaired, read_trimmed, write_trace, RepairReport};
 pub use mapping::{BlockMap, Granularity};
 pub use prune::{PruneReport, Pruner};
+pub use shard::{shards, Shard};
 pub use stack::LruStack;
 pub use trace::{BlockId, Trace, TrimmedTrace};

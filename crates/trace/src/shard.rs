@@ -1,0 +1,265 @@
+//! Deterministic trace sharding with window-overlap semantics.
+//!
+//! The locality analyses (w-window affinity, TRG construction) are stream
+//! computations over a trimmed trace whose per-event work depends only on a
+//! *bounded recency context*: the `w` most recently used distinct blocks.
+//! That makes them shardable: split the trace into contiguous *core* ranges
+//! (one per worker) and give each shard enough surrounding context that the
+//! recency state it observes inside its core is exactly the state a single
+//! sequential pass would observe.
+//!
+//! * **Backward overlap** (`lookback`): the shard starts processing early
+//!   enough that, by the first core event, at least `lookback` distinct
+//!   blocks have been seen since `start`. The `lookback` most recently used
+//!   blocks — and their relative LRU order and last-access times — are then
+//!   identical to the global pass for every core position (the LRU order of
+//!   blocks depends only on last-access times, which the warm-up replays
+//!   exactly). Overlap events are *replayed for state only*; they are never
+//!   attributed to the shard.
+//! * **Forward extension** (`lookahead`): analyses that resolve an event
+//!   against *later* trace context (the affinity forward witness) extend
+//!   past the core until the window footprint anchored at the last core
+//!   event exceeds `lookahead`; beyond that point no window of footprint
+//!   `<= lookahead` can reach back into the core, so the extension captures
+//!   every resolution a global pass would perform.
+//!
+//! Cores partition `0..trace.len()` exactly, so per-core results merge into
+//! the global result with order-independent reductions (see
+//! `clop_affinity::shard` and `clop_trg::graph::Trg::build_jobs`), making
+//! the merged output bit-identical for any shard count.
+
+use crate::trace::TrimmedTrace;
+use clop_util::FxHashSet;
+
+/// One shard of a trimmed trace: a half-open core range plus its overlap.
+///
+/// Invariants (enforced by [`shards`]): `start <= core_start < core_end <=
+/// end`, cores of consecutive shards are adjacent, and the union of all
+/// cores is `0..trace.len()`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Shard {
+    /// Start of the backward-overlap (warm-up) region: events in
+    /// `start..core_start` are replayed into the recency state only.
+    pub start: usize,
+    /// First event attributed to this shard.
+    pub core_start: usize,
+    /// One past the last event attributed to this shard.
+    pub core_end: usize,
+    /// One past the forward-extension region: events in `core_end..end` may
+    /// resolve core events but are not themselves attributed.
+    pub end: usize,
+}
+
+impl Shard {
+    /// Number of events attributed to this shard.
+    pub fn core_len(&self) -> usize {
+        self.core_end - self.core_start
+    }
+}
+
+/// Split a trace into at most `jobs` shards with the given overlap depths.
+///
+/// `lookback` is the number of distinct blocks of recency context a shard
+/// needs at its first core event (e.g. `w_max + 1` for affinity: the walk
+/// plus one boundary entry). `lookahead` bounds the footprint of any window
+/// that must be resolved forward from the core (e.g. `w_max` for affinity;
+/// `0` for analyses that only look backward).
+///
+/// The backward scan stops as soon as `lookback` distinct blocks are seen
+/// (minimal sufficient overlap) or at the trace start, where the shard
+/// state is trivially exact. The forward scan extends while the closed
+/// window anchored at the last core event still has footprint
+/// `<= lookahead`.
+///
+/// Shard boundaries depend only on the trace contents and the parameters,
+/// never on the worker pool, so any downstream order-independent merge is
+/// deterministic. An empty trace yields no shards; `jobs` is clamped to
+/// `1..=trace.len()` so every core is non-empty.
+pub fn shards(trace: &TrimmedTrace, jobs: usize, lookback: usize, lookahead: usize) -> Vec<Shard> {
+    let n = trace.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = jobs.clamp(1, n);
+    let ev = trace.events();
+    (0..k)
+        .map(|i| {
+            let core_start = i * n / k;
+            let core_end = (i + 1) * n / k;
+
+            let start = if core_start == 0 || lookback == 0 {
+                core_start
+            } else {
+                let mut seen = FxHashSet::default();
+                let mut p = core_start;
+                loop {
+                    seen.insert(ev[p]);
+                    if seen.len() >= lookback || p == 0 {
+                        break;
+                    }
+                    p -= 1;
+                }
+                p
+            };
+
+            let end = if core_end == n || lookahead == 0 {
+                core_end
+            } else {
+                let mut seen = FxHashSet::default();
+                seen.insert(ev[core_end - 1]);
+                let mut q = core_end;
+                while q < n {
+                    seen.insert(ev[q]);
+                    if seen.len() > lookahead {
+                        break;
+                    }
+                    q += 1;
+                }
+                q
+            };
+
+            Shard {
+                start,
+                core_start,
+                core_end,
+                end,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::BlockId;
+
+    fn distinct(ev: &[BlockId], lo: usize, hi_incl: usize) -> usize {
+        let mut v: Vec<u32> = ev[lo..=hi_incl].iter().map(|b| b.0).collect();
+        v.sort_unstable();
+        v.dedup();
+        v.len()
+    }
+
+    fn random_trace(seed: u64, len: usize, blocks: u32) -> TrimmedTrace {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        TrimmedTrace::from_indices((0..len).map(|_| (next() % blocks as u64) as u32))
+    }
+
+    #[test]
+    fn cores_partition_the_trace() {
+        let t = random_trace(1, 500, 17);
+        for jobs in [1, 2, 3, 8, 499, 500, 1000] {
+            let ss = shards(&t, jobs, 5, 4);
+            assert!(!ss.is_empty());
+            assert_eq!(ss[0].core_start, 0);
+            assert_eq!(ss.last().unwrap().core_end, t.len());
+            for w in ss.windows(2) {
+                assert_eq!(w[0].core_end, w[1].core_start);
+            }
+            for s in &ss {
+                assert!(s.start <= s.core_start);
+                assert!(s.core_start < s.core_end, "non-empty core: {:?}", s);
+                assert!(s.core_end <= s.end);
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_covers_whole_trace_without_overlap() {
+        let t = random_trace(2, 100, 9);
+        let n = t.len();
+        let ss = shards(&t, 1, 8, 8);
+        assert_eq!(ss.len(), 1);
+        assert_eq!(
+            ss[0],
+            Shard {
+                start: 0,
+                core_start: 0,
+                core_end: n,
+                end: n
+            }
+        );
+    }
+
+    #[test]
+    fn jobs_clamped_to_trace_length() {
+        let t = TrimmedTrace::from_indices([0, 1, 2, 3, 4, 0, 1]);
+        assert_eq!(shards(&t, 64, 3, 3).len(), 7);
+        assert_eq!(shards(&t, 0, 3, 3).len(), 1);
+    }
+
+    #[test]
+    fn empty_trace_has_no_shards() {
+        let t = TrimmedTrace::from_indices(std::iter::empty::<u32>());
+        assert!(shards(&t, 4, 3, 3).is_empty());
+    }
+
+    #[test]
+    fn backward_overlap_reaches_lookback_distinct_blocks() {
+        for seed in 0..10u64 {
+            let t = random_trace(seed, 400, 11);
+            let ev = t.events();
+            for lookback in [1usize, 3, 6, 12] {
+                for s in shards(&t, 5, lookback, 0) {
+                    if s.core_start == 0 {
+                        assert_eq!(s.start, 0);
+                        continue;
+                    }
+                    let d = distinct(ev, s.start, s.core_start);
+                    // Either the overlap holds `lookback` distinct blocks or
+                    // the scan hit the trace start (trivially exact).
+                    assert!(
+                        d >= lookback || s.start == 0,
+                        "seed {} shard {:?}: {} distinct < {}",
+                        seed,
+                        s,
+                        d,
+                        lookback
+                    );
+                    // Minimality: the overlap stops at the first position
+                    // reaching the bound.
+                    if s.start > 0 {
+                        assert!(distinct(ev, s.start + 1, s.core_start) < lookback);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_extension_is_maximal_within_lookahead() {
+        for seed in 0..10u64 {
+            let t = random_trace(seed.wrapping_add(77), 400, 11);
+            let ev = t.events();
+            for lookahead in [1usize, 3, 6, 12] {
+                for s in shards(&t, 5, 0, lookahead) {
+                    if s.end > s.core_end {
+                        // Every extension position is inside the window.
+                        assert!(distinct(ev, s.core_end - 1, s.end - 1) <= lookahead);
+                    }
+                    if s.end < t.len() {
+                        // One more event would exceed the window.
+                        assert!(
+                            distinct(ev, s.core_end - 1, s.end) > lookahead,
+                            "seed {} shard {:?} not maximal",
+                            seed,
+                            s
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shards_are_deterministic() {
+        let t = random_trace(9, 300, 13);
+        assert_eq!(shards(&t, 6, 7, 5), shards(&t, 6, 7, 5));
+    }
+}

@@ -7,15 +7,41 @@
 //! not contend for the same cache residency (the Gloy–Smith windowing; the
 //! paper notes the original uses a stack of size 2C).
 //!
-//! The construction uses the same Olken/Fenwick LRU stack as the rest of
-//! the system: each access resolves its reuse distance in O(log B), and
-//! only actual conflicts are enumerated (one list step per emitted edge
-//! increment), improving on the paper's O(N·Q) bound for window `Q` —
-//! the window now only gates *which* reuses count, not the per-access
-//! scan cost.
+//! Because the window gates which reuses count, the construction only ever
+//! needs the top `min(window, B)` stack entries. [`Trg::build_jobs`]
+//! maintains exactly that prefix as a flat array of *heat ranks* (blocks
+//! renumbered hottest-first, so the dense edge matrix clusters hot pairs):
+//! a membership bitset answers "in window?" in O(1), a found block's walk
+//! index *is* its reuse distance, and the blocks above it — `walk[0..d]` —
+//! are the conflict partners, accumulated into a triangular `u32` matrix
+//! when the block universe is small (the common case) or a hash map
+//! otherwise. One position scan plus one `copy_within` per access replaces
+//! the Fenwick-tree promotion and the per-edge list walk.
+//!
+//! The builder is sharded with [`clop_trace::shard::shards`]: each worker
+//! replays a `window + 1`-deep distinct-block prefix to reconstruct the
+//! exact top-of-stack state at its core boundary (the warm-up is *sorted
+//! into place* from last-access positions instead of replayed step by
+//! step), and attributes edge increments only to core events. A core reuse
+//! with global distance `d < window` always has its previous occurrence
+//! inside the shard: otherwise the overlap's `>= window + 1` distinct
+//! blocks — at least `window` of them different from the reused block —
+//! would sit between the two occurrences, forcing `d >= window`. And a
+//! shard never over-counts, because the blocks seen since `start` ordered
+//! by last access are a *prefix* of the global LRU stack (everything older
+//! sits below them), so a block found in the shard walk is at its exact
+//! global depth. Every increment therefore lands in exactly one shard, and
+//! summing per-shard maps reproduces the sequential graph bit for bit, for
+//! any shard count.
 
-use clop_trace::{BlockId, LruStack, TrimmedTrace};
+use clop_trace::shard::{shards, Shard};
+use clop_trace::{BlockId, TrimmedTrace};
+use clop_util::pool::parallel_map;
 use clop_util::FxHashMap;
+
+/// Densest block universe for which per-shard edge accumulation uses a
+/// triangular matrix instead of a hash map (≈ 2 MB of `u32` at the limit).
+const DENSE_NODE_MAX: usize = 1024;
 
 /// A temporal relationship graph: weighted undirected conflict edges over
 /// code blocks.
@@ -29,41 +55,70 @@ impl Trg {
     /// Build the TRG of a trimmed trace with the given recency window
     /// (in code blocks).
     pub fn build(trace: &TrimmedTrace, window: usize) -> Self {
+        Self::build_jobs(trace, window, 1)
+    }
+
+    /// [`Trg::build`] with the trace split into up to `jobs` shards
+    /// processed on the worker pool. The result is bit-identical for any
+    /// `jobs` value (window-overlap sharding with a sum merge; see the
+    /// module docs).
+    pub fn build_jobs(trace: &TrimmedTrace, window: usize, jobs: usize) -> Self {
         let cap = trace
             .events()
             .iter()
             .map(|b| b.index() + 1)
             .max()
             .unwrap_or(0);
-        let mut stack = LruStack::new(cap);
-        let mut edges: FxHashMap<(u32, u32), u64> = FxHashMap::default();
+
+        // Nodes in first-appearance order (cheap, done once, serially).
         let mut seen = vec![false; cap];
         let mut nodes = Vec::new();
-
         for &a in trace.events() {
             if !seen[a.index()] {
                 seen[a.index()] = true;
                 nodes.push(a);
             }
-            // Resolve the reuse distance (O(log B)) while promoting; a
-            // reuse at depth d within the window means the d blocks that
-            // interleaved — now at depths 1..=d, just below the promoted
-            // `a` — conflict with `a` once each.
-            let d = stack.access(a);
-            if d != LruStack::INFINITE && d > 0 && d < window {
-                let mut idx = 0usize;
-                stack.for_each_top(d + 1, |b| {
-                    if idx > 0 {
-                        debug_assert_ne!(b, a);
-                        let key = (a.0.min(b.0), a.0.max(b.0));
-                        *edges.entry(key).or_insert(0) += 1;
-                    }
-                    idx += 1;
-                });
-                debug_assert_eq!(idx, d + 1);
-            }
+        }
+        if nodes.is_empty() || window == 0 {
+            return Trg {
+                edges: FxHashMap::default(),
+                nodes,
+            };
         }
 
+        // Heat ranks: hottest block gets rank 0 so the dense matrix keeps
+        // hot pairs in adjacent cells. Ranks only steer internal indexing;
+        // shard outputs are keyed by block ids.
+        let counts = trace.occurrence_counts();
+        let mut by_heat: Vec<u32> = nodes.iter().map(|b| b.0).collect();
+        by_heat.sort_unstable_by_key(|&b| (std::cmp::Reverse(counts[b as usize]), b));
+        let nd = by_heat.len();
+        let mut rank = vec![0u32; cap];
+        for (r, &b) in by_heat.iter().enumerate() {
+            rank[b as usize] = r as u32;
+        }
+
+        let mut regions = shards(trace, jobs, window.saturating_add(1), 0);
+        // Degenerate-overlap guard: when the trace has fewer hot blocks
+        // than the window, every warm-up scans back to (nearly) the trace
+        // start and sharding replays more work than it splits. Collapse to
+        // one shard — the outcome depends only on the trace and parameters,
+        // so it is the same for every `jobs` value, and per-shard results
+        // are bit-identical either way.
+        let span: usize = regions.iter().map(|s| s.end - s.start).sum();
+        if regions.len() > 1 && span > trace.len() + trace.len() / 2 {
+            regions = shards(trace, 1, window.saturating_add(1), 0);
+        }
+
+        let per_shard = parallel_map(jobs, regions, |_, sh| {
+            build_region(trace, window, &rank, &by_heat, nd, sh)
+        });
+        let mut edges: FxHashMap<(u32, u32), u64> = FxHashMap::default();
+        for shard_edges in per_shard {
+            for (key, w) in shard_edges {
+                *edges.entry(key).or_insert(0) += w;
+            }
+        }
         Trg { edges, nodes }
     }
 
@@ -114,12 +169,171 @@ impl Trg {
     }
 }
 
+/// One shard's edge contributions, keyed by block-id pairs `(min, max)`.
+///
+/// Maintains the top-`min(window, nd)` LRU prefix over heat ranks: `walk`
+/// is MRU-first, `in_walk` is its membership bitset. A found block's index
+/// is its reuse distance `d`; the conflict partners are `walk[0..d]`,
+/// credited *before* the rotation that promotes the block.
+fn build_region(
+    trace: &TrimmedTrace,
+    window: usize,
+    rank: &[u32],
+    by_heat: &[u32],
+    nd: usize,
+    sh: Shard,
+) -> FxHashMap<(u32, u32), u64> {
+    let ev = trace.events();
+    let wcap = window.min(nd);
+    let mut map: FxHashMap<(u32, u32), u64> = FxHashMap::default();
+    if wcap == 0 {
+        return map;
+    }
+
+    // Warm-up by sort: the replayed walk at `core_start` is the distinct
+    // blocks of `[start, core_start)` ordered by last access, newest
+    // first, truncated to capacity — reconstruct it directly from
+    // last-access positions in O(overlap + distinct·log) instead of
+    // rotating the walk once per overlap event.
+    let mut last = vec![u32::MAX; nd];
+    let mut touched: Vec<u32> = Vec::new();
+    for t in sh.start..sh.core_start {
+        let r = rank[ev[t].index()] as usize;
+        if last[r] == u32::MAX {
+            touched.push(r as u32);
+        }
+        last[r] = t as u32;
+    }
+    touched.sort_unstable_by_key(|&r| std::cmp::Reverse(last[r as usize]));
+    touched.truncate(wcap);
+    let mut walk: Vec<u32> = touched;
+    let mut in_walk = vec![false; nd];
+    for &r in &walk {
+        in_walk[r as usize] = true;
+    }
+
+    let dense = nd <= DENSE_NODE_MAX;
+    let tri = |ra: usize, rx: usize| {
+        let (lo, hi) = if ra < rx { (ra, rx) } else { (rx, ra) };
+        lo * nd - lo * (lo + 1) / 2 + hi
+    };
+    let mut mat: Vec<u32> = if dense {
+        vec![0; nd * (nd + 1) / 2]
+    } else {
+        Vec::new()
+    };
+
+    for t in sh.core_start..sh.core_end {
+        let ra = rank[ev[t].index()];
+        if in_walk[ra as usize] {
+            // Reuse within the window: the walk index is the reuse
+            // distance (the walk is an exact LRU-stack prefix, and a block
+            // truncated out of it would have distance >= wcap, hence
+            // >= window or a first access).
+            if let Some(d) = walk.iter().position(|&r| r == ra) {
+                if d > 0 {
+                    if dense {
+                        let a = ra as usize;
+                        for &rx in &walk[..d] {
+                            mat[tri(a, rx as usize)] += 1;
+                        }
+                    } else {
+                        let ia = by_heat[ra as usize];
+                        for &rx in &walk[..d] {
+                            let ix = by_heat[rx as usize];
+                            *map.entry((ia.min(ix), ia.max(ix))).or_insert(0) += 1;
+                        }
+                    }
+                    walk.copy_within(0..d, 1);
+                    walk[0] = ra;
+                }
+            }
+        } else {
+            if walk.len() < wcap {
+                walk.push(0);
+            } else if let Some(&evicted) = walk.last() {
+                in_walk[evicted as usize] = false;
+            }
+            let l = walk.len();
+            walk.copy_within(0..l - 1, 1);
+            walk[0] = ra;
+            in_walk[ra as usize] = true;
+        }
+    }
+
+    if dense {
+        let mut idx = 0usize;
+        for lo in 0..nd {
+            for hi in lo..nd {
+                let w = mat[idx];
+                idx += 1;
+                if w > 0 {
+                    let (a, b) = (by_heat[lo], by_heat[hi]);
+                    map.insert((a.min(b), a.max(b)), u64::from(w));
+                }
+            }
+        }
+    }
+    map
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use clop_trace::LruStack;
 
     fn b(i: u32) -> BlockId {
         BlockId(i)
+    }
+
+    /// The original Olken/Fenwick-stack builder, kept as the differential
+    /// oracle for the flat-walk shard engine.
+    fn build_oracle(trace: &TrimmedTrace, window: usize) -> Trg {
+        let cap = trace
+            .events()
+            .iter()
+            .map(|x| x.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut stack = LruStack::new(cap);
+        let mut edges: FxHashMap<(u32, u32), u64> = FxHashMap::default();
+        let mut seen = vec![false; cap];
+        let mut nodes = Vec::new();
+        for &a in trace.events() {
+            if !seen[a.index()] {
+                seen[a.index()] = true;
+                nodes.push(a);
+            }
+            let d = stack.access(a);
+            if d != LruStack::INFINITE && d > 0 && d < window {
+                let mut idx = 0usize;
+                stack.for_each_top(d + 1, |x| {
+                    if idx > 0 {
+                        let key = (a.0.min(x.0), a.0.max(x.0));
+                        *edges.entry(key).or_insert(0) += 1;
+                    }
+                    idx += 1;
+                });
+            }
+        }
+        Trg { edges, nodes }
+    }
+
+    fn random_trace(seed: u64, len: usize, blocks: u32) -> TrimmedTrace {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        TrimmedTrace::from_indices((0..len).map(|_| (next() % blocks as u64) as u32))
+    }
+
+    fn sorted_edges(g: &Trg) -> Vec<(u32, u32, u64)> {
+        let mut v: Vec<(u32, u32, u64)> = g.edges().map(|(x, y, w)| (x.0, y.0, w)).collect();
+        v.sort_unstable();
+        v
     }
 
     #[test]
@@ -190,5 +404,91 @@ mod tests {
         assert_eq!(g.weight(b(0), b(1)), 1);
         assert_eq!(g.weight(b(0), b(2)), 1);
         assert_eq!(g.weight(b(1), b(2)), 0);
+    }
+
+    #[test]
+    fn flat_walk_matches_stack_oracle() {
+        for seed in 0..30u64 {
+            let blocks = 3 + (seed % 17) as u32;
+            let len = 200 + (seed as usize % 5) * 130;
+            let t = random_trace(seed, len, blocks);
+            for window in [1usize, 2, 3, 5, 9, 64] {
+                let oracle = build_oracle(&t, window);
+                let flat = Trg::build(&t, window);
+                assert_eq!(
+                    sorted_edges(&oracle),
+                    sorted_edges(&flat),
+                    "seed {} window {}",
+                    seed,
+                    window
+                );
+                assert_eq!(oracle.nodes(), flat.nodes(), "seed {}", seed);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_build_is_bit_identical_for_any_jobs() {
+        for seed in 0..24u64 {
+            let blocks = 4 + (seed % 13) as u32;
+            let t = random_trace(seed.wrapping_add(1000), 700, blocks);
+            for window in [2usize, 4, 8, 40] {
+                let base = Trg::build_jobs(&t, window, 1);
+                for jobs in [2usize, 3, 5, 8, 64] {
+                    let sharded = Trg::build_jobs(&t, window, jobs);
+                    assert_eq!(
+                        sorted_edges(&base),
+                        sorted_edges(&sharded),
+                        "seed {} window {} jobs {}",
+                        seed,
+                        window,
+                        jobs
+                    );
+                    assert_eq!(base.nodes(), sharded.nodes());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn large_universe_uses_hash_accumulation() {
+        // More distinct blocks than DENSE_NODE_MAX forces the hash-map
+        // accumulation path: a cold prologue touches 1100 blocks once, then
+        // a hot random tail over 30 blocks generates the actual edges.
+        let mut ids: Vec<u32> = (100..1200u32).collect();
+        let mut state = 0x1234_5678_9abc_def1u64;
+        for _ in 0..1200 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ids.push((state % 30) as u32);
+        }
+        let t = TrimmedTrace::from_indices(ids);
+        assert!(t.num_distinct() > DENSE_NODE_MAX);
+        let oracle = build_oracle(&t, 12);
+        for jobs in [1usize, 4] {
+            let g = Trg::build_jobs(&t, 12, jobs);
+            assert_eq!(sorted_edges(&oracle), sorted_edges(&g), "jobs {}", jobs);
+        }
+    }
+
+    #[test]
+    fn tiny_traces_shard_cleanly() {
+        for ids in [vec![], vec![3], vec![3, 4], vec![1, 2, 1], vec![0, 1, 2]] {
+            let t = TrimmedTrace::from_indices(ids.clone());
+            for jobs in [1usize, 2, 8] {
+                let g = Trg::build_jobs(&t, 4, jobs);
+                let oracle = build_oracle(&t, 4);
+                assert_eq!(sorted_edges(&oracle), sorted_edges(&g), "{:?}", ids);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_window_yields_no_edges() {
+        let t = TrimmedTrace::from_indices([0, 1, 0, 1]);
+        let g = Trg::build(&t, 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.nodes().len(), 2);
     }
 }

@@ -78,7 +78,13 @@ impl Default for TrgConfig {
 /// End-to-end TRG optimization: build the graph over the trace and reduce
 /// it to a code-block order.
 pub fn trg_layout(trace: &TrimmedTrace, config: TrgConfig) -> Vec<BlockId> {
-    let trg = Trg::build(trace, config.window);
+    trg_layout_jobs(trace, config, 1)
+}
+
+/// [`trg_layout`] with the graph construction sharded over up to `jobs`
+/// workers; the layout is bit-identical for any `jobs` value.
+pub fn trg_layout_jobs(trace: &TrimmedTrace, config: TrgConfig, jobs: usize) -> Vec<BlockId> {
+    let trg = Trg::build_jobs(trace, config.window, jobs);
     reduce(&trg, config.slots, trace).sequence
 }
 

@@ -1,0 +1,73 @@
+//! Bulk differential suite for the sharded TRG build: across hundreds of
+//! random traces, `Trg::build_jobs` must produce the same edge multiset
+//! (same endpoints, same summed weights) for every worker count, and the
+//! end-to-end layout must be bit-identical.
+
+use clop_trace::TrimmedTrace;
+use clop_trg::{trg_layout_jobs, Trg, TrgConfig};
+
+/// A deterministic random trace: length, universe and contents all derive
+/// from the seed.
+fn random_trace(seed: u64, max_extra_len: u64, max_extra_blocks: u64) -> TrimmedTrace {
+    let mut state = seed.wrapping_mul(0xD1B54A32D192ED03) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let len = 20 + (next() % max_extra_len) as usize;
+    let blocks = 2 + (next() % max_extra_blocks) as u32;
+    let ids: Vec<u32> = (0..len).map(|_| (next() % blocks as u64) as u32).collect();
+    TrimmedTrace::from_indices(ids)
+}
+
+fn sorted_edges(trg: &Trg) -> Vec<(u32, u32, u64)> {
+    let mut v: Vec<(u32, u32, u64)> = trg.edges().map(|(a, b, w)| (a.0, b.0, w)).collect();
+    v.sort_unstable();
+    v
+}
+
+/// 220 random traces × 3 worker counts: the sharded graph equals the
+/// serial graph edge for edge.
+#[test]
+fn sharded_build_identical_for_any_jobs_bulk() {
+    for seed in 0..220u64 {
+        let t = random_trace(seed, 150, 24);
+        let window = [2usize, 5, 16, 64][(seed % 4) as usize];
+        let reference = sorted_edges(&Trg::build(&t, window));
+        for jobs in [2usize, 3, 8] {
+            let sharded = sorted_edges(&Trg::build_jobs(&t, window, jobs));
+            assert_eq!(
+                reference, sharded,
+                "seed={} window={} jobs={}",
+                seed, window, jobs
+            );
+        }
+    }
+}
+
+/// 40 random traces: the full layout (build + slot reduction) is
+/// bit-identical for every worker count — the reduction consumes the
+/// merged graph, so this exercises determinism end to end.
+#[test]
+fn sharded_layout_identical_for_any_jobs_bulk() {
+    for seed in 0..40u64 {
+        let t = random_trace(seed.wrapping_add(5000), 200, 16);
+        let config = TrgConfig {
+            window: [4usize, 12, 48][(seed % 3) as usize],
+            slots: [2usize, 5, 9][((seed / 3) % 3) as usize],
+        };
+        let reference = trg_layout_jobs(&t, config, 1);
+        for jobs in [2usize, 3, 8] {
+            assert_eq!(
+                reference,
+                trg_layout_jobs(&t, config, jobs),
+                "seed={} config={:?} jobs={}",
+                seed,
+                config,
+                jobs
+            );
+        }
+    }
+}

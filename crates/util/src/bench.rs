@@ -52,6 +52,7 @@ pub struct Runner {
     filter: Option<String>,
     budget: Duration,
     json_path: Option<String>,
+    jobs: usize,
     records: RefCell<Vec<Record>>,
 }
 
@@ -67,6 +68,11 @@ impl Default for Runner {
             json_path: std::env::var("CLOP_BENCH_JSON")
                 .ok()
                 .filter(|p| !p.is_empty()),
+            jobs: std::env::var("CLOP_BENCH_JOBS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(crate::pool::default_jobs),
             records: RefCell::new(Vec::new()),
         }
     }
@@ -81,11 +87,39 @@ pub fn quick() -> bool {
 
 impl Runner {
     /// Build a runner from the process arguments: the first non-flag
-    /// argument becomes the name filter.
+    /// argument becomes the name filter; `--jobs N` / `--jobs=N` / `-j N`
+    /// set the worker count for sharded benchmark bodies (default:
+    /// `CLOP_BENCH_JOBS`, else the machine's available parallelism).
     pub fn from_args() -> Self {
         let mut r = Runner::default();
-        r.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        r.apply_args(&args);
         r
+    }
+
+    fn apply_args(&mut self, args: &[String]) {
+        let mut i = 0;
+        while i < args.len() {
+            let a = args[i].as_str();
+            if a == "--jobs" || a == "-j" {
+                if let Some(n) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                    self.jobs = n.max(1);
+                }
+                i += 1; // skip the value token — it is not a filter
+            } else if let Some(v) = a.strip_prefix("--jobs=") {
+                if let Ok(n) = v.parse::<usize>() {
+                    self.jobs = n.max(1);
+                }
+            } else if !a.starts_with('-') && self.filter.is_none() {
+                self.filter = Some(a.to_string());
+            }
+            i += 1;
+        }
+    }
+
+    /// Worker count for benchmark bodies that shard their work.
+    pub fn jobs(&self) -> usize {
+        self.jobs
     }
 
     /// Time `f`, printing `name`, mean ns/iter and throughput derived from
@@ -178,8 +212,37 @@ mod tests {
             filter: filter.map(str::to_string),
             budget: Duration::from_micros(50),
             json_path,
+            jobs: 1,
             records: RefCell::new(Vec::new()),
         }
+    }
+
+    #[test]
+    fn jobs_flag_is_parsed_and_not_a_filter() {
+        let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+
+        let mut r = test_runner(None, None);
+        r.apply_args(&to_args(&["--bench", "--jobs", "4", "affinity"]));
+        assert_eq!(r.jobs(), 4);
+        assert_eq!(r.filter.as_deref(), Some("affinity"));
+
+        let mut r = test_runner(None, None);
+        r.apply_args(&to_args(&["--jobs=8"]));
+        assert_eq!(r.jobs(), 8);
+        assert_eq!(r.filter, None);
+
+        let mut r = test_runner(None, None);
+        r.apply_args(&to_args(&["-j", "2", "trg"]));
+        assert_eq!(r.jobs(), 2);
+        assert_eq!(r.filter.as_deref(), Some("trg"));
+
+        // Zero clamps to 1; a malformed value is ignored.
+        let mut r = test_runner(None, None);
+        r.apply_args(&to_args(&["--jobs=0"]));
+        assert_eq!(r.jobs(), 1);
+        let mut r = test_runner(None, None);
+        r.apply_args(&to_args(&["--jobs", "nope"]));
+        assert_eq!(r.jobs(), 1);
     }
 
     #[test]
