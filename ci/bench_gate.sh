@@ -19,4 +19,14 @@ rm -f "$out1" "$out2"
 
 CLOP_BENCH_QUICK=1 CLOP_BENCH_JSON="$out1" cargo bench -p clop-bench
 CLOP_BENCH_QUICK=1 CLOP_BENCH_JSON="$out2" cargo bench -p clop-bench
-cargo run -q --release -p clop-bench --bin bench_gate -- BENCH_baseline.json "$out1" "$out2"
+
+# Ratio guards: adaptive shard sizing must keep parallel analysis from
+# ever losing to the sequential pass — on any machine, at any worker
+# count. Both sides of each guard come from the same runs, so the check
+# is independent of absolute machine speed.
+cargo run -q --release -p clop-bench --bin bench_gate -- \
+  --guard affinity/sharded/200000/jobs2 affinity/sharded/200000/jobs1 1.25 \
+  --guard affinity/sharded/200000/jobs8 affinity/sharded/200000/jobs1 1.25 \
+  --guard trg/build_sharded/200000/jobs2 trg/build_sharded/200000/jobs1 1.25 \
+  --guard trg/build_sharded/200000/jobs8 trg/build_sharded/200000/jobs1 1.25 \
+  BENCH_baseline.json "$out1" "$out2"

@@ -15,7 +15,7 @@
 
 use crate::analyzer::PairThresholds;
 use crate::AffinityConfig;
-use clop_trace::{BlockId, TrimmedTrace};
+use clop_trace::{BlockId, TraceStats, TrimmedTrace};
 use std::collections::HashMap;
 
 /// One level of the hierarchy: the w-window affinity partition.
@@ -62,15 +62,28 @@ impl AffinityHierarchy {
         thresholds: &PairThresholds,
         config: AffinityConfig,
     ) -> Self {
-        // First-appearance order.
-        let mut first_pos: HashMap<u32, usize> = HashMap::new();
-        let mut order: Vec<BlockId> = Vec::new();
-        for (i, b) in trace.iter().enumerate() {
-            first_pos.entry(b.0).or_insert_with(|| {
-                order.push(b);
-                i
-            });
-        }
+        Self::build_from_stats(&TraceStats::of(trace), thresholds, config)
+    }
+
+    /// [`AffinityHierarchy::build`] from the trace's order statistics
+    /// instead of the trace itself — the incremental serving path folds
+    /// [`clop_trace::StatsState`] from shards and never materializes the
+    /// full trace.
+    ///
+    /// Equivalence: `build` uses first-appearance *positions* only in
+    /// comparisons (edge tie-breaks, atom ranks, final-atom ordering), so
+    /// substituting each block's ordinal in the first-appearance order — an
+    /// order-isomorphic relabeling — produces the identical hierarchy.
+    pub fn build_from_stats(
+        stats: &TraceStats,
+        thresholds: &PairThresholds,
+        config: AffinityConfig,
+    ) -> Self {
+        // First-appearance order; ordinal positions stand in for trace
+        // positions (only ever compared, never measured).
+        let order: Vec<BlockId> = stats.first_appearance().to_vec();
+        let first_pos: HashMap<u32, usize> =
+            order.iter().enumerate().map(|(i, b)| (b.0, i)).collect();
 
         // Union-find over blocks, with per-root ordered member lists.
         let n = order.len();
@@ -157,12 +170,7 @@ impl AffinityHierarchy {
         // order *within* each group; packing the heavily-executed groups
         // together minimizes the hot footprint, so hot code occupies the
         // fewest cache lines.
-        let counts = trace.occurrence_counts();
-        let heat = |g: &Vec<BlockId>| -> u64 {
-            g.iter()
-                .map(|b| counts.get(b.index()).copied().unwrap_or(0))
-                .sum()
-        };
+        let heat = |g: &Vec<BlockId>| -> u64 { g.iter().map(|&b| stats.count(b)).sum() };
         final_atoms.sort_by_key(|g| {
             let h = heat(g);
             let r = g

@@ -33,14 +33,15 @@
 //! nowhere, and the sum falls short of the trace-wide occurrence count).
 
 use crate::analyzer::PairThresholds;
-use clop_trace::shard::{shards, Shard};
+use crate::incremental::{AffinityDelta, AffinityState};
+use clop_trace::shard::{shards_adaptive, Shard};
 use clop_trace::TrimmedTrace;
 use clop_util::pool::parallel_map;
 use clop_util::FxHashMap;
 
 /// Per-shard, per-pair report: max credited footprint plus per-direction
 /// credited-occurrence counts (lower block, higher block).
-type ShardPairs = FxHashMap<(u32, u32), (u32, u64, u64)>;
+pub(crate) type ShardPairs = FxHashMap<(u32, u32), (u32, u64, u64)>;
 
 /// Resolution state for one direction (one block's occurrences) of a pair.
 ///
@@ -128,7 +129,7 @@ const DEAD: u32 = u32::MAX;
 ///
 /// `rank` maps block ids to dense first-appearance ranks (`nd` of them);
 /// it only steers internal indexing and cannot affect results.
-fn measure_region(
+pub(crate) fn measure_region(
     trace: &TrimmedTrace,
     w_max: u32,
     cap: usize,
@@ -372,21 +373,19 @@ fn measure_region(
     out
 }
 
-/// Measure pairwise thresholds with the trace split into up to `jobs`
-/// shards processed on the worker pool. Bit-identical to a single
-/// sequential pass for any `jobs` value.
-pub(crate) fn measure_jobs(trace: &TrimmedTrace, w_max: u32, jobs: usize) -> PairThresholds {
-    let w_max = w_max.max(2);
+/// Dense heat ranks over a trace: `(cap, rank, nd)` where `cap` is the
+/// dense-array capacity (max id + 1), `rank[id]` maps a block to its heat
+/// rank (hottest first, ties by id), and `nd` is the distinct-block count.
+/// Ranks only steer internal indexing — the hot pairs then live in a small
+/// corner of the rank×rank pair table that stays cache-resident — and
+/// cannot affect results, which are keyed by block id.
+pub(crate) fn heat_ranks(trace: &TrimmedTrace) -> (usize, Vec<u32>, usize) {
     let cap = trace
         .events()
         .iter()
         .map(|b| b.index() + 1)
         .max()
         .unwrap_or(0);
-    // Dense ranks for the pair table, hottest blocks first: the hot pairs
-    // then live in a small corner of the rank×rank index that stays
-    // cache-resident. Ranks only steer internal indexing (results are
-    // keyed by block id), so the ordering cannot affect the output.
     let counts = trace.occurrence_counts();
     let mut by_heat: Vec<u32> = (0..cap as u32)
         .filter(|&b| counts[b as usize] > 0)
@@ -397,34 +396,45 @@ pub(crate) fn measure_jobs(trace: &TrimmedTrace, w_max: u32, jobs: usize) -> Pai
     for (r, &b) in by_heat.iter().enumerate() {
         rank[b as usize] = r as u32;
     }
-    let regions = shards(trace, jobs, w_max as usize + 1, w_max as usize);
-    let per_shard = parallel_map(jobs, regions, |_, sh| {
-        measure_region(trace, w_max, cap, &rank, nd, sh)
+    (cap, rank, nd)
+}
+
+/// Measure pairwise thresholds with the trace split into adaptively sized
+/// shards (at most `jobs`) processed on the worker pool. Bit-identical to
+/// a single sequential pass for any `jobs` value.
+///
+/// The multi-shard path is the incremental fold: each shard produces an
+/// [`AffinityDelta`], the deltas are absorbed into an [`AffinityState`],
+/// and `finalize` applies the Definition 3 coverage filter — the same
+/// machinery the streaming path uses. A single region (the sequential
+/// case, and any trace too small for adaptive sharding to split) applies
+/// the coverage filter directly against the trace-wide occurrence counts,
+/// skipping the delta round trip; the fold's equivalence to this path is
+/// pinned by the property suites.
+pub(crate) fn measure_jobs(trace: &TrimmedTrace, w_max: u32, jobs: usize) -> PairThresholds {
+    let w_max = w_max.max(2);
+    let (cap, rank, nd) = heat_ranks(trace);
+    let regions = shards_adaptive(trace, jobs, w_max as usize + 1, w_max as usize);
+    if let [sh] = regions.as_slice() {
+        let reported = measure_region(trace, w_max, cap, &rank, nd, *sh);
+        let counts = trace.occurrence_counts();
+        let mut map = FxHashMap::default();
+        for ((lo, hi), (thr, fin_lo, fin_hi)) in reported {
+            if thr >= 2 && fin_lo == counts[lo as usize] && fin_hi == counts[hi as usize] {
+                map.insert((lo, hi), thr);
+            }
+        }
+        return PairThresholds::from_parts(map, w_max);
+    }
+    let deltas = parallel_map(jobs, regions, |i, sh| {
+        AffinityDelta::of_region(i as u64, trace, w_max, cap, &rank, nd, sh)
     });
-
-    // Order-independent merge: max of thresholds, sum of credit counts.
-    let mut merged: ShardPairs = ShardPairs::default();
-    for m in per_shard {
-        for (k, (thr, fin_lo, fin_hi)) in m {
-            let e = merged.entry(k).or_insert((0, 0, 0));
-            e.0 = e.0.max(thr);
-            e.1 += fin_lo;
-            e.2 += fin_hi;
-        }
+    let mut state = AffinityState::new(w_max);
+    for d in &deltas {
+        // Cannot fail: the deltas share `w_max` and carry distinct seqs.
+        let _ = state.absorb(d);
     }
-
-    // Definition 3 quantifies over *every* occurrence of both blocks: a
-    // pair survives iff each occurrence was credited a finite footprint
-    // somewhere. Credited footprints are at most w_max by construction.
-    let occ = trace.occurrence_counts();
-    let mut map = FxHashMap::default();
-    for ((lo, hi), (thr, fin_lo, fin_hi)) in merged {
-        debug_assert!(thr <= w_max);
-        if thr >= 2 && fin_lo == occ[lo as usize] && fin_hi == occ[hi as usize] {
-            map.insert((lo, hi), thr);
-        }
-    }
-    PairThresholds::from_parts(map, w_max)
+    state.finalize()
 }
 
 #[cfg(test)]

@@ -123,6 +123,16 @@ fn env_f64(name: &str, default: f64) -> f64 {
         .unwrap_or(default)
 }
 
+/// A relative guard between two benchmarks measured in the *same* runs:
+/// `name` must not exceed `reference` by more than `max_ratio`. Immune to
+/// machine speed (both sides share the run), so it can assert structural
+/// properties — e.g. "sharded analysis at jobs=8 never loses to jobs=1".
+struct RatioGuard {
+    name: String,
+    reference: String,
+    max_ratio: f64,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.get(1).map(String::as_str) == Some("--write-min") {
@@ -137,12 +147,39 @@ fn main() {
         write_min(out, &args[3..]);
         return;
     }
-    let baseline_path = args
-        .get(1)
+    // Extract `--guard <name> <reference> <max_ratio>` triples; what
+    // remains is the positional `[baseline] [current...]` list.
+    let mut guards: Vec<RatioGuard> = Vec::new();
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.into_iter().skip(1);
+    while let Some(arg) = it.next() {
+        if arg == "--guard" {
+            let (Some(name), Some(reference), Some(ratio)) = (it.next(), it.next(), it.next())
+            else {
+                eprintln!("usage: bench_gate [--guard <name> <reference> <max_ratio>]... [<baseline.json>] [<current.json>...]");
+                std::process::exit(2);
+            };
+            let Ok(max_ratio) = ratio.parse::<f64>() else {
+                eprintln!("bench_gate: bad guard ratio {}", ratio);
+                std::process::exit(2);
+            };
+            guards.push(RatioGuard {
+                name,
+                reference,
+                max_ratio,
+            });
+        } else {
+            positional.push(arg);
+        }
+    }
+    let baseline_path = positional
+        .first()
         .map(String::as_str)
-        .unwrap_or("BENCH_baseline.json");
-    let current_paths: Vec<&str> = if args.len() > 2 {
-        args[2..].iter().map(String::as_str).collect()
+        .unwrap_or("BENCH_baseline.json")
+        .to_string();
+    let baseline_path = baseline_path.as_str();
+    let current_paths: Vec<&str> = if positional.len() > 1 {
+        positional[1..].iter().map(String::as_str).collect()
     } else {
         vec!["bench_current.json"]
     };
@@ -191,6 +228,33 @@ fn main() {
     for name in current.keys() {
         if !baseline.contains_key(name) {
             println!("{:<44} new benchmark (not gated)", name);
+        }
+    }
+
+    for g in &guards {
+        match (current.get(&g.name), current.get(&g.reference)) {
+            (Some(&a), Some(&b)) if b > 0.0 => {
+                let ratio = a / b;
+                let violated = ratio > g.max_ratio;
+                println!(
+                    "guard {} <= {:.2}x {}: {:.2}x{}",
+                    g.name,
+                    g.max_ratio,
+                    g.reference,
+                    ratio,
+                    if violated { "  VIOLATED" } else { "" }
+                );
+                if violated {
+                    failures += 1;
+                }
+            }
+            _ => {
+                println!(
+                    "guard {} <= {:.2}x {}: MISSING measurement",
+                    g.name, g.max_ratio, g.reference
+                );
+                failures += 1;
+            }
         }
     }
 

@@ -13,6 +13,7 @@
 //! negligible next to an interpreter run of the module.
 
 use crate::eval::{EvalConfig, ProgramRun};
+use crate::incremental::IncrementalStore;
 use crate::optimizer::{OptError, OptimizedProgram};
 use crate::pipeline::{build_pipeline, PipelineParams};
 use clop_affinity::PairThresholds;
@@ -134,6 +135,7 @@ pub struct Engine {
     runs: Mutex<HashMap<u64, Arc<ProgramRun>>>,
     opts: Mutex<HashMap<u64, Result<Arc<OptimizedProgram>, OptError>>>,
     analyses: AnalysisCache,
+    incremental: IncrementalStore,
     eval_hits: AtomicU64,
     eval_misses: AtomicU64,
     opt_hits: AtomicU64,
@@ -197,6 +199,13 @@ impl Engine {
     /// The engine's locality-analysis intermediate cache.
     pub fn analyses(&self) -> &AnalysisCache {
         &self.analyses
+    }
+
+    /// The engine's per-version incremental analysis states, keyed by
+    /// `(program version, analysis parameters)`. Streamed shards fold in
+    /// here; layout queries run registered pipelines against the fold.
+    pub fn incremental(&self) -> &IncrementalStore {
+        &self.incremental
     }
 
     /// Current cache statistics.

@@ -45,6 +45,7 @@ pub mod baseline;
 pub mod bbreorder;
 pub mod engine;
 pub mod eval;
+pub mod incremental;
 pub mod optimizer;
 pub mod pipeline;
 pub mod profile;
@@ -57,6 +58,7 @@ pub use baseline::{
 pub use bbreorder::{preprocess_for_bb_reordering, BbReorderError};
 pub use engine::{AnalysisCache, Engine, EngineStats};
 pub use eval::{timed_fetch_stream, timed_fetch_stream_from, EvalConfig, ProgramRun};
+pub use incremental::{AnalysisParams, IncrementalStore, LayoutResult, VersionState};
 pub use optimizer::{OptError, OptimizedProgram, Optimizer, OptimizerKind};
 pub use pipeline::{
     build_pipeline, register_pipeline, registered_pipelines, BbReorder, FunctionReorder,

@@ -40,6 +40,18 @@ pub trait LocalityModel: Send + Sync {
     fn sequence_cached(&self, trace: &TrimmedTrace, _cache: &AnalysisCache) -> Vec<BlockId> {
         self.sequence(trace)
     }
+    /// The placement sequence computed from a streamed incremental fold
+    /// instead of a materialized trace. `None` when the model has no
+    /// incremental path or the state was folded at different parameters;
+    /// when `Some`, the sequence is bit-identical to
+    /// [`sequence`](LocalityModel::sequence) over the trace whose shards
+    /// the state absorbed.
+    fn sequence_incremental(
+        &self,
+        _state: &crate::incremental::VersionState,
+    ) -> Option<Vec<BlockId>> {
+        None
+    }
 }
 
 /// w-window reference affinity (paper §II-B) as a [`LocalityModel`].
@@ -66,6 +78,20 @@ impl LocalityModel for WWindowAffinity {
         let thresholds = cache.thresholds(trace, self.config.w_max, self.jobs.max(1));
         AffinityHierarchy::build(trace, &thresholds, self.config).layout()
     }
+
+    fn sequence_incremental(
+        &self,
+        state: &crate::incremental::VersionState,
+    ) -> Option<Vec<BlockId>> {
+        // The fold carries thresholds at one normalized window bound; a
+        // model configured differently cannot use it.
+        if state.affinity_state().w_max() != self.config.w_max.max(2) {
+            return None;
+        }
+        let thresholds = state.affinity_state().finalize();
+        let stats = state.stats().finalize();
+        Some(AffinityHierarchy::build_from_stats(&stats, &thresholds, self.config).layout())
+    }
 }
 
 /// Temporal relationship graph (paper §II-C) as a [`LocalityModel`].
@@ -91,6 +117,18 @@ impl LocalityModel for TrgModel {
         // (trace, window); the slot reduction is cheap by comparison.
         let trg = cache.trg(trace, self.config.window, self.jobs.max(1));
         clop_trg::reduce(&trg, self.config.slots, trace).sequence
+    }
+
+    fn sequence_incremental(
+        &self,
+        state: &crate::incremental::VersionState,
+    ) -> Option<Vec<BlockId>> {
+        if state.trg_state().window() != self.config.window {
+            return None;
+        }
+        let trg = state.trg_state().finalize();
+        let stats = state.stats().finalize();
+        Some(clop_trg::reduce_from_stats(&trg, self.config.slots, &stats).sequence)
     }
 }
 

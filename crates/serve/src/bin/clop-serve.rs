@@ -1,0 +1,266 @@
+//! The `clop-serve` binary: the daemon plus the client-side subcommands
+//! used by `ci/serve_smoke.sh`.
+//!
+//! ```text
+//! clop-serve serve                          run the daemon (CLOP_SERVE_* env)
+//! clop-serve gen <out.cltc> <len> <blocks> <seed>
+//! clop-serve split <in.cltc> <outdir>       write shard-NNNN.clsh files
+//! clop-serve batch-order <in.cltc> <pipeline>
+//! clop-serve send <addr> <version> <file...>
+//! clop-serve query <addr> <version> <pipeline>
+//! clop-serve sync|stats|stop <addr>
+//! clop-serve epoch <addr> <version>
+//! ```
+//!
+//! `<addr>` is `host:port`, or a path to the port file the daemon wrote
+//! (`CLOP_SERVE_PORT_FILE`). `gen`/`split`/`batch-order` read the same
+//! `CLOP_SERVE_W_MAX`/`TRG_WINDOW`/... variables as the daemon so the
+//! client-side artifacts and the served fold agree on parameters.
+
+use clop_serve::{ServeConfig, Server};
+use clop_trace::{read_trace, split_shards, write_trace, Trace, TrimmedTrace};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strs: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+    if let Err(msg) = run(&strs) {
+        eprintln!("clop-serve: {}", msg);
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &[&str]) -> Result<(), String> {
+    match args {
+        ["serve"] => cmd_serve(),
+        ["gen", out, len, blocks, seed] => cmd_gen(out, len, blocks, seed),
+        ["split", input, outdir] => cmd_split(input, outdir),
+        ["batch-order", input, pipeline] => cmd_batch_order(input, pipeline),
+        ["send", addr, version, files @ ..] if !files.is_empty() => cmd_send(addr, version, files),
+        ["query", addr, version, pipeline] => cmd_query(addr, version, pipeline),
+        ["sync", addr] => expect_ok(addr, "SYNC", "+SYNCED"),
+        ["stats", addr] => cmd_stats(addr),
+        ["stop", addr] => expect_ok(addr, "STOP", "+"),
+        ["epoch", addr, version] => cmd_epoch(addr, version),
+        _ => Err(concat!(
+            "usage: clop-serve serve | gen <out> <len> <blocks> <seed> | ",
+            "split <in> <outdir> | batch-order <in> <pipeline> | ",
+            "send <addr> <version> <file...> | query <addr> <version> <pipeline> | ",
+            "sync|stats|stop <addr> | epoch <addr> <version>"
+        )
+        .to_string()),
+    }
+}
+
+fn cmd_serve() -> Result<(), String> {
+    let config = ServeConfig::from_env();
+    let server = Server::start(config).map_err(|e| e.to_string())?;
+    println!("listening on {}", server.addr());
+    server.join();
+    Ok(())
+}
+
+fn cmd_gen(out: &str, len: &str, blocks: &str, seed: &str) -> Result<(), String> {
+    let len: usize = len.parse().map_err(|_| "bad length".to_string())?;
+    let blocks: u64 = blocks.parse().map_err(|_| "bad block count".to_string())?;
+    let seed: u64 = seed.parse().map_err(|_| "bad seed".to_string())?;
+    if blocks == 0 {
+        return Err("block count must be positive".to_string());
+    }
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let trace = Trace::from_indices((0..len).map(|_| (next() % blocks) as u32));
+    let mut buf = Vec::new();
+    write_trace(&mut buf, &trace).map_err(|e| e.to_string())?;
+    clop_util::atomic_write(Path::new(out), &buf).map_err(|e| e.to_string())?;
+    println!("wrote {} events to {}", trace.len(), out);
+    Ok(())
+}
+
+fn load_trimmed(input: &str) -> Result<TrimmedTrace, String> {
+    let bytes = std::fs::read(input).map_err(|e| format!("read {}: {}", input, e))?;
+    Ok(read_trace(&mut bytes.as_slice())
+        .map_err(|e| e.to_string())?
+        .trim())
+}
+
+fn cmd_split(input: &str, outdir: &str) -> Result<(), String> {
+    let config = ServeConfig::from_env();
+    let pieces = std::env::var("CLOP_SERVE_SPLIT_PIECES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let trimmed = load_trimmed(input)?;
+    let files = split_shards(
+        &trimmed,
+        pieces,
+        config.params.affinity.w_max,
+        config.params.trg.window,
+    );
+    std::fs::create_dir_all(outdir).map_err(|e| e.to_string())?;
+    for (i, bytes) in files.iter().enumerate() {
+        let path = Path::new(outdir).join(format!("shard-{:04}.clsh", i));
+        clop_util::atomic_write(&path, bytes).map_err(|e| e.to_string())?;
+    }
+    println!("wrote {} shards to {}", files.len(), outdir);
+    Ok(())
+}
+
+fn cmd_batch_order(input: &str, pipeline: &str) -> Result<(), String> {
+    let config = ServeConfig::from_env();
+    let trimmed = load_trimmed(input)?;
+    let pp = config.params.pipeline_params();
+    let pipe = clop_core::build_pipeline(pipeline, &pp)
+        .ok_or_else(|| format!("no such registered pipeline: {}", pipeline))?;
+    let mut out = String::new();
+    for id in pipe.model.sequence(&trimmed) {
+        out.push_str(&id.0.to_string());
+        out.push('\n');
+    }
+    print!("{}", out);
+    Ok(())
+}
+
+/// A line-buffered protocol connection.
+struct Conn {
+    reader: BufReader<TcpStream>,
+    out: TcpStream,
+}
+
+impl Conn {
+    fn open(addr: &str) -> Result<Conn, String> {
+        let resolved = resolve_addr(addr)?;
+        let stream =
+            TcpStream::connect(&resolved).map_err(|e| format!("connect {}: {}", resolved, e))?;
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+        Ok(Conn {
+            reader,
+            out: stream,
+        })
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), String> {
+        self.out
+            .write_all(format!("{}\n", line).as_bytes())
+            .map_err(|e| e.to_string())
+    }
+
+    fn line(&mut self) -> Result<String, String> {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("server closed the connection".to_string());
+        }
+        Ok(line.trim_end().to_string())
+    }
+}
+
+/// `host:port`, or a path to a file containing one.
+fn resolve_addr(addr: &str) -> Result<String, String> {
+    if addr.contains(':') && !Path::new(addr).exists() {
+        return Ok(addr.to_string());
+    }
+    let contents =
+        std::fs::read_to_string(addr).map_err(|e| format!("read address file {}: {}", addr, e))?;
+    let trimmed = contents.trim();
+    if trimmed.is_empty() {
+        return Err(format!("address file {} is empty", addr));
+    }
+    Ok(trimmed.to_string())
+}
+
+fn cmd_send(addr: &str, version: &str, files: &[&str]) -> Result<(), String> {
+    let mut conn = Conn::open(addr)?;
+    let mut sent = 0usize;
+    for file in files {
+        let bytes = std::fs::read(file).map_err(|e| format!("read {}: {}", file, e))?;
+        loop {
+            conn.send(&format!("SHARD {} {}", version, bytes.len()))?;
+            conn.out.write_all(&bytes).map_err(|e| e.to_string())?;
+            let resp = conn.line()?;
+            if let Some(ms) = resp.strip_prefix("-RETRY ") {
+                let ms: u64 = ms.parse().unwrap_or(50);
+                std::thread::sleep(Duration::from_millis(ms));
+                continue;
+            }
+            if resp.starts_with("+OK") {
+                sent += 1;
+                break;
+            }
+            return Err(format!("{}: {}", file, resp));
+        }
+    }
+    eprintln!("sent {} shards for version {}", sent, version);
+    Ok(())
+}
+
+fn cmd_query(addr: &str, version: &str, pipeline: &str) -> Result<(), String> {
+    let mut conn = Conn::open(addr)?;
+    conn.send(&format!("QUERY {} {}", version, pipeline))?;
+    let head = conn.line()?;
+    let rest = head
+        .strip_prefix("+ORDER ")
+        .ok_or_else(|| format!("query failed: {}", head))?;
+    let n: usize = rest
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed response: {}", head))?;
+    let mut body = String::with_capacity(n * 4);
+    for _ in 0..n {
+        body.push_str(&conn.line()?);
+        body.push('\n');
+    }
+    print!("{}", body);
+    Ok(())
+}
+
+fn cmd_stats(addr: &str) -> Result<(), String> {
+    let mut conn = Conn::open(addr)?;
+    conn.send("STATS")?;
+    let head = conn.line()?;
+    let k: usize = head
+        .strip_prefix("+STATS ")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("stats failed: {}", head))?;
+    for _ in 0..k {
+        println!("{}", conn.line()?);
+    }
+    Ok(())
+}
+
+fn cmd_epoch(addr: &str, version: &str) -> Result<(), String> {
+    let mut conn = Conn::open(addr)?;
+    conn.send(&format!("EPOCH {}", version))?;
+    let resp = conn.line()?;
+    if resp.starts_with("+EPOCH ") {
+        println!("{}", resp);
+        Ok(())
+    } else {
+        Err(resp)
+    }
+}
+
+fn expect_ok(addr: &str, cmd: &str, prefix: &str) -> Result<(), String> {
+    let mut conn = Conn::open(addr)?;
+    conn.send(cmd)?;
+    let resp = conn.line()?;
+    if resp.starts_with(prefix) && !resp.starts_with("-") {
+        println!("{}", resp);
+        Ok(())
+    } else {
+        Err(resp)
+    }
+}

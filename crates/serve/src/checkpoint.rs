@@ -1,0 +1,192 @@
+//! Crash-safe state checkpoints: the artifact-then-marker pattern.
+//!
+//! A checkpoint of version `v` is two files in the checkpoint directory:
+//!
+//! ```text
+//! <dir>/<v>.state     the canonical VersionState snapshot
+//! <dir>/<v>.done      the completion marker ("done\n")
+//! ```
+//!
+//! Both are written with [`clop_util::atomic_write`] (temp file + fsync +
+//! rename), state first, marker second. A `kill -9` at any instant
+//! therefore leaves one of three observable states, all safe:
+//!
+//! * neither file renamed yet — the previous checkpoint (or nothing) is
+//!   still what resume sees;
+//! * new state renamed, marker not yet — the marker on disk is the *old*
+//!   one, but the state file is complete (rename is atomic) and strictly
+//!   newer, so resuming from it is still correct;
+//! * both renamed — the new checkpoint.
+//!
+//! Resume never trusts a state file without a marker *unless* the marker
+//! from an earlier checkpoint of the same version exists — exactly the
+//! middle case above. Convergence after resume does not depend on the
+//! checkpoint being the latest: absorption is idempotent per shard
+//! sequence number, so re-streaming the whole shard set restores the
+//! byte-identical full fold.
+
+use crate::config::valid_version;
+use clop_core::incremental::{IncrementalStore, VersionState};
+use clop_util::{atomic_write, ClopError, ClopResult};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The state-file path of `version` under `dir`.
+pub fn state_path(dir: &Path, version: &str) -> PathBuf {
+    dir.join(format!("{}.state", version))
+}
+
+/// The marker-file path of `version` under `dir`.
+pub fn marker_path(dir: &Path, version: &str) -> PathBuf {
+    dir.join(format!("{}.done", version))
+}
+
+/// Write one version's checkpoint: atomic state file, then atomic marker.
+pub fn checkpoint_version(dir: &Path, version: &str, state: &VersionState) -> ClopResult<()> {
+    checkpoint_bytes(dir, version, &state.to_bytes())
+}
+
+/// [`checkpoint_version`] over an already-serialized snapshot, so callers
+/// can serialize under a state lock and write after releasing it.
+pub fn checkpoint_bytes(dir: &Path, version: &str, snapshot: &[u8]) -> ClopResult<()> {
+    fs::create_dir_all(dir).map_err(|e| ClopError::io("create checkpoint directory", &e))?;
+    atomic_write(&state_path(dir, version), snapshot)
+        .map_err(|e| ClopError::io("write checkpoint state", &e))?;
+    atomic_write(&marker_path(dir, version), b"done\n")
+        .map_err(|e| ClopError::io("write checkpoint marker", &e))?;
+    Ok(())
+}
+
+/// Load every marked checkpoint under `dir` into `store`. Returns the
+/// restored version names, sorted. A missing directory restores nothing;
+/// a marker whose state file is missing or corrupt is an error (the
+/// write order guarantees a marked state is complete).
+pub fn resume_all(dir: &Path, store: &IncrementalStore) -> ClopResult<Vec<String>> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(ClopError::io("read checkpoint directory", &e)),
+    };
+    let mut versions = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| ClopError::io("read checkpoint directory entry", &e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(version) = name.strip_suffix(".done") else {
+            continue;
+        };
+        if valid_version(version) {
+            versions.push(version.to_string());
+        }
+    }
+    versions.sort_unstable();
+    for version in &versions {
+        let bytes = fs::read(state_path(dir, version))
+            .map_err(|e| ClopError::io("read checkpoint state", &e))?;
+        let state = VersionState::from_bytes(&bytes)?;
+        store.restore(version, state);
+    }
+    Ok(versions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clop_core::incremental::AnalysisParams;
+    use clop_trace::shardfile::{read_shard, split_shards};
+    use clop_trace::TrimmedTrace;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("clop-serve-ckpt-{}-{}", tag, std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn folded_state(seed: u64) -> VersionState {
+        let p = AnalysisParams::default();
+        let mut st = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            st ^= st << 13;
+            st ^= st >> 7;
+            st ^= st << 17;
+            st
+        };
+        let t = TrimmedTrace::from_indices((0..300).map(|_| (next() % 9) as u32));
+        let mut state = VersionState::new(p);
+        for buf in split_shards(&t, 3, p.affinity.w_max, p.trg.window) {
+            state
+                .absorb_shard(&read_shard(&mut buf.as_slice()).unwrap())
+                .unwrap();
+        }
+        state
+    }
+
+    #[test]
+    fn checkpoint_and_resume_round_trip() {
+        let dir = tmp_dir("round-trip");
+        let state = folded_state(1);
+        let bytes = state.to_bytes();
+        checkpoint_version(&dir, "v1", &state).unwrap();
+
+        let store = IncrementalStore::new();
+        let restored = resume_all(&dir, &store).unwrap();
+        assert_eq!(restored, vec!["v1".to_string()]);
+        let arc = store.state("v1", *state.params());
+        assert_eq!(arc.lock().unwrap().to_bytes(), bytes);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_resumes_nothing() {
+        let store = IncrementalStore::new();
+        let restored = resume_all(Path::new("/nonexistent/clop-ckpt"), &store).unwrap();
+        assert!(restored.is_empty());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn unmarked_state_is_ignored() {
+        let dir = tmp_dir("unmarked");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(state_path(&dir, "v1"), folded_state(2).to_bytes()).unwrap();
+        let store = IncrementalStore::new();
+        assert!(resume_all(&dir, &store).unwrap().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn marked_but_corrupt_state_is_an_error() {
+        let dir = tmp_dir("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(state_path(&dir, "v1"), b"garbage").unwrap();
+        fs::write(marker_path(&dir, "v1"), b"done\n").unwrap();
+        assert!(resume_all(&dir, &IncrementalStore::new()).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn newer_state_with_stale_marker_still_resumes() {
+        // Simulates a crash between the state rename and the marker
+        // rename: the state on disk is one checkpoint ahead of the
+        // marker. Resume must load it (the state file is complete).
+        let dir = tmp_dir("stale-marker");
+        let old = folded_state(3);
+        checkpoint_version(&dir, "v1", &old).unwrap();
+        let mut newer = folded_state(3);
+        let t = TrimmedTrace::from_indices([1u32, 2, 3, 4, 5, 1, 2]);
+        let p = *newer.params();
+        for buf in split_shards(&t, 1, p.affinity.w_max, p.trg.window) {
+            let mut sf = read_shard(&mut buf.as_slice()).unwrap();
+            sf.seq += 1000; // a later shard the old checkpoint lacks
+            newer.absorb_shard(&sf).unwrap();
+        }
+        atomic_write(&state_path(&dir, "v1"), &newer.to_bytes()).unwrap();
+        // (crash here — marker never rewritten)
+        let store = IncrementalStore::new();
+        assert_eq!(resume_all(&dir, &store).unwrap(), vec!["v1".to_string()]);
+        let arc = store.state("v1", p);
+        assert_eq!(arc.lock().unwrap().to_bytes(), newer.to_bytes());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,157 @@
+//! Environment-driven daemon configuration (`CLOP_SERVE_*`).
+
+use clop_core::incremental::AnalysisParams;
+use std::path::PathBuf;
+
+/// All knobs of the serving daemon. Every field has a `CLOP_SERVE_*`
+/// environment variable; unset variables take the listed default.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// `CLOP_SERVE_LISTEN` — TCP listen address (default `127.0.0.1:0`,
+    /// i.e. an ephemeral port).
+    pub listen: String,
+    /// `CLOP_SERVE_PORT_FILE` — if set, the bound address (`host:port`)
+    /// is written here atomically once the listener is up.
+    pub port_file: Option<PathBuf>,
+    /// `CLOP_SERVE_WATCH_DIR` — if set, `<dir>/<version>/*.clsh` files
+    /// are ingested as they appear. Files are never deleted; re-ingestion
+    /// is idempotent.
+    pub watch_dir: Option<PathBuf>,
+    /// `CLOP_SERVE_WATCH_POLL_MS` — directory poll interval (default 200).
+    pub watch_poll_ms: u64,
+    /// `CLOP_SERVE_CHECKPOINT_DIR` — if set, per-version state snapshots
+    /// (`<version>.state` + `<version>.done` marker) live here.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// `CLOP_SERVE_CHECKPOINT_EVERY` — checkpoint a version after this
+    /// many folds since its last checkpoint (default 16).
+    pub checkpoint_every: u64,
+    /// `CLOP_SERVE_QUEUE_CAP` — admission queue bound (default 64); a
+    /// full queue answers `-RETRY` instead of buffering.
+    pub queue_cap: usize,
+    /// `CLOP_SERVE_BATCH_MAX` — max shards a worker drains per wakeup
+    /// (default 8).
+    pub batch_max: usize,
+    /// `CLOP_SERVE_WORKERS` — fold worker threads (default: the
+    /// machine-derived `clop_util::pool::default_jobs()`).
+    pub workers: usize,
+    /// `CLOP_SERVE_RETRY_MS` — the retry hint sent with `-RETRY`
+    /// (default 50).
+    pub retry_ms: u64,
+    /// `CLOP_SERVE_MAX_DROP_FRAC` — accept a salvaged shard only when
+    /// `dropped / declared` is at most this fraction (default 0.0:
+    /// only clean shards are admitted).
+    pub max_drop_frac: f64,
+    /// `CLOP_SERVE_W_MIN` / `W_MAX` / `TRG_WINDOW` / `TRG_SLOTS` — the
+    /// analysis parameters every version folds at.
+    pub params: AnalysisParams,
+    /// `CLOP_SERVE_FOLD_DELAY_MS` — artificial delay per fold (default 0;
+    /// a test hook that makes backpressure observable on tiny inputs).
+    pub fold_delay_ms: u64,
+}
+
+fn env_str(name: &str) -> Option<String> {
+    std::env::var(name).ok().filter(|s| !s.is_empty())
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    env_str(name)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    env_str(name)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    env_str(name)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            listen: "127.0.0.1:0".to_string(),
+            port_file: None,
+            watch_dir: None,
+            watch_poll_ms: 200,
+            checkpoint_dir: None,
+            checkpoint_every: 16,
+            queue_cap: 64,
+            batch_max: 8,
+            workers: clop_util::pool::default_jobs(),
+            retry_ms: 50,
+            max_drop_frac: 0.0,
+            params: AnalysisParams::default(),
+            fold_delay_ms: 0,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Read the configuration from `CLOP_SERVE_*` environment variables.
+    pub fn from_env() -> ServeConfig {
+        let d = ServeConfig::default();
+        let mut params = AnalysisParams::default();
+        params.affinity.w_min =
+            env_u64("CLOP_SERVE_W_MIN", u64::from(params.affinity.w_min)) as u32;
+        params.affinity.w_max =
+            env_u64("CLOP_SERVE_W_MAX", u64::from(params.affinity.w_max)) as u32;
+        params.trg.window = env_usize("CLOP_SERVE_TRG_WINDOW", params.trg.window);
+        params.trg.slots = env_usize("CLOP_SERVE_TRG_SLOTS", params.trg.slots);
+        ServeConfig {
+            listen: env_str("CLOP_SERVE_LISTEN").unwrap_or(d.listen),
+            port_file: env_str("CLOP_SERVE_PORT_FILE").map(PathBuf::from),
+            watch_dir: env_str("CLOP_SERVE_WATCH_DIR").map(PathBuf::from),
+            watch_poll_ms: env_u64("CLOP_SERVE_WATCH_POLL_MS", d.watch_poll_ms).max(1),
+            checkpoint_dir: env_str("CLOP_SERVE_CHECKPOINT_DIR").map(PathBuf::from),
+            checkpoint_every: env_u64("CLOP_SERVE_CHECKPOINT_EVERY", d.checkpoint_every).max(1),
+            queue_cap: env_usize("CLOP_SERVE_QUEUE_CAP", d.queue_cap).max(1),
+            batch_max: env_usize("CLOP_SERVE_BATCH_MAX", d.batch_max).max(1),
+            workers: env_usize("CLOP_SERVE_WORKERS", d.workers).max(1),
+            retry_ms: env_u64("CLOP_SERVE_RETRY_MS", d.retry_ms).max(1),
+            max_drop_frac: env_f64("CLOP_SERVE_MAX_DROP_FRAC", d.max_drop_frac).clamp(0.0, 1.0),
+            params,
+            fold_delay_ms: env_u64("CLOP_SERVE_FOLD_DELAY_MS", d.fold_delay_ms),
+        }
+    }
+}
+
+/// True when `version` is a safe token: 1–64 chars of `[A-Za-z0-9._-]`,
+/// not starting with a dot (version names become checkpoint file names
+/// and watch-dir components).
+pub fn valid_version(version: &str) -> bool {
+    !version.is_empty()
+        && version.len() <= 64
+        && !version.starts_with('.')
+        && version
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ServeConfig::default();
+        assert_eq!(c.listen, "127.0.0.1:0");
+        assert!(c.queue_cap >= 1 && c.batch_max >= 1 && c.workers >= 1);
+        assert_eq!(c.max_drop_frac, 0.0);
+    }
+
+    #[test]
+    fn version_token_validation() {
+        assert!(valid_version("v1"));
+        assert!(valid_version("app-2.3_rc1"));
+        assert!(!valid_version(""));
+        assert!(!valid_version(".hidden"));
+        assert!(!valid_version("a/b"));
+        assert!(!valid_version("x y"));
+        assert!(!valid_version(&"v".repeat(65)));
+    }
+}

@@ -1,0 +1,779 @@
+//! The serving daemon: socket protocol, directory watcher, fold workers.
+//!
+//! # Protocol
+//!
+//! Line-oriented over TCP; every request line is `COMMAND [args...]\n`
+//! and every response starts with `+` (success) or `-` (failure):
+//!
+//! ```text
+//! PING                          -> +PONG
+//! SHARD <version> <nbytes>      -> +OK <seq> | -RETRY <ms> | -ERR <reason>
+//!   (followed by <nbytes> of raw CLSH shard bytes)
+//! QUERY <version> <pipeline>    -> +ORDER <epoch> <n>  then n id lines
+//! EPOCH <version>               -> +EPOCH <epoch> <shards>
+//! STATS                         -> +STATS <k>          then k "name value" lines
+//! SYNC                          -> +SYNCED <settled>   (all enqueued shards folded)
+//! STOP                          -> +BYE                (drain, checkpoint, shut down)
+//! ```
+//!
+//! `-RETRY <ms>` is the backpressure answer: the admission queue is
+//! bounded (`queue_cap`), and rather than buffering without limit the
+//! daemon tells the client to re-send after the hint. Ingestion is
+//! idempotent per shard sequence number, so a client may always re-send
+//! on any doubt (timeouts, crashes, duplicated delivery).
+//!
+//! # Directory ingestion
+//!
+//! With `watch_dir` set, `<watch_dir>/<version>/*.clsh` files are
+//! admitted as they appear. Files must be *moved* into place (atomic
+//! rename on the same filesystem): the watcher reads each path exactly
+//! once. Unlike the socket path, the watcher blocks on a full queue
+//! instead of dropping — the filesystem is its own retry buffer.
+
+use crate::admission::{admit, Admission};
+use crate::checkpoint;
+use crate::config::{valid_version, ServeConfig};
+use crate::stats::IngestStats;
+use clop_core::incremental::IncrementalStore;
+use clop_trace::ShardFile;
+use clop_util::{atomic_write, ClopError, ClopResult};
+use std::collections::{HashMap, HashSet};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Hard cap on a single shard payload (`SHARD <nbytes>`).
+const MAX_SHARD_BYTES: u64 = 64 * 1024 * 1024;
+
+/// How long `SYNC` (and the `STOP` drain) waits for the queue to settle.
+const SYNC_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// One admitted shard waiting to be folded.
+struct Job {
+    version: String,
+    shard: ShardFile,
+}
+
+/// State shared by every daemon thread.
+struct Shared {
+    config: ServeConfig,
+    store: IncrementalStore,
+    stats: IngestStats,
+    /// Folds per version since its last checkpoint.
+    dirty: Mutex<HashMap<String, u64>>,
+    shutdown: AtomicBool,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A running daemon: listener + fold workers + optional watcher.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Resume checkpoints, bind the listener, start every thread.
+    pub fn start(config: ServeConfig) -> ClopResult<Server> {
+        let store = IncrementalStore::new();
+        if let Some(dir) = &config.checkpoint_dir {
+            let restored = checkpoint::resume_all(dir, &store)?;
+            for v in &restored {
+                eprintln!("clop-serve: resumed checkpointed state for version {}", v);
+            }
+        }
+        let listener = TcpListener::bind(&config.listen)
+            .map_err(|e| ClopError::io("bind serve listener", &e))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| ClopError::io("set listener non-blocking", &e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ClopError::io("read bound address", &e))?;
+        if let Some(pf) = &config.port_file {
+            atomic_write(pf, format!("{}\n", addr).as_bytes())
+                .map_err(|e| ClopError::io("write port file", &e))?;
+        }
+        let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_cap);
+        let rx = Arc::new(Mutex::new(rx));
+        let shared = Arc::new(Shared {
+            config,
+            store,
+            stats: IngestStats::default(),
+            dirty: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+        });
+        let mut handles = Vec::new();
+        for _ in 0..shared.config.workers {
+            let sh = Arc::clone(&shared);
+            let rx = Arc::clone(&rx);
+            handles.push(std::thread::spawn(move || worker_loop(&sh, &rx)));
+        }
+        if let Some(dir) = shared.config.watch_dir.clone() {
+            let sh = Arc::clone(&shared);
+            let wtx = tx.clone();
+            handles.push(std::thread::spawn(move || watcher_loop(&sh, &wtx, &dir)));
+        }
+        {
+            let sh = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || accept_loop(&sh, &listener, &tx)));
+        }
+        Ok(Server {
+            addr,
+            shared,
+            handles,
+        })
+    }
+
+    /// The bound listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The daemon counters (inspection from in-process tests).
+    pub fn stats(&self) -> &IngestStats {
+        &self.shared.stats
+    }
+
+    /// Block until the daemon shuts down (a client sent `STOP`).
+    pub fn join(self) {
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Apply admission accounting; `Ok` is the shard to enqueue, `Err` the
+/// reason line for the client.
+fn account(stats: &IngestStats, adm: Admission) -> Result<ShardFile, String> {
+    match adm {
+        Admission::Accept {
+            shard,
+            salvaged,
+            report,
+        } => {
+            IngestStats::add(&stats.repair_declared, report.declared);
+            IngestStats::add(&stats.repair_decoded, report.decoded);
+            IngestStats::add(&stats.repair_dropped, report.dropped);
+            if salvaged {
+                IngestStats::bump(&stats.salvaged_accepted);
+            }
+            Ok(shard)
+        }
+        Admission::RejectDecode { reason } => {
+            IngestStats::bump(&stats.rejected_decode);
+            Err(format!("decode: {}", reason))
+        }
+        Admission::RejectSalvage { reason, report } => {
+            IngestStats::add(&stats.repair_declared, report.declared);
+            IngestStats::add(&stats.repair_decoded, report.decoded);
+            IngestStats::add(&stats.repair_dropped, report.dropped);
+            IngestStats::bump(&stats.rejected_salvage);
+            Err(format!("salvage: {}", reason))
+        }
+    }
+}
+
+/// Accept connections until shutdown; one thread per connection.
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener, tx: &SyncSender<Job>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Request/response with small frames: Nagle + delayed ACK
+                // would add ~40ms per command.
+                let _ = stream.set_nodelay(true);
+                let sh = Arc::clone(shared);
+                let ctx = tx.clone();
+                std::thread::spawn(move || {
+                    let _ = handle_connection(&sh, &ctx, stream);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Serve one connection until EOF, protocol error, or `STOP`.
+fn handle_connection(
+    shared: &Arc<Shared>,
+    tx: &SyncSender<Job>,
+    stream: TcpStream,
+) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut out = stream;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.as_slice() {
+            ["PING"] => out.write_all(b"+PONG\n")?,
+            ["SHARD", version, nbytes] => {
+                if !cmd_shard(shared, tx, &mut reader, &mut out, version, nbytes)? {
+                    return Ok(());
+                }
+            }
+            ["QUERY", version, pipeline] => cmd_query(shared, &mut out, version, pipeline)?,
+            ["EPOCH", version] => cmd_epoch(shared, &mut out, version)?,
+            ["STATS"] => cmd_stats(shared, &mut out)?,
+            ["SYNC"] => cmd_sync(shared, &mut out)?,
+            ["STOP"] => {
+                cmd_stop(shared, &mut out)?;
+                return Ok(());
+            }
+            [] => {}
+            _ => out.write_all(b"-ERR unknown command\n")?,
+        }
+    }
+}
+
+/// `SHARD`: read the payload, admit, enqueue with backpressure. Returns
+/// `Ok(false)` when the connection is no longer in sync (bad framing) and
+/// must be closed.
+fn cmd_shard(
+    shared: &Arc<Shared>,
+    tx: &SyncSender<Job>,
+    reader: &mut BufReader<TcpStream>,
+    out: &mut TcpStream,
+    version: &str,
+    nbytes: &str,
+) -> std::io::Result<bool> {
+    let Ok(n) = nbytes.parse::<u64>() else {
+        out.write_all(b"-ERR bad shard length\n")?;
+        return Ok(false);
+    };
+    if n > MAX_SHARD_BYTES {
+        out.write_all(b"-ERR shard too large\n")?;
+        return Ok(false);
+    }
+    let mut payload = vec![0u8; n as usize];
+    reader.read_exact(&mut payload)?;
+    if !valid_version(version) {
+        out.write_all(b"-ERR bad version token\n")?;
+        return Ok(true);
+    }
+    match account(&shared.stats, admit(&payload, shared.config.max_drop_frac)) {
+        Ok(shard) => {
+            let seq = shard.seq;
+            match tx.try_send(Job {
+                version: version.to_string(),
+                shard,
+            }) {
+                Ok(()) => {
+                    IngestStats::bump(&shared.stats.enqueued);
+                    out.write_all(format!("+OK {}\n", seq).as_bytes())?;
+                }
+                Err(TrySendError::Full(_)) => {
+                    IngestStats::bump(&shared.stats.retry_busy);
+                    out.write_all(format!("-RETRY {}\n", shared.config.retry_ms).as_bytes())?;
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    out.write_all(b"-ERR shutting down\n")?;
+                }
+            }
+        }
+        Err(reason) => out.write_all(format!("-ERR {}\n", reason).as_bytes())?,
+    }
+    Ok(true)
+}
+
+/// `QUERY`: run a registered pipeline against the current fold.
+fn cmd_query(
+    shared: &Arc<Shared>,
+    out: &mut TcpStream,
+    version: &str,
+    pipeline: &str,
+) -> std::io::Result<()> {
+    if !valid_version(version) {
+        return out.write_all(b"-ERR bad version token\n");
+    }
+    let arc = shared.store.state(version, shared.config.params);
+    let result = lock(&arc).layout_query(pipeline);
+    match result {
+        Ok(res) => {
+            IngestStats::bump(&shared.stats.queries);
+            let mut body = format!("+ORDER {} {}\n", res.epoch, res.order.len());
+            for id in &res.order {
+                body.push_str(&id.0.to_string());
+                body.push('\n');
+            }
+            out.write_all(body.as_bytes())
+        }
+        Err(e) => out.write_all(format!("-ERR {}\n", e).as_bytes()),
+    }
+}
+
+/// `EPOCH`: the version's invalidation epoch and absorbed-shard count.
+fn cmd_epoch(shared: &Arc<Shared>, out: &mut TcpStream, version: &str) -> std::io::Result<()> {
+    if !valid_version(version) {
+        return out.write_all(b"-ERR bad version token\n");
+    }
+    let arc = shared.store.state(version, shared.config.params);
+    let (epoch, shards) = {
+        let st = lock(&arc);
+        (st.epoch(), st.shards_absorbed())
+    };
+    out.write_all(format!("+EPOCH {} {}\n", epoch, shards).as_bytes())
+}
+
+/// `STATS`: every counter, one per line.
+fn cmd_stats(shared: &Arc<Shared>, out: &mut TcpStream) -> std::io::Result<()> {
+    let snap = shared.stats.snapshot();
+    let mut body = format!("+STATS {}\n", snap.len());
+    for (name, value) in snap {
+        body.push_str(&format!("{} {}\n", name, value));
+    }
+    out.write_all(body.as_bytes())
+}
+
+/// Wait until every enqueued shard has settled (folded or deduplicated).
+fn drain(shared: &Arc<Shared>) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < SYNC_TIMEOUT {
+        if shared.stats.settled() >= shared.stats.enqueued.load(Ordering::Relaxed) {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    false
+}
+
+/// `SYNC`: barrier over the admission queue.
+fn cmd_sync(shared: &Arc<Shared>, out: &mut TcpStream) -> std::io::Result<()> {
+    if drain(shared) {
+        out.write_all(format!("+SYNCED {}\n", shared.stats.settled()).as_bytes())
+    } else {
+        out.write_all(b"-ERR sync timed out\n")
+    }
+}
+
+/// `STOP`: drain, checkpoint every version, flip the shutdown flag.
+fn cmd_stop(shared: &Arc<Shared>, out: &mut TcpStream) -> std::io::Result<()> {
+    let drained = drain(shared);
+    if let Some(dir) = &shared.config.checkpoint_dir {
+        for (version, arc) in shared.store.states() {
+            let snapshot = lock(&arc).to_bytes();
+            match checkpoint::checkpoint_bytes(dir, &version, &snapshot) {
+                Ok(()) => IngestStats::bump(&shared.stats.checkpoints),
+                Err(e) => eprintln!("clop-serve: checkpoint of {} failed: {}", version, e),
+            }
+        }
+    }
+    shared.shutdown.store(true, Ordering::SeqCst);
+    if drained {
+        out.write_all(b"+BYE\n")
+    } else {
+        out.write_all(b"-ERR drain timed out; checkpointed what settled\n")
+    }
+}
+
+/// Fold worker: drain the queue in batches, absorb into per-version
+/// state, checkpoint when a version accumulates `checkpoint_every` folds.
+fn worker_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        let first = {
+            let guard = lock(rx);
+            match guard.recv_timeout(Duration::from_millis(50)) {
+                Ok(job) => job,
+                Err(RecvTimeoutError::Timeout) => {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        };
+        let mut batch = vec![first];
+        {
+            let guard = lock(rx);
+            while batch.len() < shared.config.batch_max {
+                match guard.try_recv() {
+                    Ok(job) => batch.push(job),
+                    Err(_) => break,
+                }
+            }
+        }
+        fold_batch(shared, batch);
+    }
+}
+
+/// Absorb one drained batch, grouped by version so each version's state
+/// lock is taken once per batch.
+fn fold_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
+    let mut groups: Vec<(String, Vec<ShardFile>)> = Vec::new();
+    for job in batch {
+        match groups.iter_mut().find(|(v, _)| *v == job.version) {
+            Some((_, shards)) => shards.push(job.shard),
+            None => groups.push((job.version, vec![job.shard])),
+        }
+    }
+    for (version, shards) in groups {
+        let arc = shared.store.state(&version, shared.config.params);
+        let mut snapshot: Option<Vec<u8>> = None;
+        {
+            let mut st = lock(&arc);
+            for shard in &shards {
+                if shared.config.fold_delay_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(shared.config.fold_delay_ms));
+                }
+                match st.absorb_shard(shard) {
+                    Ok(true) => {
+                        IngestStats::bump(&shared.stats.folded);
+                        if shared.config.checkpoint_dir.is_some() {
+                            let mut dirty = lock(&shared.dirty);
+                            let n = dirty.entry(version.clone()).or_insert(0);
+                            *n += 1;
+                            if *n >= shared.config.checkpoint_every {
+                                *n = 0;
+                                drop(dirty);
+                                snapshot = Some(st.to_bytes());
+                            }
+                        }
+                    }
+                    Ok(false) => IngestStats::bump(&shared.stats.duplicates),
+                    Err(e) => {
+                        // Unreachable when deltas are measured at this
+                        // state's own parameters; counted so the SYNC
+                        // barrier still settles.
+                        IngestStats::bump(&shared.stats.fold_errors);
+                        eprintln!("clop-serve: fold of shard into {} failed: {}", version, e);
+                    }
+                }
+            }
+        }
+        if let (Some(bytes), Some(dir)) = (snapshot, &shared.config.checkpoint_dir) {
+            match checkpoint::checkpoint_bytes(dir, &version, &bytes) {
+                Ok(()) => IngestStats::bump(&shared.stats.checkpoints),
+                Err(e) => eprintln!("clop-serve: checkpoint of {} failed: {}", version, e),
+            }
+        }
+    }
+}
+
+/// Directory watcher: poll `<dir>/<version>/*.clsh`, admit each file
+/// once, blocking on a full queue (the filesystem is the retry buffer).
+fn watcher_loop(shared: &Arc<Shared>, tx: &SyncSender<Job>, dir: &PathBuf) {
+    let mut seen: HashSet<PathBuf> = HashSet::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        scan_watch_dir(shared, tx, dir, &mut seen);
+        std::thread::sleep(Duration::from_millis(shared.config.watch_poll_ms));
+    }
+}
+
+/// One watcher sweep over the version subdirectories.
+fn scan_watch_dir(
+    shared: &Arc<Shared>,
+    tx: &SyncSender<Job>,
+    dir: &PathBuf,
+    seen: &mut HashSet<PathBuf>,
+) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if !path.is_dir() {
+            continue;
+        }
+        let Some(version) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if !valid_version(version) {
+            continue;
+        }
+        let version = version.to_string();
+        let Ok(files) = std::fs::read_dir(&path) else {
+            continue;
+        };
+        let mut paths: Vec<PathBuf> = files
+            .flatten()
+            .map(|f| f.path())
+            .filter(|p| p.extension().map(|e| e == "clsh").unwrap_or(false))
+            .filter(|p| !seen.contains(p))
+            .collect();
+        paths.sort();
+        for p in paths {
+            let Ok(bytes) = std::fs::read(&p) else {
+                // Transient read failure: leave unseen, retry next sweep.
+                continue;
+            };
+            seen.insert(p.clone());
+            match account(&shared.stats, admit(&bytes, shared.config.max_drop_frac)) {
+                Ok(shard) => {
+                    if tx
+                        .send(Job {
+                            version: version.clone(),
+                            shard,
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                    IngestStats::bump(&shared.stats.enqueued);
+                }
+                Err(reason) => {
+                    eprintln!("clop-serve: rejected {}: {}", p.display(), reason);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clop_core::build_pipeline;
+    use clop_core::incremental::AnalysisParams;
+    use clop_trace::{split_shards, TrimmedTrace};
+    use std::fs;
+
+    fn random_trace(seed: u64, len: usize, blocks: u32) -> TrimmedTrace {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        TrimmedTrace::from_indices((0..len).map(|_| (next() % blocks as u64) as u32))
+    }
+
+    fn batch_order(t: &TrimmedTrace, pipeline: &str, params: &AnalysisParams) -> Vec<u32> {
+        let pp = params.pipeline_params();
+        build_pipeline(pipeline, &pp)
+            .unwrap()
+            .model
+            .sequence(t)
+            .iter()
+            .map(|b| b.0)
+            .collect()
+    }
+
+    struct Client {
+        reader: BufReader<TcpStream>,
+        out: TcpStream,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).unwrap();
+            stream.set_nodelay(true).unwrap();
+            Client {
+                reader: BufReader::new(stream.try_clone().unwrap()),
+                out: stream,
+            }
+        }
+
+        fn line(&mut self) -> String {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).unwrap();
+            line.trim_end().to_string()
+        }
+
+        fn send_shard(&mut self, version: &str, bytes: &[u8]) -> String {
+            self.out
+                .write_all(format!("SHARD {} {}\n", version, bytes.len()).as_bytes())
+                .unwrap();
+            self.out.write_all(bytes).unwrap();
+            self.line()
+        }
+
+        fn send_shard_retrying(&mut self, version: &str, bytes: &[u8]) -> String {
+            loop {
+                let resp = self.send_shard(version, bytes);
+                if let Some(ms) = resp.strip_prefix("-RETRY ") {
+                    std::thread::sleep(Duration::from_millis(ms.parse().unwrap_or(10)));
+                    continue;
+                }
+                return resp;
+            }
+        }
+
+        fn query(&mut self, version: &str, pipeline: &str) -> Vec<u32> {
+            self.out
+                .write_all(format!("QUERY {} {}\n", version, pipeline).as_bytes())
+                .unwrap();
+            let head = self.line();
+            let n: usize = head
+                .strip_prefix("+ORDER ")
+                .unwrap_or_else(|| panic!("query failed: {}", head))
+                .split_whitespace()
+                .nth(1)
+                .unwrap()
+                .parse()
+                .unwrap();
+            (0..n).map(|_| self.line().parse().unwrap()).collect()
+        }
+
+        fn command(&mut self, cmd: &str) -> String {
+            self.out.write_all(format!("{}\n", cmd).as_bytes()).unwrap();
+            self.line()
+        }
+    }
+
+    #[test]
+    fn end_to_end_stream_query_matches_batch() {
+        let params = AnalysisParams::default();
+        let config = ServeConfig {
+            params,
+            workers: 2,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(config).unwrap();
+        let addr = server.addr();
+        let t = random_trace(21, 1200, 14);
+        let files = split_shards(&t, 6, params.affinity.w_max, params.trg.window);
+
+        let mut c = Client::connect(addr);
+        assert_eq!(c.command("PING"), "+PONG");
+        // Deliver out of order, with a duplicate.
+        for f in files.iter().rev() {
+            assert!(c.send_shard_retrying("app-v1", f).starts_with("+OK "));
+        }
+        assert!(c
+            .send_shard_retrying("app-v1", &files[0])
+            .starts_with("+OK"));
+        assert!(c.command("SYNC").starts_with("+SYNCED"));
+
+        for pipeline in ["function-affinity", "function-trg"] {
+            assert_eq!(
+                c.query("app-v1", pipeline),
+                batch_order(&t, pipeline, &params),
+                "{}",
+                pipeline
+            );
+        }
+        let epoch = c.command("EPOCH app-v1");
+        assert_eq!(epoch, format!("+EPOCH {} {}", files.len(), files.len()));
+        assert_eq!(c.command("STOP"), "+BYE");
+        server.join();
+    }
+
+    #[test]
+    fn full_queue_answers_retry_and_still_folds_everything() {
+        let params = AnalysisParams::default();
+        let config = ServeConfig {
+            params,
+            workers: 1,
+            queue_cap: 1,
+            batch_max: 1,
+            fold_delay_ms: 30,
+            retry_ms: 5,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(config).unwrap();
+        let t = random_trace(22, 900, 11);
+        let files = split_shards(&t, 6, params.affinity.w_max, params.trg.window);
+        let mut c = Client::connect(server.addr());
+        for f in &files {
+            assert!(c.send_shard_retrying("v", f).starts_with("+OK"));
+        }
+        assert!(c.command("SYNC").starts_with("+SYNCED"));
+        assert!(
+            server.stats().retry_busy.load(Ordering::Relaxed) > 0,
+            "a 1-slot queue with a 30ms fold must push back"
+        );
+        assert_eq!(
+            server.stats().folded.load(Ordering::Relaxed),
+            files.len() as u64
+        );
+        assert_eq!(c.command("STOP"), "+BYE");
+        server.join();
+    }
+
+    #[test]
+    fn corrupt_shards_are_rejected_with_stats() {
+        let params = AnalysisParams::default();
+        let server = Server::start(ServeConfig {
+            params,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let t = random_trace(23, 400, 9);
+        let files = split_shards(&t, 2, params.affinity.w_max, params.trg.window);
+        let mut c = Client::connect(server.addr());
+        assert!(c
+            .send_shard("v", b"definitely not a shard")
+            .starts_with("-ERR decode:"));
+        let mut torn = files[0].clone();
+        torn.truncate(torn.len() - 2);
+        assert!(c.send_shard("v", &torn).starts_with("-ERR salvage:"));
+        assert_eq!(server.stats().rejected_decode.load(Ordering::Relaxed), 1);
+        assert_eq!(server.stats().rejected_salvage.load(Ordering::Relaxed), 1);
+        assert!(server.stats().repair_dropped.load(Ordering::Relaxed) > 0);
+        assert_eq!(c.command("STOP"), "+BYE");
+        server.join();
+    }
+
+    #[test]
+    fn watch_dir_ingestion_and_checkpoint_resume() {
+        let params = AnalysisParams::default();
+        let base = std::env::temp_dir().join(format!("clop-serve-watch-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&base);
+        let watch = base.join("incoming");
+        let ckpt = base.join("ckpt");
+        fs::create_dir_all(watch.join("appv")).unwrap();
+
+        let t = random_trace(24, 800, 10);
+        let files = split_shards(&t, 4, params.affinity.w_max, params.trg.window);
+        let config = ServeConfig {
+            params,
+            watch_dir: Some(watch.clone()),
+            watch_poll_ms: 20,
+            checkpoint_dir: Some(ckpt.clone()),
+            checkpoint_every: 1,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(config.clone()).unwrap();
+        for (i, f) in files.iter().enumerate() {
+            // Atomic move into place, as the watcher contract requires.
+            let tmp = base.join(format!("stage-{}", i));
+            fs::write(&tmp, f).unwrap();
+            fs::rename(&tmp, watch.join("appv").join(format!("s{}.clsh", i))).unwrap();
+        }
+        let mut c = Client::connect(server.addr());
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let resp = c.command("EPOCH appv");
+            if resp == format!("+EPOCH {} {}", files.len(), files.len()) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "watcher never folded: {}", resp);
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let order = c.query("appv", "function-affinity");
+        assert_eq!(order, batch_order(&t, "function-affinity", &params));
+        assert_eq!(c.command("STOP"), "+BYE");
+        server.join();
+
+        // Marked checkpoints exist; a fresh daemon resumes and answers
+        // identically with no re-streaming at all.
+        assert!(ckpt.join("appv.done").exists());
+        let server2 = Server::start(ServeConfig {
+            watch_dir: None,
+            ..config
+        })
+        .unwrap();
+        let mut c2 = Client::connect(server2.addr());
+        assert_eq!(
+            c2.query("appv", "function-affinity"),
+            batch_order(&t, "function-affinity", &params)
+        );
+        assert_eq!(c2.command("STOP"), "+BYE");
+        server2.join();
+        fs::remove_dir_all(&base).unwrap();
+    }
+}

@@ -56,7 +56,7 @@ const MAGIC_V0: &[u8; 4] = b"CLT1";
 const FORMAT_VERSION: u8 = 1;
 
 /// Encode an unsigned LEB128 varint.
-fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+pub(crate) fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -80,14 +80,14 @@ fn unzigzag(v: u64) -> i64 {
 /// A reader wrapper that tracks the byte offset (for error reporting) and
 /// optionally accumulates a CRC-32 over everything read (for payload
 /// verification).
-struct Decoder<'a, R: Read> {
+pub(crate) struct Decoder<'a, R: Read> {
     r: &'a mut R,
     offset: u64,
     crc: Option<Crc32>,
 }
 
 impl<'a, R: Read> Decoder<'a, R> {
-    fn new(r: &'a mut R) -> Self {
+    pub(crate) fn new(r: &'a mut R) -> Self {
         Decoder {
             r,
             offset: 0,
@@ -96,16 +96,16 @@ impl<'a, R: Read> Decoder<'a, R> {
     }
 
     /// Start accumulating a CRC over subsequent reads.
-    fn begin_crc(&mut self) {
+    pub(crate) fn begin_crc(&mut self) {
         self.crc = Some(Crc32::new());
     }
 
     /// The CRC accumulated since [`Decoder::begin_crc`].
-    fn crc(&self) -> Option<u32> {
+    pub(crate) fn crc(&self) -> Option<u32> {
         self.crc.as_ref().map(Crc32::finish)
     }
 
-    fn read_exact(&mut self, buf: &mut [u8], what: &str) -> ClopResult<()> {
+    pub(crate) fn read_exact(&mut self, buf: &mut [u8], what: &str) -> ClopResult<()> {
         match self.r.read_exact(buf) {
             Ok(()) => {
                 if let Some(crc) = &mut self.crc {
@@ -129,7 +129,7 @@ impl<'a, R: Read> Decoder<'a, R> {
     }
 
     /// Decode an unsigned LEB128 varint.
-    fn varint(&mut self, what: &str) -> ClopResult<u64> {
+    pub(crate) fn varint(&mut self, what: &str) -> ClopResult<u64> {
         let mut v = 0u64;
         let mut shift = 0u32;
         loop {

@@ -17,7 +17,14 @@
 //!   Processing") producing reuse distances in O(log B) per access via an
 //!   Olken-style stamp + Fenwick-tree engine, with the paper's literal
 //!   walk-based structure retained as the [`stack::naive`] test oracle,
-//! * [`histogram`] — reuse-distance histograms and miss-ratio projection.
+//! * [`histogram`] — reuse-distance histograms and miss-ratio projection,
+//! * [`shard`] — deterministic window-overlap trace sharding (plus
+//!   [`shards_adaptive`], which bounds the shard count by what can actually
+//!   pay off on the current machine),
+//! * [`shardfile`] — the CLSH on-disk container carrying one standalone
+//!   shard segment for streaming ingestion,
+//! * [`stats`] — the order statistics (heat + first-appearance order) that
+//!   layout construction consumes, accumulable shard-by-shard.
 //!
 //! Library paths are panic-free on hostile input: decoders return
 //! structured [`clop_util::ClopError`]s (enforced by
@@ -35,13 +42,17 @@ pub mod phases;
 pub mod prune;
 pub mod sample;
 pub mod shard;
+pub mod shardfile;
 pub mod stack;
+pub mod stats;
 pub mod trace;
 
 pub use histogram::ReuseHistogram;
 pub use io::{read_trace, read_trace_repaired, read_trimmed, write_trace, RepairReport};
 pub use mapping::{BlockMap, Granularity};
 pub use prune::{PruneReport, Pruner};
-pub use shard::{shards, Shard};
+pub use shard::{shards, shards_adaptive, Shard};
+pub use shardfile::{read_shard, read_shard_repaired, split_shards, write_shard, ShardFile};
 pub use stack::LruStack;
+pub use stats::{StatsState, TraceStats};
 pub use trace::{BlockId, Trace, TrimmedTrace};

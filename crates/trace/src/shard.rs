@@ -128,6 +128,62 @@ pub fn shards(trace: &TrimmedTrace, jobs: usize, lookback: usize, lookahead: usi
         .collect()
 }
 
+/// Minimum core events per shard before splitting is worth its overhead.
+///
+/// Each shard pays fixed costs that do not shrink with its core — replaying
+/// the overlap region, zeroing dense per-shard accumulator tables, and the
+/// thread handoff — so below this size extra shards only add work. The
+/// floor scales with the overlap depth (deeper windows mean longer warm-up
+/// replays) with an absolute minimum high enough that smoke-sized traces
+/// collapse to a single shard on any machine.
+const ADAPTIVE_MIN_CORE: usize = 4096;
+
+/// [`shards`] with an adaptive shard count: never more shards than can
+/// help.
+///
+/// The requested `jobs` is treated as an upper bound and reduced by three
+/// cost considerations, in order:
+///
+/// 1. **Machine parallelism**: shards beyond the threads that can actually
+///    run concurrently add overlap replay without reducing wall time.
+/// 2. **Core-size floor**: every shard must amortize its fixed costs
+///    (overlap replay, dense-table zeroing) over at least
+///    `max(4096, 32 × (lookback + lookahead))` core events.
+/// 3. **Overlap dominance**: if the summed shard spans still exceed the
+///    trace length by more than 50% (pathological traces where the window
+///    never closes), the count is halved until the overlap is bounded or
+///    one shard remains.
+///
+/// Because the per-shard analyses merge order-independently, the *results*
+/// downstream are bit-identical for every shard count — adaptivity only
+/// changes wall time, so sequential (`jobs = 1`) is never faster than what
+/// this returns. The split itself remains deterministic for a given
+/// machine and input.
+pub fn shards_adaptive(
+    trace: &TrimmedTrace,
+    jobs: usize,
+    lookback: usize,
+    lookahead: usize,
+) -> Vec<Shard> {
+    let n = trace.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let min_core = ADAPTIVE_MIN_CORE.max(32 * (lookback + lookahead));
+    let mut k = jobs
+        .min(clop_util::pool::default_jobs())
+        .min(n / min_core)
+        .max(1);
+    loop {
+        let ss = shards(trace, k, lookback, lookahead);
+        let span: usize = ss.iter().map(|s| s.end - s.start).sum();
+        if k == 1 || span <= n + n / 2 {
+            return ss;
+        }
+        k /= 2;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,5 +317,65 @@ mod tests {
     fn shards_are_deterministic() {
         let t = random_trace(9, 300, 13);
         assert_eq!(shards(&t, 6, 7, 5), shards(&t, 6, 7, 5));
+    }
+
+    #[test]
+    fn adaptive_collapses_small_traces_to_one_shard() {
+        // 300 events is far below the core-size floor: splitting would pay
+        // more in overlap replay than it gains.
+        let t = random_trace(3, 300, 13);
+        for jobs in [1, 2, 8, 64] {
+            let ss = shards_adaptive(&t, jobs, 21, 20);
+            assert_eq!(ss.len(), 1, "jobs={}", jobs);
+            assert_eq!(ss[0].core_len(), t.len());
+        }
+    }
+
+    #[test]
+    fn adaptive_never_exceeds_requested_jobs_or_parallelism() {
+        let t = random_trace(4, 40_000, 64);
+        let hw = clop_util::pool::default_jobs();
+        for jobs in [1usize, 2, 8, 64] {
+            let ss = shards_adaptive(&t, jobs, 21, 20);
+            assert!(ss.len() <= jobs.max(1));
+            assert!(ss.len() <= hw.max(1));
+            // Cores still partition the trace exactly.
+            assert_eq!(ss[0].core_start, 0);
+            assert_eq!(ss.last().unwrap().core_end, t.len());
+            for w in ss.windows(2) {
+                assert_eq!(w[0].core_end, w[1].core_start);
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_enforces_core_size_floor() {
+        let t = random_trace(5, 20_000, 64);
+        for s in shards_adaptive(&t, 64, 5, 4) {
+            assert!(s.core_len() >= ADAPTIVE_MIN_CORE || s.core_len() == t.len());
+        }
+    }
+
+    #[test]
+    fn adaptive_bounds_overlap_dominance() {
+        // Two blocks alternating: any lookahead >= 2 extends every shard to
+        // the trace end, so multi-shard spans dwarf the trace. Adaptive
+        // sizing must fall back to one shard rather than replay the trace
+        // once per worker.
+        let t = TrimmedTrace::from_indices((0..30_000).map(|i| i % 2));
+        let ss = shards_adaptive(&t, 8, 3, 3);
+        let span: usize = ss.iter().map(|s| s.end - s.start).sum();
+        assert!(
+            span <= t.len() + t.len() / 2 || ss.len() == 1,
+            "span {} for {} shards",
+            span,
+            ss.len()
+        );
+    }
+
+    #[test]
+    fn adaptive_empty_trace_has_no_shards() {
+        let t = TrimmedTrace::from_indices(std::iter::empty::<u32>());
+        assert!(shards_adaptive(&t, 4, 3, 3).is_empty());
     }
 }

@@ -1,0 +1,295 @@
+//! Order statistics of a trace, accumulable from shards.
+//!
+//! The layout-construction stages (`AffinityHierarchy::build`,
+//! `clop_trg::reduce`) do not need the trace itself — only two order
+//! statistics derived from it: per-block occurrence counts (heat) and the
+//! global first-appearance order (tie-breaking and leftover placement).
+//! [`TraceStats`] captures exactly that sufficient statistic, so the
+//! incremental path can serve layouts without ever materializing the full
+//! trace.
+//!
+//! [`StatsState`] is the streaming accumulator: each shard contributes the
+//! counts and the local first-appearance list of its **core** region, keyed
+//! by the shard's sequence number. Because cores partition the trace, the
+//! global first appearance of a block is its first appearance within the
+//! earliest core containing it — so concatenating per-core first-appearance
+//! lists in sequence order and deduplicating (keeping the first occurrence)
+//! reconstructs the exact global order for any shard arrival order.
+//! Duplicate sequence numbers are ignored, which makes re-streaming a shard
+//! after a crash idempotent.
+
+use crate::trace::{BlockId, TrimmedTrace};
+use clop_util::bytes::{put_varint, ByteReader};
+use clop_util::{ClopError, ClopResult, FxHashSet};
+use std::collections::BTreeMap;
+
+/// The statistics of a trace that layout construction consumes: dense
+/// occurrence counts and the global first-appearance order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Occurrence count per block id (dense, indexed by `BlockId::index`,
+    /// length = max id + 1; empty for an empty trace).
+    counts: Vec<u64>,
+    /// Distinct blocks in order of first appearance.
+    first: Vec<BlockId>,
+}
+
+impl TraceStats {
+    /// Compute the statistics of a whole trace (the batch path).
+    pub fn of(trace: &TrimmedTrace) -> TraceStats {
+        let counts = trace.occurrence_counts();
+        let mut seen = vec![false; counts.len()];
+        let mut first = Vec::new();
+        for e in trace.iter() {
+            if !seen[e.index()] {
+                seen[e.index()] = true;
+                first.push(e);
+            }
+        }
+        TraceStats { counts, first }
+    }
+
+    /// Occurrence count of `block` (0 for blocks never seen).
+    pub fn count(&self, block: BlockId) -> u64 {
+        self.counts.get(block.index()).copied().unwrap_or(0)
+    }
+
+    /// Dense per-id occurrence counts (length = max id + 1).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Distinct blocks in global first-appearance order.
+    pub fn first_appearance(&self) -> &[BlockId] {
+        &self.first
+    }
+
+    /// Distinct blocks sorted by id (the order
+    /// [`TrimmedTrace::distinct_blocks`] produces).
+    pub fn distinct_sorted(&self) -> Vec<BlockId> {
+        let mut v = self.first.clone();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of distinct blocks.
+    pub fn num_distinct(&self) -> usize {
+        self.first.len()
+    }
+
+    /// True when the underlying trace held no event.
+    pub fn is_empty(&self) -> bool {
+        self.first.is_empty()
+    }
+}
+
+/// Snapshot format magic for [`StatsState::to_bytes`].
+const STATE_MAGIC: &[u8; 4] = b"CLst";
+
+/// Streaming accumulator for [`TraceStats`] over shard cores.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsState {
+    /// Summed occurrence counts over absorbed cores.
+    counts: BTreeMap<u32, u64>,
+    /// Per-shard core first-appearance lists, keyed by shard sequence
+    /// number (= core position in the original trace order).
+    firsts: BTreeMap<u64, Vec<u32>>,
+}
+
+impl StatsState {
+    /// An empty accumulator.
+    pub fn new() -> StatsState {
+        StatsState::default()
+    }
+
+    /// Absorb the core events of shard `seq`. Returns `false` (and changes
+    /// nothing) when `seq` was already absorbed.
+    pub fn absorb(&mut self, seq: u64, core: &[BlockId]) -> bool {
+        if self.firsts.contains_key(&seq) {
+            return false;
+        }
+        let mut seen = FxHashSet::default();
+        let mut first = Vec::new();
+        for e in core {
+            *self.counts.entry(e.0).or_insert(0) += 1;
+            if seen.insert(e.0) {
+                first.push(e.0);
+            }
+        }
+        self.firsts.insert(seq, first);
+        true
+    }
+
+    /// True when shard `seq` has been absorbed.
+    pub fn contains(&self, seq: u64) -> bool {
+        self.firsts.contains_key(&seq)
+    }
+
+    /// Number of distinct shards absorbed.
+    pub fn shards_absorbed(&self) -> u64 {
+        self.firsts.len() as u64
+    }
+
+    /// Reconstruct the exact batch [`TraceStats`]: counts are the shard
+    /// sums; the first-appearance order is the sequence-ordered
+    /// concatenation of per-core lists with later duplicates dropped.
+    pub fn finalize(&self) -> TraceStats {
+        let max = self.counts.keys().next_back().copied();
+        let mut counts = vec![0u64; max.map_or(0, |m| m as usize + 1)];
+        for (&id, &c) in &self.counts {
+            counts[id as usize] = c;
+        }
+        let mut seen = vec![false; counts.len()];
+        let mut first = Vec::new();
+        for ids in self.firsts.values() {
+            for &id in ids {
+                if !seen[id as usize] {
+                    seen[id as usize] = true;
+                    first.push(BlockId(id));
+                }
+            }
+        }
+        TraceStats { counts, first }
+    }
+
+    /// Canonical binary snapshot (deterministic: `BTreeMap` iteration is
+    /// key-ordered).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(STATE_MAGIC);
+        put_varint(&mut buf, self.counts.len() as u64);
+        for (&id, &c) in &self.counts {
+            put_varint(&mut buf, u64::from(id));
+            put_varint(&mut buf, c);
+        }
+        put_varint(&mut buf, self.firsts.len() as u64);
+        for (&seq, ids) in &self.firsts {
+            put_varint(&mut buf, seq);
+            put_varint(&mut buf, ids.len() as u64);
+            for &id in ids {
+                put_varint(&mut buf, u64::from(id));
+            }
+        }
+        buf
+    }
+
+    /// Decode a snapshot written by [`StatsState::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> ClopResult<StatsState> {
+        let mut r = ByteReader::new(bytes);
+        if r.bytes(4, "stats-state magic")? != STATE_MAGIC {
+            return Err(ClopError::trace_format("not a stats-state snapshot"));
+        }
+        let ncounts = r.varint_usize("count entries")?;
+        let mut counts = BTreeMap::new();
+        for _ in 0..ncounts {
+            let id = r.varint_u32("block id")?;
+            let c = r.varint("occurrence count")?;
+            counts.insert(id, c);
+        }
+        let nshards = r.varint_usize("shard entries")?;
+        let mut firsts = BTreeMap::new();
+        for _ in 0..nshards {
+            let seq = r.varint("shard seq")?;
+            let n = r.varint_usize("first-appearance length")?;
+            let mut ids = Vec::new();
+            for _ in 0..n {
+                ids.push(r.varint_u32("block id")?);
+            }
+            firsts.insert(seq, ids);
+        }
+        if !r.is_empty() {
+            return Err(ClopError::trace_decode(
+                r.pos() as u64,
+                "trailing bytes after stats-state snapshot",
+            ));
+        }
+        Ok(StatsState { counts, firsts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::shards;
+
+    fn random_trace(seed: u64, len: usize, blocks: u32) -> TrimmedTrace {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        TrimmedTrace::from_indices((0..len).map(|_| (next() % blocks as u64) as u32))
+    }
+
+    #[test]
+    fn batch_stats_match_trace_accessors() {
+        let t = TrimmedTrace::from_indices([1, 4, 2, 4, 2, 3, 5, 1, 4]);
+        let s = TraceStats::of(&t);
+        assert_eq!(s.counts(), t.occurrence_counts().as_slice());
+        assert_eq!(s.distinct_sorted(), t.distinct_blocks());
+        assert_eq!(
+            s.first_appearance(),
+            &[BlockId(1), BlockId(4), BlockId(2), BlockId(3), BlockId(5)]
+        );
+        assert_eq!(s.count(BlockId(4)), 3);
+        assert_eq!(s.count(BlockId(99)), 0);
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let t = TrimmedTrace::from_indices(std::iter::empty::<u32>());
+        let s = TraceStats::of(&t);
+        assert!(s.is_empty());
+        assert_eq!(s.num_distinct(), 0);
+        assert_eq!(StatsState::new().finalize(), s);
+    }
+
+    #[test]
+    fn shard_fold_matches_batch_for_any_order() {
+        for seed in 0..6u64 {
+            let t = random_trace(seed, 300, 23);
+            let expect = TraceStats::of(&t);
+            for jobs in [1usize, 2, 3, 7] {
+                let regions = shards(&t, jobs, 4, 0);
+                // Reversed arrival plus a duplicate of every shard.
+                let mut state = StatsState::new();
+                for (i, sh) in regions.iter().enumerate().rev() {
+                    let core = &t.events()[sh.core_start..sh.core_end];
+                    assert!(state.absorb(i as u64, core));
+                    assert!(!state.absorb(i as u64, core), "duplicate must be ignored");
+                }
+                assert_eq!(state.finalize(), expect, "seed {} jobs {}", seed, jobs);
+                assert_eq!(state.shards_absorbed(), regions.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let t = random_trace(9, 200, 17);
+        let mut state = StatsState::new();
+        for (i, sh) in shards(&t, 3, 4, 0).iter().enumerate() {
+            state.absorb(i as u64, &t.events()[sh.core_start..sh.core_end]);
+        }
+        let bytes = state.to_bytes();
+        let back = StatsState::from_bytes(&bytes).unwrap();
+        assert_eq!(back, state);
+        assert_eq!(back.finalize(), state.finalize());
+        // Canonical: same state always serializes identically.
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn snapshot_rejects_damage() {
+        let mut state = StatsState::new();
+        state.absorb(0, &[BlockId(1), BlockId(2)]);
+        let bytes = state.to_bytes();
+        assert!(StatsState::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(StatsState::from_bytes(b"NOPE").is_err());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(StatsState::from_bytes(&extra).is_err());
+    }
+}

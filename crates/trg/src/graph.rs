@@ -34,7 +34,8 @@
 //! summing per-shard maps reproduces the sequential graph bit for bit, for
 //! any shard count.
 
-use clop_trace::shard::{shards, Shard};
+use crate::incremental::{TrgDelta, TrgState};
+use clop_trace::shard::{shards_adaptive, Shard};
 use clop_trace::{BlockId, TrimmedTrace};
 use clop_util::pool::parallel_map;
 use clop_util::FxHashMap;
@@ -62,63 +63,48 @@ impl Trg {
     /// processed on the worker pool. The result is bit-identical for any
     /// `jobs` value (window-overlap sharding with a sum merge; see the
     /// module docs).
+    ///
+    /// The multi-shard path is expressed as the incremental fold:
+    /// per-shard [`TrgDelta`]s absorbed into a [`TrgState`], so the
+    /// streaming and batch paths share one merge. A single region (the
+    /// sequential case, and any trace too small for adaptive sharding to
+    /// split) skips the delta round trip — the region's edge map *is* the
+    /// graph, and the fold's equivalence to this path is pinned by the
+    /// property suites, not by routing every build through it.
     pub fn build_jobs(trace: &TrimmedTrace, window: usize, jobs: usize) -> Self {
-        let cap = trace
-            .events()
-            .iter()
-            .map(|b| b.index() + 1)
-            .max()
-            .unwrap_or(0);
-
-        // Nodes in first-appearance order (cheap, done once, serially).
-        let mut seen = vec![false; cap];
-        let mut nodes = Vec::new();
-        for &a in trace.events() {
-            if !seen[a.index()] {
-                seen[a.index()] = true;
-                nodes.push(a);
+        let (rank, by_heat) = heat_ranks(trace);
+        if by_heat.is_empty() {
+            return Trg::default();
+        }
+        let regions = shards_adaptive(trace, jobs, window.saturating_add(1), 0);
+        if let [sh] = regions.as_slice() {
+            let edges = build_region(trace, window, &rank, &by_heat, by_heat.len(), *sh);
+            let mut seen = vec![false; by_heat.len()];
+            let mut nodes = Vec::new();
+            for &e in trace.events() {
+                let r = rank[e.index()] as usize;
+                if !seen[r] {
+                    seen[r] = true;
+                    nodes.push(e);
+                }
             }
+            return Trg { edges, nodes };
         }
-        if nodes.is_empty() || window == 0 {
-            return Trg {
-                edges: FxHashMap::default(),
-                nodes,
-            };
-        }
-
-        // Heat ranks: hottest block gets rank 0 so the dense matrix keeps
-        // hot pairs in adjacent cells. Ranks only steer internal indexing;
-        // shard outputs are keyed by block ids.
-        let counts = trace.occurrence_counts();
-        let mut by_heat: Vec<u32> = nodes.iter().map(|b| b.0).collect();
-        by_heat.sort_unstable_by_key(|&b| (std::cmp::Reverse(counts[b as usize]), b));
-        let nd = by_heat.len();
-        let mut rank = vec![0u32; cap];
-        for (r, &b) in by_heat.iter().enumerate() {
-            rank[b as usize] = r as u32;
-        }
-
-        let mut regions = shards(trace, jobs, window.saturating_add(1), 0);
-        // Degenerate-overlap guard: when the trace has fewer hot blocks
-        // than the window, every warm-up scans back to (nearly) the trace
-        // start and sharding replays more work than it splits. Collapse to
-        // one shard — the outcome depends only on the trace and parameters,
-        // so it is the same for every `jobs` value, and per-shard results
-        // are bit-identical either way.
-        let span: usize = regions.iter().map(|s| s.end - s.start).sum();
-        if regions.len() > 1 && span > trace.len() + trace.len() / 2 {
-            regions = shards(trace, 1, window.saturating_add(1), 0);
-        }
-
-        let per_shard = parallel_map(jobs, regions, |_, sh| {
-            build_region(trace, window, &rank, &by_heat, nd, sh)
+        let deltas = parallel_map(jobs, regions, |i, sh| {
+            TrgDelta::of_region(i as u64, trace, window, &rank, &by_heat, sh)
         });
-        let mut edges: FxHashMap<(u32, u32), u64> = FxHashMap::default();
-        for shard_edges in per_shard {
-            for (key, w) in shard_edges {
-                *edges.entry(key).or_insert(0) += w;
-            }
+        let mut state = TrgState::new(window);
+        for d in &deltas {
+            // Cannot fail: the deltas share `window` and carry distinct seqs.
+            let _ = state.absorb(d);
         }
+        state.into_graph()
+    }
+
+    /// Assemble a graph from already-merged parts (the incremental fold's
+    /// [`TrgState::finalize`]). `nodes` must be in global first-appearance
+    /// order.
+    pub(crate) fn from_parts(edges: FxHashMap<(u32, u32), u64>, nodes: Vec<BlockId>) -> Self {
         Trg { edges, nodes }
     }
 
@@ -169,13 +155,33 @@ impl Trg {
     }
 }
 
+/// Heat ranks of a trace: hottest block gets rank 0 so the dense matrix
+/// keeps hot pairs in adjacent cells. Ranks only steer internal indexing;
+/// shard outputs are keyed by block ids, which is what makes a delta
+/// measured with *segment-local* ranks identical to one measured with
+/// global ranks. Returns `(rank_by_id, ids_by_rank)`; the sort key
+/// `(count desc, id)` is a total order, so the result does not depend on
+/// any seed ordering.
+pub(crate) fn heat_ranks(trace: &TrimmedTrace) -> (Vec<u32>, Vec<u32>) {
+    let counts = trace.occurrence_counts();
+    let mut by_heat: Vec<u32> = (0..counts.len() as u32)
+        .filter(|&b| counts[b as usize] > 0)
+        .collect();
+    by_heat.sort_unstable_by_key(|&b| (std::cmp::Reverse(counts[b as usize]), b));
+    let mut rank = vec![0u32; counts.len()];
+    for (r, &b) in by_heat.iter().enumerate() {
+        rank[b as usize] = r as u32;
+    }
+    (rank, by_heat)
+}
+
 /// One shard's edge contributions, keyed by block-id pairs `(min, max)`.
 ///
 /// Maintains the top-`min(window, nd)` LRU prefix over heat ranks: `walk`
 /// is MRU-first, `in_walk` is its membership bitset. A found block's index
 /// is its reuse distance `d`; the conflict partners are `walk[0..d]`,
 /// credited *before* the rotation that promotes the block.
-fn build_region(
+pub(crate) fn build_region(
     trace: &TrimmedTrace,
     window: usize,
     rank: &[u32],

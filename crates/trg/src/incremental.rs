@@ -1,0 +1,431 @@
+//! The TRG construction as a fold: shard deltas into incremental state.
+//!
+//! Mirrors `clop_affinity::incremental`: PR 5's shard engine already
+//! produced per-shard edge maps merged by summation; this module makes the
+//! accumulator explicit so the merge can run online over streamed shards.
+//!
+//! * [`TrgDelta`] — one shard's contribution: the conflict-edge increments
+//!   its core attributes (sum-mergeable, Definition 6 counts one conflict
+//!   per interleaved reuse) plus the core's block first-appearance list,
+//!   keyed by the shard's sequence number. A delta is computed from a
+//!   standalone segment with **local** heat ranks — ranks only steer
+//!   internal table indexing and edges are keyed by block ids, so a delta
+//!   measured from a CLSH shard file equals one measured in place.
+//! * [`TrgState`] — the running fold. Edge absorption is a plain sum —
+//!   commutative and associative, so arrival order is irrelevant — and a
+//!   sequence-number map makes duplicate delivery idempotent. Node order
+//!   is reconstructed on [`TrgState::finalize`] by concatenating the core
+//!   first-appearance lists in sequence order and deduplicating keep-first:
+//!   because cores partition the trace in sequence order, that is exactly
+//!   the global first-appearance order.
+//!
+//! The batch path ([`Trg::build_jobs`]) is itself expressed as this fold,
+//! so batch/incremental equivalence is exercised by every existing test.
+
+use crate::graph::{build_region, heat_ranks, Trg};
+use clop_trace::shard::Shard;
+use clop_trace::{BlockId, TrimmedTrace};
+use clop_util::bytes::{put_varint, ByteReader};
+use clop_util::{ClopError, ClopResult, FxHashMap};
+use std::collections::BTreeMap;
+
+/// One shard's contribution to the TRG construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrgDelta {
+    seq: u64,
+    window: u64,
+    /// Edge increments `((lo, hi), weight)`, sorted by pair key for
+    /// canonical equality.
+    edges: Vec<((u32, u32), u64)>,
+    /// Block ids in first-appearance order over the shard's core.
+    first: Vec<u32>,
+}
+
+impl TrgDelta {
+    /// Measure the delta of a standalone shard segment.
+    ///
+    /// `segment` spans the shard's backward overlap, core, and forward
+    /// extension; `core_start..core_end` (segment-local indices) is the
+    /// attributed range. Heat ranks are segment-local, which is harmless
+    /// (edges are keyed by block ids); a deeper-than-`window + 1` backward
+    /// overlap is also harmless, because the blocks seen since the segment
+    /// start ordered by last access form a prefix of the global LRU stack,
+    /// so reuse distances come out exact either way.
+    pub fn measure(
+        seq: u64,
+        segment: &TrimmedTrace,
+        window: usize,
+        core_start: usize,
+        core_end: usize,
+    ) -> TrgDelta {
+        let (rank, by_heat) = heat_ranks(segment);
+        let core_end = core_end.min(segment.len());
+        let sh = Shard {
+            start: 0,
+            core_start: core_start.min(core_end),
+            core_end,
+            end: segment.len(),
+        };
+        TrgDelta::of_region(seq, segment, window, &rank, &by_heat, sh)
+    }
+
+    /// Measure the delta of one region of a larger trace (the batch path:
+    /// heat ranks are precomputed once and shared across regions).
+    pub(crate) fn of_region(
+        seq: u64,
+        trace: &TrimmedTrace,
+        window: usize,
+        rank: &[u32],
+        by_heat: &[u32],
+        sh: Shard,
+    ) -> TrgDelta {
+        let nd = by_heat.len();
+        let map = build_region(trace, window, rank, by_heat, nd, sh);
+        let mut edges: Vec<((u32, u32), u64)> = map.into_iter().collect();
+        edges.sort_unstable_by_key(|&(k, _)| k);
+        let mut seen = vec![false; nd];
+        let mut first = Vec::new();
+        for e in &trace.events()[sh.core_start..sh.core_end] {
+            let r = rank[e.index()] as usize;
+            if !seen[r] {
+                seen[r] = true;
+                first.push(e.0);
+            }
+        }
+        TrgDelta {
+            seq,
+            window: window as u64,
+            edges,
+            first,
+        }
+    }
+
+    /// The shard sequence number this delta is keyed by.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The recency window the delta was measured at.
+    pub fn window(&self) -> usize {
+        self.window as usize
+    }
+
+    /// Number of distinct edges this shard credited.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of distinct blocks in the shard's core.
+    pub fn num_blocks(&self) -> usize {
+        self.first.len()
+    }
+}
+
+/// Snapshot format magic for [`TrgState::to_bytes`].
+const STATE_MAGIC: &[u8; 4] = b"CLtg";
+
+/// The running TRG fold: absorbed deltas, mergeable in any order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TrgState {
+    window: u64,
+    /// Summed conflict-edge weights.
+    edges: FxHashMap<(u32, u32), u64>,
+    /// Per-shard core first-appearance lists, keyed by sequence number
+    /// (doubles as the duplicate-delivery guard).
+    firsts: BTreeMap<u64, Vec<u32>>,
+}
+
+impl TrgState {
+    /// An empty state at the given recency window.
+    pub fn new(window: usize) -> TrgState {
+        TrgState {
+            window: window as u64,
+            ..TrgState::default()
+        }
+    }
+
+    /// The recency window every absorbed delta must match.
+    pub fn window(&self) -> usize {
+        self.window as usize
+    }
+
+    /// Absorb one delta. Returns `Ok(false)` (and changes nothing) when
+    /// the delta's sequence number was already absorbed; errors when the
+    /// delta was measured at a different window.
+    pub fn absorb(&mut self, delta: &TrgDelta) -> ClopResult<bool> {
+        if delta.window != self.window {
+            return Err(ClopError::trace_format(format!(
+                "TRG delta measured at window {} cannot fold into state at window {}",
+                delta.window, self.window
+            )));
+        }
+        if self.firsts.contains_key(&delta.seq) {
+            return Ok(false);
+        }
+        for &(k, w) in &delta.edges {
+            *self.edges.entry(k).or_insert(0) += w;
+        }
+        self.firsts.insert(delta.seq, delta.first.clone());
+        Ok(true)
+    }
+
+    /// True when shard `seq` has been absorbed.
+    pub fn contains(&self, seq: u64) -> bool {
+        self.firsts.contains_key(&seq)
+    }
+
+    /// Number of distinct shards absorbed.
+    pub fn shards_absorbed(&self) -> u64 {
+        self.firsts.len() as u64
+    }
+
+    /// True when no shard has been absorbed.
+    pub fn is_empty(&self) -> bool {
+        self.firsts.is_empty()
+    }
+
+    /// The graph of the fold so far. Once all shards of a trace are
+    /// absorbed this equals the batch [`Trg::build`] exactly; on a partial
+    /// fold it is the TRG of the absorbed cores.
+    pub fn finalize(&self) -> Trg {
+        Trg::from_parts(self.edges.clone(), self.node_order())
+    }
+
+    /// [`TrgState::finalize`], consuming the state: moves the edge map
+    /// into the graph instead of cloning it (the batch build's last step).
+    pub fn into_graph(self) -> Trg {
+        let nodes = self.node_order();
+        Trg::from_parts(self.edges, nodes)
+    }
+
+    /// Global first-appearance node order: concatenate the per-core
+    /// first-appearance lists in sequence order, deduplicating keep-first.
+    fn node_order(&self) -> Vec<BlockId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut nodes: Vec<BlockId> = Vec::new();
+        for ids in self.firsts.values() {
+            for &id in ids {
+                if seen.insert(id) {
+                    nodes.push(BlockId(id));
+                }
+            }
+        }
+        nodes
+    }
+
+    /// Canonical binary snapshot: entries are emitted in sorted key order,
+    /// so equal states serialize to identical bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(STATE_MAGIC);
+        put_varint(&mut buf, self.window);
+        let mut edges: Vec<(&(u32, u32), &u64)> = self.edges.iter().collect();
+        edges.sort_unstable_by_key(|&(k, _)| k);
+        put_varint(&mut buf, edges.len() as u64);
+        for (&(lo, hi), &w) in edges {
+            put_varint(&mut buf, u64::from(lo));
+            put_varint(&mut buf, u64::from(hi));
+            put_varint(&mut buf, w);
+        }
+        put_varint(&mut buf, self.firsts.len() as u64);
+        for (&seq, ids) in &self.firsts {
+            put_varint(&mut buf, seq);
+            put_varint(&mut buf, ids.len() as u64);
+            for &id in ids {
+                put_varint(&mut buf, u64::from(id));
+            }
+        }
+        buf
+    }
+
+    /// Decode a snapshot written by [`TrgState::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> ClopResult<TrgState> {
+        let mut r = ByteReader::new(bytes);
+        if r.bytes(4, "TRG-state magic")? != STATE_MAGIC {
+            return Err(ClopError::trace_format("not a TRG-state snapshot"));
+        }
+        let window = r.varint("window")?;
+        let nedges = r.varint_usize("edge entries")?;
+        let mut edges = FxHashMap::default();
+        for _ in 0..nedges {
+            let lo = r.varint_u32("edge lo")?;
+            let hi = r.varint_u32("edge hi")?;
+            let w = r.varint("edge weight")?;
+            edges.insert((lo, hi), w);
+        }
+        let nfirsts = r.varint_usize("shard entries")?;
+        let mut firsts = BTreeMap::new();
+        for _ in 0..nfirsts {
+            let seq = r.varint("shard seq")?;
+            let nids = r.varint_usize("first-appearance entries")?;
+            let mut ids = Vec::with_capacity(nids.min(4096));
+            for _ in 0..nids {
+                ids.push(r.varint_u32("block id")?);
+            }
+            firsts.insert(seq, ids);
+        }
+        if !r.is_empty() {
+            return Err(ClopError::trace_decode(
+                r.pos() as u64,
+                "trailing bytes after TRG-state snapshot",
+            ));
+        }
+        Ok(TrgState {
+            window,
+            edges,
+            firsts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clop_trace::shard::shards;
+
+    fn random_trace(seed: u64, len: usize, blocks: u32) -> TrimmedTrace {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        TrimmedTrace::from_indices((0..len).map(|_| (next() % blocks as u64) as u32))
+    }
+
+    fn sorted_edges(g: &Trg) -> Vec<(u32, u32, u64)> {
+        let mut v: Vec<(u32, u32, u64)> = g.edges().map(|(x, y, w)| (x.0, y.0, w)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Cut the trace into explicit multi-shard regions (machine-independent:
+    /// raw `shards`, not the adaptive variant) and measure each core's delta
+    /// from an extracted standalone segment with local coordinates.
+    fn segment_deltas(t: &TrimmedTrace, k: usize, window: usize) -> Vec<TrgDelta> {
+        shards(t, k, window.saturating_add(1), 0)
+            .iter()
+            .enumerate()
+            .map(|(i, sh)| {
+                let seg = TrimmedTrace::from_events(t.events()[sh.start..sh.end].iter().copied());
+                TrgDelta::measure(
+                    i as u64,
+                    &seg,
+                    window,
+                    sh.core_start - sh.start,
+                    sh.core_end - sh.start,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn standalone_segment_deltas_fold_to_batch() {
+        for seed in 0..10u64 {
+            let t = random_trace(seed, 500, 11);
+            for window in [2usize, 5, 16] {
+                let batch = Trg::build(&t, window);
+                for k in [2usize, 3, 5, 9] {
+                    let deltas = segment_deltas(&t, k, window);
+                    let mut state = TrgState::new(window);
+                    for d in &deltas {
+                        assert!(state.absorb(d).unwrap());
+                    }
+                    let folded = state.finalize();
+                    assert_eq!(
+                        sorted_edges(&folded),
+                        sorted_edges(&batch),
+                        "seed {} window {} k {}",
+                        seed,
+                        window,
+                        k
+                    );
+                    assert_eq!(folded.nodes(), batch.nodes(), "seed {} k {}", seed, k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn absorb_rejects_mismatched_window() {
+        let t = random_trace(1, 100, 7);
+        let d = TrgDelta::measure(0, &t, 8, 0, t.len());
+        let mut state = TrgState::new(6);
+        assert!(state.absorb(&d).is_err());
+        assert!(state.is_empty());
+    }
+
+    #[test]
+    fn duplicate_deltas_are_idempotent() {
+        let t = random_trace(2, 300, 9);
+        let deltas = segment_deltas(&t, 4, 8);
+        let mut once = TrgState::new(8);
+        for d in &deltas {
+            once.absorb(d).unwrap();
+        }
+        let mut twice = TrgState::new(8);
+        for d in deltas.iter().chain(deltas.iter().rev()) {
+            twice.absorb(d).unwrap();
+        }
+        assert_eq!(once, twice);
+        assert_eq!(once.shards_absorbed(), deltas.len() as u64);
+        assert!(once.contains(0));
+        assert!(!once.contains(99));
+    }
+
+    #[test]
+    fn single_segment_delta_equals_whole_trace() {
+        let t = random_trace(3, 150, 8);
+        let d = TrgDelta::measure(0, &t, 6, 0, t.len());
+        assert_eq!(d.num_blocks(), t.num_distinct());
+        let mut state = TrgState::new(6);
+        state.absorb(&d).unwrap();
+        let batch = Trg::build(&t, 6);
+        let folded = state.finalize();
+        assert_eq!(sorted_edges(&folded), sorted_edges(&batch));
+        assert_eq!(folded.nodes(), batch.nodes());
+    }
+
+    #[test]
+    fn zero_window_fold_preserves_nodes() {
+        let t = TrimmedTrace::from_indices([3, 1, 3, 2, 1]);
+        let mut state = TrgState::new(0);
+        state
+            .absorb(&TrgDelta::measure(0, &t, 0, 0, t.len()))
+            .unwrap();
+        let g = state.finalize();
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.nodes(), Trg::build(&t, 0).nodes());
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_canonical() {
+        let t = random_trace(4, 250, 10);
+        let mut state = TrgState::new(6);
+        for d in &segment_deltas(&t, 3, 6) {
+            state.absorb(d).unwrap();
+        }
+        let bytes = state.to_bytes();
+        let back = TrgState::from_bytes(&bytes).unwrap();
+        assert_eq!(back, state);
+        assert_eq!(back.to_bytes(), bytes);
+        assert_eq!(
+            sorted_edges(&back.finalize()),
+            sorted_edges(&state.finalize())
+        );
+        assert_eq!(back.finalize().nodes(), state.finalize().nodes());
+    }
+
+    #[test]
+    fn snapshot_rejects_damage() {
+        let t = TrimmedTrace::from_indices([1, 2, 1, 2, 3]);
+        let mut state = TrgState::new(4);
+        state
+            .absorb(&TrgDelta::measure(0, &t, 4, 0, t.len()))
+            .unwrap();
+        let bytes = state.to_bytes();
+        assert!(TrgState::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(TrgState::from_bytes(b"XXXX").is_err());
+    }
+}

@@ -23,12 +23,14 @@
 //! why the paper finds TRG fragile where affinity is robust.
 
 pub mod graph;
+pub mod incremental;
 pub mod placement;
 pub mod reduce;
 
 pub use graph::Trg;
+pub use incremental::{TrgDelta, TrgState};
 pub use placement::{place_with_padding, PaddedPlacement, PlacedBlock};
-pub use reduce::{reduce, SlotAssignment};
+pub use reduce::{reduce, reduce_from_stats, SlotAssignment};
 
 use clop_trace::{BlockId, TrimmedTrace};
 

@@ -30,7 +30,7 @@
 //! shortest slot lists in first-appearance order before emission.
 
 use crate::graph::Trg;
-use clop_trace::{BlockId, TrimmedTrace};
+use clop_trace::{BlockId, TraceStats, TrimmedTrace};
 use clop_util::FxHashMap;
 use std::collections::BinaryHeap;
 
@@ -101,13 +101,35 @@ fn heap_entry(a: Ent, b: Ent, w: u64, rank: &FxHashMap<u32, usize>) -> HeapEntry
 /// Run Algorithm 2 with `k` slots. The trace supplies the deterministic
 /// first-appearance order used for conflict-free blocks and tie-breaks.
 pub fn reduce(trg: &Trg, k: usize, trace: &TrimmedTrace) -> SlotAssignment {
+    let mut seen: FxHashMap<u32, ()> = FxHashMap::default();
+    let mut order: Vec<BlockId> = Vec::new();
+    for b in trace.iter() {
+        if seen.insert(b.0, ()).is_none() {
+            order.push(b);
+        }
+    }
+    reduce_ordered(trg, k, &order)
+}
+
+/// [`reduce`] from the trace's order statistics instead of the trace
+/// itself — the incremental serving path folds [`clop_trace::StatsState`]
+/// from shards and never materializes the full trace. Bit-identical to
+/// [`reduce`], because the reduction consumes the trace only through its
+/// first-appearance order.
+pub fn reduce_from_stats(trg: &Trg, k: usize, stats: &TraceStats) -> SlotAssignment {
+    reduce_ordered(trg, k, stats.first_appearance())
+}
+
+/// The reduction proper, over the distinct blocks of the trace in
+/// first-appearance order.
+fn reduce_ordered(trg: &Trg, k: usize, order: &[BlockId]) -> SlotAssignment {
     let k = k.max(1);
 
     // First-appearance rank for deterministic tie-breaking, with the
     // inverse table used to decode packed heap entries.
     let mut rank: FxHashMap<u32, usize> = FxHashMap::default();
     let mut id_by_rank: Vec<u32> = Vec::new();
-    for b in trace.iter() {
+    for b in order {
         rank.entry(b.0).or_insert_with(|| {
             id_by_rank.push(b.0);
             id_by_rank.len() - 1
@@ -178,9 +200,7 @@ pub fn reduce(trg: &Trg, k: usize, trace: &TrimmedTrace) -> SlotAssignment {
         .copied()
         .filter(|n| !placed.contains_key(&n.0))
         .collect();
-    let mut all_blocks: Vec<BlockId> = trace.distinct_blocks();
-    all_blocks.sort_by_key(|b| rank[&b.0]);
-    for b in all_blocks {
+    for &b in order {
         if !placed.contains_key(&b.0) && !leftovers.contains(&b) {
             leftovers.push(b);
         }

@@ -1,0 +1,194 @@
+//! In-memory byte-buffer encoding helpers for versioned state snapshots.
+//!
+//! The incremental-analysis states (`clop_affinity::AffinityState`,
+//! `clop_trg::TrgState`, `clop_core`'s version store) serialize to compact
+//! binary snapshots for checkpointing. The trace container in `clop-trace`
+//! encodes through `io::Write`; these helpers cover the simpler
+//! buffer-oriented case — append varints to a `Vec<u8>`, decode them back
+//! with a cursor that reports structured failures instead of panicking —
+//! so every state snapshot uses one canonical integer encoding.
+
+use crate::error::{ClopError, ClopResult};
+
+/// Append an unsigned LEB128 varint to `buf`.
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Append a `u32` in little-endian byte order (used for CRC footers).
+pub fn put_u32_le(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A bounds-checked cursor over a byte slice.
+///
+/// Every read returns a structured [`ClopError::TraceDecode`] carrying the
+/// cursor offset on truncation or overflow, so snapshot decoders are
+/// panic-free on hostile input.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Start reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Current byte offset from the start of the buffer.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn truncated(&self, what: &str) -> ClopError {
+        ClopError::trace_decode(
+            self.pos as u64,
+            format!("unexpected end of data while reading {}", what),
+        )
+    }
+
+    /// Consume `n` raw bytes.
+    pub fn bytes(&mut self, n: usize, what: &str) -> ClopResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(self.truncated(what));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Consume one byte.
+    pub fn byte(&mut self, what: &str) -> ClopResult<u8> {
+        Ok(self.bytes(1, what)?[0])
+    }
+
+    /// Decode an unsigned LEB128 varint.
+    pub fn varint(&mut self, what: &str) -> ClopResult<u64> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.byte(what)?;
+            if shift >= 63 && byte > 1 {
+                return Err(ClopError::trace_decode(
+                    (self.pos - 1) as u64,
+                    format!("varint overflow in {}", what),
+                ));
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Decode a varint and narrow it to `u32`.
+    pub fn varint_u32(&mut self, what: &str) -> ClopResult<u32> {
+        let v = self.varint(what)?;
+        u32::try_from(v).map_err(|_| {
+            ClopError::trace_decode(self.pos as u64, format!("{} out of u32 range: {}", what, v))
+        })
+    }
+
+    /// Decode a varint and narrow it to `usize`.
+    pub fn varint_usize(&mut self, what: &str) -> ClopResult<usize> {
+        let v = self.varint(what)?;
+        usize::try_from(v).map_err(|_| {
+            ClopError::trace_decode(
+                self.pos as u64,
+                format!("{} out of usize range: {}", what, v),
+            )
+        })
+    }
+
+    /// Decode a little-endian `u32`.
+    pub fn u32_le(&mut self, what: &str) -> ClopResult<u32> {
+        let b = self.bytes(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut r = ByteReader::new(&buf);
+            assert_eq!(r.varint("test").unwrap(), v);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn u32_le_round_trip() {
+        let mut buf = Vec::new();
+        put_u32_le(&mut buf, 0xDEADBEEF);
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u32_le("crc").unwrap(), 0xDEADBEEF);
+    }
+
+    #[test]
+    fn truncation_yields_structured_error() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1 << 40);
+        buf.truncate(2);
+        let mut r = ByteReader::new(&buf);
+        let err = r.varint("value").unwrap_err();
+        assert!(err.to_string().contains("end of data"), "{err}");
+        let mut r = ByteReader::new(b"ab");
+        assert!(r.bytes(3, "blob").is_err());
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        // 10 continuation bytes with a high final byte exceed 64 bits.
+        let buf = [0xFFu8, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F];
+        let mut r = ByteReader::new(&buf);
+        let err = r.varint("value").unwrap_err();
+        assert!(err.to_string().contains("overflow"), "{err}");
+    }
+
+    #[test]
+    fn narrowing_reads_reject_out_of_range() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, u64::from(u32::MAX) + 1);
+        let mut r = ByteReader::new(&buf);
+        assert!(r.varint_u32("id").is_err());
+    }
+
+    #[test]
+    fn cursor_tracks_position() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 7);
+        put_varint(&mut buf, 300);
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.pos(), 0);
+        r.varint("a").unwrap();
+        assert_eq!(r.pos(), 1);
+        r.varint("b").unwrap();
+        assert!(r.is_empty());
+    }
+}

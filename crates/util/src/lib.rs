@@ -29,9 +29,12 @@
 //!   never leave torn artifacts.
 //! - [`fault`]: deterministic, seeded corruption generators driving the
 //!   fault-injection suites.
+//! - [`bytes`]: in-memory varint encode/decode for the incremental-state
+//!   snapshot formats.
 
 pub mod atomicio;
 pub mod bench;
+pub mod bytes;
 pub mod check;
 pub mod crc32;
 pub mod error;
