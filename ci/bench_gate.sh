@@ -22,11 +22,19 @@ CLOP_BENCH_QUICK=1 CLOP_BENCH_JSON="$out2" cargo bench -p clop-bench
 
 # Ratio guards: adaptive shard sizing must keep parallel analysis from
 # ever losing to the sequential pass — on any machine, at any worker
-# count. Both sides of each guard come from the same runs, so the check
-# is independent of absolute machine speed.
+# count. The corun/nway rows replay the same *total* access count split
+# across N tenants, so per-access cost staying O(1) in the tenant count
+# (i.e. total simulation cost ~linear in N for N× the work) keeps the
+# ns/iter ratio across widths near 1 (the allowance covers the higher
+# shared-L2 miss rate at high N, where tenant-tagged replication grows
+# the aggregate footprint; an O(N)-per-access regression would measure
+# ~4× at width 8 and fail). Both sides of each guard come from the
+# same runs, so the checks are independent of absolute machine speed.
 cargo run -q --release -p clop-bench --bin bench_gate -- \
   --guard affinity/sharded/200000/jobs2 affinity/sharded/200000/jobs1 1.25 \
   --guard affinity/sharded/200000/jobs8 affinity/sharded/200000/jobs1 1.25 \
   --guard trg/build_sharded/200000/jobs2 trg/build_sharded/200000/jobs1 1.25 \
   --guard trg/build_sharded/200000/jobs8 trg/build_sharded/200000/jobs1 1.25 \
+  --guard corun/nway/4 corun/nway/2 1.40 \
+  --guard corun/nway/8 corun/nway/2 1.80 \
   BENCH_baseline.json "$out1" "$out2"

@@ -211,6 +211,11 @@ pub fn all() -> Vec<Experiment> {
             title: "extension: private L1I over shared L2",
             run: multilevel::run,
         },
+        Experiment {
+            name: "nway_validation",
+            title: "extension: N-way co-run, analytic N-peer model vs simulation",
+            run: nway_validation::run,
+        },
     ]
 }
 
@@ -291,7 +296,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_findable() {
         let exps = all();
-        assert_eq!(exps.len(), 18);
+        assert_eq!(exps.len(), 19);
         let mut names: Vec<&str> = exps.iter().map(|e| e.name).collect();
         names.sort_unstable();
         names.dedup();

@@ -18,6 +18,7 @@ pub mod intro_table;
 pub mod model_validation;
 pub mod mrc;
 pub mod multilevel;
+pub mod nway_validation;
 pub mod petrank_wall;
 pub mod smt_width;
 pub mod table1_characteristics;

@@ -16,7 +16,9 @@
 //! ```
 
 use clop_bench::experiment::ExperimentCtx;
-use clop_bench::experiments::{fig4_miss_ratios, fig5_solo, fig7_throughput, table2_corun};
+use clop_bench::experiments::{
+    fig4_miss_ratios, fig5_solo, fig7_throughput, nway_validation, table2_corun,
+};
 use clop_util::{Json, ToJson};
 use clop_workloads::{full_suite, PrimaryBenchmark};
 use std::path::PathBuf;
@@ -86,6 +88,45 @@ fn reduced_fig5_matches_golden() {
     let ctx = ExperimentCtx::new(2);
     let rows = fig5_solo::rows_for(&ctx, vec![PrimaryBenchmark::Gobmk, PrimaryBenchmark::Sjeng]);
     check_golden("fig5_reduced", &rows.to_json());
+}
+
+#[test]
+fn reduced_nway_matches_golden() {
+    // The N-way validation sweep on two subjects and three widths: pins
+    // the N-peer convolved composition model against the generalized
+    // N-way co-run simulator, and asserts the stated tolerances — the
+    // analytic prediction must rank the points like the simulation does
+    // (Spearman) and stay within an absolute miss-ratio band per point.
+    let ctx = ExperimentCtx::new(2);
+    let subjects = [PrimaryBenchmark::Mcf, PrimaryBenchmark::Sjeng];
+    let rows = nway_validation::rows_for(&ctx, &subjects, &[2, 4, 8]);
+    assert_eq!(rows.len(), 12, "2 subjects × 2 layouts × 3 widths");
+    // Stated tolerances: the fully-associative window model overpredicts
+    // near its capacity cliff (subjects whose working set barely fits,
+    // e.g. 429.mcf at small widths), so level calibration is loose, but
+    // it must still rank the points with the simulator and stay inside an
+    // absolute miss-ratio band.
+    let summary = nway_validation::summarize(&rows);
+    assert!(
+        summary.spearman >= 0.60,
+        "rank agreement degraded: spearman {:.3}",
+        summary.spearman
+    );
+    assert!(
+        summary.max_abs_error <= 0.15,
+        "per-point absolute error bound exceeded: {:.4}",
+        summary.max_abs_error
+    );
+    assert!(
+        summary.mean_abs_error <= 0.10,
+        "mean absolute error bound exceeded: {:.4}",
+        summary.mean_abs_error
+    );
+    let json = Json::obj(vec![
+        ("rows", rows.to_json()),
+        ("summary", summary.to_json()),
+    ]);
+    check_golden("nway_reduced", &json);
 }
 
 #[test]

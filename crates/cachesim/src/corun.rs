@@ -7,6 +7,16 @@
 //! (fine-grained SMT fetch), keeping per-thread statistics. The two
 //! programs' lines are disambiguated by a per-thread tag bit well above any
 //! realistic line index, modelling distinct physical address spaces.
+//!
+//! Beyond the paper's 2-thread SMT setup, [`simulate_corun_nway`] replays
+//! any number of interleaved fetch streams through one shared cache and
+//! additionally attributes every eviction to the tenant that caused it
+//! ([`EvictionMatrix`], per set) — the measurement side of the N-peer
+//! defensiveness/politeness generalization. [`naive`] holds the
+//! straight-line reference simulators the fast paths are differentially
+//! pinned against.
+
+pub mod naive;
 
 use crate::config::{CacheConfig, CacheStats};
 use crate::icache::SetAssocCache;
@@ -14,6 +24,17 @@ use crate::icache::SetAssocCache;
 /// Bit used to separate the two co-running address spaces. Line indices are
 /// byte addresses divided by at least 16, so bit 58 is far out of reach.
 const THREAD_TAG_SHIFT: u64 = 58;
+
+/// Number of tenants the tag bits can keep apart (tenant ids occupy the
+/// bits from [`THREAD_TAG_SHIFT`] up, so 63 − 58 = 5 bits → 32 tenants —
+/// double the widest SMT the paper contemplates).
+pub const MAX_TENANTS: usize = 1 << (63 - THREAD_TAG_SHIFT);
+
+/// The tenant a tagged line belongs to (inverse of [`tag_line`]).
+#[inline]
+pub fn tenant_of_line(tagged: u64) -> usize {
+    (tagged >> THREAD_TAG_SHIFT) as usize
+}
 
 /// Tag a line index with its owning thread so the physically-tagged shared
 /// cache never aliases the two programs.
@@ -30,6 +51,12 @@ pub fn tag_line(line: u64, thread: usize) -> u64 {
         "line index {:#x} collides with the thread tag (bit {})",
         line,
         THREAD_TAG_SHIFT
+    );
+    assert!(
+        thread < MAX_TENANTS,
+        "tenant {} exceeds the {} address spaces the tag bits separate",
+        thread,
+        MAX_TENANTS
     );
     line | ((thread as u64) << THREAD_TAG_SHIFT)
 }
@@ -142,24 +169,187 @@ pub fn simulate_corun_lines(a: &[u64], b: &[u64], config: CacheConfig) -> CorunC
 /// returns per-thread statistics. Exhausted streams drop out of the
 /// rotation.
 pub fn simulate_corun_many(streams: &[&[u64]], config: CacheConfig) -> Vec<CacheStats> {
-    let mut cache = SetAssocCache::new(config);
-    let mut stats = vec![CacheStats::default(); streams.len()];
-    let mut cursors = vec![0usize; streams.len()];
-    loop {
-        let mut progressed = false;
-        for (t, stream) in streams.iter().enumerate() {
-            if cursors[t] < stream.len() {
-                let hit = cache.access(tag_line(stream[cursors[t]], t));
-                stats[t].record(hit);
-                cursors[t] += 1;
-                progressed = true;
-            }
+    simulate_corun_nway(streams, config)
+        .per_tenant
+        .into_iter()
+        .collect()
+}
+
+/// Round-robin interleave of any number of fetch streams into `(tenant,
+/// line)` pairs, as an iterator. Exhausted streams drop out of the
+/// rotation; at two streams the order is exactly
+/// [`interleave_round_robin_iter`]'s.
+pub fn interleave_many_iter<'a>(
+    streams: &'a [&'a [u64]],
+) -> impl Iterator<Item = (usize, u64)> + 'a {
+    InterleaveMany {
+        streams,
+        cursors: vec![0; streams.len()],
+        next_tenant: 0,
+        remaining: streams.iter().map(|s| s.len()).sum(),
+    }
+}
+
+struct InterleaveMany<'a> {
+    streams: &'a [&'a [u64]],
+    cursors: Vec<usize>,
+    /// Tenant the rotation tries next (round position, not round count).
+    next_tenant: usize,
+    remaining: usize,
+}
+
+impl<'a> Iterator for InterleaveMany<'a> {
+    type Item = (usize, u64);
+
+    fn next(&mut self) -> Option<(usize, u64)> {
+        if self.remaining == 0 {
+            return None;
         }
-        if !progressed {
-            break;
+        // Scan from the rotation position for the next live stream. The
+        // scan wraps at most once because something is left to yield.
+        let n = self.streams.len();
+        let mut t = self.next_tenant;
+        loop {
+            if self.cursors[t] < self.streams[t].len() {
+                let line = self.streams[t][self.cursors[t]];
+                self.cursors[t] += 1;
+                self.remaining -= 1;
+                self.next_tenant = (t + 1) % n;
+                return Some((t, line));
+            }
+            t = (t + 1) % n;
         }
     }
-    stats
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+/// Who evicted whom: `counts[victim][evictor]` evictions of a
+/// `victim`-owned line caused by an access of `evictor`, in one shared
+/// cache level. The diagonal is self-eviction (a tenant displacing its own
+/// lines — capacity pressure of its own working set); off-diagonal mass is
+/// the interference the paper's politeness metric is about.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EvictionMatrix {
+    tenants: usize,
+    /// Row-major `tenants × tenants` counts, victim-major.
+    counts: Vec<u64>,
+}
+
+impl EvictionMatrix {
+    /// An all-zero matrix for `tenants` address spaces.
+    pub fn new(tenants: usize) -> Self {
+        EvictionMatrix {
+            tenants,
+            counts: vec![0; tenants * tenants],
+        }
+    }
+
+    /// Number of tenants (the matrix is square).
+    pub fn tenants(&self) -> usize {
+        self.tenants
+    }
+
+    /// Record that `evictor`'s access displaced a line owned by `victim`.
+    #[inline]
+    pub fn record(&mut self, victim: usize, evictor: usize) {
+        self.counts[victim * self.tenants + evictor] += 1;
+    }
+
+    /// Evictions of `victim`-owned lines caused by `evictor`.
+    pub fn count(&self, victim: usize, evictor: usize) -> u64 {
+        self.counts[victim * self.tenants + evictor]
+    }
+
+    /// Total lines `victim` lost to anyone (row sum).
+    pub fn suffered_by(&self, victim: usize) -> u64 {
+        self.counts[victim * self.tenants..(victim + 1) * self.tenants]
+            .iter()
+            .sum()
+    }
+
+    /// Total lines `evictor` displaced from anyone (column sum).
+    pub fn caused_by(&self, evictor: usize) -> u64 {
+        (0..self.tenants)
+            .map(|v| self.counts[v * self.tenants + evictor])
+            .sum()
+    }
+
+    /// Lines `victim` lost to *other* tenants (row sum minus the
+    /// diagonal) — the interference it suffered.
+    pub fn suffered_from_peers(&self, victim: usize) -> u64 {
+        self.suffered_by(victim) - self.count(victim, victim)
+    }
+
+    /// Grand total of evictions recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Result of an N-way shared-cache co-run: per-tenant statistics plus
+/// full eviction attribution, overall and per cache set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NwayCorunResult {
+    /// Per-tenant hit/miss statistics, indexed by tenant.
+    pub per_tenant: Vec<CacheStats>,
+    /// Who evicted whom, across the whole cache.
+    pub evictions: EvictionMatrix,
+    /// Per-set eviction attribution: `evictions_by_set[set * tenants +
+    /// victim]` lines the victim lost in that set (use
+    /// [`NwayCorunResult::evictions_in_set`]).
+    pub evictions_by_set: Vec<u64>,
+}
+
+impl NwayCorunResult {
+    fn new(tenants: usize, sets: usize) -> Self {
+        NwayCorunResult {
+            per_tenant: vec![CacheStats::default(); tenants],
+            evictions: EvictionMatrix::new(tenants),
+            evictions_by_set: vec![0; sets * tenants],
+        }
+    }
+
+    /// Lines `victim` lost in `set`.
+    pub fn evictions_in_set(&self, set: usize, victim: usize) -> u64 {
+        self.evictions_by_set[set * self.per_tenant.len() + victim]
+    }
+
+    /// Combined statistics of all tenants.
+    pub fn combined(&self) -> CacheStats {
+        let mut s = CacheStats::default();
+        for t in &self.per_tenant {
+            s.merge(t);
+        }
+        s
+    }
+}
+
+/// Replay N fetch streams through one shared cache with round-robin SMT
+/// interleaving, attributing every eviction to the access that caused it.
+///
+/// The access order, hit/miss outcomes, and per-tenant statistics are
+/// bit-identical to [`simulate_corun_lines`] at two streams and to the
+/// historical `simulate_corun_many` loop at any width (pinned by property
+/// tests); attribution is the new observable.
+pub fn simulate_corun_nway(streams: &[&[u64]], config: CacheConfig) -> NwayCorunResult {
+    let tenants = streams.len();
+    let mut cache = SetAssocCache::new(config);
+    let mut out = NwayCorunResult::new(tenants, config.num_sets() as usize);
+    for (t, line) in interleave_many_iter(streams) {
+        let tagged = tag_line(line, t);
+        let (hit, evicted) = cache.access_reporting(tagged);
+        out.per_tenant[t].record(hit);
+        if let Some(victim_line) = evicted {
+            let victim = tenant_of_line(victim_line);
+            out.evictions.record(victim, t);
+            let set = config.set_of_line(tagged) as usize;
+            out.evictions_by_set[set * tenants + victim] += 1;
+        }
+    }
+    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,233 @@
+//! Straight-line reference simulators for the N-way co-run paths.
+//!
+//! Mirrors the `NaiveLruStack` pattern from the reuse-distance engine: the
+//! fast paths ([`crate::corun::simulate_corun_nway`],
+//! [`crate::multilevel::simulate_nway_shared_l2`]) are pinned against
+//! these deliberately artless implementations by randomized differential
+//! suites (`tests/nway.rs`). Everything here is array-of-structs, one
+//! linear scan per decision, no fused loops, no stamp-encoding tricks —
+//! the behavior is meant to be auditable against the textbook definition
+//! of a set-associative true-LRU inclusive hierarchy, not fast.
+
+use crate::config::{CacheConfig, CacheStats};
+use crate::corun::{tag_line, tenant_of_line, EvictionMatrix, NwayCorunResult};
+use crate::multilevel::{Level, LevelStats, NwayTwoLevelResult};
+
+/// One way of one set: a valid bit, the full tagged line, and the LRU
+/// timestamp of the last touch.
+#[derive(Clone, Copy)]
+struct Way {
+    valid: bool,
+    tag: u64,
+    lru: u64,
+}
+
+/// The textbook set-associative LRU cache: a `Vec` of sets, each a `Vec`
+/// of ways, with explicit linear scans for hit, victim, and invalidation.
+struct NaiveCache {
+    config: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    clock: u64,
+}
+
+/// What one access did: hit or miss, and the valid line it displaced.
+struct NaiveOutcome {
+    hit: bool,
+    evicted: Option<u64>,
+}
+
+impl NaiveCache {
+    fn new(config: CacheConfig) -> Self {
+        let way = Way {
+            valid: false,
+            tag: 0,
+            lru: 0,
+        };
+        NaiveCache {
+            config,
+            sets: vec![vec![way; config.associativity as usize]; config.num_sets() as usize],
+            clock: 0,
+        }
+    }
+
+    fn access(&mut self, line: u64) -> NaiveOutcome {
+        self.clock += 1;
+        let set = &mut self.sets[self.config.set_of_line(line) as usize];
+        for way in set.iter_mut() {
+            if way.valid && way.tag == line {
+                way.lru = self.clock;
+                return NaiveOutcome {
+                    hit: true,
+                    evicted: None,
+                };
+            }
+        }
+        // Victim: the first way in way order with the minimal key, where
+        // an invalid way keys as 0 — the same order the fast path's
+        // stamp-0-invalid encoding yields.
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.lru } else { 0 })
+            .expect("associativity >= 1");
+        let evicted = victim.valid.then_some(victim.tag);
+        victim.valid = true;
+        victim.tag = line;
+        victim.lru = self.clock;
+        NaiveOutcome {
+            hit: false,
+            evicted,
+        }
+    }
+
+    fn invalidate(&mut self, line: u64) -> bool {
+        let set = &mut self.sets[self.config.set_of_line(line) as usize];
+        for way in set.iter_mut() {
+            if way.valid && way.tag == line {
+                way.valid = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn probe(&self, line: u64) -> bool {
+        self.sets[self.config.set_of_line(line) as usize]
+            .iter()
+            .any(|w| w.valid && w.tag == line)
+    }
+}
+
+/// Round-robin interleave of N streams as an explicit position list —
+/// the loop-until-nothing-progressed formulation, materialized.
+fn naive_interleave(streams: &[&[u64]]) -> Vec<(usize, u64)> {
+    let mut out = Vec::new();
+    let mut cursors = vec![0usize; streams.len()];
+    loop {
+        let mut progressed = false;
+        for (t, stream) in streams.iter().enumerate() {
+            if cursors[t] < stream.len() {
+                out.push((t, stream[cursors[t]]));
+                cursors[t] += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            return out;
+        }
+    }
+}
+
+/// Reference single-level N-way co-run: one shared cache, round-robin
+/// interleave, full eviction attribution.
+pub fn simulate_corun_nway(streams: &[&[u64]], config: CacheConfig) -> NwayCorunResult {
+    let tenants = streams.len();
+    let mut cache = NaiveCache::new(config);
+    let mut per_tenant = vec![CacheStats::default(); tenants];
+    let mut evictions = EvictionMatrix::new(tenants);
+    let mut evictions_by_set = vec![0u64; config.num_sets() as usize * tenants];
+    for (t, line) in naive_interleave(streams) {
+        let tagged = tag_line(line, t);
+        let outcome = cache.access(tagged);
+        per_tenant[t].record(outcome.hit);
+        if let Some(victim_line) = outcome.evicted {
+            let victim = tenant_of_line(victim_line);
+            evictions.record(victim, t);
+            evictions_by_set[config.set_of_line(tagged) as usize * tenants + victim] += 1;
+        }
+    }
+    NwayCorunResult {
+        per_tenant,
+        evictions,
+        evictions_by_set,
+    }
+}
+
+/// Reference two-level N-way co-run: private naive L1s over one shared,
+/// inclusive naive L2. Every L2 eviction is attributed and back-invalidated
+/// from the owner's L1 by explicit scan.
+pub struct NaiveNwaySharedL2 {
+    l1s: Vec<NaiveCache>,
+    l2: NaiveCache,
+    l2_config: CacheConfig,
+    stats: Vec<LevelStats>,
+    l2_evictions: EvictionMatrix,
+    l2_evictions_by_set: Vec<u64>,
+    back_invalidations: Vec<u64>,
+}
+
+impl NaiveNwaySharedL2 {
+    /// Build for `tenants` address spaces with the given geometries.
+    pub fn new(tenants: usize, l1: CacheConfig, l2: CacheConfig) -> Self {
+        NaiveNwaySharedL2 {
+            l1s: (0..tenants).map(|_| NaiveCache::new(l1)).collect(),
+            l2: NaiveCache::new(l2),
+            l2_config: l2,
+            stats: vec![LevelStats::default(); tenants],
+            l2_evictions: EvictionMatrix::new(tenants),
+            l2_evictions_by_set: vec![0; l2.num_sets() as usize * tenants],
+            back_invalidations: vec![0; tenants],
+        }
+    }
+
+    /// One fetch by `tenant` of `line`; returns the serving level.
+    pub fn access(&mut self, tenant: usize, line: u64) -> Level {
+        let tagged = tag_line(line, tenant);
+        self.stats[tenant].accesses += 1;
+        if self.l1s[tenant].access(tagged).hit {
+            return Level::L1;
+        }
+        self.stats[tenant].l1_misses += 1;
+        let outcome = self.l2.access(tagged);
+        if outcome.hit {
+            return Level::L2;
+        }
+        self.stats[tenant].l2_misses += 1;
+        if let Some(victim_line) = outcome.evicted {
+            let victim = tenant_of_line(victim_line);
+            self.l2_evictions.record(victim, tenant);
+            let set = self.l2_config.set_of_line(tagged) as usize;
+            self.l2_evictions_by_set[set * self.l1s.len() + victim] += 1;
+            if self.l1s[victim].invalidate(victim_line) {
+                self.back_invalidations[victim] += 1;
+            }
+        }
+        Level::Memory
+    }
+
+    /// Verify inclusion by brute force: every valid L1 way probes the L2.
+    pub fn check_inclusion(&self) -> Result<(), (usize, u64)> {
+        for (t, l1) in self.l1s.iter().enumerate() {
+            for set in &l1.sets {
+                for way in set {
+                    if way.valid && !self.l2.probe(way.tag) {
+                        return Err((t, way.tag));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Consume the simulator into its result record.
+    pub fn into_result(self) -> NwayTwoLevelResult {
+        NwayTwoLevelResult {
+            per_tenant: self.stats,
+            l2_evictions: self.l2_evictions,
+            l2_evictions_by_set: self.l2_evictions_by_set,
+            back_invalidations: self.back_invalidations,
+        }
+    }
+}
+
+/// Replay N streams through the reference two-level hierarchy.
+pub fn simulate_nway_shared_l2(
+    streams: &[&[u64]],
+    l1: CacheConfig,
+    l2: CacheConfig,
+) -> NwayTwoLevelResult {
+    let mut sim = NaiveNwaySharedL2::new(streams.len(), l1, l2);
+    for (tenant, line) in naive_interleave(streams) {
+        sim.access(tenant, line);
+    }
+    sim.into_result()
+}

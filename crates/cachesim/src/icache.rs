@@ -92,6 +92,67 @@ impl SetAssocCache {
         hit
     }
 
+    /// [`SetAssocCache::access`] that additionally reports the line a miss
+    /// displaced, if any: `(hit, evicted)`. `evicted` is `Some(victim)`
+    /// only when a *valid* resident line was evicted (cold fills into
+    /// invalid ways report `None`). The shared-cache co-run simulators use
+    /// this to attribute evictions to the tenant that caused them; the hit
+    /// path, victim choice, and statistics are identical to `access` (the
+    /// differential oracle in `corun::naive` pins this).
+    pub fn access_reporting(&mut self, line: u64) -> (bool, Option<u64>) {
+        self.clock += 1;
+        let set = self.config.set_of_line(line) as usize;
+        let assoc = self.config.associativity as usize;
+        let start = set * assoc;
+        let tags = &mut self.tags[start..start + assoc];
+        let stamps = &mut self.stamps[start..start + assoc];
+        let mut victim = 0usize;
+        let mut victim_stamp = u64::MAX;
+        for i in 0..assoc {
+            let s = stamps[i];
+            if s != 0 && tags[i] == line {
+                stamps[i] = self.clock;
+                self.stats.record(true);
+                return (true, None);
+            }
+            if s < victim_stamp {
+                victim_stamp = s;
+                victim = i;
+            }
+        }
+        let evicted = (victim_stamp != 0).then_some(tags[victim]);
+        tags[victim] = line;
+        stamps[victim] = self.clock;
+        self.stats.record(false);
+        self.misses_by_set[set] += 1;
+        (false, evicted)
+    }
+
+    /// Drop a line if resident; returns `true` when something was
+    /// invalidated. Does not touch statistics. Models the back-invalidation
+    /// an inclusive outer level sends to the private caches above it.
+    pub fn invalidate(&mut self, line: u64) -> bool {
+        let (start, assoc) = self.set_range(line);
+        for i in start..start + assoc {
+            if self.stamps[i] != 0 && self.tags[i] == line {
+                self.stamps[i] = 0;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Every currently resident line, in no particular order. Test and
+    /// invariant-checking surface (the inclusion checks iterate the private
+    /// L1s and probe the shared L2).
+    pub fn resident_lines(&self) -> impl Iterator<Item = u64> + '_ {
+        self.stamps
+            .iter()
+            .zip(self.tags.iter())
+            .filter(|(&s, _)| s != 0)
+            .map(|(_, &t)| t)
+    }
+
     /// Install or refresh a line *without* recording statistics. Used by
     /// the prefetcher, whose speculative fills must not count as demand
     /// accesses.
@@ -264,6 +325,54 @@ mod tests {
         let mut c = tiny();
         c.install(0);
         assert_eq!(c.misses_by_set().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn access_reporting_matches_access_and_reports_victims() {
+        let mut plain = tiny();
+        let mut reporting = tiny();
+        // Set 0 holds lines {0, 2, 4, ...}: force evictions and compare.
+        let stream = [0u64, 2, 0, 4, 2, 0, 4, 1, 3, 1];
+        for &l in &stream {
+            let hit = plain.access(l);
+            let (rhit, _) = reporting.access_reporting(l);
+            assert_eq!(hit, rhit, "line {}", l);
+        }
+        assert_eq!(plain.stats(), reporting.stats());
+        assert_eq!(plain.misses_by_set(), reporting.misses_by_set());
+        // Cold fill reports no victim; a conflict eviction reports the LRU line.
+        let mut c = tiny();
+        assert_eq!(c.access_reporting(0), (false, None));
+        assert_eq!(c.access_reporting(2), (false, None));
+        assert_eq!(c.access_reporting(4), (false, Some(0)), "0 is LRU");
+        assert_eq!(c.access_reporting(2), (true, None));
+    }
+
+    #[test]
+    fn invalidate_drops_resident_line() {
+        let mut c = tiny();
+        c.access(0);
+        c.access(2);
+        assert!(c.invalidate(0));
+        assert!(!c.probe(0));
+        assert!(c.probe(2));
+        assert!(!c.invalidate(0), "already gone");
+        // Invalidation left a free way: filling does not evict line 2.
+        assert_eq!(c.access_reporting(4), (false, None));
+        assert!(c.probe(2));
+    }
+
+    #[test]
+    fn resident_lines_enumerates_contents() {
+        let mut c = tiny();
+        for l in [0u64, 1, 2] {
+            c.access(l);
+        }
+        let mut lines: Vec<u64> = c.resident_lines().collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec![0, 1, 2]);
+        c.invalidate(1);
+        assert_eq!(c.resident_lines().count(), 2);
     }
 
     #[test]

@@ -30,11 +30,13 @@ pub mod timing;
 
 pub use config::{CacheConfig, CacheStats};
 pub use corun::{
-    interleave_round_robin, interleave_round_robin_iter, simulate_corun_lines, simulate_corun_many,
-    simulate_solo_lines, tag_line, CorunCacheResult,
+    interleave_many_iter, interleave_round_robin, interleave_round_robin_iter,
+    simulate_corun_lines, simulate_corun_many, simulate_corun_nway, simulate_solo_lines, tag_line,
+    tenant_of_line, CorunCacheResult, EvictionMatrix, NwayCorunResult, MAX_TENANTS,
 };
 pub use icache::SetAssocCache;
-pub use model::{CompositionModel, InterferenceReport};
+pub use model::{CompositionModel, InterferenceReport, NwayInterferenceReport, PeerFootprintDist};
+pub use multilevel::{simulate_nway_shared_l2, LevelStats, NwaySharedL2, NwayTwoLevelResult};
 pub use occupancy::OccupancyMap;
 pub use policy::{simulate_with_policy, PolicyCache, ReplacementPolicy};
 pub use prefetch::NextLinePrefetchCache;
@@ -44,11 +46,15 @@ pub use timing::{SmtSimulator, ThreadOutcome, TimedRun, TimingConfig};
 pub mod prelude {
     pub use crate::config::{CacheConfig, CacheStats};
     pub use crate::corun::{
-        interleave_round_robin, interleave_round_robin_iter, simulate_corun_lines,
-        simulate_corun_many, simulate_solo_lines, tag_line, CorunCacheResult,
+        interleave_many_iter, interleave_round_robin, interleave_round_robin_iter,
+        simulate_corun_lines, simulate_corun_many, simulate_corun_nway, simulate_solo_lines,
+        tag_line, tenant_of_line, CorunCacheResult, EvictionMatrix, NwayCorunResult,
     };
     pub use crate::icache::SetAssocCache;
-    pub use crate::model::{CompositionModel, InterferenceReport};
+    pub use crate::model::{CompositionModel, InterferenceReport, NwayInterferenceReport};
+    pub use crate::multilevel::{
+        simulate_nway_shared_l2, LevelStats, NwaySharedL2, NwayTwoLevelResult,
+    };
     pub use crate::prefetch::NextLinePrefetchCache;
     pub use crate::timing::{SmtSimulator, ThreadOutcome, TimedRun, TimingConfig};
 }

@@ -8,8 +8,9 @@
 //! the timed HwLike model).
 
 use clop_cachesim::{
-    simulate_corun_lines, simulate_solo_lines, CacheConfig, CacheStats, CorunCacheResult,
-    SmtSimulator, ThreadOutcome, TimedRun, TimingConfig,
+    simulate_corun_lines, simulate_corun_nway, simulate_nway_shared_l2, simulate_solo_lines,
+    CacheConfig, CacheStats, CorunCacheResult, NwayCorunResult, NwayTwoLevelResult, SmtSimulator,
+    ThreadOutcome, TimedRun, TimingConfig,
 };
 use clop_ir::{ExecConfig, ExecOutcome, Interpreter, Layout, LinkOptions, LinkedImage, Module};
 
@@ -123,6 +124,31 @@ impl ProgramRun {
         simulate_corun_lines(&self.lines(), &peer.lines(), self.cache)
     }
 
+    /// N-way co-run on the pure-simulation channel: `self` is tenant 0,
+    /// the peers tenants 1..=N, all sharing one cache with round-robin
+    /// interleave and full eviction attribution.
+    pub fn corun_sim_nway(&self, peers: &[&ProgramRun]) -> NwayCorunResult {
+        let own = self.lines();
+        let peer_lines: Vec<Vec<u64>> = peers.iter().map(|p| p.lines()).collect();
+        let mut streams: Vec<&[u64]> = vec![&own];
+        streams.extend(peer_lines.iter().map(|l| l.as_slice()));
+        simulate_corun_nway(&streams, self.cache)
+    }
+
+    /// N-way co-run through private L1s (this run's geometry) over a
+    /// shared inclusive L2; `self` is tenant 0.
+    pub fn corun_sim_shared_l2(
+        &self,
+        peers: &[&ProgramRun],
+        l2: CacheConfig,
+    ) -> NwayTwoLevelResult {
+        let own = self.lines();
+        let peer_lines: Vec<Vec<u64>> = peers.iter().map(|p| p.lines()).collect();
+        let mut streams: Vec<&[u64]> = vec![&own];
+        streams.extend(peer_lines.iter().map(|l| l.as_slice()));
+        simulate_nway_shared_l2(&streams, self.cache, l2)
+    }
+
     /// Solo timed run on the HwLike channel (prefetching cache + timing).
     pub fn solo_timed(&self, timing: TimingConfig) -> TimedRun {
         SmtSimulator::new(timing).run_solo(&self.stream)
@@ -224,5 +250,38 @@ mod tests {
         assert_eq!(sim.per_thread[0].accesses, sim.per_thread[1].accesses);
         let timed = a.corun_timed(&a, TimingConfig::default());
         assert!(timed[0].finish_cycles > 0.0 && timed[1].finish_cycles > 0.0);
+    }
+
+    #[test]
+    fn nway_corun_matches_pair_path_at_two() {
+        let m = spread_out_module();
+        let cfg = EvalConfig::default();
+        let a = ProgramRun::evaluate(&m, &Layout::original(&m), &cfg);
+        let pair = a.corun_sim(&a);
+        let nway = a.corun_sim_nway(&[&a]);
+        assert_eq!(nway.per_tenant[0], pair.per_thread[0]);
+        assert_eq!(nway.per_tenant[1], pair.per_thread[1]);
+        // Wider co-runs never improve tenant 0's miss ratio.
+        let wide = a.corun_sim_nway(&[&a, &a, &a]);
+        assert!(
+            wide.per_tenant[0].miss_ratio() >= nway.per_tenant[0].miss_ratio() - 1e-12,
+            "4-way {} vs 2-way {}",
+            wide.per_tenant[0].miss_ratio(),
+            nway.per_tenant[0].miss_ratio()
+        );
+    }
+
+    #[test]
+    fn shared_l2_corun_reports_all_tenants() {
+        let m = spread_out_module();
+        let cfg = EvalConfig::default();
+        let a = ProgramRun::evaluate(&m, &Layout::original(&m), &cfg);
+        let l2 = CacheConfig::new(256 * 1024, 8, 64);
+        let r = a.corun_sim_shared_l2(&[&a, &a], l2);
+        assert_eq!(r.per_tenant.len(), 3);
+        for t in &r.per_tenant {
+            assert_eq!(t.accesses, a.stream.len() as u64);
+            assert!(t.l2_misses <= t.l1_misses);
+        }
     }
 }

@@ -63,6 +63,10 @@ pub struct OptimizationReport {
     /// a peer (how robust the new layout is to interference), from the
     /// composition model.
     pub defensiveness_gain: f64,
+    /// The same gain under N-way sharing: `(peers, gain)` with 3, 7 and 15
+    /// baseline-clone adversaries (4-, 8- and 16-tenant caches), from the
+    /// N-peer convolved composition model.
+    pub nway_defensiveness: Vec<(usize, f64)>,
 }
 
 impl OptimizationReport {
@@ -100,6 +104,20 @@ impl OptimizationReport {
         let d_base = clop_cachesim::model::defensiveness(&base_model, &base_model, capacity);
         let d_opt = clop_cachesim::model::defensiveness(&opt_model, &base_model, capacity);
 
+        // N-way defensiveness gains against 3/7/15 baseline clones — does
+        // the layout's robustness survive wider sharing?
+        let nway_defensiveness = [3usize, 7, 15]
+            .iter()
+            .map(|&n| {
+                let peers: Vec<&CompositionModel> = (0..n).map(|_| &base_model).collect();
+                let d_base_n =
+                    clop_cachesim::model::defensiveness_many(&base_model, &peers, capacity);
+                let d_opt_n =
+                    clop_cachesim::model::defensiveness_many(&opt_model, &peers, capacity);
+                (n, d_opt_n - d_base_n)
+            })
+            .collect();
+
         OptimizationReport {
             program: module.name.clone(),
             optimizer: optimized.name.clone(),
@@ -107,6 +125,7 @@ impl OptimizationReport {
             optimized: o,
             miss_reduction,
             defensiveness_gain: d_opt - d_base,
+            nway_defensiveness,
         }
     }
 }
@@ -156,7 +175,15 @@ impl fmt::Display for OptimizationReport {
             "  miss reduction {:+.1}%; defensiveness gain {:+.3}",
             100.0 * self.miss_reduction,
             self.defensiveness_gain
-        )
+        )?;
+        if !self.nway_defensiveness.is_empty() {
+            write!(f, "  n-way defensiveness gain")?;
+            for &(n, gain) in &self.nway_defensiveness {
+                write!(f, "  {} peers {:+.3}", n, gain)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
     }
 }
 
@@ -209,6 +236,12 @@ mod tests {
         assert!((r.miss_reduction - expect).abs() < 1e-12);
         // Image sizes are identical for function reordering.
         assert_eq!(r.baseline.image_bytes, r.optimized.image_bytes);
+        // N-way scores cover the advertised widths and are finite.
+        let widths: Vec<usize> = r.nway_defensiveness.iter().map(|&(n, _)| n).collect();
+        assert_eq!(widths, vec![3, 7, 15]);
+        for &(_, gain) in &r.nway_defensiveness {
+            assert!(gain.is_finite());
+        }
     }
 
     #[test]
@@ -238,6 +271,7 @@ mod tests {
             "peak set demand",
             "image size",
             "miss reduction",
+            "n-way defensiveness gain",
         ] {
             assert!(text.contains(needle), "missing `{}` in:\n{}", needle, text);
         }
