@@ -30,6 +30,11 @@ CLOP_BENCH_QUICK=1 CLOP_BENCH_JSON="$out2" cargo bench -p clop-bench
 # the aggregate footprint; an O(N)-per-access regression would measure
 # ~4× at width 8 and fail). Both sides of each guard come from the
 # same runs, so the checks are independent of absolute machine speed.
+# The serve/ingest guard proves the client session layer (deadlines,
+# backoff, idempotent-resend bookkeeping) costs at most 5% over a bare
+# socket on fault-free ingest — robustness must be free when nothing
+# fails. Both rows round-trip the same shards to the same daemon in the
+# same run.
 cargo run -q --release -p clop-bench --bin bench_gate -- \
   --guard affinity/sharded/200000/jobs2 affinity/sharded/200000/jobs1 1.25 \
   --guard affinity/sharded/200000/jobs8 affinity/sharded/200000/jobs1 1.25 \
@@ -37,4 +42,5 @@ cargo run -q --release -p clop-bench --bin bench_gate -- \
   --guard trg/build_sharded/200000/jobs8 trg/build_sharded/200000/jobs1 1.25 \
   --guard corun/nway/4 corun/nway/2 1.40 \
   --guard corun/nway/8 corun/nway/2 1.80 \
+  --guard serve/ingest/session serve/ingest/raw 1.05 \
   BENCH_baseline.json "$out1" "$out2"

@@ -1,0 +1,258 @@
+#!/usr/bin/env bash
+# Chaos soak for the clop-serve daemon: network faults, kill -9, torn
+# checkpoints, and state GC — correctness must survive all of them.
+#
+# Phase 1 — chaos-proxied streaming under >=3 seeded fault schedules:
+# every shard is delivered through `clop-serve chaos-proxy` (seeded
+# delays, short reads, torn writes, mid-frame disconnects, duplicated
+# delivery) with the daemon in durable-ack mode; mid-stream the daemon is
+# SIGKILLed. Because `+OK` is only sent after fold+checkpoint, every
+# acked shard must still be present after resume; re-streaming the full
+# shard set (idempotent) must converge to layouts byte-identical to the
+# offline batch goldens.
+#
+# Phase 2 — torn-checkpoint injection: the newest `.state` file is
+# truncated behind the daemon's back; the restart must quarantine it,
+# fall back to the rotated `.state.prev` generation, report both in
+# STATS, and still converge after a re-stream.
+#
+# Phase 3 — versioned-state GC: with CLOP_SERVE_MAX_VERSIONS=2, streaming
+# three versions must evict exactly the least-recently-ingested one,
+# never the active one, and the survivors must still answer golden.
+#
+# Usage: ci/chaos_smoke.sh [path-to-clop-serve]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=${1:-target/release/clop-serve}
+if [[ ! -x "$BIN" ]]; then
+    echo "building clop-serve (release)..."
+    cargo build --release -p clop-serve --bin clop-serve
+fi
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/clop-chaos-smoke.XXXXXX")
+PID=""
+PROXY_PID=""
+SEND_PID=""
+cleanup() {
+    for p in "$PID" "$PROXY_PID" "$SEND_PID"; do
+        [[ -n "$p" ]] && kill -9 "$p" 2>/dev/null || true
+    done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+start_daemon() {
+    local log=$1
+    rm -f "$WORK/port"
+    "$BIN" serve >"$WORK/$log.out" 2>"$WORK/$log.err" &
+    PID=$!
+    for _ in $(seq 1 200); do
+        [[ -s "$WORK/port" ]] && return 0
+        if ! kill -0 "$PID" 2>/dev/null; then
+            echo "FAIL: daemon exited during startup; see $WORK/$log.err" >&2
+            cat "$WORK/$log.err" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    echo "FAIL: daemon never wrote its port file" >&2
+    exit 1
+}
+
+start_proxy() {
+    local seed=$1 schedule=$2 log=$3
+    rm -f "$WORK/pport"
+    "$BIN" chaos-proxy "$WORK/port" "$seed" "$schedule" "$WORK/pport" \
+        >"$WORK/$log.out" 2>"$WORK/$log.err" &
+    PROXY_PID=$!
+    for _ in $(seq 1 100); do
+        [[ -s "$WORK/pport" ]] && return 0
+        sleep 0.05
+    done
+    echo "FAIL: chaos proxy never wrote its port file" >&2
+    exit 1
+}
+
+stop_proxy() {
+    [[ -n "$PROXY_PID" ]] && kill -9 "$PROXY_PID" 2>/dev/null || true
+    wait "$PROXY_PID" 2>/dev/null || true
+    PROXY_PID=""
+}
+
+stat_value() {
+    "$BIN" stats "$WORK/port" | awk -v k="$1" '$1 == k { print $2 }'
+}
+
+absorbed() {
+    "$BIN" epoch "$WORK/port" "$1" 2>/dev/null | awk '{ print $3 }'
+}
+
+check_goldens() {
+    local version=$1
+    for p in function-affinity function-trg; do
+        "$BIN" query "$WORK/port" "$version" "$p" >"$WORK/served-$p.txt"
+        if ! diff -q "$WORK/golden-$p.txt" "$WORK/served-$p.txt" >/dev/null; then
+            echo "FAIL: served $p layout for $version differs from the batch golden" >&2
+            diff "$WORK/golden-$p.txt" "$WORK/served-$p.txt" | head -20 >&2
+            exit 1
+        fi
+    done
+}
+
+echo "== offline artifacts: trace, shards, batch goldens =="
+"$BIN" gen "$WORK/trace.cltc" 50000 350 13
+CLOP_SERVE_SPLIT_PIECES=8 "$BIN" split "$WORK/trace.cltc" "$WORK/shards"
+SHARDS=("$WORK"/shards/shard-*.clsh)
+NSHARDS=${#SHARDS[@]}
+for p in function-affinity function-trg; do
+    "$BIN" batch-order "$WORK/trace.cltc" "$p" >"$WORK/golden-$p.txt"
+done
+
+export CLOP_SERVE_LISTEN=127.0.0.1:0
+export CLOP_SERVE_PORT_FILE="$WORK/port"
+# Client session: tight deadlines, generous attempts — chaotic schedules
+# can kill several consecutive connections.
+export CLOP_SERVE_CONNECT_TIMEOUT_MS=2000
+export CLOP_SERVE_OP_TIMEOUT_MS=5000
+export CLOP_SERVE_MAX_ATTEMPTS=40
+export CLOP_SERVE_BACKOFF_BASE_MS=2
+export CLOP_SERVE_BACKOFF_CAP_MS=50
+
+echo "== phase 1: durable-ack streaming through seeded fault schedules =="
+export CLOP_SERVE_DURABLE_ACK=1
+export CLOP_SERVE_CHECKPOINT_DIR="$WORK/ckpt"
+export CLOP_SERVE_FOLD_DELAY_MS=25
+
+SCHEDULES=(
+    "101 disc=0.08,delay=0.05:3"
+    "202 short=0.5,disc=0.03"
+    "303 chaotic"
+)
+round=0
+for entry in "${SCHEDULES[@]}"; do
+    seed=${entry%% *}
+    schedule=${entry#* }
+    round=$((round + 1))
+    version="cv$round"
+    rm -rf "$WORK/ckpt"
+    export CLOP_SERVE_JITTER_SEED="$seed"
+
+    start_daemon "chaos$round-a"
+    start_proxy "$seed" "$schedule" "proxy$round-a"
+
+    # Stream every shard through the faulty proxy in the background, and
+    # SIGKILL the daemon once at least 3 folds have been durably acked.
+    "$BIN" send "$WORK/pport" "$version" "${SHARDS[@]}" \
+        >"$WORK/send$round.out" 2>&1 &
+    SEND_PID=$!
+    for _ in $(seq 1 400); do
+        a=$(absorbed "$version" || true)
+        [[ -n "$a" && "$a" -ge 3 ]] && break
+        sleep 0.05
+    done
+    a=$(absorbed "$version" || echo 0)
+    if [[ -z "$a" || "$a" -lt 3 ]]; then
+        echo "FAIL: schedule '$schedule' never reached 3 durable folds" >&2
+        exit 1
+    fi
+    kill -9 "$PID" 2>/dev/null
+    wait "$PID" 2>/dev/null || true
+    PID=""
+    kill -9 "$SEND_PID" 2>/dev/null || true
+    wait "$SEND_PID" 2>/dev/null || true
+    SEND_PID=""
+    stop_proxy
+    echo "schedule '$schedule': killed daemon after $a durable folds"
+
+    # Resume: every +OK-acked shard was checkpointed before its ack, so
+    # the resumed fold must hold at least the folds observed above.
+    start_daemon "chaos$round-b"
+    resumed=$(absorbed "$version")
+    if [[ "$resumed" -lt "$a" ]]; then
+        echo "FAIL: resume lost acked shards ($resumed < $a) under '$schedule'" >&2
+        exit 1
+    fi
+    # Re-stream the full set through a fresh faulty proxy (idempotent:
+    # survivors dedup) and require byte-identical convergence.
+    start_proxy "$((seed + 7))" "$schedule" "proxy$round-b"
+    "$BIN" send "$WORK/pport" "$version" "${SHARDS[@]}" 2>>"$WORK/send$round.out"
+    stop_proxy
+    "$BIN" sync "$WORK/port" >/dev/null
+    final=$(absorbed "$version")
+    if [[ "$final" -ne "$NSHARDS" ]]; then
+        echo "FAIL: fold holds $final shards, expected $NSHARDS ('$schedule')" >&2
+        exit 1
+    fi
+    check_goldens "$version"
+    "$BIN" stop "$WORK/port" >/dev/null
+    wait "$PID" 2>/dev/null || true
+    PID=""
+    echo "schedule '$schedule': resumed $resumed acked folds, converged to goldens"
+done
+unset CLOP_SERVE_JITTER_SEED
+
+echo "== phase 2: torn checkpoint is quarantined, .prev generation serves =="
+# The last round left a complete checkpoint set for cv3. Tear the newest
+# state file (as an interrupted writer without atomic rename would) and
+# restart: resume must quarantine it and fall back to .state.prev.
+if [[ ! -f "$WORK/ckpt/cv3.state.prev" ]]; then
+    echo "FAIL: no rotated .state.prev generation to fall back to" >&2
+    exit 1
+fi
+SIZE=$(wc -c <"$WORK/ckpt/cv3.state")
+head -c $((SIZE / 3)) "$WORK/ckpt/cv3.state" >"$WORK/torn" && mv "$WORK/torn" "$WORK/ckpt/cv3.state"
+start_daemon phase2
+QUAR=$(stat_value resume_quarantined)
+FELL=$(stat_value resume_fallbacks)
+if [[ "$QUAR" -lt 1 || "$FELL" -lt 1 ]]; then
+    echo "FAIL: torn checkpoint not quarantined (quarantined=$QUAR fallbacks=$FELL)" >&2
+    exit 1
+fi
+ls "$WORK/ckpt"/*.quarantined >/dev/null 2>&1 || {
+    echo "FAIL: quarantined checkpoint evidence file missing" >&2
+    exit 1
+}
+# Re-stream (no proxy needed here) and require golden convergence.
+"$BIN" send "$WORK/port" cv3 "${SHARDS[@]}" 2>/dev/null
+"$BIN" sync "$WORK/port" >/dev/null
+check_goldens cv3
+"$BIN" stop "$WORK/port" >/dev/null
+wait "$PID" 2>/dev/null || true
+PID=""
+echo "torn checkpoint quarantined (quarantined=$QUAR fallbacks=$FELL), .prev served"
+
+echo "== phase 3: versioned-state GC under CLOP_SERVE_MAX_VERSIONS=2 =="
+unset CLOP_SERVE_DURABLE_ACK CLOP_SERVE_FOLD_DELAY_MS
+rm -rf "$WORK/ckpt"
+export CLOP_SERVE_MAX_VERSIONS=2
+start_daemon phase3
+for v in g1 g2 g3; do
+    "$BIN" send "$WORK/port" "$v" "${SHARDS[@]}" 2>/dev/null
+    "$BIN" sync "$WORK/port" >/dev/null
+done
+EVICTED=$(stat_value evicted_versions)
+if [[ "$EVICTED" -ne 1 ]]; then
+    echo "FAIL: expected exactly 1 eviction with 3 versions and a bound of 2, got $EVICTED" >&2
+    exit 1
+fi
+if ls "$WORK/ckpt"/g1.* >/dev/null 2>&1; then
+    echo "FAIL: evicted version g1 left checkpoint files behind" >&2
+    exit 1
+fi
+G1=$(absorbed g1)
+if [[ "$G1" -ne 0 ]]; then
+    echo "FAIL: evicted version g1 still holds $G1 shards" >&2
+    exit 1
+fi
+check_goldens g3
+check_goldens g2
+"$BIN" stop "$WORK/port" >/dev/null
+wait "$PID" 2>/dev/null || true
+PID=""
+echo "GC evicted exactly the LRU version; survivors answer golden"
+
+echo "PASS: chaos smoke — $NSHARDS shards converged under ${#SCHEDULES[@]}" \
+     "fault schedules with mid-stream SIGKILL, torn checkpoints quarantined" \
+     "with .prev fallback, and GC bounded versions without touching the" \
+     "active fold"

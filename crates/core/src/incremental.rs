@@ -326,6 +326,17 @@ impl IncrementalStore {
             .collect()
     }
 
+    /// Drop every state registered under `version` (any parameters) —
+    /// the GC eviction path. Returns the number of states removed.
+    /// Queries for the version afterwards see a fresh empty fold;
+    /// re-streaming the version's shards rebuilds it.
+    pub fn remove_version(&self, version: &str) -> usize {
+        let mut map = lock(&self.versions);
+        let before = map.len();
+        map.retain(|(v, _), _| v != version);
+        before - map.len()
+    }
+
     /// Distinct version names with registered state, sorted.
     pub fn versions(&self) -> Vec<String> {
         let mut names: Vec<String> = lock(&self.versions)
@@ -511,6 +522,27 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &d));
         assert_eq!(store.versions(), vec!["v1".to_string(), "v2".to_string()]);
         assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn remove_version_drops_every_parameterization() {
+        let store = IncrementalStore::new();
+        store.state("v1", params());
+        let other = AnalysisParams {
+            trg: TrgConfig {
+                window: 32,
+                slots: 4,
+            },
+            ..params()
+        };
+        store.state("v1", other);
+        store.state("v2", params());
+        assert_eq!(store.remove_version("v1"), 2);
+        assert_eq!(store.versions(), vec!["v2".to_string()]);
+        assert_eq!(store.remove_version("v1"), 0, "idempotent");
+        // A later query starts a fresh empty fold, not a stale one.
+        let arc = store.state("v1", params());
+        assert_eq!(arc.lock().unwrap().shards_absorbed(), 0);
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! The `clop-serve` binary: the daemon plus the client-side subcommands
-//! used by `ci/serve_smoke.sh`.
+//! used by `ci/serve_smoke.sh` and `ci/chaos_smoke.sh`.
 //!
 //! ```text
 //! clop-serve serve                          run the daemon (CLOP_SERVE_* env)
@@ -8,19 +8,36 @@
 //! clop-serve batch-order <in.cltc> <pipeline>
 //! clop-serve send <addr> <version> <file...>
 //! clop-serve query <addr> <version> <pipeline>
-//! clop-serve sync|stats|stop <addr>
+//! clop-serve sync|stats|stop|health <addr>
 //! clop-serve epoch <addr> <version>
+//! clop-serve chaos-proxy <addr> <seed> <schedule> [port-file]
 //! ```
 //!
 //! `<addr>` is `host:port`, or a path to the port file the daemon wrote
 //! (`CLOP_SERVE_PORT_FILE`). `gen`/`split`/`batch-order` read the same
 //! `CLOP_SERVE_W_MAX`/`TRG_WINDOW`/... variables as the daemon so the
 //! client-side artifacts and the served fold agree on parameters.
+//!
+//! Every networked subcommand runs through the retrying [`Session`]
+//! layer (`clop_serve::session`): per-operation deadlines, capped
+//! exponential backoff with deterministic jitter
+//! (`CLOP_SERVE_JITTER_SEED`), `-RETRY` honoring, and idempotent resend
+//! across reconnects — so the CLI survives the faults that
+//! `chaos-proxy` injects.
+//!
+//! `chaos-proxy` interposes a seeded fault-injecting proxy in front of a
+//! running daemon: `<schedule>` is `quiet`, `chaotic`, or a
+//! `delay=<p>:<max_ms>,short=<p>,dup=<p>,disc=<p>` spec
+//! (`clop_util::faultnet::FaultSpec::parse`). The optional `[port-file]`
+//! receives the proxy's own `host:port`, mirroring the daemon's
+//! `CLOP_SERVE_PORT_FILE` handshake.
 
+use clop_serve::chaos::ChaosProxy;
+use clop_serve::session::{Session, SessionConfig};
 use clop_serve::{ServeConfig, Server};
 use clop_trace::{read_trace, split_shards, write_trace, Trace, TrimmedTrace};
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use clop_util::faultnet::FaultSpec;
+use std::net::SocketAddr;
 use std::path::Path;
 use std::time::Duration;
 
@@ -41,15 +58,21 @@ fn run(args: &[&str]) -> Result<(), String> {
         ["batch-order", input, pipeline] => cmd_batch_order(input, pipeline),
         ["send", addr, version, files @ ..] if !files.is_empty() => cmd_send(addr, version, files),
         ["query", addr, version, pipeline] => cmd_query(addr, version, pipeline),
-        ["sync", addr] => expect_ok(addr, "SYNC", "+SYNCED"),
+        ["sync", addr] => cmd_simple(addr, "SYNC", "+SYNCED"),
         ["stats", addr] => cmd_stats(addr),
-        ["stop", addr] => expect_ok(addr, "STOP", "+"),
+        ["stop", addr] => cmd_simple(addr, "STOP", "+"),
+        ["health", addr] => cmd_health(addr),
         ["epoch", addr, version] => cmd_epoch(addr, version),
+        ["chaos-proxy", addr, seed, schedule] => cmd_chaos_proxy(addr, seed, schedule, None),
+        ["chaos-proxy", addr, seed, schedule, port_file] => {
+            cmd_chaos_proxy(addr, seed, schedule, Some(port_file))
+        }
         _ => Err(concat!(
             "usage: clop-serve serve | gen <out> <len> <blocks> <seed> | ",
             "split <in> <outdir> | batch-order <in> <pipeline> | ",
             "send <addr> <version> <file...> | query <addr> <version> <pipeline> | ",
-            "sync|stats|stop <addr> | epoch <addr> <version>"
+            "sync|stats|stop|health <addr> | epoch <addr> <version> | ",
+            "chaos-proxy <addr> <seed> <schedule> [port-file]"
         )
         .to_string()),
     }
@@ -129,44 +152,6 @@ fn cmd_batch_order(input: &str, pipeline: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// A line-buffered protocol connection.
-struct Conn {
-    reader: BufReader<TcpStream>,
-    out: TcpStream,
-}
-
-impl Conn {
-    fn open(addr: &str) -> Result<Conn, String> {
-        let resolved = resolve_addr(addr)?;
-        let stream =
-            TcpStream::connect(&resolved).map_err(|e| format!("connect {}: {}", resolved, e))?;
-        let _ = stream.set_nodelay(true);
-        let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
-        Ok(Conn {
-            reader,
-            out: stream,
-        })
-    }
-
-    fn send(&mut self, line: &str) -> Result<(), String> {
-        self.out
-            .write_all(format!("{}\n", line).as_bytes())
-            .map_err(|e| e.to_string())
-    }
-
-    fn line(&mut self) -> Result<String, String> {
-        let mut line = String::new();
-        let n = self
-            .reader
-            .read_line(&mut line)
-            .map_err(|e| e.to_string())?;
-        if n == 0 {
-            return Err("server closed the connection".to_string());
-        }
-        Ok(line.trim_end().to_string())
-    }
-}
-
 /// `host:port`, or a path to a file containing one.
 fn resolve_addr(addr: &str) -> Result<String, String> {
     if addr.contains(':') && !Path::new(addr).exists() {
@@ -181,46 +166,42 @@ fn resolve_addr(addr: &str) -> Result<String, String> {
     Ok(trimmed.to_string())
 }
 
+/// A retrying session to `addr`, configured from the environment
+/// (including `-RETRY` honoring bounded by `CLOP_SERVE_RETRY_BUDGET_MS`).
+fn open_session(addr: &str) -> Result<Session, String> {
+    let resolved = resolve_addr(addr)?;
+    Session::new(resolved.as_str(), SessionConfig::from_env())
+        .map_err(|e| format!("resolve {}: {}", resolved, e))
+}
+
 fn cmd_send(addr: &str, version: &str, files: &[&str]) -> Result<(), String> {
-    let mut conn = Conn::open(addr)?;
+    let mut session = open_session(addr)?;
     let mut sent = 0usize;
     for file in files {
         let bytes = std::fs::read(file).map_err(|e| format!("read {}: {}", file, e))?;
-        loop {
-            conn.send(&format!("SHARD {} {}", version, bytes.len()))?;
-            conn.out.write_all(&bytes).map_err(|e| e.to_string())?;
-            let resp = conn.line()?;
-            if let Some(ms) = resp.strip_prefix("-RETRY ") {
-                let ms: u64 = ms.parse().unwrap_or(50);
-                std::thread::sleep(Duration::from_millis(ms));
-                continue;
-            }
-            if resp.starts_with("+OK") {
-                sent += 1;
-                break;
-            }
-            return Err(format!("{}: {}", file, resp));
-        }
+        session
+            .send_shard(version, &bytes)
+            .map_err(|e| format!("{}: {}", file, e))?;
+        sent += 1;
     }
-    eprintln!("sent {} shards for version {}", sent, version);
+    eprintln!(
+        "sent {} shards for version {} ({} transport retries, {} backpressure waits)",
+        sent,
+        version,
+        session.retries(),
+        session.backpressure_waits()
+    );
     Ok(())
 }
 
 fn cmd_query(addr: &str, version: &str, pipeline: &str) -> Result<(), String> {
-    let mut conn = Conn::open(addr)?;
-    conn.send(&format!("QUERY {} {}", version, pipeline))?;
-    let head = conn.line()?;
-    let rest = head
-        .strip_prefix("+ORDER ")
-        .ok_or_else(|| format!("query failed: {}", head))?;
-    let n: usize = rest
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| format!("malformed response: {}", head))?;
-    let mut body = String::with_capacity(n * 4);
-    for _ in 0..n {
-        body.push_str(&conn.line()?);
+    let mut session = open_session(addr)?;
+    let order = session
+        .query(version, pipeline)
+        .map_err(|e| e.to_string())?;
+    let mut body = String::with_capacity(order.len() * 4);
+    for id in order {
+        body.push_str(&id.to_string());
         body.push('\n');
     }
     print!("{}", body);
@@ -228,23 +209,25 @@ fn cmd_query(addr: &str, version: &str, pipeline: &str) -> Result<(), String> {
 }
 
 fn cmd_stats(addr: &str) -> Result<(), String> {
-    let mut conn = Conn::open(addr)?;
-    conn.send("STATS")?;
-    let head = conn.line()?;
-    let k: usize = head
-        .strip_prefix("+STATS ")
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| format!("stats failed: {}", head))?;
-    for _ in 0..k {
-        println!("{}", conn.line()?);
+    let mut session = open_session(addr)?;
+    for (name, value) in session.stats().map_err(|e| e.to_string())? {
+        println!("{} {}", name, value);
     }
     Ok(())
 }
 
+fn cmd_health(addr: &str) -> Result<(), String> {
+    let mut session = open_session(addr)?;
+    let (state, depth, cap) = session.health().map_err(|e| e.to_string())?;
+    println!("{} {} {}", state, depth, cap);
+    Ok(())
+}
+
 fn cmd_epoch(addr: &str, version: &str) -> Result<(), String> {
-    let mut conn = Conn::open(addr)?;
-    conn.send(&format!("EPOCH {}", version))?;
-    let resp = conn.line()?;
+    let mut session = open_session(addr)?;
+    let resp = session
+        .command(&format!("EPOCH {}", version))
+        .map_err(|e| e.to_string())?;
     if resp.starts_with("+EPOCH ") {
         println!("{}", resp);
         Ok(())
@@ -253,14 +236,44 @@ fn cmd_epoch(addr: &str, version: &str) -> Result<(), String> {
     }
 }
 
-fn expect_ok(addr: &str, cmd: &str, prefix: &str) -> Result<(), String> {
-    let mut conn = Conn::open(addr)?;
-    conn.send(cmd)?;
-    let resp = conn.line()?;
-    if resp.starts_with(prefix) && !resp.starts_with("-") {
+fn cmd_simple(addr: &str, cmd: &str, prefix: &str) -> Result<(), String> {
+    let mut session = open_session(addr)?;
+    let resp = session.command(cmd).map_err(|e| e.to_string())?;
+    if resp.starts_with(prefix) {
         println!("{}", resp);
         Ok(())
     } else {
         Err(resp)
+    }
+}
+
+fn parse_schedule(schedule: &str) -> Result<FaultSpec, String> {
+    match schedule {
+        "quiet" => Ok(FaultSpec::default()),
+        "chaotic" => Ok(FaultSpec::chaotic()),
+        custom => FaultSpec::parse(custom),
+    }
+}
+
+fn cmd_chaos_proxy(
+    addr: &str,
+    seed: &str,
+    schedule: &str,
+    port_file: Option<&str>,
+) -> Result<(), String> {
+    let seed: u64 = seed.parse().map_err(|_| "bad seed".to_string())?;
+    let spec = parse_schedule(schedule)?;
+    let upstream: SocketAddr = resolve_addr(addr)?
+        .parse()
+        .map_err(|e| format!("bad upstream address: {}", e))?;
+    let proxy = ChaosProxy::start(upstream, seed, spec).map_err(|e| e.to_string())?;
+    if let Some(pf) = port_file {
+        clop_util::atomic_write(Path::new(pf), format!("{}\n", proxy.addr()).as_bytes())
+            .map_err(|e| e.to_string())?;
+    }
+    println!("proxying {} -> {} (seed {})", proxy.addr(), upstream, seed);
+    // Run until killed; the soak script owns the process lifetime.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
     }
 }

@@ -1,0 +1,243 @@
+//! A seeded fault-injecting TCP proxy for chaos testing.
+//!
+//! The proxy sits between a client and the daemon and forwards bytes in
+//! both directions through [`clop_util::faultnet::FaultStream`], so every
+//! network fault the wrapper models — delays, short reads, duplicated
+//! delivery, torn writes, mid-frame disconnects — happens on a real
+//! socket pair against the real protocol. All fault decisions derive from
+//! the caller's seed: a failing schedule replays exactly from the same
+//! seed and connection order.
+//!
+//! Each accepted connection gets its own deterministic sub-seed (derived
+//! from the proxy seed and a connection counter) and two pump threads,
+//! one per direction. When either direction dies — a real error or an
+//! injected disconnect — both underlying sockets are shut down, so each
+//! end observes a hard connection loss, exactly like a mid-stream crash.
+//! Clients are expected to recover by reconnecting *through the proxy*
+//! and re-sending idempotently (see [`crate::session`]).
+
+use clop_util::faultnet::{FaultSpec, FaultStream};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running chaos proxy; dropping it does NOT stop it — call
+/// [`ChaosProxy::stop`] (tests) or let the process exit (CLI).
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    conns: Arc<AtomicU64>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Start a proxy on an ephemeral localhost port, forwarding every
+    /// connection to `upstream` through fault-injecting streams driven by
+    /// `seed` and `spec`.
+    pub fn start(upstream: SocketAddr, seed: u64, spec: FaultSpec) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(AtomicU64::new(0));
+        let sd = Arc::clone(&shutdown);
+        let cc = Arc::clone(&conns);
+        let accept_handle = std::thread::spawn(move || {
+            while !sd.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((client, _)) => {
+                        let conn_id = cc.fetch_add(1, Ordering::SeqCst);
+                        if let Err(e) = splice(client, upstream, seed, conn_id, spec) {
+                            eprintln!("chaos-proxy: connection {} failed: {}", conn_id, e);
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
+        });
+        Ok(ChaosProxy {
+            addr,
+            shutdown,
+            conns,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The proxy's listen address (point clients here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections accepted so far.
+    pub fn connections(&self) -> u64 {
+        self.conns.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting. In-flight pump threads die with their sockets.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Wire one accepted client to a fresh upstream connection with a pump
+/// thread per direction. Each direction injects faults on its *write*
+/// side (torn frames, duplicates, delays), which is where they corrupt
+/// protocol state most effectively.
+fn splice(
+    client: TcpStream,
+    upstream: SocketAddr,
+    seed: u64,
+    conn_id: u64,
+    spec: FaultSpec,
+) -> std::io::Result<()> {
+    let server = TcpStream::connect_timeout(&upstream, Duration::from_secs(5))?;
+    let _ = client.set_nodelay(true);
+    let _ = server.set_nodelay(true);
+    // Two independent sub-streams per connection, so the fault schedule
+    // of one direction never depends on traffic in the other.
+    let c2s_seed = mix(seed, conn_id * 2);
+    let s2c_seed = mix(seed, conn_id * 2 + 1);
+    let c_read = client.try_clone()?;
+    let s_read = server.try_clone()?;
+    let to_server = FaultStream::new(server, c2s_seed, spec);
+    let to_client = FaultStream::new(client, s2c_seed, spec);
+    std::thread::spawn(move || pump(c_read, to_server));
+    std::thread::spawn(move || pump(s_read, to_client));
+    Ok(())
+}
+
+/// SplitMix64-style seed derivation: decorrelates per-connection streams
+/// from consecutive counter values.
+fn mix(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Copy bytes from `from` into the fault-injecting `to` until either
+/// side dies, then hard-close both real sockets so the peers observe the
+/// failure instead of waiting forever on a half-open stream.
+fn pump(mut from: TcpStream, mut to: FaultStream<TcpStream>) {
+    let mut buf = [0u8; 4096];
+    loop {
+        match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                if to.write_all(&buf[..n]).is_err() || to.flush().is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.get_ref().shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    /// A tiny echo server: answers each line with `echo:<line>`.
+    fn echo_server() -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { break };
+                std::thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut out = stream;
+                    let mut line = String::new();
+                    while reader.read_line(&mut line).map(|n| n > 0).unwrap_or(false) {
+                        if out.write_all(format!("echo:{}", line).as_bytes()).is_err() {
+                            break;
+                        }
+                        line.clear();
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn quiet_proxy_is_transparent() {
+        let upstream = echo_server();
+        let proxy = ChaosProxy::start(upstream, 7, FaultSpec::default()).unwrap();
+        let stream = TcpStream::connect(proxy.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut out = stream;
+        for i in 0..20 {
+            out.write_all(format!("m{}\n", i).as_bytes()).unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(line, format!("echo:m{}\n", i));
+        }
+        assert_eq!(proxy.connections(), 1);
+        proxy.stop();
+    }
+
+    #[test]
+    fn chaotic_proxy_eventually_delivers_with_retries() {
+        let upstream = echo_server();
+        let proxy = ChaosProxy::start(upstream, 0xBAD5EED, FaultSpec::chaotic()).unwrap();
+        let addr = proxy.addr();
+        // A crude retrying client: reconnect on any failure and re-send.
+        // Duplicated delivery just produces extra echo lines we skip past.
+        let mut delivered = 0u32;
+        let mut attempts = 0u32;
+        'outer: for i in 0..10 {
+            while delivered <= i {
+                attempts += 1;
+                assert!(attempts < 500, "never delivered message {}", i);
+                let Ok(stream) = TcpStream::connect(addr) else {
+                    continue;
+                };
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                let mut reader = BufReader::new(match stream.try_clone() {
+                    Ok(s) => s,
+                    Err(_) => continue,
+                });
+                let mut out = stream;
+                if out.write_all(format!("m{}\n", i).as_bytes()).is_err() {
+                    continue;
+                }
+                let mut line = String::new();
+                match reader.read_line(&mut line) {
+                    Ok(n) if n > 0 && line == format!("echo:m{}\n", i) => {
+                        delivered += 1;
+                        continue 'outer;
+                    }
+                    _ => continue,
+                }
+            }
+        }
+        assert_eq!(delivered, 10);
+        assert!(
+            proxy.connections() > 1,
+            "a chaotic schedule should force reconnects"
+        );
+        proxy.stop();
+    }
+
+    #[test]
+    fn same_seed_same_connection_fault_schedule() {
+        // Determinism is delegated to FaultStream; here we only pin the
+        // seed-derivation: distinct connections get distinct sub-seeds,
+        // and the derivation is a pure function of (seed, conn).
+        assert_eq!(mix(42, 0), mix(42, 0));
+        assert_ne!(mix(42, 0), mix(42, 1));
+        assert_ne!(mix(42, 0), mix(43, 0));
+    }
+}

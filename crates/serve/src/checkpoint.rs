@@ -1,29 +1,36 @@
-//! Crash-safe state checkpoints: the artifact-then-marker pattern.
+//! Crash-safe state checkpoints: artifact-then-marker plus a rotated
+//! fallback generation and quarantine on resume.
 //!
-//! A checkpoint of version `v` is two files in the checkpoint directory:
+//! A checkpoint of version `v` is up to three files in the checkpoint
+//! directory:
 //!
 //! ```text
-//! <dir>/<v>.state     the canonical VersionState snapshot
-//! <dir>/<v>.done      the completion marker ("done\n")
+//! <dir>/<v>.state        the canonical VersionState snapshot
+//! <dir>/<v>.state.prev   the previous snapshot generation (rotation)
+//! <dir>/<v>.done         the completion marker ("done\n")
 //! ```
 //!
-//! Both are written with [`clop_util::atomic_write`] (temp file + fsync +
-//! rename), state first, marker second. A `kill -9` at any instant
-//! therefore leaves one of three observable states, all safe:
+//! `state` and the marker are written with [`clop_util::atomic_write`]
+//! (temp file + fsync + rename), state first, marker second; before the
+//! new state lands, the previous complete state is renamed to `.prev`. A
+//! `kill -9` at any instant therefore leaves one of four observable
+//! states, all safe:
 //!
-//! * neither file renamed yet — the previous checkpoint (or nothing) is
-//!   still what resume sees;
+//! * nothing renamed yet — the previous checkpoint is what resume sees;
+//! * old state rotated to `.prev`, new state not yet renamed — resume
+//!   falls back to `.prev`;
 //! * new state renamed, marker not yet — the marker on disk is the *old*
 //!   one, but the state file is complete (rename is atomic) and strictly
 //!   newer, so resuming from it is still correct;
 //! * both renamed — the new checkpoint.
 //!
-//! Resume never trusts a state file without a marker *unless* the marker
-//! from an earlier checkpoint of the same version exists — exactly the
-//! middle case above. Convergence after resume does not depend on the
-//! checkpoint being the latest: absorption is idempotent per shard
-//! sequence number, so re-streaming the whole shard set restores the
-//! byte-identical full fold.
+//! Resume never trusts a state file without a marker for its version. A
+//! marked state that fails to decode — a torn write under a non-atomic
+//! filesystem, bit rot, an operator's stray edit — is **quarantined**
+//! (renamed to `<file>.quarantined`) rather than trusted or deleted, and
+//! resume falls back to the newest remaining verifiable generation;
+//! convergence from an older generation is restored by re-streaming,
+//! because absorption is idempotent per shard sequence number.
 
 use crate::config::valid_version;
 use clop_core::incremental::{IncrementalStore, VersionState};
@@ -34,6 +41,11 @@ use std::path::{Path, PathBuf};
 /// The state-file path of `version` under `dir`.
 pub fn state_path(dir: &Path, version: &str) -> PathBuf {
     dir.join(format!("{}.state", version))
+}
+
+/// The rotated previous-generation state path of `version` under `dir`.
+pub fn prev_path(dir: &Path, version: &str) -> PathBuf {
+    dir.join(format!("{}.state.prev", version))
 }
 
 /// The marker-file path of `version` under `dir`.
@@ -47,24 +59,79 @@ pub fn checkpoint_version(dir: &Path, version: &str, state: &VersionState) -> Cl
 }
 
 /// [`checkpoint_version`] over an already-serialized snapshot, so callers
-/// can serialize under a state lock and write after releasing it.
+/// can serialize under a state lock and write after releasing it. Rotates
+/// a complete previous checkpoint to `.prev` before the new state lands.
 pub fn checkpoint_bytes(dir: &Path, version: &str, snapshot: &[u8]) -> ClopResult<()> {
     fs::create_dir_all(dir).map_err(|e| ClopError::io("create checkpoint directory", &e))?;
-    atomic_write(&state_path(dir, version), snapshot)
-        .map_err(|e| ClopError::io("write checkpoint state", &e))?;
+    let state = state_path(dir, version);
+    // Only a *marked* (complete) state is worth keeping as the fallback
+    // generation; rename is atomic, so a crash here leaves either the old
+    // state in place or a valid `.prev`.
+    if state.exists() && marker_path(dir, version).exists() {
+        fs::rename(&state, prev_path(dir, version))
+            .map_err(|e| ClopError::io("rotate previous checkpoint", &e))?;
+    }
+    atomic_write(&state, snapshot).map_err(|e| ClopError::io("write checkpoint state", &e))?;
     atomic_write(&marker_path(dir, version), b"done\n")
         .map_err(|e| ClopError::io("write checkpoint marker", &e))?;
     Ok(())
 }
 
-/// Load every marked checkpoint under `dir` into `store`. Returns the
-/// restored version names, sorted. A missing directory restores nothing;
-/// a marker whose state file is missing or corrupt is an error (the
-/// write order guarantees a marked state is complete).
-pub fn resume_all(dir: &Path, store: &IncrementalStore) -> ClopResult<Vec<String>> {
+/// Remove every checkpoint artifact of `version` (state, `.prev`, marker,
+/// and any quarantined leftovers) — the GC eviction path. Missing files
+/// are fine; other I/O errors are reported.
+pub fn remove_checkpoint(dir: &Path, version: &str) -> ClopResult<u64> {
+    let mut freed = 0u64;
+    for path in [
+        state_path(dir, version),
+        prev_path(dir, version),
+        marker_path(dir, version),
+        quarantine_name(&state_path(dir, version)),
+        quarantine_name(&prev_path(dir, version)),
+    ] {
+        match fs::metadata(&path) {
+            Ok(md) => {
+                freed += md.len();
+                fs::remove_file(&path).map_err(|e| ClopError::io("remove checkpoint file", &e))?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(ClopError::io("stat checkpoint file", &e)),
+        }
+    }
+    Ok(freed)
+}
+
+/// The quarantine name of a checkpoint file.
+fn quarantine_name(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".quarantined");
+    PathBuf::from(name)
+}
+
+/// What [`resume_all`] did, for the daemon's counters and logs.
+#[derive(Debug, Default)]
+pub struct ResumeReport {
+    /// Versions restored into the store, sorted.
+    pub restored: Vec<String>,
+    /// Checkpoint files quarantined because they failed to decode.
+    pub quarantined: Vec<PathBuf>,
+    /// Versions that resumed from the `.prev` generation because the
+    /// newest state was missing or quarantined.
+    pub fell_back: Vec<String>,
+    /// Versions whose every generation failed: nothing restored.
+    pub lost: Vec<String>,
+}
+
+/// Load every marked checkpoint under `dir` into `store`, newest
+/// verifiable generation first. A missing directory restores nothing. A
+/// marked state that fails to read or decode is quarantined and the
+/// `.prev` generation is tried; when every generation fails the version
+/// is reported as lost instead of aborting the daemon — re-streaming
+/// rebuilds it from scratch.
+pub fn resume_all(dir: &Path, store: &IncrementalStore) -> ClopResult<ResumeReport> {
     let entries = match fs::read_dir(dir) {
         Ok(e) => e,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(ResumeReport::default()),
         Err(e) => return Err(ClopError::io("read checkpoint directory", &e)),
     };
     let mut versions = Vec::new();
@@ -80,13 +147,49 @@ pub fn resume_all(dir: &Path, store: &IncrementalStore) -> ClopResult<Vec<String
         }
     }
     versions.sort_unstable();
-    for version in &versions {
-        let bytes = fs::read(state_path(dir, version))
-            .map_err(|e| ClopError::io("read checkpoint state", &e))?;
-        let state = VersionState::from_bytes(&bytes)?;
-        store.restore(version, state);
+    let mut report = ResumeReport::default();
+    for version in versions {
+        let mut restored = false;
+        for (generation, path) in [
+            (0usize, state_path(dir, &version)),
+            (1usize, prev_path(dir, &version)),
+        ] {
+            match load_state(&path) {
+                Ok(Some(state)) => {
+                    store.restore(&version, state);
+                    if generation > 0 {
+                        report.fell_back.push(version.clone());
+                    }
+                    report.restored.push(version.clone());
+                    restored = true;
+                    break;
+                }
+                Ok(None) => {} // generation absent; try the next
+                Err(_) => {
+                    // Torn or corrupt: set it aside for post-mortem, never
+                    // trust it, never delete evidence.
+                    let _ = fs::rename(&path, quarantine_name(&path));
+                    report.quarantined.push(path);
+                }
+            }
+        }
+        if !restored {
+            report.lost.push(version);
+        }
     }
-    Ok(versions)
+    report.restored.sort_unstable();
+    Ok(report)
+}
+
+/// Read and decode one checkpoint generation. `Ok(None)` when the file
+/// does not exist; `Err` when it exists but cannot be trusted.
+fn load_state(path: &Path) -> ClopResult<Option<VersionState>> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(ClopError::io("read checkpoint state", &e)),
+    };
+    VersionState::from_bytes(&bytes).map(Some)
 }
 
 #[cfg(test)]
@@ -95,6 +198,7 @@ mod tests {
     use clop_core::incremental::AnalysisParams;
     use clop_trace::shardfile::{read_shard, split_shards};
     use clop_trace::TrimmedTrace;
+    use clop_util::fault::seeded_corruptions;
 
     fn tmp_dir(tag: &str) -> PathBuf {
         let d =
@@ -130,8 +234,9 @@ mod tests {
         checkpoint_version(&dir, "v1", &state).unwrap();
 
         let store = IncrementalStore::new();
-        let restored = resume_all(&dir, &store).unwrap();
-        assert_eq!(restored, vec!["v1".to_string()]);
+        let report = resume_all(&dir, &store).unwrap();
+        assert_eq!(report.restored, vec!["v1".to_string()]);
+        assert!(report.quarantined.is_empty() && report.fell_back.is_empty());
         let arc = store.state("v1", *state.params());
         assert_eq!(arc.lock().unwrap().to_bytes(), bytes);
         fs::remove_dir_all(&dir).unwrap();
@@ -140,8 +245,8 @@ mod tests {
     #[test]
     fn missing_directory_resumes_nothing() {
         let store = IncrementalStore::new();
-        let restored = resume_all(Path::new("/nonexistent/clop-ckpt"), &store).unwrap();
-        assert!(restored.is_empty());
+        let report = resume_all(Path::new("/nonexistent/clop-ckpt"), &store).unwrap();
+        assert!(report.restored.is_empty());
         assert!(store.is_empty());
     }
 
@@ -151,17 +256,95 @@ mod tests {
         fs::create_dir_all(&dir).unwrap();
         fs::write(state_path(&dir, "v1"), folded_state(2).to_bytes()).unwrap();
         let store = IncrementalStore::new();
-        assert!(resume_all(&dir, &store).unwrap().is_empty());
+        assert!(resume_all(&dir, &store).unwrap().restored.is_empty());
         fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
-    fn marked_but_corrupt_state_is_an_error() {
-        let dir = tmp_dir("corrupt");
-        fs::create_dir_all(&dir).unwrap();
-        fs::write(state_path(&dir, "v1"), b"garbage").unwrap();
-        fs::write(marker_path(&dir, "v1"), b"done\n").unwrap();
-        assert!(resume_all(&dir, &IncrementalStore::new()).is_err());
+    fn second_checkpoint_rotates_a_fallback_generation() {
+        let dir = tmp_dir("rotate");
+        let old = folded_state(7);
+        checkpoint_version(&dir, "v1", &old).unwrap();
+        let newer = folded_state(8);
+        checkpoint_version(&dir, "v1", &newer).unwrap();
+        assert_eq!(fs::read(state_path(&dir, "v1")).unwrap(), newer.to_bytes());
+        assert_eq!(fs::read(prev_path(&dir, "v1")).unwrap(), old.to_bytes());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_state_is_quarantined_and_prev_resumes() {
+        let dir = tmp_dir("quarantine-fallback");
+        let old = folded_state(3);
+        checkpoint_version(&dir, "v1", &old).unwrap();
+        let newer = folded_state(4);
+        checkpoint_version(&dir, "v1", &newer).unwrap();
+        // Every seeded corruption of the newest state must quarantine it
+        // and fall back to the intact previous generation.
+        let clean = newer.to_bytes();
+        for c in seeded_corruptions(41, &clean, 25) {
+            fs::write(state_path(&dir, "v1"), &c.data).unwrap();
+            let _ = fs::remove_file(quarantine_name(&state_path(&dir, "v1")));
+            let store = IncrementalStore::new();
+            let report = resume_all(&dir, &store).unwrap();
+            if report.quarantined.is_empty() {
+                // A corruption the decoder tolerates (e.g. a flip inside
+                // slack the format never reads) may still load; any loaded
+                // state must then be *verifiably decoded*, not garbage.
+                assert_eq!(report.restored, vec!["v1".to_string()]);
+            } else {
+                assert_eq!(
+                    report.fell_back,
+                    vec!["v1".to_string()],
+                    "corruption {} must fall back",
+                    c.description
+                );
+                let arc = store.state("v1", *old.params());
+                assert_eq!(arc.lock().unwrap().to_bytes(), old.to_bytes());
+                assert!(quarantine_name(&state_path(&dir, "v1")).exists());
+                // Restore the rotated generation for the next iteration.
+            }
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_truncation_of_the_only_state_reports_lost() {
+        let dir = tmp_dir("lost");
+        let state = folded_state(5);
+        let clean = state.to_bytes();
+        for cut in [0usize, 1, clean.len() / 2, clean.len() - 1] {
+            let _ = fs::remove_dir_all(&dir);
+            fs::create_dir_all(&dir).unwrap();
+            fs::write(state_path(&dir, "v1"), &clean[..cut]).unwrap();
+            fs::write(marker_path(&dir, "v1"), b"done\n").unwrap();
+            let store = IncrementalStore::new();
+            let report = resume_all(&dir, &store).unwrap();
+            assert_eq!(report.lost, vec!["v1".to_string()], "cut at {}", cut);
+            assert!(store.is_empty());
+            assert!(quarantine_name(&state_path(&dir, "v1")).exists());
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_state_with_marker_falls_back_to_prev() {
+        // Crash window: old state rotated to .prev, new state never
+        // renamed in. The marker exists from the previous checkpoint.
+        let dir = tmp_dir("prev-only");
+        let old = folded_state(6);
+        checkpoint_version(&dir, "v1", &old).unwrap();
+        fs::rename(state_path(&dir, "v1"), prev_path(&dir, "v1")).unwrap();
+        let store = IncrementalStore::new();
+        let report = resume_all(&dir, &store).unwrap();
+        assert_eq!(report.restored, vec!["v1".to_string()]);
+        assert_eq!(report.fell_back, vec!["v1".to_string()]);
+        assert!(
+            report.quarantined.is_empty(),
+            "nothing corrupt to set aside"
+        );
+        let arc = store.state("v1", *old.params());
+        assert_eq!(arc.lock().unwrap().to_bytes(), old.to_bytes());
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -184,9 +367,30 @@ mod tests {
         atomic_write(&state_path(&dir, "v1"), &newer.to_bytes()).unwrap();
         // (crash here — marker never rewritten)
         let store = IncrementalStore::new();
-        assert_eq!(resume_all(&dir, &store).unwrap(), vec!["v1".to_string()]);
+        let report = resume_all(&dir, &store).unwrap();
+        assert_eq!(report.restored, vec!["v1".to_string()]);
         let arc = store.state("v1", p);
         assert_eq!(arc.lock().unwrap().to_bytes(), newer.to_bytes());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn remove_checkpoint_frees_every_generation() {
+        let dir = tmp_dir("remove");
+        let a = folded_state(9);
+        checkpoint_version(&dir, "v1", &a).unwrap();
+        checkpoint_version(&dir, "v1", &folded_state(10)).unwrap();
+        checkpoint_version(&dir, "keep", &a).unwrap();
+        let freed = remove_checkpoint(&dir, "v1").unwrap();
+        assert!(freed > 0);
+        assert!(!state_path(&dir, "v1").exists());
+        assert!(!prev_path(&dir, "v1").exists());
+        assert!(!marker_path(&dir, "v1").exists());
+        assert!(
+            state_path(&dir, "keep").exists(),
+            "other versions untouched"
+        );
+        assert_eq!(remove_checkpoint(&dir, "v1").unwrap(), 0, "idempotent");
         fs::remove_dir_all(&dir).unwrap();
     }
 }

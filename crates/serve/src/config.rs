@@ -41,6 +41,42 @@ pub struct ServeConfig {
     /// `dropped / declared` is at most this fraction (default 0.0:
     /// only clean shards are admitted).
     pub max_drop_frac: f64,
+    /// `CLOP_SERVE_SYNC_TIMEOUT_MS` — how long `SYNC` (and the `STOP`
+    /// drain) waits for the queue to settle (default 60000).
+    pub sync_timeout_ms: u64,
+    /// `CLOP_SERVE_CONN_READ_TIMEOUT_MS` — per-connection socket read
+    /// deadline; a peer that stalls mid-frame (or idles longer than
+    /// this) is disconnected instead of wedging its handler thread
+    /// (default 30000).
+    pub conn_read_timeout_ms: u64,
+    /// `CLOP_SERVE_CONN_WRITE_TIMEOUT_MS` — per-connection socket write
+    /// deadline; a peer that stops reading its responses is disconnected
+    /// (default 10000).
+    pub conn_write_timeout_ms: u64,
+    /// `CLOP_SERVE_SHED_FRAC` — queue-occupancy fraction above which the
+    /// daemon is under pressure (default 0.75 of `queue_cap`).
+    pub shed_frac: f64,
+    /// `CLOP_SERVE_SHED_AFTER_MS` — pressure must be sustained this long
+    /// before the daemon degrades and starts shedding `QUERY` (default
+    /// 200; 0 degrades immediately under pressure).
+    pub shed_after_ms: u64,
+    /// `CLOP_SERVE_DURABLE_ACK` — when `1`, a `SHARD` command is
+    /// acknowledged only after the shard is folded (and, with a
+    /// checkpoint directory, checkpointed), so `+OK` is a durability
+    /// promise that survives `kill -9` (default 0: ack at enqueue).
+    pub durable_ack: bool,
+    /// `CLOP_SERVE_MAX_VERSIONS` — evict least-recently-ingested
+    /// versions beyond this count (default 0: unlimited). The actively
+    /// ingesting version is never evicted.
+    pub max_versions: usize,
+    /// `CLOP_SERVE_MAX_STATE_BYTES` — evict least-recently-ingested
+    /// versions while the summed snapshot sizes exceed this bound
+    /// (default 0: unlimited). The actively ingesting version is never
+    /// evicted.
+    pub max_state_bytes: u64,
+    /// `CLOP_SERVE_WATCH_MAX_ATTEMPTS` — sweeps a transiently unreadable
+    /// watch-dir file is retried before it is quarantined (default 5).
+    pub watch_max_attempts: u32,
     /// `CLOP_SERVE_W_MIN` / `W_MAX` / `TRG_WINDOW` / `TRG_SLOTS` — the
     /// analysis parameters every version folds at.
     pub params: AnalysisParams,
@@ -85,6 +121,15 @@ impl Default for ServeConfig {
             workers: clop_util::pool::default_jobs(),
             retry_ms: 50,
             max_drop_frac: 0.0,
+            sync_timeout_ms: 60_000,
+            conn_read_timeout_ms: 30_000,
+            conn_write_timeout_ms: 10_000,
+            shed_frac: 0.75,
+            shed_after_ms: 200,
+            durable_ack: false,
+            max_versions: 0,
+            max_state_bytes: 0,
+            watch_max_attempts: 5,
             params: AnalysisParams::default(),
             fold_delay_ms: 0,
         }
@@ -114,6 +159,27 @@ impl ServeConfig {
             workers: env_usize("CLOP_SERVE_WORKERS", d.workers).max(1),
             retry_ms: env_u64("CLOP_SERVE_RETRY_MS", d.retry_ms).max(1),
             max_drop_frac: env_f64("CLOP_SERVE_MAX_DROP_FRAC", d.max_drop_frac).clamp(0.0, 1.0),
+            sync_timeout_ms: env_u64("CLOP_SERVE_SYNC_TIMEOUT_MS", d.sync_timeout_ms).max(1),
+            conn_read_timeout_ms: env_u64(
+                "CLOP_SERVE_CONN_READ_TIMEOUT_MS",
+                d.conn_read_timeout_ms,
+            )
+            .max(1),
+            conn_write_timeout_ms: env_u64(
+                "CLOP_SERVE_CONN_WRITE_TIMEOUT_MS",
+                d.conn_write_timeout_ms,
+            )
+            .max(1),
+            shed_frac: env_f64("CLOP_SERVE_SHED_FRAC", d.shed_frac).clamp(0.0, 1.0),
+            shed_after_ms: env_u64("CLOP_SERVE_SHED_AFTER_MS", d.shed_after_ms),
+            durable_ack: env_str("CLOP_SERVE_DURABLE_ACK").is_some_and(|v| v != "0"),
+            max_versions: env_usize("CLOP_SERVE_MAX_VERSIONS", d.max_versions),
+            max_state_bytes: env_u64("CLOP_SERVE_MAX_STATE_BYTES", d.max_state_bytes),
+            watch_max_attempts: env_u64(
+                "CLOP_SERVE_WATCH_MAX_ATTEMPTS",
+                u64::from(d.watch_max_attempts),
+            )
+            .max(1) as u32,
             params,
             fold_delay_ms: env_u64("CLOP_SERVE_FOLD_DELAY_MS", d.fold_delay_ms),
         }

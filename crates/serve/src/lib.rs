@@ -29,7 +29,20 @@
 //!   state file, then atomic `.done` marker), so `kill -9` at any instant
 //!   leaves either the previous or the new complete checkpoint; resume
 //!   loads marked snapshots and convergence is restored by re-streaming
-//!   ([`checkpoint`]).
+//!   ([`checkpoint`]). Checkpoints rotate (`.state` → `.state.prev`), and
+//!   resume quarantines torn or corrupt generations rather than crashing,
+//!   falling back to the newest snapshot that still verifies.
+//! * **Sessions** — clients talk to the daemon through [`session`]:
+//!   per-operation deadlines, capped exponential backoff with
+//!   deterministic jitter, and idempotent re-send across reconnects, so
+//!   a flaky network degrades throughput instead of correctness.
+//! * **Degradation and GC** — under sustained queue pressure the daemon
+//!   sheds `QUERY` with `-RETRY` before it ever rejects `SHARD`
+//!   (`HEALTH` reports the tier), and optional version-count/byte bounds
+//!   evict least-recently-ingested versions ([`server`]).
+//! * **Chaos** — [`chaos`] is a seeded fault-injecting TCP proxy
+//!   (built on `clop_util::faultnet`) that the soak tests and the
+//!   `chaos-proxy` subcommand put between client and daemon.
 //!
 //! Configuration is environment-driven (`CLOP_SERVE_*`, see [`config`]);
 //! the `clop-serve` binary wraps the server plus the client-side
@@ -39,12 +52,16 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod admission;
+pub mod chaos;
 pub mod checkpoint;
 pub mod config;
 pub mod server;
+pub mod session;
 pub mod stats;
 
 pub use admission::{admit, Admission};
+pub use chaos::ChaosProxy;
 pub use config::ServeConfig;
 pub use server::Server;
+pub use session::{Session, SessionConfig, SessionError};
 pub use stats::IngestStats;

@@ -7,9 +7,11 @@
 //!
 //! ```text
 //! PING                          -> +PONG
+//! HEALTH                        -> +HEALTH <ok|degraded> <depth> <cap>
 //! SHARD <version> <nbytes>      -> +OK <seq> | -RETRY <ms> | -ERR <reason>
 //!   (followed by <nbytes> of raw CLSH shard bytes)
 //! QUERY <version> <pipeline>    -> +ORDER <epoch> <n>  then n id lines
+//!                                  | -RETRY <ms> when degraded
 //! EPOCH <version>               -> +EPOCH <epoch> <shards>
 //! STATS                         -> +STATS <k>          then k "name value" lines
 //! SYNC                          -> +SYNCED <settled>   (all enqueued shards folded)
@@ -22,13 +24,44 @@
 //! idempotent per shard sequence number, so a client may always re-send
 //! on any doubt (timeouts, crashes, duplicated delivery).
 //!
+//! # Hostile peers
+//!
+//! The parser never trusts the wire: command lines are length-capped
+//! (over-long or unparseable lines answer `-ERR` and close), non-UTF-8
+//! bytes are repaired lossily before tokenizing, and every connection
+//! carries read/write deadlines so a peer that stalls mid-frame or stops
+//! reading its responses is disconnected instead of wedging its handler
+//! thread. Fold workers never touch sockets at all, so no client
+//! behaviour can poison them.
+//!
+//! # Degradation
+//!
+//! When the admission queue stays above `shed_frac · queue_cap` for
+//! `shed_after_ms`, the daemon enters the *degraded* tier: `QUERY` is
+//! shed with `-RETRY` (layout queries recompute over the whole fold — the
+//! most expensive verb) while `SHARD` ingestion keeps its full queue
+//! budget, and `STATS`/`HEALTH`/`PING` always answer. Ingestion is the
+//! contractual workload; queries are served best-effort under pressure.
+//!
 //! # Directory ingestion
 //!
 //! With `watch_dir` set, `<watch_dir>/<version>/*.clsh` files are
 //! admitted as they appear. Files must be *moved* into place (atomic
 //! rename on the same filesystem): the watcher reads each path exactly
 //! once. Unlike the socket path, the watcher blocks on a full queue
-//! instead of dropping — the filesystem is its own retry buffer.
+//! instead of dropping — the filesystem is its own retry buffer. A file
+//! that stays unreadable for `watch_max_attempts` sweeps is quarantined
+//! (skipped and counted) instead of being retried forever.
+//!
+//! # State GC
+//!
+//! With `max_versions`/`max_state_bytes` set, every fold is followed by
+//! an eviction pass: while either bound is exceeded, the
+//! least-recently-ingested version other than the one just folded is
+//! dropped from memory and its checkpoint files are deleted. The active
+//! version is never evicted, so its queries keep answering under any
+//! bound; an evicted version restarts from an empty fold when its shards
+//! are re-streamed.
 
 use crate::admission::{admit, Admission};
 use crate::checkpoint;
@@ -41,7 +74,7 @@ use std::collections::{HashMap, HashSet};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -50,8 +83,9 @@ use std::time::{Duration, Instant};
 /// Hard cap on a single shard payload (`SHARD <nbytes>`).
 const MAX_SHARD_BYTES: u64 = 64 * 1024 * 1024;
 
-/// How long `SYNC` (and the `STOP` drain) waits for the queue to settle.
-const SYNC_TIMEOUT: Duration = Duration::from_secs(60);
+/// Hard cap on one command line; a longer line is a protocol violation
+/// (the longest legitimate command is `SHARD <64-char version> <u64>`).
+const MAX_LINE_BYTES: usize = 256;
 
 /// One admitted shard waiting to be folded.
 struct Job {
@@ -66,11 +100,27 @@ struct Shared {
     stats: IngestStats,
     /// Folds per version since its last checkpoint.
     dirty: Mutex<HashMap<String, u64>>,
+    /// Logical ingest clock; stamps `last_ingest` for the GC's LRU order.
+    ingest_clock: AtomicU64,
+    /// Per-version last-ingest stamps (which version is coldest?).
+    last_ingest: Mutex<HashMap<String, u64>>,
+    /// Last known snapshot size per version, for the byte-bound GC.
+    state_sizes: Mutex<HashMap<String, u64>>,
+    /// When the queue first crossed the pressure threshold (None: calm).
+    pressure_since: Mutex<Option<Instant>>,
+    /// Current degradation tier (true: shedding queries).
+    degraded: AtomicBool,
     shutdown: AtomicBool,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Stamp `version` as the most recently ingested.
+fn touch_ingest(shared: &Shared, version: &str) {
+    let stamp = shared.ingest_clock.fetch_add(1, Ordering::Relaxed) + 1;
+    lock(&shared.last_ingest).insert(version.to_string(), stamp);
 }
 
 /// A running daemon: listener + fold workers + optional watcher.
@@ -84,10 +134,20 @@ impl Server {
     /// Resume checkpoints, bind the listener, start every thread.
     pub fn start(config: ServeConfig) -> ClopResult<Server> {
         let store = IncrementalStore::new();
+        let mut resume = checkpoint::ResumeReport::default();
         if let Some(dir) = &config.checkpoint_dir {
-            let restored = checkpoint::resume_all(dir, &store)?;
-            for v in &restored {
+            resume = checkpoint::resume_all(dir, &store)?;
+            for v in &resume.restored {
                 eprintln!("clop-serve: resumed checkpointed state for version {}", v);
+            }
+            for p in &resume.quarantined {
+                eprintln!("clop-serve: quarantined corrupt checkpoint {}", p.display());
+            }
+            for v in &resume.lost {
+                eprintln!(
+                    "clop-serve: no verifiable checkpoint for version {}; awaiting re-stream",
+                    v
+                );
             }
         }
         let listener = TcpListener::bind(&config.listen)
@@ -109,8 +169,35 @@ impl Server {
             store,
             stats: IngestStats::default(),
             dirty: Mutex::new(HashMap::new()),
+            ingest_clock: AtomicU64::new(0),
+            last_ingest: Mutex::new(HashMap::new()),
+            state_sizes: Mutex::new(HashMap::new()),
+            pressure_since: Mutex::new(None),
+            degraded: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
         });
+        // Seed the GC bookkeeping from what resume restored: restored
+        // versions are stamped in name order (their true ingest order died
+        // with the previous process) and sized from their snapshot files.
+        IngestStats::add(
+            &shared.stats.resume_quarantined,
+            resume.quarantined.len() as u64,
+        );
+        IngestStats::add(
+            &shared.stats.resume_fallbacks,
+            resume.fell_back.len() as u64,
+        );
+        for v in &resume.restored {
+            touch_ingest(&shared, v);
+            if let Some(dir) = &shared.config.checkpoint_dir {
+                let on_disk = std::fs::metadata(checkpoint::state_path(dir, v))
+                    .or_else(|_| std::fs::metadata(checkpoint::prev_path(dir, v)))
+                    .map(|md| md.len());
+                if let Ok(bytes) = on_disk {
+                    lock(&shared.state_sizes).insert(v.clone(), bytes);
+                }
+            }
+        }
         let mut handles = Vec::new();
         for _ in 0..shared.config.workers {
             let sh = Arc::clone(&shared);
@@ -182,6 +269,29 @@ fn account(stats: &IngestStats, adm: Admission) -> Result<ShardFile, String> {
     }
 }
 
+/// Evaluate the degradation tier from current queue pressure. Pressure
+/// must be sustained for `shed_after_ms` to enter the degraded tier;
+/// any dip below the threshold resets both the timer and the tier.
+fn pressure_tier_degraded(shared: &Shared) -> bool {
+    let cap = shared.config.queue_cap as u64;
+    let hi = ((cap as f64 * shared.config.shed_frac).ceil() as u64).clamp(1, cap);
+    let depth = shared.stats.queue_depth.load(Ordering::Relaxed);
+    let mut since = lock(&shared.pressure_since);
+    if depth >= hi {
+        let now = Instant::now();
+        let t0 = *since.get_or_insert(now);
+        if now.duration_since(t0).as_millis() as u64 >= shared.config.shed_after_ms
+            && !shared.degraded.swap(true, Ordering::SeqCst)
+        {
+            IngestStats::bump(&shared.stats.degraded_entered);
+        }
+    } else {
+        *since = None;
+        shared.degraded.store(false, Ordering::SeqCst);
+    }
+    shared.degraded.load(Ordering::SeqCst)
+}
+
 /// Accept connections until shutdown; one thread per connection.
 fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener, tx: &SyncSender<Job>) {
     while !shared.shutdown.load(Ordering::SeqCst) {
@@ -204,22 +314,80 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener, tx: &SyncSender<Job
     }
 }
 
-/// Serve one connection until EOF, protocol error, or `STOP`.
+/// One bounded line read: `Line` up to the cap, `Eof` on clean close,
+/// `TooLong` when the peer exceeds the cap without a newline (the rest of
+/// the stream cannot be resynchronized).
+enum LineRead {
+    Eof,
+    Line(String),
+    TooLong,
+}
+
+/// Read one `\n`-terminated command line without ever buffering more
+/// than the cap; non-UTF-8 bytes are repaired lossily (the tokenizer
+/// rejects what remains). I/O errors — including the read deadline —
+/// propagate and close the connection.
+fn read_bounded_line(reader: &mut BufReader<TcpStream>) -> std::io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return Ok(if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                // EOF with a dangling partial line: treat as a (final)
+                // command so a trailing un-terminated verb still answers.
+                LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        if let Some(pos) = available.iter().position(|&b| b == b'\n') {
+            if buf.len() + pos > MAX_LINE_BYTES {
+                reader.consume(pos + 1);
+                return Ok(LineRead::TooLong);
+            }
+            buf.extend_from_slice(&available[..pos]);
+            reader.consume(pos + 1);
+            return Ok(LineRead::Line(String::from_utf8_lossy(&buf).into_owned()));
+        }
+        let n = available.len();
+        buf.extend_from_slice(available);
+        reader.consume(n);
+        if buf.len() > MAX_LINE_BYTES {
+            return Ok(LineRead::TooLong);
+        }
+    }
+}
+
+/// Serve one connection until EOF, deadline, protocol violation, or
+/// `STOP`. Both socket directions carry deadlines so a stalled or
+/// half-dead peer can only wedge itself.
 fn handle_connection(
     shared: &Arc<Shared>,
     tx: &SyncSender<Job>,
     stream: TcpStream,
 ) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(
+        shared.config.conn_read_timeout_ms,
+    )))?;
+    stream.set_write_timeout(Some(Duration::from_millis(
+        shared.config.conn_write_timeout_ms,
+    )))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut out = stream;
     loop {
-        let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(());
-        }
+        let line = match read_bounded_line(&mut reader)? {
+            LineRead::Eof => return Ok(()),
+            LineRead::TooLong => {
+                IngestStats::bump(&shared.stats.malformed_lines);
+                out.write_all(b"-ERR line too long\n")?;
+                return Ok(()); // cannot resynchronize past an unread tail
+            }
+            LineRead::Line(l) => l,
+        };
         let parts: Vec<&str> = line.split_whitespace().collect();
         match parts.as_slice() {
             ["PING"] => out.write_all(b"+PONG\n")?,
+            ["HEALTH"] => cmd_health(shared, &mut out)?,
             ["SHARD", version, nbytes] => {
                 if !cmd_shard(shared, tx, &mut reader, &mut out, version, nbytes)? {
                     return Ok(());
@@ -234,14 +402,28 @@ fn handle_connection(
                 return Ok(());
             }
             [] => {}
-            _ => out.write_all(b"-ERR unknown command\n")?,
+            _ => {
+                IngestStats::bump(&shared.stats.malformed_lines);
+                out.write_all(b"-ERR unknown command\n")?;
+            }
         }
     }
 }
 
-/// `SHARD`: read the payload, admit, enqueue with backpressure. Returns
-/// `Ok(false)` when the connection is no longer in sync (bad framing) and
-/// must be closed.
+/// `HEALTH`: degradation tier and queue occupancy.
+fn cmd_health(shared: &Arc<Shared>, out: &mut TcpStream) -> std::io::Result<()> {
+    let tier = if pressure_tier_degraded(shared) {
+        "degraded"
+    } else {
+        "ok"
+    };
+    let depth = shared.stats.queue_depth.load(Ordering::Relaxed);
+    out.write_all(format!("+HEALTH {} {} {}\n", tier, depth, shared.config.queue_cap).as_bytes())
+}
+
+/// `SHARD`: read the payload, admit, enqueue (or fold durably) with
+/// backpressure. Returns `Ok(false)` when the connection is no longer in
+/// sync (bad framing) and must be closed.
 fn cmd_shard(
     shared: &Arc<Shared>,
     tx: &SyncSender<Job>,
@@ -251,10 +433,12 @@ fn cmd_shard(
     nbytes: &str,
 ) -> std::io::Result<bool> {
     let Ok(n) = nbytes.parse::<u64>() else {
+        IngestStats::bump(&shared.stats.malformed_lines);
         out.write_all(b"-ERR bad shard length\n")?;
         return Ok(false);
     };
     if n > MAX_SHARD_BYTES {
+        IngestStats::bump(&shared.stats.malformed_lines);
         out.write_all(b"-ERR shard too large\n")?;
         return Ok(false);
     }
@@ -265,21 +449,35 @@ fn cmd_shard(
         return Ok(true);
     }
     match account(&shared.stats, admit(&payload, shared.config.max_drop_frac)) {
+        Ok(shard) if shared.config.durable_ack => {
+            let seq = shard.seq;
+            match fold_durably(shared, version, &shard) {
+                Ok(()) => out.write_all(format!("+OK {}\n", seq).as_bytes())?,
+                Err(reason) => out.write_all(format!("-ERR {}\n", reason).as_bytes())?,
+            }
+        }
         Ok(shard) => {
             let seq = shard.seq;
+            // The gauge rises before the send: a worker may pop the job
+            // (and decrement) the instant it lands, and the saturating
+            // decrement must never observe the gauge pre-increment.
+            IngestStats::bump(&shared.stats.queue_depth);
             match tx.try_send(Job {
                 version: version.to_string(),
                 shard,
             }) {
                 Ok(()) => {
                     IngestStats::bump(&shared.stats.enqueued);
+                    touch_ingest(shared, version);
                     out.write_all(format!("+OK {}\n", seq).as_bytes())?;
                 }
                 Err(TrySendError::Full(_)) => {
+                    IngestStats::dec(&shared.stats.queue_depth);
                     IngestStats::bump(&shared.stats.retry_busy);
                     out.write_all(format!("-RETRY {}\n", shared.config.retry_ms).as_bytes())?;
                 }
                 Err(TrySendError::Disconnected(_)) => {
+                    IngestStats::dec(&shared.stats.queue_depth);
                     out.write_all(b"-ERR shutting down\n")?;
                 }
             }
@@ -289,7 +487,55 @@ fn cmd_shard(
     Ok(true)
 }
 
-/// `QUERY`: run a registered pipeline against the current fold.
+/// The durable-ack ingest path: fold and (when a checkpoint directory is
+/// configured) checkpoint *before* answering, so `+OK` survives
+/// `kill -9`. Serialization and the checkpoint write stay inside the
+/// state lock: two concurrent folds of one version must not publish
+/// their snapshots out of order, or an acked shard could vanish from the
+/// file that resume reads.
+fn fold_durably(shared: &Arc<Shared>, version: &str, shard: &ShardFile) -> Result<(), String> {
+    IngestStats::bump(&shared.stats.enqueued);
+    touch_ingest(shared, version);
+    let arc = shared.store.state(version, shared.config.params);
+    let outcome = {
+        let mut st = lock(&arc);
+        if shared.config.fold_delay_ms > 0 {
+            std::thread::sleep(Duration::from_millis(shared.config.fold_delay_ms));
+        }
+        match st.absorb_shard(shard) {
+            Ok(true) => {
+                IngestStats::bump(&shared.stats.folded);
+                if let Some(dir) = &shared.config.checkpoint_dir {
+                    let bytes = st.to_bytes();
+                    lock(&shared.state_sizes).insert(version.to_string(), bytes.len() as u64);
+                    match checkpoint::checkpoint_bytes(dir, version, &bytes) {
+                        Ok(()) => {
+                            IngestStats::bump(&shared.stats.checkpoints);
+                            Ok(())
+                        }
+                        Err(e) => Err(format!("checkpoint failed; ack withheld: {}", e)),
+                    }
+                } else {
+                    Ok(())
+                }
+            }
+            Ok(false) => {
+                IngestStats::bump(&shared.stats.duplicates);
+                Ok(())
+            }
+            Err(e) => {
+                IngestStats::bump(&shared.stats.fold_errors);
+                Err(format!("fold: {}", e))
+            }
+        }
+    };
+    run_gc(shared, version);
+    outcome
+}
+
+/// `QUERY`: run a registered pipeline against the current fold — unless
+/// the daemon is degraded, in which case the query is shed with `-RETRY`
+/// (ingestion keeps its budget; recomputation waits).
 fn cmd_query(
     shared: &Arc<Shared>,
     out: &mut TcpStream,
@@ -298,6 +544,10 @@ fn cmd_query(
 ) -> std::io::Result<()> {
     if !valid_version(version) {
         return out.write_all(b"-ERR bad version token\n");
+    }
+    if pressure_tier_degraded(shared) {
+        IngestStats::bump(&shared.stats.shed_queries);
+        return out.write_all(format!("-RETRY {}\n", shared.config.retry_ms).as_bytes());
     }
     let arc = shared.store.state(version, shared.config.params);
     let result = lock(&arc).layout_query(pipeline);
@@ -328,9 +578,11 @@ fn cmd_epoch(shared: &Arc<Shared>, out: &mut TcpStream, version: &str) -> std::i
     out.write_all(format!("+EPOCH {} {}\n", epoch, shards).as_bytes())
 }
 
-/// `STATS`: every counter, one per line.
+/// `STATS`: every counter, one per line, plus the live degradation tier.
 fn cmd_stats(shared: &Arc<Shared>, out: &mut TcpStream) -> std::io::Result<()> {
-    let snap = shared.stats.snapshot();
+    let mut snap = shared.stats.snapshot();
+    let degraded = u64::from(pressure_tier_degraded(shared));
+    snap.push(("degraded", degraded));
     let mut body = format!("+STATS {}\n", snap.len());
     for (name, value) in snap {
         body.push_str(&format!("{} {}\n", name, value));
@@ -341,7 +593,8 @@ fn cmd_stats(shared: &Arc<Shared>, out: &mut TcpStream) -> std::io::Result<()> {
 /// Wait until every enqueued shard has settled (folded or deduplicated).
 fn drain(shared: &Arc<Shared>) -> bool {
     let start = Instant::now();
-    while start.elapsed() < SYNC_TIMEOUT {
+    let timeout = Duration::from_millis(shared.config.sync_timeout_ms);
+    while start.elapsed() < timeout {
         if shared.stats.settled() >= shared.stats.enqueued.load(Ordering::Relaxed) {
             return true;
         }
@@ -396,12 +649,16 @@ fn worker_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Job>>>) {
                 Err(RecvTimeoutError::Disconnected) => return,
             }
         };
+        IngestStats::dec(&shared.stats.queue_depth);
         let mut batch = vec![first];
         {
             let guard = lock(rx);
             while batch.len() < shared.config.batch_max {
                 match guard.try_recv() {
-                    Ok(job) => batch.push(job),
+                    Ok(job) => {
+                        IngestStats::dec(&shared.stats.queue_depth);
+                        batch.push(job);
+                    }
                     Err(_) => break,
                 }
             }
@@ -411,7 +668,8 @@ fn worker_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Job>>>) {
 }
 
 /// Absorb one drained batch, grouped by version so each version's state
-/// lock is taken once per batch.
+/// lock is taken once per batch. Every folded version runs a GC pass
+/// afterwards with itself as the protected active version.
 fn fold_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
     let mut groups: Vec<(String, Vec<ShardFile>)> = Vec::new();
     for job in batch {
@@ -422,6 +680,7 @@ fn fold_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
     }
     for (version, shards) in groups {
         let arc = shared.store.state(&version, shared.config.params);
+        touch_ingest(shared, &version);
         let mut snapshot: Option<Vec<u8>> = None;
         {
             let mut st = lock(&arc);
@@ -453,13 +712,75 @@ fn fold_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
                     }
                 }
             }
-        }
-        if let (Some(bytes), Some(dir)) = (snapshot, &shared.config.checkpoint_dir) {
-            match checkpoint::checkpoint_bytes(dir, &version, &bytes) {
-                Ok(()) => IngestStats::bump(&shared.stats.checkpoints),
-                Err(e) => eprintln!("clop-serve: checkpoint of {} failed: {}", version, e),
+            // The byte-bound GC needs a size estimate even between
+            // checkpoints; serialize only when that bound is active and no
+            // checkpoint snapshot was taken this batch.
+            if shared.config.max_state_bytes > 0 && snapshot.is_none() {
+                lock(&shared.state_sizes).insert(version.clone(), st.to_bytes().len() as u64);
             }
         }
+        if let Some(bytes) = &snapshot {
+            lock(&shared.state_sizes).insert(version.clone(), bytes.len() as u64);
+            if let Some(dir) = &shared.config.checkpoint_dir {
+                match checkpoint::checkpoint_bytes(dir, &version, bytes) {
+                    Ok(()) => IngestStats::bump(&shared.stats.checkpoints),
+                    Err(e) => eprintln!("clop-serve: checkpoint of {} failed: {}", version, e),
+                }
+            }
+        }
+        run_gc(shared, &version);
+    }
+}
+
+/// One GC pass: while a version-count or state-byte bound is exceeded,
+/// evict the least-recently-ingested version other than `active` — from
+/// memory and from the checkpoint directory. `active` (the version that
+/// just folded) is never evicted, so the bound can never starve the
+/// version actually serving traffic.
+fn run_gc(shared: &Arc<Shared>, active: &str) {
+    let max_versions = shared.config.max_versions;
+    let max_bytes = shared.config.max_state_bytes;
+    if max_versions == 0 && max_bytes == 0 {
+        return;
+    }
+    loop {
+        let versions = shared.store.versions();
+        let over_count = max_versions > 0 && versions.len() > max_versions;
+        let over_bytes = max_bytes > 0 && {
+            let sizes = lock(&shared.state_sizes);
+            let total: u64 = versions
+                .iter()
+                .map(|v| sizes.get(v).copied().unwrap_or(0))
+                .sum();
+            total > max_bytes
+        };
+        if !over_count && !over_bytes {
+            return;
+        }
+        let victim = {
+            let stamps = lock(&shared.last_ingest);
+            versions
+                .iter()
+                .filter(|v| v.as_str() != active)
+                .min_by_key(|v| stamps.get(v.as_str()).copied().unwrap_or(0))
+                .cloned()
+        };
+        let Some(victim) = victim else {
+            return; // only the active version remains; never evict it
+        };
+        shared.store.remove_version(&victim);
+        let mut freed = lock(&shared.state_sizes).remove(&victim).unwrap_or(0);
+        lock(&shared.last_ingest).remove(&victim);
+        lock(&shared.dirty).remove(&victim);
+        if let Some(dir) = &shared.config.checkpoint_dir {
+            match checkpoint::remove_checkpoint(dir, &victim) {
+                Ok(disk) => freed = freed.max(disk),
+                Err(e) => eprintln!("clop-serve: GC of {} checkpoints failed: {}", victim, e),
+            }
+        }
+        IngestStats::bump(&shared.stats.evicted_versions);
+        IngestStats::add(&shared.stats.evicted_bytes, freed);
+        eprintln!("clop-serve: evicted version {} ({} bytes)", victim, freed);
     }
 }
 
@@ -467,8 +788,9 @@ fn fold_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
 /// once, blocking on a full queue (the filesystem is the retry buffer).
 fn watcher_loop(shared: &Arc<Shared>, tx: &SyncSender<Job>, dir: &PathBuf) {
     let mut seen: HashSet<PathBuf> = HashSet::new();
+    let mut attempts: HashMap<PathBuf, u32> = HashMap::new();
     while !shared.shutdown.load(Ordering::SeqCst) {
-        scan_watch_dir(shared, tx, dir, &mut seen);
+        scan_watch_dir(shared, tx, dir, &mut seen, &mut attempts);
         std::thread::sleep(Duration::from_millis(shared.config.watch_poll_ms));
     }
 }
@@ -479,6 +801,7 @@ fn scan_watch_dir(
     tx: &SyncSender<Job>,
     dir: &PathBuf,
     seen: &mut HashSet<PathBuf>,
+    attempts: &mut HashMap<PathBuf, u32>,
 ) {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return;
@@ -507,12 +830,29 @@ fn scan_watch_dir(
         paths.sort();
         for p in paths {
             let Ok(bytes) = std::fs::read(&p) else {
-                // Transient read failure: leave unseen, retry next sweep.
+                // Transient read failure: retry next sweep — but not
+                // forever. A path that stays unreadable is quarantined so
+                // the sweeper's work stays bounded.
+                let n = attempts.entry(p.clone()).or_insert(0);
+                *n += 1;
+                if *n >= shared.config.watch_max_attempts {
+                    attempts.remove(&p);
+                    seen.insert(p.clone());
+                    IngestStats::bump(&shared.stats.watch_quarantined);
+                    eprintln!(
+                        "clop-serve: quarantined {} after {} unreadable sweeps",
+                        p.display(),
+                        shared.config.watch_max_attempts
+                    );
+                }
                 continue;
             };
+            attempts.remove(&p);
             seen.insert(p.clone());
             match account(&shared.stats, admit(&bytes, shared.config.max_drop_frac)) {
                 Ok(shard) => {
+                    // Gauge before send, same as the socket path.
+                    IngestStats::bump(&shared.stats.queue_depth);
                     if tx
                         .send(Job {
                             version: version.clone(),
@@ -520,9 +860,11 @@ fn scan_watch_dir(
                         })
                         .is_err()
                     {
+                        IngestStats::dec(&shared.stats.queue_depth);
                         return;
                     }
                     IngestStats::bump(&shared.stats.enqueued);
+                    touch_ingest(shared, &version);
                 }
                 Err(reason) => {
                     eprintln!("clop-serve: rejected {}: {}", p.display(), reason);
@@ -535,9 +877,11 @@ fn scan_watch_dir(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::{backoff_delay, SessionConfig};
     use clop_core::build_pipeline;
     use clop_core::incremental::AnalysisParams;
     use clop_trace::{split_shards, TrimmedTrace};
+    use clop_util::Rng;
     use std::fs;
 
     fn random_trace(seed: u64, len: usize, blocks: u32) -> TrimmedTrace {
@@ -591,15 +935,27 @@ mod tests {
             self.line()
         }
 
+        /// Retry `-RETRY` backpressure with the session layer's capped
+        /// exponential backoff — bounded: a daemon that never accepts
+        /// fails the test instead of hanging it.
         fn send_shard_retrying(&mut self, version: &str, bytes: &[u8]) -> String {
-            loop {
+            let cfg = SessionConfig {
+                backoff_base_ms: 2,
+                backoff_cap_ms: 50,
+                ..SessionConfig::default()
+            };
+            let mut rng = Rng::seed_from_u64(0xC0FFEE);
+            const MAX_ATTEMPTS: u32 = 400;
+            for attempt in 0..MAX_ATTEMPTS {
                 let resp = self.send_shard(version, bytes);
                 if let Some(ms) = resp.strip_prefix("-RETRY ") {
-                    std::thread::sleep(Duration::from_millis(ms.parse().unwrap_or(10)));
+                    let hint = Duration::from_millis(ms.parse().unwrap_or(10));
+                    std::thread::sleep(hint.max(backoff_delay(&cfg, attempt.min(16), &mut rng)));
                     continue;
                 }
                 return resp;
             }
+            panic!("shard not accepted after {} retry attempts", MAX_ATTEMPTS);
         }
 
         fn query(&mut self, version: &str, pipeline: &str) -> Vec<u32> {
@@ -621,6 +977,21 @@ mod tests {
         fn command(&mut self, cmd: &str) -> String {
             self.out.write_all(format!("{}\n", cmd).as_bytes()).unwrap();
             self.line()
+        }
+
+        fn stat(&mut self, name: &str) -> u64 {
+            self.out.write_all(b"STATS\n").unwrap();
+            let head = self.line();
+            let k: usize = head.strip_prefix("+STATS ").unwrap().parse().unwrap();
+            let mut value = None;
+            for _ in 0..k {
+                let l = self.line();
+                let mut it = l.split_whitespace();
+                if it.next() == Some(name) {
+                    value = it.next().and_then(|v| v.parse().ok());
+                }
+            }
+            value.unwrap_or_else(|| panic!("no stat named {}", name))
         }
     }
 
@@ -775,5 +1146,255 @@ mod tests {
         assert_eq!(c2.command("STOP"), "+BYE");
         server2.join();
         fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn health_reports_and_pressure_sheds_queries_before_shards() {
+        let params = AnalysisParams::default();
+        let config = ServeConfig {
+            params,
+            workers: 1,
+            queue_cap: 8,
+            batch_max: 1,
+            fold_delay_ms: 60,
+            retry_ms: 5,
+            shed_frac: 0.25, // pressure at 2 queued jobs
+            shed_after_ms: 0,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(config).unwrap();
+        let t = random_trace(31, 1400, 12);
+        let files = split_shards(&t, 7, params.affinity.w_max, params.trg.window);
+        let mut c = Client::connect(server.addr());
+        assert_eq!(c.command("HEALTH"), "+HEALTH ok 0 8");
+        // Flood the queue: one slow worker, seven shards.
+        for f in &files {
+            assert!(c.send_shard_retrying("v", f).starts_with("+OK"));
+        }
+        // Under pressure: QUERY is shed with -RETRY, SHARD still ingests
+        // (every send above was eventually +OK), HEALTH tells the truth.
+        let health = c.command("HEALTH");
+        assert!(
+            health.starts_with("+HEALTH degraded "),
+            "expected degraded tier, got {}",
+            health
+        );
+        let q = c.command("QUERY v function-affinity");
+        assert!(q.starts_with("-RETRY "), "expected shed, got {}", q);
+        assert!(server.stats().shed_queries.load(Ordering::Relaxed) >= 1);
+        assert!(server.stats().degraded_entered.load(Ordering::Relaxed) >= 1);
+        // After the drain, the tier recovers and queries flow again.
+        assert!(c.command("SYNC").starts_with("+SYNCED"));
+        assert_eq!(c.command("HEALTH"), "+HEALTH ok 0 8");
+        assert_eq!(
+            c.query("v", "function-affinity"),
+            batch_order(&t, "function-affinity", &params)
+        );
+        assert_eq!(c.stat("degraded"), 0);
+        assert_eq!(c.command("STOP"), "+BYE");
+        server.join();
+    }
+
+    #[test]
+    fn durable_ack_checkpoints_before_answering() {
+        let params = AnalysisParams::default();
+        let ckpt = std::env::temp_dir().join(format!("clop-serve-durable-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&ckpt);
+        let config = ServeConfig {
+            params,
+            durable_ack: true,
+            checkpoint_dir: Some(ckpt.clone()),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(config).unwrap();
+        let t = random_trace(32, 600, 10);
+        let files = split_shards(&t, 3, params.affinity.w_max, params.trg.window);
+        let mut c = Client::connect(server.addr());
+        for f in &files {
+            assert!(c.send_shard("dv", f).starts_with("+OK"));
+            // The ack IS the durability promise: the marked checkpoint on
+            // disk already contains this shard.
+            let bytes = fs::read(checkpoint::state_path(&ckpt, "dv")).unwrap();
+            assert!(ckpt.join("dv.done").exists());
+            clop_core::incremental::VersionState::from_bytes(&bytes).unwrap();
+        }
+        let on_disk = clop_core::incremental::VersionState::from_bytes(
+            &fs::read(checkpoint::state_path(&ckpt, "dv")).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(on_disk.shards_absorbed(), files.len() as u64);
+        // Duplicate resend is still +OK (idempotent) without a new fold.
+        assert!(c.send_shard("dv", &files[0]).starts_with("+OK"));
+        assert_eq!(server.stats().duplicates.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            server.stats().folded.load(Ordering::Relaxed),
+            files.len() as u64
+        );
+        assert_eq!(c.command("STOP"), "+BYE");
+        server.join();
+        fs::remove_dir_all(&ckpt).unwrap();
+    }
+
+    #[test]
+    fn gc_evicts_lru_versions_but_never_the_active_one() {
+        let params = AnalysisParams::default();
+        let ckpt = std::env::temp_dir().join(format!("clop-serve-gc-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&ckpt);
+        let config = ServeConfig {
+            params,
+            workers: 1,
+            max_versions: 2,
+            checkpoint_dir: Some(ckpt.clone()),
+            checkpoint_every: 1,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(config).unwrap();
+        let t = random_trace(33, 500, 9);
+        let files = split_shards(&t, 2, params.affinity.w_max, params.trg.window);
+        let mut c = Client::connect(server.addr());
+        for version in ["va", "vb", "vc"] {
+            for f in &files {
+                assert!(c.send_shard_retrying(version, f).starts_with("+OK"));
+            }
+            assert!(c.command("SYNC").starts_with("+SYNCED"));
+        }
+        // va was least recently ingested: evicted from memory and disk.
+        assert_eq!(server.stats().evicted_versions.load(Ordering::Relaxed), 1);
+        assert!(server.stats().evicted_bytes.load(Ordering::Relaxed) > 0);
+        assert!(!checkpoint::state_path(&ckpt, "va").exists());
+        assert_eq!(c.command("EPOCH va"), "+EPOCH 0 0");
+        // The survivors — including the active version — keep answering.
+        assert!(checkpoint::state_path(&ckpt, "vc").exists());
+        for version in ["vb", "vc"] {
+            assert_eq!(
+                c.query(version, "function-affinity"),
+                batch_order(&t, "function-affinity", &params),
+                "{}",
+                version
+            );
+        }
+        assert_eq!(c.command("STOP"), "+BYE");
+        server.join();
+        fs::remove_dir_all(&ckpt).unwrap();
+    }
+
+    #[test]
+    fn byte_bound_gc_keeps_total_state_under_the_cap() {
+        let params = AnalysisParams::default();
+        let config = ServeConfig {
+            params,
+            workers: 1,
+            max_state_bytes: 1, // any second version exceeds the bound
+            ..ServeConfig::default()
+        };
+        let server = Server::start(config).unwrap();
+        let t = random_trace(34, 400, 8);
+        let files = split_shards(&t, 2, params.affinity.w_max, params.trg.window);
+        let mut c = Client::connect(server.addr());
+        for version in ["w1", "w2", "w3"] {
+            for f in &files {
+                assert!(c.send_shard_retrying(version, f).starts_with("+OK"));
+            }
+            assert!(c.command("SYNC").starts_with("+SYNCED"));
+        }
+        // Everything but the active version is evicted (bound of 1 byte),
+        // and the active version still answers correctly.
+        assert_eq!(server.stats().evicted_versions.load(Ordering::Relaxed), 2);
+        assert_eq!(
+            c.query("w3", "function-affinity"),
+            batch_order(&t, "function-affinity", &params)
+        );
+        assert_eq!(c.command("STOP"), "+BYE");
+        server.join();
+    }
+
+    #[test]
+    fn sync_timeout_is_configurable_and_reports_failure() {
+        let params = AnalysisParams::default();
+        let config = ServeConfig {
+            params,
+            workers: 1,
+            batch_max: 1,
+            fold_delay_ms: 400,
+            sync_timeout_ms: 50,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(config).unwrap();
+        let t = random_trace(35, 300, 7);
+        let files = split_shards(&t, 1, params.affinity.w_max, params.trg.window);
+        let mut c = Client::connect(server.addr());
+        assert!(c.send_shard("v", &files[0]).starts_with("+OK"));
+        assert_eq!(c.command("SYNC"), "-ERR sync timed out");
+        // Wait for the fold to settle; STOP's drain shares the same
+        // (50ms) budget, so accept either a clean or a timed-out close.
+        std::thread::sleep(Duration::from_millis(500));
+        let bye = c.command("STOP");
+        assert!(bye == "+BYE" || bye.starts_with("-ERR drain"));
+        server.join();
+    }
+
+    #[test]
+    fn oversized_and_malformed_lines_are_counted_and_answered() {
+        let server = Server::start(ServeConfig::default()).unwrap();
+        let mut c = Client::connect(server.addr());
+        assert_eq!(c.command("BOGUS verb"), "-ERR unknown command");
+        assert_eq!(c.command("SHARD v notanumber"), "-ERR bad shard length");
+        // That response closes the connection (framing lost); reconnect.
+        let mut c = Client::connect(server.addr());
+        let long = format!("PING {}", "x".repeat(4096));
+        assert_eq!(c.command(&long), "-ERR line too long");
+        let mut c = Client::connect(server.addr());
+        assert_eq!(c.command("PING"), "+PONG");
+        assert!(server.stats().malformed_lines.load(Ordering::Relaxed) >= 3);
+        assert_eq!(c.command("STOP"), "+BYE");
+        server.join();
+    }
+
+    #[test]
+    fn resume_quarantines_torn_checkpoint_and_serves_fallback() {
+        let params = AnalysisParams::default();
+        let ckpt = std::env::temp_dir().join(format!("clop-serve-resq-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&ckpt);
+        let config = ServeConfig {
+            params,
+            workers: 1,
+            checkpoint_dir: Some(ckpt.clone()),
+            checkpoint_every: 1,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(config.clone()).unwrap();
+        let t = random_trace(36, 700, 11);
+        let files = split_shards(&t, 4, params.affinity.w_max, params.trg.window);
+        let mut c = Client::connect(server.addr());
+        for f in &files {
+            assert!(c.send_shard_retrying("rv", f).starts_with("+OK"));
+        }
+        assert!(c.command("SYNC").starts_with("+SYNCED"));
+        assert_eq!(c.command("STOP"), "+BYE");
+        server.join();
+
+        // Tear the newest checkpoint; the rotated .prev must still serve.
+        let state = checkpoint::state_path(&ckpt, "rv");
+        let bytes = fs::read(&state).unwrap();
+        fs::write(&state, &bytes[..bytes.len() / 3]).unwrap();
+        let server2 = Server::start(config).unwrap();
+        assert_eq!(
+            server2.stats().resume_quarantined.load(Ordering::Relaxed),
+            1
+        );
+        assert_eq!(server2.stats().resume_fallbacks.load(Ordering::Relaxed), 1);
+        let mut c2 = Client::connect(server2.addr());
+        // Re-stream everything (idempotent); the fold converges to batch.
+        for f in &files {
+            assert!(c2.send_shard_retrying("rv", f).starts_with("+OK"));
+        }
+        assert!(c2.command("SYNC").starts_with("+SYNCED"));
+        assert_eq!(
+            c2.query("rv", "function-affinity"),
+            batch_order(&t, "function-affinity", &params)
+        );
+        assert_eq!(c2.command("STOP"), "+BYE");
+        server2.join();
+        fs::remove_dir_all(&ckpt).unwrap();
     }
 }

@@ -36,6 +36,26 @@ pub struct IngestStats {
     pub repair_decoded: AtomicU64,
     /// Sum of `RepairReport::dropped` over all decoded shards.
     pub repair_dropped: AtomicU64,
+    /// Jobs currently sitting in the admission queue (gauge: incremented
+    /// on enqueue, decremented when a worker drains the job).
+    pub queue_depth: AtomicU64,
+    /// `QUERY` commands shed with `-RETRY` while degraded.
+    pub shed_queries: AtomicU64,
+    /// Transitions into the degraded tier.
+    pub degraded_entered: AtomicU64,
+    /// Command lines rejected as malformed (unknown verb, bad arity,
+    /// over-long or unparseable line).
+    pub malformed_lines: AtomicU64,
+    /// Watch-dir files quarantined after repeated unreadable sweeps.
+    pub watch_quarantined: AtomicU64,
+    /// Versions evicted by the state GC.
+    pub evicted_versions: AtomicU64,
+    /// Snapshot bytes freed by the state GC.
+    pub evicted_bytes: AtomicU64,
+    /// Checkpoint files quarantined during resume (torn/corrupt states).
+    pub resume_quarantined: AtomicU64,
+    /// Resumes that fell back to the previous checkpoint generation.
+    pub resume_fallbacks: AtomicU64,
 }
 
 impl IngestStats {
@@ -67,7 +87,23 @@ impl IngestStats {
             ("repair_declared", g(&self.repair_declared)),
             ("repair_decoded", g(&self.repair_decoded)),
             ("repair_dropped", g(&self.repair_dropped)),
+            ("queue_depth", g(&self.queue_depth)),
+            ("shed_queries", g(&self.shed_queries)),
+            ("degraded_entered", g(&self.degraded_entered)),
+            ("malformed_lines", g(&self.malformed_lines)),
+            ("watch_quarantined", g(&self.watch_quarantined)),
+            ("evicted_versions", g(&self.evicted_versions)),
+            ("evicted_bytes", g(&self.evicted_bytes)),
+            ("resume_quarantined", g(&self.resume_quarantined)),
+            ("resume_fallbacks", g(&self.resume_fallbacks)),
         ]
+    }
+
+    /// Decrement a gauge, saturating at zero.
+    pub fn dec(counter: &AtomicU64) {
+        let _ = counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(1))
+        });
     }
 
     /// Shards whose admission outcome is settled past the queue: folded,

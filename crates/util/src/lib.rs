@@ -29,6 +29,9 @@
 //!   never leave torn artifacts.
 //! - [`fault`]: deterministic, seeded corruption generators driving the
 //!   fault-injection suites.
+//! - [`faultnet`]: a seeded fault-injecting stream wrapper (delay, short
+//!   read, partial write, duplicate delivery, mid-frame disconnect) for
+//!   the network chaos suites.
 //! - [`bytes`]: in-memory varint encode/decode for the incremental-state
 //!   snapshot formats.
 
@@ -39,6 +42,7 @@ pub mod check;
 pub mod crc32;
 pub mod error;
 pub mod fault;
+pub mod faultnet;
 pub mod fxhash;
 pub mod json;
 pub mod pool;
