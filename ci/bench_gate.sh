@@ -35,6 +35,14 @@ CLOP_BENCH_QUICK=1 CLOP_BENCH_JSON="$out2" cargo bench -p clop-bench
 # socket on fault-free ingest — robustness must be free when nothing
 # fails. Both rows round-trip the same shards to the same daemon in the
 # same run.
+# The static/locality ceiling is absolute: the trace-free locality pass
+# (working sets, synthetic reuse/footprint, Eq-1 composition, conflict
+# term) must finish under 1 ms on the largest registry workload — the
+# budget the pre-filter hook's "rank before you simulate" contract rests
+# on. The profile and link components it consumes are gated relatively
+# via their own baseline rows (static/profile, static/link,
+# static/score), which tolerate machine-speed drift the way every other
+# row does.
 cargo run -q --release -p clop-bench --bin bench_gate -- \
   --guard affinity/sharded/200000/jobs2 affinity/sharded/200000/jobs1 1.25 \
   --guard affinity/sharded/200000/jobs8 affinity/sharded/200000/jobs1 1.25 \
@@ -43,4 +51,5 @@ cargo run -q --release -p clop-bench --bin bench_gate -- \
   --guard corun/nway/4 corun/nway/2 1.40 \
   --guard corun/nway/8 corun/nway/2 1.80 \
   --guard serve/ingest/session serve/ingest/raw 1.05 \
+  --ceiling static/locality/403.gcc 1000000 \
   BENCH_baseline.json "$out1" "$out2"

@@ -2,9 +2,13 @@
 # lint-ir CI job.
 #
 # Gates the tree on the static verifier: `clop-lint` must pass over every
-# module in the examples/ir corpus and its golden layout orders, must
-# *reject* the intentionally broken corpus, and the pipeline-verification +
-# conflict cross-validation suite must pass.
+# module in the examples/ir corpus and its golden layout orders, the full
+# static analysis pass pipeline must reproduce the committed JSON
+# diagnostic goldens byte-for-byte (examples/ir/golden/; regenerate with
+# CLOP_BLESS=1 ci/lint_ir.sh after an intentional change), `clop-lint`
+# must *reject* the intentionally broken corpus, the trace-free static
+# ranking must hold its Spearman gate on the reduced golden, and the
+# pipeline-verification + conflict cross-validation suite must pass.
 #
 # Usage: ci/lint_ir.sh
 set -euo pipefail
@@ -34,6 +38,33 @@ if [[ "$fail" -ne 0 ]]; then
     exit 1
 fi
 
+echo "== pass pipeline vs JSON diagnostic goldens =="
+mkdir -p examples/ir/golden
+for f in examples/ir/*.clop; do
+    stem="${f%.clop}"
+    args=("$f")
+    if [[ -f "$stem.order" ]]; then
+        args+=(--layout "$stem.order")
+    elif [[ -f "$stem.fnorder" ]]; then
+        args+=(--layout "$stem.fnorder")
+    fi
+    golden="examples/ir/golden/$(basename "$stem").passes.json"
+    got="$(mktemp)"
+    "$LINT" "${args[@]}" --passes --json > "$got"
+    if [[ "${CLOP_BLESS:-0}" = "1" ]]; then
+        cp "$got" "$golden"
+        echo "blessed $golden"
+    elif ! diff -u "$golden" "$got"; then
+        echo "FAIL: pass report for $f differs from $golden" >&2
+        echo "      (rebless with CLOP_BLESS=1 ci/lint_ir.sh)" >&2
+        rm -f "$got"
+        exit 1
+    else
+        echo "golden ok: $golden"
+    fi
+    rm -f "$got"
+done
+
 echo "== negative check: the hostile corpus must be rejected =="
 for f in examples/ir/bad/*.clop; do
     if "$LINT" "$f" >/dev/null 2>&1; then
@@ -42,6 +73,9 @@ for f in examples/ir/bad/*.clop; do
     fi
     echo "rejected $f (as intended)"
 done
+
+echo "== static ranking vs simulation (Spearman gate, reduced golden) =="
+cargo test --release -p clop-bench --test golden reduced_static_rank
 
 echo "== pipeline verification + conflict cross-validation suite =="
 cargo test --release -p clop-bench --test verify_pipelines

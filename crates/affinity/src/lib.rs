@@ -24,6 +24,13 @@
 //! [`hierarchy`] turns pairwise thresholds into the level-by-level
 //! partition with the paper's "lower-level group takes precedence" rule and
 //! emits the final layout sequence.
+//!
+//! Panic discipline: library code returns errors or documents its
+//! invariants instead of unwrapping; the lints below enforce
+//! `clippy::unwrap_used`/`expect_used` on non-test code.
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod analyzer;
 pub mod hierarchy;

@@ -25,16 +25,19 @@ pub fn pair_threshold(trace: &TrimmedTrace, x: BlockId, y: BlockId) -> Option<u3
     if xs.is_empty() || ys.is_empty() {
         return None;
     }
+    // Both occurrence lists are non-empty (checked above), so the inner
+    // min and outer max always see at least one value; the saturating
+    // defaults are never reached.
     let direction = |from: &[usize], to: &[usize]| -> u32 {
         from.iter()
             .map(|&i| {
                 to.iter()
                     .map(|&j| footprint_between(trace, i, j) as u32)
                     .min()
-                    .expect("non-empty")
+                    .unwrap_or(u32::MAX)
             })
             .max()
-            .expect("non-empty")
+            .unwrap_or(0)
     };
     Some(direction(&xs, &ys).max(direction(&ys, &xs)))
 }

@@ -1,0 +1,79 @@
+//! Throughput of the trace-free static analyses: loop/heat profiling,
+//! the static locality score, and the full verify pass pipeline.
+//!
+//! The pre-filter contract is that a static score costs well under a
+//! millisecond per workload — cheap enough to rank every candidate layout
+//! before any simulation is spent. `ci/bench_gate.sh` enforces that
+//! contract with an absolute ceiling on the `static/locality/403.gcc`
+//! row (the locality pass on the largest registry workload), alongside
+//! the usual regression-vs-baseline gating of every row here.
+//!
+//! Workloads are NOT scaled down in quick mode: the whole point of the
+//! ceiling is the cost on a full-size module, and a single score is
+//! microseconds-scale anyway.
+
+use clop_bench::experiments; // ensure the bench crate links (registry unused here)
+use clop_core::static_score;
+use clop_ir::analysis::StaticProfile;
+use clop_ir::{Layout, LinkOptions, LinkedImage};
+use clop_util::bench::Runner;
+use clop_verify::{analyze_locality, LocalityConfig, PassContext, PassManager};
+use clop_workloads::full_suite;
+
+fn main() {
+    let _ = experiments::static_rank::SPEARMAN_GATE;
+    let r = Runner::from_args();
+
+    for name in ["403.gcc", "458.sjeng", "429.mcf"] {
+        let entry = full_suite()
+            .into_iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("suite entry {} exists", name));
+        let w = entry.workload();
+        let layout = Layout::original(&w.module);
+
+        r.bench(&format!("static/profile/{}", name), || {
+            StaticProfile::of(&w.module)
+        });
+        r.bench(&format!("static/score/{}", name), || {
+            static_score(&w.module, &layout)
+        });
+    }
+
+    // Component rows for the largest workload: the image link and the
+    // locality pass alone (profile + image precomputed), so a ceiling
+    // breach on static/score can be attributed.
+    {
+        let entry = full_suite()
+            .into_iter()
+            .find(|e| e.name == "403.gcc")
+            .unwrap_or_else(|| panic!("suite entry 403.gcc exists"));
+        let w = entry.workload();
+        let layout = Layout::original(&w.module);
+        let image = LinkedImage::link(&w.module, &layout, LinkOptions::default());
+        let profile = StaticProfile::of(&w.module);
+        let config = LocalityConfig::default();
+        r.bench("static/link/403.gcc", || {
+            LinkedImage::link(&w.module, &layout, LinkOptions::default())
+        });
+        r.bench("static/locality/403.gcc", || {
+            analyze_locality(&w.module, &image, &profile, &config)
+        });
+    }
+
+    // The full six-pass pipeline (wellformed → layout → equivalence →
+    // profile → conflict → locality) on one borderline workload.
+    {
+        let entry = full_suite()
+            .into_iter()
+            .find(|e| e.name == "458.sjeng")
+            .unwrap_or_else(|| panic!("suite entry 458.sjeng exists"));
+        let w = entry.workload();
+        let layout = Layout::original(&w.module);
+        let manager = PassManager::standard();
+        r.bench("static/passes/458.sjeng", || {
+            let cx = PassContext::new(&w.module).with_layout(&layout);
+            manager.run(&cx)
+        });
+    }
+}

@@ -133,6 +133,15 @@ struct RatioGuard {
     max_ratio: f64,
 }
 
+/// An absolute guard on one benchmark: its best-of-N ns/iter must stay
+/// under a fixed ceiling. Unlike the baseline comparison (relative, with
+/// tolerance) this asserts a hard budget — e.g. "a static locality score
+/// costs under a millisecond", the contract the pre-filter hook rests on.
+struct CeilingGuard {
+    name: String,
+    max_ns: f64,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.get(1).map(String::as_str) == Some("--write-min") {
@@ -150,10 +159,21 @@ fn main() {
     // Extract `--guard <name> <reference> <max_ratio>` triples; what
     // remains is the positional `[baseline] [current...]` list.
     let mut guards: Vec<RatioGuard> = Vec::new();
+    let mut ceilings: Vec<CeilingGuard> = Vec::new();
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.into_iter().skip(1);
     while let Some(arg) = it.next() {
-        if arg == "--guard" {
+        if arg == "--ceiling" {
+            let (Some(name), Some(ns)) = (it.next(), it.next()) else {
+                eprintln!("usage: bench_gate [--ceiling <name> <max_ns>]... [<baseline.json>] [<current.json>...]");
+                std::process::exit(2);
+            };
+            let Ok(max_ns) = ns.parse::<f64>() else {
+                eprintln!("bench_gate: bad ceiling {}", ns);
+                std::process::exit(2);
+            };
+            ceilings.push(CeilingGuard { name, max_ns });
+        } else if arg == "--guard" {
             let (Some(name), Some(reference), Some(ratio)) = (it.next(), it.next(), it.next())
             else {
                 eprintln!("usage: bench_gate [--guard <name> <reference> <max_ratio>]... [<baseline.json>] [<current.json>...]");
@@ -252,6 +272,31 @@ fn main() {
                 println!(
                     "guard {} <= {:.2}x {}: MISSING measurement",
                     g.name, g.max_ratio, g.reference
+                );
+                failures += 1;
+            }
+        }
+    }
+
+    for c in &ceilings {
+        match current.get(&c.name) {
+            Some(&ns) => {
+                let violated = ns > c.max_ns;
+                println!(
+                    "ceiling {} <= {:.0} ns: {:.0} ns{}",
+                    c.name,
+                    c.max_ns,
+                    ns,
+                    if violated { "  VIOLATED" } else { "" }
+                );
+                if violated {
+                    failures += 1;
+                }
+            }
+            None => {
+                println!(
+                    "ceiling {} <= {:.0} ns: MISSING measurement",
+                    c.name, c.max_ns
                 );
                 failures += 1;
             }

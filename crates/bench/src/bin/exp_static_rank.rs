@@ -1,0 +1,3 @@
+fn main() {
+    clop_bench::experiment::cli_main("static_rank");
+}

@@ -216,6 +216,11 @@ pub fn all() -> Vec<Experiment> {
             title: "extension: N-way co-run, analytic N-peer model vs simulation",
             run: nway_validation::run,
         },
+        Experiment {
+            name: "static_rank",
+            title: "extension: trace-free static layout ranking vs simulation",
+            run: static_rank::run,
+        },
     ]
 }
 
@@ -296,7 +301,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_findable() {
         let exps = all();
-        assert_eq!(exps.len(), 19);
+        assert_eq!(exps.len(), 20);
         let mut names: Vec<&str> = exps.iter().map(|e| e.name).collect();
         names.sort_unstable();
         names.dedup();

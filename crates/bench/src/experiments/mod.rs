@@ -21,5 +21,6 @@ pub mod multilevel;
 pub mod nway_validation;
 pub mod petrank_wall;
 pub mod smt_width;
+pub mod static_rank;
 pub mod table1_characteristics;
 pub mod table2_corun;

@@ -17,8 +17,9 @@
 
 use clop_bench::experiment::ExperimentCtx;
 use clop_bench::experiments::{
-    fig4_miss_ratios, fig5_solo, fig7_throughput, nway_validation, table2_corun,
+    fig4_miss_ratios, fig5_solo, fig7_throughput, nway_validation, static_rank, table2_corun,
 };
+use clop_core::OptimizerKind;
 use clop_util::{Json, ToJson};
 use clop_workloads::{full_suite, PrimaryBenchmark};
 use std::path::PathBuf;
@@ -127,6 +128,37 @@ fn reduced_nway_matches_golden() {
         ("summary", summary.to_json()),
     ]);
     check_golden("nway_reduced", &json);
+}
+
+#[test]
+fn reduced_static_rank_matches_golden() {
+    // The static-rank cross-validation over the FULL 29-workload registry
+    // suite, reduced only in its candidate set (the two function-granularity
+    // optimizers — BB reordering dominates the full experiment's runtime and
+    // adds no new static-analysis path). Pins the trace-free locality scores
+    // and asserts the acceptance gate: the static ranking must agree with
+    // the simulated solo miss ratios at pooled Spearman >= 0.6.
+    let ctx = ExperimentCtx::new(2);
+    let entries = full_suite();
+    assert_eq!(entries.len(), 29, "registry suite is the full 29 programs");
+    let rows = static_rank::rows_for(
+        &ctx,
+        &entries,
+        &[OptimizerKind::FunctionAffinity, OptimizerKind::FunctionTrg],
+    );
+    assert_eq!(rows.len(), 29 * 3, "original + 2 candidates per workload");
+    let summary = static_rank::summarize(&rows);
+    assert!(
+        summary.passes_gate(),
+        "static ranking diverged from simulation: pooled spearman {:.3} < {}",
+        summary.spearman,
+        static_rank::SPEARMAN_GATE
+    );
+    let json = Json::obj(vec![
+        ("rows", rows.to_json()),
+        ("summary", summary.to_json()),
+    ]);
+    check_golden("static_rank_reduced", &json);
 }
 
 #[test]

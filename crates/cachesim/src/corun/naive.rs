@@ -64,11 +64,18 @@ impl NaiveCache {
         }
         // Victim: the first way in way order with the minimal key, where
         // an invalid way keys as 0 — the same order the fast path's
-        // stamp-0-invalid encoding yields.
-        let victim = set
-            .iter_mut()
-            .min_by_key(|w| if w.valid { w.lru } else { 0 })
-            .expect("associativity >= 1");
+        // stamp-0-invalid encoding yields. Sets are built with at least
+        // one way, so the fold always selects a victim.
+        let mut victim_ix = 0usize;
+        let mut victim_key = u64::MAX;
+        for (i, w) in set.iter().enumerate() {
+            let key = if w.valid { w.lru } else { 0 };
+            if key < victim_key {
+                victim_key = key;
+                victim_ix = i;
+            }
+        }
+        let victim = &mut set[victim_ix];
         let evicted = victim.valid.then_some(victim.tag);
         victim.valid = true;
         victim.tag = line;

@@ -61,7 +61,7 @@ pub fn greedy_pairing(matrix: &[Vec<f64>]) -> Pairing {
             candidates.push((pair_cost(matrix, i, j), i, j));
         }
     }
-    candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     for (_, i, j) in candidates {
         if !used[i] && !used[j] {
             used[i] = true;
@@ -131,14 +131,12 @@ pub fn optimal_pairing(matrix: &[Vec<f64>]) -> Pairing {
     if n == 0 {
         return (Vec::new(), None);
     }
+    // `all_pairings(n)` is non-empty for n >= 1 (checked above); the
+    // empty fallback is never reached.
     all_pairings(n)
         .into_iter()
-        .min_by(|a, b| {
-            pairing_cost(matrix, &a.0)
-                .partial_cmp(&pairing_cost(matrix, &b.0))
-                .unwrap()
-        })
-        .unwrap()
+        .min_by(|a, b| pairing_cost(matrix, &a.0).total_cmp(&pairing_cost(matrix, &b.0)))
+        .unwrap_or((Vec::new(), None))
 }
 
 /// The worst (maximum-cost) pairing — useful as the adversarial
@@ -153,7 +151,7 @@ pub fn worst_pairing(matrix: &[Vec<f64>]) -> Pairing {
             candidates.push((pair_cost(matrix, i, j), i, j));
         }
     }
-    candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    candidates.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
     for (_, i, j) in candidates {
         if !used[i] && !used[j] {
             used[i] = true;
@@ -313,14 +311,14 @@ pub fn optimal_grouping(
     if models.is_empty() {
         return Vec::new();
     }
+    // `all_groupings` yields at least the trivial grouping for a
+    // non-empty model list (checked above).
     all_groupings(models.len(), group_size)
         .into_iter()
         .min_by(|a, b| {
-            grouping_cost(models, a, capacity)
-                .partial_cmp(&grouping_cost(models, b, capacity))
-                .unwrap()
+            grouping_cost(models, a, capacity).total_cmp(&grouping_cost(models, b, capacity))
         })
-        .unwrap()
+        .unwrap_or_default()
 }
 
 #[cfg(test)]

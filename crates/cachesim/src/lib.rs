@@ -16,6 +16,13 @@
 //!   of the paper) → [`model`], which composes a program's reuse-distance
 //!   histogram with its peer's footprint curve and defines the formal
 //!   defensiveness and politeness scores.
+//!
+//! Panic discipline: library code returns errors or documents its
+//! invariants instead of unwrapping; the lints below enforce
+//! `clippy::unwrap_used`/`expect_used` on non-test code.
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod config;
 pub mod corun;

@@ -143,9 +143,10 @@ impl PolicyCache {
             w
         } else {
             match self.policy {
+                // `assoc >= 1`, so the fold sees at least way 0.
                 ReplacementPolicy::Lru => (0..assoc)
                     .min_by_key(|&w| self.ways[base + w].stamp)
-                    .expect("assoc >= 1"),
+                    .unwrap_or(0),
                 ReplacementPolicy::Fifo => {
                     let c = self.fifo_cursor[set] as usize % assoc;
                     self.fifo_cursor[set] = self.fifo_cursor[set].wrapping_add(1);

@@ -48,6 +48,7 @@ pub mod eval;
 pub mod incremental;
 pub mod optimizer;
 pub mod pipeline;
+pub mod prefilter;
 pub mod profile;
 pub mod report;
 pub mod search;
@@ -64,6 +65,10 @@ pub use pipeline::{
     build_pipeline, register_pipeline, registered_pipelines, BbReorder, FunctionReorder,
     LocalityModel, Pipeline, PipelineParams, PipelineRegistry, Transform, TrgModel,
     WWindowAffinity,
+};
+pub use prefilter::{
+    prefilter_pipelines, rank_pipelines_static, static_score, StaticRankEntry, StaticRanking,
+    ORIGINAL_LAYOUT,
 };
 pub use profile::{Profile, ProfileConfig};
 pub use report::{OptimizationReport, SideReport};

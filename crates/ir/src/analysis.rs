@@ -1,0 +1,873 @@
+//! Trace-free structural analyses: dominators, natural loops, and static
+//! block-frequency estimation.
+//!
+//! Everything in this module is computed from the IR alone — no execution,
+//! no trace. The dominator machinery is the shared substrate (clop-verify's
+//! equivalence pass consumes it to prove flow preservation); on top of it
+//! sit natural-loop detection and a Ball–Larus-style static profile: branch
+//! probabilities read from the behaviour models where they exist
+//! ([`CondModel::Bernoulli`], switch weights) and estimated by loop/branch
+//! heuristics where they don't, then propagated through each function in
+//! reverse post-order with loop-trip multipliers at headers, and across
+//! functions along the call graph. The result — [`StaticProfile`] — is the
+//! static counterpart of an interpreter-measured block trace histogram, and
+//! feeds clop-verify's static locality pass.
+//!
+//! All analyses are best-effort on malformed input (out-of-range targets
+//! and entries are dropped, not panicked on) and deterministic: iteration
+//! is in block/function index order throughout, so results are independent
+//! of hashing and thread count.
+
+use crate::block::{CondModel, Terminator};
+use crate::cfg::Cfg;
+use crate::function::Function;
+use crate::ids::{FuncId, LocalBlockId};
+use crate::module::Module;
+
+/// Estimated iterations for loops whose back-edge probability comes from a
+/// heuristic rather than an explicit trip count. Caps `1/(1-p)` blow-ups.
+pub const MAX_TRIP_ESTIMATE: f64 = 4096.0;
+
+/// Back-edge probability assumed for loop branches with no static
+/// information (the loop-branch heuristic: back edges are usually taken).
+pub const LOOP_BRANCH_HEURISTIC: f64 = 0.85;
+
+/// Ceiling on any propagated frequency; keeps deep nests and recursive
+/// call chains finite without changing relative order.
+pub const MAX_FREQUENCY: f64 = 1e12;
+
+/// A fixed-capacity bitset over block indices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// The empty set over a universe of `len` indices.
+    pub fn new(len: usize) -> BitSet {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// The full set over a universe of `len` indices.
+    pub fn full(len: usize) -> BitSet {
+        let mut words = vec![!0u64; len.div_ceil(64)];
+        if !len.is_multiple_of(64) {
+            if let Some(w) = words.last_mut() {
+                *w = (1u64 << (len % 64)) - 1;
+            }
+        }
+        BitSet { words, len }
+    }
+
+    /// Insert an index (out-of-range inserts are ignored).
+    pub fn insert(&mut self, i: usize) {
+        if i < self.len {
+            self.words[i / 64] |= 1 << (i % 64);
+        }
+    }
+
+    /// Membership test (out-of-range is always false).
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.len && self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+    }
+
+    /// In-place union; returns whether `self` grew.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            let new = *w | o;
+            changed |= new != *w;
+            *w = new;
+        }
+        changed
+    }
+
+    /// Number of set members.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterate set members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(|&i| self.words[i / 64] >> (i % 64) & 1 == 1)
+    }
+}
+
+/// Guarded reachability from the function entry (out-of-range successors
+/// are skipped rather than panicking; the well-formedness pass reports
+/// them separately).
+pub fn reachable(f: &Function) -> Vec<bool> {
+    Cfg::of(f).reachable()
+}
+
+/// Dominator sets by iterative bitset dataflow over the reachable
+/// subgraph. Unreachable blocks get an empty set.
+pub fn dominators(f: &Function, reach: &[bool]) -> Vec<BitSet> {
+    let n = f.blocks.len();
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, b) in f.blocks.iter().enumerate() {
+        if !reach[i] {
+            continue;
+        }
+        for s in b.local_successors() {
+            if s.index() < n && reach[s.index()] {
+                preds[s.index()].push(i);
+            }
+        }
+    }
+    let mut dom: Vec<BitSet> = (0..n)
+        .map(|i| {
+            if reach[i] {
+                BitSet::full(n)
+            } else {
+                BitSet::new(n)
+            }
+        })
+        .collect();
+    if n == 0 || f.entry.index() >= n {
+        return dom;
+    }
+    let entry = f.entry.index();
+    dom[entry] = BitSet::new(n);
+    dom[entry].insert(entry);
+    // One scratch set reused across the whole fixpoint: no allocation in
+    // the inner loop.
+    let full = BitSet::full(n);
+    let mut new = BitSet::new(n);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..n {
+            if !reach[i] || i == entry {
+                continue;
+            }
+            new.clone_from(&full);
+            for &p in &preds[i] {
+                new.intersect_with(&dom[p]);
+            }
+            new.insert(i);
+            if new != dom[i] {
+                std::mem::swap(&mut dom[i], &mut new);
+                changed = true;
+            }
+        }
+    }
+    dom
+}
+
+/// One natural loop: a dominating header plus the blocks that can reach a
+/// back edge without leaving through the header. Loops sharing a header
+/// are merged (the classic normalization).
+#[derive(Clone, Debug)]
+pub struct NaturalLoop {
+    /// The loop header (dominates every block of the body).
+    pub header: LocalBlockId,
+    /// Sources of the back edges into the header, ascending.
+    pub tails: Vec<LocalBlockId>,
+    /// All body blocks including the header, ascending.
+    pub body: Vec<LocalBlockId>,
+    /// Nesting depth: 1 for an outermost loop.
+    pub depth: usize,
+    /// Estimated iterations per loop activation (≥ 1). Exact for
+    /// [`CondModel::LoopCounter`] back edges, `1/(1-p)` capped at
+    /// [`MAX_TRIP_ESTIMATE`] otherwise.
+    pub trip: f64,
+}
+
+/// The loop forest of one function.
+#[derive(Clone, Debug)]
+pub struct LoopNest {
+    loops: Vec<NaturalLoop>,
+    depth_by_block: Vec<usize>,
+    innermost_by_block: Vec<Option<usize>>,
+}
+
+impl LoopNest {
+    /// Detect the natural loops of `f` (back edge = an edge whose target
+    /// dominates its source).
+    pub fn of(f: &Function) -> LoopNest {
+        let cfg = Cfg::of(f);
+        let reach = cfg.reachable();
+        let dom = dominators(f, &reach);
+        LoopNest::of_parts(f, &cfg, &reach, &dom)
+    }
+
+    /// [`LoopNest::of`] over precomputed CFG/reachability/dominators —
+    /// callers that already hold them (the profile propagation) avoid
+    /// recomputing the dominator fixpoint.
+    pub fn of_parts(f: &Function, cfg: &Cfg, reach: &[bool], dom: &[BitSet]) -> LoopNest {
+        let n = f.blocks.len();
+
+        // Back edges grouped by header.
+        let mut tails_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for u in 0..n {
+            if !reach[u] {
+                continue;
+            }
+            for &s in cfg.successors(LocalBlockId(u as u32)) {
+                let v = s.index();
+                if reach[v] && dom[u].contains(v) {
+                    tails_of[v].push(u);
+                }
+            }
+        }
+
+        let mut loops = Vec::new();
+        for h in 0..n {
+            if tails_of[h].is_empty() {
+                continue;
+            }
+            tails_of[h].sort_unstable();
+            tails_of[h].dedup();
+            // Body: header plus everything reverse-reachable from a tail
+            // without passing through the header.
+            let mut in_body = vec![false; n];
+            in_body[h] = true;
+            let mut stack: Vec<usize> = Vec::new();
+            for &t in &tails_of[h] {
+                if !in_body[t] {
+                    in_body[t] = true;
+                    stack.push(t);
+                }
+            }
+            while let Some(b) = stack.pop() {
+                for &p in cfg.predecessors(LocalBlockId(b as u32)) {
+                    let p = p.index();
+                    if reach[p] && !in_body[p] {
+                        in_body[p] = true;
+                        stack.push(p);
+                    }
+                }
+            }
+            let body: Vec<LocalBlockId> = (0..n)
+                .filter(|&b| in_body[b])
+                .map(|b| LocalBlockId(b as u32))
+                .collect();
+            let trip = trip_estimate(f, h, &tails_of[h]);
+            loops.push(NaturalLoop {
+                header: LocalBlockId(h as u32),
+                tails: tails_of[h]
+                    .iter()
+                    .map(|&t| LocalBlockId(t as u32))
+                    .collect(),
+                body,
+                depth: 0,
+                trip,
+            });
+        }
+
+        // Nesting depth of a block = number of loop bodies containing it;
+        // innermost loop = the smallest containing body (deterministic
+        // tie-break on header index). One sweep over body members, not a
+        // membership test per (block, loop) pair.
+        let mut depth_by_block = vec![0usize; n];
+        let mut innermost_by_block: Vec<Option<usize>> = vec![None; n];
+        for (li, l) in loops.iter().enumerate() {
+            let ck = (l.body.len(), l.header.0);
+            for &b in &l.body {
+                let b = b.index();
+                depth_by_block[b] += 1;
+                innermost_by_block[b] = match innermost_by_block[b] {
+                    None => Some(li),
+                    Some(prev) => {
+                        let pk = (loops[prev].body.len(), loops[prev].header.0);
+                        Some(if ck < pk { li } else { prev })
+                    }
+                };
+            }
+        }
+        for li in 0..loops.len() {
+            loops[li].depth = depth_by_block[loops[li].header.index()];
+        }
+        LoopNest {
+            loops,
+            depth_by_block,
+            innermost_by_block,
+        }
+    }
+
+    /// The loops, ordered by header index.
+    pub fn loops(&self) -> &[NaturalLoop] {
+        &self.loops
+    }
+
+    /// Nesting depth of a block (0 = not inside any loop).
+    pub fn depth_of(&self, b: LocalBlockId) -> usize {
+        self.depth_by_block.get(b.index()).copied().unwrap_or(0)
+    }
+
+    /// Index (into [`LoopNest::loops`]) of the innermost loop containing a
+    /// block, if any.
+    pub fn innermost_of(&self, b: LocalBlockId) -> Option<usize> {
+        self.innermost_by_block.get(b.index()).copied().flatten()
+    }
+}
+
+/// Probability that control leaving block `b` takes each successor edge.
+/// Parallel edges to the same target are merged; out-of-range targets are
+/// dropped. An empty vector means the block exits the function.
+pub fn successor_probabilities(f: &Function, b: LocalBlockId) -> Vec<(LocalBlockId, f64)> {
+    let n = f.blocks.len();
+    let Some(block) = f.blocks.get(b.index()) else {
+        return Vec::new();
+    };
+    let raw: Vec<(LocalBlockId, f64)> = match &block.terminator {
+        Terminator::Jump(t) => vec![(*t, 1.0)],
+        Terminator::Branch {
+            cond,
+            taken,
+            not_taken,
+        } => {
+            let p = cond_taken_probability(cond);
+            vec![(*taken, p), (*not_taken, 1.0 - p)]
+        }
+        Terminator::Switch { targets, weights } => {
+            let sum: f64 = weights.iter().filter(|w| w.is_finite() && **w >= 0.0).sum();
+            if sum > 0.0 && weights.len() == targets.len() {
+                targets
+                    .iter()
+                    .zip(weights)
+                    .map(|(t, w)| (*t, w.max(0.0) / sum))
+                    .collect()
+            } else if targets.is_empty() {
+                Vec::new()
+            } else {
+                let u = 1.0 / targets.len() as f64;
+                targets.iter().map(|t| (*t, u)).collect()
+            }
+        }
+        Terminator::Call { ret_to, .. } => vec![(*ret_to, 1.0)],
+        Terminator::Return => Vec::new(),
+    };
+    let mut merged: Vec<(LocalBlockId, f64)> = Vec::with_capacity(raw.len());
+    for (t, p) in raw {
+        if t.index() >= n {
+            continue;
+        }
+        match merged.iter_mut().find(|(u, _)| *u == t) {
+            Some((_, q)) => *q += p,
+            None => merged.push((t, p)),
+        }
+    }
+    merged
+}
+
+/// Static probability that a branch condition evaluates true (Ball–Larus
+/// style: exact where the behaviour model pins it, heuristic otherwise).
+pub fn cond_taken_probability(cond: &CondModel) -> f64 {
+    match cond {
+        CondModel::Bernoulli(p) => {
+            if p.is_finite() {
+                p.clamp(0.0, 1.0)
+            } else {
+                0.5
+            }
+        }
+        // Taken on all but one of every `period` evaluations.
+        CondModel::Alternating(period) => {
+            if *period == 0 {
+                0.5
+            } else {
+                (*period as f64 - 1.0) / *period as f64
+            }
+        }
+        // Value-correlated: statically opaque.
+        CondModel::GlobalEq { .. } => 0.5,
+        // Taken `trip` times, then not taken once.
+        CondModel::LoopCounter { trip } => *trip as f64 / (*trip as f64 + 1.0),
+    }
+}
+
+/// Expected iterations per activation for the loop headed at `h`.
+fn trip_estimate(f: &Function, h: usize, tails: &[usize]) -> f64 {
+    // Exact case: a LoopCounter branch whose taken edge is the back edge
+    // runs the body trip+1 times per activation.
+    for &t in tails {
+        if let Terminator::Branch {
+            cond: CondModel::LoopCounter { trip },
+            taken,
+            not_taken,
+        } = &f.blocks[t].terminator
+        {
+            if taken.index() == h && not_taken.index() != h {
+                return (f64::from(*trip) + 1.0).min(MAX_TRIP_ESTIMATE);
+            }
+        }
+    }
+    // Heuristic case: total probability mass flowing back to the header.
+    let mut p_back = 0.0;
+    for &t in tails {
+        let opaque = matches!(
+            &f.blocks[t].terminator,
+            Terminator::Branch {
+                cond: CondModel::GlobalEq { .. },
+                ..
+            }
+        );
+        for (succ, p) in successor_probabilities(f, LocalBlockId(t as u32)) {
+            if succ.index() == h {
+                p_back += if opaque { LOOP_BRANCH_HEURISTIC } else { p };
+            }
+        }
+    }
+    let p_back = p_back.clamp(0.0, 1.0 - 1.0 / MAX_TRIP_ESTIMATE);
+    (1.0 / (1.0 - p_back)).clamp(1.0, MAX_TRIP_ESTIMATE)
+}
+
+/// Static execution-frequency estimate for one function: expected block
+/// executions per function invocation, plus the loop nest they came from.
+#[derive(Clone, Debug)]
+pub struct FuncProfile {
+    /// Per-block expected executions per invocation (0 for unreachable).
+    pub freq: Vec<f64>,
+    /// The function's loop forest.
+    pub nest: LoopNest,
+}
+
+/// Estimate per-invocation block frequencies of `f`.
+///
+/// Mass 1.0 enters at the function entry and flows along forward edges
+/// (back edges removed) in reverse post-order; a loop header multiplies
+/// its accumulated entry mass by the loop's trip estimate, which is how
+/// back-edge mass re-enters without iterating to a fixpoint. Retreating
+/// edges that are not dominance back edges (irreducible regions) are
+/// dropped deterministically, so the propagation always terminates.
+pub fn func_profile(f: &Function) -> FuncProfile {
+    let n = f.blocks.len();
+    let cfg = Cfg::of(f);
+    let reach = cfg.reachable();
+    let dom = dominators(f, &reach);
+    let nest = LoopNest::of_parts(f, &cfg, &reach, &dom);
+    let mut freq = vec![0.0f64; n];
+    if n == 0 || f.entry.index() >= n {
+        return FuncProfile { freq, nest };
+    }
+
+    // Trip multiplier per header.
+    let mut trip_of = vec![1.0f64; n];
+    for l in nest.loops() {
+        trip_of[l.header.index()] = l.trip;
+    }
+
+    // Depth-first post-order on forward edges (dominance back edges
+    // removed), successors visited in index order.
+    let mut post: Vec<usize> = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut stack: Vec<(usize, usize)> = vec![(f.entry.index(), 0)];
+    visited[f.entry.index()] = true;
+    while let Some(&(u, next)) = stack.last() {
+        let succs = cfg.successors(LocalBlockId(u as u32));
+        if next < succs.len() {
+            if let Some(top) = stack.last_mut() {
+                top.1 += 1;
+            }
+            let v = succs[next].index();
+            if !dom[u].contains(v) && !visited[v] {
+                visited[v] = true;
+                stack.push((v, 0));
+            }
+        } else {
+            stack.pop();
+            post.push(u);
+        }
+    }
+    let mut pos = vec![usize::MAX; n];
+    let order: Vec<usize> = post.into_iter().rev().collect();
+    for (i, &b) in order.iter().enumerate() {
+        pos[b] = i;
+    }
+
+    freq[f.entry.index()] = 1.0;
+    for &u in &order {
+        freq[u] = (freq[u] * trip_of[u]).min(MAX_FREQUENCY);
+        if freq[u] <= 0.0 {
+            continue;
+        }
+        for (v, p) in successor_probabilities(f, LocalBlockId(u as u32)) {
+            let v = v.index();
+            if dom[u].contains(v) {
+                continue; // back edge: accounted for by the trip multiplier
+            }
+            if pos[v] == usize::MAX || pos[v] <= pos[u] {
+                continue; // retreating edge in an irreducible region
+            }
+            freq[v] = (freq[v] + freq[u] * p).min(MAX_FREQUENCY);
+        }
+    }
+    FuncProfile { freq, nest }
+}
+
+/// Whole-module static profile: per-function invocation counts and global
+/// per-block heats, with the per-function loop nests retained.
+#[derive(Clone, Debug)]
+pub struct StaticProfile {
+    /// Expected invocations of each function per program run (entry = 1).
+    pub func_freq: Vec<f64>,
+    /// Expected executions of each block (global id order):
+    /// `func_freq[f] * funcs[f].freq[b]`.
+    pub block_freq: Vec<f64>,
+    /// Per-function profiles (local frequencies + loop nests).
+    pub funcs: Vec<FuncProfile>,
+}
+
+impl StaticProfile {
+    /// Analyze a module: local propagation per function, then bounded
+    /// Jacobi iteration over the call graph (call rates are the static
+    /// frequencies of the call blocks). Exact for acyclic call graphs;
+    /// recursion saturates at [`MAX_FREQUENCY`] instead of diverging.
+    pub fn of(module: &Module) -> StaticProfile {
+        let nf = module.num_functions();
+        let funcs: Vec<FuncProfile> = module.functions.iter().map(func_profile).collect();
+
+        // call_rate[f] = (callee, expected calls per invocation of f)
+        let mut call_rate: Vec<Vec<(usize, f64)>> = vec![Vec::new(); nf];
+        for (fi, f) in module.functions.iter().enumerate() {
+            for (bi, b) in f.blocks.iter().enumerate() {
+                if let Terminator::Call { callee, .. } = &b.terminator {
+                    if callee.index() < nf {
+                        let rate = funcs[fi].freq[bi];
+                        if rate > 0.0 {
+                            let entry =
+                                call_rate[fi].iter_mut().find(|(g, _)| *g == callee.index());
+                            match entry {
+                                Some((_, r)) => *r += rate,
+                                None => call_rate[fi].push((callee.index(), rate)),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut func_freq = vec![0.0f64; nf];
+        if nf > 0 && module.entry.index() < nf {
+            let entry = module.entry.index();
+            func_freq[entry] = 1.0;
+            // Bounded Jacobi iteration: converges in call-depth passes for
+            // a DAG; cycles (recursion) stop changing once saturated or
+            // when the pass budget runs out.
+            for _ in 0..nf.clamp(8, 64) {
+                let mut next = vec![0.0f64; nf];
+                next[entry] = 1.0;
+                for fi in 0..nf {
+                    if func_freq[fi] <= 0.0 {
+                        continue;
+                    }
+                    for &(g, r) in &call_rate[fi] {
+                        next[g] = (next[g] + func_freq[fi] * r).min(MAX_FREQUENCY);
+                    }
+                }
+                let delta = func_freq
+                    .iter()
+                    .zip(&next)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max);
+                func_freq = next;
+                if delta < 1e-9 {
+                    break;
+                }
+            }
+        }
+
+        let mut block_freq = vec![0.0f64; module.num_blocks()];
+        for (fi, fp) in funcs.iter().enumerate() {
+            for (bi, &lf) in fp.freq.iter().enumerate() {
+                let g = module.global_id(FuncId(fi as u32), LocalBlockId(bi as u32));
+                block_freq[g.index()] = (func_freq[fi] * lf).min(MAX_FREQUENCY);
+            }
+        }
+        StaticProfile {
+            func_freq,
+            block_freq,
+            funcs,
+        }
+    }
+
+    /// Total expected block executions (the static analogue of trace
+    /// length).
+    pub fn total_heat(&self) -> f64 {
+        self.block_freq.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BasicBlock;
+    use crate::builder::ModuleBuilder;
+
+    fn lb(i: u32) -> LocalBlockId {
+        LocalBlockId(i)
+    }
+
+    /// entry -> loop header -> body -> (back | exit), LoopCounter trip 9.
+    fn counted_loop(trip: u32) -> Function {
+        Function::new(
+            "l",
+            vec![
+                BasicBlock::new("entry", 8, Terminator::Jump(lb(1))),
+                BasicBlock::new("head", 8, Terminator::Jump(lb(2))),
+                BasicBlock::new(
+                    "latch",
+                    8,
+                    Terminator::Branch {
+                        cond: CondModel::LoopCounter { trip },
+                        taken: lb(1),
+                        not_taken: lb(3),
+                    },
+                ),
+                BasicBlock::new("exit", 8, Terminator::Return),
+            ],
+        )
+    }
+
+    #[test]
+    fn counted_loop_is_detected_with_exact_trip() {
+        let f = counted_loop(9);
+        let nest = LoopNest::of(&f);
+        assert_eq!(nest.loops().len(), 1);
+        let l = &nest.loops()[0];
+        assert_eq!(l.header, lb(1));
+        assert_eq!(l.tails, vec![lb(2)]);
+        assert_eq!(l.body, vec![lb(1), lb(2)]);
+        assert_eq!(l.depth, 1);
+        assert!((l.trip - 10.0).abs() < 1e-12);
+        assert_eq!(nest.depth_of(lb(0)), 0);
+        assert_eq!(nest.depth_of(lb(2)), 1);
+        assert_eq!(nest.innermost_of(lb(3)), None);
+    }
+
+    #[test]
+    fn counted_loop_frequencies_match_trip() {
+        let p = func_profile(&counted_loop(9));
+        assert!((p.freq[0] - 1.0).abs() < 1e-9);
+        assert!((p.freq[1] - 10.0).abs() < 1e-9);
+        assert!((p.freq[2] - 10.0).abs() < 1e-9);
+        assert!((p.freq[3] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bernoulli_back_edge_uses_geometric_trip() {
+        let f = Function::new(
+            "g",
+            vec![
+                BasicBlock::new(
+                    "head",
+                    8,
+                    Terminator::Branch {
+                        cond: CondModel::Bernoulli(0.75),
+                        taken: lb(0),
+                        not_taken: lb(1),
+                    },
+                ),
+                BasicBlock::new("exit", 8, Terminator::Return),
+            ],
+        );
+        let nest = LoopNest::of(&f);
+        assert_eq!(nest.loops().len(), 1);
+        // p_back = 0.75 -> 1/(1-0.75) = 4 iterations.
+        assert!((nest.loops()[0].trip - 4.0).abs() < 1e-9);
+        let p = func_profile(&f);
+        assert!((p.freq[0] - 4.0).abs() < 1e-9);
+        assert!((p.freq[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nested_loops_compose_multiplicatively() {
+        // outer head(1) -> inner head(2) -> inner latch(2 self via counter)
+        // -> outer latch -> exit. Inner trip 4, outer trip 3.
+        let f = Function::new(
+            "n",
+            vec![
+                BasicBlock::new("entry", 8, Terminator::Jump(lb(1))),
+                BasicBlock::new("outer", 8, Terminator::Jump(lb(2))),
+                BasicBlock::new(
+                    "inner",
+                    8,
+                    Terminator::Branch {
+                        cond: CondModel::LoopCounter { trip: 3 },
+                        taken: lb(2),
+                        not_taken: lb(3),
+                    },
+                ),
+                BasicBlock::new(
+                    "latch",
+                    8,
+                    Terminator::Branch {
+                        cond: CondModel::LoopCounter { trip: 2 },
+                        taken: lb(1),
+                        not_taken: lb(4),
+                    },
+                ),
+                BasicBlock::new("exit", 8, Terminator::Return),
+            ],
+        );
+        let nest = LoopNest::of(&f);
+        assert_eq!(nest.loops().len(), 2);
+        assert_eq!(nest.depth_of(lb(2)), 2);
+        assert_eq!(nest.depth_of(lb(3)), 1);
+        let inner = nest.innermost_of(lb(2)).map(|i| &nest.loops()[i]);
+        assert_eq!(inner.map(|l| l.header), Some(lb(2)));
+        let p = func_profile(&f);
+        assert!((p.freq[1] - 3.0).abs() < 1e-9, "{:?}", p.freq);
+        assert!((p.freq[2] - 12.0).abs() < 1e-9, "{:?}", p.freq);
+        assert!((p.freq[3] - 3.0).abs() < 1e-9, "{:?}", p.freq);
+        assert!((p.freq[4] - 1.0).abs() < 1e-9, "{:?}", p.freq);
+    }
+
+    #[test]
+    fn self_loop_is_its_own_header_and_tail() {
+        let f = Function::new(
+            "s",
+            vec![BasicBlock::new(
+                "spin",
+                8,
+                Terminator::Branch {
+                    cond: CondModel::Bernoulli(0.5),
+                    taken: lb(0),
+                    not_taken: lb(0),
+                },
+            )],
+        );
+        let nest = LoopNest::of(&f);
+        assert_eq!(nest.loops().len(), 1);
+        let l = &nest.loops()[0];
+        assert_eq!(l.header, lb(0));
+        assert_eq!(l.tails, vec![lb(0)]);
+        // Both branch arms return to the header: p_back = 1, capped trip.
+        assert!((l.trip - MAX_TRIP_ESTIMATE).abs() < 1.0);
+        let p = func_profile(&f);
+        assert!(p.freq[0] >= 1.0 && p.freq[0].is_finite());
+    }
+
+    #[test]
+    fn unreachable_blocks_have_zero_frequency_and_no_loops() {
+        let f = Function::new(
+            "u",
+            vec![
+                BasicBlock::new("entry", 8, Terminator::Return),
+                BasicBlock::new("dead", 8, Terminator::Jump(lb(1))),
+            ],
+        );
+        let nest = LoopNest::of(&f);
+        assert!(nest.loops().is_empty(), "dead self-loop must be ignored");
+        let p = func_profile(&f);
+        assert_eq!(p.freq, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn degenerate_functions_do_not_panic() {
+        let empty = Function::new("e", vec![]);
+        assert!(func_profile(&empty).freq.is_empty());
+        assert!(LoopNest::of(&empty).loops().is_empty());
+        let mut bad = counted_loop(3);
+        bad.entry = lb(40);
+        let p = func_profile(&bad);
+        assert!(p.freq.iter().all(|&x| x == 0.0));
+        let dangle = Function::new("d", vec![BasicBlock::new("a", 8, Terminator::Jump(lb(9)))]);
+        let p = func_profile(&dangle);
+        assert_eq!(p.freq, vec![1.0]);
+    }
+
+    #[test]
+    fn irreducible_diamond_terminates_with_finite_heats() {
+        // 0 branches into 1 and 2; 1 and 2 jump to each other: a cycle
+        // with two entries, so neither node dominates the other and there
+        // is no dominance back edge. The retreating edge must be dropped,
+        // not looped over.
+        let f = Function::new(
+            "irr",
+            vec![
+                BasicBlock::new(
+                    "split",
+                    8,
+                    Terminator::Branch {
+                        cond: CondModel::Bernoulli(0.5),
+                        taken: lb(1),
+                        not_taken: lb(2),
+                    },
+                ),
+                BasicBlock::new("a", 8, Terminator::Jump(lb(2))),
+                BasicBlock::new("b", 8, Terminator::Jump(lb(1))),
+            ],
+        );
+        let nest = LoopNest::of(&f);
+        assert!(nest.loops().is_empty(), "no dominance back edge exists");
+        let p = func_profile(&f);
+        assert!(p.freq.iter().all(|x| x.is_finite() && *x >= 0.0));
+        assert!((p.freq[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn switch_weights_normalize() {
+        let f = Function::new(
+            "sw",
+            vec![
+                BasicBlock::new(
+                    "s",
+                    8,
+                    Terminator::Switch {
+                        targets: vec![lb(1), lb(2)],
+                        weights: vec![3.0, 1.0],
+                    },
+                ),
+                BasicBlock::new("x", 8, Terminator::Return),
+                BasicBlock::new("y", 8, Terminator::Return),
+            ],
+        );
+        let p = successor_probabilities(&f, lb(0));
+        assert_eq!(p.len(), 2);
+        assert!((p[0].1 - 0.75).abs() < 1e-12);
+        assert!((p[1].1 - 0.25).abs() < 1e-12);
+        let fp = func_profile(&f);
+        assert!((fp.freq[1] - 0.75).abs() < 1e-12);
+        assert!((fp.freq[2] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interprocedural_frequencies_follow_call_rates() {
+        let mut b = ModuleBuilder::new("m");
+        b.function("main")
+            .call("c1", 8, "leaf", "c2")
+            .call("c2", 8, "leaf", "end")
+            .ret("end", 8)
+            .finish();
+        b.function("leaf").ret("x", 8).finish();
+        let m = b.build().unwrap();
+        let sp = StaticProfile::of(&m);
+        assert!((sp.func_freq[0] - 1.0).abs() < 1e-9);
+        assert!((sp.func_freq[1] - 2.0).abs() < 1e-9);
+        // leaf's single block runs twice globally.
+        let leaf_block = m.global_id(FuncId(1), lb(0));
+        assert!((sp.block_freq[leaf_block.index()] - 2.0).abs() < 1e-9);
+        assert!(sp.total_heat() > 0.0);
+    }
+
+    #[test]
+    fn recursion_saturates_instead_of_diverging() {
+        let mut b = ModuleBuilder::new("m");
+        b.function("main")
+            .call("c", 8, "rec", "end")
+            .ret("end", 8)
+            .finish();
+        b.function("rec")
+            .call("c", 8, "rec", "end")
+            .ret("end", 8)
+            .finish();
+        let m = b.build().unwrap();
+        let sp = StaticProfile::of(&m);
+        assert!(sp.func_freq.iter().all(|x| x.is_finite()));
+        assert!(sp.block_freq.iter().all(|x| x.is_finite() && *x >= 0.0));
+    }
+}

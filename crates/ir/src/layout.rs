@@ -158,6 +158,11 @@ impl LinkedImage {
         self.end_address - self.base_address
     }
 
+    /// Base (lowest) address of the image.
+    pub fn base_address(&self) -> u64 {
+        self.base_address
+    }
+
     /// Number of blocks in the image.
     pub fn num_blocks(&self) -> usize {
         self.addresses.len()

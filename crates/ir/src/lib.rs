@@ -38,6 +38,7 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod analysis;
 pub mod block;
 pub mod builder;
 pub mod cfg;
@@ -49,6 +50,7 @@ pub mod layout;
 pub mod module;
 pub mod text;
 
+pub use analysis::{FuncProfile, LoopNest, NaturalLoop, StaticProfile};
 pub use block::{BasicBlock, CondModel, Effect, Terminator};
 pub use builder::{FunctionBuilder, ModuleBuilder};
 pub use cfg::{CallGraph, Cfg, EdgeProfile};

@@ -200,3 +200,98 @@ fn cfg_reachability_sane() {
         assert!(!blocks.is_empty());
     });
 }
+
+/// Static block heats are finite and nonnegative for arbitrary
+/// well-formed modules — including irreducible CFGs, unreachable blocks
+/// and recursive call graphs.
+#[test]
+fn static_heats_are_nonnegative_and_finite() {
+    check_n("static_heats_are_nonnegative_and_finite", 64, |rng| {
+        let m = random_module(rng);
+        let p = clop_ir::analysis::StaticProfile::of(&m);
+        assert_eq!(p.block_freq.len(), m.num_blocks());
+        for &h in &p.block_freq {
+            assert!(h.is_finite() && h >= 0.0, "global heat {}", h);
+        }
+        for (fp, ff) in p.funcs.iter().zip(&p.func_freq) {
+            assert!(ff.is_finite() && *ff >= 0.0, "function freq {}", ff);
+            for &h in &fp.freq {
+                assert!(h.is_finite() && h >= 0.0, "local heat {}", h);
+            }
+        }
+    });
+}
+
+/// A nest of counted loops with randomized sizes and trip counts: raising
+/// one loop's trip count never lowers the static heat of that loop's
+/// header or body (monotonicity of the trip multiplier). Exit-path blocks
+/// are exempt — a longer-running loop legitimately leaks less probability
+/// mass per iteration to its exit.
+#[test]
+fn static_heats_are_loop_monotone_in_trip() {
+    check_n("static_heats_are_loop_monotone_in_trip", 64, |rng| {
+        let depth = rng.gen_index(3) + 1;
+        let trips: Vec<u32> = (0..depth).map(|_| rng.gen_range_u32(1, 40)).collect();
+        let sizes: Vec<u32> = (0..depth).map(|_| rng.gen_range_u32(8, 512)).collect();
+        let bumped = rng.gen_index(depth);
+        let bump = rng.gen_range_u32(1, 50);
+
+        // entry -> h0; hi: LoopCounter branch (body_i, exit_i);
+        // body_{depth-1} jumps back to h_{depth-1}; otherwise body_i enters
+        // h_{i+1}, and exit_{i+1} jumps back to h_i. exit_0 returns.
+        let build = |trips: &[u32]| -> Module {
+            let mut b = ModuleBuilder::new("nest");
+            let mut fb = b.function("f");
+            fb.jump("entry", 16, "h0");
+            for (i, (&t, &sz)) in trips.iter().zip(sizes.iter()).enumerate() {
+                let h = format!("h{}", i);
+                let body = format!("body{}", i);
+                let exit = format!("exit{}", i);
+                fb.branch(&h, sz, CondModel::LoopCounter { trip: t }, &body, &exit);
+                if i + 1 < trips.len() {
+                    fb.jump(&body, sz, &format!("h{}", i + 1));
+                } else {
+                    fb.jump(&body, sz, &h);
+                }
+                if i == 0 {
+                    fb.ret(&exit, 16);
+                } else {
+                    fb.jump(&exit, 16, &format!("h{}", i - 1));
+                }
+            }
+            fb.finish();
+            b.build().expect("well-formed nest")
+        };
+
+        let base = build(&trips);
+        let mut raised = trips.clone();
+        raised[bumped] = raised[bumped].saturating_add(bump);
+        let more = build(&raised);
+
+        let pb = clop_ir::analysis::StaticProfile::of(&base);
+        let pm = clop_ir::analysis::StaticProfile::of(&more);
+        let f = base.function_by_name("f").expect("f exists");
+        let heat = |p: &clop_ir::analysis::StaticProfile, name: &str| {
+            let func = base.function(f).expect("function");
+            let b = func.block_by_name(name).expect("block");
+            p.funcs[f.index()].freq[b.index()]
+        };
+        // The bumped loop and everything nested inside it runs at least as
+        // often; allow a whisker of float slack.
+        for i in bumped..depth {
+            for name in [format!("h{}", i), format!("body{}", i)] {
+                let before = heat(&pb, &name);
+                let after = heat(&pm, &name);
+                assert!(
+                    after >= before * (1.0 - 1e-12),
+                    "heat of {} fell: {} -> {} (trips {:?} -> {:?})",
+                    name,
+                    before,
+                    after,
+                    trips,
+                    raised
+                );
+            }
+        }
+    });
+}

@@ -230,6 +230,70 @@ impl FootprintCurve {
         }
     }
 
+    /// Build a synthetic curve from sparse `(window, footprint)` anchor
+    /// points — the constructor used by trace-free (static) locality
+    /// analysis, where anchors come from loop working-set bounds instead
+    /// of a measured trace.
+    ///
+    /// Anchors are sorted by window, clamped to `total_distinct`, made
+    /// monotone by a running maximum (a valid footprint curve never
+    /// decreases), and linearly interpolated onto `0..=max_window` exactly
+    /// like the sampled measurement; windows past the last anchor hold its
+    /// value (and [`FootprintCurve::at`] past `max_window` returns the
+    /// asymptote). Degenerate inputs (no anchors, zero `max_window`)
+    /// produce an all-asymptote curve.
+    pub fn from_anchors(
+        anchors: &[(usize, f64)],
+        max_window: usize,
+        total_distinct: usize,
+    ) -> Self {
+        let mut values = vec![0.0; max_window + 1];
+        let asymptote = total_distinct as f64;
+        let mut pts: Vec<(usize, f64)> = anchors
+            .iter()
+            .filter(|(w, v)| *w >= 1 && v.is_finite() && *v >= 0.0)
+            .map(|&(w, v)| (w, v.min(asymptote)))
+            .collect();
+        pts.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        pts.dedup_by_key(|p| p.0);
+        let mut running = 1.0_f64.min(asymptote); // a 1-window sees >= 1 block
+        for p in &mut pts {
+            running = running.max(p.1);
+            p.1 = running;
+        }
+        if pts.is_empty() {
+            for v in values.iter_mut().skip(1) {
+                *v = asymptote;
+            }
+            return FootprintCurve {
+                values,
+                total_distinct,
+            };
+        }
+        let mut prev = (0usize, 0.0f64);
+        let mut pi = 0usize;
+        for (w, v) in values.iter_mut().enumerate().take(max_window + 1).skip(1) {
+            while pi < pts.len() && pts[pi].0 < w {
+                prev = pts[pi];
+                pi += 1;
+            }
+            if pi < pts.len() && pts[pi].0 == w {
+                *v = pts[pi].1;
+            } else if pi < pts.len() {
+                let (x0, y0) = prev;
+                let (x1, y1) = pts[pi];
+                let t = (w - x0) as f64 / (x1 - x0) as f64;
+                *v = y0 + t * (y1 - y0);
+            } else {
+                *v = pts[pts.len() - 1].1.max(prev.1);
+            }
+        }
+        FootprintCurve {
+            values,
+            total_distinct,
+        }
+    }
+
     /// Average footprint at window length `w` (clamped to the asymptote for
     /// lengths beyond the measured range).
     pub fn at(&self, w: usize) -> f64 {
@@ -272,6 +336,32 @@ mod tests {
     fn paper_footprint_example() {
         let t = TrimmedTrace::from_indices([1, 3, 2, 3, 4]);
         assert_eq!(min_footprint_between_blocks(&t, b(1), b(2)), Some(3));
+    }
+
+    #[test]
+    fn synthetic_anchor_curve_interpolates_and_inverts() {
+        let c = FootprintCurve::from_anchors(&[(4, 8.0), (16, 8.0), (64, 32.0)], 128, 40);
+        assert_eq!(c.at(0), 0.0);
+        assert!((c.at(4) - 8.0).abs() < 1e-12);
+        assert!((c.at(16) - 8.0).abs() < 1e-12);
+        assert!((c.at(40) - 20.0).abs() < 1e-12); // halfway between anchors
+        assert!((c.at(128) - 32.0).abs() < 1e-12); // holds the last anchor
+        assert_eq!(c.at(4096), 40.0); // beyond measured range -> asymptote
+        assert_eq!(c.inverse(8.0), Some(4));
+        for w in 1..=128 {
+            assert!(c.at(w) + 1e-12 >= c.at(w - 1), "must be non-decreasing");
+        }
+    }
+
+    #[test]
+    fn synthetic_anchor_curve_degenerate_inputs() {
+        let c = FootprintCurve::from_anchors(&[], 8, 5);
+        assert_eq!(c.at(1), 5.0);
+        let c = FootprintCurve::from_anchors(&[(3, 100.0), (2, f64::NAN), (0, 7.0)], 8, 6);
+        assert!((c.at(3) - 6.0).abs() < 1e-12); // clamped to the asymptote
+        assert!(c.at(1) >= 1.0);
+        let c = FootprintCurve::from_anchors(&[(1, 3.0)], 0, 9);
+        assert_eq!(c.max_window(), 0);
     }
 
     #[test]

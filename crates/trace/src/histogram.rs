@@ -52,6 +52,24 @@ impl ReuseHistogram {
         }
     }
 
+    /// Record `count` observations of one distance at once — the bulk form
+    /// used by synthetic (statically estimated) histograms, where one loop
+    /// bound stands in for millions of identical observations.
+    pub fn record_n(&mut self, distance: usize, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.total += count;
+        if distance == LruStack::INFINITE {
+            self.cold += count;
+        } else {
+            if distance >= self.bins.len() {
+                self.bins.resize(distance + 1, 0);
+            }
+            self.bins[distance] += count;
+        }
+    }
+
     /// Total accesses recorded.
     pub fn total(&self) -> u64 {
         self.total

@@ -21,6 +21,13 @@
 //! affinity hierarchy (one fixed window instead of a range); the
 //! transformation uses that information completely differently, which is
 //! why the paper finds TRG fragile where affinity is robust.
+//!
+//! Panic discipline: library code returns errors or documents its
+//! invariants instead of unwrapping; the lints below enforce
+//! `clippy::unwrap_used`/`expect_used` on non-test code.
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod graph;
 pub mod incremental;

@@ -207,11 +207,13 @@ fn reduce_ordered(trg: &Trg, k: usize, order: &[BlockId]) -> SlotAssignment {
     }
     leftovers.sort_by_key(|b| rank[&b.0]);
     for b in leftovers {
-        let (si, _) = slots
+        // `k >= 1` slots exist, so the fold always selects one.
+        let si = slots
             .iter()
             .enumerate()
             .min_by_key(|(i, s)| (s.len(), *i))
-            .expect("k >= 1");
+            .map(|(i, _)| i)
+            .unwrap_or(0);
         slots[si].push(b);
         placed.insert(b.0, si as u32);
     }
@@ -271,12 +273,13 @@ fn place_block(
     // A block reached from an edge always conflicts with something; if all
     // its conflicts were already consumed, fall back to the shortest slot.
     let si = chosen.unwrap_or_else(|| {
+        // `k >= 1` slots exist, so the fold always selects one.
         slots
             .iter()
             .enumerate()
             .min_by_key(|(i, s)| (s.len(), *i))
-            .expect("k >= 1")
-            .0
+            .map(|(i, _)| i)
+            .unwrap_or(0)
     });
 
     slots[si].push(BlockId(x));

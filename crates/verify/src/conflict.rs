@@ -149,13 +149,21 @@ pub fn analyze_conflicts(
     config: &ConflictConfig,
 ) -> ConflictReport {
     // Accumulate per-line weight: each block spreads its weight over every
-    // line it spans (a fetch of the block touches all of them).
-    let mut line_weight: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    // line it spans (a fetch of the block touches all of them). The image
+    // occupies a contiguous line range, so a dense vector indexed by
+    // `line - base_line` replaces hashing; untouched slots mean the line
+    // carries no block (alignment padding) and is skipped below.
+    let line_size = config.cache.line_size.max(1);
+    let base_line = image.base_address() / line_size;
+    let last_line = (image.base_address() + image.image_size().max(1) - 1) / line_size;
+    let universe = (last_line - base_line + 1) as usize;
+    let mut line_weight: Vec<Option<u64>> = vec![None; universe];
     for (gid, _, _) in module.iter_global_blocks() {
         let (first, last) = image.line_span(gid, config.cache.line_size);
         let w = weights.get(gid.index()).copied().unwrap_or(0);
         for line in first..=last {
-            *line_weight.entry(line).or_insert(0) += w;
+            let slot = &mut line_weight[(line - base_line) as usize];
+            *slot = Some(slot.unwrap_or(0) + w);
         }
     }
     let num_sets = config.cache.num_sets();
@@ -169,7 +177,11 @@ pub fn analyze_conflicts(
         })
         .collect();
     let mut footprint_lines = 0usize;
-    for (&line, &w) in &line_weight {
+    let mut image_lines = 0usize;
+    for (rel, w) in line_weight.iter().enumerate() {
+        let Some(w) = *w else { continue };
+        image_lines += 1;
+        let line = base_line + rel as u64;
         let s = &mut sets[config.cache.set_of_line(line) as usize];
         s.total_lines += 1;
         if w >= config.hot_line_min_weight {
@@ -191,7 +203,7 @@ pub fn analyze_conflicts(
         cache: config.cache,
         sets,
         footprint_lines,
-        image_lines: line_weight.len(),
+        image_lines,
     }
 }
 

@@ -300,6 +300,263 @@ impl fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
+impl VerifyError {
+    /// The stable diagnostic code of this error. Codes are part of the
+    /// tool's output contract (lint goldens, `--explain`): once published
+    /// they never change meaning. `W` = module well-formedness, `L` =
+    /// layout permutation, `T` = transform equivalence.
+    pub fn code(&self) -> &'static str {
+        use VerifyError::*;
+        match self {
+            EmptyModule => "W001",
+            BadModuleEntry { .. } => "W002",
+            EmptyFunction { .. } => "W003",
+            BadEntry { .. } => "W004",
+            DanglingTarget { .. } => "W005",
+            DanglingCallee { .. } => "W006",
+            ZeroSizeBlock { .. } => "W007",
+            BadSwitch { .. } => "W008",
+            BadProbability { .. } => "W009",
+            BadGlobalRef { .. } => "W010",
+            IdAliasing { .. } => "W011",
+            LayoutLengthMismatch { .. } => "L001",
+            LayoutOutOfRange { .. } => "L002",
+            LayoutDuplicate { .. } => "L003",
+            LayoutMissing { .. } => "L004",
+            FunctionCountChanged { .. } => "T001",
+            ModuleChanged { .. } => "T002",
+            MissingStub { .. } => "T003",
+            StructureMismatch { .. } => "T004",
+            FallThroughBroken { .. } => "T005",
+            ReachabilityChanged { .. } => "T006",
+            DominanceChanged { .. } => "T007",
+        }
+    }
+
+    /// Function/block provenance for deterministic ordering: module-level
+    /// diagnostics sort first (`None < Some`), then by function, then by
+    /// block within the function.
+    pub fn provenance(&self) -> (Option<u32>, Option<u32>) {
+        use VerifyError::*;
+        match self {
+            EmptyModule
+            | BadModuleEntry { .. }
+            | IdAliasing { .. }
+            | LayoutLengthMismatch { .. }
+            | LayoutOutOfRange { .. }
+            | LayoutDuplicate { .. }
+            | LayoutMissing { .. }
+            | FunctionCountChanged { .. }
+            | ModuleChanged { .. } => (None, None),
+            EmptyFunction { func, .. }
+            | BadEntry { func, .. }
+            | MissingStub { func, .. }
+            | ReachabilityChanged { func, .. }
+            | DominanceChanged { func, .. } => (Some(func.0), None),
+            DanglingTarget { site, .. }
+            | DanglingCallee { site, .. }
+            | ZeroSizeBlock { site }
+            | BadSwitch { site, .. }
+            | BadProbability { site, .. }
+            | BadGlobalRef { site, .. }
+            | StructureMismatch { site, .. }
+            | FallThroughBroken { site, .. } => (Some(site.func.0), Some(site.block.0)),
+        }
+    }
+}
+
+/// Documented rationale for every stable diagnostic code, including the
+/// informational/warning codes emitted by the analysis passes (`P` =
+/// static profile, `C` = conflict, `S` = static locality). Consumed by
+/// `clop-lint --explain`.
+pub const CODE_DOCS: &[(&str, &str, &str)] = &[
+    (
+        "W001",
+        "empty module",
+        "The module declares no functions. Nothing can be laid out, linked, \
+         or executed; every downstream analysis would be vacuous.",
+    ),
+    (
+        "W002",
+        "bad module entry",
+        "The module's entry function id is out of range. Execution and \
+         whole-program reachability have no defined starting point.",
+    ),
+    (
+        "W003",
+        "empty function",
+        "A function has no basic blocks. The linker requires at least one \
+         block per function and the CFG of an empty function is undefined.",
+    ),
+    (
+        "W004",
+        "bad function entry",
+        "A function's entry block index is out of range, so no block is \
+         reachable and the function cannot be executed or stubbed.",
+    ),
+    (
+        "W005",
+        "dangling branch target",
+        "A terminator names a block index outside its function. The edge is \
+         dropped by structural analyses but the module is not executable.",
+    ),
+    (
+        "W006",
+        "dangling callee",
+        "A call terminator names a function index outside the module; the \
+         call graph and interprocedural analyses cannot resolve it.",
+    ),
+    (
+        "W007",
+        "zero-size block",
+        "A block has size 0. The linker assigns byte addresses from block \
+         sizes; a zero-size block aliases its successor's address.",
+    ),
+    (
+        "W008",
+        "invalid switch",
+        "A switch terminator has no targets, a weight-count mismatch, or a \
+         non-normalizable weight vector, so its edge probabilities are \
+         undefined.",
+    ),
+    (
+        "W009",
+        "invalid probability",
+        "A branch behaviour model carries an out-of-range probability or a \
+         zero period; the interpreter and the static profile would both \
+         produce nonsense from it.",
+    ),
+    (
+        "W010",
+        "undeclared global",
+        "A behaviour model or effect references a global variable the \
+         module does not declare.",
+    ),
+    (
+        "W011",
+        "block id aliasing",
+        "The dense global block numbering does not round-trip through \
+         locate()/global_id(); block-order layouts and traces would silently \
+         address the wrong blocks.",
+    ),
+    (
+        "L001",
+        "layout length mismatch",
+        "The layout lists a different number of units than the module has; \
+         it cannot be a permutation.",
+    ),
+    (
+        "L002",
+        "layout unit out of range",
+        "The layout places a unit id the module does not contain.",
+    ),
+    (
+        "L003",
+        "layout duplicate",
+        "The layout places the same unit twice; two copies of one block \
+         cannot both receive its address.",
+    ),
+    (
+        "L004",
+        "layout missing unit",
+        "The layout never places one of the module's units, leaving it \
+         without an address.",
+    ),
+    (
+        "T001",
+        "function count changed",
+        "A layout transform added or removed functions. Transforms must be \
+         layout-only: same code, new addresses.",
+    ),
+    (
+        "T002",
+        "module changed by function-order transform",
+        "Function reordering permutes placement only; any edit to function \
+         bodies, globals, or the entry is a semantics change.",
+    ),
+    (
+        "T003",
+        "missing entry stub",
+        "A basic-block transform scattered a function's blocks without the \
+         entry stub (or left non-contiguous blocks stub-free), so the \
+         function entry address and fall-through edges are broken.",
+    ),
+    (
+        "T004",
+        "structure mismatch",
+        "A transformed block is not the original block with indices shifted \
+         by the stub: behaviour, name, or terminator differs.",
+    ),
+    (
+        "T005",
+        "fall-through broken",
+        "An implicit fall-through edge is neither kept adjacent in the new \
+         layout nor materialized as an explicit jump (the block did not \
+         grow by the jump size).",
+    ),
+    (
+        "T006",
+        "reachability changed",
+        "A block's reachability from the function entry differs between \
+         original and transformed module under the stub shift.",
+    ),
+    (
+        "T007",
+        "dominance changed",
+        "A block's dominator set is not the stub plus the shifted original \
+         set; the transform altered control-flow structure.",
+    ),
+    (
+        "P001",
+        "static profile summary",
+        "Informational: loop count, maximum nesting depth, and total static \
+         heat estimated by the trace-free profile pass (Ball-Larus-style \
+         branch heuristics plus loop-trip multipliers).",
+    ),
+    (
+        "P002",
+        "unreachable block",
+        "A block cannot be reached from its function entry. It still \
+         occupies layout bytes and dilutes cache lines; the static profile \
+         assigns it zero heat.",
+    ),
+    (
+        "C001",
+        "overloaded cache set",
+        "More distinct hot lines map to one cache set than its \
+         associativity under the current layout; conflict misses are \
+         predicted even though the total footprint may fit.",
+    ),
+    (
+        "C002",
+        "conflict summary",
+        "Informational: footprint and per-set pressure summary of the \
+         static conflict analysis.",
+    ),
+    (
+        "S001",
+        "static locality summary",
+        "Informational: static working-set, miss, defensiveness, and \
+         politeness estimates from the trace-free locality model (loop \
+         working sets fed through the paper's Eq-1 composition).",
+    ),
+    (
+        "S002",
+        "working set exceeds cache",
+        "A loop's statically bounded working set is larger than the cache; \
+         every activation cycles the cache and the loop is predicted \
+         hostile (impolite and undefended) under co-run.",
+    ),
+];
+
+/// Documentation for one stable diagnostic code, if it exists.
+pub fn explain_code(code: &str) -> Option<(&'static str, &'static str)> {
+    CODE_DOCS
+        .iter()
+        .find(|(c, _, _)| *c == code)
+        .map(|&(_, title, doc)| (title, doc))
+}
+
 /// All violations one verification pass found.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct VerifyReport {
@@ -351,6 +608,32 @@ impl VerifyReport {
     /// True if any error matches the predicate.
     pub fn any(&self, pred: impl Fn(&VerifyError) -> bool) -> bool {
         self.errors.iter().any(pred)
+    }
+
+    /// Canonicalize the report: sort by function/block provenance (module
+    /// scope first), then by stable code, then by rendered message, and
+    /// drop exact duplicates. Every public entry point returns normalized
+    /// reports, so lint output and goldens are stable regardless of
+    /// discovery order, `--jobs`, or hash-map iteration.
+    pub fn normalize(&mut self) {
+        type SortKey = (Option<u32>, Option<u32>, &'static str, String);
+        let mut keyed: Vec<(SortKey, VerifyError)> = self
+            .errors
+            .drain(..)
+            .map(|e| {
+                let (f, b) = e.provenance();
+                ((f, b, e.code(), e.to_string()), e)
+            })
+            .collect();
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        keyed.dedup_by(|a, b| a.0 == b.0);
+        self.errors = keyed.into_iter().map(|(_, e)| e).collect();
+    }
+
+    /// A normalized copy (see [`VerifyReport::normalize`]).
+    pub fn normalized(mut self) -> VerifyReport {
+        self.normalize();
+        self
     }
 }
 

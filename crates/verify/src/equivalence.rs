@@ -11,6 +11,7 @@
 //! must be preserved under the index shift.
 
 use crate::diagnostics::{Site, VerifyError, VerifyReport};
+use clop_ir::analysis::{dominators, reachable, BitSet};
 use clop_ir::{FuncId, Function, Layout, LocalBlockId, Module, Terminator};
 
 /// Check that `layout` is a permutation of `module`'s units, reporting
@@ -48,7 +49,7 @@ pub fn check_layout(module: &Module, layout: &Layout) -> VerifyReport {
             report.push(VerifyError::LayoutMissing { unit: u as u32 });
         }
     }
-    report
+    report.normalized()
 }
 
 /// Check that `(transformed, layout)` is a semantics-preserving layout of
@@ -69,7 +70,7 @@ pub fn check_transform(
             original: original.num_functions(),
             transformed: transformed.num_functions(),
         });
-        return report;
+        return report.normalized();
     }
     if transformed.entry != original.entry {
         report.push(VerifyError::ModuleChanged {
@@ -125,7 +126,7 @@ pub fn check_transform(
             }
         }
     }
-    report
+    report.normalized()
 }
 
 /// Position of each global block id within a block-order layout.
@@ -423,118 +424,6 @@ fn check_flow_preserved(
             return;
         }
     }
-}
-
-/// Guarded reachability (out-of-range successors are skipped rather than
-/// panicking; the well-formedness pass reports them separately).
-fn reachable(f: &Function) -> Vec<bool> {
-    let n = f.blocks.len();
-    let mut seen = vec![false; n];
-    if n == 0 || f.entry.index() >= n {
-        return seen;
-    }
-    let mut stack = vec![f.entry];
-    seen[f.entry.index()] = true;
-    while let Some(b) = stack.pop() {
-        for s in f.blocks[b.index()].local_successors() {
-            if s.index() < n && !seen[s.index()] {
-                seen[s.index()] = true;
-                stack.push(s);
-            }
-        }
-    }
-    seen
-}
-
-/// A fixed-capacity bitset over block indices.
-#[derive(Clone, PartialEq, Eq)]
-struct BitSet {
-    words: Vec<u64>,
-    len: usize,
-}
-
-impl BitSet {
-    fn new(len: usize) -> BitSet {
-        BitSet {
-            words: vec![0; len.div_ceil(64)],
-            len,
-        }
-    }
-
-    fn full(len: usize) -> BitSet {
-        let mut s = BitSet::new(len);
-        for i in 0..len {
-            s.insert(i);
-        }
-        s
-    }
-
-    fn insert(&mut self, i: usize) {
-        if i < self.len {
-            self.words[i / 64] |= 1 << (i % 64);
-        }
-    }
-
-    fn intersect_with(&mut self, other: &BitSet) {
-        for (w, o) in self.words.iter_mut().zip(&other.words) {
-            *w &= o;
-        }
-    }
-
-    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..self.len).filter(|&i| self.words[i / 64] >> (i % 64) & 1 == 1)
-    }
-}
-
-/// Dominator sets by iterative bitset dataflow over the reachable
-/// subgraph. Unreachable blocks get an empty set.
-fn dominators(f: &Function, reach: &[bool]) -> Vec<BitSet> {
-    let n = f.blocks.len();
-    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for (i, b) in f.blocks.iter().enumerate() {
-        if !reach[i] {
-            continue;
-        }
-        for s in b.local_successors() {
-            if s.index() < n && reach[s.index()] {
-                preds[s.index()].push(i);
-            }
-        }
-    }
-    let mut dom: Vec<BitSet> = (0..n)
-        .map(|i| {
-            if reach[i] {
-                BitSet::full(n)
-            } else {
-                BitSet::new(n)
-            }
-        })
-        .collect();
-    if n == 0 || f.entry.index() >= n {
-        return dom;
-    }
-    let entry = f.entry.index();
-    dom[entry] = BitSet::new(n);
-    dom[entry].insert(entry);
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for i in 0..n {
-            if !reach[i] || i == entry {
-                continue;
-            }
-            let mut new = BitSet::full(n);
-            for &p in &preds[i] {
-                new.intersect_with(&dom[p]);
-            }
-            new.insert(i);
-            if new != dom[i] {
-                dom[i] = new;
-                changed = true;
-            }
-        }
-    }
-    dom
 }
 
 #[cfg(test)]

@@ -28,12 +28,22 @@
 mod conflict;
 mod diagnostics;
 mod equivalence;
+mod locality;
+mod pass;
 mod stats;
 mod wellformed;
 
 pub use conflict::{analyze_conflicts, block_weights, ConflictConfig, ConflictReport, SetPressure};
-pub use diagnostics::{Site, VerifyError, VerifyReport};
+pub use diagnostics::{explain_code, Site, VerifyError, VerifyReport, CODE_DOCS};
 pub use equivalence::{check_layout, check_transform};
+pub use locality::{
+    analyze_locality, probe_model, LocalityConfig, LoopWorkingSet, StaticLocalityReport,
+    NWAY_WIDTHS,
+};
+pub use pass::{
+    AnalysisPass, ConflictPass, Diagnostic, EquivalencePass, LayoutPass, PassContext, PassManager,
+    PassReport, PassResult, Severity, StaticLocalityPass, StaticProfilePass, WellformedPass,
+};
 pub use stats::spearman;
 pub use wellformed::verify_module;
 

@@ -1,0 +1,663 @@
+//! The analysis-pass framework: every check in this crate behind one
+//! trait, run by a manager in a fixed order with stable diagnostic codes.
+//!
+//! A [`PassManager`] owns an ordered list of [`AnalysisPass`]es and runs
+//! them over one [`PassContext`] (module + optional layout + optional
+//! pre-transform original). Each pass returns [`Diagnostic`]s — code,
+//! severity, message, provenance — which the manager normalizes (sorted by
+//! provenance, deduplicated) so the aggregate [`PassReport`] is
+//! byte-stable across runs, thread counts, and discovery order. The JSON
+//! rendering is the `clop-lint --passes --json` output pinned by the CI
+//! corpus goldens.
+//!
+//! The classic checks (well-formedness, layout permutation, transform
+//! equivalence, set-conflict pressure) are ported onto the trait
+//! unchanged; the two new passes — static profile and static locality —
+//! are the trace-free analyses introduced with this framework.
+
+use crate::conflict::{analyze_conflicts, ConflictConfig};
+use crate::diagnostics::VerifyError;
+use crate::locality::{analyze_locality, LocalityConfig};
+use crate::{check_layout, check_transform, verify_module};
+use clop_ir::analysis::StaticProfile;
+use clop_ir::{Cfg, Layout, LinkOptions, LinkedImage, Module};
+use clop_util::json::{Json, ToJson};
+use std::fmt;
+
+/// Diagnostic severity, ordered `Info < Warning < Error`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational finding (summaries, metrics).
+    Info,
+    /// Suspicious but not invalid (overloaded sets, dead code).
+    Warning,
+    /// The input violates a contract.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name, as emitted in JSON and text output.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding of one pass: stable code, severity, message, provenance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// Stable diagnostic code (see [`crate::CODE_DOCS`]).
+    pub code: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Human-readable message (deterministic for fixed input).
+    pub message: String,
+    /// Owning function index, if block- or function-scoped.
+    pub func: Option<u32>,
+    /// Owning block index (local), if block-scoped.
+    pub block: Option<u32>,
+}
+
+impl Diagnostic {
+    /// Build from a classic [`VerifyError`] (severity: error).
+    pub fn from_error(e: &VerifyError) -> Diagnostic {
+        let (func, block) = e.provenance();
+        Diagnostic {
+            code: e.code(),
+            severity: Severity::Error,
+            message: e.to_string(),
+            func,
+            block,
+        }
+    }
+
+    /// Module-scoped diagnostic.
+    pub fn module(
+        code: &'static str,
+        severity: Severity,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            func: None,
+            block: None,
+        }
+    }
+
+    /// Provenance-first sort key (module scope first, then function, then
+    /// block, then code and message).
+    fn sort_key(&self) -> (Option<u32>, Option<u32>, &'static str, &str) {
+        (self.func, self.block, self.code, &self.message)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}",
+            self.severity.as_str(),
+            self.code,
+            self.message
+        )
+    }
+}
+
+impl ToJson for Diagnostic {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("code", Json::Str(self.code.to_string())),
+            ("severity", Json::Str(self.severity.as_str().to_string())),
+            (
+                "func",
+                self.func.map_or(Json::Null, |x| Json::Num(x as f64)),
+            ),
+            (
+                "block",
+                self.block.map_or(Json::Null, |x| Json::Num(x as f64)),
+            ),
+            ("message", Json::Str(self.message.clone())),
+        ])
+    }
+}
+
+/// Everything a pass may look at. Optional inputs gate optional passes:
+/// no layout means the layout/equivalence/locality passes have nothing to
+/// check against (locality falls back to the identity layout).
+pub struct PassContext<'a> {
+    /// The module under analysis (for transform checks: the transformed
+    /// module).
+    pub module: &'a Module,
+    /// The pre-transform original, when checking a transform.
+    pub original: Option<&'a Module>,
+    /// The layout to verify / link against. `None` analyzes the identity
+    /// layout.
+    pub layout: Option<&'a Layout>,
+    /// Size of one explicit jump instruction (for the fall-through rule).
+    pub jump_bytes: u32,
+    /// Cache geometry for the conflict and locality passes.
+    pub locality: LocalityConfig,
+}
+
+impl<'a> PassContext<'a> {
+    /// Context with defaults: no layout, no original, 5-byte jumps, the
+    /// paper's L1I geometry.
+    pub fn new(module: &'a Module) -> PassContext<'a> {
+        PassContext {
+            module,
+            original: None,
+            layout: None,
+            jump_bytes: 5,
+            locality: LocalityConfig::default(),
+        }
+    }
+
+    /// Attach a layout.
+    pub fn with_layout(mut self, layout: &'a Layout) -> PassContext<'a> {
+        self.layout = Some(layout);
+        self
+    }
+
+    /// Attach the pre-transform original module.
+    pub fn with_original(mut self, original: &'a Module) -> PassContext<'a> {
+        self.original = Some(original);
+        self
+    }
+
+    /// The linked image of the context's layout (identity when absent).
+    /// `None` when the attached layout is not a permutation of the module —
+    /// the layout pass reports those errors; image-dependent passes go
+    /// silent rather than linking garbage.
+    fn image(&self) -> Option<LinkedImage> {
+        match self.layout {
+            Some(l) => {
+                if !l.is_permutation_of(self.module) {
+                    return None;
+                }
+                Some(LinkedImage::link(self.module, l, LinkOptions::default()))
+            }
+            None => Some(LinkedImage::link(
+                self.module,
+                &Layout::original(self.module),
+                LinkOptions::default(),
+            )),
+        }
+    }
+}
+
+/// One static analysis, nameable and composable under a [`PassManager`].
+pub trait AnalysisPass {
+    /// Stable pass name (appears in reports and JSON).
+    fn name(&self) -> &'static str;
+    /// One-line description.
+    fn description(&self) -> &'static str;
+    /// Run over a context, returning diagnostics (order irrelevant; the
+    /// manager normalizes).
+    fn run(&self, cx: &PassContext) -> Vec<Diagnostic>;
+}
+
+/// The findings of one pass.
+#[derive(Clone, Debug)]
+pub struct PassResult {
+    /// The pass that produced them.
+    pub pass: &'static str,
+    /// Normalized diagnostics.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl ToJson for PassResult {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("pass", Json::Str(self.pass.to_string())),
+            ("diagnostics", Json::arr(&self.diagnostics)),
+        ])
+    }
+}
+
+/// Aggregate outcome of one manager run, in pass order.
+#[derive(Clone, Debug, Default)]
+pub struct PassReport {
+    /// Per-pass results in execution order.
+    pub results: Vec<PassResult>,
+}
+
+impl PassReport {
+    /// All diagnostics in pass order.
+    pub fn diagnostics(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.results.iter().flat_map(|r| r.diagnostics.iter())
+    }
+
+    /// Count of diagnostics at a severity.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Errors found (nonzero means the module/layout is invalid).
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Deterministic JSON rendering (the `--json` lint output).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("passes", Json::arr(&self.results)),
+            (
+                "summary",
+                Json::obj(vec![
+                    ("errors", Json::Num(self.error_count() as f64)),
+                    ("warnings", Json::Num(self.count(Severity::Warning) as f64)),
+                    ("infos", Json::Num(self.count(Severity::Info) as f64)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Plain-text rendering, one line per diagnostic.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.results {
+            for d in &r.diagnostics {
+                out.push_str(&format!("{}: {}\n", r.pass, d));
+            }
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s), {} info(s)\n",
+            self.error_count(),
+            self.count(Severity::Warning),
+            self.count(Severity::Info)
+        ));
+        out
+    }
+}
+
+/// Runs passes in registration order and normalizes their output.
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn AnalysisPass>>,
+}
+
+impl PassManager {
+    /// An empty manager.
+    pub fn new() -> PassManager {
+        PassManager::default()
+    }
+
+    /// Append a pass (runs after all previously registered ones).
+    pub fn register(mut self, pass: Box<dyn AnalysisPass>) -> PassManager {
+        self.passes.push(pass);
+        self
+    }
+
+    /// The standard pipeline, in dependency order: structural validity
+    /// first, then layout/transform contracts, then the heat and locality
+    /// analyses that assume a sane module.
+    pub fn standard() -> PassManager {
+        PassManager::new()
+            .register(Box::new(WellformedPass))
+            .register(Box::new(LayoutPass))
+            .register(Box::new(EquivalencePass))
+            .register(Box::new(StaticProfilePass))
+            .register(Box::new(ConflictPass))
+            .register(Box::new(StaticLocalityPass))
+    }
+
+    /// Registered pass names + descriptions, in order.
+    pub fn passes(&self) -> Vec<(&'static str, &'static str)> {
+        self.passes
+            .iter()
+            .map(|p| (p.name(), p.description()))
+            .collect()
+    }
+
+    /// Run every pass over the context. Each pass's diagnostics are sorted
+    /// by provenance and deduplicated, so the report is stable regardless
+    /// of internal discovery order.
+    pub fn run(&self, cx: &PassContext) -> PassReport {
+        let mut results = Vec::with_capacity(self.passes.len());
+        for pass in &self.passes {
+            let mut diagnostics = pass.run(cx);
+            diagnostics.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+            diagnostics.dedup();
+            results.push(PassResult {
+                pass: pass.name(),
+                diagnostics,
+            });
+        }
+        PassReport { results }
+    }
+}
+
+/// Module/CFG well-formedness ([`verify_module`] on the trait).
+pub struct WellformedPass;
+
+impl AnalysisPass for WellformedPass {
+    fn name(&self) -> &'static str {
+        "wellformed"
+    }
+    fn description(&self) -> &'static str {
+        "module structure: terminators, entries, probabilities, id density"
+    }
+    fn run(&self, cx: &PassContext) -> Vec<Diagnostic> {
+        verify_module(cx.module)
+            .errors
+            .iter()
+            .map(Diagnostic::from_error)
+            .collect()
+    }
+}
+
+/// Layout permutation validity ([`check_layout`] on the trait). Silent
+/// when the context carries no layout.
+pub struct LayoutPass;
+
+impl AnalysisPass for LayoutPass {
+    fn name(&self) -> &'static str {
+        "layout"
+    }
+    fn description(&self) -> &'static str {
+        "layout is a permutation of the module's units"
+    }
+    fn run(&self, cx: &PassContext) -> Vec<Diagnostic> {
+        let Some(layout) = cx.layout else {
+            return Vec::new();
+        };
+        check_layout(cx.module, layout)
+            .errors
+            .iter()
+            .map(Diagnostic::from_error)
+            .collect()
+    }
+}
+
+/// Transform semantic equivalence ([`check_transform`] on the trait).
+/// Needs both an original module and a layout; silent otherwise.
+pub struct EquivalencePass;
+
+impl AnalysisPass for EquivalencePass {
+    fn name(&self) -> &'static str {
+        "equivalence"
+    }
+    fn description(&self) -> &'static str {
+        "transform output is a layout-only permutation of the original"
+    }
+    fn run(&self, cx: &PassContext) -> Vec<Diagnostic> {
+        let (Some(original), Some(layout)) = (cx.original, cx.layout) else {
+            return Vec::new();
+        };
+        check_transform(original, cx.module, layout, cx.jump_bytes)
+            .errors
+            .iter()
+            .map(Diagnostic::from_error)
+            .collect()
+    }
+}
+
+/// Static profile: loop nests + trace-free block heats. Emits a summary
+/// (P001) and one warning per unreachable block (P002).
+pub struct StaticProfilePass;
+
+impl AnalysisPass for StaticProfilePass {
+    fn name(&self) -> &'static str {
+        "static-profile"
+    }
+    fn description(&self) -> &'static str {
+        "natural loops and Ball-Larus-style static block heats"
+    }
+    fn run(&self, cx: &PassContext) -> Vec<Diagnostic> {
+        let profile = StaticProfile::of(cx.module);
+        let mut out = Vec::new();
+        let mut num_loops = 0usize;
+        let mut max_depth = 0usize;
+        for (fi, fp) in profile.funcs.iter().enumerate() {
+            num_loops += fp.nest.loops().len();
+            for l in fp.nest.loops() {
+                max_depth = max_depth.max(l.depth);
+            }
+            if let Some(f) = cx.module.functions.get(fi) {
+                for dead in Cfg::of(f).dead_blocks() {
+                    out.push(Diagnostic {
+                        code: "P002",
+                        severity: Severity::Warning,
+                        message: format!(
+                            "function `{}` block {} is unreachable (zero static heat, \
+                             still occupies layout bytes)",
+                            f.name, dead
+                        ),
+                        func: Some(fi as u32),
+                        block: Some(dead.0),
+                    });
+                }
+            }
+        }
+        out.push(Diagnostic::module(
+            "P001",
+            Severity::Info,
+            format!(
+                "static profile: {} loop(s), max depth {}, total heat {:.1}",
+                num_loops,
+                max_depth,
+                profile.total_heat()
+            ),
+        ));
+        out
+    }
+}
+
+/// Static set-conflict pressure, weighted by the static profile instead of
+/// a measured edge profile — fully trace-free. Emits a summary (C002) and
+/// one warning per overloaded set (C001).
+pub struct ConflictPass;
+
+impl AnalysisPass for ConflictPass {
+    fn name(&self) -> &'static str {
+        "conflict"
+    }
+    fn description(&self) -> &'static str {
+        "per-set hot-line pressure under the linked layout"
+    }
+    fn run(&self, cx: &PassContext) -> Vec<Diagnostic> {
+        let Some(image) = cx.image() else {
+            return Vec::new();
+        };
+        let profile = StaticProfile::of(cx.module);
+        let weights: Vec<u64> = profile
+            .block_freq
+            .iter()
+            .map(|&f| f.round().clamp(0.0, 9.0e15) as u64)
+            .collect();
+        let report = analyze_conflicts(
+            cx.module,
+            &image,
+            &weights,
+            &ConflictConfig {
+                cache: cx.locality.cache,
+                hot_line_min_weight: 1,
+            },
+        );
+        let mut out: Vec<Diagnostic> = report
+            .sets
+            .iter()
+            .filter(|s| s.hot_lines > report.cache.associativity as usize)
+            .map(|s| {
+                Diagnostic::module(
+                    "C001",
+                    Severity::Warning,
+                    format!(
+                        "cache set {} overloaded: {} hot lines for associativity {} \
+                         (weight {})",
+                        s.set, s.hot_lines, report.cache.associativity, s.weight
+                    ),
+                )
+            })
+            .collect();
+        out.push(Diagnostic::module(
+            "C002",
+            Severity::Info,
+            format!(
+                "conflict: image {} lines, hot footprint {} lines, {} overloaded set(s)",
+                report.image_lines,
+                report.footprint_lines,
+                report.overloaded().len()
+            ),
+        ));
+        out
+    }
+}
+
+/// Static locality: loop working-set bounds fed through the Eq-1
+/// composition model. Emits a summary (S001) and one warning per loop
+/// whose working set exceeds the cache (S002).
+pub struct StaticLocalityPass;
+
+impl AnalysisPass for StaticLocalityPass {
+    fn name(&self) -> &'static str {
+        "static-locality"
+    }
+    fn description(&self) -> &'static str {
+        "trace-free defensiveness/politeness via loop working-set bounds"
+    }
+    fn run(&self, cx: &PassContext) -> Vec<Diagnostic> {
+        let Some(image) = cx.image() else {
+            return Vec::new();
+        };
+        let profile = StaticProfile::of(cx.module);
+        let report = analyze_locality(cx.module, &image, &profile, &cx.locality);
+        let capacity = cx.locality.cache.num_lines() as usize;
+        let mut out: Vec<Diagnostic> = report
+            .loops
+            .iter()
+            .filter(|l| l.lines > capacity)
+            .map(|l| Diagnostic {
+                code: "S002",
+                severity: Severity::Warning,
+                message: format!(
+                    "loop at {} spans {} lines, exceeding the {}-line cache \
+                     (trip estimate {:.0}): predicted hostile under co-run",
+                    l.header, l.lines, capacity, l.trip
+                ),
+                func: Some(l.func.0),
+                block: Some(l.header.0),
+            })
+            .collect();
+        out.push(Diagnostic::module(
+            "S001",
+            Severity::Info,
+            format!(
+                "static locality: solo miss {:.4}, conflict {:.4}, score {:.4}, \
+                 defensiveness {:+.4}, politeness {:+.4} ({} hot lines)",
+                report.solo_miss,
+                report.conflict_miss,
+                report.score,
+                report.defensiveness,
+                report.politeness,
+                report.hot_lines
+            ),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clop_ir::{CondModel, GlobalBlockId, ModuleBuilder};
+
+    fn looped() -> Module {
+        let mut b = ModuleBuilder::new("m");
+        b.function("main")
+            .jump("entry", 16, "head")
+            .branch(
+                "head",
+                64,
+                CondModel::LoopCounter { trip: 9 },
+                "head",
+                "exit",
+            )
+            .ret("exit", 16)
+            .finish();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn standard_pipeline_is_clean_on_valid_module() {
+        let m = looped();
+        let report = PassManager::standard().run(&PassContext::new(&m));
+        assert_eq!(report.error_count(), 0, "{}", report.render());
+        // Summaries always present.
+        assert!(report.diagnostics().any(|d| d.code == "P001"));
+        assert!(report.diagnostics().any(|d| d.code == "C002"));
+        assert!(report.diagnostics().any(|d| d.code == "S001"));
+    }
+
+    #[test]
+    fn wellformed_errors_surface_with_codes() {
+        let mut m = looped();
+        m.functions[0].blocks[2].size_bytes = 0;
+        let report = PassManager::standard().run(&PassContext::new(&m));
+        assert!(report.diagnostics().any(|d| d.code == "W007"));
+        assert!(report.error_count() >= 1);
+    }
+
+    #[test]
+    fn layout_pass_checks_permutations() {
+        let m = looped();
+        let bad = Layout::BlockOrder(vec![GlobalBlockId(0), GlobalBlockId(0), GlobalBlockId(2)]);
+        let cx = PassContext::new(&m).with_layout(&bad);
+        let report = PassManager::standard().run(&cx);
+        assert!(report.diagnostics().any(|d| d.code == "L003"));
+        assert!(report.diagnostics().any(|d| d.code == "L004"));
+    }
+
+    #[test]
+    fn equivalence_pass_flags_edited_module() {
+        let m = looped();
+        let mut t = m.clone();
+        t.functions[0].blocks[0].size_bytes += 1;
+        let order = Layout::FunctionOrder(vec![clop_ir::FuncId(0)]);
+        let cx = PassContext::new(&t).with_original(&m).with_layout(&order);
+        let report = PassManager::standard().run(&cx);
+        assert!(report.diagnostics().any(|d| d.code == "T002"));
+    }
+
+    #[test]
+    fn unreachable_block_warned_by_profile_pass() {
+        let mut b = ModuleBuilder::new("m");
+        b.function("main")
+            .ret("only", 16)
+            .ret("orphan", 16)
+            .finish();
+        let m = b.build().unwrap();
+        let report = PassManager::standard().run(&PassContext::new(&m));
+        let p002: Vec<_> = report.diagnostics().filter(|d| d.code == "P002").collect();
+        assert_eq!(p002.len(), 1);
+        assert_eq!(p002[0].block, Some(1));
+    }
+
+    #[test]
+    fn report_is_deterministic_and_json_stable() {
+        let m = looped();
+        let cx = PassContext::new(&m);
+        let a = PassManager::standard().run(&cx).to_json().pretty();
+        let b = PassManager::standard().run(&cx).to_json().pretty();
+        assert_eq!(a, b);
+        assert!(a.contains("\"summary\""));
+    }
+
+    #[test]
+    fn every_emitted_code_is_documented() {
+        for pass in ["W007", "P001", "P002", "C001", "C002", "S001", "S002"] {
+            assert!(
+                crate::explain_code(pass).is_some(),
+                "code {} lacks documentation",
+                pass
+            );
+        }
+    }
+}

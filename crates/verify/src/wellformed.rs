@@ -124,7 +124,7 @@ pub fn verify_module(module: &Module) -> VerifyReport {
         }
     }
     check_id_density(module, &mut report);
-    report
+    report.normalized()
 }
 
 fn check_cond(

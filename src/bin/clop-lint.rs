@@ -8,10 +8,16 @@
 //!   probabilities, zero-size blocks, ID aliasing, ...),
 //! * layout-order files checked as permutations of the module
 //!   (`--layout ORDER`), resolving `function` or `function.block` names,
-//! * an optional static cache-set conflict report (`--conflicts`).
+//! * the full static analysis pass pipeline (`--passes`), with stable
+//!   diagnostic codes, optionally as JSON (`--json`),
+//! * an optional static cache-set conflict report (`--conflicts`) and a
+//!   trace-free locality/defensiveness report (`--static-locality`),
+//! * `--explain CODE` prints the documented rationale for a stable
+//!   diagnostic code (unknown codes exit non-zero).
 //!
-//! Exits non-zero when any diagnostic is emitted, so CI can gate on a
-//! clean tree (`ci/lint_ir.sh`).
+//! Exits non-zero when any error-severity diagnostic is emitted, so CI
+//! can gate on a clean tree (`ci/lint_ir.sh`). Pass-pipeline warnings and
+//! infos are reported but do not fail the lint.
 
 use code_layout_opt::core::{Profile, ProfileConfig};
 use code_layout_opt::ir::{
@@ -39,8 +45,9 @@ const HELP: &str = "\
 clop-lint — static verifier for clop textual IR and layout orders
 
 usage:
-  clop-lint <module.clop>... [--layout ORDER] [--conflicts]
-            [--seed N] [--fuel N] [--top K]
+  clop-lint <module.clop>... [--layout ORDER] [--passes] [--json]
+            [--static-locality] [--conflicts] [--seed N] [--fuel N] [--top K]
+  clop-lint --explain CODE
 
 checks:
   * parse errors reported as file:line:col
@@ -49,10 +56,21 @@ checks:
                      one unit per line, `name` for a function order or
                      `func.block` for a whole-program block order; must be
                      a permutation of the module
+  * --passes         run the full static analysis pass pipeline
+                     (wellformed, layout, equivalence, static-profile,
+                     conflict, static-locality) and print every diagnostic
+                     with its stable code; only Error severity fails
+  * --json           with --passes: print the pass report as JSON instead
+                     of text (one document per module)
+  * --static-locality  print the trace-free locality report (static
+                     solo-miss, defensiveness, politeness, N-way
+                     interference; informational)
   * --conflicts      profile the module (seeded run) and print the static
                      cache-set conflict report (informational)
+  * --explain CODE   print the documented rationale for one stable
+                     diagnostic code (e.g. W003, S002) and exit
 
-exit status: 0 clean, 1 on any diagnostic or usage error
+exit status: 0 clean, 1 on any diagnostic, unknown code, or usage error
 ";
 
 /// Lint everything the arguments name; returns the number of diagnostics.
@@ -60,6 +78,9 @@ fn run(args: &[String]) -> Result<usize, String> {
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         print!("{}", HELP);
         return Ok(0);
+    }
+    if let Some(code) = flag_value(args, "--explain") {
+        return explain(code);
     }
     let files: Vec<&String> = {
         // Positional arguments: everything not a flag or a flag's value.
@@ -71,8 +92,10 @@ fn run(args: &[String]) -> Result<usize, String> {
                 continue;
             }
             if a.starts_with("--") {
-                skip = matches!(a.as_str(), "--layout" | "--seed" | "--fuel" | "--top")
-                    && i + 1 < args.len();
+                skip = matches!(
+                    a.as_str(),
+                    "--layout" | "--seed" | "--fuel" | "--top" | "--explain"
+                ) && i + 1 < args.len();
                 continue;
             }
             out.push(a);
@@ -99,11 +122,19 @@ fn run(args: &[String]) -> Result<usize, String> {
             diagnostics += n;
             layout = l;
         }
+        if args.iter().any(|a| a == "--passes") {
+            diagnostics += run_passes(path, &module, layout.as_ref(), args);
+        }
+        if args.iter().any(|a| a == "--static-locality") {
+            print_static_locality(&module, layout.as_ref());
+        }
         if args.iter().any(|a| a == "--conflicts") {
             print_conflicts(&module, layout.as_ref(), args)?;
         }
     }
-    if diagnostics == 0 {
+    // In --json mode stdout is the machine-readable report; keep the
+    // human summary off it so the output stays parseable/golden-stable.
+    if diagnostics == 0 && !args.iter().any(|a| a == "--json") {
         println!(
             "ok: {} file(s) clean{}",
             files.len(),
@@ -121,6 +152,57 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.windows(2)
         .find(|w| w[0] == name)
         .map(|w| w[1].as_str())
+}
+
+/// `--explain CODE`: print the documented rationale for one stable
+/// diagnostic code. Unknown codes are an error (nonzero exit) so typos in
+/// CI greps cannot silently pass.
+fn explain(code: &str) -> Result<usize, String> {
+    match verify::explain_code(code) {
+        Some((title, doc)) => {
+            println!("{}: {}\n\n{}", code, title, doc);
+            Ok(0)
+        }
+        None => Err(format!(
+            "unknown diagnostic code `{}` (codes: {})",
+            code,
+            verify::CODE_DOCS
+                .iter()
+                .map(|(c, _, _)| *c)
+                .collect::<Vec<_>>()
+                .join(", ")
+        )),
+    }
+}
+
+/// Run the full static analysis pass pipeline over one module, printing
+/// every diagnostic (text or `--json`). Only Error-severity diagnostics
+/// count toward the exit status; warnings and infos are informational.
+fn run_passes(path: &str, module: &Module, layout: Option<&Layout>, args: &[String]) -> usize {
+    let manager = verify::PassManager::standard();
+    let mut cx = verify::PassContext::new(module);
+    if let Some(l) = layout {
+        cx = cx.with_layout(l);
+    }
+    let report = manager.run(&cx);
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", report.to_json().pretty());
+    } else {
+        print!("passes for {}:\n{}", path, report.render());
+    }
+    report.error_count()
+}
+
+/// Print the trace-free locality report for the module under the given
+/// (or original) layout. Informational: never counts as a diagnostic.
+fn print_static_locality(module: &Module, layout: Option<&Layout>) {
+    let original = Layout::original(module);
+    let layout = layout.unwrap_or(&original);
+    let image = LinkedImage::link(module, layout, LinkOptions::default());
+    let profile = code_layout_opt::ir::analysis::StaticProfile::of(module);
+    let report =
+        verify::analyze_locality(module, &image, &profile, &verify::LocalityConfig::default());
+    print!("{}", report.render());
 }
 
 /// Parse and verify one module file, printing each diagnostic. Returns the
@@ -410,5 +492,45 @@ func worker {
     #[test]
     fn missing_file_is_a_diagnostic_not_a_crash() {
         assert_eq!(run(&s(&["/nonexistent/zzz.clop"])), Ok(1));
+    }
+
+    #[test]
+    fn explain_known_code_succeeds() {
+        assert_eq!(run(&s(&["--explain", "W003"])), Ok(0));
+        assert_eq!(run(&s(&["--explain", "S002"])), Ok(0));
+    }
+
+    #[test]
+    fn explain_unknown_code_is_an_error() {
+        let e = run(&s(&["--explain", "Z999"])).unwrap_err();
+        assert!(e.contains("unknown diagnostic code"), "got: {}", e);
+    }
+
+    #[test]
+    fn passes_pipeline_clean_module() {
+        let d = dir();
+        let p = d.join("passes.clop");
+        std::fs::write(&p, GOOD).unwrap();
+        // Infos/warnings from the pass pipeline must not fail the lint.
+        assert_eq!(run(&s(&[p.to_str().unwrap(), "--passes"])), Ok(0));
+        assert_eq!(run(&s(&[p.to_str().unwrap(), "--passes", "--json"])), Ok(0));
+        let forder = d.join("passes.order");
+        std::fs::write(&forder, "worker\nmain\n").unwrap();
+        assert_eq!(
+            run(&s(&[
+                p.to_str().unwrap(),
+                "--passes",
+                "--layout",
+                forder.to_str().unwrap()
+            ])),
+            Ok(0)
+        );
+    }
+
+    #[test]
+    fn static_locality_report_is_informational() {
+        let p = dir().join("sloc.clop");
+        std::fs::write(&p, GOOD).unwrap();
+        assert_eq!(run(&s(&[p.to_str().unwrap(), "--static-locality"])), Ok(0));
     }
 }
