@@ -35,6 +35,13 @@ CLOP_BENCH_QUICK=1 CLOP_BENCH_JSON="$out2" cargo bench -p clop-bench
 # socket on fault-free ingest — robustness must be free when nothing
 # fails. Both rows round-trip the same shards to the same daemon in the
 # same run.
+# The cachesim guard holds the batched SIMD replay kernel to at most
+# 0.40× the scalar reference loop's ns/iter (i.e. at least 2.5× faster)
+# on identical streams from the same run — if a change quietly knocks
+# the batched path back to scalar speed, the ratio hits ~1.0 and fails
+# regardless of machine. The trace guard does the same for container
+# ingest: columnar (v2) payloads must never read slower than the row
+# (v1) format they replace.
 # The static/locality ceiling is absolute: the trace-free locality pass
 # (working sets, synthetic reuse/footprint, Eq-1 composition, conflict
 # term) must finish under 1 ms on the largest registry workload — the
@@ -51,5 +58,7 @@ cargo run -q --release -p clop-bench --bin bench_gate -- \
   --guard corun/nway/4 corun/nway/2 1.40 \
   --guard corun/nway/8 corun/nway/2 1.80 \
   --guard serve/ingest/session serve/ingest/raw 1.05 \
+  --guard cachesim/solo_flat/1000000 cachesim/solo_scalar/1000000 0.40 \
+  --guard trace/read_container_v2/loopy_4m trace/read_container_v1/loopy_4m 1.00 \
   --ceiling static/locality/403.gcc 1000000 \
   BENCH_baseline.json "$out1" "$out2"

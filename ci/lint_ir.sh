@@ -80,4 +80,8 @@ cargo test --release -p clop-bench --test golden reduced_static_rank
 echo "== pipeline verification + conflict cross-validation suite =="
 cargo test --release -p clop-bench --test verify_pipelines
 
+echo "== trace codec fuzz: corruption storms over v0/v1/columnar containers =="
+cargo test --release -p clop-trace --test fault_injection
+cargo test --release -p clop-trace columnar
+
 echo "PASS: lint-ir"

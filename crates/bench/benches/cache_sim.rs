@@ -43,12 +43,25 @@ fn main() {
     }
 
     // The flat tag/stamp-array cache driven directly (no replay wrapper):
-    // isolates the raw per-access cost of the SoA fast path.
+    // isolates the raw per-access cost. `solo_flat` runs the batched probe
+    // kernel (the production replay path); `solo_scalar` keeps the
+    // one-access-at-a-time reference loop. Both rows live in the same run
+    // so ci/bench_gate.sh can ratio-guard the batched kernel's speedup
+    // over scalar machine-independently.
     {
         let len = 1_000_000 / scale;
         let lines = synthetic_lines(len, 2048);
         r.bench_with_elements(
             &format!("cachesim/solo_flat/{}", len * scale),
+            Some(len as u64),
+            || {
+                let mut cache = SetAssocCache::new(cfg);
+                cache.access_batch(&lines);
+                cache.stats()
+            },
+        );
+        r.bench_with_elements(
+            &format!("cachesim/solo_scalar/{}", len * scale),
             Some(len as u64),
             || {
                 let mut cache = SetAssocCache::new(cfg);

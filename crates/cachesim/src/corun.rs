@@ -19,7 +19,7 @@
 pub mod naive;
 
 use crate::config::{CacheConfig, CacheStats};
-use crate::icache::SetAssocCache;
+use crate::icache::{SetAssocCache, BATCH_LINES};
 
 /// Bit used to separate the two co-running address spaces. Line indices are
 /// byte addresses divided by at least 16, so bit 58 is far out of reach.
@@ -62,11 +62,11 @@ pub fn tag_line(line: u64, thread: usize) -> u64 {
 }
 
 /// Replay one fetch stream through a private cache; returns its stats.
+/// Runs the batched probe kernel ([`SetAssocCache::access_batch`]) —
+/// bit-identical to a per-element `access` loop.
 pub fn simulate_solo_lines(lines: &[u64], config: CacheConfig) -> CacheStats {
     let mut cache = SetAssocCache::new(config);
-    for &l in lines {
-        cache.access(l);
-    }
+    cache.access_batch(lines);
     cache.stats()
 }
 
@@ -154,12 +154,34 @@ impl<'a> Iterator for InterleaveRoundRobin<'a> {
 
 /// Replay two fetch streams through one shared cache with round-robin SMT
 /// interleaving; returns per-thread statistics.
+///
+/// The interleave is materialized in [`BATCH_LINES`]-sized chunks of
+/// tagged lines (with a parallel tenant column) and replayed through the
+/// batched probe kernel; per-thread statistics are folded from the
+/// per-element hit flags afterwards. Access order — and therefore every
+/// hit/miss outcome — is exactly the scalar loop's.
 pub fn simulate_corun_lines(a: &[u64], b: &[u64], config: CacheConfig) -> CorunCacheResult {
     let mut cache = SetAssocCache::new(config);
     let mut result = CorunCacheResult::default();
-    for (thread, line) in interleave_round_robin_iter(a, b) {
-        let hit = cache.access(tag_line(line, thread));
-        result.per_thread[thread].record(hit);
+    let mut tagged: Vec<u64> = Vec::with_capacity(BATCH_LINES);
+    let mut tenants: Vec<u8> = Vec::with_capacity(BATCH_LINES);
+    let mut hits = [false; BATCH_LINES];
+    let mut it = interleave_round_robin_iter(a, b);
+    loop {
+        tagged.clear();
+        tenants.clear();
+        for (thread, line) in it.by_ref().take(BATCH_LINES) {
+            tenants.push(thread as u8);
+            tagged.push(tag_line(line, thread));
+        }
+        if tagged.is_empty() {
+            break;
+        }
+        let hits = &mut hits[..tagged.len()];
+        cache.access_batch_hits(&tagged, hits);
+        for (&t, &h) in tenants.iter().zip(hits.iter()) {
+            result.per_thread[t as usize].record(h);
+        }
     }
     result
 }
@@ -338,15 +360,39 @@ pub fn simulate_corun_nway(streams: &[&[u64]], config: CacheConfig) -> NwayCorun
     let tenants = streams.len();
     let mut cache = SetAssocCache::new(config);
     let mut out = NwayCorunResult::new(tenants, config.num_sets() as usize);
-    for (t, line) in interleave_many_iter(streams) {
-        let tagged = tag_line(line, t);
-        let (hit, evicted) = cache.access_reporting(tagged);
-        out.per_tenant[t].record(hit);
-        if let Some(victim_line) = evicted {
-            let victim = tenant_of_line(victim_line);
-            out.evictions.record(victim, t);
-            let set = config.set_of_line(tagged) as usize;
-            out.evictions_by_set[set * tenants + victim] += 1;
+    // Chunked batched replay: materialize the interleave (tagged-line +
+    // tenant columns), run the reporting batch kernel, then fold stats and
+    // eviction attribution from the per-element hit/victim columns. The
+    // `u64::MAX` no-victim sentinel can never collide with a real victim:
+    // tenant tags keep every tagged line below bit 63 (`tag_line` asserts
+    // it).
+    let mut tagged: Vec<u64> = Vec::with_capacity(BATCH_LINES);
+    let mut who: Vec<u8> = Vec::with_capacity(BATCH_LINES);
+    let mut hits = [false; BATCH_LINES];
+    let mut evicted = [0u64; BATCH_LINES];
+    let mut it = interleave_many_iter(streams);
+    loop {
+        tagged.clear();
+        who.clear();
+        for (t, line) in it.by_ref().take(BATCH_LINES) {
+            who.push(t as u8);
+            tagged.push(tag_line(line, t));
+        }
+        if tagged.is_empty() {
+            break;
+        }
+        let n = tagged.len();
+        cache.access_batch_reporting(&tagged, &mut hits[..n], &mut evicted[..n]);
+        for i in 0..n {
+            let t = who[i] as usize;
+            out.per_tenant[t].record(hits[i]);
+            let victim_line = evicted[i];
+            if victim_line != u64::MAX {
+                let victim = tenant_of_line(victim_line);
+                out.evictions.record(victim, t);
+                let set = config.set_of_line(tagged[i]) as usize;
+                out.evictions_by_set[set * tenants + victim] += 1;
+            }
         }
     }
     out

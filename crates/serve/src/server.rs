@@ -880,7 +880,7 @@ mod tests {
     use crate::session::{backoff_delay, SessionConfig};
     use clop_core::build_pipeline;
     use clop_core::incremental::AnalysisParams;
-    use clop_trace::{split_shards, TrimmedTrace};
+    use clop_trace::{split_shards, split_shards_columnar, TrimmedTrace};
     use clop_util::Rng;
     use std::fs;
 
@@ -1029,6 +1029,42 @@ mod tests {
         }
         let epoch = c.command("EPOCH app-v1");
         assert_eq!(epoch, format!("+EPOCH {} {}", files.len(), files.len()));
+        assert_eq!(c.command("STOP"), "+BYE");
+        server.join();
+    }
+
+    /// A fleet mid-rollout streams a mix of legacy row (CLTC v1) and
+    /// columnar (CLTC v2) shard payloads for the same trace version; the
+    /// daemon must fold both formats into one state and answer identically
+    /// to the batch pipeline.
+    #[test]
+    fn mixed_row_and_columnar_shards_fold_to_batch_answer() {
+        let params = AnalysisParams::default();
+        let config = ServeConfig {
+            params,
+            workers: 2,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(config).unwrap();
+        let t = random_trace(23, 1200, 14);
+        let row = split_shards(&t, 6, params.affinity.w_max, params.trg.window);
+        let col = split_shards_columnar(&t, 6, params.affinity.w_max, params.trg.window);
+        assert_eq!(row.len(), col.len());
+
+        let mut c = Client::connect(server.addr());
+        for (i, (r, cshard)) in row.iter().zip(&col).enumerate() {
+            let f = if i % 2 == 0 { cshard } else { r };
+            assert!(c.send_shard_retrying("app-v2", f).starts_with("+OK"));
+        }
+        assert!(c.command("SYNC").starts_with("+SYNCED"));
+        for pipeline in ["function-affinity", "function-trg"] {
+            assert_eq!(
+                c.query("app-v2", pipeline),
+                batch_order(&t, pipeline, &params),
+                "{}",
+                pipeline
+            );
+        }
         assert_eq!(c.command("STOP"), "+BYE");
         server.join();
     }

@@ -1,0 +1,177 @@
+//! The `clop-trace` binary: offline CLTC container maintenance.
+//!
+//! ```text
+//! clop-trace pack <in.cltc> <out.cltc>     re-encode as columnar (CLTC v2)
+//! clop-trace unpack <in.cltc> <out.cltc>   re-encode as row/varint (CLTC v1)
+//! clop-trace info <in.cltc>                print container version + event count
+//! ```
+//!
+//! `pack` and `unpack` accept any readable container version on input
+//! (including the v0 legacy "CLT1" format), so the same two commands
+//! migrate a shard archive in either direction during a rollout.
+//!
+//! Both converters finish with a built-in round-trip check before the
+//! output is atomically installed: the freshly encoded container is
+//! decoded again and (a) its event sequence must be identical to the
+//! input's, and (b) re-encoding that decoded trace must reproduce the
+//! output byte for byte. A conversion that cannot prove both properties
+//! exits nonzero and leaves no output file behind.
+
+use clop_trace::{read_trace, write_trace, write_trace_columnar, Trace};
+use std::io::Write;
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strs: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+    if let Err(msg) = run(&strs) {
+        eprintln!("clop-trace: {}", msg);
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &[&str]) -> Result<(), String> {
+    match args {
+        ["pack", input, output] => cmd_convert(input, output, write_trace_columnar, "columnar"),
+        ["unpack", input, output] => cmd_convert(input, output, write_trace, "row"),
+        ["info", input] => cmd_info(input),
+        _ => Err(concat!(
+            "usage: clop-trace pack <in.cltc> <out.cltc> | ",
+            "unpack <in.cltc> <out.cltc> | info <in.cltc>"
+        )
+        .to_string()),
+    }
+}
+
+fn load(input: &str) -> Result<(Trace, Vec<u8>), String> {
+    let bytes = std::fs::read(input).map_err(|e| format!("read {}: {}", input, e))?;
+    let trace = read_trace(&mut bytes.as_slice()).map_err(|e| format!("{}: {}", input, e))?;
+    Ok((trace, bytes))
+}
+
+type Encoder = fn(&mut Vec<u8>, &Trace) -> std::io::Result<()>;
+
+fn cmd_convert(input: &str, output: &str, encode: Encoder, kind: &str) -> Result<(), String> {
+    let (trace, in_bytes) = load(input)?;
+    let mut out = Vec::new();
+    encode(&mut out, &trace).map_err(|e| e.to_string())?;
+
+    // Round-trip check: the output must decode to the exact input event
+    // sequence, and re-encoding the decoded trace must be byte-identical.
+    let back =
+        read_trace(&mut out.as_slice()).map_err(|e| format!("round-trip decode failed: {}", e))?;
+    if back.events() != trace.events() {
+        return Err(format!(
+            "round-trip mismatch: decoded {} events, input has {}",
+            back.len(),
+            trace.len()
+        ));
+    }
+    let mut again = Vec::new();
+    encode(&mut again, &back).map_err(|e| e.to_string())?;
+    if again != out {
+        return Err("round-trip re-encode is not byte-identical".to_string());
+    }
+
+    clop_util::atomic_write(Path::new(output), &out).map_err(|e| e.to_string())?;
+    let stdout = std::io::stdout();
+    writeln!(
+        stdout.lock(),
+        "{} -> {} ({}): {} events, {} -> {} bytes",
+        input,
+        output,
+        kind,
+        trace.len(),
+        in_bytes.len(),
+        out.len()
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn cmd_info(input: &str) -> Result<(), String> {
+    let (trace, bytes) = load(input)?;
+    let version = match bytes.get(..4) {
+        Some(b"CLT1") => "0 (legacy)".to_string(),
+        Some(b"CLTC") => bytes.get(4).map(|v| v.to_string()).unwrap_or_default(),
+        _ => "?".to_string(),
+    };
+    let stdout = std::io::stdout();
+    writeln!(
+        stdout.lock(),
+        "{}: container version {}, {} events, {} bytes",
+        input,
+        version,
+        trace.len(),
+        bytes.len()
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace(len: usize, blocks: u64) -> Trace {
+        let mut state = 0x5EED_u64 | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        Trace::from_indices((0..len).map(|_| (next() % blocks) as u32))
+    }
+
+    #[test]
+    fn pack_then_unpack_restores_row_bytes() {
+        let dir = std::env::temp_dir().join(format!("clop-trace-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let row = dir.join("row.cltc");
+        let col = dir.join("col.cltc");
+        let back = dir.join("back.cltc");
+
+        let t = sample_trace(9_000, 257);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        std::fs::write(&row, &buf).unwrap();
+
+        run(&["pack", row.to_str().unwrap(), col.to_str().unwrap()]).unwrap();
+        run(&["unpack", col.to_str().unwrap(), back.to_str().unwrap()]).unwrap();
+
+        let col_bytes = std::fs::read(&col).unwrap();
+        assert_eq!(&col_bytes[..4], b"CLTC");
+        assert_eq!(col_bytes[4], 2, "pack must emit a v2 container");
+        assert_eq!(
+            std::fs::read(&back).unwrap(),
+            buf,
+            "unpack(pack(x)) must restore the row container byte for byte"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn convert_refuses_damaged_input_and_writes_nothing() {
+        let dir = std::env::temp_dir().join(format!("clop-trace-cli-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let row = dir.join("row.cltc");
+        let col = dir.join("col.cltc");
+
+        let t = sample_trace(500, 31);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x40;
+        std::fs::write(&row, &buf).unwrap();
+
+        assert!(run(&["pack", row.to_str().unwrap(), col.to_str().unwrap()]).is_err());
+        assert!(!col.exists(), "failed conversion must not leave output");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn usage_error_on_bad_args() {
+        assert!(run(&["frobnicate"]).unwrap_err().contains("usage"));
+    }
+}

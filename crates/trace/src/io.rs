@@ -35,6 +35,14 @@
 //! Files written by the original format (magic `CLT1`, no version, no
 //! checksum) remain readable through a v0 fallback path.
 //!
+//! Version 2 keeps the container framing unchanged and replaces the
+//! payload with the columnar block layout of [`crate::columnar`]:
+//! independently decodable blocks with per-block CRCs, written by
+//! [`write_trace_columnar`] and read transparently by every v1 entry
+//! point (including the CLSH shard path, which embeds a whole container).
+//! Salvage on a v2 payload works at block granularity — the longest
+//! CRC-clean block prefix survives instead of the longest event prefix.
+//!
 //! [`read_trace_repaired`] additionally supports *salvage*: it keeps the
 //! longest cleanly decodable event prefix of a damaged payload and
 //! reports what was dropped, for pipelines that prefer a partial profile
@@ -55,6 +63,10 @@ const MAGIC_V0: &[u8; 4] = b"CLT1";
 /// Container format version written by [`write_trace`].
 const FORMAT_VERSION: u8 = 1;
 
+/// Container version carrying a columnar payload ([`crate::columnar`]),
+/// written by [`write_trace_columnar`].
+const VERSION_COLUMNAR: u8 = 2;
+
 /// Encode an unsigned LEB128 varint.
 pub(crate) fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
     loop {
@@ -68,12 +80,12 @@ pub(crate) fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
 }
 
 /// Zigzag-encode a signed delta.
-fn zigzag(v: i64) -> u64 {
+pub(crate) fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
 }
 
 /// Zigzag-decode.
-fn unzigzag(v: u64) -> i64 {
+pub(crate) fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
@@ -126,6 +138,30 @@ impl<'a, R: Read> Decoder<'a, R> {
         let mut b = [0u8; 1];
         self.read_exact(&mut b, what)?;
         Ok(b[0])
+    }
+
+    /// Read up to `n` bytes, stopping early (without error) at end of
+    /// data. Allocation grows with bytes actually read, never with `n`.
+    pub(crate) fn read_up_to(&mut self, n: u64) -> ClopResult<Vec<u8>> {
+        let mut out = Vec::new();
+        let mut buf = [0u8; 4096];
+        let mut remaining = n;
+        while remaining > 0 {
+            let want = (remaining.min(buf.len() as u64)) as usize;
+            let got = match self.r.read(&mut buf[..want]) {
+                Ok(0) => break,
+                Ok(got) => got,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(ClopError::io("read payload", &e)),
+            };
+            if let Some(crc) = &mut self.crc {
+                crc.update(&buf[..got]);
+            }
+            self.offset += got as u64;
+            out.extend_from_slice(&buf[..got]);
+            remaining -= got as u64;
+        }
+        Ok(out)
     }
 
     /// Decode an unsigned LEB128 varint.
@@ -225,7 +261,15 @@ fn decode_events<R: Read>(
 /// The parsed container header: everything before the payload.
 enum Header {
     V0,
-    V1 { payload_len: u64, crc: u32 },
+    V1 {
+        payload_len: u64,
+        crc: u32,
+    },
+    /// Columnar payload ([`crate::columnar`]); same framing fields as v1.
+    V2 {
+        payload_len: u64,
+        crc: u32,
+    },
 }
 
 fn read_header<R: Read>(d: &mut Decoder<'_, R>) -> ClopResult<Header> {
@@ -241,19 +285,49 @@ fn read_header<R: Read>(d: &mut Decoder<'_, R>) -> ClopResult<Header> {
         )));
     }
     let version = d.read_byte("format version")?;
-    if version != FORMAT_VERSION {
+    if version != FORMAT_VERSION && version != VERSION_COLUMNAR {
         return Err(ClopError::trace_format(format!(
             "unsupported trace format version {} (this build reads up to {})",
-            version, FORMAT_VERSION
+            version, VERSION_COLUMNAR
         )));
     }
     let payload_len = d.varint("payload length")?;
     let mut crc_bytes = [0u8; 4];
     d.read_exact(&mut crc_bytes, "payload checksum")?;
-    Ok(Header::V1 {
-        payload_len,
-        crc: u32::from_le_bytes(crc_bytes),
+    let crc = u32::from_le_bytes(crc_bytes);
+    Ok(if version == VERSION_COLUMNAR {
+        Header::V2 { payload_len, crc }
+    } else {
+        Header::V1 { payload_len, crc }
     })
+}
+
+/// Read up to `payload_len` payload bytes, stopping early at end of data.
+/// Returns the bytes plus `Err` when the payload came up short. Growth is
+/// driven by bytes actually present, so a hostile length never causes a
+/// proportional allocation.
+fn read_payload<R: Read>(
+    d: &mut Decoder<'_, R>,
+    payload_len: u64,
+) -> ClopResult<(Vec<u8>, ClopResult<()>)> {
+    match d.read_up_to(payload_len) {
+        Ok(payload) => {
+            let complete = if (payload.len() as u64) < payload_len {
+                Err(ClopError::trace_decode(
+                    d.offset,
+                    format!(
+                        "columnar payload truncated: header declares {} bytes, {} present",
+                        payload_len,
+                        payload.len()
+                    ),
+                ))
+            } else {
+                Ok(())
+            };
+            Ok((payload, complete))
+        }
+        Err(e) => Err(e),
+    }
 }
 
 /// Read a trace written by [`write_trace`] (or, via the v0 fallback, by
@@ -306,6 +380,23 @@ pub fn read_trace<R: Read>(r: &mut R) -> ClopResult<Trace> {
             }
             Ok(trace)
         }
+        Header::V2 { payload_len, crc } => {
+            let mut d2 = d;
+            let (payload, complete) = read_payload(&mut d2, payload_len)?;
+            complete?;
+            let computed = clop_util::crc32(&payload);
+            if computed != crc {
+                return Err(ClopError::trace_decode(
+                    d2.offset,
+                    format!(
+                        "payload checksum mismatch: stored {:08x}, computed {:08x}",
+                        crc, computed
+                    ),
+                ));
+            }
+            let (ids, _tenants) = crate::columnar::decode_all(&payload)?;
+            Ok(ids.into_iter().collect())
+        }
     }
 }
 
@@ -345,6 +436,28 @@ pub fn read_trace_repaired<R: Read>(r: &mut R) -> ClopResult<(Trace, RepairRepor
     let (is_v1, payload_len, stored_crc) = match header {
         Header::V0 => (false, u64::MAX, 0),
         Header::V1 { payload_len, crc } => (true, payload_len, crc),
+        Header::V2 { payload_len, crc } => {
+            // Columnar payloads salvage at block granularity: keep the
+            // longest CRC-clean block prefix.
+            let (payload, complete) = read_payload(&mut d, payload_len)?;
+            let (ids, _tenants, salvage) = crate::columnar::decode_salvage(&payload);
+            let crc_ok = if complete.is_err() {
+                Some(false)
+            } else {
+                Some(clop_util::crc32(&payload) == crc)
+            };
+            let trace: Trace = ids.into_iter().collect();
+            return Ok((
+                trace,
+                RepairReport {
+                    declared: salvage.declared,
+                    decoded: salvage.decoded,
+                    dropped: salvage.declared.saturating_sub(salvage.decoded),
+                    crc_ok,
+                    error: salvage.error.or_else(|| complete.err()),
+                },
+            ));
+        }
     };
     if is_v1 {
         d.begin_crc();
@@ -389,6 +502,31 @@ pub fn read_trace_repaired<R: Read>(r: &mut R) -> ClopResult<(Trace, RepairRepor
             error,
         },
     ))
+}
+
+/// Write a trace in the columnar container (version 2): same framing as
+/// [`write_trace`], payload laid out by [`crate::columnar`]. Readers added
+/// in the same release ([`read_trace`], [`read_trace_repaired`], the CLSH
+/// shard path) accept both versions; v1 stays the default written format
+/// so older readers keep working.
+pub fn write_trace_columnar<W: Write>(w: &mut W, trace: &Trace) -> io::Result<()> {
+    let payload = crate::columnar::encode(
+        trace.events(),
+        crate::columnar::Columns::default(),
+        crate::columnar::DEFAULT_BLOCK_EVENTS,
+    )
+    .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    w.write_all(MAGIC)?;
+    w.write_all(&[VERSION_COLUMNAR])?;
+    write_varint(w, payload.len() as u64)?;
+    w.write_all(&clop_util::crc32(&payload).to_le_bytes())?;
+    w.write_all(&payload)
+}
+
+/// [`write_trimmed`] in the columnar container.
+pub fn write_trimmed_columnar<W: Write>(w: &mut W, trace: &TrimmedTrace) -> io::Result<()> {
+    let t: Trace = trace.iter().collect();
+    write_trace_columnar(w, &t)
 }
 
 /// Convenience: serialize a trimmed trace (stored as a plain trace; the
@@ -619,6 +757,78 @@ mod tests {
         buf[last] ^= 0x01; // flip a payload bit that still decodes
         let (_, report) = read_trace_repaired(&mut buf.as_slice()).unwrap();
         assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn columnar_container_round_trip() {
+        for len in [0usize, 1, 9000] {
+            let t = Trace::from_indices((0..len as u32).map(|i| i % 1111));
+            let mut buf = Vec::new();
+            write_trace_columnar(&mut buf, &t).unwrap();
+            assert_eq!(buf[4], VERSION_COLUMNAR);
+            assert_eq!(read_trace(&mut buf.as_slice()).unwrap(), t, "len {}", len);
+            let (back, report) = read_trace_repaired(&mut buf.as_slice()).unwrap();
+            assert_eq!(back, t);
+            assert!(report.is_clean());
+            assert_eq!(report.crc_ok, Some(true));
+        }
+    }
+
+    #[test]
+    fn columnar_rejects_every_single_bit_flip() {
+        let t = Trace::from_indices([7, 3, 3, 900, 7, 12]);
+        let mut buf = Vec::new();
+        write_trace_columnar(&mut buf, &t).unwrap();
+        for byte in 0..buf.len() {
+            for bit in 0..8 {
+                let mut bad = buf.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    read_trace(&mut bad.as_slice()).is_err(),
+                    "flip at {}:{} went undetected",
+                    byte,
+                    bit
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_salvage_keeps_clean_block_prefix() {
+        // Multi-block trace; damage a byte in the final block's span: the
+        // preceding blocks survive verbatim.
+        let n = crate::columnar::DEFAULT_BLOCK_EVENTS * 3 + 100;
+        let t = Trace::from_indices((0..n as u32).map(|i| i % 997));
+        let mut buf = Vec::new();
+        write_trace_columnar(&mut buf, &t).unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x10;
+        assert!(read_trace(&mut buf.as_slice()).is_err());
+        let (salvaged, report) = read_trace_repaired(&mut buf.as_slice()).unwrap();
+        assert_eq!(salvaged.len(), crate::columnar::DEFAULT_BLOCK_EVENTS * 3);
+        assert_eq!(
+            salvaged.events(),
+            &t.events()[..salvaged.len()],
+            "salvage is a clean prefix"
+        );
+        assert_eq!(report.declared, n as u64);
+        assert_eq!(report.dropped, 100);
+        assert_eq!(report.crc_ok, Some(false));
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn columnar_salvage_of_truncated_container() {
+        let t = Trace::from_indices((0..9000u32).map(|i| i % 501));
+        let mut full = Vec::new();
+        write_trace_columnar(&mut full, &t).unwrap();
+        // Header intact, payload torn at an arbitrary point.
+        let cut = full.len() / 2;
+        let (salvaged, report) = read_trace_repaired(&mut &full[..cut]).unwrap();
+        assert!(report.dropped > 0);
+        assert!(!report.is_clean());
+        assert_eq!(report.crc_ok, Some(false));
+        assert_eq!(salvaged.events(), &t.events()[..salvaged.len()]);
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   Olken-style stamp + Fenwick-tree engine, with the paper's literal
 //!   walk-based structure retained as the [`stack::naive`] test oracle,
 //! * [`histogram`] — reuse-distance histograms and miss-ratio projection,
+//! * [`columnar`] — the CLTC v2 columnar payload: independently decodable
+//!   delta blocks with per-block CRCs, zero-copy block iteration, and
+//!   block-granular salvage,
 //! * [`shard`] — deterministic window-overlap trace sharding (plus
 //!   [`shards_adaptive`], which bounds the shard count by what can actually
 //!   pay off on the current machine),
@@ -34,6 +37,7 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod columnar;
 pub mod footprint;
 pub mod histogram;
 pub mod io;
@@ -47,12 +51,19 @@ pub mod stack;
 pub mod stats;
 pub mod trace;
 
+pub use columnar::{ColumnarReader, ColumnarSalvage};
 pub use histogram::ReuseHistogram;
-pub use io::{read_trace, read_trace_repaired, read_trimmed, write_trace, RepairReport};
+pub use io::{
+    read_trace, read_trace_repaired, read_trimmed, write_trace, write_trace_columnar,
+    write_trimmed_columnar, RepairReport,
+};
 pub use mapping::{BlockMap, Granularity};
 pub use prune::{PruneReport, Pruner};
 pub use shard::{shards, shards_adaptive, Shard};
-pub use shardfile::{read_shard, read_shard_repaired, split_shards, write_shard, ShardFile};
+pub use shardfile::{
+    read_shard, read_shard_repaired, split_shards, split_shards_columnar, write_shard,
+    write_shard_columnar, ShardFile,
+};
 pub use stack::LruStack;
 pub use stats::{StatsState, TraceStats};
 pub use trace::{BlockId, Trace, TrimmedTrace};

@@ -28,7 +28,9 @@
 //! prefix and a [`RepairReport`], letting ingestion policy decide whether
 //! the loss is acceptable.
 
-use crate::io::{read_trace, read_trace_repaired, write_trimmed, Decoder, RepairReport};
+use crate::io::{
+    read_trace, read_trace_repaired, write_trimmed, write_trimmed_columnar, Decoder, RepairReport,
+};
 use crate::shard::shards;
 use crate::trace::{BlockId, Trace, TrimmedTrace};
 use clop_util::{ClopError, ClopResult};
@@ -79,6 +81,27 @@ pub fn write_shard<W: Write>(
     w.write_all(&header)?;
     w.write_all(&clop_util::crc32(&header).to_le_bytes())?;
     write_trimmed(w, segment)
+}
+
+/// [`write_shard`] with a columnar (CLTC v2) segment payload. The CLSH
+/// framing is identical; only the embedded trace container differs, and
+/// [`read_shard`] accepts either version transparently.
+pub fn write_shard_columnar<W: Write>(
+    w: &mut W,
+    seq: u64,
+    core_start: usize,
+    core_end: usize,
+    segment: &TrimmedTrace,
+) -> io::Result<()> {
+    let mut header = Vec::new();
+    let _ = crate::io::write_varint(&mut header, seq);
+    let _ = crate::io::write_varint(&mut header, core_start as u64);
+    let _ = crate::io::write_varint(&mut header, core_end as u64);
+    w.write_all(MAGIC)?;
+    w.write_all(&[FORMAT_VERSION])?;
+    w.write_all(&header)?;
+    w.write_all(&clop_util::crc32(&header).to_le_bytes())?;
+    write_trimmed_columnar(w, segment)
 }
 
 /// Parse the CLSH header (everything before the embedded CLTC payload).
@@ -202,6 +225,30 @@ pub fn split_shards(
     w_max: u32,
     trg_window: usize,
 ) -> Vec<Vec<u8>> {
+    split_shards_with(trace, pieces, w_max, trg_window, write_shard)
+}
+
+/// [`split_shards`] with columnar (CLTC v2) segment payloads. Same shard
+/// boundaries, same attribution metadata, byte-different payload encoding;
+/// every shard reader ([`read_shard`], [`read_shard_repaired`], the serve
+/// ingestion path) accepts both, so a fleet can mix the two formats during
+/// a rollout.
+pub fn split_shards_columnar(
+    trace: &TrimmedTrace,
+    pieces: usize,
+    w_max: u32,
+    trg_window: usize,
+) -> Vec<Vec<u8>> {
+    split_shards_with(trace, pieces, w_max, trg_window, write_shard_columnar)
+}
+
+fn split_shards_with(
+    trace: &TrimmedTrace,
+    pieces: usize,
+    w_max: u32,
+    trg_window: usize,
+    write: fn(&mut Vec<u8>, u64, usize, usize, &TrimmedTrace) -> io::Result<()>,
+) -> Vec<Vec<u8>> {
     let w = w_max.max(2) as usize;
     let lookback = w.max(trg_window) + 1;
     shards(trace, pieces, lookback, w)
@@ -213,7 +260,7 @@ pub fn split_shards(
                 TrimmedTrace::from_events(trace.events()[sh.start..sh.end].iter().copied());
             let mut buf = Vec::new();
             // Writing to a Vec cannot fail.
-            let _ = write_shard(
+            let _ = write(
                 &mut buf,
                 i as u64,
                 sh.core_start - sh.start,
@@ -266,6 +313,70 @@ mod tests {
             rebuilt.extend_from_slice(sf.core());
         }
         assert_eq!(rebuilt, t.events());
+    }
+
+    #[test]
+    fn columnar_shard_round_trip() {
+        let t = random_trace(21, 120, 11);
+        let mut buf = Vec::new();
+        write_shard_columnar(&mut buf, 7, 10, 100, &t).unwrap();
+        let back = read_shard(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.seq, 7);
+        assert_eq!(back.core_start, 10);
+        assert_eq!(back.core_end, 100);
+        assert_eq!(back.trace, t);
+        assert_eq!(back.core(), &t.events()[10..100]);
+    }
+
+    #[test]
+    fn columnar_split_covers_trace_exactly_with_same_boundaries() {
+        let t = random_trace(22, 900, 17);
+        let row = split_shards(&t, 4, 8, 16);
+        let col = split_shards_columnar(&t, 4, 8, 16);
+        assert_eq!(row.len(), col.len());
+        let mut rebuilt: Vec<BlockId> = Vec::new();
+        for (i, f) in col.iter().enumerate() {
+            let sf = read_shard(&mut f.as_slice()).unwrap();
+            let rf = read_shard(&mut row[i].as_slice()).unwrap();
+            assert_eq!(sf.seq, i as u64);
+            assert_eq!((sf.core_start, sf.core_end), (rf.core_start, rf.core_end));
+            assert_eq!(sf.trace, rf.trace);
+            rebuilt.extend_from_slice(sf.core());
+        }
+        assert_eq!(rebuilt, t.events());
+    }
+
+    #[test]
+    fn columnar_shard_rejects_every_single_bit_flip() {
+        let t = random_trace(23, 60, 9);
+        let mut buf = Vec::new();
+        write_shard_columnar(&mut buf, 3, 5, 55, &t).unwrap();
+        for byte in 0..buf.len() {
+            for bit in 0..8 {
+                let mut bad = buf.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    read_shard(&mut bad.as_slice()).is_err(),
+                    "flip at {}:{} went undetected",
+                    byte,
+                    bit
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_repaired_read_salvages_and_clamps_core() {
+        let t = random_trace(24, 200, 11);
+        let mut buf = Vec::new();
+        write_shard_columnar(&mut buf, 2, 20, 200, &t).unwrap();
+        buf.truncate(buf.len() - 3); // tear the CLTC v2 payload tail
+        let (sf, report) = read_shard_repaired(&mut buf.as_slice()).unwrap();
+        assert!(report.dropped > 0);
+        assert!(!report.is_clean());
+        assert_eq!(sf.seq, 2);
+        assert_eq!(sf.core_end, sf.trace.len());
+        assert_eq!(&t.events()[..sf.trace.len()], sf.trace.events());
     }
 
     #[test]

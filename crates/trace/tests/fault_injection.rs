@@ -9,13 +9,17 @@
 //!
 //! Coverage: >500 seeded corruptions (bit flips, byte rewrites, span
 //! duplication/deletion/zeroing, garbage insertion/appends) plus
-//! truncation at *every* byte boundary, applied to v1 and legacy-v0
-//! containers of representative traces, driven through `read_trace`,
-//! `read_trimmed` and `read_trace_repaired`; hostile handcrafted headers
-//! (astronomical counts, lying lengths) round it out.
+//! truncation at *every* byte boundary, applied to columnar-v2, v1 and
+//! legacy-v0 containers of representative traces, driven through
+//! `read_trace`, `read_trimmed` and `read_trace_repaired`; hostile
+//! handcrafted headers (astronomical counts, lying lengths) round it out.
+//! A dedicated columnar storm additionally checks the salvage contract:
+//! whatever survives is a clean prefix and the report accounts for every
+//! dropped event.
 
 use clop_trace::io::{
-    read_mapping, read_trace, read_trace_repaired, read_trimmed, write_trace, write_trace_v0,
+    read_mapping, read_trace, read_trace_repaired, read_trimmed, write_trace, write_trace_columnar,
+    write_trace_v0,
 };
 use clop_trace::{BlockMap, Trace};
 use clop_util::fault::{all_truncations, seeded_corruptions};
@@ -80,14 +84,14 @@ fn assert_structured(e: &ClopError, what: &str) {
 fn corruption_storm_returns_structured_errors_only() {
     let mut cases = 0usize;
     for (ti, trace) in sample_traces().into_iter().enumerate() {
-        for v0 in [false, true] {
+        for version in [0u8, 1, 2] {
             let mut buf = Vec::new();
-            if v0 {
-                write_trace_v0(&mut buf, &trace).unwrap();
-            } else {
-                write_trace(&mut buf, &trace).unwrap();
+            match version {
+                0 => write_trace_v0(&mut buf, &trace).unwrap(),
+                1 => write_trace(&mut buf, &trace).unwrap(),
+                _ => write_trace_columnar(&mut buf, &trace).unwrap(),
             }
-            let seed = 0xC10F_0000 + ti as u64 * 2 + v0 as u64;
+            let seed = 0xC10F_0000 + ti as u64 * 3 + version as u64;
             for c in seeded_corruptions(seed, &buf, 40) {
                 exercise(&c.data, &c.description);
                 cases += 1;
@@ -102,6 +106,59 @@ fn corruption_storm_returns_structured_errors_only() {
         cases >= 500,
         "fault matrix shrank to {} cases; keep it above the 500 floor",
         cases
+    );
+}
+
+/// Columnar-specific storm: beyond "no panic, structured errors", the
+/// block-granular salvage contract must hold under every single-point
+/// fault — whatever `read_trace_repaired` returns is a clean prefix of
+/// the original events, and the report accounts for the losses.
+#[test]
+fn columnar_storm_salvages_clean_prefixes_only() {
+    // Three full blocks plus a partial one, mixed delta widths.
+    let mut ids = Vec::new();
+    let mut x = 11u32;
+    for i in 0..14_000u32 {
+        x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+        ids.push(if i % 64 == 0 { x % (1 << 20) } else { i % 700 });
+    }
+    let trace = Trace::from_indices(ids);
+    let mut buf = Vec::new();
+    write_trace_columnar(&mut buf, &trace).unwrap();
+
+    let mut cases = 0usize;
+    let mut salvaged_partial = 0usize;
+    let mut check = |data: &[u8], what: &str| {
+        exercise(data, what); // no-panic + structured-error + accounting
+        if let Ok((salvage, report)) = read_trace_repaired(&mut &data[..]) {
+            assert!(
+                salvage.len() <= trace.len(),
+                "{}: salvage longer than original",
+                what
+            );
+            if report.dropped > 0 || report.crc_ok == Some(false) {
+                assert_eq!(
+                    salvage.events(),
+                    &trace.events()[..salvage.len()],
+                    "{}: salvage is not a clean prefix",
+                    what
+                );
+                salvaged_partial += 1;
+            }
+        }
+    };
+    for c in all_truncations(&buf) {
+        check(&c.data, &c.description);
+        cases += 1;
+    }
+    for c in seeded_corruptions(0xC01_7EA5, &buf, 600) {
+        check(&c.data, &c.description);
+        cases += 1;
+    }
+    assert!(cases >= 500, "columnar fault matrix shrank to {}", cases);
+    assert!(
+        salvaged_partial > 0,
+        "no fault ever exercised partial salvage — the matrix is too tame"
     );
 }
 
